@@ -1,0 +1,42 @@
+// Reproduces Fig. 10: training time to reach AUC 0.6 as the graph scale
+// grows, Zoomer vs GCE-GNN (paper protocol: sampling number 5, 2-layer
+// multi-level attention).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace zoomer;
+  using namespace zoomer::bench;
+  std::printf("Fig. 10: training time to AUC=0.6 vs graph scale\n");
+
+  std::printf("\n%-24s %12s %12s\n", "Graph scale", "Zoomer(s)", "GCE-GNN(s)");
+  PrintRule(52);
+  for (auto scale : {GraphScale::kMillion, GraphScale::kHundredMillion,
+                     GraphScale::kBillion}) {
+    auto ds = data::GenerateTaobaoDataset(ScaleOptions(scale, 2022));
+    std::printf("%-24s", ScaleName(scale));
+    for (const char* name : {"Zoomer", "GCE-GNN"}) {
+      baselines::ModelParams params;
+      params.hidden_dim = 16;
+      params.sample_k = 5;  // paper: sampling number 5
+      params.num_hops = 2;
+      params.seed = 5;
+      auto model = baselines::MakeModel(name, &ds.graph, params);
+      core::TrainOptions topt;
+      topt.learning_rate = 0.01f;
+      topt.batch_size = 128;
+      topt.max_examples_per_epoch = 2000;
+      core::ZoomerTrainer trainer(model.get(), topt);
+      const double secs = trainer.TrainUntilAuc(ds, /*target_auc=*/0.6,
+                                                /*max_epochs=*/8);
+      std::printf(" %12.1f", secs);
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  std::printf("\n(paper Fig. 10: cost grows with scale for both systems;\n"
+              " Zoomer reaches the target faster at every scale, especially\n"
+              " on the largest graph)\n");
+  return 0;
+}

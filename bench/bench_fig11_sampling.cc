@@ -1,0 +1,45 @@
+// Reproduces Fig. 11: effect of the per-node sampling number K on test AUC
+// for the five methods with self-developed samplers (Zoomer, GraphSage,
+// Pixie, PinnerSage, PinSage).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace zoomer;
+  using namespace zoomer::bench;
+  std::printf("Fig. 11: AUC vs number of neighbors sampled (K)\n");
+
+  auto ds = data::GenerateTaobaoDataset(ScaleOptions(GraphScale::kMillion, 2022));
+  std::printf("graph: %s\n", ds.graph.DebugString().c_str());
+
+  auto names = baselines::SamplerBaselineNames();
+  std::printf("\n%4s", "K");
+  for (const auto& n : names) std::printf(" %11s", n.c_str());
+  std::printf("\n");
+  PrintRule(66);
+  for (int k : {5, 10, 15, 20, 25, 30}) {
+    std::printf("%4d", k);
+    for (const auto& name : names) {
+      RunConfig cfg;
+      cfg.params.hidden_dim = 16;
+      cfg.params.sample_k = k;
+      cfg.params.num_hops = 2;
+      cfg.params.seed = 5;
+      cfg.train.epochs = 3;
+      cfg.train.learning_rate = 0.01f;
+      cfg.train.batch_size = 128;
+      cfg.train.max_examples_per_epoch = 2500;
+      cfg.eval_examples = 1500;
+      auto r = TrainAndEval(name, ds, cfg);
+      std::printf(" %11.3f", r.auc);
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  std::printf("\n(paper Fig. 11: Zoomer leads at every K with the largest\n"
+              " margin at small K -- the focal-biased sampler finds a more\n"
+              " informative subgraph under a tight budget; K=25 can beat\n"
+              " K=30, echoing information overload)\n");
+  return 0;
+}

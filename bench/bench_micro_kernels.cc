@@ -1,0 +1,149 @@
+// Micro-benchmarks (google-benchmark) for the kernels the system design
+// leans on (Sec. VI and DESIGN.md ablation list): alias-table sampling,
+// MinHash signatures, relevance scorers, ROI sampling strategies, attention
+// forward/backward, PS pull/push, and the 3-stage pipeline overlap.
+#include <benchmark/benchmark.h>
+
+#include <thread>
+
+#include "bench/bench_util.h"
+#include "core/roi_sampler.h"
+#include "core/zoomer_model.h"
+#include "graph/alias_table.h"
+#include "graph/minhash.h"
+#include "ps/parameter_server.h"
+#include "tensor/tensor.h"
+
+namespace zoomer {
+namespace {
+
+const data::RetrievalDataset& Dataset() {
+  static const auto* ds = new data::RetrievalDataset(
+      data::GenerateTaobaoDataset(bench::ScaleOptions(
+          bench::GraphScale::kMillion, 3)));
+  return *ds;
+}
+
+void BM_AliasTableSample(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(1);
+  std::vector<double> weights(n);
+  for (auto& w : weights) w = rng.UniformDouble() + 0.01;
+  graph::AliasTable table(weights);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.Sample(&rng));
+  }
+}
+BENCHMARK(BM_AliasTableSample)->Arg(8)->Arg(64)->Arg(1024)->Arg(65536);
+
+void BM_MinHashSignature(benchmark::State& state) {
+  const int tokens = static_cast<int>(state.range(0));
+  graph::MinHasher hasher(32);
+  Rng rng(2);
+  std::vector<uint64_t> set(tokens);
+  for (auto& t : set) t = rng.NextUint64();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hasher.Signature(set));
+  }
+}
+BENCHMARK(BM_MinHashSignature)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_RelevanceScorer(benchmark::State& state) {
+  const auto kind = static_cast<core::RelevanceKind>(state.range(0));
+  auto scorer = core::MakeRelevanceScorer(kind);
+  Rng rng(3);
+  std::vector<float> a(64), b(64);
+  for (auto& x : a) x = rng.UniformFloat();
+  for (auto& x : b) x = rng.UniformFloat();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scorer->Score(a.data(), b.data(), 64));
+  }
+  state.SetLabel(scorer->name());
+}
+BENCHMARK(BM_RelevanceScorer)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_RoiSample(benchmark::State& state) {
+  const auto& ds = Dataset();
+  core::RoiSamplerOptions opt;
+  opt.k = 10;
+  opt.num_hops = 2;
+  opt.kind = static_cast<core::SamplerKind>(state.range(0));
+  core::RoiSampler sampler(opt);
+  Rng rng(4);
+  auto fc = sampler.FocalVector(ds.graph, {ds.train[0].user,
+                                           ds.train[0].query});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sampler.Sample(ds.graph, ds.train[0].user, fc, &rng));
+  }
+  static const char* kNames[] = {"focal-topk", "uniform", "weighted",
+                                 "random-walk"};
+  state.SetLabel(kNames[state.range(0)]);
+}
+BENCHMARK(BM_RoiSample)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_TensorMatMul(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(5);
+  auto a = tensor::Tensor::Randn(n, n, &rng, 1.0f);
+  auto b = tensor::Tensor::Randn(n, n, &rng, 1.0f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMul(a, b));
+  }
+}
+BENCHMARK(BM_TensorMatMul)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_ZoomerForwardBackward(benchmark::State& state) {
+  const auto& ds = Dataset();
+  core::ZoomerConfig cfg;
+  cfg.hidden_dim = 16;
+  cfg.sampler.k = static_cast<int>(state.range(0));
+  core::ZoomerModel model(&ds.graph, cfg);
+  Rng rng(6);
+  size_t i = 0;
+  for (auto _ : state) {
+    auto loss = FocalBceWithLogits(
+        model.ScoreLogit(ds.train[i % ds.train.size()], &rng),
+        tensor::Tensor::Scalar(1.0f));
+    loss.Backward();
+    ++i;
+  }
+}
+BENCHMARK(BM_ZoomerForwardBackward)->Arg(5)->Arg(10)->Arg(20);
+
+void BM_PsPullPush(benchmark::State& state) {
+  ps::ParameterServerOptions opt;
+  opt.num_shards = 4;
+  opt.table.dim = 16;
+  ps::ParameterServer server(opt);
+  Rng rng(7);
+  std::vector<float> buf;
+  for (auto _ : state) {
+    std::vector<ps::Key> keys;
+    for (int i = 0; i < 32; ++i) {
+      keys.push_back(static_cast<ps::Key>(rng.Uniform(10000)));
+    }
+    server.Pull(keys, &buf);
+    server.PushAsync(keys, std::vector<float>(keys.size() * 16, 0.01f));
+  }
+  server.Flush();
+}
+BENCHMARK(BM_PsPullPush);
+
+void BM_PipelineOverlap(benchmark::State& state) {
+  const bool overlap = state.range(0) != 0;
+  auto stage = [](int64_t) {
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  };
+  ps::AsyncPipeline pipeline(stage, stage, stage);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pipeline.Run(20, overlap));
+  }
+  state.SetLabel(overlap ? "3-stage-overlap" : "sequential");
+}
+BENCHMARK(BM_PipelineOverlap)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace zoomer
+
+BENCHMARK_MAIN();

@@ -1,0 +1,51 @@
+// Reproduces Table II: AUC / MAE / RMSE on the MovieLens-like benchmark for
+// the GNN baselines without heuristic samplers (GCE-GNN, FGNN, STAMP, MCCF,
+// HAN) and Zoomer. Paper protocol (Sec. VII-A/B): 80/20 split, 1-hop
+// aggregation on MovieLens.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace zoomer;
+  using namespace zoomer::bench;
+  std::printf("Table II: Zoomer benchmarking results on MovieLens-like data\n");
+
+  data::MovieLensGeneratorOptions opt;
+  opt.num_users = 500;
+  opt.num_tags = 48;
+  opt.num_movies = 900;
+  opt.num_genres = 10;
+  // Long, noisy rating histories: a third of ratings fall outside the
+  // user's preferred genres (the information-overload condition Zoomer's
+  // focal filtering targets; real MovieLens histories are similarly mixed).
+  opt.ratings_per_user = 28;
+  opt.p_rate_in_genre = 0.65;
+  opt.seed = 2022;
+  auto ds = data::GenerateMovieLensDataset(opt);
+  std::printf("graph: %s\n", ds.graph.DebugString().c_str());
+
+  RunConfig cfg;
+  cfg.params.hidden_dim = 16;
+  cfg.params.sample_k = 12;
+  cfg.params.num_hops = 1;  // paper: 1-hop on MovieLens
+  cfg.params.seed = 5;
+  cfg.train.epochs = 4;
+  cfg.train.batch_size = 128;
+  cfg.train.learning_rate = 0.01f;
+  cfg.train.max_examples_per_epoch = 5000;
+  cfg.eval_examples = 2000;
+
+  std::printf("\n%-10s %8s %8s %8s %10s\n", "Model", "AUC", "MAE", "RMSE",
+              "train(s)");
+  PrintRule(50);
+  for (const char* name :
+       {"GCE-GNN", "FGNN", "STAMP", "MCCF", "HAN", "Zoomer"}) {
+    auto r = TrainAndEval(name, ds, cfg);
+    std::printf("%-10s %8.2f %8.4f %8.4f %10.1f\n", r.name.c_str(),
+                r.auc * 100.0, r.mae, r.rmse, r.train_seconds);
+  }
+  std::printf("\n(paper Table II: Zoomer 93.79 AUC beats best baseline by ~2\n"
+              " points; expect Zoomer to lead AUC here as well)\n");
+  return 0;
+}

@@ -1,0 +1,128 @@
+// Shared helpers for the experiment-reproduction benches: the three graph
+// scales standing in for the paper's million / hundred-million / billion
+// node graphs (see DESIGN.md substitution table), the train+eval driver, and
+// aligned table printing.
+#ifndef ZOOMER_BENCH_BENCH_UTIL_H_
+#define ZOOMER_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/registry.h"
+#include "core/trainer.h"
+#include "data/movielens_generator.h"
+#include "data/taobao_generator.h"
+
+namespace zoomer {
+namespace bench {
+
+enum class GraphScale { kMillion, kHundredMillion, kBillion };
+
+inline const char* ScaleName(GraphScale s) {
+  switch (s) {
+    case GraphScale::kMillion: return "million-scale";
+    case GraphScale::kHundredMillion: return "hundred-million-scale";
+    case GraphScale::kBillion: return "billion-scale";
+  }
+  return "?";
+}
+
+/// Downsized stand-ins for the paper's three Taobao graphs; proportions of
+/// node types follow Sec. VII-A. Same planted-category mechanism at every
+/// scale, so relative comparisons transfer.
+inline data::TaobaoGeneratorOptions ScaleOptions(GraphScale s,
+                                                 uint64_t seed = 42) {
+  data::TaobaoGeneratorOptions opt;
+  opt.seed = seed;
+  // The information-overload regime the paper measures (Sec. IV): long,
+  // noisy histories with drifting focal interests and within-category taste,
+  // plus a share of same-category hard negatives so category matching alone
+  // cannot solve the task.
+  opt.p_click_in_category = 0.7;
+  opt.p_interest_drift = 0.25;
+  opt.max_user_interests = 5;
+  opt.hard_negative_fraction = 0.25;
+  opt.taste_tournament = 4;
+  switch (s) {
+    case GraphScale::kMillion:
+      opt.num_users = 400;
+      opt.num_queries = 400;
+      opt.num_items = 800;
+      opt.num_sessions = 3000;
+      opt.num_categories = 12;
+      break;
+    case GraphScale::kHundredMillion:
+      opt.num_users = 800;
+      opt.num_queries = 800;
+      opt.num_items = 1600;
+      opt.num_sessions = 6000;
+      opt.num_categories = 16;
+      break;
+    case GraphScale::kBillion:
+      opt.num_users = 1600;
+      opt.num_queries = 1600;
+      opt.num_items = 3200;
+      opt.num_sessions = 12000;
+      opt.num_categories = 20;
+      break;
+  }
+  return opt;
+}
+
+struct ModelRunResult {
+  std::string name;
+  double auc = 0.0;
+  double mae = 0.0;
+  double rmse = 0.0;
+  double hitrate[3] = {0, 0, 0};
+  double train_seconds = 0.0;
+};
+
+struct RunConfig {
+  baselines::ModelParams params;
+  core::TrainOptions train;
+  int eval_examples = 1200;
+  int hitrate_positives = 0;  // 0 = skip hitrate
+};
+
+/// Builds the named model, trains it, and evaluates CTR (+ optional
+/// hitrate) metrics.
+inline ModelRunResult TrainAndEval(const std::string& name,
+                                   const data::RetrievalDataset& ds,
+                                   const RunConfig& cfg) {
+  auto model = baselines::MakeModel(name, &ds.graph, cfg.params);
+  if (!model) {
+    std::fprintf(stderr, "unknown model %s\n", name.c_str());
+    return {name};
+  }
+  core::ZoomerTrainer trainer(model.get(), cfg.train);
+  auto train_result = trainer.Train(ds);
+  ModelRunResult out;
+  out.name = name;
+  out.train_seconds = train_result.total_seconds;
+  auto eval = trainer.Evaluate(ds, cfg.eval_examples);
+  out.auc = eval.auc;
+  out.mae = eval.mae;
+  out.rmse = eval.rmse;
+  if (cfg.hitrate_positives > 0) {
+    trainer.EvaluateHitRate(ds, &eval, cfg.hitrate_positives);
+    for (int k = 0; k < 3; ++k) out.hitrate[k] = eval.hitrate_at[k];
+  }
+  return out;
+}
+
+inline void PrintRule(int width) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+}  // namespace bench
+}  // namespace zoomer
+
+#endif  // ZOOMER_BENCH_BENCH_UTIL_H_

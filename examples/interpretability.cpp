@@ -1,0 +1,78 @@
+// Interpretability demo (paper Sec. VII-G): the same ego node receives
+// different edge-attention weight distributions under different focal
+// points, i.e., Zoomer assigns multiple focal-dependent representations to
+// one node.
+//
+//   $ ./examples/interpretability
+#include <cstdio>
+
+#include "core/trainer.h"
+#include "core/zoomer_model.h"
+#include "data/taobao_generator.h"
+
+int main() {
+  using namespace zoomer;
+
+  data::TaobaoGeneratorOptions gen;
+  gen.num_users = 200;
+  gen.num_queries = 100;
+  gen.num_items = 400;
+  gen.num_sessions = 1500;
+  gen.seed = 13;
+  auto ds = data::GenerateTaobaoDataset(gen);
+
+  core::ZoomerConfig cfg;
+  cfg.hidden_dim = 16;
+  cfg.sampler.k = 8;
+  core::ZoomerModel model(&ds.graph, cfg);
+  core::TrainOptions topt;
+  topt.epochs = 1;
+  topt.learning_rate = 0.01f;
+  topt.max_examples_per_epoch = 2000;
+  core::ZoomerTrainer trainer(&model, topt);
+  trainer.Train(ds);
+
+  // Pick an active user and two queries from different latent categories.
+  Rng rng(3);
+  graph::NodeId user = -1;
+  for (graph::NodeId v = 0; v < ds.graph.num_nodes(); ++v) {
+    if (ds.graph.node_type(v) == graph::NodeType::kUser &&
+        ds.graph.NeighborsOfType(v, graph::NodeType::kItem).size() >= 6) {
+      user = v;
+      break;
+    }
+  }
+  graph::NodeId q1 = -1, q2 = -1;
+  for (graph::NodeId v = 0; v < ds.graph.num_nodes(); ++v) {
+    if (ds.graph.node_type(v) != graph::NodeType::kQuery) continue;
+    if (q1 < 0) {
+      q1 = v;
+    } else if (ds.category[v] != ds.category[q1]) {
+      q2 = v;
+      break;
+    }
+  }
+  std::printf("ego user u%lld; focal queries q%lld (category %d) and q%lld "
+              "(category %d)\n\n",
+              static_cast<long long>(user), static_cast<long long>(q1),
+              ds.category[q1], static_cast<long long>(q2), ds.category[q2]);
+
+  for (auto q : {q1, q2}) {
+    auto records = model.ExplainEdgeWeights(user, user, q, &rng);
+    std::printf("focal query q%lld -> edge-level weights over the ROI:\n",
+                static_cast<long long>(q));
+    for (const auto& r : records) {
+      std::printf("  %-6s %-7lld cat=%2d  weight=%.3f  ",
+                  graph::NodeTypeName(r.type),
+                  static_cast<long long>(r.neighbor),
+                  ds.category[r.neighbor], r.weight);
+      const int bars = static_cast<int>(r.weight * 40);
+      for (int b = 0; b < bars; ++b) std::putchar('#');
+      std::putchar('\n');
+    }
+    std::printf("\n");
+  }
+  std::printf("Note how the weight mass moves when the focal query changes:\n"
+              "the ego node's representation is focal-dependent (Fig. 13).\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Quickstart: build a retrieval graph from session logs, train Zoomer for a
+// few epochs, and score a recommendation request.
+//
+//   $ ./examples/quickstart
+#include <cstdio>
+
+#include "core/trainer.h"
+#include "core/zoomer_model.h"
+#include "data/taobao_generator.h"
+
+int main() {
+  using namespace zoomer;
+
+  // 1. Generate a small synthetic Taobao-like workload: users with mixed
+  //    long-term interests posing queries and clicking items.
+  data::TaobaoGeneratorOptions gen;
+  gen.num_users = 200;
+  gen.num_queries = 100;
+  gen.num_items = 400;
+  gen.num_sessions = 1500;
+  gen.num_categories = 10;
+  gen.seed = 1;
+  auto ds = data::GenerateTaobaoDataset(gen);
+  std::printf("built %s\n", ds.graph.DebugString().c_str());
+  std::printf("train examples: %zu, test examples: %zu\n", ds.train.size(),
+              ds.test.size());
+
+  // 2. Configure Zoomer: focal-biased ROI sampling (top-10 per hop, 2 hops)
+  //    and all three attention levels.
+  core::ZoomerConfig cfg;
+  cfg.hidden_dim = 16;
+  cfg.sampler.k = 10;
+  cfg.sampler.num_hops = 2;
+  core::ZoomerModel model(&ds.graph, cfg);
+
+  // 3. Train with the focal cross-entropy loss (focal weight 2, Sec. VII-A).
+  core::TrainOptions topt;
+  topt.epochs = 2;
+  topt.learning_rate = 0.01f;
+  topt.max_examples_per_epoch = 3000;
+  topt.verbose = true;
+  core::ZoomerTrainer trainer(&model, topt);
+  trainer.Train(ds);
+
+  // 4. Evaluate.
+  auto eval = trainer.Evaluate(ds, 1000);
+  std::printf("test AUC %.3f  MAE %.3f  RMSE %.3f\n", eval.auc, eval.mae,
+              eval.rmse);
+
+  // 5. Score one request: the ego query gets a *focal-dependent* embedding,
+  //    so the same query scores differently for different users.
+  Rng rng(7);
+  const auto& ex = ds.test.front();
+  const float p =
+      1.0f / (1.0f + std::exp(-model.ScoreLogit(ex, &rng).item()));
+  std::printf("request (user=%lld, query=%lld, item=%lld): pCTR=%.3f "
+              "(label=%.0f)\n",
+              static_cast<long long>(ex.user),
+              static_cast<long long>(ex.query),
+              static_cast<long long>(ex.item), p, ex.label);
+  return 0;
+}

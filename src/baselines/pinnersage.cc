@@ -1,0 +1,195 @@
+#include "baselines/pinnersage.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace zoomer {
+namespace baselines {
+
+using graph::kNumNodeTypes;
+using graph::NodeId;
+using graph::NodeType;
+using tensor::Tensor;
+
+PinnerSageModel::PinnerSageModel(const graph::HeteroGraph* g,
+                                 const PinnerSageConfig& config)
+    : graph_(g), config_(config), init_rng_(config.seed) {
+  const int d = config_.hidden_dim;
+  slots_ = core::SlotEmbeddings(*g, d, &init_rng_);
+  for (int t = 0; t < kNumNodeTypes; ++t) {
+    type_map_[t] = tensor::Linear(d, d, &init_rng_);
+  }
+  uq_tower_ = tensor::Linear(2 * d, d, &init_rng_);
+  item_tower_ = tensor::Linear(d, d, &init_rng_);
+  logit_scale_ =
+      Tensor::Full(1, 1, config_.logit_scale_init, /*requires_grad=*/true);
+}
+
+Tensor PinnerSageModel::NodeEmbedding(NodeId node) const {
+  Tensor z = MeanRows(slots_.Lookup(*graph_, node));
+  const int t = static_cast<int>(graph_->node_type(node));
+  return Tanh(type_map_[t].Forward(z));
+}
+
+Tensor PinnerSageModel::ItemTower(NodeId item) const {
+  return Tanh(item_tower_.Forward(NodeEmbedding(item)));
+}
+
+void PinnerSageModel::OnEpochBegin(const data::RetrievalDataset& ds,
+                                   Rng* rng) {
+  if (history_.empty()) {
+    for (const auto& rec : ds.log) {
+      auto& h = history_[rec.user];
+      for (NodeId item : rec.clicks) {
+        if (static_cast<int>(h.size()) < config_.max_history) {
+          h.push_back(item);
+        }
+      }
+    }
+  }
+  // K-medoid-style clustering of each user's history in the current item
+  // embedding space: k-means assignment on cosine distance, medoid = item
+  // closest to its cluster mean.
+  medoids_.clear();
+  const int d = config_.hidden_dim;
+  for (const auto& [user, items] : history_) {
+    const int k =
+        std::min<int>(config_.max_clusters, static_cast<int>(items.size()));
+    if (k == 0) continue;
+    std::vector<std::vector<float>> emb(items.size());
+    for (size_t i = 0; i < items.size(); ++i) {
+      Tensor e = ItemTower(items[i]);
+      emb[i].assign(e.data(), e.data() + d);
+    }
+    // Init centers with evenly spaced history items; 3 Lloyd iterations.
+    std::vector<std::vector<float>> centers(k);
+    for (int c = 0; c < k; ++c) centers[c] = emb[c * items.size() / k];
+    std::vector<int> assign(items.size(), 0);
+    auto cos = [&](const std::vector<float>& a, const std::vector<float>& b) {
+      float dot = 0, na = 0, nb = 0;
+      for (int j = 0; j < d; ++j) {
+        dot += a[j] * b[j];
+        na += a[j] * a[j];
+        nb += b[j] * b[j];
+      }
+      return dot / (std::sqrt(na) * std::sqrt(nb) + 1e-9f);
+    };
+    for (int iter = 0; iter < 3; ++iter) {
+      for (size_t i = 0; i < items.size(); ++i) {
+        int best = 0;
+        float best_sim = -2.0f;
+        for (int c = 0; c < k; ++c) {
+          const float s = cos(emb[i], centers[c]);
+          if (s > best_sim) {
+            best_sim = s;
+            best = c;
+          }
+        }
+        assign[i] = best;
+      }
+      for (int c = 0; c < k; ++c) {
+        std::vector<float> mean(d, 0.0f);
+        int n = 0;
+        for (size_t i = 0; i < items.size(); ++i) {
+          if (assign[i] != c) continue;
+          for (int j = 0; j < d; ++j) mean[j] += emb[i][j];
+          ++n;
+        }
+        if (n > 0) {
+          for (auto& x : mean) x /= static_cast<float>(n);
+          centers[c] = mean;
+        }
+      }
+    }
+    // Medoid per cluster: history item closest to the center.
+    std::vector<NodeId> meds;
+    for (int c = 0; c < k; ++c) {
+      int best = -1;
+      float best_sim = -2.0f;
+      for (size_t i = 0; i < items.size(); ++i) {
+        if (assign[i] != c) continue;
+        const float s = cos(emb[i], centers[c]);
+        if (s > best_sim) {
+          best_sim = s;
+          best = static_cast<int>(i);
+        }
+      }
+      if (best >= 0) meds.push_back(items[best]);
+    }
+    medoids_[user] = std::move(meds);
+  }
+}
+
+const std::vector<NodeId>& PinnerSageModel::Medoids(NodeId user) const {
+  auto it = medoids_.find(user);
+  return it == medoids_.end() ? empty_ : it->second;
+}
+
+Tensor PinnerSageModel::UserQueryTower(NodeId user, NodeId query) const {
+  Tensor q = NodeEmbedding(query);
+  const auto& meds = Medoids(user);
+  Tensor rep;
+  if (meds.empty()) {
+    rep = NodeEmbedding(user);  // cold user: fall back to profile features
+  } else {
+    // Select the medoid most aligned with the query (hard routing; gradient
+    // flows through the selected medoid's item tower, as in max-pooling).
+    int best = 0;
+    float best_sim = -2.0f;
+    const int d = config_.hidden_dim;
+    Tensor qd = q.Detach();
+    for (size_t m = 0; m < meds.size(); ++m) {
+      Tensor e = ItemTower(meds[m]);
+      float dot = 0, na = 0, nb = 0;
+      for (int j = 0; j < d; ++j) {
+        dot += e.at(0, j) * qd.at(0, j);
+        na += e.at(0, j) * e.at(0, j);
+        nb += qd.at(0, j) * qd.at(0, j);
+      }
+      const float s = dot / (std::sqrt(na) * std::sqrt(nb) + 1e-9f);
+      if (s > best_sim) {
+        best_sim = s;
+        best = static_cast<int>(m);
+      }
+    }
+    rep = ItemTower(meds[best]);
+  }
+  return Tanh(uq_tower_.Forward(ConcatCols(rep, q)));
+}
+
+Tensor PinnerSageModel::ScoreLogit(const data::Example& ex, Rng* rng) {
+  Tensor uq = UserQueryTower(ex.user, ex.query);
+  Tensor it = ItemTower(ex.item);
+  return Mul(RowwiseCosine(uq, it), logit_scale_);
+}
+
+std::vector<float> PinnerSageModel::UserQueryEmbeddingInference(NodeId user,
+                                                                NodeId query,
+                                                                Rng* rng) {
+  Tensor uq = UserQueryTower(user, query);
+  return {uq.data(), uq.data() + uq.size()};
+}
+
+std::vector<float> PinnerSageModel::ItemEmbeddingInference(NodeId item) {
+  Tensor it = ItemTower(item);
+  return {it.data(), it.data() + it.size()};
+}
+
+std::vector<Tensor> PinnerSageModel::Parameters() const {
+  std::vector<Tensor> out = slots_.Parameters();
+  for (const auto& l : type_map_) {
+    auto p = l.Parameters();
+    out.insert(out.end(), p.begin(), p.end());
+  }
+  auto pu = uq_tower_.Parameters();
+  out.insert(out.end(), pu.begin(), pu.end());
+  auto pi = item_tower_.Parameters();
+  out.insert(out.end(), pi.begin(), pi.end());
+  out.push_back(logit_scale_);
+  return out;
+}
+
+}  // namespace baselines
+}  // namespace zoomer

@@ -1,0 +1,74 @@
+// PinnerSage (Pal et al., KDD'20): multi-embedding user representation.
+// Each user's clicked items (from the training log) are clustered in the
+// item-embedding space; the user is represented by the cluster *medoids*
+// (actual item nodes, keeping embeddings trainable). At request time the
+// medoid most relevant to the query is selected and merged with the query
+// embedding in the user-query tower. Medoids are re-clustered at the start
+// of each training epoch as item embeddings move.
+#ifndef ZOOMER_BASELINES_PINNERSAGE_H_
+#define ZOOMER_BASELINES_PINNERSAGE_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "core/model_interface.h"
+#include "core/zoomer_model.h"  // SlotEmbeddings
+#include "tensor/nn.h"
+
+namespace zoomer {
+namespace baselines {
+
+struct PinnerSageConfig {
+  int hidden_dim = 16;
+  int max_clusters = 3;
+  /// Cap on history items considered per user.
+  int max_history = 50;
+  float logit_scale_init = 5.0f;
+  uint64_t seed = 1;
+};
+
+class PinnerSageModel : public core::ScoringModel {
+ public:
+  PinnerSageModel(const graph::HeteroGraph* g, const PinnerSageConfig& config);
+
+  std::string name() const override { return "PinnerSage"; }
+  int embedding_dim() const override { return config_.hidden_dim; }
+
+  tensor::Tensor ScoreLogit(const data::Example& ex, Rng* rng) override;
+  std::vector<tensor::Tensor> Parameters() const override;
+  std::vector<float> UserQueryEmbeddingInference(graph::NodeId user,
+                                                 graph::NodeId query,
+                                                 Rng* rng) override;
+  std::vector<float> ItemEmbeddingInference(graph::NodeId item) override;
+
+  /// Rebuilds per-user histories (first call) and re-clusters medoids under
+  /// the current item embeddings.
+  void OnEpochBegin(const data::RetrievalDataset& ds, Rng* rng) override;
+
+  /// Medoid item ids of a user (empty if no history).
+  const std::vector<graph::NodeId>& Medoids(graph::NodeId user) const;
+
+ private:
+  tensor::Tensor NodeEmbedding(graph::NodeId node) const;
+  tensor::Tensor ItemTower(graph::NodeId item) const;
+  tensor::Tensor UserQueryTower(graph::NodeId user, graph::NodeId query) const;
+
+  const graph::HeteroGraph* graph_;
+  PinnerSageConfig config_;
+  mutable Rng init_rng_;
+
+  core::SlotEmbeddings slots_;
+  std::array<tensor::Linear, graph::kNumNodeTypes> type_map_;
+  tensor::Linear uq_tower_;
+  tensor::Linear item_tower_;
+  tensor::Tensor logit_scale_;
+
+  std::unordered_map<graph::NodeId, std::vector<graph::NodeId>> history_;
+  std::unordered_map<graph::NodeId, std::vector<graph::NodeId>> medoids_;
+  std::vector<graph::NodeId> empty_;
+};
+
+}  // namespace baselines
+}  // namespace zoomer
+
+#endif  // ZOOMER_BASELINES_PINNERSAGE_H_

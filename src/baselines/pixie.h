@@ -1,0 +1,69 @@
+// Pixie (Eksombatchai et al., WWW'18): real-time recommendation by biased
+// random walks with restarts from the query pins — here the {user, query}
+// pair — with the multi-pin boosting rule score(i) = (sum_p sqrt(c_p(i)))^2.
+// Pixie is non-learned: no parameters, no gradient; its CTR "logit" is a
+// monotone transform of the walk visit count (AUC-invariant).
+#ifndef ZOOMER_BASELINES_PIXIE_H_
+#define ZOOMER_BASELINES_PIXIE_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "core/model_interface.h"
+#include "graph/hetero_graph.h"
+
+namespace zoomer {
+namespace baselines {
+
+struct PixieConfig {
+  /// Total walk steps split between the two pins (user, query).
+  int total_steps = 2000;
+  /// Restart probability back to the pin at each step.
+  double restart_prob = 0.35;
+  uint64_t seed = 1;
+};
+
+class PixieModel : public core::ScoringModel {
+ public:
+  PixieModel(const graph::HeteroGraph* g, const PixieConfig& config);
+
+  std::string name() const override { return "Pixie"; }
+  int embedding_dim() const override { return 1; }
+  bool has_twin_tower() const override { return false; }
+
+  tensor::Tensor ScoreLogit(const data::Example& ex, Rng* rng) override;
+  std::vector<tensor::Tensor> Parameters() const override { return {}; }
+
+  std::vector<float> UserQueryEmbeddingInference(graph::NodeId, graph::NodeId,
+                                                 Rng*) override {
+    return {0.0f};
+  }
+  std::vector<float> ItemEmbeddingInference(graph::NodeId) override {
+    return {0.0f};
+  }
+
+  void ScorePool(graph::NodeId user, graph::NodeId query,
+                 const std::vector<graph::NodeId>& pool, Rng* rng,
+                 std::vector<float>* scores) override;
+
+  /// Raw multi-pin-boosted visit score of one item for the given request.
+  double WalkScore(graph::NodeId user, graph::NodeId query,
+                   graph::NodeId item, Rng* rng);
+
+ private:
+  /// Item-node visit counts of walks restarted at `pin`.
+  const std::unordered_map<graph::NodeId, int>& CountsFor(graph::NodeId pin,
+                                                          Rng* rng);
+
+  const graph::HeteroGraph* graph_;
+  PixieConfig config_;
+  // Per-pin visit-count cache: walks are deterministic per pin (seeded by
+  // pin id), so counts are reused across examples.
+  std::unordered_map<graph::NodeId, std::unordered_map<graph::NodeId, int>>
+      cache_;
+};
+
+}  // namespace baselines
+}  // namespace zoomer
+
+#endif  // ZOOMER_BASELINES_PIXIE_H_

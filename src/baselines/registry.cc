@@ -1,0 +1,90 @@
+#include "baselines/registry.h"
+
+#include "baselines/gnn_baselines.h"
+#include "baselines/pinnersage.h"
+#include "baselines/pixie.h"
+#include "baselines/session_baselines.h"
+#include "core/zoomer_model.h"
+
+namespace zoomer {
+namespace baselines {
+
+std::unique_ptr<core::ScoringModel> MakeModel(const std::string& name,
+                                              const graph::HeteroGraph* g,
+                                              const ModelParams& p) {
+  // Zoomer and its ablation variants.
+  if (name == "Zoomer" || name == "Zoomer-FE" || name == "Zoomer-FS" ||
+      name == "Zoomer-ES" || name == "GCN") {
+    core::ZoomerConfig cfg;
+    cfg.hidden_dim = p.hidden_dim;
+    cfg.sampler.k = p.sample_k;
+    cfg.sampler.num_hops = p.num_hops;
+    cfg.seed = p.seed;
+    if (name == "Zoomer-FE") cfg.use_semantic_attention = false;
+    if (name == "Zoomer-FS") cfg.use_edge_attention = false;
+    if (name == "Zoomer-ES") cfg.use_feature_projection = false;
+    if (name == "GCN") {
+      cfg.use_feature_projection = false;
+      cfg.use_edge_attention = false;
+      cfg.use_semantic_attention = false;
+      // Plain GCN also loses the focal-biased sampler (uniform expansion).
+      cfg.sampler.kind = core::SamplerKind::kUniform;
+    }
+    return std::make_unique<core::ZoomerModel>(g, cfg);
+  }
+
+  if (name == "GraphSage" || name == "GAT" || name == "HAN" ||
+      name == "PinSage") {
+    GnnBaselineConfig cfg;
+    if (name == "GraphSage") {
+      cfg = GnnBaselineConfig::GraphSage(p.hidden_dim, p.sample_k, p.seed);
+    } else if (name == "GAT") {
+      cfg = GnnBaselineConfig::Gat(p.hidden_dim, p.sample_k, p.seed);
+    } else if (name == "HAN") {
+      cfg = GnnBaselineConfig::Han(p.hidden_dim, p.sample_k, p.seed);
+    } else {
+      cfg = GnnBaselineConfig::PinSage(p.hidden_dim, p.sample_k, p.seed);
+    }
+    cfg.sampler.num_hops = p.num_hops;
+    return std::make_unique<GnnBaselineModel>(g, cfg);
+  }
+  if (name == "PinnerSage") {
+    PinnerSageConfig cfg;
+    cfg.hidden_dim = p.hidden_dim;
+    cfg.seed = p.seed;
+    return std::make_unique<PinnerSageModel>(g, cfg);
+  }
+  if (name == "Pixie") {
+    PixieConfig cfg;
+    cfg.seed = p.seed;
+    return std::make_unique<PixieModel>(g, cfg);
+  }
+
+  SessionBaselineConfig scfg;
+  scfg.hidden_dim = p.hidden_dim;
+  scfg.seed = p.seed;
+  if (name == "STAMP") {
+    scfg.kind = SessionModelKind::kStamp;
+    return std::make_unique<SessionBaselineModel>(g, scfg);
+  }
+  if (name == "GCE-GNN") {
+    scfg.kind = SessionModelKind::kGceGnn;
+    return std::make_unique<SessionBaselineModel>(g, scfg);
+  }
+  if (name == "FGNN") {
+    scfg.kind = SessionModelKind::kFgnn;
+    return std::make_unique<SessionBaselineModel>(g, scfg);
+  }
+  if (name == "MCCF") {
+    scfg.kind = SessionModelKind::kMccf;
+    return std::make_unique<SessionBaselineModel>(g, scfg);
+  }
+  return nullptr;
+}
+
+std::vector<std::string> SamplerBaselineNames() {
+  return {"Zoomer", "GraphSage", "PinSage", "PinnerSage", "Pixie"};
+}
+
+}  // namespace baselines
+}  // namespace zoomer

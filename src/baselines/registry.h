@@ -1,0 +1,38 @@
+// Name-based factory for every model in the paper's evaluation (Zoomer, the
+// ablation variants, and all nine baselines), so benches construct their
+// model lists declaratively.
+#ifndef ZOOMER_BASELINES_REGISTRY_H_
+#define ZOOMER_BASELINES_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/model_interface.h"
+#include "graph/hetero_graph.h"
+
+namespace zoomer {
+namespace baselines {
+
+struct ModelParams {
+  int hidden_dim = 16;
+  int sample_k = 10;   // neighbors per hop (graph models)
+  int num_hops = 2;    // 2 for Taobao graphs, 1 for MovieLens (paper VII-A)
+  uint64_t seed = 1;
+};
+
+/// Known names: "Zoomer", "Zoomer-FE", "Zoomer-FS", "Zoomer-ES", "GCN",
+/// "GraphSage", "GAT", "HAN", "PinSage", "PinnerSage", "Pixie", "STAMP",
+/// "GCE-GNN", "FGNN", "MCCF". Returns nullptr for unknown names.
+std::unique_ptr<core::ScoringModel> MakeModel(const std::string& name,
+                                              const graph::HeteroGraph* g,
+                                              const ModelParams& params);
+
+/// All model names with self-developed graph downscaling samplers
+/// (paper Sec. VII-E compares these for efficiency).
+std::vector<std::string> SamplerBaselineNames();
+
+}  // namespace baselines
+}  // namespace zoomer
+
+#endif  // ZOOMER_BASELINES_REGISTRY_H_

@@ -1,0 +1,67 @@
+// Minimal leveled logging. Usage:
+//   ZLOG(INFO) << "trained " << n << " steps";
+// Levels below the global threshold are compiled to a no-op stream.
+// ZCHECK(cond) aborts with a message when the condition fails; it is used
+// for programmer errors (not data errors, which return Status).
+#ifndef ZOOMER_COMMON_LOGGING_H_
+#define ZOOMER_COMMON_LOGGING_H_
+
+#include <atomic>
+#include <cstdlib>
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace zoomer {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Global log threshold; messages below it are discarded.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line, bool fatal = false);
+  ~LogMessage();
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  bool fatal_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace zoomer
+
+#define ZLOG_DEBUG \
+  ::zoomer::internal::LogMessage(::zoomer::LogLevel::kDebug, __FILE__, __LINE__).stream()
+#define ZLOG_INFO \
+  ::zoomer::internal::LogMessage(::zoomer::LogLevel::kInfo, __FILE__, __LINE__).stream()
+#define ZLOG_WARNING \
+  ::zoomer::internal::LogMessage(::zoomer::LogLevel::kWarning, __FILE__, __LINE__).stream()
+#define ZLOG_ERROR \
+  ::zoomer::internal::LogMessage(::zoomer::LogLevel::kError, __FILE__, __LINE__).stream()
+#define ZLOG(level) ZLOG_##level
+
+#define ZCHECK(cond)                                                         \
+  if (!(cond))                                                               \
+  ::zoomer::internal::LogMessage(::zoomer::LogLevel::kError, __FILE__,       \
+                                 __LINE__, /*fatal=*/true)                   \
+          .stream()                                                          \
+      << "Check failed: " #cond " "
+
+#define ZCHECK_EQ(a, b) ZCHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define ZCHECK_NE(a, b) ZCHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+#define ZCHECK_LT(a, b) ZCHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define ZCHECK_LE(a, b) ZCHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define ZCHECK_GT(a, b) ZCHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define ZCHECK_GE(a, b) ZCHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+
+#endif  // ZOOMER_COMMON_LOGGING_H_

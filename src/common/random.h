@@ -1,0 +1,122 @@
+// Deterministic, fast pseudo-random generation used throughout the project.
+// All stochastic components (samplers, generators, initializers) take an
+// explicit Rng so experiments are reproducible from a single seed.
+#ifndef ZOOMER_COMMON_RANDOM_H_
+#define ZOOMER_COMMON_RANDOM_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace zoomer {
+
+/// xoshiro256** PRNG seeded through SplitMix64. Not cryptographic; chosen for
+/// speed and statistical quality in simulation workloads.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    // SplitMix64 expansion of the seed into the 4-word state.
+    uint64_t x = seed;
+    for (int i = 0; i < 4; ++i) {
+      x += 0x9E3779B97F4A7C15ull;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      state_[i] = z ^ (z >> 31);
+    }
+  }
+
+  /// Uniform 64-bit value.
+  uint64_t NextUint64() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) { return NextUint64() % n; }
+
+  /// Uniform integer in [lo, hi].
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double UniformDouble() {
+    return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform float in [0, 1).
+  float UniformFloat() { return static_cast<float>(UniformDouble()); }
+
+  /// Standard normal via Box-Muller.
+  double Normal() {
+    if (has_cached_) {
+      has_cached_ = false;
+      return cached_;
+    }
+    double u1 = 0.0;
+    while (u1 <= 1e-12) u1 = UniformDouble();
+    double u2 = UniformDouble();
+    double r = std::sqrt(-2.0 * std::log(u1));
+    double theta = 2.0 * M_PI * u2;
+    cached_ = r * std::sin(theta);
+    has_cached_ = true;
+    return r * std::cos(theta);
+  }
+
+  /// Bernoulli draw with probability p of true.
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+  /// Samples an index from unnormalized non-negative weights (linear scan).
+  /// Returns weights.size()-1 on degenerate input (all-zero weights).
+  size_t Categorical(const std::vector<double>& weights) {
+    double total = 0.0;
+    for (double w : weights) total += w;
+    if (total <= 0.0) return weights.empty() ? 0 : weights.size() - 1;
+    double r = UniformDouble() * total;
+    for (size_t i = 0; i < weights.size(); ++i) {
+      r -= weights[i];
+      if (r <= 0.0) return i;
+    }
+    return weights.size() - 1;
+  }
+
+  /// Geometric-ish Zipf sampler over [0, n) with exponent s (approximate,
+  /// via inverse-CDF on precomputed harmonic weights is left to callers;
+  /// this uses rejection-free power-law approximation).
+  size_t Zipf(size_t n, double s) {
+    // Inverse transform on continuous power-law, clamped to [0, n).
+    double u = UniformDouble();
+    double x = std::pow(1.0 - u, -1.0 / (s > 1.0 ? s - 1.0 : 0.5)) - 1.0;
+    size_t idx = static_cast<size_t>(x);
+    return idx >= n ? Uniform(n) : idx;
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      std::swap((*v)[i - 1], (*v)[Uniform(i)]);
+    }
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4];
+  bool has_cached_ = false;
+  double cached_ = 0.0;
+};
+
+}  // namespace zoomer
+
+#endif  // ZOOMER_COMMON_RANDOM_H_

@@ -1,0 +1,111 @@
+// Status: lightweight error propagation in the style of RocksDB/Abseil.
+// Functions that can fail return a Status (or StatusOr<T>); Status::OK() is
+// the success value. Statuses carry a code and a human-readable message.
+#ifndef ZOOMER_COMMON_STATUS_H_
+#define ZOOMER_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace zoomer {
+
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kOutOfRange = 3,
+  kFailedPrecondition = 4,
+  kInternal = 5,
+  kUnavailable = 6,
+  kAlreadyExists = 7,
+};
+
+/// A Status encapsulates the result of an operation: success, or an error
+/// code plus message. Copyable and cheap in the success case.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return CodeName(code_) + ": " + msg_;
+  }
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+
+ private:
+  static std::string CodeName(StatusCode code) {
+    switch (code) {
+      case StatusCode::kOk: return "OK";
+      case StatusCode::kInvalidArgument: return "InvalidArgument";
+      case StatusCode::kNotFound: return "NotFound";
+      case StatusCode::kOutOfRange: return "OutOfRange";
+      case StatusCode::kFailedPrecondition: return "FailedPrecondition";
+      case StatusCode::kInternal: return "Internal";
+      case StatusCode::kUnavailable: return "Unavailable";
+      case StatusCode::kAlreadyExists: return "AlreadyExists";
+    }
+    return "Unknown";
+  }
+
+  StatusCode code_;
+  std::string msg_;
+};
+
+/// StatusOr<T>: either a value or an error Status. Check ok() before value().
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(T value) : status_(Status::OK()), value_(std::move(value)) {}
+  StatusOr(Status status) : status_(std::move(status)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+  const T& value() const& { return value_; }
+  T& value() & { return value_; }
+  T&& value() && { return std::move(value_); }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+// Propagates a non-OK status to the caller.
+#define ZOOMER_RETURN_IF_ERROR(expr)            \
+  do {                                          \
+    ::zoomer::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                  \
+  } while (0)
+
+}  // namespace zoomer
+
+#endif  // ZOOMER_COMMON_STATUS_H_

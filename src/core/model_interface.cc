@@ -1,0 +1,29 @@
+#include "core/model_interface.h"
+
+#include <cmath>
+
+namespace zoomer {
+namespace core {
+
+void ScoringModel::ScorePool(graph::NodeId user, graph::NodeId query,
+                             const std::vector<graph::NodeId>& pool, Rng* rng,
+                             std::vector<float>* scores) {
+  const auto uq = UserQueryEmbeddingInference(user, query, rng);
+  const int d = embedding_dim();
+  scores->resize(pool.size());
+  float nu = 0.0f;
+  for (int k = 0; k < d; ++k) nu += uq[k] * uq[k];
+  nu = std::sqrt(nu) + 1e-9f;
+  for (size_t i = 0; i < pool.size(); ++i) {
+    const auto it = ItemEmbeddingInference(pool[i]);
+    float dot = 0.0f, ni = 0.0f;
+    for (int k = 0; k < d; ++k) {
+      dot += uq[k] * it[k];
+      ni += it[k] * it[k];
+    }
+    (*scores)[i] = dot / (nu * (std::sqrt(ni) + 1e-9f));
+  }
+}
+
+}  // namespace core
+}  // namespace zoomer

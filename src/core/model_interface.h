@@ -1,0 +1,60 @@
+// Common interface implemented by ZoomerModel and every baseline
+// recommender, so a single trainer/evaluator drives all offline experiments.
+#ifndef ZOOMER_CORE_MODEL_INTERFACE_H_
+#define ZOOMER_CORE_MODEL_INTERFACE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "data/dataset.h"
+#include "tensor/tensor.h"
+
+namespace zoomer {
+namespace core {
+
+/// A twin-tower-style CTR scoring model. Differentiable models return a
+/// logit tensor attached to their parameter graph; non-learned models
+/// (e.g., Pixie) return a constant tensor and an empty parameter list.
+class ScoringModel {
+ public:
+  virtual ~ScoringModel() = default;
+
+  virtual std::string name() const = 0;
+
+  /// CTR logit for one example (1x1 tensor; may require grad).
+  virtual tensor::Tensor ScoreLogit(const data::Example& ex, Rng* rng) = 0;
+
+  /// Trainable parameters (empty for non-learned models).
+  virtual std::vector<tensor::Tensor> Parameters() const = 0;
+
+  /// Retrieval embeddings for HitRate@K / ANN serving. Both sides share
+  /// embedding_dim(). Models without a twin-tower decomposition may instead
+  /// override ScorePool.
+  virtual int embedding_dim() const = 0;
+  virtual std::vector<float> UserQueryEmbeddingInference(graph::NodeId user,
+                                                         graph::NodeId query,
+                                                         Rng* rng) = 0;
+  virtual std::vector<float> ItemEmbeddingInference(graph::NodeId item) = 0;
+
+  /// Scores a pool of candidate items for one (user, query) request. The
+  /// default computes cosine between the tower embeddings; non-twin-tower
+  /// models (Pixie) override with their own scoring.
+  virtual void ScorePool(graph::NodeId user, graph::NodeId query,
+                         const std::vector<graph::NodeId>& pool, Rng* rng,
+                         std::vector<float>* scores);
+
+  /// Twin-tower models let the evaluator precompute item embeddings once;
+  /// models without that decomposition (e.g., Pixie) return false and are
+  /// scored through ScorePool instead.
+  virtual bool has_twin_tower() const { return true; }
+
+  /// Hook invoked once per training epoch (e.g., PinnerSage re-clusters its
+  /// user medoids). Default: no-op.
+  virtual void OnEpochBegin(const data::RetrievalDataset& ds, Rng* rng) {}
+};
+
+}  // namespace core
+}  // namespace zoomer
+
+#endif  // ZOOMER_CORE_MODEL_INTERFACE_H_

@@ -1,0 +1,61 @@
+#include "core/relevance.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace zoomer {
+namespace core {
+
+namespace {
+inline void Accumulate(const float* a, const float* b, int dim, double* dot,
+                       double* na, double* nb) {
+  double d = 0.0, x = 0.0, y = 0.0;
+  for (int i = 0; i < dim; ++i) {
+    d += static_cast<double>(a[i]) * b[i];
+    x += static_cast<double>(a[i]) * a[i];
+    y += static_cast<double>(b[i]) * b[i];
+  }
+  *dot = d;
+  *na = x;
+  *nb = y;
+}
+}  // namespace
+
+double TanimotoScorer::Score(const float* focal, const float* candidate,
+                             int dim) const {
+  double dot, na, nb;
+  Accumulate(focal, candidate, dim, &dot, &na, &nb);
+  const double denom = na + nb - dot;
+  if (denom <= 1e-12) return 0.0;
+  return dot / denom;
+}
+
+double CosineScorer::Score(const float* focal, const float* candidate,
+                           int dim) const {
+  double dot, na, nb;
+  Accumulate(focal, candidate, dim, &dot, &na, &nb);
+  const double denom = std::sqrt(na) * std::sqrt(nb);
+  if (denom <= 1e-12) return 0.0;
+  return dot / denom;
+}
+
+double DotScorer::Score(const float* focal, const float* candidate,
+                        int dim) const {
+  double dot, na, nb;
+  Accumulate(focal, candidate, dim, &dot, &na, &nb);
+  return dot;
+}
+
+std::unique_ptr<RelevanceScorer> MakeRelevanceScorer(RelevanceKind kind) {
+  switch (kind) {
+    case RelevanceKind::kTanimoto: return std::make_unique<TanimotoScorer>();
+    case RelevanceKind::kCosine: return std::make_unique<CosineScorer>();
+    case RelevanceKind::kDot: return std::make_unique<DotScorer>();
+  }
+  ZCHECK(false) << "unknown relevance kind";
+  return nullptr;
+}
+
+}  // namespace core
+}  // namespace zoomer

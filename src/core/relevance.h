@@ -1,0 +1,58 @@
+// Focal-relevance scoring (paper eq. 5). The default is the extended-Jaccard
+// (Tanimoto) coefficient the paper specifies:
+//     e_ij = Fc·Fj / (|Fc|^2 + |Fj|^2 - Fc·Fj)
+// The paper notes eq. 5 "can be replaced with other relevance score equations
+// like cosine distance", so the scorer is pluggable; cosine and dot-product
+// variants are provided and ablated in bench_micro_kernels.
+#ifndef ZOOMER_CORE_RELEVANCE_H_
+#define ZOOMER_CORE_RELEVANCE_H_
+
+#include <memory>
+#include <string>
+
+namespace zoomer {
+namespace core {
+
+enum class RelevanceKind { kTanimoto, kCosine, kDot };
+
+/// Stateless scorer between a focal vector and a candidate node's content
+/// vector, both of length dim. Higher = more relevant.
+class RelevanceScorer {
+ public:
+  virtual ~RelevanceScorer() = default;
+  virtual double Score(const float* focal, const float* candidate,
+                       int dim) const = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Factory for the built-in scorers.
+std::unique_ptr<RelevanceScorer> MakeRelevanceScorer(RelevanceKind kind);
+
+/// Extended Jaccard / Tanimoto similarity (paper eq. 5).
+class TanimotoScorer : public RelevanceScorer {
+ public:
+  double Score(const float* focal, const float* candidate,
+               int dim) const override;
+  std::string name() const override { return "tanimoto"; }
+};
+
+/// Cosine similarity.
+class CosineScorer : public RelevanceScorer {
+ public:
+  double Score(const float* focal, const float* candidate,
+               int dim) const override;
+  std::string name() const override { return "cosine"; }
+};
+
+/// Raw dot product.
+class DotScorer : public RelevanceScorer {
+ public:
+  double Score(const float* focal, const float* candidate,
+               int dim) const override;
+  std::string name() const override { return "dot"; }
+};
+
+}  // namespace core
+}  // namespace zoomer
+
+#endif  // ZOOMER_CORE_RELEVANCE_H_

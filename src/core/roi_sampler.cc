@@ -1,0 +1,205 @@
+#include "core/roi_sampler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace zoomer {
+namespace core {
+
+using graph::HeteroGraph;
+using graph::NodeId;
+
+RoiSampler::RoiSampler(RoiSamplerOptions options)
+    : options_(options), scorer_(MakeRelevanceScorer(options.relevance)) {
+  ZCHECK_GT(options_.k, 0);
+  ZCHECK_GE(options_.num_hops, 1);
+}
+
+std::vector<float> RoiSampler::FocalVector(
+    const HeteroGraph& g, const std::vector<NodeId>& focal) const {
+  ZCHECK(!focal.empty());
+  std::vector<float> fc(g.content_dim(), 0.0f);
+  for (NodeId f : focal) {
+    const float* c = g.content(f);
+    for (int d = 0; d < g.content_dim(); ++d) fc[d] += c[d];
+  }
+  return fc;
+}
+
+double RoiSampler::Relevance(const HeteroGraph& g,
+                             const std::vector<float>& fc,
+                             NodeId candidate) const {
+  return scorer_->Score(fc.data(), g.content(candidate), g.content_dim());
+}
+
+void RoiSampler::SelectChildren(const HeteroGraph& g, NodeId node,
+                                NodeId parent, const std::vector<float>& fc,
+                                int hop, Rng* rng,
+                                std::vector<RoiNode>* out) const {
+  const int k_at_hop = std::max(
+      1, static_cast<int>(options_.k *
+                          std::pow(options_.hop_k_decay, hop - 1)));
+  const int64_t deg = g.degree(node);
+  if (deg == 0) return;
+  auto ids = g.neighbor_ids(node);
+  auto weights = g.neighbor_weights(node);
+  auto kinds = g.neighbor_kinds(node);
+
+  auto emit = [&](int64_t pos, double relevance) {
+    RoiNode child;
+    child.id = ids[pos];
+    child.edge_weight = weights[pos];
+    child.kind = kinds[pos];
+    child.relevance = relevance;
+    out->push_back(child);
+  };
+
+  switch (options_.kind) {
+    case SamplerKind::kFocalTopK: {
+      // Score every neighbor against the focal vector (paper eq. 5) and keep
+      // the top-k. partial_sort keeps this O(deg log k).
+      std::vector<std::pair<double, int64_t>> scored;
+      scored.reserve(deg);
+      for (int64_t p = 0; p < deg; ++p) {
+        if (options_.exclude_parent && ids[p] == parent) continue;
+        scored.emplace_back(
+            scorer_->Score(fc.data(), g.content(ids[p]), g.content_dim()), p);
+      }
+      const int take = std::min<int>(k_at_hop, scored.size());
+      std::partial_sort(scored.begin(), scored.begin() + take, scored.end(),
+                        [](const auto& a, const auto& b) {
+                          if (a.first != b.first) return a.first > b.first;
+                          return a.second < b.second;  // deterministic tiebreak
+                        });
+      for (int i = 0; i < take; ++i) emit(scored[i].second, scored[i].first);
+      break;
+    }
+    case SamplerKind::kUniform: {
+      // Uniform without replacement over positions.
+      std::vector<int64_t> pos(deg);
+      std::iota(pos.begin(), pos.end(), int64_t{0});
+      rng->Shuffle(&pos);
+      int taken = 0;
+      for (int64_t p : pos) {
+        if (taken >= k_at_hop) break;
+        if (options_.exclude_parent && ids[p] == parent) continue;
+        emit(p, 0.0);
+        ++taken;
+      }
+      break;
+    }
+    case SamplerKind::kRandomWalk: {
+      // PinSage-style importance sampling: run short random walks from the
+      // node (alias-table transitions) and keep the k most-visited direct
+      // neighbors, with visit counts as importance scores.
+      std::vector<int> visits(deg, 0);
+      for (int w = 0; w < options_.walk_count; ++w) {
+        NodeId cur = node;
+        for (int step = 0; step < options_.walk_length; ++step) {
+          const NodeId nxt = g.SampleNeighbor(cur, rng);
+          if (nxt < 0) break;
+          if (cur == node) {
+            // Count which direct neighbor this walk left through.
+            for (int64_t p = 0; p < deg; ++p) {
+              if (ids[p] == nxt) {
+                ++visits[p];
+                break;
+              }
+            }
+          }
+          cur = nxt;
+        }
+      }
+      std::vector<std::pair<double, int64_t>> scored;
+      scored.reserve(deg);
+      for (int64_t p = 0; p < deg; ++p) {
+        if (options_.exclude_parent && ids[p] == parent) continue;
+        if (visits[p] == 0) continue;
+        scored.emplace_back(static_cast<double>(visits[p]), p);
+      }
+      const int take = std::min<int>(k_at_hop, scored.size());
+      std::partial_sort(scored.begin(), scored.begin() + take, scored.end(),
+                        [](const auto& a, const auto& b) {
+                          if (a.first != b.first) return a.first > b.first;
+                          return a.second < b.second;
+                        });
+      for (int i = 0; i < take; ++i) emit(scored[i].second, scored[i].first);
+      break;
+    }
+    case SamplerKind::kWeightedEdge: {
+      // k alias-table draws by edge weight (with replacement, deduplicated).
+      std::vector<int64_t> seen;
+      for (int attempt = 0; attempt < k_at_hop * 4 &&
+                            static_cast<int>(seen.size()) < k_at_hop;
+           ++attempt) {
+        const NodeId nb = g.SampleNeighbor(node, rng);
+        if (nb < 0) break;
+        if (options_.exclude_parent && nb == parent) continue;
+        // Locate position for weight/kind metadata (first match).
+        int64_t p = -1;
+        for (int64_t q = 0; q < deg; ++q) {
+          if (ids[q] == nb) {
+            p = q;
+            break;
+          }
+        }
+        if (p < 0) continue;
+        if (std::find(seen.begin(), seen.end(), p) != seen.end()) continue;
+        seen.push_back(p);
+        emit(p, weights[p]);
+      }
+      break;
+    }
+  }
+}
+
+RoiSubgraph RoiSampler::Sample(const HeteroGraph& g, NodeId ego,
+                               const std::vector<float>& fc, Rng* rng) const {
+  ZCHECK(ego >= 0 && ego < g.num_nodes());
+  ZCHECK_EQ(static_cast<int>(fc.size()), g.content_dim());
+  RoiSubgraph roi;
+  RoiNode root;
+  root.id = ego;
+  root.depth = 0;
+  root.parent = -1;
+  root.relevance = scorer_->Score(fc.data(), g.content(ego), g.content_dim());
+  roi.nodes.push_back(root);
+
+  // Breadth-first expansion: children of frontier nodes, one hop at a time.
+  size_t frontier_begin = 0;
+  for (int hop = 1; hop <= options_.num_hops; ++hop) {
+    const size_t frontier_end = roi.nodes.size();
+    for (size_t fi = frontier_begin; fi < frontier_end; ++fi) {
+      if (roi.size() >= options_.max_nodes) break;
+      std::vector<RoiNode> children;
+      const NodeId parent_of_node =
+          roi.nodes[fi].parent >= 0 ? roi.nodes[roi.nodes[fi].parent].id : -1;
+      SelectChildren(g, roi.nodes[fi].id, parent_of_node, fc, hop, rng,
+                     &children);
+      for (auto& c : children) {
+        if (roi.size() >= options_.max_nodes) break;
+        c.depth = hop;
+        c.parent = static_cast<int>(fi);
+        roi.nodes.push_back(c);
+      }
+    }
+    frontier_begin = frontier_end;
+  }
+
+  // Child ranges: nodes are in BFS order and children of one parent are
+  // contiguous by construction.
+  roi.children_begin.assign(roi.size(), 0);
+  roi.children_end.assign(roi.size(), 0);
+  for (int i = 1; i < roi.size(); ++i) {
+    const int p = roi.nodes[i].parent;
+    if (roi.children_end[p] == 0) roi.children_begin[p] = i;
+    roi.children_end[p] = i + 1;
+  }
+  return roi;
+}
+
+}  // namespace core
+}  // namespace zoomer

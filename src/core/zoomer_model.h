@@ -1,0 +1,164 @@
+// The Zoomer model (paper Sec. V): focal-vector construction, ROI-based
+// multi-level attention networks, and the twin-tower CTR scorer.
+//
+// Pipeline per request {u, q, i} (Fig. 5):
+//   1. focal points = {u, q}; focal vector = sum of space-mapped focal
+//      embeddings (Sec. V-A);
+//   2. ROI subgraphs for the ego user and ego query are sampled with the
+//      focal-biased sampler (Sec. V-C);
+//   3. multi-level attention aggregates each ROI bottom-up (Sec. V-D):
+//        - feature projection  (eq. 6-7): per-slot latent vectors reweighed
+//          by softmax(H·C/sqrt(d)) against the focal vector;
+//        - edge reweighing     (eq. 8-9): within-type neighbor softmax over
+//          LeakyReLU(a' [Z_i || Z_j || Z_c]);
+//        - semantic combination (eq. 10-11): per-type embeddings combined
+//          with cosine weights against the ego's feature-level embedding;
+//   4. the user-query tower merges the two ego embeddings; the item tower is
+//      a base (non-Zoomer) embedding model (Sec. V-B: only the user-query
+//      side runs Zoomer online); pCTR = scale * cos(uq, item).
+//
+// Each attention level can be disabled independently to realize the Fig. 8
+// ablation variants (GCN / Zoomer-FE / -FS / -ES).
+#ifndef ZOOMER_CORE_ZOOMER_MODEL_H_
+#define ZOOMER_CORE_ZOOMER_MODEL_H_
+
+#include <array>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "core/model_interface.h"
+#include "core/roi_sampler.h"
+#include "data/dataset.h"
+#include "graph/hetero_graph.h"
+#include "tensor/nn.h"
+#include "tensor/tensor.h"
+
+namespace zoomer {
+namespace core {
+
+struct ZoomerConfig {
+  int hidden_dim = 16;
+  RoiSamplerOptions sampler;
+  /// Ablation switches (Fig. 8): full Zoomer has all three on.
+  bool use_feature_projection = true;  // off => Zoomer-ES variant
+  bool use_edge_attention = true;      // off => Zoomer-FS variant
+  bool use_semantic_attention = true;  // off => Zoomer-FE variant
+  float leaky_slope = 0.2f;
+  float logit_scale_init = 5.0f;
+  uint64_t seed = 1;
+
+  /// Convenience constructors for the ablation variants.
+  static ZoomerConfig Full() { return {}; }
+  static ZoomerConfig Gcn() {
+    ZoomerConfig c;
+    c.use_feature_projection = false;
+    c.use_edge_attention = false;
+    c.use_semantic_attention = false;
+    return c;
+  }
+  std::string VariantName() const;
+};
+
+/// Per-(type, slot) embedding tables with vocabularies derived from the graph.
+class SlotEmbeddings {
+ public:
+  SlotEmbeddings() = default;
+  SlotEmbeddings(const graph::HeteroGraph& g, int dim, Rng* rng);
+
+  /// (num_slots(node) x dim) matrix of the node's feature latent vectors.
+  tensor::Tensor Lookup(const graph::HeteroGraph& g, graph::NodeId node) const;
+
+  std::vector<tensor::Tensor> Parameters() const;
+  int dim() const { return dim_; }
+
+ private:
+  int dim_ = 0;
+  // tables_[type][slot]
+  std::array<std::vector<tensor::Embedding>, graph::kNumNodeTypes> tables_;
+};
+
+/// Edge-attention weight attached to one ROI child (for interpretability).
+struct EdgeAttentionRecord {
+  graph::NodeId neighbor = -1;
+  graph::NodeType type = graph::NodeType::kItem;
+  float weight = 0.0f;
+};
+
+class ZoomerModel : public ScoringModel {
+ public:
+  ZoomerModel(const graph::HeteroGraph* g, const ZoomerConfig& config);
+
+  /// Space-mapped sum of the focal-point embeddings (1 x d), Sec. V-A.
+  tensor::Tensor FocalVector(graph::NodeId user, graph::NodeId query) const;
+
+  /// Zoomer embedding of the ego node under the given focal vector: samples
+  /// the ROI and runs multi-level attention bottom-up. (1 x d).
+  tensor::Tensor EgoEmbedding(graph::NodeId ego, graph::NodeId user,
+                              graph::NodeId query, Rng* rng) const;
+
+  /// User-query tower output (1 x d).
+  tensor::Tensor UserQueryEmbedding(graph::NodeId user, graph::NodeId query,
+                                    Rng* rng) const;
+
+  std::string name() const override { return config_.VariantName(); }
+  int embedding_dim() const override { return config_.hidden_dim; }
+
+  /// Base item-tower output (1 x d); no Zoomer on the item side (Sec. V-B).
+  tensor::Tensor ItemEmbedding(graph::NodeId item) const;
+
+  /// CTR logit for one example (1 x 1): scale * cos(uq, item).
+  tensor::Tensor ScoreLogit(const data::Example& ex, Rng* rng) override;
+
+  /// Detached float embeddings for retrieval-style evaluation/serving.
+  std::vector<float> UserQueryEmbeddingInference(graph::NodeId user,
+                                                 graph::NodeId query,
+                                                 Rng* rng) override;
+  std::vector<float> ItemEmbeddingInference(graph::NodeId item) override;
+  float logit_scale() const { return logit_scale_.item(); }
+
+  /// Edge-level attention weights over the 1-hop ROI children of `ego`
+  /// under focal {user, query}: the coupling coefficients of Fig. 13.
+  std::vector<EdgeAttentionRecord> ExplainEdgeWeights(graph::NodeId ego,
+                                                      graph::NodeId user,
+                                                      graph::NodeId query,
+                                                      Rng* rng) const;
+
+  std::vector<tensor::Tensor> Parameters() const override;
+  const ZoomerConfig& config() const { return config_; }
+  const RoiSampler& sampler() const { return sampler_; }
+  const graph::HeteroGraph& graph() const { return *graph_; }
+
+ private:
+  /// Feature-level node embedding (eq. 6-7) + per-type space mapping.
+  tensor::Tensor FeatureLevelEmbedding(graph::NodeId node,
+                                       const tensor::Tensor& focal) const;
+
+  /// Recursive multi-level attention over the ROI tree (eq. 8-11).
+  tensor::Tensor AggregateNode(const RoiSubgraph& roi, int index,
+                               const tensor::Tensor& focal) const;
+
+  /// Within-type edge attention returning the (k x 1) weight column.
+  tensor::Tensor EdgeAttentionWeights(const tensor::Tensor& ego_z,
+                                      const tensor::Tensor& child_z,
+                                      const tensor::Tensor& focal) const;
+
+  const graph::HeteroGraph* graph_;
+  ZoomerConfig config_;
+  RoiSampler sampler_;
+  mutable Rng init_rng_;
+
+  SlotEmbeddings slots_;
+  std::array<tensor::Linear, graph::kNumNodeTypes> type_map_;  // space mapping
+  std::vector<tensor::Linear> hop_combine_;  // [z_self || H_agg] -> d, per hop
+  tensor::Tensor edge_attn_a_;               // (3d x 1) attention vector
+  tensor::Linear uq_tower_;                  // [h_u || h_q] -> d
+  tensor::Linear item_tower_;                // base item model
+  tensor::Tensor logit_scale_;               // learnable temperature
+};
+
+}  // namespace core
+}  // namespace zoomer
+
+#endif  // ZOOMER_CORE_ZOOMER_MODEL_H_

@@ -1,0 +1,39 @@
+// Shared dataset containers for offline experiments: a built retrieval graph
+// plus labeled (user, query, item, click) examples and the candidate pool
+// used for HitRate@K evaluation.
+#ifndef ZOOMER_DATA_DATASET_H_
+#define ZOOMER_DATA_DATASET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/hetero_graph.h"
+#include "graph/session_log.h"
+
+namespace zoomer {
+namespace data {
+
+/// One CTR example: did `user` click `item` under `query`?
+struct Example {
+  graph::NodeId user = -1;
+  graph::NodeId query = -1;
+  graph::NodeId item = -1;
+  float label = 0.0f;
+};
+
+/// A complete offline experiment input.
+struct RetrievalDataset {
+  graph::HeteroGraph graph;
+  graph::SessionLog log;  // raw sessions the graph was built from
+  std::vector<Example> train;
+  std::vector<Example> test;
+  std::vector<graph::NodeId> all_items;  // candidate pool for retrieval metrics
+  int num_categories = 0;
+  /// Primary latent category per node (-1 for users, who hold mixtures).
+  std::vector<int> category;
+};
+
+}  // namespace data
+}  // namespace zoomer
+
+#endif  // ZOOMER_DATA_DATASET_H_

@@ -1,0 +1,181 @@
+#include "data/movielens_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace zoomer {
+namespace data {
+
+namespace {
+using graph::NodeId;
+using graph::NodeSpec;
+using graph::NodeType;
+
+std::vector<float> Mix(const std::vector<std::vector<float>>& topics,
+                       const std::vector<int>& cats,
+                       const std::vector<double>& wts, float noise, int dim,
+                       Rng* rng) {
+  std::vector<float> v(dim, 0.0f);
+  for (size_t i = 0; i < cats.size(); ++i) {
+    for (int d = 0; d < dim; ++d) {
+      v[d] += static_cast<float>(wts[i]) * topics[cats[i]][d];
+    }
+  }
+  float norm = 0.0f;
+  for (auto& x : v) {
+    x += noise * static_cast<float>(rng->Normal());
+    norm += x * x;
+  }
+  norm = std::sqrt(norm) + 1e-8f;
+  for (auto& x : v) x /= norm;
+  return v;
+}
+}  // namespace
+
+RetrievalDataset GenerateMovieLensDataset(
+    const MovieLensGeneratorOptions& opt) {
+  Rng rng(opt.seed);
+
+  std::vector<std::vector<float>> topics(opt.num_genres);
+  for (auto& t : topics) {
+    t.resize(opt.content_dim);
+    float norm = 0.0f;
+    for (auto& x : t) {
+      x = static_cast<float>(rng.Normal());
+      norm += x * x;
+    }
+    norm = std::sqrt(norm) + 1e-8f;
+    for (auto& x : t) x /= norm;
+  }
+
+  RetrievalDataset ds;
+  ds.num_categories = opt.num_genres;
+  std::vector<NodeSpec> nodes;
+
+  // Users with 1-3 preferred genres.
+  std::vector<std::vector<int>> user_genres(opt.num_users);
+  std::vector<std::vector<double>> user_wts(opt.num_users);
+  for (int u = 0; u < opt.num_users; ++u) {
+    const int k = 1 + static_cast<int>(rng.Uniform(3));
+    std::unordered_set<int> gs;
+    while (static_cast<int>(gs.size()) < k) {
+      gs.insert(static_cast<int>(rng.Uniform(opt.num_genres)));
+    }
+    user_genres[u] = {gs.begin(), gs.end()};
+    double total = 0.0;
+    for (size_t i = 0; i < gs.size(); ++i) {
+      user_wts[u].push_back(0.3 + rng.UniformDouble());
+      total += user_wts[u].back();
+    }
+    for (auto& w : user_wts[u]) w /= total;
+    NodeSpec spec;
+    spec.type = NodeType::kUser;
+    spec.content = Mix(topics, user_genres[u], user_wts[u], opt.content_noise,
+                       opt.content_dim, &rng);
+    spec.slots = {u, static_cast<int64_t>(rng.Uniform(3)),
+                  static_cast<int64_t>(rng.Uniform(5))};
+    nodes.push_back(std::move(spec));
+    ds.category.push_back(-1);
+  }
+
+  // Tags: each belongs to one genre (acts as the query node type).
+  const NodeId tag_base = opt.num_users;
+  std::vector<std::vector<NodeId>> tags_by_genre(opt.num_genres);
+  for (int t = 0; t < opt.num_tags; ++t) {
+    const int g = t % opt.num_genres;  // even coverage
+    NodeSpec spec;
+    spec.type = NodeType::kQuery;
+    spec.content = Mix(topics, {g}, {1.0}, opt.content_noise, opt.content_dim,
+                       &rng);
+    spec.slots = {g, static_cast<int64_t>(rng.Uniform(512))};
+    spec.tokens = {static_cast<uint64_t>(g) * 1000ull + rng.Uniform(30),
+                   static_cast<uint64_t>(g) * 1000ull + rng.Uniform(30),
+                   0xFFFF0000ull + rng.Uniform(100)};
+    nodes.push_back(std::move(spec));
+    ds.category.push_back(g);
+    tags_by_genre[g].push_back(tag_base + t);
+  }
+
+  // Movies: genre mixture dominated by one genre.
+  const NodeId movie_base = opt.num_users + opt.num_tags;
+  std::vector<std::vector<NodeId>> movies_by_genre(opt.num_genres);
+  for (int m = 0; m < opt.num_movies; ++m) {
+    const int g = static_cast<int>(rng.Uniform(opt.num_genres));
+    std::vector<int> gs = {g};
+    std::vector<double> ws = {0.8};
+    if (rng.Bernoulli(0.4)) {
+      gs.push_back(static_cast<int>(rng.Uniform(opt.num_genres)));
+      ws.push_back(0.2);
+    }
+    NodeSpec spec;
+    spec.type = NodeType::kItem;
+    spec.content = Mix(topics, gs, ws, opt.content_noise, opt.content_dim, &rng);
+    spec.slots = {m, g, static_cast<int64_t>(rng.Uniform(512)),
+                  static_cast<int64_t>(rng.Uniform(128)),
+                  static_cast<int64_t>(rng.Uniform(256))};
+    spec.tokens = {static_cast<uint64_t>(g) * 1000ull + rng.Uniform(30),
+                   static_cast<uint64_t>(g) * 1000ull + rng.Uniform(30),
+                   0xFFFF0000ull + rng.Uniform(100)};
+    nodes.push_back(std::move(spec));
+    ds.category.push_back(g);
+    ds.all_items.push_back(movie_base + m);
+    movies_by_genre[g].push_back(movie_base + m);
+  }
+  for (int g = 0; g < opt.num_genres; ++g) {
+    if (movies_by_genre[g].empty()) {
+      movies_by_genre[g].push_back(
+          movie_base + static_cast<NodeId>(rng.Uniform(opt.num_movies)));
+    }
+  }
+
+  // Ratings as sessions: (user, tag-of-genre, [movie]) per rating event.
+  graph::SessionLog log;
+  for (int u = 0; u < opt.num_users; ++u) {
+    for (int r = 0; r < opt.ratings_per_user; ++r) {
+      int g;
+      if (rng.Bernoulli(opt.p_rate_in_genre)) {
+        g = user_genres[u][rng.Categorical(user_wts[u])];
+      } else {
+        g = static_cast<int>(rng.Uniform(opt.num_genres));
+      }
+      graph::SessionRecord rec;
+      rec.user = u;
+      rec.query = tags_by_genre[g][rng.Uniform(tags_by_genre[g].size())];
+      rec.clicks = {movies_by_genre[g][rng.Uniform(movies_by_genre[g].size())]};
+      rec.timestamp = static_cast<int64_t>(rng.Uniform(86400));
+      log.push_back(std::move(rec));
+    }
+  }
+  rng.Shuffle(&log);
+
+  const size_t split =
+      static_cast<size_t>(static_cast<double>(log.size()) * opt.train_fraction);
+  for (size_t i = 0; i < log.size(); ++i) {
+    auto* out = i < split ? &ds.train : &ds.test;
+    const auto& rec = log[i];
+    for (NodeId m : rec.clicks) {
+      out->push_back({rec.user, rec.query, m, 1.0f});
+      for (int n = 0; n < opt.negatives_per_positive; ++n) {
+        NodeId neg = ds.all_items[rng.Uniform(ds.all_items.size())];
+        if (neg != m) out->push_back({rec.user, rec.query, neg, 0.0f});
+      }
+    }
+  }
+
+  // Movie->top-5-tags edges are wired through the similarity mechanism and
+  // interaction edges from the training ratings.
+  graph::SessionLog train_log(log.begin(), log.begin() + split);
+  graph::GraphBuildOptions build = opt.build;
+  auto built = graph::BuildGraphFromLogs(nodes, train_log, build);
+  ZCHECK(built.ok()) << built.status().ToString();
+  ds.graph = std::move(built).value();
+  ds.log = std::move(log);
+  return ds;
+}
+
+}  // namespace data
+}  // namespace zoomer

@@ -1,0 +1,272 @@
+#include "data/taobao_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace zoomer {
+namespace data {
+
+namespace {
+
+using graph::NodeId;
+using graph::NodeSpec;
+using graph::NodeType;
+
+// Unit-norm topic vector per category plus Gaussian noise, renormalized.
+std::vector<float> NoisyTopic(const std::vector<float>& topic, float noise,
+                              Rng* rng) {
+  std::vector<float> v(topic.size());
+  float norm = 0.0f;
+  for (size_t i = 0; i < v.size(); ++i) {
+    v[i] = topic[i] + noise * static_cast<float>(rng->Normal());
+    norm += v[i] * v[i];
+  }
+  norm = std::sqrt(norm) + 1e-8f;
+  for (auto& x : v) x /= norm;
+  return v;
+}
+
+std::vector<uint64_t> DrawTokens(int category, int count,
+                                 const TaobaoGeneratorOptions& opt, Rng* rng) {
+  std::unordered_set<uint64_t> toks;
+  // 3/4 of tokens from the category pool, 1/4 from the shared pool.
+  const int cat_tokens = count * 3 / 4;
+  while (static_cast<int>(toks.size()) < cat_tokens) {
+    toks.insert(static_cast<uint64_t>(category) * 100000ull +
+                rng->Uniform(opt.category_token_pool));
+  }
+  while (static_cast<int>(toks.size()) < count) {
+    toks.insert(0xFFFF000000ull + rng->Uniform(opt.shared_token_pool));
+  }
+  return {toks.begin(), toks.end()};
+}
+
+}  // namespace
+
+RetrievalDataset GenerateTaobaoDataset(const TaobaoGeneratorOptions& opt) {
+  ZCHECK_GT(opt.num_categories, 0);
+  ZCHECK_GT(opt.num_users, 0);
+  ZCHECK_GT(opt.num_queries, 0);
+  ZCHECK_GT(opt.num_items, 0);
+  Rng rng(opt.seed);
+
+  // Category topic vectors: random unit vectors.
+  std::vector<std::vector<float>> topics(opt.num_categories);
+  for (auto& t : topics) {
+    t.resize(opt.content_dim);
+    float norm = 0.0f;
+    for (auto& x : t) {
+      x = static_cast<float>(rng.Normal());
+      norm += x * x;
+    }
+    norm = std::sqrt(norm) + 1e-8f;
+    for (auto& x : t) x /= norm;
+  }
+
+  RetrievalDataset ds;
+  ds.num_categories = opt.num_categories;
+  std::vector<NodeSpec> nodes;
+  nodes.reserve(opt.num_users + opt.num_queries + opt.num_items);
+
+  // Users: interest mixtures over 1..max_user_interests categories, with a
+  // category-local taste direction per (user, interest category).
+  std::vector<std::vector<int>> user_interest_cats(opt.num_users);
+  std::vector<std::vector<double>> user_interest_wts(opt.num_users);
+  std::vector<std::unordered_map<int, std::vector<float>>> user_taste(
+      opt.num_users);
+  for (int u = 0; u < opt.num_users; ++u) {
+    const int k = 1 + static_cast<int>(rng.Uniform(opt.max_user_interests));
+    std::unordered_set<int> cats;
+    while (static_cast<int>(cats.size()) < k) {
+      cats.insert(static_cast<int>(rng.Uniform(opt.num_categories)));
+    }
+    user_interest_cats[u] = {cats.begin(), cats.end()};
+    auto& wts = user_interest_wts[u];
+    double total = 0.0;
+    for (size_t i = 0; i < cats.size(); ++i) {
+      wts.push_back(0.2 + rng.UniformDouble());
+      total += wts.back();
+    }
+    for (auto& w : wts) w /= total;
+
+    // Category-local taste: topic + per-user offset, normalized. Taste in
+    // one category says nothing about taste in another.
+    for (int cat : user_interest_cats[u]) {
+      std::vector<float> taste(opt.content_dim);
+      float tnorm = 0.0f;
+      for (int d = 0; d < opt.content_dim; ++d) {
+        taste[d] = topics[cat][d] +
+                   opt.taste_noise * static_cast<float>(rng.Normal());
+        tnorm += taste[d] * taste[d];
+      }
+      tnorm = std::sqrt(tnorm) + 1e-8f;
+      for (auto& x : taste) x /= tnorm;
+      user_taste[u][cat] = std::move(taste);
+    }
+
+    // User content: interest-weighted mixture of the taste directions.
+    std::vector<float> mix(opt.content_dim, 0.0f);
+    for (size_t i = 0; i < user_interest_cats[u].size(); ++i) {
+      const auto& t = user_taste[u][user_interest_cats[u][i]];
+      for (int d = 0; d < opt.content_dim; ++d) {
+        mix[d] += static_cast<float>(wts[i]) * t[d];
+      }
+    }
+    NodeSpec spec;
+    spec.type = NodeType::kUser;
+    spec.content = NoisyTopic(mix, opt.content_noise, &rng);
+    spec.slots = {u, static_cast<int64_t>(rng.Uniform(
+                         TaobaoSlotSchema::kGenderVocab)),
+                  static_cast<int64_t>(
+                      rng.Uniform(TaobaoSlotSchema::kMembershipVocab))};
+    nodes.push_back(std::move(spec));
+    ds.category.push_back(-1);
+  }
+
+  // Queries: one category each.
+  const NodeId query_base = opt.num_users;
+  for (int q = 0; q < opt.num_queries; ++q) {
+    const int cat = static_cast<int>(rng.Uniform(opt.num_categories));
+    NodeSpec spec;
+    spec.type = NodeType::kQuery;
+    spec.content = NoisyTopic(topics[cat], opt.content_noise, &rng);
+    spec.slots = {cat,
+                  static_cast<int64_t>(rng.Uniform(TaobaoSlotSchema::kTermVocab))};
+    spec.tokens = DrawTokens(cat, opt.tokens_per_node, opt, &rng);
+    nodes.push_back(std::move(spec));
+    ds.category.push_back(cat);
+  }
+
+  // Items: one category each.
+  const NodeId item_base = opt.num_users + opt.num_queries;
+  for (int i = 0; i < opt.num_items; ++i) {
+    const int cat = static_cast<int>(rng.Uniform(opt.num_categories));
+    NodeSpec spec;
+    spec.type = NodeType::kItem;
+    spec.content = NoisyTopic(topics[cat], opt.content_noise, &rng);
+    spec.slots = {i, cat,
+                  static_cast<int64_t>(rng.Uniform(TaobaoSlotSchema::kTermVocab)),
+                  static_cast<int64_t>(rng.Uniform(TaobaoSlotSchema::kBrandVocab)),
+                  static_cast<int64_t>(rng.Uniform(TaobaoSlotSchema::kShopVocab))};
+    spec.tokens = DrawTokens(cat, opt.tokens_per_node, opt, &rng);
+    nodes.push_back(std::move(spec));
+    ds.category.push_back(cat);
+    ds.all_items.push_back(item_base + i);
+  }
+
+  // Group queries and items by category for session generation.
+  std::vector<std::vector<NodeId>> queries_by_cat(opt.num_categories);
+  std::vector<std::vector<NodeId>> items_by_cat(opt.num_categories);
+  for (int q = 0; q < opt.num_queries; ++q) {
+    queries_by_cat[ds.category[query_base + q]].push_back(query_base + q);
+  }
+  for (int i = 0; i < opt.num_items; ++i) {
+    items_by_cat[ds.category[item_base + i]].push_back(item_base + i);
+  }
+  // Guarantee every category has at least one query and item by reassigning
+  // from the largest bucket if a bucket is empty (rare at small scale).
+  for (int c = 0; c < opt.num_categories; ++c) {
+    if (queries_by_cat[c].empty()) {
+      queries_by_cat[c].push_back(
+          query_base + static_cast<NodeId>(rng.Uniform(opt.num_queries)));
+    }
+    if (items_by_cat[c].empty()) {
+      items_by_cat[c].push_back(
+          item_base + static_cast<NodeId>(rng.Uniform(opt.num_items)));
+    }
+  }
+
+  // Sessions.
+  graph::SessionLog log;
+  log.reserve(opt.num_sessions);
+  for (int s = 0; s < opt.num_sessions; ++s) {
+    graph::SessionRecord rec;
+    const int u = static_cast<int>(rng.Uniform(opt.num_users));
+    rec.user = u;
+    // Focal category: user's mixture, with drift (dynamic focal interests).
+    int cat;
+    if (rng.Bernoulli(opt.p_interest_drift)) {
+      cat = static_cast<int>(rng.Uniform(opt.num_categories));
+    } else {
+      cat = user_interest_cats[u][rng.Categorical(user_interest_wts[u])];
+    }
+    rec.query = queries_by_cat[cat][rng.Uniform(queries_by_cat[cat].size())];
+    const int n_clicks = static_cast<int>(
+        rng.UniformInt(opt.min_clicks_per_session, opt.max_clicks_per_session));
+    for (int c = 0; c < n_clicks; ++c) {
+      NodeId item;
+      if (rng.Bernoulli(opt.p_click_in_category)) {
+        // Tournament selection by the user's category-local taste: users
+        // click items matching their taste *in this category*; clicks in
+        // other categories reveal nothing about this one.
+        const auto& bucket = items_by_cat[cat];
+        item = bucket[rng.Uniform(bucket.size())];
+        auto taste_it = user_taste[u].find(cat);
+        if (taste_it != user_taste[u].end()) {
+          float best = -1e30f;
+          for (int t = 0; t < opt.taste_tournament; ++t) {
+            const NodeId cand = bucket[rng.Uniform(bucket.size())];
+            float affinity = 0.0f;
+            const auto& uc = taste_it->second;
+            const auto& ic = nodes[cand].content;
+            for (int d = 0; d < opt.content_dim; ++d) {
+              affinity += uc[d] * ic[d];
+            }
+            if (affinity > best) {
+              best = affinity;
+              item = cand;
+            }
+          }
+        }
+      } else {
+        item = ds.all_items[rng.Uniform(ds.all_items.size())];
+      }
+      rec.clicks.push_back(item);
+    }
+    rec.timestamp =
+        static_cast<int64_t>(rng.Uniform(opt.time_horizon_seconds));
+    log.push_back(std::move(rec));
+  }
+  // Chronological order so train/test split is a time split.
+  std::sort(log.begin(), log.end(),
+            [](const auto& a, const auto& b) { return a.timestamp < b.timestamp; });
+
+  // Train/test examples: positives from clicks, sampled negatives.
+  const size_t split =
+      static_cast<size_t>(static_cast<double>(log.size()) * opt.train_fraction);
+  auto emit = [&](const graph::SessionRecord& rec, std::vector<Example>* out) {
+    const int query_cat = ds.category[rec.query];
+    for (NodeId item : rec.clicks) {
+      out->push_back({rec.user, rec.query, item, 1.0f});
+      for (int n = 0; n < opt.negatives_per_positive; ++n) {
+        NodeId neg;
+        if (rng.Bernoulli(opt.hard_negative_fraction)) {
+          // Hard negative: un-clicked item of the query's own category.
+          const auto& bucket = items_by_cat[query_cat];
+          neg = bucket[rng.Uniform(bucket.size())];
+        } else {
+          neg = ds.all_items[rng.Uniform(ds.all_items.size())];
+        }
+        if (neg == item) continue;
+        out->push_back({rec.user, rec.query, neg, 0.0f});
+      }
+    }
+  };
+  for (size_t i = 0; i < log.size(); ++i) {
+    emit(log[i], i < split ? &ds.train : &ds.test);
+  }
+
+  // Graph from the *training* window only (no test leakage).
+  graph::SessionLog train_log(log.begin(), log.begin() + split);
+  auto built = graph::BuildGraphFromLogs(nodes, train_log, opt.build);
+  ZCHECK(built.ok()) << built.status().ToString();
+  ds.graph = std::move(built).value();
+  ds.log = std::move(log);
+  return ds;
+}
+
+}  // namespace data
+}  // namespace zoomer

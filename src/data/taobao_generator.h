@@ -1,0 +1,92 @@
+// Synthetic Taobao-like workload generator.
+//
+// Substitution note (see DESIGN.md): the paper's industry graphs come from
+// proprietary Taobao behavior logs. We reproduce their *statistical
+// mechanisms* with a latent-category session model:
+//  - items and queries belong to one of C latent categories whose content
+//    vectors cluster around a category topic;
+//  - users hold long-term mixtures over several categories;
+//  - each session picks a focal category from the user's mixture (with
+//    occasional drift to a random category, reproducing the "dynamic focal
+//    interests" of Fig. 4(b));
+//  - clicks land mostly in the focal category plus uniform noise clicks,
+//    so a user's accumulated neighborhood mixes many categories while only a
+//    small region is relevant to any one query (Fig. 4(c)) — exactly the
+//    information-overload structure that focal-biased sampling exploits.
+#ifndef ZOOMER_DATA_TAOBAO_GENERATOR_H_
+#define ZOOMER_DATA_TAOBAO_GENERATOR_H_
+
+#include <cstdint>
+
+#include "common/random.h"
+#include "data/dataset.h"
+#include "graph/graph_builder.h"
+
+namespace zoomer {
+namespace data {
+
+struct TaobaoGeneratorOptions {
+  int num_users = 1000;
+  int num_queries = 500;
+  int num_items = 2000;
+  int num_sessions = 8000;
+  int num_categories = 16;
+  int content_dim = 32;
+
+  int min_clicks_per_session = 1;
+  int max_clicks_per_session = 4;
+  /// Probability a click stays in the session's focal category.
+  double p_click_in_category = 0.85;
+  /// Probability a session drifts to a category outside the user's mixture.
+  double p_interest_drift = 0.15;
+  /// Number of long-term interest categories per user (1..this).
+  int max_user_interests = 4;
+  /// Content noise around the category topic vector.
+  float content_noise = 0.35f;
+  /// Tokens drawn per node from its category pool (for minHash edges).
+  int tokens_per_node = 12;
+  int category_token_pool = 40;
+  int shared_token_pool = 200;
+  /// Session timestamps are uniform over this horizon (seconds).
+  int64_t time_horizon_seconds = 86400;
+  /// Fraction of sessions (by timestamp order) used for training examples.
+  double train_fraction = 0.9;
+  /// Negatives sampled per positive click example.
+  int negatives_per_positive = 3;
+  /// Fraction of negatives drawn from the *same category* as the query
+  /// (hard negatives): with these, category matching alone cannot rank, so
+  /// models must capture within-category user taste.
+  double hard_negative_fraction = 0.0;
+  /// Within-category clicks pick the best of this many candidates by the
+  /// user's *category-local* taste direction (tournament selection). Taste
+  /// is deliberately not transferable across categories: history from other
+  /// categories is pure noise for the current request, which is precisely
+  /// the information-overload structure ROI sampling exploits (Sec. IV).
+  int taste_tournament = 3;
+  /// Magnitude of the per-(user, category) taste offset from the category
+  /// topic vector.
+  float taste_noise = 0.6f;
+
+  graph::GraphBuildOptions build;
+  uint64_t seed = 42;
+};
+
+/// Slot layouts (paper Table I). Slot ids are offset into per-type vocab.
+struct TaobaoSlotSchema {
+  static constexpr int kUserSlots = 3;   // ID, gender, membership level
+  static constexpr int kQuerySlots = 2;  // category, title terms
+  static constexpr int kItemSlots = 5;   // ID, category, terms, brand, shop
+  static constexpr int kGenderVocab = 3;
+  static constexpr int kMembershipVocab = 5;
+  static constexpr int kTermVocab = 512;
+  static constexpr int kBrandVocab = 128;
+  static constexpr int kShopVocab = 256;
+};
+
+/// Generates nodes, session logs, the built graph, and train/test examples.
+RetrievalDataset GenerateTaobaoDataset(const TaobaoGeneratorOptions& options);
+
+}  // namespace data
+}  // namespace zoomer
+
+#endif  // ZOOMER_DATA_TAOBAO_GENERATOR_H_

@@ -1,0 +1,108 @@
+// Distributed graph engine simulation (paper Sec. VI, "Distributed graph
+// engine" built on Euler): the graph is hash-partitioned into shards for
+// storage capacity, each shard replicated onto multiple (simulated) servers
+// for aggregate throughput, and neighbor-sampling requests are routed to the
+// replica with the least outstanding load. Within one process, each replica
+// is backed by a worker thread draining a request queue, which reproduces
+// the queueing behaviour the online serving experiment (Fig. 9) depends on.
+#ifndef ZOOMER_ENGINE_DISTRIBUTED_GRAPH_ENGINE_H_
+#define ZOOMER_ENGINE_DISTRIBUTED_GRAPH_ENGINE_H_
+
+#include <atomic>
+#include <future>
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "common/threadpool.h"
+#include "graph/hetero_graph.h"
+
+namespace zoomer {
+namespace engine {
+
+struct EngineOptions {
+  int num_shards = 4;
+  int replication_factor = 2;
+  /// Simulated per-request network + serialization latency (microseconds);
+  /// 0 disables the artificial delay (pure in-memory cost).
+  int simulated_rpc_micros = 0;
+};
+
+struct SampleRequest {
+  graph::NodeId node = -1;
+  int k = 10;
+  uint64_t rng_seed = 0;
+};
+
+struct SampleResponse {
+  std::vector<graph::NodeId> neighbors;
+  std::vector<float> weights;
+};
+
+struct EngineStats {
+  std::vector<int64_t> requests_per_replica;
+  int64_t total_requests = 0;
+  size_t storage_bytes_per_shard = 0;
+};
+
+/// One storage shard: the subset of nodes whose hash maps to this shard.
+/// Replicas share the same node set but serve requests independently.
+class GraphShard {
+ public:
+  GraphShard(const graph::HeteroGraph* g, int shard_id, int num_shards);
+
+  bool Owns(graph::NodeId node) const {
+    return NodeShard(node, num_shards_) == shard_id_;
+  }
+  static int NodeShard(graph::NodeId node, int num_shards) {
+    // Knuth multiplicative hash for balanced ownership.
+    return static_cast<int>((static_cast<uint64_t>(node) * 2654435761ull) %
+                            static_cast<uint64_t>(num_shards));
+  }
+
+  /// Weighted neighbor sample (alias table) of up to k distinct neighbors.
+  StatusOr<SampleResponse> Sample(const SampleRequest& req) const;
+
+  int64_t num_owned_nodes() const { return owned_.size(); }
+  size_t MemoryBytes() const;
+
+ private:
+  const graph::HeteroGraph* graph_;
+  int shard_id_;
+  int num_shards_;
+  std::vector<graph::NodeId> owned_;
+};
+
+/// Client-facing engine: routes requests to shard replicas over per-replica
+/// worker threads and collects load statistics.
+class DistributedGraphEngine {
+ public:
+  DistributedGraphEngine(const graph::HeteroGraph* g, EngineOptions options);
+  ~DistributedGraphEngine();
+
+  /// Asynchronous sampling RPC; the future resolves on the replica thread.
+  std::future<StatusOr<SampleResponse>> SampleAsync(const SampleRequest& req);
+
+  /// Blocking convenience wrapper.
+  StatusOr<SampleResponse> Sample(const SampleRequest& req);
+
+  EngineStats Stats() const;
+  int num_replicas() const { return static_cast<int>(replicas_.size()); }
+
+ private:
+  struct Replica {
+    std::unique_ptr<GraphShard> shard;
+    std::unique_ptr<ThreadPool> worker;
+    std::atomic<int64_t> requests{0};
+    std::atomic<int64_t> inflight{0};
+  };
+
+  EngineOptions options_;
+  std::vector<std::unique_ptr<Replica>> replicas_;  // shard-major layout
+};
+
+}  // namespace engine
+}  // namespace zoomer
+
+#endif  // ZOOMER_ENGINE_DISTRIBUTED_GRAPH_ENGINE_H_

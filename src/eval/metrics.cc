@@ -1,0 +1,112 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace zoomer {
+namespace eval {
+
+double Auc(const std::vector<float>& scores, const std::vector<float>& labels) {
+  ZCHECK_EQ(scores.size(), labels.size());
+  // Rank-sum estimator with midranks for ties.
+  const size_t n = scores.size();
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return scores[a] < scores[b]; });
+  std::vector<double> rank(n);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && scores[order[j + 1]] == scores[order[i]]) ++j;
+    const double mid = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (size_t k = i; k <= j; ++k) rank[order[k]] = mid;
+    i = j + 1;
+  }
+  double pos_rank_sum = 0.0;
+  size_t n_pos = 0;
+  for (size_t k = 0; k < n; ++k) {
+    if (labels[k] > 0.5f) {
+      pos_rank_sum += rank[k];
+      ++n_pos;
+    }
+  }
+  const size_t n_neg = n - n_pos;
+  if (n_pos == 0 || n_neg == 0) return 0.5;
+  return (pos_rank_sum - static_cast<double>(n_pos) *
+                             (static_cast<double>(n_pos) + 1.0) / 2.0) /
+         (static_cast<double>(n_pos) * static_cast<double>(n_neg));
+}
+
+double Mae(const std::vector<float>& predictions,
+           const std::vector<float>& labels) {
+  ZCHECK_EQ(predictions.size(), labels.size());
+  if (predictions.empty()) return 0.0;
+  double s = 0.0;
+  for (size_t i = 0; i < predictions.size(); ++i) {
+    s += std::abs(static_cast<double>(predictions[i]) - labels[i]);
+  }
+  return s / static_cast<double>(predictions.size());
+}
+
+double Rmse(const std::vector<float>& predictions,
+            const std::vector<float>& labels) {
+  ZCHECK_EQ(predictions.size(), labels.size());
+  if (predictions.empty()) return 0.0;
+  double s = 0.0;
+  for (size_t i = 0; i < predictions.size(); ++i) {
+    const double d = static_cast<double>(predictions[i]) - labels[i];
+    s += d * d;
+  }
+  return std::sqrt(s / static_cast<double>(predictions.size()));
+}
+
+double HitRateAtK(const std::vector<int>& positive_ranks, int k) {
+  if (positive_ranks.empty()) return 0.0;
+  size_t hits = 0;
+  for (int r : positive_ranks) {
+    if (r < k) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(positive_ranks.size());
+}
+
+int RankOf(float target_score, const std::vector<float>& candidate_scores) {
+  int rank = 0;
+  for (float s : candidate_scores) {
+    if (s >= target_score) ++rank;  // ties rank the candidate above target
+  }
+  return rank;
+}
+
+std::vector<std::pair<double, double>> EmpiricalCdf(
+    const std::vector<double>& values) {
+  std::vector<std::pair<double, double>> cdf;
+  if (values.empty()) return cdf;
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  cdf.reserve(sorted.size());
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    cdf.emplace_back(sorted[i], static_cast<double>(i + 1) /
+                                    static_cast<double>(sorted.size()));
+  }
+  return cdf;
+}
+
+double FractionBelow(const std::vector<double>& values, double threshold) {
+  if (values.empty()) return 0.0;
+  size_t below = 0;
+  for (double v : values) {
+    if (v < threshold) ++below;
+  }
+  return static_cast<double>(below) / static_cast<double>(values.size());
+}
+
+double LiftPercent(double treatment, double control) {
+  if (control == 0.0) return 0.0;
+  return (treatment - control) / control * 100.0;
+}
+
+}  // namespace eval
+}  // namespace zoomer

@@ -1,0 +1,72 @@
+// Offline evaluation metrics from paper Sec. VII-A: AUC, HitRate@K, MAE,
+// RMSE, plus the CDF helper used by the Fig. 4(c) motivation measurement and
+// the online metrics (CTR / PPC / RPM) used by the A/B-test simulation.
+#ifndef ZOOMER_EVAL_METRICS_H_
+#define ZOOMER_EVAL_METRICS_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace zoomer {
+namespace eval {
+
+/// Area under the ROC curve via the rank-sum (Mann-Whitney) estimator.
+/// Ties receive half credit. Returns 0.5 when either class is absent.
+double Auc(const std::vector<float>& scores, const std::vector<float>& labels);
+
+/// Mean absolute error between predictions and labels.
+double Mae(const std::vector<float>& predictions,
+           const std::vector<float>& labels);
+
+/// Root mean squared error between predictions and labels.
+double Rmse(const std::vector<float>& predictions,
+            const std::vector<float>& labels);
+
+/// HitRate@K (paper Sec. VII-A): fraction of test interactions whose clicked
+/// item ranks within the top-K of the scored candidate list. Each entry of
+/// `rankings` is the 0-based rank the positive item achieved in its pool.
+double HitRateAtK(const std::vector<int>& positive_ranks, int k);
+
+/// Rank of a target score within a candidate score list (0 = best). Ties
+/// count as better to be conservative.
+int RankOf(float target_score, const std::vector<float>& candidate_scores);
+
+/// Empirical CDF: returns sorted (value, cumulative fraction) pairs.
+std::vector<std::pair<double, double>> EmpiricalCdf(
+    const std::vector<double>& values);
+
+/// Fraction of values strictly below the threshold.
+double FractionBelow(const std::vector<double>& values, double threshold);
+
+/// Online A/B metrics (paper Sec. VII-A):
+///   CTR = clicks / impressions
+///   PPC = ad spend / clicks
+///   RPM = ad revenue / impressions * 1000
+struct OnlineMetrics {
+  int64_t impressions = 0;
+  int64_t clicks = 0;
+  double revenue = 0.0;
+
+  double Ctr() const {
+    return impressions == 0
+               ? 0.0
+               : static_cast<double>(clicks) / static_cast<double>(impressions);
+  }
+  double Ppc() const {
+    return clicks == 0 ? 0.0 : revenue / static_cast<double>(clicks);
+  }
+  double Rpm() const {
+    return impressions == 0
+               ? 0.0
+               : revenue / static_cast<double>(impressions) * 1000.0;
+  }
+};
+
+/// Relative lift of treatment over control, in percent.
+double LiftPercent(double treatment, double control);
+
+}  // namespace eval
+}  // namespace zoomer
+
+#endif  // ZOOMER_EVAL_METRICS_H_

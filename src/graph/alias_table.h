@@ -1,0 +1,96 @@
+// Walker/Vose alias method for O(1) sampling from a discrete distribution.
+// The paper (Sec. VI) uses alias tables in the Euler graph engine to achieve
+// constant-time weighted neighbor sampling independent of degree; this is the
+// same structure backing HeteroGraph::SampleNeighbor.
+#ifndef ZOOMER_GRAPH_ALIAS_TABLE_H_
+#define ZOOMER_GRAPH_ALIAS_TABLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace zoomer {
+namespace graph {
+
+/// Immutable alias table built from a vector of non-negative weights.
+/// Sample() draws index i with probability weights[i] / sum(weights) in O(1).
+class AliasTable {
+ public:
+  AliasTable() = default;
+
+  /// Builds from unnormalized weights. Zero-weight entries are never drawn
+  /// unless all weights are zero, in which case sampling is uniform.
+  explicit AliasTable(const std::vector<double>& weights) { Build(weights); }
+
+  void Build(const std::vector<double>& weights) {
+    const size_t n = weights.size();
+    prob_.assign(n, 1.0);
+    alias_.assign(n, 0);
+    if (n == 0) return;
+    double total = 0.0;
+    for (double w : weights) {
+      ZCHECK_GE(w, 0.0) << "alias table weights must be non-negative";
+      total += w;
+    }
+    if (total <= 0.0) {
+      // Degenerate: uniform.
+      for (size_t i = 0; i < n; ++i) alias_[i] = static_cast<uint32_t>(i);
+      return;
+    }
+    std::vector<double> scaled(n);
+    for (size_t i = 0; i < n; ++i) {
+      scaled[i] = weights[i] * static_cast<double>(n) / total;
+    }
+    std::vector<uint32_t> small, large;
+    small.reserve(n);
+    large.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      (scaled[i] < 1.0 ? small : large).push_back(static_cast<uint32_t>(i));
+    }
+    while (!small.empty() && !large.empty()) {
+      const uint32_t s = small.back();
+      small.pop_back();
+      const uint32_t l = large.back();
+      large.pop_back();
+      prob_[s] = scaled[s];
+      alias_[s] = l;
+      scaled[l] = scaled[l] + scaled[s] - 1.0;
+      (scaled[l] < 1.0 ? small : large).push_back(l);
+    }
+    for (uint32_t i : large) {
+      prob_[i] = 1.0;
+      alias_[i] = i;
+    }
+    for (uint32_t i : small) {
+      prob_[i] = 1.0;
+      alias_[i] = i;
+    }
+  }
+
+  /// Draws an index according to the built distribution. Table must be
+  /// non-empty.
+  size_t Sample(Rng* rng) const {
+    ZCHECK(!prob_.empty()) << "sampling from empty alias table";
+    const size_t i = rng->Uniform(prob_.size());
+    return rng->UniformDouble() < prob_[i] ? i : alias_[i];
+  }
+
+  size_t size() const { return prob_.size(); }
+  bool empty() const { return prob_.empty(); }
+
+  /// Memory footprint in bytes (for engine storage accounting).
+  size_t MemoryBytes() const {
+    return prob_.size() * sizeof(double) + alias_.size() * sizeof(uint32_t);
+  }
+
+ private:
+  std::vector<double> prob_;
+  std::vector<uint32_t> alias_;
+};
+
+}  // namespace graph
+}  // namespace zoomer
+
+#endif  // ZOOMER_GRAPH_ALIAS_TABLE_H_

@@ -1,0 +1,55 @@
+// Log-to-graph construction following paper Sec. II:
+//  - interaction (click) edges: user-query, and each clicked item-query;
+//  - session edges: adjacently clicked items c_i, c_{i+1};
+//  - similarity edges: minHash Jaccard between query/item token sets,
+//    weighted by the estimated similarity, wired via LSH candidates.
+#ifndef ZOOMER_GRAPH_GRAPH_BUILDER_H_
+#define ZOOMER_GRAPH_GRAPH_BUILDER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/hetero_graph.h"
+#include "graph/minhash.h"
+#include "graph/session_log.h"
+
+namespace zoomer {
+namespace graph {
+
+/// Full description of a node before graph construction.
+struct NodeSpec {
+  NodeType type;
+  std::vector<float> content;   // dense content vector (content_dim)
+  std::vector<int64_t> slots;   // categorical feature ids (paper Table I)
+  std::vector<uint64_t> tokens; // title-term token set for minHash
+};
+
+struct GraphBuildOptions {
+  /// Add minHash-based similarity edges between queries and items.
+  bool add_similarity_edges = true;
+  /// Estimated-Jaccard threshold below which a candidate pair is dropped.
+  double similarity_threshold = 0.25;
+  /// MinHash signature length = lsh_bands * lsh_rows.
+  int lsh_bands = 8;
+  int lsh_rows = 4;
+  /// Cap on similarity edges per node to bound degree blowup.
+  int max_similarity_degree = 10;
+  /// Only sessions with timestamp < time_window_seconds are used when >0
+  /// (reproduces the paper's 1-hour vs 1-day graph construction).
+  int64_t time_window_seconds = 0;
+  /// Repeated interaction edges accumulate weight instead of multiplying
+  /// parallel edges.
+  bool coalesce_duplicate_edges = true;
+};
+
+/// Builds the heterogeneous retrieval graph from node specs and session logs.
+/// Node ids in the log refer to indices into `nodes`.
+StatusOr<HeteroGraph> BuildGraphFromLogs(const std::vector<NodeSpec>& nodes,
+                                         const SessionLog& log,
+                                         const GraphBuildOptions& options);
+
+}  // namespace graph
+}  // namespace zoomer
+
+#endif  // ZOOMER_GRAPH_GRAPH_BUILDER_H_

@@ -1,0 +1,180 @@
+#include "graph/graph_io.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+namespace zoomer {
+namespace graph {
+
+namespace {
+
+constexpr uint64_t kMagic = 0x5A4F4F4D47524148ull;  // "ZOOMGRAH"
+constexpr uint32_t kVersion = 1;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+bool WriteBytes(std::FILE* f, const void* data, size_t n) {
+  return std::fwrite(data, 1, n, f) == n;
+}
+
+template <typename T>
+bool WriteScalar(std::FILE* f, T v) {
+  return WriteBytes(f, &v, sizeof(T));
+}
+
+template <typename T>
+bool WriteVector(std::FILE* f, const std::vector<T>& v) {
+  return WriteScalar<uint64_t>(f, v.size()) &&
+         (v.empty() || WriteBytes(f, v.data(), v.size() * sizeof(T)));
+}
+
+bool ReadBytes(std::FILE* f, void* data, size_t n) {
+  return std::fread(data, 1, n, f) == n;
+}
+
+template <typename T>
+bool ReadScalar(std::FILE* f, T* v) {
+  return ReadBytes(f, v, sizeof(T));
+}
+
+template <typename T>
+bool ReadVector(std::FILE* f, std::vector<T>* v, uint64_t max_elems) {
+  uint64_t n = 0;
+  if (!ReadScalar(f, &n)) return false;
+  if (n > max_elems) return false;  // corruption guard
+  v->resize(n);
+  return v->empty() || ReadBytes(f, v->data(), n * sizeof(T));
+}
+
+}  // namespace
+
+Status SaveGraph(const HeteroGraph& g, const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) return Status::Unavailable("cannot open " + path + " for writing");
+
+  const int64_t n = g.num_nodes();
+  bool ok = WriteScalar(f.get(), kMagic) && WriteScalar(f.get(), kVersion) &&
+            WriteScalar<int64_t>(f.get(), n) &&
+            WriteScalar<int32_t>(f.get(), g.content_dim());
+  // Node sections.
+  std::vector<uint8_t> types(n);
+  std::vector<float> contents(static_cast<size_t>(n) * g.content_dim());
+  std::vector<int64_t> slot_ids;
+  std::vector<int64_t> slot_offsets = {0};
+  for (NodeId v = 0; v < n && ok; ++v) {
+    types[v] = static_cast<uint8_t>(g.node_type(v));
+    const float* c = g.content(v);
+    std::copy(c, c + g.content_dim(), contents.begin() + v * g.content_dim());
+    auto s = g.slots(v);
+    slot_ids.insert(slot_ids.end(), s.begin(), s.end());
+    slot_offsets.push_back(static_cast<int64_t>(slot_ids.size()));
+  }
+  ok = ok && WriteVector(f.get(), types) && WriteVector(f.get(), contents) &&
+       WriteVector(f.get(), slot_ids) && WriteVector(f.get(), slot_offsets);
+
+  // Edge list: one record per undirected edge (emit each half-edge pair
+  // once, from the lower endpoint).
+  std::vector<int64_t> ea, eb;
+  std::vector<float> ew;
+  std::vector<uint8_t> ek;
+  for (NodeId v = 0; v < n; ++v) {
+    auto ids = g.neighbor_ids(v);
+    auto weights = g.neighbor_weights(v);
+    auto kinds = g.neighbor_kinds(v);
+    for (size_t i = 0; i < ids.size(); ++i) {
+      if (ids[i] < v) continue;  // emit once per undirected edge
+      ea.push_back(v);
+      eb.push_back(ids[i]);
+      ew.push_back(weights[i]);
+      ek.push_back(static_cast<uint8_t>(kinds[i]));
+    }
+  }
+  ok = ok && WriteVector(f.get(), ea) && WriteVector(f.get(), eb) &&
+       WriteVector(f.get(), ew) && WriteVector(f.get(), ek);
+  if (!ok) return Status::Internal("short write to " + path);
+  return Status::OK();
+}
+
+StatusOr<HeteroGraph> LoadGraph(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) return Status::NotFound("cannot open " + path);
+
+  uint64_t magic = 0;
+  uint32_t version = 0;
+  int64_t n = 0;
+  int32_t content_dim = 0;
+  if (!ReadScalar(f.get(), &magic) || magic != kMagic) {
+    return Status::InvalidArgument("bad magic in " + path);
+  }
+  if (!ReadScalar(f.get(), &version) || version != kVersion) {
+    return Status::InvalidArgument("unsupported graph file version");
+  }
+  if (!ReadScalar(f.get(), &n) || !ReadScalar(f.get(), &content_dim) ||
+      n <= 0 || content_dim <= 0) {
+    return Status::InvalidArgument("corrupt header in " + path);
+  }
+  constexpr uint64_t kMaxElems = 1ull << 34;
+  std::vector<uint8_t> types;
+  std::vector<float> contents;
+  std::vector<int64_t> slot_ids, slot_offsets;
+  if (!ReadVector(f.get(), &types, kMaxElems) ||
+      !ReadVector(f.get(), &contents, kMaxElems) ||
+      !ReadVector(f.get(), &slot_ids, kMaxElems) ||
+      !ReadVector(f.get(), &slot_offsets, kMaxElems)) {
+    return Status::InvalidArgument("corrupt node sections in " + path);
+  }
+  if (static_cast<int64_t>(types.size()) != n ||
+      static_cast<int64_t>(contents.size()) != n * content_dim ||
+      static_cast<int64_t>(slot_offsets.size()) != n + 1) {
+    return Status::InvalidArgument("node section size mismatch");
+  }
+  std::vector<int64_t> ea, eb;
+  std::vector<float> ew;
+  std::vector<uint8_t> ek;
+  if (!ReadVector(f.get(), &ea, kMaxElems) ||
+      !ReadVector(f.get(), &eb, kMaxElems) ||
+      !ReadVector(f.get(), &ew, kMaxElems) ||
+      !ReadVector(f.get(), &ek, kMaxElems)) {
+    return Status::InvalidArgument("corrupt edge sections in " + path);
+  }
+  if (ea.size() != eb.size() || ea.size() != ew.size() ||
+      ea.size() != ek.size()) {
+    return Status::InvalidArgument("edge section size mismatch");
+  }
+
+  HeteroGraphBuilder builder(content_dim);
+  for (int64_t v = 0; v < n; ++v) {
+    if (types[v] >= kNumNodeTypes) {
+      return Status::InvalidArgument("invalid node type");
+    }
+    std::vector<float> c(contents.begin() + v * content_dim,
+                         contents.begin() + (v + 1) * content_dim);
+    if (slot_offsets[v] < 0 || slot_offsets[v + 1] < slot_offsets[v] ||
+        slot_offsets[v + 1] > static_cast<int64_t>(slot_ids.size())) {
+      return Status::InvalidArgument("invalid slot offsets");
+    }
+    std::vector<int64_t> s(slot_ids.begin() + slot_offsets[v],
+                           slot_ids.begin() + slot_offsets[v + 1]);
+    builder.AddNode(static_cast<NodeType>(types[v]), std::move(c),
+                    std::move(s));
+  }
+  for (size_t i = 0; i < ea.size(); ++i) {
+    if (ek[i] >= kNumRelationKinds) {
+      return Status::InvalidArgument("invalid relation kind");
+    }
+    Status st = builder.AddEdge(ea[i], eb[i],
+                                static_cast<RelationKind>(ek[i]), ew[i]);
+    if (!st.ok()) return st;
+  }
+  return builder.Build();
+}
+
+}  // namespace graph
+}  // namespace zoomer

@@ -1,0 +1,27 @@
+// Compact binary serialization of heterogeneous graphs (paper Sec. VI: the
+// graph generator writes graphs as "compact binary-format files" into HDFS
+// for the graph engine to load). Format: little-endian, versioned header,
+// node sections (types, contents, slots) then the edge list; the CSR and
+// alias tables are rebuilt on load.
+#ifndef ZOOMER_GRAPH_GRAPH_IO_H_
+#define ZOOMER_GRAPH_GRAPH_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "graph/hetero_graph.h"
+
+namespace zoomer {
+namespace graph {
+
+/// Writes the graph to `path`. Overwrites existing files.
+Status SaveGraph(const HeteroGraph& g, const std::string& path);
+
+/// Loads a graph written by SaveGraph. Validates magic, version, and
+/// structural invariants before returning.
+StatusOr<HeteroGraph> LoadGraph(const std::string& path);
+
+}  // namespace graph
+}  // namespace zoomer
+
+#endif  // ZOOMER_GRAPH_GRAPH_IO_H_

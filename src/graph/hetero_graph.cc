@@ -1,0 +1,201 @@
+#include "graph/hetero_graph.h"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+namespace zoomer {
+namespace graph {
+
+const char* NodeTypeName(NodeType t) {
+  switch (t) {
+    case NodeType::kUser: return "user";
+    case NodeType::kQuery: return "query";
+    case NodeType::kItem: return "item";
+  }
+  return "?";
+}
+
+const char* RelationKindName(RelationKind k) {
+  switch (k) {
+    case RelationKind::kClick: return "click";
+    case RelationKind::kSession: return "session";
+    case RelationKind::kSimilarity: return "similarity";
+  }
+  return "?";
+}
+
+std::vector<NodeId> HeteroGraph::SampleNeighborsUniform(NodeId id, int k,
+                                                        Rng* rng) const {
+  std::vector<NodeId> out;
+  const int64_t deg = degree(id);
+  if (deg == 0 || k <= 0) return out;
+  out.reserve(k);
+  if (deg <= k) {
+    auto ids = neighbor_ids(id);
+    out.assign(ids.begin(), ids.end());
+    return out;
+  }
+  // Floyd's algorithm for k distinct positions out of deg.
+  std::vector<int64_t> chosen;
+  chosen.reserve(k);
+  for (int64_t j = deg - k; j < deg; ++j) {
+    int64_t t = static_cast<int64_t>(rng->Uniform(static_cast<uint64_t>(j + 1)));
+    if (std::find(chosen.begin(), chosen.end(), t) != chosen.end()) t = j;
+    chosen.push_back(t);
+  }
+  for (int64_t pos : chosen) out.push_back(nbr_id_[offsets_[id] + pos]);
+  return out;
+}
+
+size_t HeteroGraph::MemoryBytes() const {
+  size_t bytes = 0;
+  bytes += types_.size() * sizeof(NodeType);
+  bytes += contents_.size() * sizeof(float);
+  bytes += slot_ids_.size() * sizeof(int64_t);
+  bytes += slot_offsets_.size() * sizeof(int64_t);
+  bytes += offsets_.size() * sizeof(int64_t);
+  bytes += nbr_id_.size() * sizeof(NodeId);
+  bytes += nbr_weight_.size() * sizeof(float);
+  bytes += nbr_kind_.size() * sizeof(RelationKind);
+  bytes += type_offsets_.size() * sizeof(int64_t);
+  for (const auto& a : alias_) bytes += a.MemoryBytes();
+  return bytes;
+}
+
+std::string HeteroGraph::DebugString() const {
+  std::ostringstream os;
+  os << "HeteroGraph{nodes=" << num_nodes() << " (user="
+     << num_nodes_of_type(NodeType::kUser)
+     << ", query=" << num_nodes_of_type(NodeType::kQuery)
+     << ", item=" << num_nodes_of_type(NodeType::kItem)
+     << "), half_edges=" << num_edges() << ", content_dim=" << content_dim_
+     << ", bytes=" << MemoryBytes() << "}";
+  return os.str();
+}
+
+NodeId HeteroGraphBuilder::AddNode(NodeType type, std::vector<float> content,
+                                   std::vector<int64_t> slots) {
+  ZCHECK_EQ(static_cast<int>(content.size()), content_dim_)
+      << "content dim mismatch";
+  const NodeId id = static_cast<NodeId>(types_.size());
+  types_.push_back(type);
+  contents_.insert(contents_.end(), content.begin(), content.end());
+  slot_ids_.insert(slot_ids_.end(), slots.begin(), slots.end());
+  slot_offsets_.push_back(static_cast<int64_t>(slot_ids_.size()));
+  return id;
+}
+
+Status HeteroGraphBuilder::AddEdge(NodeId a, NodeId b, RelationKind kind,
+                                   float weight) {
+  const auto n = static_cast<NodeId>(types_.size());
+  if (a < 0 || a >= n || b < 0 || b >= n) {
+    return Status::InvalidArgument("edge endpoint out of range");
+  }
+  if (a == b) {
+    return Status::InvalidArgument("self-loops are not allowed");
+  }
+  if (weight < 0.0f) {
+    return Status::InvalidArgument("edge weight must be non-negative");
+  }
+  edges_.push_back({a, b, kind, weight});
+  return Status::OK();
+}
+
+HeteroGraph HeteroGraphBuilder::Build() {
+  HeteroGraph g;
+  const int64_t n = num_nodes();
+  g.content_dim_ = content_dim_;
+  g.types_ = std::move(types_);
+  g.contents_ = std::move(contents_);
+  g.slot_ids_ = std::move(slot_ids_);
+  g.slot_offsets_ = std::move(slot_offsets_);
+  for (NodeType t : g.types_) ++g.type_counts_[static_cast<int>(t)];
+
+  // Degree count (each undirected edge contributes a half-edge at both ends).
+  g.offsets_.assign(n + 1, 0);
+  for (const auto& e : edges_) {
+    ++g.offsets_[e.a + 1];
+    ++g.offsets_[e.b + 1];
+  }
+  for (int64_t i = 0; i < n; ++i) g.offsets_[i + 1] += g.offsets_[i];
+
+  const int64_t total = g.offsets_[n];
+  g.nbr_id_.resize(total);
+  g.nbr_weight_.resize(total);
+  g.nbr_kind_.resize(total);
+  std::vector<int64_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const auto& e : edges_) {
+    g.nbr_id_[cursor[e.a]] = e.b;
+    g.nbr_weight_[cursor[e.a]] = e.weight;
+    g.nbr_kind_[cursor[e.a]] = e.kind;
+    ++cursor[e.a];
+    g.nbr_id_[cursor[e.b]] = e.a;
+    g.nbr_weight_[cursor[e.b]] = e.weight;
+    g.nbr_kind_[cursor[e.b]] = e.kind;
+    ++cursor[e.b];
+  }
+  edges_.clear();
+
+  // Sort each neighbor block by (neighbor type, kind, id) and record typed
+  // sub-offsets.
+  g.type_offsets_.assign(n * (kNumNodeTypes + 1), 0);
+  std::vector<int64_t> perm;
+  std::vector<NodeId> tmp_id;
+  std::vector<float> tmp_w;
+  std::vector<RelationKind> tmp_k;
+  for (int64_t v = 0; v < n; ++v) {
+    const int64_t begin = g.offsets_[v];
+    const int64_t deg = g.offsets_[v + 1] - begin;
+    perm.resize(deg);
+    std::iota(perm.begin(), perm.end(), int64_t{0});
+    std::sort(perm.begin(), perm.end(), [&](int64_t x, int64_t y) {
+      const NodeId ax = g.nbr_id_[begin + x], ay = g.nbr_id_[begin + y];
+      const auto tx = static_cast<int>(g.types_[ax]);
+      const auto ty = static_cast<int>(g.types_[ay]);
+      if (tx != ty) return tx < ty;
+      const auto kx = static_cast<int>(g.nbr_kind_[begin + x]);
+      const auto ky = static_cast<int>(g.nbr_kind_[begin + y]);
+      if (kx != ky) return kx < ky;
+      return ax < ay;
+    });
+    tmp_id.resize(deg);
+    tmp_w.resize(deg);
+    tmp_k.resize(deg);
+    for (int64_t i = 0; i < deg; ++i) {
+      tmp_id[i] = g.nbr_id_[begin + perm[i]];
+      tmp_w[i] = g.nbr_weight_[begin + perm[i]];
+      tmp_k[i] = g.nbr_kind_[begin + perm[i]];
+    }
+    std::copy(tmp_id.begin(), tmp_id.end(), g.nbr_id_.begin() + begin);
+    std::copy(tmp_w.begin(), tmp_w.end(), g.nbr_weight_.begin() + begin);
+    std::copy(tmp_k.begin(), tmp_k.end(), g.nbr_kind_.begin() + begin);
+
+    // Typed offsets: absolute positions of each type's sub-range.
+    const int64_t base = v * (kNumNodeTypes + 1);
+    int64_t pos = begin;
+    for (int t = 0; t < kNumNodeTypes; ++t) {
+      g.type_offsets_[base + t] = pos;
+      while (pos < begin + deg &&
+             static_cast<int>(g.types_[g.nbr_id_[pos]]) == t) {
+        ++pos;
+      }
+    }
+    g.type_offsets_[base + kNumNodeTypes] = pos;
+  }
+
+  // Per-node alias tables over edge weights.
+  g.alias_.resize(n);
+  std::vector<double> w;
+  for (int64_t v = 0; v < n; ++v) {
+    const int64_t begin = g.offsets_[v];
+    const int64_t deg = g.offsets_[v + 1] - begin;
+    if (deg == 0) continue;
+    w.assign(g.nbr_weight_.begin() + begin, g.nbr_weight_.begin() + begin + deg);
+    g.alias_[v].Build(w);
+  }
+  return g;
+}
+
+}  // namespace graph
+}  // namespace zoomer

@@ -1,0 +1,186 @@
+// Heterogeneous user-query-item retrieval graph (paper Sec. II).
+//
+// Nodes carry (a) a dense content vector used for relevance scoring (eq. 5)
+// and similarity edges, and (b) categorical feature-slot ids embedded by the
+// models (paper Table I: User = {ID, gender, membership}, Query = {category,
+// terms}, Item = {ID, category, terms, brand, shop}).
+//
+// Edges carry a relation kind: interaction (click), session (adjacent clicks
+// in a session), or similarity (minHash Jaccard, weighted). Storage is CSR
+// with each node's neighbor block sorted by (neighbor type, kind) so typed
+// sub-ranges — needed by edge-level attention, which only compares neighbors
+// of the same type — are contiguous. Every node also carries an alias table
+// over its (weighted) neighbor block for O(1) sampling.
+#ifndef ZOOMER_GRAPH_HETERO_GRAPH_H_
+#define ZOOMER_GRAPH_HETERO_GRAPH_H_
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "graph/alias_table.h"
+
+namespace zoomer {
+namespace graph {
+
+using NodeId = int64_t;
+
+enum class NodeType : uint8_t { kUser = 0, kQuery = 1, kItem = 2 };
+inline constexpr int kNumNodeTypes = 3;
+
+enum class RelationKind : uint8_t {
+  kClick = 0,       // user-query, query-item interaction edges
+  kSession = 1,     // adjacent clicked items within one session
+  kSimilarity = 2,  // minHash Jaccard content similarity
+};
+inline constexpr int kNumRelationKinds = 3;
+
+const char* NodeTypeName(NodeType t);
+const char* RelationKindName(RelationKind k);
+
+/// One outgoing edge as seen from a node's neighbor block.
+struct NeighborEntry {
+  NodeId neighbor;
+  float weight;
+  RelationKind kind;
+};
+
+/// Immutable heterogeneous graph. Construct via HeteroGraphBuilder.
+class HeteroGraph {
+ public:
+  HeteroGraph() = default;
+
+  int64_t num_nodes() const { return static_cast<int64_t>(types_.size()); }
+  int64_t num_edges() const {
+    return static_cast<int64_t>(nbr_id_.size());  // directed half-edges
+  }
+  int64_t num_nodes_of_type(NodeType t) const {
+    return type_counts_[static_cast<int>(t)];
+  }
+  int content_dim() const { return content_dim_; }
+
+  NodeType node_type(NodeId id) const {
+    ZCHECK(id >= 0 && id < num_nodes());
+    return types_[id];
+  }
+
+  /// Dense content vector (content_dim floats).
+  const float* content(NodeId id) const {
+    return contents_.data() + id * content_dim_;
+  }
+
+  /// Categorical feature-slot ids of a node.
+  std::span<const int64_t> slots(NodeId id) const {
+    return {slot_ids_.data() + slot_offsets_[id],
+            static_cast<size_t>(slot_offsets_[id + 1] - slot_offsets_[id])};
+  }
+
+  int64_t degree(NodeId id) const { return offsets_[id + 1] - offsets_[id]; }
+
+  /// Full neighbor block of a node, sorted by (neighbor type, kind).
+  std::span<const NodeId> neighbor_ids(NodeId id) const {
+    return {nbr_id_.data() + offsets_[id],
+            static_cast<size_t>(degree(id))};
+  }
+  std::span<const float> neighbor_weights(NodeId id) const {
+    return {nbr_weight_.data() + offsets_[id],
+            static_cast<size_t>(degree(id))};
+  }
+  std::span<const RelationKind> neighbor_kinds(NodeId id) const {
+    return {nbr_kind_.data() + offsets_[id],
+            static_cast<size_t>(degree(id))};
+  }
+
+  /// Contiguous sub-range [begin, end) within the neighbor block holding
+  /// neighbors of the given type.
+  std::pair<int64_t, int64_t> TypedRange(NodeId id, NodeType t) const {
+    const int64_t base = id * (kNumNodeTypes + 1);
+    return {type_offsets_[base + static_cast<int>(t)],
+            type_offsets_[base + static_cast<int>(t) + 1]};
+  }
+
+  /// Neighbor ids of a given type.
+  std::span<const NodeId> NeighborsOfType(NodeId id, NodeType t) const {
+    auto [b, e] = TypedRange(id, t);
+    return {nbr_id_.data() + b, static_cast<size_t>(e - b)};
+  }
+
+  /// O(1) weighted neighbor draw via the per-node alias table.
+  /// Returns -1 for isolated nodes.
+  NodeId SampleNeighbor(NodeId id, Rng* rng) const {
+    if (degree(id) == 0) return -1;
+    const size_t k = alias_[id].Sample(rng);
+    return nbr_id_[offsets_[id] + static_cast<int64_t>(k)];
+  }
+
+  /// Uniform sample of up to k distinct positions from the neighbor block
+  /// (with replacement if degree < k and allow_repeat).
+  std::vector<NodeId> SampleNeighborsUniform(NodeId id, int k, Rng* rng) const;
+
+  /// Approximate resident bytes of the CSR structures and alias tables.
+  size_t MemoryBytes() const;
+
+  std::string DebugString() const;
+
+ private:
+  friend class HeteroGraphBuilder;
+
+  int content_dim_ = 0;
+  std::vector<NodeType> types_;
+  std::array<int64_t, kNumNodeTypes> type_counts_ = {0, 0, 0};
+  std::vector<float> contents_;       // num_nodes * content_dim
+  std::vector<int64_t> slot_ids_;     // concatenated slot ids
+  std::vector<int64_t> slot_offsets_; // num_nodes + 1
+
+  std::vector<int64_t> offsets_;      // num_nodes + 1
+  std::vector<NodeId> nbr_id_;
+  std::vector<float> nbr_weight_;
+  std::vector<RelationKind> nbr_kind_;
+  // per node: kNumNodeTypes+1 absolute offsets into the neighbor arrays
+  std::vector<int64_t> type_offsets_;
+  std::vector<AliasTable> alias_;
+};
+
+/// Mutable builder. Nodes first, then edges, then Build().
+class HeteroGraphBuilder {
+ public:
+  explicit HeteroGraphBuilder(int content_dim) : content_dim_(content_dim) {}
+
+  /// Adds a node and returns its id. content must have content_dim entries.
+  NodeId AddNode(NodeType type, std::vector<float> content,
+                 std::vector<int64_t> slots);
+
+  /// Adds an undirected edge (stored as two half-edges). Self-loops and
+  /// invalid ids are rejected.
+  Status AddEdge(NodeId a, NodeId b, RelationKind kind, float weight = 1.0f);
+
+  int64_t num_nodes() const { return static_cast<int64_t>(types_.size()); }
+  int64_t num_edges_added() const { return static_cast<int64_t>(edges_.size()); }
+
+  /// Finalizes into an immutable HeteroGraph. The builder is left empty.
+  HeteroGraph Build();
+
+ private:
+  struct Edge {
+    NodeId a, b;
+    RelationKind kind;
+    float weight;
+  };
+
+  int content_dim_;
+  std::vector<NodeType> types_;
+  std::vector<float> contents_;
+  std::vector<int64_t> slot_ids_;
+  std::vector<int64_t> slot_offsets_{0};
+  std::vector<Edge> edges_;
+};
+
+}  // namespace graph
+}  // namespace zoomer
+
+#endif  // ZOOMER_GRAPH_HETERO_GRAPH_H_

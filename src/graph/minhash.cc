@@ -1,0 +1,102 @@
+#include "graph/minhash.h"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace zoomer {
+namespace graph {
+
+namespace {
+// Finalizer from MurmurHash3 for per-permutation mixing.
+uint64_t Mix64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDull;
+  x ^= x >> 33;
+  x *= 0xC4CEB9FE1A85EC53ull;
+  x ^= x >> 33;
+  return x;
+}
+}  // namespace
+
+MinHasher::MinHasher(int num_permutations, uint64_t seed) {
+  ZCHECK_GT(num_permutations, 0);
+  Rng rng(seed);
+  mul_.resize(num_permutations);
+  add_.resize(num_permutations);
+  for (int i = 0; i < num_permutations; ++i) {
+    mul_[i] = rng.NextUint64() | 1ull;  // odd multiplier => bijection mod 2^64
+    add_[i] = rng.NextUint64();
+  }
+}
+
+std::vector<uint64_t> MinHasher::Signature(
+    const std::vector<uint64_t>& tokens) const {
+  std::vector<uint64_t> sig(mul_.size(),
+                            std::numeric_limits<uint64_t>::max());
+  for (uint64_t t : tokens) {
+    const uint64_t h = Mix64(t);
+    for (size_t i = 0; i < mul_.size(); ++i) {
+      const uint64_t v = h * mul_[i] + add_[i];
+      if (v < sig[i]) sig[i] = v;
+    }
+  }
+  return sig;
+}
+
+double MinHasher::EstimateJaccard(const std::vector<uint64_t>& a,
+                                  const std::vector<uint64_t>& b) {
+  ZCHECK_EQ(a.size(), b.size());
+  if (a.empty()) return 0.0;
+  size_t match = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] == b[i]) ++match;
+  }
+  return static_cast<double>(match) / static_cast<double>(a.size());
+}
+
+double MinHasher::ExactJaccard(const std::vector<uint64_t>& a,
+                               const std::vector<uint64_t>& b) {
+  std::set<uint64_t> sa(a.begin(), a.end());
+  std::set<uint64_t> sb(b.begin(), b.end());
+  if (sa.empty() && sb.empty()) return 0.0;
+  size_t inter = 0;
+  for (uint64_t t : sa) inter += sb.count(t);
+  const size_t uni = sa.size() + sb.size() - inter;
+  return uni == 0 ? 0.0 : static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+void MinHashLsh::Insert(int64_t id, const std::vector<uint64_t>& signature) {
+  ZCHECK_GE(static_cast<int>(signature.size()), bands_ * rows_)
+      << "signature too short for banding";
+  if (buckets_.empty()) buckets_.resize(bands_);
+  for (int b = 0; b < bands_; ++b) {
+    uint64_t h = 0x811C9DC5ull;
+    for (int r = 0; r < rows_; ++r) {
+      h = (h ^ signature[b * rows_ + r]) * 0x100000001B3ull;
+    }
+    buckets_[b][h].push_back(id);
+  }
+}
+
+std::vector<std::pair<int64_t, int64_t>> MinHashLsh::CandidatePairs() const {
+  std::set<std::pair<int64_t, int64_t>> pairs;
+  for (const auto& band : buckets_) {
+    for (const auto& [hash, members] : band) {
+      for (size_t i = 0; i < members.size(); ++i) {
+        for (size_t j = i + 1; j < members.size(); ++j) {
+          int64_t a = members[i], b = members[j];
+          if (a > b) std::swap(a, b);
+          if (a != b) pairs.emplace(a, b);
+        }
+      }
+    }
+  }
+  return {pairs.begin(), pairs.end()};
+}
+
+}  // namespace graph
+}  // namespace zoomer

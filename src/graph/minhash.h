@@ -1,0 +1,69 @@
+// MinHash signatures and LSH candidate generation for similarity-based edge
+// construction. The paper (Sec. II) builds similarity edges between queries
+// and items from minHash-estimated Jaccard similarities over title terms;
+// these edges help cold-start nodes that have sparse interaction history.
+#ifndef ZOOMER_GRAPH_MINHASH_H_
+#define ZOOMER_GRAPH_MINHASH_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace zoomer {
+namespace graph {
+
+/// Fixed family of 64-bit hash permutations; a signature is the per-
+/// permutation minimum over a token set.
+class MinHasher {
+ public:
+  /// num_permutations: signature length; more permutations lower the
+  /// Jaccard-estimation variance (stddev ~ 1/sqrt(k)).
+  explicit MinHasher(int num_permutations, uint64_t seed = 0xC0FFEEULL);
+
+  /// Computes the signature of a token set. Empty sets yield all-max
+  /// signatures (similarity 0 against everything non-empty).
+  std::vector<uint64_t> Signature(const std::vector<uint64_t>& tokens) const;
+
+  /// Unbiased estimate of Jaccard similarity from two signatures.
+  static double EstimateJaccard(const std::vector<uint64_t>& a,
+                                const std::vector<uint64_t>& b);
+
+  /// Exact Jaccard over raw token sets (test oracle / small inputs).
+  static double ExactJaccard(const std::vector<uint64_t>& a,
+                             const std::vector<uint64_t>& b);
+
+  int num_permutations() const { return static_cast<int>(mul_.size()); }
+
+ private:
+  std::vector<uint64_t> mul_;
+  std::vector<uint64_t> add_;
+};
+
+/// Banded LSH over MinHash signatures: signatures are split into `bands`
+/// groups of `rows` values; sets sharing any band bucket become candidate
+/// pairs. Used to avoid the O(n^2) scan when wiring similarity edges.
+class MinHashLsh {
+ public:
+  MinHashLsh(int bands, int rows) : bands_(bands), rows_(rows) {}
+
+  /// Inserts a signature under the caller-supplied id.
+  void Insert(int64_t id, const std::vector<uint64_t>& signature);
+
+  /// All unordered candidate pairs (each reported once, a < b).
+  std::vector<std::pair<int64_t, int64_t>> CandidatePairs() const;
+
+  int bands() const { return bands_; }
+  int rows() const { return rows_; }
+
+ private:
+  int bands_;
+  int rows_;
+  // band index -> bucket hash -> member ids
+  std::vector<std::unordered_map<uint64_t, std::vector<int64_t>>> buckets_;
+};
+
+}  // namespace graph
+}  // namespace zoomer
+
+#endif  // ZOOMER_GRAPH_MINHASH_H_

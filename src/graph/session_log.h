@@ -1,0 +1,29 @@
+// Raw behavior-log records: the input format of the graph generator
+// (paper Sec. VI "Graph generator": ODPS parses customer-platform interaction
+// logs into heterogeneous graphs). A session is one user searching one query
+// and clicking an ordered list of items.
+#ifndef ZOOMER_GRAPH_SESSION_LOG_H_
+#define ZOOMER_GRAPH_SESSION_LOG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/hetero_graph.h"
+
+namespace zoomer {
+namespace graph {
+
+/// One search session: user u posed query q and clicked `clicks` in order.
+struct SessionRecord {
+  NodeId user = -1;
+  NodeId query = -1;
+  std::vector<NodeId> clicks;
+  int64_t timestamp = 0;  // seconds; used to window 1-hour vs 1-day graphs
+};
+
+using SessionLog = std::vector<SessionRecord>;
+
+}  // namespace graph
+}  // namespace zoomer
+
+#endif  // ZOOMER_GRAPH_SESSION_LOG_H_

@@ -1,0 +1,71 @@
+#include "ps/embedding_table.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace zoomer {
+namespace ps {
+
+EmbeddingTable::EmbeddingTable(EmbeddingTableOptions options)
+    : options_(options), stripes_(options.lock_stripes) {
+  ZCHECK_GT(options_.dim, 0);
+  ZCHECK_GT(options_.lock_stripes, 0);
+}
+
+void EmbeddingTable::Pull(const std::vector<Key>& keys,
+                          std::vector<float>* out) {
+  out->resize(keys.size() * options_.dim);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    Stripe& stripe = StripeFor(keys[i]);
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    auto it = stripe.map.find(keys[i]);
+    if (it == stripe.map.end()) {
+      // Deterministic per-key init so replicas agree without coordination.
+      Rng rng(options_.seed * 0x9E3779B9ull +
+              static_cast<uint64_t>(keys[i]));
+      Entry entry;
+      entry.value.resize(options_.dim);
+      for (auto& v : entry.value) {
+        v = static_cast<float>(rng.Normal()) * options_.init_stddev;
+      }
+      entry.accum.assign(options_.dim, 0.0f);
+      it = stripe.map.emplace(keys[i], std::move(entry)).first;
+    }
+    std::copy(it->second.value.begin(), it->second.value.end(),
+              out->begin() + static_cast<int64_t>(i) * options_.dim);
+  }
+}
+
+Status EmbeddingTable::Push(const std::vector<Key>& keys,
+                            const std::vector<float>& grads) {
+  if (grads.size() != keys.size() * static_cast<size_t>(options_.dim)) {
+    return Status::InvalidArgument("gradient size mismatch");
+  }
+  for (size_t i = 0; i < keys.size(); ++i) {
+    Stripe& stripe = StripeFor(keys[i]);
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    auto it = stripe.map.find(keys[i]);
+    if (it == stripe.map.end()) continue;  // never pulled: drop stale push
+    Entry& e = it->second;
+    const float* g = grads.data() + static_cast<int64_t>(i) * options_.dim;
+    for (int d = 0; d < options_.dim; ++d) {
+      e.accum[d] += g[d] * g[d];
+      e.value[d] -= options_.learning_rate * g[d] /
+                    (std::sqrt(e.accum[d]) + options_.adagrad_eps);
+    }
+  }
+  return Status::OK();
+}
+
+int64_t EmbeddingTable::num_keys() const {
+  int64_t n = 0;
+  for (const auto& s : stripes_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    n += static_cast<int64_t>(s.map.size());
+  }
+  return n;
+}
+
+}  // namespace ps
+}  // namespace zoomer

@@ -1,0 +1,69 @@
+// Sharded sparse embedding storage with per-key optimizer state — the
+// parameter-server side of the paper's XDL-based distributed training
+// (Sec. VI): parameters are partitioned across PS shards by key hash, and
+// workers pull/push asynchronously because sparse-gradient conflicts are
+// rare. Adagrad state is kept per key (lazy), matching sparse training
+// practice.
+#ifndef ZOOMER_PS_EMBEDDING_TABLE_H_
+#define ZOOMER_PS_EMBEDDING_TABLE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+
+namespace zoomer {
+namespace ps {
+
+using Key = int64_t;
+
+struct EmbeddingTableOptions {
+  int dim = 16;
+  float init_stddev = 0.05f;
+  float learning_rate = 0.05f;
+  float adagrad_eps = 1e-10f;
+  int lock_stripes = 16;
+  uint64_t seed = 7;
+};
+
+/// One PS shard: a lock-striped key -> (embedding, adagrad state) map.
+/// Missing keys are initialized on first Pull (Gaussian init).
+class EmbeddingTable {
+ public:
+  explicit EmbeddingTable(EmbeddingTableOptions options);
+
+  /// Fetches embeddings for keys (initializing unseen keys).
+  void Pull(const std::vector<Key>& keys, std::vector<float>* out);
+
+  /// Applies Adagrad updates: grads is keys.size() * dim.
+  Status Push(const std::vector<Key>& keys, const std::vector<float>& grads);
+
+  int64_t num_keys() const;
+  int dim() const { return options_.dim; }
+
+ private:
+  struct Entry {
+    std::vector<float> value;
+    std::vector<float> accum;  // adagrad accumulator
+  };
+  struct Stripe {
+    mutable std::mutex mu;
+    std::unordered_map<Key, Entry> map;
+  };
+
+  Stripe& StripeFor(Key k) {
+    return stripes_[static_cast<uint64_t>(k) * 0x9E3779B9ull %
+                    stripes_.size()];
+  }
+
+  EmbeddingTableOptions options_;
+  std::vector<Stripe> stripes_;
+};
+
+}  // namespace ps
+}  // namespace zoomer
+
+#endif  // ZOOMER_PS_EMBEDDING_TABLE_H_

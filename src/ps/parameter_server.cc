@@ -1,0 +1,136 @@
+#include "ps/parameter_server.h"
+
+#include <thread>
+
+#include "common/logging.h"
+#include "common/timer.h"
+
+namespace zoomer {
+namespace ps {
+
+ParameterServer::ParameterServer(ParameterServerOptions options)
+    : options_(options) {
+  ZCHECK_GT(options_.num_shards, 0);
+  for (int s = 0; s < options_.num_shards; ++s) {
+    auto shard = std::make_unique<Shard>();
+    shard->table = std::make_unique<EmbeddingTable>(options_.table);
+    shard->queue = std::make_unique<BoundedQueue<PushRequest>>(
+        options_.push_queue_capacity);
+    Shard* raw = shard.get();
+    shard->applier = std::thread([this, raw] {
+      PushRequest req;
+      while (raw->queue->Pop(&req)) {
+        raw->table->Push(req.keys, req.grads);
+        applied_.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+    shards_.push_back(std::move(shard));
+  }
+}
+
+ParameterServer::~ParameterServer() {
+  for (auto& s : shards_) s->queue->Close();
+  for (auto& s : shards_) {
+    if (s->applier.joinable()) s->applier.join();
+  }
+}
+
+void ParameterServer::Pull(const std::vector<Key>& keys,
+                           std::vector<float>* out) {
+  const int dim = options_.table.dim;
+  out->resize(keys.size() * dim);
+  // Group keys per shard, pull, then scatter back in request order.
+  std::vector<std::vector<Key>> per_shard(options_.num_shards);
+  std::vector<std::vector<size_t>> positions(options_.num_shards);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    const int s = ShardFor(keys[i]);
+    per_shard[s].push_back(keys[i]);
+    positions[s].push_back(i);
+  }
+  std::vector<float> buf;
+  for (int s = 0; s < options_.num_shards; ++s) {
+    if (per_shard[s].empty()) continue;
+    shards_[s]->table->Pull(per_shard[s], &buf);
+    for (size_t j = 0; j < per_shard[s].size(); ++j) {
+      std::copy(buf.begin() + static_cast<int64_t>(j) * dim,
+                buf.begin() + static_cast<int64_t>(j + 1) * dim,
+                out->begin() + static_cast<int64_t>(positions[s][j]) * dim);
+    }
+  }
+}
+
+bool ParameterServer::PushAsync(std::vector<Key> keys,
+                                std::vector<float> grads) {
+  const int dim = options_.table.dim;
+  ZCHECK_EQ(grads.size(), keys.size() * static_cast<size_t>(dim));
+  std::vector<std::vector<Key>> per_shard(options_.num_shards);
+  std::vector<std::vector<float>> per_grads(options_.num_shards);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    const int s = ShardFor(keys[i]);
+    per_shard[s].push_back(keys[i]);
+    per_grads[s].insert(per_grads[s].end(),
+                        grads.begin() + static_cast<int64_t>(i) * dim,
+                        grads.begin() + static_cast<int64_t>(i + 1) * dim);
+  }
+  bool ok = true;
+  for (int s = 0; s < options_.num_shards; ++s) {
+    if (per_shard[s].empty()) continue;
+    enqueued_.fetch_add(1, std::memory_order_relaxed);
+    ok &= shards_[s]->queue->Push(
+        {std::move(per_shard[s]), std::move(per_grads[s])});
+  }
+  return ok;
+}
+
+void ParameterServer::Flush() {
+  // Spin-wait until appliers drain; queues are bounded so this terminates.
+  while (applied_.load(std::memory_order_relaxed) <
+         enqueued_.load(std::memory_order_relaxed)) {
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+}
+
+int64_t ParameterServer::num_keys() const {
+  int64_t n = 0;
+  for (const auto& s : shards_) n += s->table->num_keys();
+  return n;
+}
+
+double AsyncPipeline::Run(int64_t n, bool overlap, int queue_capacity) {
+  WallTimer timer;
+  if (!overlap) {
+    for (int64_t i = 0; i < n; ++i) {
+      stages_[0](i);
+      stages_[1](i);
+      stages_[2](i);
+    }
+    return timer.ElapsedSeconds();
+  }
+  BoundedQueue<int64_t> q01(queue_capacity), q12(queue_capacity);
+  std::thread t0([&] {
+    for (int64_t i = 0; i < n; ++i) {
+      stages_[0](i);
+      q01.Push(i);
+    }
+    q01.Close();
+  });
+  std::thread t1([&] {
+    int64_t i;
+    while (q01.Pop(&i)) {
+      stages_[1](i);
+      q12.Push(i);
+    }
+    q12.Close();
+  });
+  std::thread t2([&] {
+    int64_t i;
+    while (q12.Pop(&i)) stages_[2](i);
+  });
+  t0.join();
+  t1.join();
+  t2.join();
+  return timer.ElapsedSeconds();
+}
+
+}  // namespace ps
+}  // namespace zoomer

@@ -1,0 +1,94 @@
+// Worker / parameter-server training simulation (paper Sec. VI): model
+// parameters and embeddings are partitioned over multiple PS shards; workers
+// pull embeddings, compute gradients, and push updates *asynchronously* —
+// the paper exploits the low conflict probability of sparse parameters. The
+// AsyncPipeline below reproduces the three-stage IO/compute overlap (read
+// subgraphs -> read embeddings -> train) that removes the IO bottleneck.
+#ifndef ZOOMER_PS_PARAMETER_SERVER_H_
+#define ZOOMER_PS_PARAMETER_SERVER_H_
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/threadpool.h"
+#include "ps/embedding_table.h"
+
+namespace zoomer {
+namespace ps {
+
+struct ParameterServerOptions {
+  int num_shards = 4;
+  EmbeddingTableOptions table;
+  /// Queue depth per shard for asynchronous pushes.
+  int push_queue_capacity = 1024;
+};
+
+/// Sharded PS with synchronous pulls and asynchronous (queued) pushes.
+class ParameterServer {
+ public:
+  explicit ParameterServer(ParameterServerOptions options);
+  ~ParameterServer();
+
+  /// Synchronous pull across shards; out is keys.size() * dim row-major.
+  void Pull(const std::vector<Key>& keys, std::vector<float>* out);
+
+  /// Asynchronous push: enqueues per-shard updates and returns immediately.
+  /// Returns false if the server is shutting down.
+  bool PushAsync(std::vector<Key> keys, std::vector<float> grads);
+
+  /// Blocks until all queued pushes are applied.
+  void Flush();
+
+  int dim() const { return options_.table.dim; }
+  int64_t num_keys() const;
+  /// Pushes applied so far vs enqueued: the gap is the async staleness.
+  int64_t pushes_enqueued() const { return enqueued_.load(); }
+  int64_t pushes_applied() const { return applied_.load(); }
+
+ private:
+  struct PushRequest {
+    std::vector<Key> keys;
+    std::vector<float> grads;
+  };
+  struct Shard {
+    std::unique_ptr<EmbeddingTable> table;
+    std::unique_ptr<BoundedQueue<PushRequest>> queue;
+    std::thread applier;
+  };
+
+  int ShardFor(Key k) const {
+    return static_cast<int>(static_cast<uint64_t>(k) * 2654435761ull %
+                            static_cast<uint64_t>(options_.num_shards));
+  }
+
+  ParameterServerOptions options_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<int64_t> enqueued_{0};
+  std::atomic<int64_t> applied_{0};
+};
+
+/// Three-stage asynchronous pipeline with bounded inter-stage queues.
+/// Stage callbacks receive the item index; Run() reports wall seconds.
+/// With overlap disabled the stages run back-to-back per item (the paper's
+/// "IO bottleneck" configuration Sec. VI contrasts against).
+class AsyncPipeline {
+ public:
+  using Stage = std::function<void(int64_t)>;
+
+  AsyncPipeline(Stage read_subgraph, Stage read_embeddings, Stage compute)
+      : stages_{std::move(read_subgraph), std::move(read_embeddings),
+                std::move(compute)} {}
+
+  /// Processes items [0, n); returns elapsed wall seconds.
+  double Run(int64_t n, bool overlap, int queue_capacity = 64);
+
+ private:
+  Stage stages_[3];
+};
+
+}  // namespace ps
+}  // namespace zoomer
+
+#endif  // ZOOMER_PS_PARAMETER_SERVER_H_

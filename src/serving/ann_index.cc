@@ -1,0 +1,139 @@
+#include "serving/ann_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace zoomer {
+namespace serving {
+
+void AnnIndex::Normalize(float* v) const {
+  float norm = 0.0f;
+  for (int d = 0; d < dim_; ++d) norm += v[d] * v[d];
+  norm = std::sqrt(norm) + 1e-9f;
+  for (int d = 0; d < dim_; ++d) v[d] /= norm;
+}
+
+Status AnnIndex::Build(const std::vector<float>& vectors, int64_t n, int dim,
+                       const std::vector<int64_t>& ids) {
+  if (n <= 0 || dim <= 0) return Status::InvalidArgument("empty index input");
+  if (vectors.size() != static_cast<size_t>(n * dim)) {
+    return Status::InvalidArgument("vector buffer size mismatch");
+  }
+  if (ids.size() != static_cast<size_t>(n)) {
+    return Status::InvalidArgument("ids size mismatch");
+  }
+  n_ = n;
+  dim_ = dim;
+  data_ = vectors;
+  ids_ = ids;
+  for (int64_t i = 0; i < n_; ++i) Normalize(data_.data() + i * dim_);
+
+  const int nlist = std::min<int>(options_.nlist, static_cast<int>(n_));
+  // k-means++ style init: random distinct rows as centroids.
+  Rng rng(options_.seed);
+  std::vector<int64_t> init(n_);
+  for (int64_t i = 0; i < n_; ++i) init[i] = i;
+  rng.Shuffle(&init);
+  centroids_.assign(static_cast<size_t>(nlist) * dim_, 0.0f);
+  for (int c = 0; c < nlist; ++c) {
+    std::copy(data_.begin() + init[c] * dim_,
+              data_.begin() + (init[c] + 1) * dim_,
+              centroids_.begin() + static_cast<int64_t>(c) * dim_);
+  }
+  std::vector<int> assign(n_, 0);
+  for (int iter = 0; iter < options_.kmeans_iters; ++iter) {
+    for (int64_t i = 0; i < n_; ++i) {
+      float best = -2.0f;
+      int best_c = 0;
+      for (int c = 0; c < nlist; ++c) {
+        float dot = 0.0f;
+        for (int d = 0; d < dim_; ++d) {
+          dot += data_[i * dim_ + d] * centroids_[c * dim_ + d];
+        }
+        if (dot > best) {
+          best = dot;
+          best_c = c;
+        }
+      }
+      assign[i] = best_c;
+    }
+    std::fill(centroids_.begin(), centroids_.end(), 0.0f);
+    std::vector<int> counts(nlist, 0);
+    for (int64_t i = 0; i < n_; ++i) {
+      for (int d = 0; d < dim_; ++d) {
+        centroids_[assign[i] * dim_ + d] += data_[i * dim_ + d];
+      }
+      ++counts[assign[i]];
+    }
+    for (int c = 0; c < nlist; ++c) {
+      if (counts[c] == 0) {
+        // Re-seed empty list with a random row.
+        const int64_t r = static_cast<int64_t>(rng.Uniform(n_));
+        std::copy(data_.begin() + r * dim_, data_.begin() + (r + 1) * dim_,
+                  centroids_.begin() + static_cast<int64_t>(c) * dim_);
+      } else {
+        Normalize(centroids_.data() + static_cast<int64_t>(c) * dim_);
+      }
+    }
+  }
+  lists_.assign(nlist, {});
+  for (int64_t i = 0; i < n_; ++i) lists_[assign[i]].push_back(i);
+  return Status::OK();
+}
+
+std::vector<AnnResult> AnnIndex::Search(const float* query, int k) const {
+  ZCHECK_GT(n_, 0) << "index not built";
+  std::vector<float> q(query, query + dim_);
+  Normalize(q.data());
+  // Rank lists by centroid similarity.
+  const int nlist = static_cast<int>(lists_.size());
+  std::vector<std::pair<float, int>> list_rank(nlist);
+  for (int c = 0; c < nlist; ++c) {
+    float dot = 0.0f;
+    for (int d = 0; d < dim_; ++d) dot += q[d] * centroids_[c * dim_ + d];
+    list_rank[c] = {dot, c};
+  }
+  const int nprobe = std::min(options_.nprobe, nlist);
+  std::partial_sort(list_rank.begin(), list_rank.begin() + nprobe,
+                    list_rank.end(), std::greater<>());
+  std::vector<AnnResult> results;
+  for (int p = 0; p < nprobe; ++p) {
+    for (int64_t row : lists_[list_rank[p].second]) {
+      float dot = 0.0f;
+      for (int d = 0; d < dim_; ++d) dot += q[d] * data_[row * dim_ + d];
+      results.push_back({ids_[row], dot});
+    }
+  }
+  const size_t keep = std::min<size_t>(k, results.size());
+  std::partial_sort(results.begin(), results.begin() + keep, results.end(),
+                    [](const AnnResult& a, const AnnResult& b) {
+                      return a.score > b.score;
+                    });
+  results.resize(keep);
+  return results;
+}
+
+std::vector<AnnResult> AnnIndex::SearchExact(const float* query,
+                                             int k) const {
+  ZCHECK_GT(n_, 0) << "index not built";
+  std::vector<float> q(query, query + dim_);
+  Normalize(q.data());
+  std::vector<AnnResult> results(n_);
+  for (int64_t i = 0; i < n_; ++i) {
+    float dot = 0.0f;
+    for (int d = 0; d < dim_; ++d) dot += q[d] * data_[i * dim_ + d];
+    results[i] = {ids_[i], dot};
+  }
+  const size_t keep = std::min<size_t>(k, results.size());
+  std::partial_sort(results.begin(), results.begin() + keep, results.end(),
+                    [](const AnnResult& a, const AnnResult& b) {
+                      return a.score > b.score;
+                    });
+  results.resize(keep);
+  return results;
+}
+
+}  // namespace serving
+}  // namespace zoomer

@@ -1,0 +1,65 @@
+// Approximate-nearest-neighbor inverted index (paper Sec. VI: trained
+// representations are fed to an ANN module generating the inverted index
+// used for online retrieval in iGraph). IVF-Flat: a k-means coarse quantizer
+// partitions item vectors into nlist inverted lists; a query scans the
+// nprobe closest lists. Cosine similarity via L2-normalized vectors.
+#ifndef ZOOMER_SERVING_ANN_INDEX_H_
+#define ZOOMER_SERVING_ANN_INDEX_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+
+namespace zoomer {
+namespace serving {
+
+struct AnnIndexOptions {
+  int nlist = 16;        // number of inverted lists (coarse centroids)
+  int nprobe = 4;        // lists scanned per query
+  int kmeans_iters = 8;
+  uint64_t seed = 17;
+};
+
+struct AnnResult {
+  int64_t id = -1;      // caller-provided id
+  float score = 0.0f;   // cosine similarity
+};
+
+class AnnIndex {
+ public:
+  explicit AnnIndex(AnnIndexOptions options) : options_(options) {}
+
+  /// Builds the index over `vectors` (n x dim, row-major), with ids[i]
+  /// attached to row i. Vectors are L2-normalized internally.
+  Status Build(const std::vector<float>& vectors, int64_t n, int dim,
+               const std::vector<int64_t>& ids);
+
+  /// Top-k by cosine over the nprobe nearest lists.
+  std::vector<AnnResult> Search(const float* query, int k) const;
+
+  /// Exact top-k scan (recall oracle for tests/benches).
+  std::vector<AnnResult> SearchExact(const float* query, int k) const;
+
+  int64_t size() const { return n_; }
+  int dim() const { return dim_; }
+  const AnnIndexOptions& options() const { return options_; }
+
+ private:
+  void Normalize(float* v) const;
+
+  AnnIndexOptions options_;
+  int64_t n_ = 0;
+  int dim_ = 0;
+  std::vector<float> data_;       // normalized vectors
+  std::vector<int64_t> ids_;
+  std::vector<float> centroids_;  // nlist x dim
+  std::vector<std::vector<int64_t>> lists_;  // row indices per list
+};
+
+}  // namespace serving
+}  // namespace zoomer
+
+#endif  // ZOOMER_SERVING_ANN_INDEX_H_

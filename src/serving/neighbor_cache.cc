@@ -1,0 +1,65 @@
+#include "serving/neighbor_cache.h"
+
+#include <algorithm>
+
+namespace zoomer {
+namespace serving {
+
+using graph::NodeId;
+
+NeighborCache::NeighborCache(const graph::HeteroGraph* g,
+                             NeighborCacheOptions options)
+    : graph_(g),
+      options_(options),
+      refresher_(std::make_unique<ThreadPool>(options.refresh_threads)) {}
+
+std::vector<NodeId> NeighborCache::ComputeTopK(NodeId node) const {
+  // Highest-weight neighbors (interaction frequency) up to k.
+  auto ids = graph_->neighbor_ids(node);
+  auto weights = graph_->neighbor_weights(node);
+  std::vector<std::pair<float, NodeId>> scored;
+  scored.reserve(ids.size());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    scored.emplace_back(weights[i], ids[i]);
+  }
+  const size_t keep = std::min<size_t>(options_.k, scored.size());
+  std::partial_sort(scored.begin(), scored.begin() + keep, scored.end(),
+                    std::greater<>());
+  std::vector<NodeId> out;
+  out.reserve(keep);
+  for (size_t i = 0; i < keep; ++i) out.push_back(scored[i].second);
+  return out;
+}
+
+bool NeighborCache::Get(NodeId node, std::vector<NodeId>* out) {
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = cache_.find(node);
+    if (it != cache_.end()) {
+      *out = it->second;
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  refresher_->Submit([this, node] { Warm(node); });
+  return false;
+}
+
+void NeighborCache::Warm(NodeId node) {
+  auto topk = ComputeTopK(node);
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  cache_[node] = std::move(topk);
+}
+
+void NeighborCache::WarmAll(const std::vector<NodeId>& nodes) {
+  for (NodeId n : nodes) Warm(n);
+}
+
+size_t NeighborCache::size() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return cache_.size();
+}
+
+}  // namespace serving
+}  // namespace zoomer

@@ -1,0 +1,60 @@
+// Per-node neighbor cache for online serving (paper Sec. VII-E): the
+// production deployment caches the k last-visited neighbors of each user and
+// query node (k = 30) and refreshes entries fully asynchronously from user
+// requests, decoupling neighbor *sampling* from neighbor *aggregation*.
+#ifndef ZOOMER_SERVING_NEIGHBOR_CACHE_H_
+#define ZOOMER_SERVING_NEIGHBOR_CACHE_H_
+
+#include <atomic>
+#include <memory>
+#include <shared_mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/threadpool.h"
+#include "graph/hetero_graph.h"
+
+namespace zoomer {
+namespace serving {
+
+struct NeighborCacheOptions {
+  int k = 30;  // production value (paper Sec. VII-E)
+  /// Threads performing asynchronous refreshes.
+  int refresh_threads = 1;
+};
+
+/// Read-mostly cache: Get never blocks on graph sampling — a miss returns
+/// false and schedules an asynchronous fill, mirroring the paper's
+/// "cache updating is fully asynchronous from users' timely requests".
+class NeighborCache {
+ public:
+  NeighborCache(const graph::HeteroGraph* g, NeighborCacheOptions options);
+
+  /// Returns true and fills `out` on hit; on miss schedules a background
+  /// fill and returns false.
+  bool Get(graph::NodeId node, std::vector<graph::NodeId>* out);
+
+  /// Synchronous fill (used for warmup before load tests).
+  void Warm(graph::NodeId node);
+  void WarmAll(const std::vector<graph::NodeId>& nodes);
+
+  int64_t hits() const { return hits_.load(); }
+  int64_t misses() const { return misses_.load(); }
+  size_t size() const;
+
+ private:
+  std::vector<graph::NodeId> ComputeTopK(graph::NodeId node) const;
+
+  const graph::HeteroGraph* graph_;
+  NeighborCacheOptions options_;
+  mutable std::shared_mutex mu_;
+  std::unordered_map<graph::NodeId, std::vector<graph::NodeId>> cache_;
+  std::unique_ptr<ThreadPool> refresher_;
+  std::atomic<int64_t> hits_{0};
+  std::atomic<int64_t> misses_{0};
+};
+
+}  // namespace serving
+}  // namespace zoomer
+
+#endif  // ZOOMER_SERVING_NEIGHBOR_CACHE_H_

@@ -1,0 +1,165 @@
+#include "serving/online_server.h"
+
+#include <chrono>
+#include <cmath>
+#include <mutex>
+#include <thread>
+
+#include "common/logging.h"
+
+namespace zoomer {
+namespace serving {
+
+using graph::NodeId;
+
+OnlineServer::OnlineServer(const graph::HeteroGraph* g,
+                           OnlineServerOptions options,
+                           std::vector<float> node_embeddings,
+                           const std::vector<NodeId>& item_ids,
+                           const std::vector<float>& item_embeddings)
+    : graph_(g),
+      options_(options),
+      node_emb_(std::move(node_embeddings)),
+      cache_(std::make_unique<NeighborCache>(g, options.cache)),
+      index_(options.ann) {
+  ZCHECK_EQ(static_cast<int64_t>(node_emb_.size()),
+            g->num_nodes() * options_.embedding_dim);
+  Status st = index_.Build(item_embeddings,
+                           static_cast<int64_t>(item_ids.size()),
+                           options_.embedding_dim,
+                           std::vector<int64_t>(item_ids.begin(),
+                                                item_ids.end()));
+  ZCHECK(st.ok()) << st.ToString();
+}
+
+void OnlineServer::WarmCache(const std::vector<NodeId>& nodes) {
+  cache_->WarmAll(nodes);
+}
+
+void OnlineServer::EmbedRequest(const ServingRequest& req,
+                                std::vector<float>* out) {
+  const int d = options_.embedding_dim;
+  out->assign(d, 0.0f);
+  const float* eu = node_emb_.data() + req.user * d;
+  const float* eq = node_emb_.data() + req.query * d;
+  // Focal vector = user + query embeddings.
+  std::vector<float> focal(d);
+  for (int j = 0; j < d; ++j) focal[j] = eu[j] + eq[j];
+
+  // Aggregate cached neighbors of both ego nodes with edge-level attention
+  // (scores = dot(neighbor, focal); softmax; weighted sum).
+  std::vector<NodeId> nbrs;
+  std::vector<NodeId> tmp;
+  for (NodeId ego : {req.user, req.query}) {
+    bool hit = true;
+    if (options_.use_neighbor_cache) {
+      hit = cache_->Get(ego, &tmp);
+    } else {
+      // Cache bypass: compute top-k on the request path.
+      cache_->Warm(ego);
+      hit = cache_->Get(ego, &tmp);
+    }
+    if (hit) nbrs.insert(nbrs.end(), tmp.begin(), tmp.end());
+  }
+
+  if (nbrs.empty()) {
+    for (int j = 0; j < d; ++j) (*out)[j] = focal[j];
+    return;
+  }
+  std::vector<float> scores(nbrs.size());
+  float max_score = -1e30f;
+  for (size_t i = 0; i < nbrs.size(); ++i) {
+    const float* en = node_emb_.data() + nbrs[i] * d;
+    float dot = 0.0f;
+    for (int j = 0; j < d; ++j) dot += en[j] * focal[j];
+    scores[i] = options_.use_edge_attention
+                    ? dot
+                    : 0.0f;  // mean aggregation when attention disabled
+    max_score = std::max(max_score, scores[i]);
+  }
+  float z = 0.0f;
+  for (auto& s : scores) {
+    s = std::exp(s - max_score);
+    z += s;
+  }
+  for (size_t i = 0; i < nbrs.size(); ++i) {
+    const float w = scores[i] / z;
+    const float* en = node_emb_.data() + nbrs[i] * d;
+    for (int j = 0; j < d; ++j) (*out)[j] += w * en[j];
+  }
+  // Residual merge with the focal vector.
+  for (int j = 0; j < d; ++j) {
+    (*out)[j] = std::tanh((*out)[j] + 0.5f * focal[j]);
+  }
+}
+
+ServingResponse OnlineServer::Handle(const ServingRequest& req) {
+  WallTimer timer;
+  ServingResponse resp;
+  std::vector<float> uq;
+  EmbedRequest(req, &uq);
+  resp.items = index_.Search(uq.data(), options_.top_n);
+  resp.latency_ms = timer.ElapsedMillis();
+  return resp;
+}
+
+LoadResult RunLoad(OnlineServer* server,
+                   const std::vector<ServingRequest>& request_pool,
+                   double qps, double duration_seconds, int client_threads,
+                   uint64_t seed, int server_threads) {
+  ZCHECK(!request_pool.empty());
+  LoadResult result;
+  result.offered_qps = qps;
+  LatencyStats stats;
+  std::mutex stats_mu;
+  std::atomic<int64_t> total{0};
+
+  // Open loop: client threads offer requests at the configured rate into a
+  // fixed server-side handler pool; response time = queueing + service, so
+  // the latency curve bends as offered load approaches pool capacity.
+  ThreadPool handlers(server_threads);
+  const double per_thread_qps = qps / client_threads;
+  const double gap_seconds = 1.0 / per_thread_qps;
+  std::vector<std::thread> clients;
+  WallTimer wall;
+  for (int c = 0; c < client_threads; ++c) {
+    clients.emplace_back([&, c] {
+      Rng rng(seed + static_cast<uint64_t>(c) * 1000);
+      WallTimer thread_timer;
+      int64_t sent = 0;
+      while (thread_timer.ElapsedSeconds() < duration_seconds) {
+        const double next_send = static_cast<double>(sent) * gap_seconds;
+        const double now = thread_timer.ElapsedSeconds();
+        if (now < next_send) {
+          std::this_thread::sleep_for(
+              std::chrono::duration<double>(next_send - now));
+        }
+        const auto& req = request_pool[rng.Uniform(request_pool.size())];
+        auto offered_at = std::chrono::steady_clock::now();
+        handlers.Submit([&, req, offered_at] {
+          server->Handle(req);
+          const double ms =
+              std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - offered_at)
+                  .count();
+          total.fetch_add(1, std::memory_order_relaxed);
+          std::lock_guard<std::mutex> lock(stats_mu);
+          stats.Add(ms);
+        });
+        ++sent;
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  handlers.Shutdown();  // drain queued requests
+  const double elapsed = wall.ElapsedSeconds();
+  result.requests = total.load();
+  result.achieved_qps = result.requests / elapsed;
+  result.mean_ms = stats.Mean();
+  result.p50_ms = stats.Percentile(50);
+  result.p99_ms = stats.Percentile(99);
+  return result;
+}
+
+}  // namespace serving
+}  // namespace zoomer

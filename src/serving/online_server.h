@@ -1,0 +1,106 @@
+// Online retrieval server (paper Sec. VI-VII.E). The serving path per
+// request (user, query):
+//   1. look up the user/query embeddings (trained, exported as float rows);
+//   2. fetch cached top-k neighbors of both nodes (k = 30, async refresh);
+//   3. lightweight edge-level-attention-only aggregation in plain float math
+//      (the paper keeps only the edge-level attention online to cut cost);
+//   4. ANN search over the item inverted index for the top-N items.
+//
+// The load generator offers requests at a configurable QPS (open loop) from
+// several client threads and records per-request latency, which reproduces
+// the response-time-vs-QPS curve of Fig. 9.
+#ifndef ZOOMER_SERVING_ONLINE_SERVER_H_
+#define ZOOMER_SERVING_ONLINE_SERVER_H_
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "common/timer.h"
+#include "common/threadpool.h"
+#include "graph/hetero_graph.h"
+#include "serving/ann_index.h"
+#include "serving/neighbor_cache.h"
+
+namespace zoomer {
+namespace serving {
+
+struct OnlineServerOptions {
+  int embedding_dim = 16;
+  int top_n = 50;           // items retrieved per request
+  int worker_threads = 4;
+  NeighborCacheOptions cache;
+  AnnIndexOptions ann;
+  /// Disable edge attention (mean aggregation) — ablation of the serving
+  /// reduction described in Sec. VII-E.
+  bool use_edge_attention = true;
+  /// Bypass the neighbor cache (sample on the request path) — quantifies
+  /// the cache benefit.
+  bool use_neighbor_cache = true;
+  uint64_t seed = 23;
+};
+
+struct ServingRequest {
+  graph::NodeId user = -1;
+  graph::NodeId query = -1;
+};
+
+struct ServingResponse {
+  std::vector<AnnResult> items;
+  double latency_ms = 0.0;
+};
+
+class OnlineServer {
+ public:
+  /// node_embeddings: one float row per graph node (trained export);
+  /// item_ids/item_embeddings build the ANN index.
+  OnlineServer(const graph::HeteroGraph* g, OnlineServerOptions options,
+               std::vector<float> node_embeddings,
+               const std::vector<graph::NodeId>& item_ids,
+               const std::vector<float>& item_embeddings);
+
+  /// Synchronous request handling (measures its own latency).
+  ServingResponse Handle(const ServingRequest& req);
+
+  /// Pre-fills the neighbor cache for the given nodes.
+  void WarmCache(const std::vector<graph::NodeId>& nodes);
+
+  const NeighborCache& cache() const { return *cache_; }
+  const AnnIndex& index() const { return index_; }
+
+ private:
+  /// Edge-attention-only user-query embedding in plain float math.
+  void EmbedRequest(const ServingRequest& req, std::vector<float>* out);
+
+  const graph::HeteroGraph* graph_;
+  OnlineServerOptions options_;
+  std::vector<float> node_emb_;  // num_nodes x dim
+  std::unique_ptr<NeighborCache> cache_;
+  AnnIndex index_;
+};
+
+/// Open-loop load generator: offers `qps` requests per second for
+/// `duration_seconds` from `client_threads` threads against the server and
+/// collects latency statistics.
+struct LoadResult {
+  double offered_qps = 0.0;
+  double achieved_qps = 0.0;
+  double mean_ms = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  int64_t requests = 0;
+};
+
+/// server_threads: size of the server-side worker pool requests queue into
+/// (a real deployment has a fixed handler pool; queueing delay above
+/// capacity is what bends the Fig. 9 curve).
+LoadResult RunLoad(OnlineServer* server,
+                   const std::vector<ServingRequest>& request_pool,
+                   double qps, double duration_seconds, int client_threads,
+                   uint64_t seed, int server_threads = 4);
+
+}  // namespace serving
+}  // namespace zoomer
+
+#endif  // ZOOMER_SERVING_ONLINE_SERVER_H_

@@ -1,0 +1,83 @@
+#include "tensor/optimizer.h"
+
+#include <cmath>
+
+namespace zoomer {
+namespace tensor {
+
+void Sgd::Step() {
+  if (momentum_ > 0.0f && velocity_.size() < params_.size()) {
+    velocity_.resize(params_.size());
+  }
+  for (size_t pi = 0; pi < params_.size(); ++pi) {
+    Tensor& p = params_[pi];
+    if (!p.requires_grad()) continue;
+    float* w = p.data();
+    const float* g = p.grad_data();
+    const int64_t n = p.size();
+    if (momentum_ > 0.0f) {
+      auto& vel = velocity_[pi];
+      if (static_cast<int64_t>(vel.size()) != n) vel.assign(n, 0.0f);
+      for (int64_t i = 0; i < n; ++i) {
+        const float grad = g[i] + weight_decay_ * w[i];
+        vel[i] = momentum_ * vel[i] + grad;
+        w[i] -= lr_ * vel[i];
+      }
+    } else {
+      for (int64_t i = 0; i < n; ++i) {
+        w[i] -= lr_ * (g[i] + weight_decay_ * w[i]);
+      }
+    }
+  }
+}
+
+void Adam::Step() {
+  ++t_;
+  if (m_.size() < params_.size()) {
+    m_.resize(params_.size());
+    v_.resize(params_.size());
+  }
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (size_t pi = 0; pi < params_.size(); ++pi) {
+    Tensor& p = params_[pi];
+    if (!p.requires_grad()) continue;
+    float* w = p.data();
+    const float* g = p.grad_data();
+    const int64_t n = p.size();
+    auto& m = m_[pi];
+    auto& v = v_[pi];
+    if (static_cast<int64_t>(m.size()) != n) {
+      m.assign(n, 0.0f);
+      v.assign(n, 0.0f);
+    }
+    for (int64_t i = 0; i < n; ++i) {
+      const float grad = g[i] + weight_decay_ * w[i];
+      m[i] = beta1_ * m[i] + (1.0f - beta1_) * grad;
+      v[i] = beta2_ * v[i] + (1.0f - beta2_) * grad * grad;
+      const float mhat = m[i] / bc1;
+      const float vhat = v[i] / bc2;
+      w[i] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+}
+
+void Adagrad::Step() {
+  if (accum_.size() < params_.size()) accum_.resize(params_.size());
+  for (size_t pi = 0; pi < params_.size(); ++pi) {
+    Tensor& p = params_[pi];
+    if (!p.requires_grad()) continue;
+    float* w = p.data();
+    const float* g = p.grad_data();
+    const int64_t n = p.size();
+    auto& acc = accum_[pi];
+    if (static_cast<int64_t>(acc.size()) != n) acc.assign(n, 0.0f);
+    for (int64_t i = 0; i < n; ++i) {
+      acc[i] += g[i] * g[i];
+      w[i] -= lr_ * g[i] / (std::sqrt(acc[i]) + eps_);
+    }
+  }
+}
+
+}  // namespace tensor
+}  // namespace zoomer

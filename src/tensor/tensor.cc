@@ -1,0 +1,823 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace zoomer {
+namespace tensor {
+
+std::atomic<int64_t> AllocationTracker::allocated_floats_{0};
+
+namespace {
+
+std::shared_ptr<TensorImpl> MakeImpl(int64_t rows, int64_t cols,
+                                     bool requires_grad) {
+  ZCHECK(rows > 0 && cols > 0) << "invalid shape " << rows << "x" << cols;
+  auto impl = std::make_shared<TensorImpl>();
+  impl->rows = rows;
+  impl->cols = cols;
+  impl->data.assign(static_cast<size_t>(rows * cols), 0.0f);
+  impl->requires_grad = requires_grad;
+  if (requires_grad) impl->EnsureGrad();
+  AllocationTracker::Record(rows * cols);
+  return impl;
+}
+
+
+bool AnyRequiresGrad(const Tensor& a, const Tensor& b) {
+  return a.requires_grad() || b.requires_grad();
+}
+
+// Accumulates src into dst->grad (dst must require grad).
+void Accumulate(TensorImpl* dst, const float* src, int64_t n) {
+  dst->EnsureGrad();
+  float* g = dst->grad.data();
+  for (int64_t i = 0; i < n; ++i) g[i] += src[i];
+}
+
+}  // namespace
+
+Tensor Tensor::Zeros(int64_t rows, int64_t cols, bool requires_grad) {
+  return Tensor(MakeImpl(rows, cols, requires_grad));
+}
+
+Tensor Tensor::Full(int64_t rows, int64_t cols, float value,
+                    bool requires_grad) {
+  auto impl = MakeImpl(rows, cols, requires_grad);
+  std::fill(impl->data.begin(), impl->data.end(), value);
+  return Tensor(impl);
+}
+
+Tensor Tensor::Randn(int64_t rows, int64_t cols, Rng* rng, float stddev,
+                     bool requires_grad) {
+  auto impl = MakeImpl(rows, cols, requires_grad);
+  for (auto& v : impl->data) {
+    v = static_cast<float>(rng->Normal()) * stddev;
+  }
+  return Tensor(impl);
+}
+
+Tensor Tensor::Xavier(int64_t rows, int64_t cols, Rng* rng,
+                      bool requires_grad) {
+  auto impl = MakeImpl(rows, cols, requires_grad);
+  float limit = std::sqrt(6.0f / static_cast<float>(rows + cols));
+  for (auto& v : impl->data) {
+    v = (2.0f * rng->UniformFloat() - 1.0f) * limit;
+  }
+  return Tensor(impl);
+}
+
+Tensor Tensor::FromVector(const std::vector<float>& values, int64_t rows,
+                          int64_t cols, bool requires_grad) {
+  ZCHECK_EQ(static_cast<int64_t>(values.size()), rows * cols);
+  auto impl = MakeImpl(rows, cols, requires_grad);
+  impl->data = values;
+  return Tensor(impl);
+}
+
+Tensor Tensor::Scalar(float value, bool requires_grad) {
+  return Full(1, 1, value, requires_grad);
+}
+
+Tensor Tensor::Detach() const {
+  auto impl = MakeImpl(rows(), cols(), false);
+  impl->data = impl_->data;
+  return Tensor(impl);
+}
+
+std::string Tensor::ShapeString() const {
+  if (!defined()) return "<undefined>";
+  return std::to_string(rows()) + "x" + std::to_string(cols());
+}
+
+void Tensor::Backward() {
+  ZCHECK(defined());
+  ZCHECK_EQ(size(), 1) << "Backward() requires a scalar loss";
+  // Postorder DFS to get reverse topological order.
+  std::vector<TensorImpl*> order;
+  std::unordered_set<TensorImpl*> visited;
+  std::vector<std::pair<TensorImpl*, size_t>> stack;
+  stack.emplace_back(impl_.get(), 0);
+  visited.insert(impl_.get());
+  while (!stack.empty()) {
+    auto& [node, child_idx] = stack.back();
+    if (child_idx < node->parents.size()) {
+      TensorImpl* parent = node->parents[child_idx].get();
+      ++child_idx;
+      if (visited.insert(parent).second) {
+        stack.emplace_back(parent, 0);
+      }
+    } else {
+      order.push_back(node);
+      stack.pop_back();
+    }
+  }
+  // order is postorder: parents before children; iterate in reverse so each
+  // node's grad is complete before it propagates to parents.
+  impl_->EnsureGrad();
+  impl_->grad[0] = 1.0f;
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    TensorImpl* node = *it;
+    if (node->backward_fn && !node->grad.empty()) {
+      node->backward_fn(*node);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Operators
+// ---------------------------------------------------------------------------
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  ZCHECK_EQ(a.cols(), b.rows()) << "MatMul shape mismatch " << a.ShapeString()
+                                << " x " << b.ShapeString();
+  const int64_t n = a.rows(), k = a.cols(), m = b.cols();
+  auto out = MakeImpl(n, m, AnyRequiresGrad(a, b));
+  const float* ad = a.data();
+  const float* bd = b.data();
+  float* od = out->data.data();
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t p = 0; p < k; ++p) {
+      const float av = ad[i * k + p];
+      if (av == 0.0f) continue;
+      const float* brow = bd + p * m;
+      float* orow = od + i * m;
+      for (int64_t j = 0; j < m; ++j) orow[j] += av * brow[j];
+    }
+  }
+  if (out->requires_grad) {
+    auto ai = a.impl();
+    auto bi = b.impl();
+    out->parents = {ai, bi};
+    out->backward_fn = [ai, bi, n, k, m](TensorImpl& self) {
+      const float* g = self.grad.data();
+      if (ai->requires_grad) {
+        ai->EnsureGrad();
+        // dA = G · B^T : (n,m)x(m,k)
+        const float* bd2 = bi->data.data();
+        float* ga = ai->grad.data();
+        for (int64_t i = 0; i < n; ++i) {
+          for (int64_t p = 0; p < k; ++p) {
+            float s = 0.0f;
+            const float* grow = g + i * m;
+            const float* brow = bd2 + p * m;
+            for (int64_t j = 0; j < m; ++j) s += grow[j] * brow[j];
+            ga[i * k + p] += s;
+          }
+        }
+      }
+      if (bi->requires_grad) {
+        bi->EnsureGrad();
+        // dB = A^T · G : (k,n)x(n,m)
+        const float* ad2 = ai->data.data();
+        float* gb = bi->grad.data();
+        for (int64_t i = 0; i < n; ++i) {
+          const float* grow = g + i * m;
+          for (int64_t p = 0; p < k; ++p) {
+            const float av = ad2[i * k + p];
+            if (av == 0.0f) continue;
+            float* gbrow = gb + p * m;
+            for (int64_t j = 0; j < m; ++j) gbrow[j] += av * grow[j];
+          }
+        }
+      }
+    };
+  }
+  return Tensor(out);
+}
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  const bool same = a.rows() == b.rows() && a.cols() == b.cols();
+  const bool row_bcast = b.rows() == 1 && b.cols() == a.cols();
+  const bool scalar_bcast = b.size() == 1;
+  ZCHECK(same || row_bcast || scalar_bcast)
+      << "Add shape mismatch " << a.ShapeString() << " + " << b.ShapeString();
+  auto out = MakeImpl(a.rows(), a.cols(), AnyRequiresGrad(a, b));
+  const float* ad = a.data();
+  const float* bd = b.data();
+  float* od = out->data.data();
+  const int64_t n = a.rows(), m = a.cols();
+  if (same) {
+    for (int64_t i = 0; i < n * m; ++i) od[i] = ad[i] + bd[i];
+  } else if (row_bcast) {
+    for (int64_t i = 0; i < n; ++i)
+      for (int64_t j = 0; j < m; ++j) od[i * m + j] = ad[i * m + j] + bd[j];
+  } else {
+    const float s = bd[0];
+    for (int64_t i = 0; i < n * m; ++i) od[i] = ad[i] + s;
+  }
+  if (out->requires_grad) {
+    auto ai = a.impl();
+    auto bi = b.impl();
+    out->parents = {ai, bi};
+    out->backward_fn = [ai, bi, same, row_bcast, n, m](TensorImpl& self) {
+      const float* g = self.grad.data();
+      if (ai->requires_grad) Accumulate(ai.get(), g, n * m);
+      if (bi->requires_grad) {
+        bi->EnsureGrad();
+        float* gb = bi->grad.data();
+        if (same) {
+          for (int64_t i = 0; i < n * m; ++i) gb[i] += g[i];
+        } else if (row_bcast) {
+          for (int64_t i = 0; i < n; ++i)
+            for (int64_t j = 0; j < m; ++j) gb[j] += g[i * m + j];
+        } else {
+          float s = 0.0f;
+          for (int64_t i = 0; i < n * m; ++i) s += g[i];
+          gb[0] += s;
+        }
+      }
+    };
+  }
+  return Tensor(out);
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  ZCHECK(a.rows() == b.rows() && a.cols() == b.cols())
+      << "Sub shape mismatch " << a.ShapeString() << " - " << b.ShapeString();
+  auto out = MakeImpl(a.rows(), a.cols(), AnyRequiresGrad(a, b));
+  const int64_t n = a.size();
+  for (int64_t i = 0; i < n; ++i) out->data[i] = a.data()[i] - b.data()[i];
+  if (out->requires_grad) {
+    auto ai = a.impl();
+    auto bi = b.impl();
+    out->parents = {ai, bi};
+    out->backward_fn = [ai, bi, n](TensorImpl& self) {
+      const float* g = self.grad.data();
+      if (ai->requires_grad) Accumulate(ai.get(), g, n);
+      if (bi->requires_grad) {
+        bi->EnsureGrad();
+        for (int64_t i = 0; i < n; ++i) bi->grad[i] -= g[i];
+      }
+    };
+  }
+  return Tensor(out);
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  const bool same = a.rows() == b.rows() && a.cols() == b.cols();
+  const bool col_bcast = b.cols() == 1 && b.rows() == a.rows();
+  ZCHECK(same || col_bcast)
+      << "Mul shape mismatch " << a.ShapeString() << " * " << b.ShapeString();
+  auto out = MakeImpl(a.rows(), a.cols(), AnyRequiresGrad(a, b));
+  const int64_t n = a.rows(), m = a.cols();
+  const float* ad = a.data();
+  const float* bd = b.data();
+  float* od = out->data.data();
+  if (same) {
+    for (int64_t i = 0; i < n * m; ++i) od[i] = ad[i] * bd[i];
+  } else {
+    for (int64_t i = 0; i < n; ++i)
+      for (int64_t j = 0; j < m; ++j) od[i * m + j] = ad[i * m + j] * bd[i];
+  }
+  if (out->requires_grad) {
+    auto ai = a.impl();
+    auto bi = b.impl();
+    out->parents = {ai, bi};
+    out->backward_fn = [ai, bi, same, n, m](TensorImpl& self) {
+      const float* g = self.grad.data();
+      const float* ad2 = ai->data.data();
+      const float* bd2 = bi->data.data();
+      if (ai->requires_grad) {
+        ai->EnsureGrad();
+        float* ga = ai->grad.data();
+        if (same) {
+          for (int64_t i = 0; i < n * m; ++i) ga[i] += g[i] * bd2[i];
+        } else {
+          for (int64_t i = 0; i < n; ++i)
+            for (int64_t j = 0; j < m; ++j) ga[i * m + j] += g[i * m + j] * bd2[i];
+        }
+      }
+      if (bi->requires_grad) {
+        bi->EnsureGrad();
+        float* gb = bi->grad.data();
+        if (same) {
+          for (int64_t i = 0; i < n * m; ++i) gb[i] += g[i] * ad2[i];
+        } else {
+          for (int64_t i = 0; i < n; ++i) {
+            float s = 0.0f;
+            for (int64_t j = 0; j < m; ++j) s += g[i * m + j] * ad2[i * m + j];
+            gb[i] += s;
+          }
+        }
+      }
+    };
+  }
+  return Tensor(out);
+}
+
+Tensor Scale(const Tensor& a, float s) {
+  auto out = MakeImpl(a.rows(), a.cols(), a.requires_grad());
+  const int64_t n = a.size();
+  for (int64_t i = 0; i < n; ++i) out->data[i] = a.data()[i] * s;
+  if (out->requires_grad) {
+    auto ai = a.impl();
+    out->parents = {ai};
+    out->backward_fn = [ai, s, n](TensorImpl& self) {
+      ai->EnsureGrad();
+      for (int64_t i = 0; i < n; ++i) ai->grad[i] += self.grad[i] * s;
+    };
+  }
+  return Tensor(out);
+}
+
+Tensor AddScalar(const Tensor& a, float s) {
+  auto out = MakeImpl(a.rows(), a.cols(), a.requires_grad());
+  const int64_t n = a.size();
+  for (int64_t i = 0; i < n; ++i) out->data[i] = a.data()[i] + s;
+  if (out->requires_grad) {
+    auto ai = a.impl();
+    out->parents = {ai};
+    out->backward_fn = [ai, n](TensorImpl& self) {
+      Accumulate(ai.get(), self.grad.data(), n);
+    };
+  }
+  return Tensor(out);
+}
+
+namespace {
+
+template <typename FwdFn, typename BwdFn>
+Tensor ElementwiseUnary(const Tensor& a, FwdFn fwd, BwdFn bwd_from_out) {
+  auto out = MakeImpl(a.rows(), a.cols(), a.requires_grad());
+  const int64_t n = a.size();
+  for (int64_t i = 0; i < n; ++i) out->data[i] = fwd(a.data()[i]);
+  if (out->requires_grad) {
+    auto ai = a.impl();
+    out->parents = {ai};
+    out->backward_fn = [ai, n, bwd_from_out](TensorImpl& self) {
+      ai->EnsureGrad();
+      for (int64_t i = 0; i < n; ++i) {
+        ai->grad[i] +=
+            self.grad[i] * bwd_from_out(self.data[i], ai->data[i]);
+      }
+    };
+  }
+  return Tensor(out);
+}
+
+}  // namespace
+
+Tensor Sigmoid(const Tensor& a) {
+  return ElementwiseUnary(
+      a,
+      [](float x) {
+        return x >= 0 ? 1.0f / (1.0f + std::exp(-x))
+                      : std::exp(x) / (1.0f + std::exp(x));
+      },
+      [](float y, float /*x*/) { return y * (1.0f - y); });
+}
+
+Tensor Tanh(const Tensor& a) {
+  return ElementwiseUnary(a, [](float x) { return std::tanh(x); },
+                          [](float y, float /*x*/) { return 1.0f - y * y; });
+}
+
+Tensor Relu(const Tensor& a) {
+  return ElementwiseUnary(a, [](float x) { return x > 0 ? x : 0.0f; },
+                          [](float /*y*/, float x) { return x > 0 ? 1.0f : 0.0f; });
+}
+
+Tensor LeakyRelu(const Tensor& a, float slope) {
+  return ElementwiseUnary(
+      a, [slope](float x) { return x > 0 ? x : slope * x; },
+      [slope](float /*y*/, float x) { return x > 0 ? 1.0f : slope; });
+}
+
+Tensor Exp(const Tensor& a) {
+  return ElementwiseUnary(a, [](float x) { return std::exp(x); },
+                          [](float y, float /*x*/) { return y; });
+}
+
+Tensor Log(const Tensor& a, float eps) {
+  return ElementwiseUnary(a, [eps](float x) { return std::log(x + eps); },
+                          [eps](float /*y*/, float x) { return 1.0f / (x + eps); });
+}
+
+Tensor SoftmaxRows(const Tensor& a) {
+  auto out = MakeImpl(a.rows(), a.cols(), a.requires_grad());
+  const int64_t n = a.rows(), m = a.cols();
+  const float* ad = a.data();
+  float* od = out->data.data();
+  for (int64_t i = 0; i < n; ++i) {
+    const float* row = ad + i * m;
+    float* orow = od + i * m;
+    float mx = row[0];
+    for (int64_t j = 1; j < m; ++j) mx = std::max(mx, row[j]);
+    float sum = 0.0f;
+    for (int64_t j = 0; j < m; ++j) {
+      orow[j] = std::exp(row[j] - mx);
+      sum += orow[j];
+    }
+    for (int64_t j = 0; j < m; ++j) orow[j] /= sum;
+  }
+  if (out->requires_grad) {
+    auto ai = a.impl();
+    out->parents = {ai};
+    out->backward_fn = [ai, n, m](TensorImpl& self) {
+      ai->EnsureGrad();
+      const float* y = self.data.data();
+      const float* g = self.grad.data();
+      float* ga = ai->grad.data();
+      for (int64_t i = 0; i < n; ++i) {
+        float dot = 0.0f;
+        for (int64_t j = 0; j < m; ++j) dot += g[i * m + j] * y[i * m + j];
+        for (int64_t j = 0; j < m; ++j) {
+          ga[i * m + j] += y[i * m + j] * (g[i * m + j] - dot);
+        }
+      }
+    };
+  }
+  return Tensor(out);
+}
+
+Tensor Transpose(const Tensor& a) {
+  auto out = MakeImpl(a.cols(), a.rows(), a.requires_grad());
+  const int64_t n = a.rows(), m = a.cols();
+  for (int64_t i = 0; i < n; ++i)
+    for (int64_t j = 0; j < m; ++j) out->data[j * n + i] = a.data()[i * m + j];
+  if (out->requires_grad) {
+    auto ai = a.impl();
+    out->parents = {ai};
+    out->backward_fn = [ai, n, m](TensorImpl& self) {
+      ai->EnsureGrad();
+      for (int64_t i = 0; i < n; ++i)
+        for (int64_t j = 0; j < m; ++j)
+          ai->grad[i * m + j] += self.grad[j * n + i];
+    };
+  }
+  return Tensor(out);
+}
+
+Tensor ConcatCols(const Tensor& a, const Tensor& b) {
+  ZCHECK_EQ(a.rows(), b.rows());
+  const int64_t n = a.rows(), ma = a.cols(), mb = b.cols();
+  auto out = MakeImpl(n, ma + mb, AnyRequiresGrad(a, b));
+  for (int64_t i = 0; i < n; ++i) {
+    std::copy(a.data() + i * ma, a.data() + (i + 1) * ma,
+              out->data.data() + i * (ma + mb));
+    std::copy(b.data() + i * mb, b.data() + (i + 1) * mb,
+              out->data.data() + i * (ma + mb) + ma);
+  }
+  if (out->requires_grad) {
+    auto ai = a.impl();
+    auto bi = b.impl();
+    out->parents = {ai, bi};
+    out->backward_fn = [ai, bi, n, ma, mb](TensorImpl& self) {
+      const float* g = self.grad.data();
+      if (ai->requires_grad) {
+        ai->EnsureGrad();
+        for (int64_t i = 0; i < n; ++i)
+          for (int64_t j = 0; j < ma; ++j)
+            ai->grad[i * ma + j] += g[i * (ma + mb) + j];
+      }
+      if (bi->requires_grad) {
+        bi->EnsureGrad();
+        for (int64_t i = 0; i < n; ++i)
+          for (int64_t j = 0; j < mb; ++j)
+            bi->grad[i * mb + j] += g[i * (ma + mb) + ma + j];
+      }
+    };
+  }
+  return Tensor(out);
+}
+
+Tensor ConcatRows(const Tensor& a, const Tensor& b) {
+  ZCHECK_EQ(a.cols(), b.cols());
+  const int64_t na = a.rows(), nb = b.rows(), m = a.cols();
+  auto out = MakeImpl(na + nb, m, AnyRequiresGrad(a, b));
+  std::copy(a.data(), a.data() + na * m, out->data.data());
+  std::copy(b.data(), b.data() + nb * m, out->data.data() + na * m);
+  if (out->requires_grad) {
+    auto ai = a.impl();
+    auto bi = b.impl();
+    out->parents = {ai, bi};
+    out->backward_fn = [ai, bi, na, nb, m](TensorImpl& self) {
+      if (ai->requires_grad) Accumulate(ai.get(), self.grad.data(), na * m);
+      if (bi->requires_grad)
+        Accumulate(bi.get(), self.grad.data() + na * m, nb * m);
+    };
+  }
+  return Tensor(out);
+}
+
+Tensor SumAll(const Tensor& a) {
+  auto out = MakeImpl(1, 1, a.requires_grad());
+  float s = 0.0f;
+  const int64_t n = a.size();
+  for (int64_t i = 0; i < n; ++i) s += a.data()[i];
+  out->data[0] = s;
+  if (out->requires_grad) {
+    auto ai = a.impl();
+    out->parents = {ai};
+    out->backward_fn = [ai, n](TensorImpl& self) {
+      ai->EnsureGrad();
+      const float g = self.grad[0];
+      for (int64_t i = 0; i < n; ++i) ai->grad[i] += g;
+    };
+  }
+  return Tensor(out);
+}
+
+Tensor MeanAll(const Tensor& a) {
+  return Scale(SumAll(a), 1.0f / static_cast<float>(a.size()));
+}
+
+Tensor SumRowsTo1(const Tensor& a) {
+  const int64_t n = a.rows(), m = a.cols();
+  auto out = MakeImpl(n, 1, a.requires_grad());
+  for (int64_t i = 0; i < n; ++i) {
+    float s = 0.0f;
+    for (int64_t j = 0; j < m; ++j) s += a.data()[i * m + j];
+    out->data[i] = s;
+  }
+  if (out->requires_grad) {
+    auto ai = a.impl();
+    out->parents = {ai};
+    out->backward_fn = [ai, n, m](TensorImpl& self) {
+      ai->EnsureGrad();
+      for (int64_t i = 0; i < n; ++i)
+        for (int64_t j = 0; j < m; ++j) ai->grad[i * m + j] += self.grad[i];
+    };
+  }
+  return Tensor(out);
+}
+
+Tensor MeanRows(const Tensor& a) {
+  const int64_t n = a.rows(), m = a.cols();
+  auto out = MakeImpl(1, m, a.requires_grad());
+  for (int64_t j = 0; j < m; ++j) {
+    float s = 0.0f;
+    for (int64_t i = 0; i < n; ++i) s += a.data()[i * m + j];
+    out->data[j] = s / static_cast<float>(n);
+  }
+  if (out->requires_grad) {
+    auto ai = a.impl();
+    out->parents = {ai};
+    out->backward_fn = [ai, n, m](TensorImpl& self) {
+      ai->EnsureGrad();
+      const float inv = 1.0f / static_cast<float>(n);
+      for (int64_t i = 0; i < n; ++i)
+        for (int64_t j = 0; j < m; ++j)
+          ai->grad[i * m + j] += self.grad[j] * inv;
+    };
+  }
+  return Tensor(out);
+}
+
+Tensor Rows(const Tensor& a, const std::vector<int64_t>& idx) {
+  ZCHECK(!idx.empty());
+  const int64_t m = a.cols();
+  auto out = MakeImpl(static_cast<int64_t>(idx.size()), m, a.requires_grad());
+  for (size_t r = 0; r < idx.size(); ++r) {
+    ZCHECK(idx[r] >= 0 && idx[r] < a.rows())
+        << "row index " << idx[r] << " out of range " << a.rows();
+    std::copy(a.data() + idx[r] * m, a.data() + (idx[r] + 1) * m,
+              out->data.data() + static_cast<int64_t>(r) * m);
+  }
+  if (out->requires_grad) {
+    auto ai = a.impl();
+    auto indices = idx;
+    out->parents = {ai};
+    out->backward_fn = [ai, indices, m](TensorImpl& self) {
+      ai->EnsureGrad();
+      for (size_t r = 0; r < indices.size(); ++r) {
+        const float* g = self.grad.data() + static_cast<int64_t>(r) * m;
+        float* ga = ai->grad.data() + indices[r] * m;
+        for (int64_t j = 0; j < m; ++j) ga[j] += g[j];
+      }
+    };
+  }
+  return Tensor(out);
+}
+
+Tensor RowwiseDot(const Tensor& a, const Tensor& b) {
+  ZCHECK(a.rows() == b.rows() && a.cols() == b.cols());
+  const int64_t n = a.rows(), m = a.cols();
+  auto out = MakeImpl(n, 1, AnyRequiresGrad(a, b));
+  for (int64_t i = 0; i < n; ++i) {
+    float s = 0.0f;
+    for (int64_t j = 0; j < m; ++j) s += a.data()[i * m + j] * b.data()[i * m + j];
+    out->data[i] = s;
+  }
+  if (out->requires_grad) {
+    auto ai = a.impl();
+    auto bi = b.impl();
+    out->parents = {ai, bi};
+    out->backward_fn = [ai, bi, n, m](TensorImpl& self) {
+      const float* g = self.grad.data();
+      if (ai->requires_grad) {
+        ai->EnsureGrad();
+        for (int64_t i = 0; i < n; ++i)
+          for (int64_t j = 0; j < m; ++j)
+            ai->grad[i * m + j] += g[i] * bi->data[i * m + j];
+      }
+      if (bi->requires_grad) {
+        bi->EnsureGrad();
+        for (int64_t i = 0; i < n; ++i)
+          for (int64_t j = 0; j < m; ++j)
+            bi->grad[i * m + j] += g[i] * ai->data[i * m + j];
+      }
+    };
+  }
+  return Tensor(out);
+}
+
+Tensor RowwiseCosine(const Tensor& a, const Tensor& b, float eps) {
+  ZCHECK(a.rows() == b.rows() && a.cols() == b.cols());
+  const int64_t n = a.rows(), m = a.cols();
+  auto out = MakeImpl(n, 1, AnyRequiresGrad(a, b));
+  std::vector<float> na(n), nb(n);
+  for (int64_t i = 0; i < n; ++i) {
+    float sa = 0.0f, sb = 0.0f, dot = 0.0f;
+    for (int64_t j = 0; j < m; ++j) {
+      const float av = a.data()[i * m + j];
+      const float bv = b.data()[i * m + j];
+      sa += av * av;
+      sb += bv * bv;
+      dot += av * bv;
+    }
+    na[i] = std::sqrt(sa) + eps;
+    nb[i] = std::sqrt(sb) + eps;
+    out->data[i] = dot / (na[i] * nb[i]);
+  }
+  if (out->requires_grad) {
+    auto ai = a.impl();
+    auto bi = b.impl();
+    out->parents = {ai, bi};
+    out->backward_fn = [ai, bi, n, m, na, nb](TensorImpl& self) {
+      const float* g = self.grad.data();
+      const float* y = self.data.data();
+      for (int64_t i = 0; i < n; ++i) {
+        const float gi = g[i];
+        if (gi == 0.0f) continue;
+        const float cosv = y[i];
+        for (int64_t j = 0; j < m; ++j) {
+          const float av = ai->data[i * m + j];
+          const float bv = bi->data[i * m + j];
+          if (ai->requires_grad) {
+            ai->EnsureGrad();
+            ai->grad[i * m + j] +=
+                gi * (bv / (na[i] * nb[i]) - cosv * av / (na[i] * na[i]));
+          }
+          if (bi->requires_grad) {
+            bi->EnsureGrad();
+            bi->grad[i * m + j] +=
+                gi * (av / (na[i] * nb[i]) - cosv * bv / (nb[i] * nb[i]));
+          }
+        }
+      }
+    };
+  }
+  return Tensor(out);
+}
+
+Tensor NormalizeRows(const Tensor& a, float eps) {
+  const int64_t n = a.rows(), m = a.cols();
+  auto out = MakeImpl(n, m, a.requires_grad());
+  std::vector<float> norms(n);
+  for (int64_t i = 0; i < n; ++i) {
+    float s = 0.0f;
+    for (int64_t j = 0; j < m; ++j) {
+      const float v = a.data()[i * m + j];
+      s += v * v;
+    }
+    norms[i] = std::sqrt(s) + eps;
+    for (int64_t j = 0; j < m; ++j)
+      out->data[i * m + j] = a.data()[i * m + j] / norms[i];
+  }
+  if (out->requires_grad) {
+    auto ai = a.impl();
+    out->parents = {ai};
+    out->backward_fn = [ai, n, m, norms](TensorImpl& self) {
+      ai->EnsureGrad();
+      const float* g = self.grad.data();
+      const float* y = self.data.data();
+      for (int64_t i = 0; i < n; ++i) {
+        float dot = 0.0f;
+        for (int64_t j = 0; j < m; ++j) dot += g[i * m + j] * y[i * m + j];
+        for (int64_t j = 0; j < m; ++j) {
+          ai->grad[i * m + j] += (g[i * m + j] - dot * y[i * m + j]) / norms[i];
+        }
+      }
+    };
+  }
+  return Tensor(out);
+}
+
+Tensor TileRows(const Tensor& a, int64_t n) {
+  ZCHECK_EQ(a.rows(), 1);
+  ZCHECK_GT(n, 0);
+  const int64_t m = a.cols();
+  auto out = MakeImpl(n, m, a.requires_grad());
+  for (int64_t i = 0; i < n; ++i)
+    std::copy(a.data(), a.data() + m, out->data.data() + i * m);
+  if (out->requires_grad) {
+    auto ai = a.impl();
+    out->parents = {ai};
+    out->backward_fn = [ai, n, m](TensorImpl& self) {
+      ai->EnsureGrad();
+      for (int64_t i = 0; i < n; ++i)
+        for (int64_t j = 0; j < m; ++j) ai->grad[j] += self.grad[i * m + j];
+    };
+  }
+  return Tensor(out);
+}
+
+Tensor BceWithLogits(const Tensor& logits, const Tensor& labels) {
+  ZCHECK(logits.rows() == labels.rows() && logits.cols() == 1 &&
+         labels.cols() == 1);
+  const int64_t n = logits.rows();
+  auto out = MakeImpl(1, 1, logits.requires_grad());
+  float loss = 0.0f;
+  for (int64_t i = 0; i < n; ++i) {
+    const float x = logits.data()[i];
+    const float y = labels.data()[i];
+    loss += std::max(x, 0.0f) - x * y + std::log1p(std::exp(-std::abs(x)));
+  }
+  out->data[0] = loss / static_cast<float>(n);
+  if (out->requires_grad) {
+    auto li = logits.impl();
+    auto yi = labels.impl();
+    out->parents = {li};
+    out->backward_fn = [li, yi, n](TensorImpl& self) {
+      li->EnsureGrad();
+      const float g = self.grad[0] / static_cast<float>(n);
+      for (int64_t i = 0; i < n; ++i) {
+        const float x = li->data[i];
+        const float p = x >= 0 ? 1.0f / (1.0f + std::exp(-x))
+                               : std::exp(x) / (1.0f + std::exp(x));
+        li->grad[i] += g * (p - yi->data[i]);
+      }
+    };
+  }
+  return Tensor(out);
+}
+
+Tensor FocalBceWithLogits(const Tensor& logits, const Tensor& labels,
+                          float gamma) {
+  ZCHECK(logits.rows() == labels.rows() && logits.cols() == 1 &&
+         labels.cols() == 1);
+  const int64_t n = logits.rows();
+  static constexpr float kEps = 1e-7f;
+  auto out = MakeImpl(1, 1, logits.requires_grad());
+  float loss = 0.0f;
+  for (int64_t i = 0; i < n; ++i) {
+    const float x = logits.data()[i];
+    const float y = labels.data()[i];
+    float p = x >= 0 ? 1.0f / (1.0f + std::exp(-x))
+                     : std::exp(x) / (1.0f + std::exp(x));
+    p = std::min(std::max(p, kEps), 1.0f - kEps);
+    loss += -y * std::pow(1.0f - p, gamma) * std::log(p) -
+            (1.0f - y) * std::pow(p, gamma) * std::log(1.0f - p);
+  }
+  out->data[0] = loss / static_cast<float>(n);
+  if (out->requires_grad) {
+    auto li = logits.impl();
+    auto yi = labels.impl();
+    out->parents = {li};
+    out->backward_fn = [li, yi, n, gamma](TensorImpl& self) {
+      li->EnsureGrad();
+      const float g = self.grad[0] / static_cast<float>(n);
+      for (int64_t i = 0; i < n; ++i) {
+        const float x = li->data[i];
+        const float y = yi->data[i];
+        float p = x >= 0 ? 1.0f / (1.0f + std::exp(-x))
+                         : std::exp(x) / (1.0f + std::exp(x));
+        p = std::min(std::max(p, kEps), 1.0f - kEps);
+        // d/dx of the focal loss (derived via dL/dp * p*(1-p)):
+        // y-term:  g*p*(1-p)^g*log(p)*gamma - (1-p)^(g+1)
+        // (1-y)-term: -gamma*(1-p)*p^g*log(1-p) + p^(g+1)
+        const float pos = gamma * p * std::pow(1.0f - p, gamma) * std::log(p) -
+                          std::pow(1.0f - p, gamma + 1.0f);
+        const float neg =
+            -gamma * (1.0f - p) * std::pow(p, gamma) * std::log(1.0f - p) +
+            std::pow(p, gamma + 1.0f);
+        li->grad[i] += g * (y * pos + (1.0f - y) * neg);
+      }
+    };
+  }
+  return Tensor(out);
+}
+
+Tensor SquaredNorm(const Tensor& a) {
+  auto out = MakeImpl(1, 1, a.requires_grad());
+  const int64_t n = a.size();
+  float s = 0.0f;
+  for (int64_t i = 0; i < n; ++i) s += a.data()[i] * a.data()[i];
+  out->data[0] = s;
+  if (out->requires_grad) {
+    auto ai = a.impl();
+    out->parents = {ai};
+    out->backward_fn = [ai, n](TensorImpl& self) {
+      ai->EnsureGrad();
+      const float g = self.grad[0];
+      for (int64_t i = 0; i < n; ++i) ai->grad[i] += 2.0f * g * ai->data[i];
+    };
+  }
+  return Tensor(out);
+}
+
+}  // namespace tensor
+}  // namespace zoomer

@@ -1,0 +1,211 @@
+// Dense 2-D float tensor with reverse-mode automatic differentiation.
+//
+// This is the numerical substrate for every learned model in the repository
+// (the Zoomer multi-level attention networks and all GNN baselines). The
+// design mirrors a minimal PyTorch: a Tensor is a shared handle to a
+// TensorImpl holding data, an optional gradient buffer, parent links, and a
+// backward closure. Calling Backward() on a scalar tensor runs reverse-mode
+// differentiation over the dynamically recorded graph.
+//
+// All tensors are row-major (rows x cols). Scalars are 1x1.
+#ifndef ZOOMER_TENSOR_TENSOR_H_
+#define ZOOMER_TENSOR_TENSOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace zoomer {
+namespace tensor {
+
+/// Tracks the number of floats allocated for tensor storage since the last
+/// reset. Used by the Fig. 4(a) motivation benchmark to report the memory
+/// growth of neighborhood expansion.
+class AllocationTracker {
+ public:
+  static void Reset() { allocated_floats_.store(0, std::memory_order_relaxed); }
+  static void Record(int64_t n) {
+    allocated_floats_.fetch_add(n, std::memory_order_relaxed);
+  }
+  static int64_t allocated_floats() {
+    return allocated_floats_.load(std::memory_order_relaxed);
+  }
+  static int64_t allocated_bytes() { return allocated_floats() * 4; }
+
+ private:
+  static std::atomic<int64_t> allocated_floats_;
+};
+
+struct TensorImpl {
+  int64_t rows = 0;
+  int64_t cols = 0;
+  std::vector<float> data;
+  std::vector<float> grad;  // non-empty iff requires_grad
+  bool requires_grad = false;
+  std::vector<std::shared_ptr<TensorImpl>> parents;
+  // Propagates this->grad into parents' grad buffers.
+  std::function<void(TensorImpl&)> backward_fn;
+
+  int64_t size() const { return rows * cols; }
+  void EnsureGrad() {
+    if (grad.size() != data.size()) grad.assign(data.size(), 0.0f);
+  }
+};
+
+/// Shared handle to a tensor. Copies alias the same storage.
+class Tensor {
+ public:
+  Tensor() : impl_(nullptr) {}
+  explicit Tensor(std::shared_ptr<TensorImpl> impl) : impl_(std::move(impl)) {}
+
+  /// rows x cols tensor of zeros.
+  static Tensor Zeros(int64_t rows, int64_t cols, bool requires_grad = false);
+  /// rows x cols tensor filled with value.
+  static Tensor Full(int64_t rows, int64_t cols, float value,
+                     bool requires_grad = false);
+  /// Gaussian init with given stddev (mean 0).
+  static Tensor Randn(int64_t rows, int64_t cols, Rng* rng, float stddev,
+                      bool requires_grad = false);
+  /// Xavier/Glorot uniform init for a (fan_in x fan_out) weight matrix.
+  static Tensor Xavier(int64_t rows, int64_t cols, Rng* rng,
+                       bool requires_grad = false);
+  /// Wraps an existing row-major buffer (copied).
+  static Tensor FromVector(const std::vector<float>& values, int64_t rows,
+                           int64_t cols, bool requires_grad = false);
+  /// 1x1 scalar.
+  static Tensor Scalar(float value, bool requires_grad = false);
+
+  bool defined() const { return impl_ != nullptr; }
+  int64_t rows() const { return impl_->rows; }
+  int64_t cols() const { return impl_->cols; }
+  int64_t size() const { return impl_->size(); }
+  bool requires_grad() const { return impl_->requires_grad; }
+
+  float* data() { return impl_->data.data(); }
+  const float* data() const { return impl_->data.data(); }
+  float* grad_data() {
+    impl_->EnsureGrad();
+    return impl_->grad.data();
+  }
+  const std::vector<float>& grad_vector() const { return impl_->grad; }
+
+  float at(int64_t i, int64_t j) const {
+    ZCHECK(i >= 0 && i < rows() && j >= 0 && j < cols())
+        << "index (" << i << "," << j << ") out of range for " << rows() << "x"
+        << cols();
+    return impl_->data[i * cols() + j];
+  }
+  float& at(int64_t i, int64_t j) {
+    ZCHECK(i >= 0 && i < rows() && j >= 0 && j < cols());
+    return impl_->data[i * cols() + j];
+  }
+  /// Scalar value of a 1x1 tensor.
+  float item() const {
+    ZCHECK_EQ(size(), 1);
+    return impl_->data[0];
+  }
+  float grad_at(int64_t i, int64_t j) const {
+    ZCHECK(impl_->requires_grad);
+    ZCHECK_EQ(static_cast<int64_t>(impl_->grad.size()), size());
+    return impl_->grad[i * cols() + j];
+  }
+
+  /// Zeroes this tensor's gradient buffer (does not touch ancestors).
+  void ZeroGrad() {
+    if (impl_->requires_grad) impl_->grad.assign(impl_->data.size(), 0.0f);
+  }
+
+  /// Reverse-mode backprop from this scalar tensor: seeds d(self)/d(self)=1
+  /// and propagates through the recorded graph in reverse topological order.
+  void Backward();
+
+  /// Detached copy sharing no autograd history (fresh storage).
+  Tensor Detach() const;
+
+  std::shared_ptr<TensorImpl> impl() const { return impl_; }
+
+  std::string ShapeString() const;
+
+ private:
+  std::shared_ptr<TensorImpl> impl_;
+};
+
+// ---------------------------------------------------------------------------
+// Differentiable operators. Every op returns a fresh tensor whose backward_fn
+// scatters gradients into its parents. Ops requiring shape agreement ZCHECK.
+// ---------------------------------------------------------------------------
+
+/// C = A · B. A: (n,k), B: (k,m).
+Tensor MatMul(const Tensor& a, const Tensor& b);
+/// Elementwise sum; b may also be (1,cols) for row broadcast or 1x1 scalar.
+Tensor Add(const Tensor& a, const Tensor& b);
+/// Elementwise difference (same shapes).
+Tensor Sub(const Tensor& a, const Tensor& b);
+/// Elementwise (Hadamard) product; b may be (rows,1) for column broadcast.
+Tensor Mul(const Tensor& a, const Tensor& b);
+/// a * s for scalar constant s.
+Tensor Scale(const Tensor& a, float s);
+/// a + s elementwise for scalar constant s.
+Tensor AddScalar(const Tensor& a, float s);
+/// Elementwise sigmoid.
+Tensor Sigmoid(const Tensor& a);
+/// Elementwise tanh.
+Tensor Tanh(const Tensor& a);
+/// Elementwise ReLU.
+Tensor Relu(const Tensor& a);
+/// Elementwise LeakyReLU with negative slope.
+Tensor LeakyRelu(const Tensor& a, float slope = 0.2f);
+/// Elementwise natural exp.
+Tensor Exp(const Tensor& a);
+/// Elementwise natural log of (a + eps).
+Tensor Log(const Tensor& a, float eps = 1e-12f);
+/// Row-wise softmax.
+Tensor SoftmaxRows(const Tensor& a);
+/// Transpose.
+Tensor Transpose(const Tensor& a);
+/// Horizontal concatenation [a | b].
+Tensor ConcatCols(const Tensor& a, const Tensor& b);
+/// Vertical concatenation [a ; b].
+Tensor ConcatRows(const Tensor& a, const Tensor& b);
+/// Sum of all entries -> 1x1.
+Tensor SumAll(const Tensor& a);
+/// Mean of all entries -> 1x1.
+Tensor MeanAll(const Tensor& a);
+/// Per-row sum -> (rows,1).
+Tensor SumRowsTo1(const Tensor& a);
+/// Column-wise mean over rows -> (1,cols).
+Tensor MeanRows(const Tensor& a);
+/// Gathers rows by index; gradient scatter-adds. idx values in [0, a.rows).
+Tensor Rows(const Tensor& a, const std::vector<int64_t>& idx);
+/// Row-wise dot product of equal-shaped a,b -> (rows,1).
+Tensor RowwiseDot(const Tensor& a, const Tensor& b);
+/// Row-wise cosine similarity of equal-shaped a,b -> (rows,1).
+Tensor RowwiseCosine(const Tensor& a, const Tensor& b, float eps = 1e-8f);
+/// L2-normalizes each row.
+Tensor NormalizeRows(const Tensor& a, float eps = 1e-8f);
+/// Repeats a (1,cols) row vector n times -> (n,cols).
+Tensor TileRows(const Tensor& a, int64_t n);
+
+/// Numerically stable mean binary cross-entropy with logits:
+/// mean over rows of log(1+exp(x)) - y*x. logits,labels: (n,1).
+Tensor BceWithLogits(const Tensor& logits, const Tensor& labels);
+
+/// Focal binary cross-entropy with logits (Lin et al.), gamma = focusing
+/// parameter; the paper trains Zoomer with focal weight 2 (Sec. VII-A).
+/// loss_i = -(1-p_i)^g * y_i * log(p_i) - p_i^g * (1-y_i) * log(1-p_i).
+Tensor FocalBceWithLogits(const Tensor& logits, const Tensor& labels,
+                          float gamma = 2.0f);
+
+/// Sum of squares of all entries (for L2 regularization) -> 1x1.
+Tensor SquaredNorm(const Tensor& a);
+
+}  // namespace tensor
+}  // namespace zoomer
+
+#endif  // ZOOMER_TENSOR_TENSOR_H_

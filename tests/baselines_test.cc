@@ -1,0 +1,239 @@
+// Tests for the baseline recommenders: registry coverage, forward sanity for
+// every model, learning behaviour of the trainable ones, and the bespoke
+// scoring paths (Pixie walks, PinnerSage medoids).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "baselines/gnn_baselines.h"
+#include "baselines/pinnersage.h"
+#include "baselines/pixie.h"
+#include "baselines/registry.h"
+#include "baselines/session_baselines.h"
+#include "core/trainer.h"
+#include "data/taobao_generator.h"
+
+namespace zoomer {
+namespace baselines {
+namespace {
+
+const data::RetrievalDataset& Dataset() {
+  static const data::RetrievalDataset* ds = [] {
+    data::TaobaoGeneratorOptions opt;
+    opt.num_users = 80;
+    opt.num_queries = 50;
+    opt.num_items = 150;
+    opt.num_sessions = 600;
+    opt.num_categories = 6;
+    opt.content_dim = 12;
+    opt.seed = 21;
+    return new data::RetrievalDataset(GenerateTaobaoDataset(opt));
+  }();
+  return *ds;
+}
+
+ModelParams SmallParams() {
+  ModelParams p;
+  p.hidden_dim = 8;
+  p.sample_k = 4;
+  p.num_hops = 2;
+  p.seed = 3;
+  return p;
+}
+
+class RegistryForwardTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(RegistryForwardTest, ConstructsAndScoresFinite) {
+  const auto& ds = Dataset();
+  auto model = MakeModel(GetParam(), &ds.graph, SmallParams());
+  ASSERT_NE(model, nullptr) << GetParam();
+  EXPECT_EQ(model->name(), GetParam());
+  Rng rng(5);
+  model->OnEpochBegin(ds, &rng);
+  for (int i = 0; i < 5; ++i) {
+    const float logit = model->ScoreLogit(ds.train[i], &rng).item();
+    EXPECT_FALSE(std::isnan(logit)) << GetParam();
+    EXPECT_FALSE(std::isinf(logit)) << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModels, RegistryForwardTest,
+    ::testing::Values("Zoomer", "Zoomer-FE", "Zoomer-FS", "Zoomer-ES", "GCN",
+                      "GraphSage", "GAT", "HAN", "PinSage", "PinnerSage",
+                      "Pixie", "STAMP", "GCE-GNN", "FGNN", "MCCF"),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string n = info.param;
+      for (auto& c : n) {
+        if (c == '-') c = '_';
+      }
+      return n;
+    });
+
+TEST(RegistryTest, UnknownNameReturnsNull) {
+  const auto& ds = Dataset();
+  EXPECT_EQ(MakeModel("NotAModel", &ds.graph, SmallParams()), nullptr);
+}
+
+TEST(RegistryTest, SamplerBaselinesListed) {
+  auto names = SamplerBaselineNames();
+  EXPECT_EQ(names.size(), 5u);
+  EXPECT_EQ(names[0], "Zoomer");
+}
+
+class TrainableBaselineTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(TrainableBaselineTest, LossDecreasesWithTraining) {
+  const auto& ds = Dataset();
+  auto model = MakeModel(GetParam(), &ds.graph, SmallParams());
+  ASSERT_NE(model, nullptr);
+  core::TrainOptions topt;
+  topt.epochs = 4;
+  topt.batch_size = 64;
+  topt.learning_rate = 0.02f;
+  topt.max_examples_per_epoch = 1200;
+  core::ZoomerTrainer trainer(model.get(), topt);
+  auto result = trainer.Train(ds);
+  EXPECT_LT(result.epochs.back().mean_loss,
+            result.epochs.front().mean_loss + 1e-6)
+      << GetParam();
+  auto eval = trainer.Evaluate(ds, 500);
+  EXPECT_GT(eval.auc, 0.5) << GetParam() << " should beat random";
+}
+
+INSTANTIATE_TEST_SUITE_P(TrainableModels, TrainableBaselineTest,
+                         ::testing::Values("GraphSage", "HAN", "PinSage",
+                                           "STAMP", "MCCF"),
+                         [](const ::testing::TestParamInfo<std::string>& info) {
+                           std::string n = info.param;
+                           for (auto& c : n) {
+                             if (c == '-') c = '_';
+                           }
+                           return n;
+                         });
+
+TEST(PixieTest, ClickedItemsScoreHigherThanRandom) {
+  const auto& ds = Dataset();
+  PixieConfig cfg;
+  PixieModel pixie(&ds.graph, cfg);
+  Rng rng(7);
+  double pos_sum = 0, neg_sum = 0;
+  int pos_n = 0, neg_n = 0;
+  for (size_t i = 0; i < ds.train.size() && pos_n < 50; ++i) {
+    const auto& ex = ds.train[i];
+    const double s = pixie.WalkScore(ex.user, ex.query, ex.item, &rng);
+    if (ex.label > 0.5f) {
+      pos_sum += s;
+      ++pos_n;
+    } else {
+      neg_sum += s;
+      ++neg_n;
+    }
+  }
+  ASSERT_GT(pos_n, 0);
+  ASSERT_GT(neg_n, 0);
+  EXPECT_GT(pos_sum / pos_n, neg_sum / neg_n);
+}
+
+TEST(PixieTest, ScorePoolMatchesWalkScore) {
+  const auto& ds = Dataset();
+  PixieModel pixie(&ds.graph, {});
+  Rng rng(9);
+  std::vector<graph::NodeId> pool(ds.all_items.begin(),
+                                  ds.all_items.begin() + 20);
+  std::vector<float> scores;
+  pixie.ScorePool(ds.test[0].user, ds.test[0].query, pool, &rng, &scores);
+  ASSERT_EQ(scores.size(), 20u);
+  for (size_t i = 0; i < pool.size(); ++i) {
+    EXPECT_FLOAT_EQ(scores[i], static_cast<float>(pixie.WalkScore(
+                                   ds.test[0].user, ds.test[0].query, pool[i],
+                                   &rng)));
+  }
+}
+
+TEST(PixieTest, HasNoParametersAndNoTwinTower) {
+  const auto& ds = Dataset();
+  PixieModel pixie(&ds.graph, {});
+  EXPECT_TRUE(pixie.Parameters().empty());
+  EXPECT_FALSE(pixie.has_twin_tower());
+}
+
+TEST(PixieTest, HitRateEvaluationThroughScorePool) {
+  const auto& ds = Dataset();
+  PixieModel pixie(&ds.graph, {});
+  core::TrainOptions topt;
+  core::ZoomerTrainer trainer(&pixie, topt);
+  core::EvalResult eval;
+  trainer.EvaluateHitRate(ds, &eval, /*max_positives=*/30);
+  EXPECT_GE(eval.hitrate_at[2], eval.hitrate_at[0]);
+  EXPECT_GT(eval.hitrate_at[2], 0.0);  // 150-item pool, K=300 covers all
+}
+
+TEST(PinnerSageTest, MedoidsBuiltFromHistory) {
+  const auto& ds = Dataset();
+  PinnerSageConfig cfg;
+  cfg.hidden_dim = 8;
+  PinnerSageModel model(&ds.graph, cfg);
+  Rng rng(11);
+  model.OnEpochBegin(ds, &rng);
+  // Find a user with training history.
+  graph::NodeId active_user = ds.train.front().user;
+  const auto& meds = model.Medoids(active_user);
+  ASSERT_FALSE(meds.empty());
+  EXPECT_LE(meds.size(), 3u);
+  for (auto m : meds) {
+    EXPECT_EQ(ds.graph.node_type(m), graph::NodeType::kItem);
+  }
+}
+
+TEST(PinnerSageTest, ColdUserFallsBackToProfile) {
+  const auto& ds = Dataset();
+  PinnerSageConfig cfg;
+  cfg.hidden_dim = 8;
+  PinnerSageModel model(&ds.graph, cfg);
+  Rng rng(13);
+  // No OnEpochBegin: all users are cold; forward must still work.
+  const float logit = model.ScoreLogit(ds.train[0], &rng).item();
+  EXPECT_FALSE(std::isnan(logit));
+}
+
+TEST(GnnBaselineTest, ConfigFactoriesSetKinds) {
+  auto gs = GnnBaselineConfig::GraphSage(8, 5, 1);
+  EXPECT_EQ(gs.sampler.kind, core::SamplerKind::kUniform);
+  EXPECT_EQ(gs.aggregator, Aggregator::kMean);
+  auto ps = GnnBaselineConfig::PinSage(8, 5, 1);
+  EXPECT_EQ(ps.sampler.kind, core::SamplerKind::kRandomWalk);
+  EXPECT_EQ(ps.aggregator, Aggregator::kImportance);
+  auto han = GnnBaselineConfig::Han(8, 5, 1);
+  EXPECT_TRUE(han.han_semantic);
+}
+
+TEST(SessionBaselineTest, HistoryColdStartSafe) {
+  const auto& ds = Dataset();
+  SessionBaselineConfig cfg;
+  cfg.hidden_dim = 8;
+  cfg.kind = SessionModelKind::kStamp;
+  SessionBaselineModel model(&ds.graph, cfg);
+  Rng rng(15);
+  // Without OnEpochBegin every user is cold.
+  EXPECT_FALSE(std::isnan(model.ScoreLogit(ds.test[0], &rng).item()));
+}
+
+TEST(SessionBaselineTest, AllKindsDistinctNames) {
+  const auto& ds = Dataset();
+  std::set<std::string> names;
+  for (auto kind : {SessionModelKind::kStamp, SessionModelKind::kGceGnn,
+                    SessionModelKind::kFgnn, SessionModelKind::kMccf}) {
+    SessionBaselineConfig cfg;
+    cfg.hidden_dim = 8;
+    cfg.kind = kind;
+    SessionBaselineModel model(&ds.graph, cfg);
+    names.insert(model.name());
+  }
+  EXPECT_EQ(names.size(), 4u);
+}
+
+}  // namespace
+}  // namespace baselines
+}  // namespace zoomer

@@ -1,0 +1,292 @@
+// Tests for the distributed substrates: graph-engine sharding/replication,
+// parameter-server pull/push semantics, async staleness, and the 3-stage
+// pipeline overlap.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <set>
+#include <thread>
+
+#include "data/taobao_generator.h"
+#include "engine/distributed_graph_engine.h"
+#include "ps/embedding_table.h"
+#include "ps/parameter_server.h"
+
+namespace zoomer {
+namespace {
+
+const data::RetrievalDataset& Dataset() {
+  static const data::RetrievalDataset* ds = [] {
+    data::TaobaoGeneratorOptions opt;
+    opt.num_users = 60;
+    opt.num_queries = 40;
+    opt.num_items = 100;
+    opt.num_sessions = 400;
+    opt.num_categories = 5;
+    opt.content_dim = 8;
+    opt.seed = 31;
+    return new data::RetrievalDataset(GenerateTaobaoDataset(opt));
+  }();
+  return *ds;
+}
+
+// --- GraphShard / DistributedGraphEngine ---------------------------------------
+
+TEST(GraphShardTest, PartitionCoversAllNodesDisjointly) {
+  const auto& ds = Dataset();
+  const int num_shards = 4;
+  int64_t total = 0;
+  for (int s = 0; s < num_shards; ++s) {
+    engine::GraphShard shard(&ds.graph, s, num_shards);
+    total += shard.num_owned_nodes();
+  }
+  EXPECT_EQ(total, ds.graph.num_nodes());
+}
+
+TEST(GraphShardTest, PartitionIsBalanced) {
+  const auto& ds = Dataset();
+  const int num_shards = 4;
+  const double expected = ds.graph.num_nodes() / double(num_shards);
+  for (int s = 0; s < num_shards; ++s) {
+    engine::GraphShard shard(&ds.graph, s, num_shards);
+    EXPECT_NEAR(shard.num_owned_nodes(), expected, expected * 0.5)
+        << "shard " << s;
+  }
+}
+
+TEST(GraphShardTest, RejectsForeignAndInvalidNodes) {
+  const auto& ds = Dataset();
+  engine::GraphShard shard(&ds.graph, 0, 4);
+  // Find a node owned by another shard.
+  graph::NodeId foreign = -1;
+  for (graph::NodeId v = 0; v < ds.graph.num_nodes(); ++v) {
+    if (!shard.Owns(v)) {
+      foreign = v;
+      break;
+    }
+  }
+  ASSERT_NE(foreign, -1);
+  engine::SampleRequest req;
+  req.node = foreign;
+  EXPECT_FALSE(shard.Sample(req).ok());
+  req.node = ds.graph.num_nodes() + 5;
+  EXPECT_FALSE(shard.Sample(req).ok());
+}
+
+TEST(GraphShardTest, SampleReturnsRealNeighbors) {
+  const auto& ds = Dataset();
+  const int num_shards = 2;
+  // Find a node with degree > 0 and sample from its owning shard.
+  for (graph::NodeId v = 0; v < ds.graph.num_nodes(); ++v) {
+    if (ds.graph.degree(v) == 0) continue;
+    const int s = engine::GraphShard::NodeShard(v, num_shards);
+    engine::GraphShard shard(&ds.graph, s, num_shards);
+    engine::SampleRequest req;
+    req.node = v;
+    req.k = 5;
+    req.rng_seed = 9;
+    auto resp = shard.Sample(req);
+    ASSERT_TRUE(resp.ok());
+    ASSERT_FALSE(resp.value().neighbors.empty());
+    auto ids = ds.graph.neighbor_ids(v);
+    for (auto nb : resp.value().neighbors) {
+      EXPECT_NE(std::find(ids.begin(), ids.end(), nb), ids.end());
+    }
+    // Distinct neighbors.
+    std::set<graph::NodeId> uniq(resp.value().neighbors.begin(),
+                                 resp.value().neighbors.end());
+    EXPECT_EQ(uniq.size(), resp.value().neighbors.size());
+    break;
+  }
+}
+
+TEST(DistributedGraphEngineTest, RoutesAndServesConcurrently) {
+  const auto& ds = Dataset();
+  engine::EngineOptions opt;
+  opt.num_shards = 4;
+  opt.replication_factor = 2;
+  engine::DistributedGraphEngine eng(&ds.graph, opt);
+  EXPECT_EQ(eng.num_replicas(), 8);
+  std::vector<std::future<StatusOr<engine::SampleResponse>>> futures;
+  for (graph::NodeId v = 0; v < 100; ++v) {
+    engine::SampleRequest req;
+    req.node = v;
+    req.k = 3;
+    req.rng_seed = static_cast<uint64_t>(v);
+    futures.push_back(eng.SampleAsync(req));
+  }
+  int ok_count = 0;
+  for (auto& f : futures) {
+    auto resp = f.get();
+    if (resp.ok()) ++ok_count;
+  }
+  EXPECT_EQ(ok_count, 100);
+  auto stats = eng.Stats();
+  EXPECT_EQ(stats.total_requests, 100);
+  EXPECT_EQ(stats.requests_per_replica.size(), 8u);
+}
+
+TEST(DistributedGraphEngineTest, ReplicationSpreadsLoad) {
+  const auto& ds = Dataset();
+  engine::EngineOptions opt;
+  opt.num_shards = 1;  // all requests to one shard
+  opt.replication_factor = 3;
+  opt.simulated_rpc_micros = 100;  // keep replicas busy so routing spreads
+  engine::DistributedGraphEngine eng(&ds.graph, opt);
+  std::vector<std::future<StatusOr<engine::SampleResponse>>> futures;
+  for (int i = 0; i < 90; ++i) {
+    engine::SampleRequest req;
+    req.node = i % ds.graph.num_nodes();
+    req.k = 2;
+    futures.push_back(eng.SampleAsync(req));
+  }
+  for (auto& f : futures) f.get();
+  auto stats = eng.Stats();
+  // Every replica should have served a meaningful share.
+  for (int64_t r : stats.requests_per_replica) {
+    EXPECT_GT(r, 10) << "replica starved";
+  }
+}
+
+// --- EmbeddingTable / ParameterServer -------------------------------------------
+
+TEST(EmbeddingTableTest, PullInitializesDeterministically) {
+  ps::EmbeddingTableOptions opt;
+  opt.dim = 4;
+  ps::EmbeddingTable a(opt), b(opt);
+  std::vector<float> va, vb;
+  a.Pull({5, 9}, &va);
+  b.Pull({5, 9}, &vb);
+  EXPECT_EQ(va, vb);  // same seed, same init
+  EXPECT_EQ(va.size(), 8u);
+  EXPECT_EQ(a.num_keys(), 2);
+}
+
+TEST(EmbeddingTableTest, PushAppliesAdagradUpdate) {
+  ps::EmbeddingTableOptions opt;
+  opt.dim = 2;
+  opt.learning_rate = 1.0f;
+  ps::EmbeddingTable t(opt);
+  std::vector<float> before, after;
+  t.Pull({1}, &before);
+  // grad g: update = lr * g / (sqrt(g^2)+eps) = sign(g)
+  ASSERT_TRUE(t.Push({1}, {2.0f, -2.0f}).ok());
+  t.Pull({1}, &after);
+  EXPECT_NEAR(after[0], before[0] - 1.0f, 1e-4f);
+  EXPECT_NEAR(after[1], before[1] + 1.0f, 1e-4f);
+}
+
+TEST(EmbeddingTableTest, PushToUnknownKeyIsDropped) {
+  ps::EmbeddingTableOptions opt;
+  opt.dim = 2;
+  ps::EmbeddingTable t(opt);
+  EXPECT_TRUE(t.Push({42}, {1.0f, 1.0f}).ok());
+  EXPECT_EQ(t.num_keys(), 0);  // stale push without prior pull is dropped
+}
+
+TEST(EmbeddingTableTest, RejectsSizeMismatch) {
+  ps::EmbeddingTableOptions opt;
+  opt.dim = 3;
+  ps::EmbeddingTable t(opt);
+  EXPECT_FALSE(t.Push({1}, {1.0f}).ok());
+}
+
+TEST(EmbeddingTableTest, ConcurrentPullPushSafe) {
+  ps::EmbeddingTableOptions opt;
+  opt.dim = 4;
+  ps::EmbeddingTable t(opt);
+  std::vector<std::thread> threads;
+  for (int w = 0; w < 4; ++w) {
+    threads.emplace_back([&t, w] {
+      std::vector<float> buf;
+      for (int i = 0; i < 500; ++i) {
+        std::vector<ps::Key> keys = {i % 37, (i + w) % 37};
+        t.Pull(keys, &buf);
+        std::vector<float> grads(8, 0.01f);
+        t.Push(keys, grads);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_LE(t.num_keys(), 40);
+}
+
+TEST(ParameterServerTest, PullPreservesRequestOrderAcrossShards) {
+  ps::ParameterServerOptions opt;
+  opt.num_shards = 4;
+  opt.table.dim = 3;
+  ps::ParameterServer server(opt);
+  std::vector<ps::Key> keys = {10, 3, 77, 3, 21};
+  std::vector<float> out;
+  server.Pull(keys, &out);
+  ASSERT_EQ(out.size(), keys.size() * 3);
+  // Duplicate key 3 must return identical rows.
+  for (int d = 0; d < 3; ++d) {
+    EXPECT_EQ(out[1 * 3 + d], out[3 * 3 + d]);
+  }
+}
+
+TEST(ParameterServerTest, AsyncPushEventuallyApplies) {
+  ps::ParameterServerOptions opt;
+  opt.num_shards = 2;
+  opt.table.dim = 2;
+  opt.table.learning_rate = 1.0f;
+  ps::ParameterServer server(opt);
+  std::vector<float> before, after;
+  server.Pull({7}, &before);
+  server.PushAsync({7}, {1.0f, 1.0f});
+  server.Flush();
+  EXPECT_EQ(server.pushes_applied(), server.pushes_enqueued());
+  server.Pull({7}, &after);
+  EXPECT_LT(after[0], before[0]);  // update landed
+}
+
+TEST(ParameterServerTest, ManyAsyncPushesFromWorkers) {
+  ps::ParameterServerOptions opt;
+  opt.num_shards = 4;
+  opt.table.dim = 4;
+  ps::ParameterServer server(opt);
+  std::vector<std::thread> workers;
+  for (int w = 0; w < 4; ++w) {
+    workers.emplace_back([&server, w] {
+      std::vector<float> buf;
+      for (int i = 0; i < 200; ++i) {
+        std::vector<ps::Key> keys = {(w * 200 + i) % 91};
+        server.Pull(keys, &buf);
+        server.PushAsync(keys, std::vector<float>(4, 0.1f));
+      }
+    });
+  }
+  for (auto& t : workers) t.join();
+  server.Flush();
+  EXPECT_EQ(server.pushes_applied(), server.pushes_enqueued());
+  EXPECT_LE(server.num_keys(), 91);
+}
+
+TEST(AsyncPipelineTest, OverlapBeatsSequentialForBalancedStages) {
+  // Three 200us stages, 30 items: sequential ~18ms, pipelined ~6ms + eps.
+  auto stage = [](int64_t) {
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  };
+  ps::AsyncPipeline pipeline(stage, stage, stage);
+  const double seq = pipeline.Run(30, /*overlap=*/false);
+  const double par = pipeline.Run(30, /*overlap=*/true);
+  EXPECT_LT(par, seq * 0.7) << "pipeline overlap provided no speedup";
+}
+
+TEST(AsyncPipelineTest, ProcessesEveryItemExactlyOnceInOrder) {
+  std::vector<int64_t> seen;
+  std::mutex mu;
+  ps::AsyncPipeline pipeline([](int64_t) {}, [](int64_t) {},
+                             [&](int64_t i) {
+                               std::lock_guard<std::mutex> lock(mu);
+                               seen.push_back(i);
+                             });
+  pipeline.Run(50, /*overlap=*/true);
+  ASSERT_EQ(seen.size(), 50u);
+  for (int64_t i = 0; i < 50; ++i) EXPECT_EQ(seen[i], i);  // FIFO stages
+}
+
+}  // namespace
+}  // namespace zoomer

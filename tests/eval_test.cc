@@ -1,0 +1,132 @@
+// Tests for evaluation metrics: AUC (including ties), error metrics,
+// HitRate@K, CDF helpers, and the online A/B metrics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "eval/metrics.h"
+
+namespace zoomer {
+namespace eval {
+namespace {
+
+TEST(AucTest, PerfectSeparationIsOne) {
+  EXPECT_DOUBLE_EQ(Auc({0.9f, 0.8f, 0.2f, 0.1f}, {1, 1, 0, 0}), 1.0);
+}
+
+TEST(AucTest, InvertedSeparationIsZero) {
+  EXPECT_DOUBLE_EQ(Auc({0.1f, 0.2f, 0.8f, 0.9f}, {1, 1, 0, 0}), 0.0);
+}
+
+TEST(AucTest, RandomUninformativeScoresNearHalf) {
+  // All scores identical => ties get half credit => exactly 0.5.
+  EXPECT_DOUBLE_EQ(Auc({0.5f, 0.5f, 0.5f, 0.5f}, {1, 0, 1, 0}), 0.5);
+}
+
+TEST(AucTest, KnownMixedCase) {
+  // scores: pos {0.8, 0.4}, neg {0.6, 0.2}.
+  // Pairs: (0.8>0.6)=1, (0.8>0.2)=1, (0.4<0.6)=0, (0.4>0.2)=1 -> 3/4.
+  EXPECT_DOUBLE_EQ(Auc({0.8f, 0.4f, 0.6f, 0.2f}, {1, 1, 0, 0}), 0.75);
+}
+
+TEST(AucTest, TiesGetHalfCredit) {
+  // pos 0.5, neg 0.5 -> 0.5; plus a winning pair.
+  // scores: pos {0.5, 0.9}, neg {0.5}. pairs: tie=0.5, win=1 -> 0.75.
+  EXPECT_DOUBLE_EQ(Auc({0.5f, 0.9f, 0.5f}, {1, 1, 0}), 0.75);
+}
+
+TEST(AucTest, DegenerateSingleClass) {
+  EXPECT_DOUBLE_EQ(Auc({0.5f, 0.7f}, {1, 1}), 0.5);
+  EXPECT_DOUBLE_EQ(Auc({0.5f, 0.7f}, {0, 0}), 0.5);
+}
+
+TEST(MaeRmseTest, KnownValues) {
+  std::vector<float> pred = {1.0f, 2.0f, 3.0f};
+  std::vector<float> label = {1.5f, 1.5f, 3.5f};
+  EXPECT_NEAR(Mae(pred, label), 0.5, 1e-9);
+  EXPECT_NEAR(Rmse(pred, label), 0.5, 1e-9);
+}
+
+TEST(MaeRmseTest, RmseDominatesMaeOnOutliers) {
+  std::vector<float> pred = {0.0f, 0.0f, 0.0f, 0.0f};
+  std::vector<float> label = {0.0f, 0.0f, 0.0f, 4.0f};
+  EXPECT_NEAR(Mae(pred, label), 1.0, 1e-9);
+  EXPECT_NEAR(Rmse(pred, label), 2.0, 1e-9);
+}
+
+TEST(MaeRmseTest, EmptyIsZero) {
+  EXPECT_EQ(Mae({}, {}), 0.0);
+  EXPECT_EQ(Rmse({}, {}), 0.0);
+}
+
+TEST(HitRateTest, CountsRanksBelowK) {
+  std::vector<int> ranks = {0, 5, 99, 100, 250};
+  EXPECT_DOUBLE_EQ(HitRateAtK(ranks, 100), 3.0 / 5.0);
+  EXPECT_DOUBLE_EQ(HitRateAtK(ranks, 200), 4.0 / 5.0);
+  EXPECT_DOUBLE_EQ(HitRateAtK(ranks, 300), 1.0);
+  EXPECT_DOUBLE_EQ(HitRateAtK(ranks, 1), 1.0 / 5.0);
+}
+
+TEST(HitRateTest, MonotoneInK) {
+  std::vector<int> ranks = {3, 17, 42, 95, 120, 260};
+  double prev = 0.0;
+  for (int k : {10, 50, 100, 200, 300}) {
+    double hr = HitRateAtK(ranks, k);
+    EXPECT_GE(hr, prev);
+    prev = hr;
+  }
+}
+
+TEST(RankOfTest, CountsCandidatesAtOrAbove) {
+  EXPECT_EQ(RankOf(0.9f, {0.1f, 0.2f, 0.3f}), 0);
+  EXPECT_EQ(RankOf(0.25f, {0.1f, 0.2f, 0.3f}), 1);
+  EXPECT_EQ(RankOf(0.05f, {0.1f, 0.2f, 0.3f}), 3);
+  EXPECT_EQ(RankOf(0.2f, {0.1f, 0.2f, 0.3f}), 2);  // tie counts above
+}
+
+TEST(CdfTest, MonotoneAndNormalized) {
+  auto cdf = EmpiricalCdf({3.0, 1.0, 2.0, 2.0});
+  ASSERT_EQ(cdf.size(), 4u);
+  EXPECT_DOUBLE_EQ(cdf.front().first, 1.0);
+  EXPECT_DOUBLE_EQ(cdf.back().first, 3.0);
+  EXPECT_DOUBLE_EQ(cdf.back().second, 1.0);
+  for (size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_LE(cdf[i - 1].first, cdf[i].first);
+    EXPECT_LT(cdf[i - 1].second, cdf[i].second);
+  }
+}
+
+TEST(CdfTest, FractionBelow) {
+  std::vector<double> v = {-0.5, -0.1, 0.0, 0.1, 0.5};
+  EXPECT_DOUBLE_EQ(FractionBelow(v, 0.0), 2.0 / 5.0);
+  EXPECT_DOUBLE_EQ(FractionBelow(v, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(FractionBelow(v, -1.0), 0.0);
+  EXPECT_DOUBLE_EQ(FractionBelow({}, 0.0), 0.0);
+}
+
+TEST(OnlineMetricsTest, FormulasMatchPaperDefinitions) {
+  OnlineMetrics m;
+  m.impressions = 10000;
+  m.clicks = 250;
+  m.revenue = 500.0;
+  EXPECT_DOUBLE_EQ(m.Ctr(), 0.025);
+  EXPECT_DOUBLE_EQ(m.Ppc(), 2.0);
+  EXPECT_DOUBLE_EQ(m.Rpm(), 50.0);  // 500/10000*1000
+}
+
+TEST(OnlineMetricsTest, ZeroDenominatorsSafe) {
+  OnlineMetrics m;
+  EXPECT_DOUBLE_EQ(m.Ctr(), 0.0);
+  EXPECT_DOUBLE_EQ(m.Ppc(), 0.0);
+  EXPECT_DOUBLE_EQ(m.Rpm(), 0.0);
+}
+
+TEST(LiftTest, PercentLift) {
+  EXPECT_NEAR(LiftPercent(1.02, 1.0), 2.0, 1e-9);
+  EXPECT_NEAR(LiftPercent(0.98, 1.0), -2.0, 1e-9);
+  EXPECT_DOUBLE_EQ(LiftPercent(1.0, 0.0), 0.0);
+}
+
+}  // namespace
+}  // namespace eval
+}  // namespace zoomer

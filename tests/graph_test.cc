@@ -1,0 +1,374 @@
+// Tests for the graph substrate: alias tables, MinHash/LSH, heterogeneous
+// CSR storage, and log-to-graph construction rules from paper Sec. II.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/random.h"
+#include "graph/alias_table.h"
+#include "graph/graph_builder.h"
+#include "graph/hetero_graph.h"
+#include "graph/minhash.h"
+#include "graph/session_log.h"
+
+namespace zoomer {
+namespace graph {
+namespace {
+
+// --- AliasTable --------------------------------------------------------------
+
+class AliasTableDistributionTest
+    : public ::testing::TestWithParam<std::vector<double>> {};
+
+TEST_P(AliasTableDistributionTest, EmpiricalMatchesWeights) {
+  const auto weights = GetParam();
+  AliasTable table(weights);
+  Rng rng(101);
+  const int n = 200000;
+  std::vector<int> counts(weights.size(), 0);
+  for (int i = 0; i < n; ++i) ++counts[table.Sample(&rng)];
+  double total = 0.0;
+  for (double w : weights) total += w;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    const double expected = weights[i] / total;
+    const double observed = counts[i] / double(n);
+    EXPECT_NEAR(observed, expected, 0.01)
+        << "bucket " << i << " of " << weights.size();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WeightVectors, AliasTableDistributionTest,
+    ::testing::Values(std::vector<double>{1.0},
+                      std::vector<double>{1.0, 1.0},
+                      std::vector<double>{1.0, 2.0, 3.0, 4.0},
+                      std::vector<double>{0.0, 1.0, 0.0, 3.0},
+                      std::vector<double>{10.0, 0.1, 0.1, 0.1, 0.1},
+                      std::vector<double>{5.0, 5.0, 5.0, 5.0, 5.0, 5.0, 5.0,
+                                          5.0}));
+
+TEST(AliasTableTest, ZeroWeightNeverSampled) {
+  AliasTable table(std::vector<double>{0.0, 1.0, 0.0});
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(table.Sample(&rng), 1u);
+}
+
+TEST(AliasTableTest, AllZeroFallsBackToUniform) {
+  AliasTable table(std::vector<double>{0.0, 0.0, 0.0, 0.0});
+  Rng rng(5);
+  std::set<size_t> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(table.Sample(&rng));
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(AliasTableTest, EmptyTableProperties) {
+  AliasTable table;
+  EXPECT_TRUE(table.empty());
+  EXPECT_EQ(table.size(), 0u);
+}
+
+// --- MinHash ------------------------------------------------------------------
+
+class MinHashAccuracyTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(MinHashAccuracyTest, EstimateTracksExactJaccard) {
+  const double overlap = GetParam();
+  Rng rng(7);
+  // Build two sets with controlled overlap out of a 200-token universe.
+  const int set_size = 100;
+  std::vector<uint64_t> a, b;
+  const int shared = static_cast<int>(overlap * set_size);
+  for (int i = 0; i < shared; ++i) {
+    a.push_back(i);
+    b.push_back(i);
+  }
+  for (int i = shared; i < set_size; ++i) {
+    a.push_back(1000 + i);
+    b.push_back(2000 + i);
+  }
+  MinHasher hasher(256);
+  const double exact = MinHasher::ExactJaccard(a, b);
+  const double est =
+      MinHasher::EstimateJaccard(hasher.Signature(a), hasher.Signature(b));
+  EXPECT_NEAR(est, exact, 0.08) << "overlap " << overlap;
+}
+
+INSTANTIATE_TEST_SUITE_P(OverlapLevels, MinHashAccuracyTest,
+                         ::testing::Values(0.0, 0.2, 0.5, 0.8, 1.0));
+
+TEST(MinHashTest, IdenticalSetsHaveSimilarityOne) {
+  MinHasher hasher(64);
+  std::vector<uint64_t> s = {1, 5, 9, 42};
+  EXPECT_DOUBLE_EQ(
+      MinHasher::EstimateJaccard(hasher.Signature(s), hasher.Signature(s)),
+      1.0);
+}
+
+TEST(MinHashTest, ExactJaccardEdgeCases) {
+  EXPECT_DOUBLE_EQ(MinHasher::ExactJaccard({}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(MinHasher::ExactJaccard({1}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(MinHasher::ExactJaccard({1, 2}, {1, 2}), 1.0);
+  EXPECT_DOUBLE_EQ(MinHasher::ExactJaccard({1, 2}, {2, 3}), 1.0 / 3.0);
+}
+
+TEST(MinHashLshTest, SimilarSetsBecomeCandidates) {
+  MinHasher hasher(32);
+  MinHashLsh lsh(8, 4);
+  std::vector<uint64_t> a = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<uint64_t> b = {1, 2, 3, 4, 5, 6, 7, 9};  // high overlap
+  std::vector<uint64_t> c = {100, 200, 300, 400, 500, 600, 700, 800};
+  lsh.Insert(0, hasher.Signature(a));
+  lsh.Insert(1, hasher.Signature(b));
+  lsh.Insert(2, hasher.Signature(c));
+  auto pairs = lsh.CandidatePairs();
+  const bool has_ab =
+      std::find(pairs.begin(), pairs.end(), std::make_pair(int64_t{0}, int64_t{1})) !=
+      pairs.end();
+  EXPECT_TRUE(has_ab);
+  const bool has_ac =
+      std::find(pairs.begin(), pairs.end(), std::make_pair(int64_t{0}, int64_t{2})) !=
+      pairs.end();
+  EXPECT_FALSE(has_ac);
+}
+
+// --- HeteroGraph ---------------------------------------------------------------
+
+HeteroGraph MakeTriangleGraph() {
+  // user0 -- query1 -- item2, plus user0 -- item2.
+  HeteroGraphBuilder b(2);
+  b.AddNode(NodeType::kUser, {1.0f, 0.0f}, {0});
+  b.AddNode(NodeType::kQuery, {0.0f, 1.0f}, {1, 2});
+  b.AddNode(NodeType::kItem, {0.5f, 0.5f}, {3, 4, 5});
+  EXPECT_TRUE(b.AddEdge(0, 1, RelationKind::kClick, 2.0f).ok());
+  EXPECT_TRUE(b.AddEdge(1, 2, RelationKind::kClick, 1.0f).ok());
+  EXPECT_TRUE(b.AddEdge(0, 2, RelationKind::kSession, 3.0f).ok());
+  return b.Build();
+}
+
+TEST(HeteroGraphTest, BasicCounts) {
+  HeteroGraph g = MakeTriangleGraph();
+  EXPECT_EQ(g.num_nodes(), 3);
+  EXPECT_EQ(g.num_edges(), 6);  // 3 undirected edges = 6 half-edges
+  EXPECT_EQ(g.num_nodes_of_type(NodeType::kUser), 1);
+  EXPECT_EQ(g.num_nodes_of_type(NodeType::kQuery), 1);
+  EXPECT_EQ(g.num_nodes_of_type(NodeType::kItem), 1);
+  EXPECT_EQ(g.content_dim(), 2);
+}
+
+TEST(HeteroGraphTest, NodeAccessors) {
+  HeteroGraph g = MakeTriangleGraph();
+  EXPECT_EQ(g.node_type(0), NodeType::kUser);
+  EXPECT_EQ(g.node_type(2), NodeType::kItem);
+  EXPECT_FLOAT_EQ(g.content(1)[1], 1.0f);
+  EXPECT_EQ(g.slots(2).size(), 3u);
+  EXPECT_EQ(g.slots(2)[0], 3);
+}
+
+TEST(HeteroGraphTest, NeighborBlocksSortedByType) {
+  HeteroGraph g = MakeTriangleGraph();
+  EXPECT_EQ(g.degree(0), 2);
+  auto ids = g.neighbor_ids(0);
+  // Neighbors of user0: query1 (type 1), item2 (type 2) in type order.
+  EXPECT_EQ(ids[0], 1);
+  EXPECT_EQ(ids[1], 2);
+  auto q_nbrs = g.NeighborsOfType(0, NodeType::kQuery);
+  ASSERT_EQ(q_nbrs.size(), 1u);
+  EXPECT_EQ(q_nbrs[0], 1);
+  EXPECT_EQ(g.NeighborsOfType(0, NodeType::kUser).size(), 0u);
+}
+
+TEST(HeteroGraphTest, EdgeWeightsAndKindsPreserved) {
+  HeteroGraph g = MakeTriangleGraph();
+  auto w = g.neighbor_weights(0);
+  auto k = g.neighbor_kinds(0);
+  EXPECT_FLOAT_EQ(w[0], 2.0f);  // edge to query1
+  EXPECT_EQ(k[0], RelationKind::kClick);
+  EXPECT_FLOAT_EQ(w[1], 3.0f);  // edge to item2
+  EXPECT_EQ(k[1], RelationKind::kSession);
+}
+
+TEST(HeteroGraphTest, WeightedSamplingFollowsAliasTable) {
+  HeteroGraph g = MakeTriangleGraph();
+  Rng rng(11);
+  int to_query = 0, to_item = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    NodeId nb = g.SampleNeighbor(0, &rng);
+    (nb == 1 ? to_query : to_item) += 1;
+  }
+  // weights 2:3
+  EXPECT_NEAR(to_query / double(n), 0.4, 0.02);
+  EXPECT_NEAR(to_item / double(n), 0.6, 0.02);
+}
+
+TEST(HeteroGraphTest, SampleNeighborIsolatedNodeReturnsMinusOne) {
+  HeteroGraphBuilder b(1);
+  b.AddNode(NodeType::kUser, {0.0f}, {});
+  HeteroGraph g = b.Build();
+  Rng rng(1);
+  EXPECT_EQ(g.SampleNeighbor(0, &rng), -1);
+}
+
+TEST(HeteroGraphTest, SampleNeighborsUniformDistinct) {
+  HeteroGraphBuilder b(1);
+  b.AddNode(NodeType::kUser, {0.0f}, {});
+  for (int i = 0; i < 20; ++i) {
+    b.AddNode(NodeType::kItem, {0.0f}, {});
+    EXPECT_TRUE(b.AddEdge(0, i + 1, RelationKind::kClick).ok());
+  }
+  HeteroGraph g = b.Build();
+  Rng rng(13);
+  auto sample = g.SampleNeighborsUniform(0, 8, &rng);
+  EXPECT_EQ(sample.size(), 8u);
+  std::set<NodeId> uniq(sample.begin(), sample.end());
+  EXPECT_EQ(uniq.size(), 8u);
+  // Degree smaller than k returns the full block.
+  auto all = g.SampleNeighborsUniform(0, 50, &rng);
+  EXPECT_EQ(all.size(), 20u);
+}
+
+TEST(HeteroGraphBuilderTest, RejectsBadEdges) {
+  HeteroGraphBuilder b(1);
+  b.AddNode(NodeType::kUser, {0.0f}, {});
+  b.AddNode(NodeType::kItem, {0.0f}, {});
+  EXPECT_FALSE(b.AddEdge(0, 0, RelationKind::kClick).ok());   // self loop
+  EXPECT_FALSE(b.AddEdge(0, 5, RelationKind::kClick).ok());   // out of range
+  EXPECT_FALSE(b.AddEdge(-1, 1, RelationKind::kClick).ok());  // negative
+  EXPECT_FALSE(b.AddEdge(0, 1, RelationKind::kClick, -2.0f).ok());  // neg w
+  EXPECT_TRUE(b.AddEdge(0, 1, RelationKind::kClick, 1.0f).ok());
+}
+
+TEST(HeteroGraphTest, MemoryBytesPositiveAndDebugString) {
+  HeteroGraph g = MakeTriangleGraph();
+  EXPECT_GT(g.MemoryBytes(), 0u);
+  EXPECT_NE(g.DebugString().find("nodes=3"), std::string::npos);
+}
+
+// --- Graph construction from logs ---------------------------------------------
+
+std::vector<NodeSpec> MakeLogNodes() {
+  std::vector<NodeSpec> nodes;
+  // 2 users, 2 queries, 3 items. content_dim 2.
+  for (int i = 0; i < 2; ++i) {
+    nodes.push_back({NodeType::kUser, {1.0f, 0.0f}, {i}, {}});
+  }
+  for (int i = 0; i < 2; ++i) {
+    nodes.push_back(
+        {NodeType::kQuery, {0.0f, 1.0f}, {i}, {1ull, 2ull, 3ull, 100ull + static_cast<uint64_t>(i)}});
+  }
+  for (int i = 0; i < 3; ++i) {
+    nodes.push_back(
+        {NodeType::kItem, {0.5f, 0.5f}, {i}, {1ull, 2ull, 3ull, 200ull + static_cast<uint64_t>(i)}});
+  }
+  return nodes;
+}
+
+bool HasEdge(const HeteroGraph& g, NodeId a, NodeId b, RelationKind kind) {
+  auto ids = g.neighbor_ids(a);
+  auto kinds = g.neighbor_kinds(a);
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (ids[i] == b && kinds[i] == kind) return true;
+  }
+  return false;
+}
+
+TEST(GraphBuilderTest, InteractionAndSessionEdgesFollowPaperRules) {
+  auto nodes = MakeLogNodes();
+  SessionLog log;
+  // user0 searched query2 (node id 2), clicked items 4,5 (node ids 4,5).
+  log.push_back({0, 2, {4, 5}, 10});
+  GraphBuildOptions opt;
+  opt.add_similarity_edges = false;
+  auto result = BuildGraphFromLogs(nodes, log, opt);
+  ASSERT_TRUE(result.ok());
+  const HeteroGraph& g = result.value();
+  EXPECT_TRUE(HasEdge(g, 0, 2, RelationKind::kClick));  // user-query
+  EXPECT_TRUE(HasEdge(g, 4, 2, RelationKind::kClick));  // item-query
+  EXPECT_TRUE(HasEdge(g, 5, 2, RelationKind::kClick));
+  EXPECT_TRUE(HasEdge(g, 0, 4, RelationKind::kClick));  // user-item
+  EXPECT_TRUE(HasEdge(g, 4, 5, RelationKind::kSession));  // adjacent clicks
+}
+
+TEST(GraphBuilderTest, DuplicateInteractionsCoalesceIntoWeight) {
+  auto nodes = MakeLogNodes();
+  SessionLog log;
+  log.push_back({0, 2, {4}, 1});
+  log.push_back({0, 2, {4}, 2});
+  log.push_back({0, 2, {4}, 3});
+  GraphBuildOptions opt;
+  opt.add_similarity_edges = false;
+  auto result = BuildGraphFromLogs(nodes, log, opt);
+  ASSERT_TRUE(result.ok());
+  const HeteroGraph& g = result.value();
+  auto ids = g.neighbor_ids(0);
+  auto w = g.neighbor_weights(0);
+  bool found = false;
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (ids[i] == 2) {
+      EXPECT_FLOAT_EQ(w[i], 3.0f);  // 3 repeated user-query interactions
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(GraphBuilderTest, SimilarityEdgesConnectOverlappingTokenSets) {
+  auto nodes = MakeLogNodes();
+  SessionLog log;
+  log.push_back({0, 2, {4}, 1});
+  GraphBuildOptions opt;
+  opt.add_similarity_edges = true;
+  opt.similarity_threshold = 0.2;
+  auto result = BuildGraphFromLogs(nodes, log, opt);
+  ASSERT_TRUE(result.ok());
+  const HeteroGraph& g = result.value();
+  // Queries/items share tokens {1,2,3}; expect at least one similarity edge.
+  int64_t sim_edges = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    auto kinds = g.neighbor_kinds(v);
+    for (auto k : kinds) {
+      if (k == RelationKind::kSimilarity) ++sim_edges;
+    }
+  }
+  EXPECT_GT(sim_edges, 0);
+  // Users never receive similarity edges.
+  for (NodeId u = 0; u < 2; ++u) {
+    for (auto k : g.neighbor_kinds(u)) {
+      EXPECT_NE(k, RelationKind::kSimilarity);
+    }
+  }
+}
+
+TEST(GraphBuilderTest, TimeWindowFiltersLateSessions) {
+  auto nodes = MakeLogNodes();
+  SessionLog log;
+  log.push_back({0, 2, {4}, 100});
+  log.push_back({1, 3, {5}, 5000});
+  GraphBuildOptions opt;
+  opt.add_similarity_edges = false;
+  opt.time_window_seconds = 1000;
+  auto result = BuildGraphFromLogs(nodes, log, opt);
+  ASSERT_TRUE(result.ok());
+  const HeteroGraph& g = result.value();
+  EXPECT_TRUE(HasEdge(g, 0, 2, RelationKind::kClick));
+  EXPECT_FALSE(HasEdge(g, 1, 3, RelationKind::kClick));  // outside window
+}
+
+TEST(GraphBuilderTest, RejectsInvalidLogs) {
+  auto nodes = MakeLogNodes();
+  SessionLog log;
+  log.push_back({0, 99, {4}, 1});  // unknown query id
+  GraphBuildOptions opt;
+  EXPECT_FALSE(BuildGraphFromLogs(nodes, log, opt).ok());
+  SessionLog log2;
+  log2.push_back({0, 2, {99}, 1});  // unknown item id
+  EXPECT_FALSE(BuildGraphFromLogs(nodes, log2, opt).ok());
+  EXPECT_FALSE(BuildGraphFromLogs({}, {}, opt).ok());  // empty nodes
+}
+
+}  // namespace
+}  // namespace graph
+}  // namespace zoomer

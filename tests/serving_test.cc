@@ -1,0 +1,268 @@
+// Tests for the serving stack: ANN index recall and edge cases, neighbor
+// cache hit/miss + async refresh semantics, and end-to-end request handling
+// with the load generator.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <set>
+#include <thread>
+
+#include "common/random.h"
+#include "data/taobao_generator.h"
+#include "serving/ann_index.h"
+#include "serving/neighbor_cache.h"
+#include "serving/online_server.h"
+
+namespace zoomer {
+namespace serving {
+namespace {
+
+std::vector<float> RandomVectors(int64_t n, int dim, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> v(n * dim);
+  for (auto& x : v) x = static_cast<float>(rng.Normal());
+  return v;
+}
+
+TEST(AnnIndexTest, BuildValidation) {
+  AnnIndex index({});
+  EXPECT_FALSE(index.Build({}, 0, 4, {}).ok());
+  EXPECT_FALSE(index.Build({1.0f, 2.0f}, 1, 4, {0}).ok());  // size mismatch
+  EXPECT_FALSE(index.Build({1.0f, 2.0f, 3.0f, 4.0f}, 1, 4, {0, 1}).ok());
+}
+
+TEST(AnnIndexTest, ExactSearchReturnsTrueNearest) {
+  const int dim = 8;
+  auto vecs = RandomVectors(100, dim, 3);
+  std::vector<int64_t> ids(100);
+  for (int i = 0; i < 100; ++i) ids[i] = 1000 + i;
+  AnnIndex index({});
+  ASSERT_TRUE(index.Build(vecs, 100, dim, ids).ok());
+  // Query = vector 42 itself: best exact match must be id 1042.
+  auto results = index.SearchExact(vecs.data() + 42 * dim, 5);
+  ASSERT_EQ(results.size(), 5u);
+  EXPECT_EQ(results[0].id, 1042);
+  EXPECT_NEAR(results[0].score, 1.0f, 1e-4f);
+  // Scores descending.
+  for (size_t i = 1; i < results.size(); ++i) {
+    EXPECT_LE(results[i].score, results[i - 1].score);
+  }
+}
+
+class AnnRecallTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AnnRecallTest, RecallAt10ReasonableForNprobe) {
+  const int nprobe = GetParam();
+  const int dim = 16;
+  const int64_t n = 500;
+  auto vecs = RandomVectors(n, dim, 7);
+  std::vector<int64_t> ids(n);
+  for (int64_t i = 0; i < n; ++i) ids[i] = i;
+  AnnIndexOptions opt;
+  opt.nlist = 20;
+  opt.nprobe = nprobe;
+  AnnIndex index(opt);
+  ASSERT_TRUE(index.Build(vecs, n, dim, ids).ok());
+
+  Rng rng(11);
+  double recall_sum = 0.0;
+  const int queries = 30;
+  for (int q = 0; q < queries; ++q) {
+    std::vector<float> query(dim);
+    for (auto& x : query) x = static_cast<float>(rng.Normal());
+    auto approx = index.Search(query.data(), 10);
+    auto exact = index.SearchExact(query.data(), 10);
+    std::set<int64_t> exact_ids;
+    for (const auto& r : exact) exact_ids.insert(r.id);
+    int hits = 0;
+    for (const auto& r : approx) hits += exact_ids.count(r.id);
+    recall_sum += hits / 10.0;
+  }
+  const double recall = recall_sum / queries;
+  // Recall grows with nprobe; full probe = exact.
+  if (nprobe >= 20) {
+    EXPECT_NEAR(recall, 1.0, 1e-9);
+  } else {
+    EXPECT_GT(recall, nprobe >= 8 ? 0.6 : 0.2);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(NprobeLevels, AnnRecallTest,
+                         ::testing::Values(2, 8, 20));
+
+TEST(AnnIndexTest, SearchFasterThanExactOnLargeIndex) {
+  const int dim = 32;
+  const int64_t n = 5000;
+  auto vecs = RandomVectors(n, dim, 13);
+  std::vector<int64_t> ids(n);
+  for (int64_t i = 0; i < n; ++i) ids[i] = i;
+  AnnIndexOptions opt;
+  opt.nlist = 50;
+  opt.nprobe = 5;
+  AnnIndex index(opt);
+  ASSERT_TRUE(index.Build(vecs, n, dim, ids).ok());
+  std::vector<float> query(dim, 0.5f);
+  WallTimer t1;
+  for (int i = 0; i < 50; ++i) index.Search(query.data(), 10);
+  const double approx_time = t1.ElapsedMicros();
+  WallTimer t2;
+  for (int i = 0; i < 50; ++i) index.SearchExact(query.data(), 10);
+  const double exact_time = t2.ElapsedMicros();
+  EXPECT_LT(approx_time, exact_time);
+}
+
+// --- NeighborCache ---------------------------------------------------------------
+
+const data::RetrievalDataset& Dataset() {
+  static const data::RetrievalDataset* ds = [] {
+    data::TaobaoGeneratorOptions opt;
+    opt.num_users = 60;
+    opt.num_queries = 40;
+    opt.num_items = 120;
+    opt.num_sessions = 500;
+    opt.num_categories = 5;
+    opt.content_dim = 8;
+    opt.seed = 41;
+    return new data::RetrievalDataset(GenerateTaobaoDataset(opt));
+  }();
+  return *ds;
+}
+
+TEST(NeighborCacheTest, MissThenAsyncFillThenHit) {
+  const auto& ds = Dataset();
+  NeighborCacheOptions opt;
+  opt.k = 5;
+  NeighborCache cache(&ds.graph, opt);
+  std::vector<graph::NodeId> out;
+  EXPECT_FALSE(cache.Get(0, &out));  // cold miss schedules refresh
+  EXPECT_EQ(cache.misses(), 1);
+  // Wait for the async fill.
+  for (int i = 0; i < 100 && cache.size() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(cache.Get(0, &out));
+  EXPECT_EQ(cache.hits(), 1);
+  EXPECT_LE(out.size(), 5u);
+}
+
+TEST(NeighborCacheTest, WarmReturnsHighestWeightNeighbors) {
+  const auto& ds = Dataset();
+  NeighborCacheOptions opt;
+  opt.k = 3;
+  NeighborCache cache(&ds.graph, opt);
+  // Find a node with degree > 3.
+  graph::NodeId node = -1;
+  for (graph::NodeId v = 0; v < ds.graph.num_nodes(); ++v) {
+    if (ds.graph.degree(v) > 3) {
+      node = v;
+      break;
+    }
+  }
+  ASSERT_NE(node, -1);
+  cache.Warm(node);
+  std::vector<graph::NodeId> out;
+  ASSERT_TRUE(cache.Get(node, &out));
+  ASSERT_EQ(out.size(), 3u);
+  // Cached entries must be the top-weight neighbors.
+  auto ids = ds.graph.neighbor_ids(node);
+  auto weights = ds.graph.neighbor_weights(node);
+  float min_cached = 1e30f;
+  for (auto c : out) {
+    for (size_t i = 0; i < ids.size(); ++i) {
+      if (ids[i] == c) min_cached = std::min(min_cached, weights[i]);
+    }
+  }
+  int heavier_outside = 0;
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (std::find(out.begin(), out.end(), ids[i]) == out.end() &&
+        weights[i] > min_cached) {
+      ++heavier_outside;
+    }
+  }
+  EXPECT_EQ(heavier_outside, 0);
+}
+
+TEST(NeighborCacheTest, WarmAllFillsEverything) {
+  const auto& ds = Dataset();
+  NeighborCache cache(&ds.graph, {});
+  std::vector<graph::NodeId> nodes = {0, 1, 2, 3, 4};
+  cache.WarmAll(nodes);
+  EXPECT_EQ(cache.size(), 5u);
+  std::vector<graph::NodeId> out;
+  for (auto n : nodes) EXPECT_TRUE(cache.Get(n, &out));
+}
+
+// --- OnlineServer ------------------------------------------------------------------
+
+std::unique_ptr<OnlineServer> MakeServer(const data::RetrievalDataset& ds,
+                                         OnlineServerOptions opt) {
+  const int d = opt.embedding_dim;
+  Rng rng(55);
+  std::vector<float> node_emb(ds.graph.num_nodes() * d);
+  for (auto& x : node_emb) x = static_cast<float>(rng.Normal()) * 0.5f;
+  std::vector<float> item_emb(ds.all_items.size() * d);
+  for (size_t i = 0; i < ds.all_items.size(); ++i) {
+    std::copy(node_emb.begin() + ds.all_items[i] * d,
+              node_emb.begin() + (ds.all_items[i] + 1) * d,
+              item_emb.begin() + static_cast<int64_t>(i) * d);
+  }
+  return std::make_unique<OnlineServer>(&ds.graph, opt, std::move(node_emb),
+                                        ds.all_items, item_emb);
+}
+
+TEST(OnlineServerTest, HandleReturnsTopNItems) {
+  const auto& ds = Dataset();
+  OnlineServerOptions opt;
+  opt.embedding_dim = 8;
+  opt.top_n = 10;
+  auto server = MakeServer(ds, opt);
+  ServingResponse resp = server->Handle({ds.test[0].user, ds.test[0].query});
+  ASSERT_EQ(resp.items.size(), 10u);
+  EXPECT_GT(resp.latency_ms, 0.0);
+  // All results are item node ids.
+  for (const auto& r : resp.items) {
+    EXPECT_EQ(ds.graph.node_type(r.id), graph::NodeType::kItem);
+  }
+  // Descending scores.
+  for (size_t i = 1; i < resp.items.size(); ++i) {
+    EXPECT_LE(resp.items[i].score, resp.items[i - 1].score);
+  }
+}
+
+TEST(OnlineServerTest, CacheWarmupIncreasesHitRate) {
+  const auto& ds = Dataset();
+  OnlineServerOptions opt;
+  opt.embedding_dim = 8;
+  auto server = MakeServer(ds, opt);
+  std::vector<graph::NodeId> warm_nodes;
+  for (int i = 0; i < 20; ++i) {
+    warm_nodes.push_back(ds.test[i].user);
+    warm_nodes.push_back(ds.test[i].query);
+  }
+  server->WarmCache(warm_nodes);
+  for (int i = 0; i < 20; ++i) {
+    server->Handle({ds.test[i].user, ds.test[i].query});
+  }
+  EXPECT_GT(server->cache().hits(), 30);  // 2 lookups per request, warmed
+}
+
+TEST(OnlineServerTest, LoadGeneratorMeasuresThroughput) {
+  const auto& ds = Dataset();
+  OnlineServerOptions opt;
+  opt.embedding_dim = 8;
+  auto server = MakeServer(ds, opt);
+  std::vector<ServingRequest> pool;
+  for (int i = 0; i < 50; ++i) pool.push_back({ds.test[i].user, ds.test[i].query});
+  for (const auto& r : pool) server->WarmCache({r.user, r.query});
+  auto result = RunLoad(server.get(), pool, /*qps=*/500, /*duration=*/0.5,
+                        /*client_threads=*/2, /*seed=*/3);
+  EXPECT_GT(result.requests, 100);
+  EXPECT_GT(result.achieved_qps, 200.0);
+  EXPECT_GT(result.p99_ms, 0.0);
+  EXPECT_GE(result.p99_ms, result.p50_ms);
+}
+
+}  // namespace
+}  // namespace serving
+}  // namespace zoomer
