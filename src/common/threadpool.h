@@ -106,6 +106,16 @@ class BoundedQueue {
     return true;
   }
 
+  /// Non-blocking pop: returns false immediately when the queue is empty.
+  bool TryPop(T* out) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (items_.empty()) return false;
+    *out = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_one();
+    return true;
+  }
+
   /// Returns false when the queue is closed and drained.
   bool Pop(T* out) {
     std::unique_lock<std::mutex> lock(mu_);

@@ -1,0 +1,66 @@
+#include "data/session_stream.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace zoomer {
+namespace data {
+
+using graph::NodeId;
+using graph::NodeType;
+
+graph::SessionLog SynthesizeLiveSessions(const RetrievalDataset& ds,
+                                         const LiveSessionOptions& options) {
+  const auto& g = ds.graph;
+  ZCHECK_EQ(static_cast<int64_t>(ds.category.size()), g.num_nodes());
+  std::vector<NodeId> users;
+  std::vector<NodeId> queries;
+  int num_categories = ds.num_categories;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    switch (g.node_type(v)) {
+      case NodeType::kUser: users.push_back(v); break;
+      case NodeType::kQuery: queries.push_back(v); break;
+      case NodeType::kItem: break;
+    }
+    num_categories = std::max(num_categories, ds.category[v] + 1);
+  }
+  std::vector<std::vector<NodeId>> items_by_cat(
+      static_cast<size_t>(num_categories));
+  for (NodeId item : ds.all_items) {
+    if (ds.category[item] >= 0) items_by_cat[ds.category[item]].push_back(item);
+  }
+  ZCHECK(!users.empty());
+  ZCHECK(!queries.empty());
+  ZCHECK(!ds.all_items.empty());
+
+  Rng rng(options.seed);
+  graph::SessionLog log;
+  log.reserve(options.num_sessions);
+  for (int s = 0; s < options.num_sessions; ++s) {
+    graph::SessionRecord rec;
+    rec.user = users[rng.Uniform(users.size())];
+    rec.query = queries[rng.Uniform(queries.size())];
+    rec.timestamp =
+        options.start_timestamp + static_cast<int64_t>(s) *
+                                      options.inter_session_seconds;
+    const int cat = ds.category[rec.query];
+    const auto& bucket =
+        (cat >= 0 && !items_by_cat[cat].empty()) ? items_by_cat[cat]
+                                                 : ds.all_items;
+    const int clicks =
+        static_cast<int>(rng.UniformInt(options.min_clicks, options.max_clicks));
+    for (int c = 0; c < clicks; ++c) {
+      const bool in_cat = rng.Bernoulli(options.p_click_in_category);
+      const auto& pool = in_cat ? bucket : ds.all_items;
+      rec.clicks.push_back(pool[rng.Uniform(pool.size())]);
+    }
+    log.push_back(std::move(rec));
+  }
+  return log;
+}
+
+}  // namespace data
+}  // namespace zoomer

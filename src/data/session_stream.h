@@ -1,0 +1,42 @@
+// Live-session synthesis for the streaming ingestion path: produces fresh
+// SessionRecords over the node population of an already-built
+// RetrievalDataset, reusing its latent-category structure (queries and items
+// carry a category; clicks stay mostly in the query's category with uniform
+// noise). These sessions postdate the offline graph build — exactly the
+// traffic the paper's deployment ingests continuously — so none of their
+// edges exist in the base CSR.
+#ifndef ZOOMER_DATA_SESSION_STREAM_H_
+#define ZOOMER_DATA_SESSION_STREAM_H_
+
+#include <cstdint>
+
+#include "data/dataset.h"
+
+namespace zoomer {
+namespace data {
+
+struct LiveSessionOptions {
+  int num_sessions = 1000;
+  int min_clicks = 1;
+  int max_clicks = 4;
+  /// Probability a click stays in the query's category (matches the offline
+  /// generator's focal-category mechanism).
+  double p_click_in_category = 0.85;
+  /// First session timestamp; defaults just past the offline horizon so
+  /// live sessions sort after the build window.
+  int64_t start_timestamp = 86400;
+  /// Seconds between consecutive sessions.
+  int64_t inter_session_seconds = 1;
+  uint64_t seed = 99;
+};
+
+/// Synthesizes `num_sessions` fresh sessions over `ds`'s users, queries and
+/// items. Requires ds.category to cover all nodes (true for both built-in
+/// generators).
+graph::SessionLog SynthesizeLiveSessions(const RetrievalDataset& ds,
+                                         const LiveSessionOptions& options);
+
+}  // namespace data
+}  // namespace zoomer
+
+#endif  // ZOOMER_DATA_SESSION_STREAM_H_

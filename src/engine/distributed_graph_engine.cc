@@ -1,14 +1,52 @@
 #include "engine/distributed_graph_engine.h"
 
+#include <algorithm>
 #include <chrono>
 #include <thread>
 
 #include "common/logging.h"
+#include "streaming/dynamic_hetero_graph.h"
 
 namespace zoomer {
 namespace engine {
 
 using graph::NodeId;
+
+namespace {
+
+/// Distinct weighted draws via the alias table (constant-time per draw);
+/// bounded retries mirror the production engine's draw-with-dedup.
+SampleResponse SampleFromCsr(const graph::HeteroGraph& g,
+                             const SampleRequest& req) {
+  SampleResponse resp;
+  if (g.degree(req.node) == 0) return resp;
+  Rng rng(req.rng_seed);
+  std::vector<NodeId> seen;
+  for (int attempt = 0;
+       attempt < req.k * 4 && static_cast<int>(seen.size()) < req.k;
+       ++attempt) {
+    const NodeId nb = g.SampleNeighbor(req.node, &rng);
+    if (nb < 0) break;
+    if (std::find(seen.begin(), seen.end(), nb) != seen.end()) continue;
+    seen.push_back(nb);
+  }
+  auto ids = g.neighbor_ids(req.node);
+  auto weights = g.neighbor_weights(req.node);
+  for (NodeId nb : seen) {
+    resp.neighbors.push_back(nb);
+    float w = 0.0f;
+    for (size_t p = 0; p < ids.size(); ++p) {
+      if (ids[p] == nb) {
+        w = weights[p];
+        break;
+      }
+    }
+    resp.weights.push_back(w);
+  }
+  return resp;
+}
+
+}  // namespace
 
 GraphShard::GraphShard(const graph::HeteroGraph* g, int shard_id,
                        int num_shards)
@@ -26,33 +64,35 @@ StatusOr<SampleResponse> GraphShard::Sample(const SampleRequest& req) const {
   if (!Owns(req.node)) {
     return Status::FailedPrecondition("node not owned by this shard");
   }
-  SampleResponse resp;
-  Rng rng(req.rng_seed);
-  const int64_t deg = graph_->degree(req.node);
-  if (deg == 0) return resp;
-  // Distinct weighted draws via the alias table (constant-time per draw);
-  // bounded retries mirror the production engine's draw-with-dedup.
-  std::vector<NodeId> seen;
-  for (int attempt = 0;
-       attempt < req.k * 4 && static_cast<int>(seen.size()) < req.k;
-       ++attempt) {
-    const NodeId nb = graph_->SampleNeighbor(req.node, &rng);
-    if (nb < 0) break;
-    if (std::find(seen.begin(), seen.end(), nb) != seen.end()) continue;
-    seen.push_back(nb);
-  }
-  auto ids = graph_->neighbor_ids(req.node);
-  auto weights = graph_->neighbor_weights(req.node);
-  for (NodeId nb : seen) {
-    for (size_t p = 0; p < ids.size(); ++p) {
-      if (ids[p] == nb) {
-        resp.neighbors.push_back(nb);
-        resp.weights.push_back(weights[p]);
-        break;
-      }
+  const streaming::DynamicHeteroGraph* dynamic =
+      dynamic_.load(std::memory_order_acquire);
+  if (dynamic != nullptr) {
+    // Streaming path: draw from an epoch snapshot over base + deltas so
+    // freshly ingested edges are sampleable shard-side. The snapshot's base
+    // is also the compaction-current CSR, so untouched nodes stay on the
+    // cheap alias path without materializing a merged list.
+    auto snap = dynamic->MakeSnapshot();
+    if (snap.DeltaDegree(req.node) == 0) {
+      return SampleFromCsr(snap.base(), req);
     }
+    std::vector<graph::NeighborEntry> merged;
+    snap.Neighbors(req.node, &merged);
+    SampleResponse resp;
+    Rng rng(req.rng_seed);
+    for (NodeId nb : snap.SampleDistinctNeighbors(req.node, req.k, &rng)) {
+      resp.neighbors.push_back(nb);
+      float w = 0.0f;
+      for (const auto& entry : merged) {
+        if (entry.neighbor == nb) {
+          w = entry.weight;
+          break;
+        }
+      }
+      resp.weights.push_back(w);
+    }
+    return resp;
   }
-  return resp;
+  return SampleFromCsr(*graph_, req);
 }
 
 size_t GraphShard::MemoryBytes() const {
@@ -71,6 +111,7 @@ DistributedGraphEngine::DistributedGraphEngine(const graph::HeteroGraph* g,
   ZCHECK_GT(options_.num_shards, 0);
   ZCHECK_GT(options_.replication_factor, 0);
   for (int s = 0; s < options_.num_shards; ++s) {
+    shard_update_events_.push_back(std::make_unique<std::atomic<int64_t>>(0));
     for (int r = 0; r < options_.replication_factor; ++r) {
       auto rep = std::make_unique<Replica>();
       rep->shard = std::make_unique<GraphShard>(g, s, options_.num_shards);
@@ -78,6 +119,17 @@ DistributedGraphEngine::DistributedGraphEngine(const graph::HeteroGraph* g,
       replicas_.push_back(std::move(rep));
     }
   }
+}
+
+void DistributedGraphEngine::AttachDynamicGraph(
+    const streaming::DynamicHeteroGraph* dynamic) {
+  for (auto& rep : replicas_) rep->shard->AttachDynamicGraph(dynamic);
+}
+
+void DistributedGraphEngine::RecordShardUpdate(int shard, int64_t num_events) {
+  if (shard < 0 || shard >= options_.num_shards) return;
+  shard_update_events_[shard]->fetch_add(num_events,
+                                         std::memory_order_relaxed);
 }
 
 DistributedGraphEngine::~DistributedGraphEngine() = default;
@@ -123,6 +175,11 @@ EngineStats DistributedGraphEngine::Stats() const {
   }
   if (!replicas_.empty()) {
     stats.storage_bytes_per_shard = replicas_[0]->shard->MemoryBytes();
+  }
+  for (const auto& counter : shard_update_events_) {
+    const int64_t events = counter->load();
+    stats.update_events_per_shard.push_back(events);
+    stats.total_update_events += events;
   }
   return stats;
 }

@@ -19,6 +19,10 @@
 #include "graph/hetero_graph.h"
 
 namespace zoomer {
+namespace streaming {
+class DynamicHeteroGraph;
+}  // namespace streaming
+
 namespace engine {
 
 struct EngineOptions {
@@ -44,6 +48,9 @@ struct EngineStats {
   std::vector<int64_t> requests_per_replica;
   int64_t total_requests = 0;
   size_t storage_bytes_per_shard = 0;
+  /// Streaming-update traffic routed to each shard by the ingest pipeline.
+  std::vector<int64_t> update_events_per_shard;
+  int64_t total_update_events = 0;
 };
 
 /// One storage shard: the subset of nodes whose hash maps to this shard.
@@ -62,13 +69,23 @@ class GraphShard {
   }
 
   /// Weighted neighbor sample (alias table) of up to k distinct neighbors.
+  /// With a dynamic view attached, draws come from an epoch snapshot over
+  /// base + streaming deltas instead of the static CSR.
   StatusOr<SampleResponse> Sample(const SampleRequest& req) const;
+
+  /// Serve reads through the streaming delta overlay (nullptr restores
+  /// static-CSR sampling). The view must outlive this shard. Safe to call
+  /// while Sample traffic is in flight (atomic publish).
+  void AttachDynamicGraph(const streaming::DynamicHeteroGraph* dynamic) {
+    dynamic_.store(dynamic, std::memory_order_release);
+  }
 
   int64_t num_owned_nodes() const { return owned_.size(); }
   size_t MemoryBytes() const;
 
  private:
   const graph::HeteroGraph* graph_;
+  std::atomic<const streaming::DynamicHeteroGraph*> dynamic_{nullptr};
   int shard_id_;
   int num_shards_;
   std::vector<graph::NodeId> owned_;
@@ -90,6 +107,14 @@ class DistributedGraphEngine {
   EngineStats Stats() const;
   int num_replicas() const { return static_cast<int>(replicas_.size()); }
 
+  /// Routes streaming reads of every replica through the dynamic delta
+  /// overlay (see GraphShard::AttachDynamicGraph).
+  void AttachDynamicGraph(const streaming::DynamicHeteroGraph* dynamic);
+
+  /// Called by the ingest pipeline when a delta batch lands on `shard`;
+  /// surfaces per-shard update traffic in Stats().
+  void RecordShardUpdate(int shard, int64_t num_events);
+
  private:
   struct Replica {
     std::unique_ptr<GraphShard> shard;
@@ -100,6 +125,7 @@ class DistributedGraphEngine {
 
   EngineOptions options_;
   std::vector<std::unique_ptr<Replica>> replicas_;  // shard-major layout
+  std::vector<std::unique_ptr<std::atomic<int64_t>>> shard_update_events_;
 };
 
 }  // namespace engine

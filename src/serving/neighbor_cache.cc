@@ -1,6 +1,10 @@
 #include "serving/neighbor_cache.h"
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "streaming/dynamic_hetero_graph.h"
 
 namespace zoomer {
 namespace serving {
@@ -13,14 +17,30 @@ NeighborCache::NeighborCache(const graph::HeteroGraph* g,
       options_(options),
       refresher_(std::make_unique<ThreadPool>(options.refresh_threads)) {}
 
+void NeighborCache::AttachDynamicGraph(
+    const streaming::DynamicHeteroGraph* dynamic) {
+  dynamic_.store(dynamic, std::memory_order_release);
+}
+
 std::vector<NodeId> NeighborCache::ComputeTopK(NodeId node) const {
   // Highest-weight neighbors (interaction frequency) up to k.
-  auto ids = graph_->neighbor_ids(node);
-  auto weights = graph_->neighbor_weights(node);
   std::vector<std::pair<float, NodeId>> scored;
-  scored.reserve(ids.size());
-  for (size_t i = 0; i < ids.size(); ++i) {
-    scored.emplace_back(weights[i], ids[i]);
+  const streaming::DynamicHeteroGraph* dynamic =
+      dynamic_.load(std::memory_order_acquire);
+  if (dynamic != nullptr) {
+    // Merged base + delta view: freshly ingested clicks compete for the
+    // top-k on accumulated weight like any offline edge.
+    std::vector<graph::NeighborEntry> merged;
+    dynamic->MakeSnapshot().Neighbors(node, &merged);
+    scored.reserve(merged.size());
+    for (const auto& e : merged) scored.emplace_back(e.weight, e.neighbor);
+  } else {
+    auto ids = graph_->neighbor_ids(node);
+    auto weights = graph_->neighbor_weights(node);
+    scored.reserve(ids.size());
+    for (size_t i = 0; i < ids.size(); ++i) {
+      scored.emplace_back(weights[i], ids[i]);
+    }
   }
   const size_t keep = std::min<size_t>(options_.k, scored.size());
   std::partial_sort(scored.begin(), scored.begin() + keep, scored.end(),
@@ -32,6 +52,7 @@ std::vector<NodeId> NeighborCache::ComputeTopK(NodeId node) const {
 }
 
 bool NeighborCache::Get(NodeId node, std::vector<NodeId>* out) {
+  bool fill_pending;
   {
     std::shared_lock<std::shared_mutex> lock(mu_);
     auto it = cache_.find(node);
@@ -40,25 +61,125 @@ bool NeighborCache::Get(NodeId node, std::vector<NodeId>* out) {
       hits_.fetch_add(1, std::memory_order_relaxed);
       return true;
     }
+    // Checked under the shared lock so a miss burst on a cold node does not
+    // serialize every reader behind ScheduleFill's writer lock.
+    fill_pending = pending_fills_.count(node) > 0;
   }
   misses_.fetch_add(1, std::memory_order_relaxed);
-  refresher_->Submit([this, node] { Warm(node); });
+  if (!fill_pending) ScheduleFill(node);
   return false;
+}
+
+void NeighborCache::ScheduleFill(NodeId node) {
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    // Concurrent misses on one node coalesce into a single background fill.
+    if (!pending_fills_.try_emplace(node, false).second) return;
+  }
+  SubmitFill(node);
+}
+
+void NeighborCache::SubmitFill(NodeId node) {
+  scheduled_fills_.fetch_add(1, std::memory_order_relaxed);
+  refresher_->Submit([this, node] { FillTask(node); });
+}
+
+void NeighborCache::FillTask(NodeId node) {
+  if (options_.refresh_delay_micros > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(options_.refresh_delay_micros));
+  }
+  auto topk = ComputeTopK(node);
+  bool rerun = false;
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    cache_[node] = std::move(topk);
+    auto it = pending_fills_.find(node);
+    if (it != pending_fills_.end()) {
+      if (it->second) {
+        // An Invalidate landed while this fill was computing: the stored
+        // top-k may predate the graph update, so run once more.
+        it->second = false;
+        rerun = true;
+      } else {
+        pending_fills_.erase(it);
+      }
+    }
+  }
+  completed_fills_.fetch_add(1, std::memory_order_relaxed);
+  if (rerun) SubmitFill(node);
 }
 
 void NeighborCache::Warm(NodeId node) {
   auto topk = ComputeTopK(node);
-  std::unique_lock<std::shared_mutex> lock(mu_);
-  cache_[node] = std::move(topk);
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    cache_[node] = std::move(topk);
+  }
+  completed_fills_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void NeighborCache::WarmAll(const std::vector<NodeId>& nodes) {
   for (NodeId n : nodes) Warm(n);
 }
 
+void NeighborCache::Invalidate(NodeId node) {
+  bool was_cached, fill_in_flight = false;
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    was_cached = cache_.erase(node) > 0;
+    auto it = pending_fills_.find(node);
+    if (it != pending_fills_.end()) {
+      // A fill is computing right now and may have read the pre-update
+      // graph; mark it dirty so it re-runs after it lands.
+      it->second = true;
+      fill_in_flight = true;
+    }
+  }
+  if (!was_cached && !fill_in_flight) return;
+  invalidations_.fetch_add(1, std::memory_order_relaxed);
+  // Asynchronous re-fill keeps the refresh off the request path, matching
+  // the paper's fully asynchronous cache updating.
+  if (!fill_in_flight) ScheduleFill(node);
+}
+
+void NeighborCache::InvalidateAll() {
+  std::vector<NodeId> to_fill;
+  int64_t affected;
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    // Same mid-compute window as Invalidate(): mark every in-flight fill
+    // dirty so it re-runs instead of landing a pre-update top-k.
+    int64_t pending_only = 0;
+    for (auto& [node, dirty] : pending_fills_) {
+      dirty = true;
+      if (!cache_.count(node)) ++pending_only;
+    }
+    to_fill.reserve(cache_.size());
+    for (const auto& [node, topk] : cache_) {
+      if (!pending_fills_.count(node)) to_fill.push_back(node);
+    }
+    affected = static_cast<int64_t>(cache_.size()) + pending_only;
+    cache_.clear();
+  }
+  invalidations_.fetch_add(affected, std::memory_order_relaxed);
+  for (NodeId n : to_fill) ScheduleFill(n);
+}
+
 size_t NeighborCache::size() const {
   std::shared_lock<std::shared_mutex> lock(mu_);
   return cache_.size();
+}
+
+NeighborCacheStats NeighborCache::Stats() const {
+  NeighborCacheStats stats;
+  stats.hits = hits_.load();
+  stats.misses = misses_.load();
+  stats.invalidations = invalidations_.load();
+  stats.scheduled_fills = scheduled_fills_.load();
+  stats.completed_fills = completed_fills_.load();
+  stats.entries = size();
+  return stats;
 }
 
 }  // namespace serving

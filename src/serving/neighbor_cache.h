@@ -2,6 +2,11 @@
 // production deployment caches the k last-visited neighbors of each user and
 // query node (k = 30) and refreshes entries fully asynchronously from user
 // requests, decoupling neighbor *sampling* from neighbor *aggregation*.
+//
+// Streaming integration: with a DynamicHeteroGraph attached, fills compute
+// the top-k over base + delta overlays, and Invalidate() drops a stale entry
+// and schedules an asynchronous re-fill — the ingest pipeline's update hooks
+// call this so responses reflect freshly ingested edges.
 #ifndef ZOOMER_SERVING_NEIGHBOR_CACHE_H_
 #define ZOOMER_SERVING_NEIGHBOR_CACHE_H_
 
@@ -15,43 +20,88 @@
 #include "graph/hetero_graph.h"
 
 namespace zoomer {
+
+namespace streaming {
+class DynamicHeteroGraph;
+}  // namespace streaming
+
 namespace serving {
 
 struct NeighborCacheOptions {
   int k = 30;  // production value (paper Sec. VII-E)
   /// Threads performing asynchronous refreshes.
   int refresh_threads = 1;
+  /// Artificial delay before each background fill (microseconds); simulates
+  /// refresh cost and widens the async window deterministically in tests.
+  int refresh_delay_micros = 0;
+};
+
+/// Counter snapshot in the style of EngineStats.
+struct NeighborCacheStats {
+  int64_t hits = 0;
+  int64_t misses = 0;
+  int64_t invalidations = 0;
+  int64_t scheduled_fills = 0;  // background fills actually enqueued
+  int64_t completed_fills = 0;  // fills (sync or async) that landed
+  size_t entries = 0;
 };
 
 /// Read-mostly cache: Get never blocks on graph sampling — a miss returns
 /// false and schedules an asynchronous fill, mirroring the paper's
 /// "cache updating is fully asynchronous from users' timely requests".
+/// Concurrent misses on one node coalesce into a single background fill.
 class NeighborCache {
  public:
   NeighborCache(const graph::HeteroGraph* g, NeighborCacheOptions options);
 
+  /// Serve top-k reads over base + streaming deltas (nullptr restores
+  /// static reads). The view must outlive the cache.
+  void AttachDynamicGraph(const streaming::DynamicHeteroGraph* dynamic);
+
   /// Returns true and fills `out` on hit; on miss schedules a background
-  /// fill and returns false.
+  /// fill (unless one is already pending for this node) and returns false.
   bool Get(graph::NodeId node, std::vector<graph::NodeId>* out);
 
   /// Synchronous fill (used for warmup before load tests).
   void Warm(graph::NodeId node);
   void WarmAll(const std::vector<graph::NodeId>& nodes);
 
+  /// Drops the node's entry and schedules an asynchronous re-fill, so the
+  /// next request after a graph update sees fresh neighbors. No-op for
+  /// nodes that were never cached.
+  void Invalidate(graph::NodeId node);
+  void InvalidateAll();
+
   int64_t hits() const { return hits_.load(); }
   int64_t misses() const { return misses_.load(); }
   size_t size() const;
+  NeighborCacheStats Stats() const;
 
  private:
   std::vector<graph::NodeId> ComputeTopK(graph::NodeId node) const;
+  /// Enqueues a background fill unless one is already pending. Caller must
+  /// not hold mu_.
+  void ScheduleFill(graph::NodeId node);
+  void SubmitFill(graph::NodeId node);
+  void FillTask(graph::NodeId node);
 
   const graph::HeteroGraph* graph_;
+  std::atomic<const streaming::DynamicHeteroGraph*> dynamic_{nullptr};
   NeighborCacheOptions options_;
   mutable std::shared_mutex mu_;
   std::unordered_map<graph::NodeId, std::vector<graph::NodeId>> cache_;
-  std::unique_ptr<ThreadPool> refresher_;
+  /// In-flight background fills; the bool marks a fill whose inputs were
+  /// invalidated mid-compute, so it must re-run after it lands. Guarded by
+  /// mu_.
+  std::unordered_map<graph::NodeId, bool> pending_fills_;
   std::atomic<int64_t> hits_{0};
   std::atomic<int64_t> misses_{0};
+  std::atomic<int64_t> invalidations_{0};
+  std::atomic<int64_t> scheduled_fills_{0};
+  std::atomic<int64_t> completed_fills_{0};
+  /// Declared last: its destructor joins in-flight fills, which touch every
+  /// member above — reverse destruction order keeps them alive until then.
+  std::unique_ptr<ThreadPool> refresher_;
 };
 
 }  // namespace serving

@@ -36,6 +36,17 @@ void OnlineServer::WarmCache(const std::vector<NodeId>& nodes) {
   cache_->WarmAll(nodes);
 }
 
+void OnlineServer::AttachDynamicGraph(
+    const streaming::DynamicHeteroGraph* dynamic) {
+  cache_->AttachDynamicGraph(dynamic);
+}
+
+void OnlineServer::OnGraphUpdate(const std::vector<NodeId>& nodes) {
+  // Invalidate is a no-op for nodes never cached (e.g. items, which the
+  // serving path does not cache), so touched-node lists pass through as-is.
+  for (NodeId n : nodes) cache_->Invalidate(n);
+}
+
 void OnlineServer::EmbedRequest(const ServingRequest& req,
                                 std::vector<float>* out) {
   const int d = options_.embedding_dim;

@@ -66,6 +66,16 @@ class OnlineServer {
   /// Pre-fills the neighbor cache for the given nodes.
   void WarmCache(const std::vector<graph::NodeId>& nodes);
 
+  /// Routes neighbor reads through the streaming delta overlay so responses
+  /// reflect freshly ingested edges. The view must outlive the server.
+  void AttachDynamicGraph(const streaming::DynamicHeteroGraph* dynamic);
+
+  /// Ingest-pipeline update hook: invalidates the touched nodes' cache
+  /// entries (each schedules an asynchronous re-fill). Register as
+  ///   pipeline.AddUpdateListener([&](const auto& nodes) {
+  ///     server.OnGraphUpdate(nodes); });
+  void OnGraphUpdate(const std::vector<graph::NodeId>& nodes);
+
   const NeighborCache& cache() const { return *cache_; }
   const AnnIndex& index() const { return index_; }
 

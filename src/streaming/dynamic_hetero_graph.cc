@@ -1,0 +1,388 @@
+#include "streaming/dynamic_hetero_graph.h"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+
+#include "common/logging.h"
+
+namespace zoomer {
+namespace streaming {
+
+using graph::HeteroGraph;
+using graph::NeighborEntry;
+using graph::NodeId;
+
+DynamicHeteroGraph::DynamicHeteroGraph(const HeteroGraph* base)
+    : DynamicHeteroGraph(std::shared_ptr<const HeteroGraph>(
+          base, [](const HeteroGraph*) {})) {}
+
+DynamicHeteroGraph::DynamicHeteroGraph(
+    std::shared_ptr<const HeteroGraph> base)
+    : base_(std::move(base)),
+      node_epoch_(static_cast<size_t>(
+          base_.load(std::memory_order_relaxed)->num_nodes())) {
+  ZCHECK(base_.load(std::memory_order_relaxed) != nullptr);
+}
+
+std::shared_ptr<const HeteroGraph> DynamicHeteroGraph::base() const {
+  return base_.load(std::memory_order_acquire);
+}
+
+DynamicHeteroGraph::Snapshot DynamicHeteroGraph::MakeSnapshot() const {
+  return Snapshot(this, base(), epoch());
+}
+
+size_t DynamicHeteroGraph::VisiblePrefix(const NodeOverlay& ov,
+                                         uint64_t at_epoch) {
+  auto it = std::upper_bound(
+      ov.entries.begin(), ov.entries.end(), at_epoch,
+      [](uint64_t e, const DeltaEntry& d) { return e < d.epoch; });
+  return static_cast<size_t>(it - ov.entries.begin());
+}
+
+Status DynamicHeteroGraph::ApplyBatch(const DeltaBatch& batch) {
+  if (batch.epoch == 0) {
+    return Status::InvalidArgument("delta batch has no epoch");
+  }
+  auto base = this->base();
+  const int64_t n = base->num_nodes();
+  for (const EdgeEvent& ev : batch.events) {
+    if (ev.src < 0 || ev.src >= n || ev.dst < 0 || ev.dst >= n) {
+      return Status::OutOfRange("edge event endpoint out of range");
+    }
+    if (ev.src == ev.dst) {
+      return Status::InvalidArgument("self-loops are not allowed");
+    }
+    if (!(ev.weight >= 0.0f) || ev.weight > 1e30f) {
+      // Rejects negatives, NaN (all comparisons false) and infinities,
+      // which would poison the overlay prefix sums.
+      return Status::InvalidArgument("edge weight must be finite and non-negative");
+    }
+  }
+  for (const EdgeEvent& ev : batch.events) {
+    AppendHalfEdge(*base, ev.src, {ev.dst, ev.weight, ev.kind}, batch.epoch);
+    AppendHalfEdge(*base, ev.dst, {ev.src, ev.weight, ev.kind}, batch.epoch);
+  }
+  // Publish the epoch only after every entry is in place, so snapshots taken
+  // at this epoch see the whole batch.
+  uint64_t cur = max_applied_epoch_.load(std::memory_order_relaxed);
+  while (cur < batch.epoch &&
+         !max_applied_epoch_.compare_exchange_weak(
+             cur, batch.epoch, std::memory_order_acq_rel)) {
+  }
+  return Status::OK();
+}
+
+void DynamicHeteroGraph::AppendHalfEdge(const HeteroGraph& base, NodeId node,
+                                        NeighborEntry entry, uint64_t epoch) {
+  LockShard& sh = lock_shards_[ShardFor(node)];
+  {
+    std::unique_lock<std::shared_mutex> lock(sh.mu);
+    auto [it, inserted] = sh.overlays.try_emplace(node);
+    NodeOverlay& ov = it->second;
+    if (inserted) {
+      // One O(degree) pass caches the base weight mass for the two-level
+      // base-vs-delta sampling coin.
+      double total = 0.0;
+      for (float w : base.neighbor_weights(node)) total += w;
+      ov.base_total_weight = total;
+    }
+    // Entries stay epoch-ordered; batches almost always arrive in epoch
+    // order, so this is an append with a rare short sorted insert.
+    size_t pos = ov.entries.size();
+    while (pos > 0 && ov.entries[pos - 1].epoch > epoch) --pos;
+    ov.entries.insert(ov.entries.begin() + pos, DeltaEntry{entry, epoch});
+    ov.weight_prefix.resize(ov.entries.size());
+    for (size_t i = pos; i < ov.entries.size(); ++i) {
+      ov.weight_prefix[i] = (i == 0 ? 0.0 : ov.weight_prefix[i - 1]) +
+                            static_cast<double>(ov.entries[i].e.weight);
+    }
+  }
+  total_entries_.fetch_add(1, std::memory_order_acq_rel);
+  uint64_t cur = node_epoch_[node].load(std::memory_order_relaxed);
+  while (cur < epoch && !node_epoch_[node].compare_exchange_weak(
+                            cur, epoch, std::memory_order_acq_rel)) {
+  }
+}
+
+bool DynamicHeteroGraph::Snapshot::HasDelta(NodeId node) const {
+  return DeltaDegree(node) > 0;
+}
+
+int64_t DynamicHeteroGraph::Snapshot::DeltaDegree(NodeId node) const {
+  ZCHECK(node >= 0 && node < base_->num_nodes());
+  if (owner_->node_epoch_[node].load(std::memory_order_acquire) == 0) {
+    return 0;
+  }
+  const LockShard& sh = owner_->lock_shards_[ShardFor(node)];
+  std::shared_lock<std::shared_mutex> lock(sh.mu);
+  auto it = sh.overlays.find(node);
+  if (it == sh.overlays.end()) return 0;
+  return static_cast<int64_t>(VisiblePrefix(it->second, epoch_));
+}
+
+int64_t DynamicHeteroGraph::Snapshot::Degree(NodeId node) const {
+  return base_->degree(node) + DeltaDegree(node);
+}
+
+double DynamicHeteroGraph::Snapshot::TotalWeight(NodeId node) const {
+  ZCHECK(node >= 0 && node < base_->num_nodes());
+  if (owner_->node_epoch_[node].load(std::memory_order_acquire) == 0) {
+    double total = 0.0;
+    for (float w : base_->neighbor_weights(node)) total += w;
+    return total;
+  }
+  const LockShard& sh = owner_->lock_shards_[ShardFor(node)];
+  std::shared_lock<std::shared_mutex> lock(sh.mu);
+  auto it = sh.overlays.find(node);
+  double total = 0.0;
+  if (it != sh.overlays.end()) {
+    const NodeOverlay& ov = it->second;
+    total = ov.base_total_weight;
+    const size_t prefix = VisiblePrefix(ov, epoch_);
+    if (prefix > 0) total += ov.weight_prefix[prefix - 1];
+    return total;
+  }
+  for (float w : base_->neighbor_weights(node)) total += w;
+  return total;
+}
+
+void DynamicHeteroGraph::Snapshot::Neighbors(
+    NodeId node, std::vector<NeighborEntry>* out) const {
+  ZCHECK(node >= 0 && node < base_->num_nodes());
+  out->clear();
+  auto ids = base_->neighbor_ids(node);
+  auto weights = base_->neighbor_weights(node);
+  auto kinds = base_->neighbor_kinds(node);
+  out->reserve(ids.size());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    out->push_back({ids[i], weights[i], kinds[i]});
+  }
+  if (owner_->node_epoch_[node].load(std::memory_order_acquire) == 0) return;
+  const LockShard& sh = owner_->lock_shards_[ShardFor(node)];
+  std::shared_lock<std::shared_mutex> lock(sh.mu);
+  auto it = sh.overlays.find(node);
+  if (it == sh.overlays.end()) return;
+  const NodeOverlay& ov = it->second;
+  const size_t prefix = VisiblePrefix(ov, epoch_);
+  if (prefix < 16) {
+    // Tiny deltas: linear coalescing, no allocation.
+    for (size_t i = 0; i < prefix; ++i) {
+      const NeighborEntry& e = ov.entries[i].e;
+      auto match = std::find_if(out->begin(), out->end(),
+                                [&e](const NeighborEntry& b) {
+                                  return b.neighbor == e.neighbor &&
+                                         b.kind == e.kind;
+                                });
+      if (match != out->end()) {
+        match->weight += e.weight;
+      } else {
+        out->push_back(e);
+      }
+    }
+    return;
+  }
+  // Hot nodes accumulate thousands of deltas between compactions; index the
+  // merged list by (neighbor, kind) so the merge stays linear.
+  auto key = [](const NeighborEntry& e) {
+    return static_cast<int64_t>(e.neighbor) * graph::kNumRelationKinds +
+           static_cast<int>(e.kind);
+  };
+  std::unordered_map<int64_t, size_t> index;
+  index.reserve(out->size() + prefix);
+  for (size_t i = 0; i < out->size(); ++i) index.emplace(key((*out)[i]), i);
+  for (size_t i = 0; i < prefix; ++i) {
+    const NeighborEntry& e = ov.entries[i].e;
+    auto [it2, inserted] = index.try_emplace(key(e), out->size());
+    if (inserted) {
+      out->push_back(e);
+    } else {
+      (*out)[it2->second].weight += e.weight;
+    }
+  }
+}
+
+NodeId DynamicHeteroGraph::SampleOverlayLocked(const HeteroGraph& base,
+                                               NodeId node,
+                                               const NodeOverlay& ov,
+                                               size_t prefix, Rng* rng) {
+  const double delta_w = ov.weight_prefix[prefix - 1];
+  const double base_w = ov.base_total_weight;
+  const double total = base_w + delta_w;
+  if (total <= 0.0) {
+    // Degenerate all-zero weights: uniform over base + delta positions,
+    // matching AliasTable's degenerate behaviour.
+    const uint64_t n = static_cast<uint64_t>(base.degree(node)) + prefix;
+    if (n == 0) return -1;
+    const uint64_t idx = rng->Uniform(n);
+    if (idx < static_cast<uint64_t>(base.degree(node))) {
+      return base.neighbor_ids(node)[idx];
+    }
+    return ov.entries[idx - base.degree(node)].e.neighbor;
+  }
+  // Two-level alias-resampling: base-vs-delta coin by weight mass, then an
+  // O(1) alias draw in the base or an inverse-CDF draw in the delta prefix.
+  const double r = rng->UniformDouble() * total;
+  if (r < base_w) return base.SampleNeighbor(node, rng);
+  const double target = r - base_w;
+  auto pos = std::upper_bound(ov.weight_prefix.begin(),
+                              ov.weight_prefix.begin() + prefix, target);
+  if (pos == ov.weight_prefix.begin() + prefix) --pos;  // fp guard
+  return ov.entries[pos - ov.weight_prefix.begin()].e.neighbor;
+}
+
+NodeId DynamicHeteroGraph::Snapshot::SampleNeighbor(NodeId node,
+                                                    Rng* rng) const {
+  ZCHECK(node >= 0 && node < base_->num_nodes());
+  // Lock-free fast path: untouched nodes sample straight off the base CSR.
+  if (owner_->node_epoch_[node].load(std::memory_order_acquire) == 0) {
+    return base_->SampleNeighbor(node, rng);
+  }
+  const LockShard& sh = owner_->lock_shards_[ShardFor(node)];
+  std::shared_lock<std::shared_mutex> lock(sh.mu);
+  auto it = sh.overlays.find(node);
+  if (it == sh.overlays.end()) return base_->SampleNeighbor(node, rng);
+  const NodeOverlay& ov = it->second;
+  const size_t prefix = VisiblePrefix(ov, epoch_);
+  if (prefix == 0) return base_->SampleNeighbor(node, rng);
+  return SampleOverlayLocked(*base_, node, ov, prefix, rng);
+}
+
+std::vector<NodeId> DynamicHeteroGraph::Snapshot::SampleDistinctNeighbors(
+    NodeId node, int k, Rng* rng) const {
+  ZCHECK(node >= 0 && node < base_->num_nodes());
+  std::vector<NodeId> seen;
+  if (k <= 0) return seen;
+  const int max_attempts = k * 4;
+  auto draw_from_base = [&] {
+    for (int a = 0;
+         a < max_attempts && static_cast<int>(seen.size()) < k; ++a) {
+      const NodeId nb = base_->SampleNeighbor(node, rng);
+      if (nb < 0) break;
+      if (std::find(seen.begin(), seen.end(), nb) == seen.end()) {
+        seen.push_back(nb);
+      }
+    }
+  };
+  if (owner_->node_epoch_[node].load(std::memory_order_acquire) == 0) {
+    draw_from_base();
+    return seen;
+  }
+  const LockShard& sh = owner_->lock_shards_[ShardFor(node)];
+  std::shared_lock<std::shared_mutex> lock(sh.mu);
+  auto it = sh.overlays.find(node);
+  const size_t prefix =
+      it == sh.overlays.end() ? 0 : VisiblePrefix(it->second, epoch_);
+  if (prefix == 0) {
+    lock.unlock();
+    draw_from_base();
+    return seen;
+  }
+  // One lock acquisition and one visible-prefix resolution for the whole
+  // batch of draws.
+  for (int a = 0; a < max_attempts && static_cast<int>(seen.size()) < k;
+       ++a) {
+    const NodeId nb =
+        SampleOverlayLocked(*base_, node, it->second, prefix, rng);
+    if (nb < 0) break;
+    if (std::find(seen.begin(), seen.end(), nb) == seen.end()) {
+      seen.push_back(nb);
+    }
+  }
+  return seen;
+}
+
+StatusOr<uint64_t> DynamicHeteroGraph::Compact() {
+  std::lock_guard<std::mutex> compact_lock(compact_mu_);
+  // Exclusive hold on every lock shard: no reader or (contract-violating)
+  // applier can observe the rebuild half-done.
+  std::vector<std::unique_lock<std::shared_mutex>> locks;
+  locks.reserve(kNumLockShards);
+  for (auto& sh : lock_shards_) locks.emplace_back(sh.mu);
+
+  const uint64_t fold_epoch = max_applied_epoch_.load(std::memory_order_acquire);
+  if (total_entries_.load(std::memory_order_acquire) == 0) {
+    compacted_through_epoch_ = fold_epoch;
+    return fold_epoch;
+  }
+
+  auto old_base = base_.load(std::memory_order_acquire);
+
+  // Coalesce base and delta half-edges into canonical undirected edges
+  // keyed by (min, max, kind), summing weights — the same duplicate
+  // coalescing the offline graph builder performs.
+  std::map<std::tuple<NodeId, NodeId, uint8_t>, double> edges;
+  for (NodeId v = 0; v < old_base->num_nodes(); ++v) {
+    auto ids = old_base->neighbor_ids(v);
+    auto weights = old_base->neighbor_weights(v);
+    auto kinds = old_base->neighbor_kinds(v);
+    for (size_t i = 0; i < ids.size(); ++i) {
+      if (v < ids[i]) {
+        edges[{v, ids[i], static_cast<uint8_t>(kinds[i])}] +=
+            static_cast<double>(weights[i]);
+      }
+    }
+  }
+  for (const auto& sh : lock_shards_) {
+    for (const auto& [node, ov] : sh.overlays) {
+      // Each applied event put one half on each endpoint; counting only the
+      // (node < neighbor) half sees every undirected delta exactly once.
+      for (const DeltaEntry& d : ov.entries) {
+        if (node < d.e.neighbor) {
+          edges[{node, d.e.neighbor, static_cast<uint8_t>(d.e.kind)}] +=
+              static_cast<double>(d.e.weight);
+        }
+      }
+    }
+  }
+
+  graph::HeteroGraphBuilder builder(old_base->content_dim());
+  for (NodeId v = 0; v < old_base->num_nodes(); ++v) {
+    const float* c = old_base->content(v);
+    auto slots = old_base->slots(v);
+    builder.AddNode(old_base->node_type(v),
+                    std::vector<float>(c, c + old_base->content_dim()),
+                    std::vector<int64_t>(slots.begin(), slots.end()));
+  }
+  for (const auto& [key, weight] : edges) {
+    Status st = builder.AddEdge(std::get<0>(key), std::get<1>(key),
+                                static_cast<graph::RelationKind>(
+                                    std::get<2>(key)),
+                                static_cast<float>(weight));
+    if (!st.ok()) return st;
+  }
+  auto new_base = std::make_shared<const HeteroGraph>(builder.Build());
+
+  base_.store(new_base, std::memory_order_release);
+  for (auto& sh : lock_shards_) sh.overlays.clear();
+  for (auto& e : node_epoch_) e.store(0, std::memory_order_release);
+  total_entries_.store(0, std::memory_order_release);
+  compacted_through_epoch_ = fold_epoch;
+  return fold_epoch;
+}
+
+int64_t DynamicHeteroGraph::num_delta_nodes() const {
+  int64_t n = 0;
+  for (const auto& sh : lock_shards_) {
+    std::shared_lock<std::shared_mutex> lock(sh.mu);
+    n += static_cast<int64_t>(sh.overlays.size());
+  }
+  return n;
+}
+
+size_t DynamicHeteroGraph::OverlayMemoryBytes() const {
+  size_t bytes = 0;
+  for (const auto& sh : lock_shards_) {
+    std::shared_lock<std::shared_mutex> lock(sh.mu);
+    for (const auto& [node, ov] : sh.overlays) {
+      bytes += sizeof(node) + sizeof(NodeOverlay) +
+               ov.entries.size() * sizeof(DeltaEntry) +
+               ov.weight_prefix.size() * sizeof(double);
+    }
+  }
+  return bytes;
+}
+
+}  // namespace streaming
+}  // namespace zoomer

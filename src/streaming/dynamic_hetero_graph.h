@@ -1,0 +1,178 @@
+// Dynamic read view over the immutable CSR (paper Sec. VI-VII.E, extended to
+// the deployment's continuous-ingestion setting): the offline-built
+// HeteroGraph stays untouched while streaming edge events accumulate in
+// per-node delta overlays. Readers take epoch-stamped snapshots, so the
+// serving-path samplers and aggregators observe a consistent graph while the
+// ingestion pipeline keeps applying batches.
+//
+// Concurrency design:
+//  - Nodes with no deltas (the vast majority at any instant) are read
+//    entirely lock-free: a per-node atomic epoch of 0 routes the read to the
+//    base CSR without touching any overlay structure.
+//  - Overlays live in a fixed set of lock shards (shared_mutex each);
+//    appliers take one shard exclusively per touched node, readers take it
+//    shared only when the node actually has deltas.
+//  - Weighted sampling over base+delta uses two-level alias-resampling:
+//    first choose base vs. overlay proportional to their total weights, then
+//    draw within the base via its O(1) alias table or within the overlay via
+//    an inverse-CDF search over the (small) delta prefix-sum array.
+//  - Snapshot isolation: overlay entries are epoch-stamped and kept in epoch
+//    order; a snapshot at epoch E only surfaces entries with epoch <= E.
+//    Isolation is exact when batches are applied in epoch order (the ingest
+//    pipeline applies per-shard FIFO; cross-shard skew can briefly surface a
+//    lower-epoch batch to a newer snapshot, never the reverse).
+//  - Compact() folds every applied delta back into a freshly built CSR and
+//    clears the overlays. It requires the ingestion pipeline to be flushed
+//    or paused; snapshots taken before a compaction keep their (pinned) old
+//    base but lose delta visibility, so treat snapshots as short read leases.
+#ifndef ZOOMER_STREAMING_DYNAMIC_HETERO_GRAPH_H_
+#define ZOOMER_STREAMING_DYNAMIC_HETERO_GRAPH_H_
+
+#include <array>
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "graph/hetero_graph.h"
+#include "streaming/graph_delta_log.h"
+
+namespace zoomer {
+namespace streaming {
+
+class DynamicHeteroGraph {
+ public:
+  /// Non-owning view: `base` must outlive this object (and any compacted
+  /// successors replace it internally without touching the original).
+  explicit DynamicHeteroGraph(const graph::HeteroGraph* base);
+  explicit DynamicHeteroGraph(std::shared_ptr<const graph::HeteroGraph> base);
+
+  /// Epoch of the newest applied batch (0 before any delta).
+  uint64_t epoch() const {
+    return max_applied_epoch_.load(std::memory_order_acquire);
+  }
+
+  /// Applies one delta batch: every event becomes two half-edges in the
+  /// endpoints' overlays, stamped with the batch epoch. Validates the whole
+  /// batch before applying any of it.
+  Status ApplyBatch(const DeltaBatch& batch);
+
+  /// Consistent read view pinned to the current base and epoch.
+  class Snapshot {
+   public:
+    const graph::HeteroGraph& base() const { return *base_; }
+    uint64_t epoch() const { return epoch_; }
+
+    /// True if the node carries any delta visible at this epoch.
+    bool HasDelta(graph::NodeId node) const;
+    /// Half-edge count: base degree + visible delta entries (parallel-edge
+    /// semantics, matching how repeated events accumulate weight).
+    int64_t Degree(graph::NodeId node) const;
+    int64_t DeltaDegree(graph::NodeId node) const;
+    double TotalWeight(graph::NodeId node) const;
+
+    /// Merged neighbor list, coalescing delta entries into matching base
+    /// edges by (neighbor, kind) and summing weights.
+    void Neighbors(graph::NodeId node,
+                   std::vector<graph::NeighborEntry>* out) const;
+
+    /// One weighted draw over base + visible delta. Returns -1 for nodes
+    /// with no edges at this epoch.
+    graph::NodeId SampleNeighbor(graph::NodeId node, Rng* rng) const;
+
+    /// Up to k distinct weighted draws with bounded retries (4k attempts),
+    /// acquiring the node's lock shard once for the whole batch — use this
+    /// on the serving path instead of k calls to SampleNeighbor.
+    std::vector<graph::NodeId> SampleDistinctNeighbors(graph::NodeId node,
+                                                       int k,
+                                                       Rng* rng) const;
+
+   private:
+    friend class DynamicHeteroGraph;
+    Snapshot(const DynamicHeteroGraph* owner,
+             std::shared_ptr<const graph::HeteroGraph> base, uint64_t epoch)
+        : owner_(owner), base_(std::move(base)), epoch_(epoch) {}
+
+    const DynamicHeteroGraph* owner_;
+    std::shared_ptr<const graph::HeteroGraph> base_;
+    uint64_t epoch_;
+  };
+
+  Snapshot MakeSnapshot() const;
+
+  /// Rebuilds the base CSR with every applied delta folded in (duplicate
+  /// (a, b, kind) edges coalesced by weight, matching the offline builder's
+  /// semantics), clears the overlays, and returns the epoch folded through
+  /// (pass it to GraphDeltaLog::Truncate). Precondition: no concurrent
+  /// ApplyBatch (flush or pause the ingest pipeline first).
+  StatusOr<uint64_t> Compact();
+
+  /// Current base CSR (changes only at Compact).
+  std::shared_ptr<const graph::HeteroGraph> base() const;
+
+  int64_t num_delta_entries() const {
+    return total_entries_.load(std::memory_order_acquire);
+  }
+  int64_t num_delta_nodes() const;
+  size_t OverlayMemoryBytes() const;
+
+ private:
+  struct DeltaEntry {
+    graph::NeighborEntry e;
+    uint64_t epoch;
+  };
+
+  /// Per-node overlay: epoch-ordered delta entries plus cumulative weights
+  /// for inverse-CDF sampling, and the cached base weight mass for the
+  /// base-vs-delta coin flip.
+  struct NodeOverlay {
+    std::vector<DeltaEntry> entries;
+    std::vector<double> weight_prefix;  // weight_prefix[i] = sum entries[0..i]
+    double base_total_weight = 0.0;
+  };
+
+  static constexpr int kNumLockShards = 16;
+  struct LockShard {
+    mutable std::shared_mutex mu;
+    std::unordered_map<graph::NodeId, NodeOverlay> overlays;
+  };
+
+  static int ShardFor(graph::NodeId node) {
+    return static_cast<int>((static_cast<uint64_t>(node) * 2654435761ull) %
+                            kNumLockShards);
+  }
+
+  void AppendHalfEdge(const graph::HeteroGraph& base, graph::NodeId node,
+                      graph::NeighborEntry entry, uint64_t epoch);
+
+  /// Two-level base+delta draw over a resolved overlay with prefix > 0
+  /// visible entries. Caller must hold the node's lock shard (shared).
+  static graph::NodeId SampleOverlayLocked(const graph::HeteroGraph& base,
+                                           graph::NodeId node,
+                                           const NodeOverlay& ov,
+                                           size_t prefix, Rng* rng);
+
+  /// Visible-prefix length of a node's overlay at `at_epoch` (entries are
+  /// epoch-ordered). Caller must hold the node's lock shard.
+  static size_t VisiblePrefix(const NodeOverlay& ov, uint64_t at_epoch);
+
+  /// Lock-free published base pointer: swapped only at Compact, read on
+  /// every snapshot — a mutex here would serialize all shards' sampling.
+  std::atomic<std::shared_ptr<const graph::HeteroGraph>> base_;
+
+  std::vector<std::atomic<uint64_t>> node_epoch_;  // 0 = no overlay
+  std::array<LockShard, kNumLockShards> lock_shards_;
+  std::atomic<uint64_t> max_applied_epoch_{0};
+  std::atomic<int64_t> total_entries_{0};
+  uint64_t compacted_through_epoch_ = 0;  // guarded by compact_mu_
+  std::mutex compact_mu_;
+};
+
+}  // namespace streaming
+}  // namespace zoomer
+
+#endif  // ZOOMER_STREAMING_DYNAMIC_HETERO_GRAPH_H_

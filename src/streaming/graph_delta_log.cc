@@ -1,0 +1,78 @@
+#include "streaming/graph_delta_log.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace zoomer {
+namespace streaming {
+
+GraphDeltaLog::GraphDeltaLog(int num_shards)
+    : shards_(static_cast<size_t>(num_shards > 0 ? num_shards : 1)) {}
+
+uint64_t GraphDeltaLog::Append(int shard, std::vector<EdgeEvent> events) {
+  ZCHECK(shard >= 0 && shard < num_shards());
+  const uint64_t epoch = next_epoch_.fetch_add(1, std::memory_order_acq_rel);
+  Shard& s = shards_[shard];
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.events += static_cast<int64_t>(events.size());
+  s.batches.push_back(DeltaBatch{epoch, std::move(events)});
+  return epoch;
+}
+
+std::vector<DeltaBatch> GraphDeltaLog::ReadSince(uint64_t epoch) const {
+  std::vector<DeltaBatch> out;
+  for (const Shard& s : shards_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    for (const DeltaBatch& b : s.batches) {
+      if (b.epoch > epoch) out.push_back(b);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const DeltaBatch& a, const DeltaBatch& b) {
+              return a.epoch < b.epoch;
+            });
+  return out;
+}
+
+void GraphDeltaLog::Truncate(uint64_t epoch) {
+  for (Shard& s : shards_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    auto keep = std::remove_if(s.batches.begin(), s.batches.end(),
+                               [epoch, &s](const DeltaBatch& b) {
+                                 if (b.epoch <= epoch) {
+                                   s.events -= static_cast<int64_t>(b.events.size());
+                                   return true;
+                                 }
+                                 return false;
+                               });
+    s.batches.erase(keep, s.batches.end());
+  }
+}
+
+DeltaLogStats GraphDeltaLog::Stats() const {
+  DeltaLogStats stats;
+  stats.last_epoch = last_epoch();
+  for (const Shard& s : shards_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    stats.total_events += s.events;
+    stats.total_batches += static_cast<int64_t>(s.batches.size());
+    stats.events_per_shard.push_back(s.events);
+  }
+  return stats;
+}
+
+size_t GraphDeltaLog::MemoryBytes() const {
+  size_t bytes = 0;
+  for (const Shard& s : shards_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    bytes += s.batches.size() * sizeof(DeltaBatch);
+    for (const DeltaBatch& b : s.batches) {
+      bytes += b.events.size() * sizeof(EdgeEvent);
+    }
+  }
+  return bytes;
+}
+
+}  // namespace streaming
+}  // namespace zoomer

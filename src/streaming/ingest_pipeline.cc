@@ -1,0 +1,171 @@
+#include "streaming/ingest_pipeline.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/logging.h"
+#include "engine/distributed_graph_engine.h"
+
+namespace zoomer {
+namespace streaming {
+
+using graph::NodeId;
+
+std::vector<EdgeEvent> SessionToEvents(const graph::SessionRecord& session) {
+  std::vector<EdgeEvent> events;
+  if (session.user >= 0 && session.query >= 0) {
+    events.push_back({session.user, session.query,
+                      graph::RelationKind::kClick, 1.0f, session.timestamp});
+  }
+  for (size_t i = 0; i < session.clicks.size(); ++i) {
+    if (session.query >= 0 && session.clicks[i] >= 0) {
+      events.push_back({session.query, session.clicks[i],
+                        graph::RelationKind::kClick, 1.0f,
+                        session.timestamp});
+    }
+    if (i + 1 < session.clicks.size() &&
+        session.clicks[i] != session.clicks[i + 1]) {
+      events.push_back({session.clicks[i], session.clicks[i + 1],
+                        graph::RelationKind::kSession, 1.0f,
+                        session.timestamp});
+    }
+  }
+  return events;
+}
+
+IngestPipeline::IngestPipeline(GraphDeltaLog* log, DynamicHeteroGraph* graph,
+                               IngestOptions options,
+                               engine::DistributedGraphEngine* engine)
+    : log_(log), graph_(graph), options_(options), engine_(engine) {
+  ZCHECK(log_ != nullptr);
+  ZCHECK(graph_ != nullptr);
+  ZCHECK_GT(options_.num_shards, 0);
+  ZCHECK_GT(options_.batch_size, 0);
+  ZCHECK_EQ(options_.num_shards, log_->num_shards())
+      << "pipeline and delta log must agree on sharding";
+  for (int s = 0; s < options_.num_shards; ++s) {
+    queues_.push_back(std::make_unique<BoundedQueue<EdgeEvent>>(
+        static_cast<size_t>(options_.queue_capacity)));
+  }
+}
+
+IngestPipeline::~IngestPipeline() { Stop(); }
+
+void IngestPipeline::AddUpdateListener(UpdateListener listener) {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  ZCHECK(!started_) << "listeners must be registered before Start()";
+  listeners_.push_back(std::move(listener));
+}
+
+void IngestPipeline::Start() {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  if (started_) return;
+  started_ = true;
+  for (int s = 0; s < options_.num_shards; ++s) {
+    consumers_.emplace_back([this, s] { ConsumerLoop(s); });
+  }
+}
+
+bool IngestPipeline::Offer(const graph::SessionRecord& session) {
+  ZCHECK(started_) << "call Start() before offering sessions";
+  const int64_t num_nodes = graph_->base()->num_nodes();
+  sessions_.fetch_add(1, std::memory_order_acq_rel);
+  bool accepted_all = true;
+  for (EdgeEvent& ev : SessionToEvents(session)) {
+    if (ev.src < 0 || ev.src >= num_nodes || ev.dst < 0 ||
+        ev.dst >= num_nodes || ev.src == ev.dst) {
+      // Live logs reference entities the offline build never saw; dropping
+      // (with a counter) is the production behaviour, not an error.
+      events_dropped_.fetch_add(1, std::memory_order_acq_rel);
+      continue;
+    }
+    const int shard =
+        engine::GraphShard::NodeShard(ev.src, options_.num_shards);
+    events_offered_.fetch_add(1, std::memory_order_acq_rel);
+    if (!queues_[shard]->Push(std::move(ev))) {
+      events_offered_.fetch_sub(1, std::memory_order_acq_rel);
+      accepted_all = false;  // queue closed (Stop raced the producer)
+    }
+  }
+  return accepted_all;
+}
+
+void IngestPipeline::OfferLog(const graph::SessionLog& log) {
+  for (const auto& session : log) Offer(session);
+}
+
+void IngestPipeline::ConsumerLoop(int shard) {
+  BoundedQueue<EdgeEvent>& queue = *queues_[shard];
+  std::vector<EdgeEvent> batch;
+  batch.reserve(options_.batch_size);
+  EdgeEvent ev;
+  // Blocking pop for the first event, then opportunistically drain up to
+  // batch_size: batches grow under load (throughput) and stay small when
+  // traffic is light (update-visibility latency).
+  while (queue.Pop(&ev)) {
+    batch.push_back(std::move(ev));
+    while (static_cast<int>(batch.size()) < options_.batch_size &&
+           queue.TryPop(&ev)) {
+      batch.push_back(std::move(ev));
+    }
+    CutBatch(shard, std::move(batch));
+    batch.clear();
+    batch.reserve(options_.batch_size);
+  }
+}
+
+void IngestPipeline::CutBatch(int shard, std::vector<EdgeEvent> events) {
+  const int64_t n = static_cast<int64_t>(events.size());
+  DeltaBatch batch;
+  batch.events = std::move(events);
+  batch.epoch = log_->Append(shard, batch.events);  // log keeps a copy
+  Status st = graph_->ApplyBatch(batch);
+  ZCHECK(st.ok()) << st.ToString();  // events were validated at Offer
+
+  std::vector<NodeId> touched;
+  touched.reserve(batch.events.size() * 2);
+  for (const EdgeEvent& ev : batch.events) {
+    touched.push_back(ev.src);
+    touched.push_back(ev.dst);
+  }
+  std::sort(touched.begin(), touched.end());
+  touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+  for (const UpdateListener& listener : listeners_) listener(touched);
+
+  if (engine_ != nullptr) {
+    engine_->RecordShardUpdate(shard, n);
+  }
+  batches_.fetch_add(1, std::memory_order_acq_rel);
+  events_applied_.fetch_add(n, std::memory_order_acq_rel);
+}
+
+void IngestPipeline::Flush() {
+  while (events_applied_.load(std::memory_order_acquire) <
+         events_offered_.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+}
+
+void IngestPipeline::Stop() {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  if (!started_ || stopped_) return;
+  stopped_ = true;
+  // Closing lets consumers drain what is queued, then exit.
+  for (auto& q : queues_) q->Close();
+  for (auto& t : consumers_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+IngestStats IngestPipeline::Stats() const {
+  IngestStats stats;
+  stats.sessions = sessions_.load(std::memory_order_acquire);
+  stats.events = events_offered_.load(std::memory_order_acquire);
+  stats.events_applied = events_applied_.load(std::memory_order_acquire);
+  stats.batches = batches_.load(std::memory_order_acquire);
+  stats.last_epoch = log_->last_epoch();
+  return stats;
+}
+
+}  // namespace streaming
+}  // namespace zoomer

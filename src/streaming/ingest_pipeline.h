@@ -1,0 +1,123 @@
+// Streaming ingestion pipeline (paper Sec. VI "Graph generator", moved
+// online): turns live search sessions — the same SessionRecord stream the
+// offline generator parses from behavior logs — into edge-event delta
+// batches, routes each batch to the graph shard that owns its primary
+// endpoint (the same hash partitioning the distributed graph engine uses),
+// appends it to the GraphDeltaLog for an epoch, applies it to the
+// DynamicHeteroGraph, and fires update hooks so serving-layer caches can
+// invalidate the touched nodes.
+//
+// One consumer thread per shard drains a bounded queue, so batches for one
+// shard apply in epoch order (FIFO) while shards proceed in parallel —
+// mirroring the per-shard ownership of the distributed engine.
+#ifndef ZOOMER_STREAMING_INGEST_PIPELINE_H_
+#define ZOOMER_STREAMING_INGEST_PIPELINE_H_
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "common/threadpool.h"
+#include "graph/session_log.h"
+#include "streaming/dynamic_hetero_graph.h"
+#include "streaming/graph_delta_log.h"
+
+namespace zoomer {
+namespace engine {
+class DistributedGraphEngine;
+}  // namespace engine
+
+namespace streaming {
+
+struct IngestOptions {
+  /// Shard count for routing; match EngineOptions::num_shards when an
+  /// engine is attached so updates land on the owning shard.
+  int num_shards = 4;
+  /// Events buffered per shard before a delta batch is cut. Smaller batches
+  /// lower update-visibility latency; larger ones raise throughput.
+  int batch_size = 64;
+  /// Bounded per-shard queue capacity (events); Offer blocks when full.
+  int queue_capacity = 4096;
+};
+
+struct IngestStats {
+  int64_t sessions = 0;        // sessions offered
+  int64_t events = 0;          // edge events emitted
+  int64_t events_applied = 0;  // edge events applied to the dynamic graph
+  int64_t batches = 0;         // delta batches cut
+  uint64_t last_epoch = 0;
+};
+
+/// Converts sessions to edge events exactly as the offline graph builder
+/// wires them: click edges user-query and query-item, session edges between
+/// adjacently clicked items. Exposed for tests and replay tooling.
+std::vector<EdgeEvent> SessionToEvents(const graph::SessionRecord& session);
+
+class IngestPipeline {
+ public:
+  /// Hook invoked after a batch is applied, with the distinct nodes it
+  /// touched. Runs on the shard consumer thread — keep it cheap (e.g.
+  /// schedule cache invalidations).
+  using UpdateListener = std::function<void(const std::vector<graph::NodeId>&)>;
+
+  /// `log` and `graph` must outlive the pipeline. `engine` is optional; when
+  /// present, per-shard update counts are reported into its stats.
+  IngestPipeline(GraphDeltaLog* log, DynamicHeteroGraph* graph,
+                 IngestOptions options,
+                 engine::DistributedGraphEngine* engine = nullptr);
+  ~IngestPipeline();
+
+  /// Must be called before Start().
+  void AddUpdateListener(UpdateListener listener);
+
+  void Start();
+
+  /// Converts the session to events and enqueues them onto their owning
+  /// shards. Blocks while queues are full; returns false after Stop().
+  /// Events with out-of-range endpoints are dropped (counted, not fatal) —
+  /// live logs routinely reference entities the graph build has not seen.
+  bool Offer(const graph::SessionRecord& session);
+  void OfferLog(const graph::SessionLog& log);
+
+  /// Blocks until every offered event has been applied and listeners fired.
+  void Flush();
+
+  /// Flushes, closes the queues, and joins the consumers. Idempotent.
+  void Stop();
+
+  IngestStats Stats() const;
+  int64_t events_dropped() const {
+    return events_dropped_.load(std::memory_order_acquire);
+  }
+
+ private:
+  void ConsumerLoop(int shard);
+  void CutBatch(int shard, std::vector<EdgeEvent> events);
+
+  GraphDeltaLog* log_;
+  DynamicHeteroGraph* graph_;
+  IngestOptions options_;
+  engine::DistributedGraphEngine* engine_;
+
+  std::vector<UpdateListener> listeners_;
+  std::vector<std::unique_ptr<BoundedQueue<EdgeEvent>>> queues_;
+  std::vector<std::thread> consumers_;
+  std::atomic<bool> started_{false};
+  bool stopped_ = false;  // guarded by lifecycle_mu_
+  std::mutex lifecycle_mu_;
+
+  std::atomic<int64_t> sessions_{0};
+  std::atomic<int64_t> events_offered_{0};
+  std::atomic<int64_t> events_applied_{0};
+  std::atomic<int64_t> events_dropped_{0};
+  std::atomic<int64_t> batches_{0};
+};
+
+}  // namespace streaming
+}  // namespace zoomer
+
+#endif  // ZOOMER_STREAMING_INGEST_PIPELINE_H_

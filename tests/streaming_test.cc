@@ -1,0 +1,580 @@
+// Tests for the streaming graph-update subsystem: delta-log epochs,
+// delta-overlay sampling correctness against exact weights, epoch-snapshot
+// isolation under concurrent ingest, compaction, cache invalidation with
+// fill dedup, and end-to-end freshness at the serving layer.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <map>
+#include <thread>
+
+#include "common/random.h"
+#include "data/session_stream.h"
+#include "data/taobao_generator.h"
+#include "engine/distributed_graph_engine.h"
+#include "serving/neighbor_cache.h"
+#include "serving/online_server.h"
+#include "streaming/dynamic_hetero_graph.h"
+#include "streaming/graph_delta_log.h"
+#include "streaming/ingest_pipeline.h"
+
+namespace zoomer {
+namespace streaming {
+namespace {
+
+using graph::HeteroGraph;
+using graph::HeteroGraphBuilder;
+using graph::NodeId;
+using graph::NodeType;
+using graph::RelationKind;
+
+constexpr int kDim = 4;
+
+/// user 0, query 1, items 2..2+num_items-1; a single user-query click edge
+/// plus optional weighted query-item edges.
+HeteroGraph MakeTinyGraph(int num_items,
+                          const std::vector<float>& query_item_weights = {}) {
+  HeteroGraphBuilder b(kDim);
+  b.AddNode(NodeType::kUser, std::vector<float>(kDim, 0.1f), {0});
+  b.AddNode(NodeType::kQuery, std::vector<float>(kDim, 0.2f), {1});
+  for (int i = 0; i < num_items; ++i) {
+    b.AddNode(NodeType::kItem, std::vector<float>(kDim, 0.3f), {2});
+  }
+  EXPECT_TRUE(b.AddEdge(0, 1, RelationKind::kClick, 1.0f).ok());
+  for (size_t i = 0; i < query_item_weights.size(); ++i) {
+    EXPECT_TRUE(b.AddEdge(1, 2 + static_cast<NodeId>(i), RelationKind::kClick,
+                          query_item_weights[i])
+                    .ok());
+  }
+  return b.Build();
+}
+
+DeltaBatch MakeBatch(GraphDeltaLog* log, int shard,
+                     std::vector<EdgeEvent> events) {
+  DeltaBatch batch;
+  batch.events = std::move(events);
+  batch.epoch = log->Append(shard, batch.events);
+  return batch;
+}
+
+// --- GraphDeltaLog --------------------------------------------------------
+
+TEST(GraphDeltaLogTest, EpochsMonotonicAcrossShards) {
+  GraphDeltaLog log(3);
+  EXPECT_EQ(log.last_epoch(), 0u);
+  const uint64_t e1 = log.Append(0, {{0, 1, RelationKind::kClick, 1.0f, 0}});
+  const uint64_t e2 = log.Append(2, {{0, 2, RelationKind::kClick, 1.0f, 0}});
+  const uint64_t e3 = log.Append(1, {{1, 2, RelationKind::kSession, 1.0f, 0}});
+  EXPECT_LT(e1, e2);
+  EXPECT_LT(e2, e3);
+  EXPECT_EQ(log.last_epoch(), e3);
+  auto stats = log.Stats();
+  EXPECT_EQ(stats.total_batches, 3);
+  EXPECT_EQ(stats.total_events, 3);
+}
+
+TEST(GraphDeltaLogTest, ReadSinceAndTruncate) {
+  GraphDeltaLog log(2);
+  const uint64_t e1 = log.Append(0, {{0, 1, RelationKind::kClick, 1.0f, 0}});
+  const uint64_t e2 = log.Append(1, {{0, 2, RelationKind::kClick, 1.0f, 0},
+                                     {1, 2, RelationKind::kClick, 1.0f, 0}});
+  auto all = log.ReadSince(0);
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0].epoch, e1);  // epoch-sorted across shards
+  EXPECT_EQ(all[1].epoch, e2);
+  auto tail = log.ReadSince(e1);
+  ASSERT_EQ(tail.size(), 1u);
+  EXPECT_EQ(tail[0].epoch, e2);
+  EXPECT_EQ(tail[0].events.size(), 2u);
+
+  log.Truncate(e1);
+  EXPECT_EQ(log.ReadSince(0).size(), 1u);
+  EXPECT_EQ(log.Stats().total_events, 2);
+  EXPECT_EQ(log.last_epoch(), e2);  // truncation never rewinds epochs
+}
+
+// --- DynamicHeteroGraph ---------------------------------------------------
+
+TEST(DynamicGraphTest, ApplyBatchValidation) {
+  HeteroGraph g = MakeTinyGraph(3);
+  DynamicHeteroGraph dyn(&g);
+  EXPECT_FALSE(dyn.ApplyBatch({0, {{0, 1, RelationKind::kClick, 1.0f, 0}}})
+                   .ok());  // missing epoch
+  EXPECT_FALSE(
+      dyn.ApplyBatch({1, {{0, 99, RelationKind::kClick, 1.0f, 0}}}).ok());
+  EXPECT_FALSE(
+      dyn.ApplyBatch({1, {{2, 2, RelationKind::kClick, 1.0f, 0}}}).ok());
+  EXPECT_FALSE(
+      dyn.ApplyBatch({1, {{0, 1, RelationKind::kClick, -1.0f, 0}}}).ok());
+  EXPECT_EQ(dyn.epoch(), 0u);
+  EXPECT_EQ(dyn.num_delta_entries(), 0);
+}
+
+TEST(DynamicGraphTest, SamplingMatchesExactWeights) {
+  // Base: query 1 -> item 2 (w=1), item 3 (w=3). Delta: item 4 (w=4) and
+  // +2 more weight on item 3. Exact neighbor distribution for node 1
+  // (ignoring the user edge by sampling node-1 draws and discarding none):
+  //   user 0: 1/11, item 2: 1/11, item 3: 5/11, item 4: 4/11.
+  HeteroGraph g = MakeTinyGraph(4, {1.0f, 3.0f});
+  GraphDeltaLog log(1);
+  DynamicHeteroGraph dyn(&g);
+  ASSERT_TRUE(
+      dyn.ApplyBatch(MakeBatch(&log, 0,
+                               {{1, 4, RelationKind::kClick, 4.0f, 0},
+                                {1, 3, RelationKind::kClick, 2.0f, 0}}))
+          .ok());
+  auto snap = dyn.MakeSnapshot();
+  EXPECT_EQ(snap.Degree(1), 5);  // 3 base half-edges + 2 delta entries
+  EXPECT_NEAR(snap.TotalWeight(1), 11.0, 1e-9);
+
+  Rng rng(17);
+  const int draws = 60000;
+  std::map<NodeId, int> counts;
+  for (int i = 0; i < draws; ++i) ++counts[snap.SampleNeighbor(1, &rng)];
+  EXPECT_NEAR(counts[0] / static_cast<double>(draws), 1.0 / 11, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(draws), 1.0 / 11, 0.01);
+  EXPECT_NEAR(counts[3] / static_cast<double>(draws), 5.0 / 11, 0.015);
+  EXPECT_NEAR(counts[4] / static_cast<double>(draws), 4.0 / 11, 0.015);
+
+  // Single-lock batched draws land on the same support, deduplicated.
+  auto distinct = snap.SampleDistinctNeighbors(1, 10, &rng);
+  EXPECT_GE(distinct.size(), 3u);  // 4 distinct neighbors, bounded retries
+  for (NodeId nb : distinct) {
+    EXPECT_TRUE(nb == 0 || nb == 2 || nb == 3 || nb == 4);
+  }
+
+  // Merged view coalesces the +2 into the base item-3 edge.
+  std::vector<graph::NeighborEntry> merged;
+  snap.Neighbors(1, &merged);
+  ASSERT_EQ(merged.size(), 4u);
+  for (const auto& e : merged) {
+    if (e.neighbor == 3) EXPECT_FLOAT_EQ(e.weight, 5.0f);
+    if (e.neighbor == 4) EXPECT_FLOAT_EQ(e.weight, 4.0f);
+  }
+}
+
+TEST(DynamicGraphTest, UntouchedNodesSampleBasePath) {
+  HeteroGraph g = MakeTinyGraph(4, {1.0f, 1.0f});
+  GraphDeltaLog log(1);
+  DynamicHeteroGraph dyn(&g);
+  ASSERT_TRUE(
+      dyn.ApplyBatch(
+             MakeBatch(&log, 0, {{0, 2, RelationKind::kClick, 1.0f, 0}}))
+          .ok());
+  auto snap = dyn.MakeSnapshot();
+  // Node 3's neighborhood is untouched: identical to the base CSR.
+  EXPECT_FALSE(snap.HasDelta(3));
+  EXPECT_EQ(snap.Degree(3), g.degree(3));
+  Rng rng(5);
+  EXPECT_EQ(snap.SampleNeighbor(3, &rng), 1);  // only neighbor is query 1
+}
+
+TEST(DynamicGraphTest, EpochSnapshotIsolation) {
+  HeteroGraph g = MakeTinyGraph(4);
+  GraphDeltaLog log(1);
+  DynamicHeteroGraph dyn(&g);
+  ASSERT_TRUE(
+      dyn.ApplyBatch(
+             MakeBatch(&log, 0, {{1, 2, RelationKind::kClick, 5.0f, 0}}))
+          .ok());
+  auto old_snap = dyn.MakeSnapshot();
+  ASSERT_TRUE(
+      dyn.ApplyBatch(
+             MakeBatch(&log, 0, {{1, 3, RelationKind::kClick, 100.0f, 0}}))
+          .ok());
+  auto new_snap = dyn.MakeSnapshot();
+
+  // The old snapshot never sees item 3 despite its overwhelming weight.
+  EXPECT_EQ(old_snap.Degree(1), 2);  // base user edge + delta item 2
+  EXPECT_EQ(new_snap.Degree(1), 3);
+  Rng rng(29);
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_NE(old_snap.SampleNeighbor(1, &rng), 3);
+  }
+  int hit3 = 0;
+  for (int i = 0; i < 2000; ++i) hit3 += new_snap.SampleNeighbor(1, &rng) == 3;
+  EXPECT_GT(hit3, 1500);  // 100/106 of the mass
+}
+
+TEST(DynamicGraphTest, SnapshotStableUnderConcurrentIngest) {
+  HeteroGraph g = MakeTinyGraph(50);
+  GraphDeltaLog log(1);
+  DynamicHeteroGraph dyn(&g);
+  std::atomic<bool> stop{false};
+  std::atomic<int64_t> applied{0};
+  std::thread writer([&] {
+    Rng rng(7);
+    while (!stop.load()) {
+      const NodeId item = 2 + static_cast<NodeId>(rng.Uniform(50));
+      Status st = dyn.ApplyBatch(
+          MakeBatch(&log, 0, {{1, item, RelationKind::kClick, 1.0f, 0}}));
+      ASSERT_TRUE(st.ok());
+      applied.fetch_add(1);
+    }
+  });
+  // Each snapshot's view of node 1 must not change while the writer keeps
+  // appending: degree and total weight are re-read many times per snapshot.
+  Rng rng(11);
+  for (int round = 0; round < 200; ++round) {
+    // On single-core machines, make sure the writer actually interleaves
+    // with the snapshot reads instead of starving behind this loop.
+    const int64_t before = applied.load();
+    for (int spin = 0; spin < 1000 && applied.load() == before; ++spin) {
+      std::this_thread::yield();
+    }
+    auto snap = dyn.MakeSnapshot();
+    const int64_t deg = snap.Degree(1);
+    const double w = snap.TotalWeight(1);
+    for (int i = 0; i < 20; ++i) {
+      ASSERT_EQ(snap.Degree(1), deg);
+      ASSERT_DOUBLE_EQ(snap.TotalWeight(1), w);
+      ASSERT_NE(snap.SampleNeighbor(1, &rng), -1);
+    }
+  }
+  stop.store(true);
+  writer.join();
+  EXPECT_GT(applied.load(), 0);
+  EXPECT_GT(dyn.num_delta_entries(), 0);
+}
+
+TEST(DynamicGraphTest, CompactFoldsDeltasIntoBase) {
+  HeteroGraph g = MakeTinyGraph(4, {1.0f, 3.0f});
+  GraphDeltaLog log(1);
+  DynamicHeteroGraph dyn(&g);
+  ASSERT_TRUE(
+      dyn.ApplyBatch(MakeBatch(&log, 0,
+                               {{1, 4, RelationKind::kClick, 4.0f, 0},
+                                {1, 3, RelationKind::kClick, 2.0f, 0}}))
+          .ok());
+  const uint64_t pre_epoch = dyn.epoch();
+  auto folded = dyn.Compact();
+  ASSERT_TRUE(folded.ok());
+  EXPECT_EQ(folded.value(), pre_epoch);
+  log.Truncate(folded.value());
+  EXPECT_EQ(log.Stats().total_events, 0);
+
+  EXPECT_EQ(dyn.num_delta_entries(), 0);
+  EXPECT_EQ(dyn.num_delta_nodes(), 0);
+  auto base = dyn.base();
+  EXPECT_EQ(base->degree(1), 4);  // user + items 2, 3 (coalesced), 4
+  // Coalesced weight on the duplicated (1, 3) click edge.
+  auto ids = base->neighbor_ids(1);
+  auto weights = base->neighbor_weights(1);
+  bool found = false;
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (ids[i] == 3) {
+      EXPECT_FLOAT_EQ(weights[i], 5.0f);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+  // Post-compact snapshots serve the same distribution, now via pure CSR.
+  auto snap = dyn.MakeSnapshot();
+  EXPECT_FALSE(snap.HasDelta(1));
+  EXPECT_NEAR(snap.TotalWeight(1), 11.0, 1e-6);
+}
+
+TEST(DynamicGraphTest, ReplayFromLogRebuildsView) {
+  HeteroGraph g = MakeTinyGraph(6);
+  GraphDeltaLog log(2);
+  DynamicHeteroGraph dyn(&g);
+  ASSERT_TRUE(
+      dyn.ApplyBatch(
+             MakeBatch(&log, 0, {{1, 3, RelationKind::kClick, 2.0f, 0}}))
+          .ok());
+  ASSERT_TRUE(
+      dyn.ApplyBatch(
+             MakeBatch(&log, 1, {{1, 4, RelationKind::kSession, 1.0f, 0}}))
+          .ok());
+
+  DynamicHeteroGraph replica(&g);
+  for (const DeltaBatch& batch : log.ReadSince(0)) {
+    ASSERT_TRUE(replica.ApplyBatch(batch).ok());
+  }
+  auto a = dyn.MakeSnapshot();
+  auto b = replica.MakeSnapshot();
+  EXPECT_EQ(a.epoch(), b.epoch());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_EQ(a.Degree(v), b.Degree(v));
+    EXPECT_DOUBLE_EQ(a.TotalWeight(v), b.TotalWeight(v));
+  }
+}
+
+// --- NeighborCache streaming integration ----------------------------------
+
+TEST(NeighborCacheStreamingTest, InvalidateDropsEntryAndRefills) {
+  HeteroGraph g = MakeTinyGraph(5, {1.0f});
+  GraphDeltaLog log(1);
+  DynamicHeteroGraph dyn(&g);
+  serving::NeighborCacheOptions opt;
+  opt.k = 5;
+  serving::NeighborCache cache(&g, opt);
+  cache.AttachDynamicGraph(&dyn);
+
+  cache.Warm(1);
+  std::vector<NodeId> out;
+  ASSERT_TRUE(cache.Get(1, &out));
+  EXPECT_EQ(out.size(), 2u);  // user 0 + item 2
+
+  ASSERT_TRUE(
+      dyn.ApplyBatch(
+             MakeBatch(&log, 0, {{1, 4, RelationKind::kClick, 3.0f, 0}}))
+          .ok());
+  cache.Invalidate(1);
+  auto stats = cache.Stats();
+  EXPECT_EQ(stats.invalidations, 1);
+
+  // The asynchronous re-fill lands the fresh neighbor.
+  bool fresh = false;
+  for (int i = 0; i < 500 && !fresh; ++i) {
+    if (cache.Get(1, &out)) {
+      fresh = std::find(out.begin(), out.end(), 4) != out.end();
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(fresh);
+  EXPECT_EQ(cache.Stats().entries, 1u);
+}
+
+TEST(NeighborCacheStreamingTest, InvalidateUncachedNodeIsNoOp) {
+  HeteroGraph g = MakeTinyGraph(3);
+  serving::NeighborCache cache(&g, {});
+  cache.Invalidate(0);
+  auto stats = cache.Stats();
+  EXPECT_EQ(stats.invalidations, 0);
+  EXPECT_EQ(stats.scheduled_fills, 0);
+}
+
+TEST(NeighborCacheStreamingTest, ConcurrentMissesCoalesceIntoOneFill) {
+  HeteroGraph g = MakeTinyGraph(5, {1.0f, 1.0f, 1.0f});
+  serving::NeighborCacheOptions opt;
+  opt.refresh_delay_micros = 100000;  // hold the fill open for 100ms
+  serving::NeighborCache cache(&g, opt);
+  std::vector<NodeId> out;
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(cache.Get(1, &out));
+  }
+  auto stats = cache.Stats();
+  EXPECT_EQ(stats.misses, 50);
+  EXPECT_EQ(stats.scheduled_fills, 1);  // dedup: one background fill only
+  for (int i = 0; i < 1000 && cache.size() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(cache.Get(1, &out));
+}
+
+TEST(NeighborCacheStreamingTest, InvalidateDuringInFlightFillRerunsFill) {
+  HeteroGraph g = MakeTinyGraph(5, {1.0f});
+  GraphDeltaLog log(1);
+  DynamicHeteroGraph dyn(&g);
+  serving::NeighborCacheOptions opt;
+  opt.k = 5;
+  opt.refresh_delay_micros = 100000;  // fill computes 100ms after the miss
+  serving::NeighborCache cache(&g, opt);
+  cache.AttachDynamicGraph(&dyn);
+
+  std::vector<NodeId> out;
+  EXPECT_FALSE(cache.Get(1, &out));  // fill now in flight
+  // Graph update + invalidation land while the fill is still computing:
+  // the fill's result may predate the update, so it must re-run.
+  ASSERT_TRUE(
+      dyn.ApplyBatch(
+             MakeBatch(&log, 0, {{1, 4, RelationKind::kClick, 3.0f, 0}}))
+          .ok());
+  cache.Invalidate(1);
+  EXPECT_EQ(cache.Stats().invalidations, 1);
+
+  bool fresh = false;
+  for (int i = 0; i < 1000 && !fresh; ++i) {
+    if (cache.Get(1, &out)) {
+      fresh = std::find(out.begin(), out.end(), 4) != out.end();
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(fresh);
+  EXPECT_GE(cache.Stats().scheduled_fills, 2);  // original + dirty re-run
+}
+
+// --- IngestPipeline -------------------------------------------------------
+
+TEST(IngestPipelineTest, SessionToEventsWiresBuilderEdges) {
+  graph::SessionRecord session;
+  session.user = 0;
+  session.query = 1;
+  session.clicks = {2, 3, 4};
+  session.timestamp = 7;
+  auto events = SessionToEvents(session);
+  // 1 user-query + 3 query-item clicks + 2 session adjacencies.
+  ASSERT_EQ(events.size(), 6u);
+  EXPECT_EQ(events[0].src, 0);
+  EXPECT_EQ(events[0].dst, 1);
+  EXPECT_EQ(events[0].kind, RelationKind::kClick);
+  int session_edges = 0;
+  for (const auto& ev : events) {
+    EXPECT_EQ(ev.timestamp, 7);
+    session_edges += ev.kind == RelationKind::kSession;
+  }
+  EXPECT_EQ(session_edges, 2);
+}
+
+TEST(IngestPipelineTest, IngestAppliesEventsAndNotifies) {
+  HeteroGraph g = MakeTinyGraph(10);
+  const int kShards = 4;
+  GraphDeltaLog log(kShards);
+  DynamicHeteroGraph dyn(&g);
+  engine::EngineOptions eopt;
+  eopt.num_shards = kShards;
+  eopt.replication_factor = 1;
+  engine::DistributedGraphEngine engine(&g, eopt);
+  engine.AttachDynamicGraph(&dyn);
+
+  IngestOptions iopt;
+  iopt.num_shards = kShards;
+  iopt.batch_size = 4;
+  IngestPipeline pipeline(&log, &dyn, iopt, &engine);
+  std::mutex mu;
+  std::vector<NodeId> touched;
+  pipeline.AddUpdateListener([&](const std::vector<NodeId>& nodes) {
+    std::lock_guard<std::mutex> lock(mu);
+    touched.insert(touched.end(), nodes.begin(), nodes.end());
+  });
+  pipeline.Start();
+
+  graph::SessionRecord session;
+  session.user = 0;
+  session.query = 1;
+  session.clicks = {5, 6};
+  EXPECT_TRUE(pipeline.Offer(session));
+  // Out-of-range click: its events drop, valid edges still land.
+  graph::SessionRecord bad = session;
+  bad.clicks = {5, 999};
+  pipeline.Offer(bad);
+  pipeline.Flush();
+
+  auto stats = pipeline.Stats();
+  EXPECT_EQ(stats.sessions, 2);
+  EXPECT_EQ(stats.events_applied, stats.events);
+  EXPECT_GT(stats.batches, 0);
+  EXPECT_GT(pipeline.events_dropped(), 0);
+
+  auto snap = dyn.MakeSnapshot();
+  EXPECT_TRUE(snap.HasDelta(5));
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    EXPECT_NE(std::find(touched.begin(), touched.end(), 5), touched.end());
+  }
+  // Engine: shard-routed update stats and dynamic sampling of fresh edges.
+  auto estats = engine.Stats();
+  EXPECT_EQ(estats.total_update_events, stats.events_applied);
+  engine::SampleRequest req;
+  req.node = 1;
+  req.k = 10;
+  req.rng_seed = 3;
+  auto resp = engine.Sample(req);
+  ASSERT_TRUE(resp.ok());
+  bool has_fresh = false;
+  for (NodeId nb : resp.value().neighbors) has_fresh |= nb == 5 || nb == 6;
+  EXPECT_TRUE(has_fresh);
+  pipeline.Stop();
+}
+
+TEST(IngestPipelineTest, LiveSessionsFromDatasetIngestCleanly) {
+  data::TaobaoGeneratorOptions opt;
+  opt.num_users = 40;
+  opt.num_queries = 30;
+  opt.num_items = 80;
+  opt.num_sessions = 300;
+  opt.num_categories = 5;
+  opt.content_dim = 8;
+  opt.seed = 13;
+  auto ds = data::GenerateTaobaoDataset(opt);
+
+  data::LiveSessionOptions lopt;
+  lopt.num_sessions = 200;
+  lopt.seed = 31;
+  auto live = data::SynthesizeLiveSessions(ds, lopt);
+  ASSERT_EQ(live.size(), 200u);
+
+  GraphDeltaLog log(4);
+  DynamicHeteroGraph dyn(&ds.graph);
+  IngestOptions iopt;
+  iopt.num_shards = 4;
+  IngestPipeline pipeline(&log, &dyn, iopt);
+  pipeline.Start();
+  pipeline.OfferLog(live);
+  pipeline.Flush();
+  auto stats = pipeline.Stats();
+  EXPECT_EQ(stats.sessions, 200);
+  EXPECT_GT(stats.events_applied, 200);
+  EXPECT_EQ(pipeline.events_dropped(), 0);  // live nodes all exist
+  EXPECT_EQ(dyn.num_delta_entries(), 2 * stats.events_applied);
+  pipeline.Stop();
+}
+
+// --- End-to-end serving freshness -----------------------------------------
+
+TEST(ServingFreshnessTest, IngestedClickBecomesVisibleInHandle) {
+  const int dim = 16;
+  const int num_items = 10;
+  HeteroGraph g = MakeTinyGraph(num_items);
+  // Item embeddings are one-hot; user/query embeddings are exactly zero, so
+  // before ingest the aggregated request embedding is zero and every ANN
+  // score is 0. After ingesting a click on item X, the cache re-fill makes
+  // X a cached neighbor of both the user and the query, the aggregation
+  // pulls the embedding toward e_X, and X must surface as the top item.
+  std::vector<float> node_emb(g.num_nodes() * dim, 0.0f);
+  std::vector<NodeId> item_ids;
+  std::vector<float> item_emb(num_items * dim, 0.0f);
+  for (int i = 0; i < num_items; ++i) {
+    const NodeId id = 2 + i;
+    node_emb[id * dim + i] = 1.0f;
+    item_emb[i * dim + i] = 1.0f;
+    item_ids.push_back(id);
+  }
+  serving::OnlineServerOptions opt;
+  opt.embedding_dim = dim;
+  opt.top_n = 3;
+  serving::OnlineServer server(&g, opt, node_emb, item_ids, item_emb);
+
+  GraphDeltaLog log(2);
+  DynamicHeteroGraph dyn(&g);
+  server.AttachDynamicGraph(&dyn);
+  IngestOptions iopt;
+  iopt.num_shards = 2;
+  IngestPipeline pipeline(&log, &dyn, iopt);
+  pipeline.AddUpdateListener(
+      [&](const std::vector<NodeId>& nodes) { server.OnGraphUpdate(nodes); });
+  pipeline.Start();
+
+  server.WarmCache({0, 1});
+  const serving::ServingRequest req{0, 1};
+  auto before = server.Handle(req);
+  ASSERT_EQ(before.items.size(), 3u);
+  EXPECT_NEAR(before.items[0].score, 0.0f, 1e-5f);
+
+  const NodeId fresh_item = 2 + 7;
+  graph::SessionRecord session;
+  session.user = 0;
+  session.query = 1;
+  session.clicks = {fresh_item};
+  ASSERT_TRUE(pipeline.Offer(session));
+  pipeline.Flush();
+
+  // The update hook invalidated user/query entries; once the asynchronous
+  // re-fill lands, Handle must rank the freshly clicked item first.
+  bool visible = false;
+  for (int i = 0; i < 2000 && !visible; ++i) {
+    auto after = server.Handle(req);
+    visible = !after.items.empty() && after.items[0].id == fresh_item &&
+              after.items[0].score > 0.1f;
+    if (!visible) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(visible);
+  EXPECT_GT(server.cache().Stats().invalidations, 0);
+  pipeline.Stop();
+}
+
+}  // namespace
+}  // namespace streaming
+}  // namespace zoomer
