@@ -9,6 +9,9 @@
 
 #include <memory>
 #include <string>
+#include <vector>
+
+#include "graph/graph_view.h"
 
 namespace zoomer {
 namespace core {
@@ -23,6 +26,14 @@ class RelevanceScorer {
   virtual double Score(const float* focal, const float* candidate,
                        int dim) const = 0;
   virtual std::string name() const = 0;
+
+  /// Scores a node's content vector against the focal vector through any
+  /// GraphView — static CSR or streaming delta overlay — so eq. 5 sees the
+  /// same feature source the sampler iterates.
+  double ScoreNode(const graph::GraphView& g, const std::vector<float>& focal,
+                   graph::NodeId node) const {
+    return Score(focal.data(), g.content(node), g.content_dim());
+  }
 };
 
 /// Factory for the built-in scorers.

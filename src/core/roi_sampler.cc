@@ -9,7 +9,9 @@
 namespace zoomer {
 namespace core {
 
-using graph::HeteroGraph;
+using graph::GraphView;
+using graph::NeighborBlock;
+using graph::NeighborScratch;
 using graph::NodeId;
 
 RoiSampler::RoiSampler(RoiSamplerOptions options)
@@ -19,7 +21,7 @@ RoiSampler::RoiSampler(RoiSamplerOptions options)
 }
 
 std::vector<float> RoiSampler::FocalVector(
-    const HeteroGraph& g, const std::vector<NodeId>& focal) const {
+    const GraphView& g, const std::vector<NodeId>& focal) const {
   ZCHECK(!focal.empty());
   std::vector<float> fc(g.content_dim(), 0.0f);
   for (NodeId f : focal) {
@@ -29,30 +31,27 @@ std::vector<float> RoiSampler::FocalVector(
   return fc;
 }
 
-double RoiSampler::Relevance(const HeteroGraph& g,
-                             const std::vector<float>& fc,
+double RoiSampler::Relevance(const GraphView& g, const std::vector<float>& fc,
                              NodeId candidate) const {
-  return scorer_->Score(fc.data(), g.content(candidate), g.content_dim());
+  return scorer_->ScoreNode(g, fc, candidate);
 }
 
-void RoiSampler::SelectChildren(const HeteroGraph& g, NodeId node,
+void RoiSampler::SelectChildren(const GraphView& g, NodeId node,
                                 NodeId parent, const std::vector<float>& fc,
-                                int hop, Rng* rng,
+                                int hop, Rng* rng, NeighborScratch* scratch,
                                 std::vector<RoiNode>* out) const {
   const int k_at_hop = std::max(
       1, static_cast<int>(options_.k *
                           std::pow(options_.hop_k_decay, hop - 1)));
-  const int64_t deg = g.degree(node);
+  const NeighborBlock nb = g.Neighbors(node, scratch);
+  const int64_t deg = nb.size();
   if (deg == 0) return;
-  auto ids = g.neighbor_ids(node);
-  auto weights = g.neighbor_weights(node);
-  auto kinds = g.neighbor_kinds(node);
 
   auto emit = [&](int64_t pos, double relevance) {
     RoiNode child;
-    child.id = ids[pos];
-    child.edge_weight = weights[pos];
-    child.kind = kinds[pos];
+    child.id = nb.ids[pos];
+    child.edge_weight = nb.weights[pos];
+    child.kind = nb.kinds[pos];
     child.relevance = relevance;
     out->push_back(child);
   };
@@ -64,9 +63,8 @@ void RoiSampler::SelectChildren(const HeteroGraph& g, NodeId node,
       std::vector<std::pair<double, int64_t>> scored;
       scored.reserve(deg);
       for (int64_t p = 0; p < deg; ++p) {
-        if (options_.exclude_parent && ids[p] == parent) continue;
-        scored.emplace_back(
-            scorer_->Score(fc.data(), g.content(ids[p]), g.content_dim()), p);
+        if (options_.exclude_parent && nb.ids[p] == parent) continue;
+        scored.emplace_back(scorer_->ScoreNode(g, fc, nb.ids[p]), p);
       }
       const int take = std::min<int>(k_at_hop, scored.size());
       std::partial_sort(scored.begin(), scored.begin() + take, scored.end(),
@@ -85,7 +83,7 @@ void RoiSampler::SelectChildren(const HeteroGraph& g, NodeId node,
       int taken = 0;
       for (int64_t p : pos) {
         if (taken >= k_at_hop) break;
-        if (options_.exclude_parent && ids[p] == parent) continue;
+        if (options_.exclude_parent && nb.ids[p] == parent) continue;
         emit(p, 0.0);
         ++taken;
       }
@@ -93,8 +91,8 @@ void RoiSampler::SelectChildren(const HeteroGraph& g, NodeId node,
     }
     case SamplerKind::kRandomWalk: {
       // PinSage-style importance sampling: run short random walks from the
-      // node (alias-table transitions) and keep the k most-visited direct
-      // neighbors, with visit counts as importance scores.
+      // node (weighted draws through the view) and keep the k most-visited
+      // direct neighbors, with visit counts as importance scores.
       std::vector<int> visits(deg, 0);
       for (int w = 0; w < options_.walk_count; ++w) {
         NodeId cur = node;
@@ -104,7 +102,7 @@ void RoiSampler::SelectChildren(const HeteroGraph& g, NodeId node,
           if (cur == node) {
             // Count which direct neighbor this walk left through.
             for (int64_t p = 0; p < deg; ++p) {
-              if (ids[p] == nxt) {
+              if (nb.ids[p] == nxt) {
                 ++visits[p];
                 break;
               }
@@ -116,7 +114,7 @@ void RoiSampler::SelectChildren(const HeteroGraph& g, NodeId node,
       std::vector<std::pair<double, int64_t>> scored;
       scored.reserve(deg);
       for (int64_t p = 0; p < deg; ++p) {
-        if (options_.exclude_parent && ids[p] == parent) continue;
+        if (options_.exclude_parent && nb.ids[p] == parent) continue;
         if (visits[p] == 0) continue;
         scored.emplace_back(static_cast<double>(visits[p]), p);
       }
@@ -130,33 +128,32 @@ void RoiSampler::SelectChildren(const HeteroGraph& g, NodeId node,
       break;
     }
     case SamplerKind::kWeightedEdge: {
-      // k alias-table draws by edge weight (with replacement, deduplicated).
-      std::vector<int64_t> seen;
-      for (int attempt = 0; attempt < k_at_hop * 4 &&
-                            static_cast<int>(seen.size()) < k_at_hop;
-           ++attempt) {
-        const NodeId nb = g.SampleNeighbor(node, rng);
-        if (nb < 0) break;
-        if (options_.exclude_parent && nb == parent) continue;
+      // Distinct weighted draws (with bounded retries), batched through the
+      // view so the dynamic path resolves its overlay lock once. One extra
+      // draw absorbs a possible parent hit.
+      const int want = k_at_hop + (options_.exclude_parent ? 1 : 0);
+      int taken = 0;
+      for (NodeId drawn : g.SampleDistinctNeighbors(node, want, rng)) {
+        if (taken >= k_at_hop) break;
+        if (options_.exclude_parent && drawn == parent) continue;
         // Locate position for weight/kind metadata (first match).
         int64_t p = -1;
         for (int64_t q = 0; q < deg; ++q) {
-          if (ids[q] == nb) {
+          if (nb.ids[q] == drawn) {
             p = q;
             break;
           }
         }
         if (p < 0) continue;
-        if (std::find(seen.begin(), seen.end(), p) != seen.end()) continue;
-        seen.push_back(p);
-        emit(p, weights[p]);
+        emit(p, nb.weights[p]);
+        ++taken;
       }
       break;
     }
   }
 }
 
-RoiSubgraph RoiSampler::Sample(const HeteroGraph& g, NodeId ego,
+RoiSubgraph RoiSampler::Sample(const GraphView& g, NodeId ego,
                                const std::vector<float>& fc, Rng* rng) const {
   ZCHECK(ego >= 0 && ego < g.num_nodes());
   ZCHECK_EQ(static_cast<int>(fc.size()), g.content_dim());
@@ -165,10 +162,11 @@ RoiSubgraph RoiSampler::Sample(const HeteroGraph& g, NodeId ego,
   root.id = ego;
   root.depth = 0;
   root.parent = -1;
-  root.relevance = scorer_->Score(fc.data(), g.content(ego), g.content_dim());
+  root.relevance = scorer_->ScoreNode(g, fc, ego);
   roi.nodes.push_back(root);
 
   // Breadth-first expansion: children of frontier nodes, one hop at a time.
+  NeighborScratch scratch;
   size_t frontier_begin = 0;
   for (int hop = 1; hop <= options_.num_hops; ++hop) {
     const size_t frontier_end = roi.nodes.size();
@@ -178,7 +176,7 @@ RoiSubgraph RoiSampler::Sample(const HeteroGraph& g, NodeId ego,
       const NodeId parent_of_node =
           roi.nodes[fi].parent >= 0 ? roi.nodes[roi.nodes[fi].parent].id : -1;
       SelectChildren(g, roi.nodes[fi].id, parent_of_node, fc, hop, rng,
-                     &children);
+                     &scratch, &children);
       for (auto& c : children) {
         if (roi.size() >= options_.max_nodes) break;
         c.depth = hop;

@@ -6,6 +6,12 @@
 // keeps the top-k per hop. The result is the Region-of-Interest subgraph fed
 // into the multi-level attention networks. Uniform sampling (GraphSage
 // style) is available for baselines/ablations via SamplerKind::kUniform.
+//
+// Sampling runs over the graph::GraphView interface, so the same code serves
+// the offline CSR and the streaming delta overlay: a trainer attached to the
+// ingest pipeline scores freshly arrived edges without waiting for a
+// compaction. Plain HeteroGraph overloads wrap the CSR adapter for callers
+// that never stream.
 #ifndef ZOOMER_CORE_ROI_SAMPLER_H_
 #define ZOOMER_CORE_ROI_SAMPLER_H_
 
@@ -15,6 +21,7 @@
 
 #include "common/random.h"
 #include "core/relevance.h"
+#include "graph/graph_view.h"
 #include "graph/hetero_graph.h"
 
 namespace zoomer {
@@ -72,25 +79,40 @@ class RoiSampler {
 
   /// Computes the focal vector Fc = sum of focal-node content vectors
   /// (paper Sec. V-B: focal points are the {user, query} pair).
-  std::vector<float> FocalVector(const graph::HeteroGraph& g,
+  std::vector<float> FocalVector(const graph::GraphView& g,
                                  const std::vector<graph::NodeId>& focal) const;
+  std::vector<float> FocalVector(
+      const graph::HeteroGraph& g,
+      const std::vector<graph::NodeId>& focal) const {
+    return FocalVector(graph::CsrGraphView(g), focal);
+  }
 
   /// Samples the ROI subgraph rooted at `ego` under focal vector `fc`.
-  RoiSubgraph Sample(const graph::HeteroGraph& g, graph::NodeId ego,
+  RoiSubgraph Sample(const graph::GraphView& g, graph::NodeId ego,
                      const std::vector<float>& fc, Rng* rng) const;
+  RoiSubgraph Sample(const graph::HeteroGraph& g, graph::NodeId ego,
+                     const std::vector<float>& fc, Rng* rng) const {
+    return Sample(graph::CsrGraphView(g), ego, fc, rng);
+  }
 
   /// Scores a single neighbor against the focal vector (exposed for tests
   /// and the interpretability experiment).
-  double Relevance(const graph::HeteroGraph& g, const std::vector<float>& fc,
+  double Relevance(const graph::GraphView& g, const std::vector<float>& fc,
                    graph::NodeId candidate) const;
+  double Relevance(const graph::HeteroGraph& g, const std::vector<float>& fc,
+                   graph::NodeId candidate) const {
+    return Relevance(graph::CsrGraphView(g), fc, candidate);
+  }
 
   const RoiSamplerOptions& options() const { return options_; }
 
  private:
-  /// Selects up to k(hop) children of `node`, excluding `parent`.
-  void SelectChildren(const graph::HeteroGraph& g, graph::NodeId node,
+  /// Selects up to k(hop) children of `node`, excluding `parent`. The
+  /// neighbor block is resolved through `scratch` (reused across calls).
+  void SelectChildren(const graph::GraphView& g, graph::NodeId node,
                       graph::NodeId parent, const std::vector<float>& fc,
-                      int hop, Rng* rng, std::vector<RoiNode>* out) const;
+                      int hop, Rng* rng, graph::NeighborScratch* scratch,
+                      std::vector<RoiNode>* out) const;
 
   RoiSamplerOptions options_;
   std::unique_ptr<RelevanceScorer> scorer_;

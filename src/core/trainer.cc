@@ -18,6 +18,15 @@ ZoomerTrainer::ZoomerTrainer(ScoringModel* model, TrainOptions options)
       optimizer_(model->Parameters(), options.learning_rate, 0.9f, 0.999f,
                  1e-8f, options.weight_decay) {}
 
+void ZoomerTrainer::MaybeRefreshGraphView() {
+  if (!graph_refresh_) return;
+  const int64_t seen = graph_updates_.load(std::memory_order_acquire);
+  if (seen == consumed_graph_updates_) return;
+  consumed_graph_updates_ = seen;
+  last_graph_epoch_ = graph_refresh_();
+  ++graph_refreshes_;
+}
+
 double ZoomerTrainer::RunEpoch(const std::vector<Example>& examples,
                                Rng* rng) {
   const bool trainable = !model_->Parameters().empty();
@@ -25,6 +34,7 @@ double ZoomerTrainer::RunEpoch(const std::vector<Example>& examples,
   int64_t count = 0;
   int in_batch = 0;
   if (trainable) optimizer_.ZeroGrad();
+  MaybeRefreshGraphView();
   for (const auto& ex : examples) {
     Tensor logit = model_->ScoreLogit(ex, rng);
     Tensor label = Tensor::Scalar(ex.label);
@@ -38,11 +48,16 @@ double ZoomerTrainer::RunEpoch(const std::vector<Example>& examples,
       Tensor scaled =
           Scale(loss, 1.0f / static_cast<float>(options_.batch_size));
       scaled.Backward();
-      if (++in_batch >= options_.batch_size) {
+    }
+    if (++in_batch >= options_.batch_size) {
+      if (trainable) {
         optimizer_.Step();
         optimizer_.ZeroGrad();
-        in_batch = 0;
       }
+      in_batch = 0;
+      // Batch boundary: re-pin the dynamic graph view if ingest landed new
+      // delta batches, so the next minibatch samples the fresh edges.
+      MaybeRefreshGraphView();
     }
   }
   if (trainable && in_batch > 0) optimizer_.Step();
@@ -52,6 +67,11 @@ double ZoomerTrainer::RunEpoch(const std::vector<Example>& examples,
 TrainResult ZoomerTrainer::Train(const data::RetrievalDataset& ds,
                                  bool eval_per_epoch) {
   TrainResult result;
+  // Freshness stats are per-run (a long-lived trainer may Train repeatedly
+  // against one pipeline); pending update signals intentionally carry over
+  // so pre-run ingest is observed at the first batch boundary.
+  graph_refreshes_ = 0;
+  last_graph_epoch_ = 0;
   Rng rng(options_.seed);
   WallTimer timer;
   std::vector<Example> examples = ds.train;
@@ -82,6 +102,11 @@ TrainResult ZoomerTrainer::Train(const data::RetrievalDataset& ds,
     result.epochs.push_back(stats);
   }
   result.total_seconds = timer.ElapsedSeconds();
+  // One final catch-up so graph_epoch reflects batches that landed during
+  // the tail of the last epoch.
+  MaybeRefreshGraphView();
+  result.graph_refreshes = graph_refreshes_;
+  result.graph_epoch = last_graph_epoch_;
   return result;
 }
 

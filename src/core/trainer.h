@@ -5,6 +5,7 @@
 #ifndef ZOOMER_CORE_TRAINER_H_
 #define ZOOMER_CORE_TRAINER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <vector>
@@ -44,6 +45,11 @@ struct TrainResult {
   std::vector<EpochStats> epochs;
   double total_seconds = 0.0;
   int64_t examples_seen = 0;
+  /// Streaming freshness: times the dynamic graph view was re-pinned at a
+  /// minibatch boundary, and the graph epoch visible when training ended
+  /// (both 0 for a purely static run).
+  int64_t graph_refreshes = 0;
+  uint64_t graph_epoch = 0;
 };
 
 struct EvalResult {
@@ -79,12 +85,34 @@ class ZoomerTrainer {
   void EvaluateHitRate(const data::RetrievalDataset& ds, EvalResult* result,
                        int max_positives = 200) const;
 
+  /// Streaming freshness hooks. `refresh` runs on the training thread at
+  /// minibatch boundaries whenever NotifyGraphUpdate() was raised since the
+  /// last boundary; it should re-pin the model's dynamic graph view and
+  /// return the epoch now visible. Wire both ends with
+  /// streaming::AttachTrainingFreshness (which registers NotifyGraphUpdate
+  /// as an ingest-pipeline update listener) — mini-batches drawn mid-ingest
+  /// then sample freshly arrived edges without an intervening Compact().
+  void SetGraphRefreshHook(std::function<uint64_t()> refresh) {
+    graph_refresh_ = std::move(refresh);
+  }
+  /// Thread-safe signal that new delta batches landed (ingest threads).
+  void NotifyGraphUpdate() {
+    graph_updates_.fetch_add(1, std::memory_order_acq_rel);
+  }
+
  private:
   double RunEpoch(const std::vector<data::Example>& examples, Rng* rng);
+  void MaybeRefreshGraphView();
 
   ScoringModel* model_;
   TrainOptions options_;
   tensor::Adam optimizer_;
+
+  std::function<uint64_t()> graph_refresh_;
+  std::atomic<int64_t> graph_updates_{0};
+  int64_t consumed_graph_updates_ = 0;
+  int64_t graph_refreshes_ = 0;
+  uint64_t last_graph_epoch_ = 0;
 };
 
 }  // namespace core

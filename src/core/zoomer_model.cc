@@ -65,7 +65,7 @@ SlotEmbeddings::SlotEmbeddings(const HeteroGraph& g, int dim, Rng* rng)
   }
 }
 
-Tensor SlotEmbeddings::Lookup(const HeteroGraph& g, NodeId node) const {
+Tensor SlotEmbeddings::Lookup(const graph::GraphView& g, NodeId node) const {
   const int t = static_cast<int>(g.node_type(node));
   auto s = g.slots(node);
   ZCHECK_EQ(s.size(), tables_[t].size());
@@ -87,6 +87,8 @@ std::vector<Tensor> SlotEmbeddings::Parameters() const {
 
 ZoomerModel::ZoomerModel(const HeteroGraph* g, const ZoomerConfig& config)
     : graph_(g),
+      base_view_(g),
+      view_(&base_view_),
       config_(config),
       sampler_(config.sampler),
       init_rng_(config.seed) {
@@ -109,7 +111,7 @@ ZoomerModel::ZoomerModel(const HeteroGraph* g, const ZoomerConfig& config)
 
 Tensor ZoomerModel::FeatureLevelEmbedding(NodeId node,
                                           const Tensor& focal) const {
-  const Tensor h = slots_.Lookup(*graph_, node);  // (n_slots x d)
+  const Tensor h = slots_.Lookup(*view_, node);  // (n_slots x d)
   Tensor z;
   if (config_.use_feature_projection && focal.defined()) {
     // eq. 6-7: Wc = softmax(H·C / sqrt(d)); Z = H ⊙ Wc; pooled to (1 x d).
@@ -121,7 +123,7 @@ Tensor ZoomerModel::FeatureLevelEmbedding(NodeId node,
   } else {
     z = MeanRows(h);
   }
-  const int t = static_cast<int>(graph_->node_type(node));
+  const int t = static_cast<int>(view_->node_type(node));
   return Tanh(type_map_[t].Forward(z));
 }
 
@@ -129,8 +131,8 @@ Tensor ZoomerModel::FocalVector(NodeId user, NodeId query) const {
   // Sec. V-A: retrieve focal embeddings, space-map per type, then sum.
   // (Feature projection cannot apply here — the focal vector is its input —
   // so the raw mean of slot latents is used.)
-  Tensor zu = MeanRows(slots_.Lookup(*graph_, user));
-  Tensor zq = MeanRows(slots_.Lookup(*graph_, query));
+  Tensor zu = MeanRows(slots_.Lookup(*view_, user));
+  Tensor zq = MeanRows(slots_.Lookup(*view_, query));
   const int tu = static_cast<int>(NodeType::kUser);
   const int tq = static_cast<int>(NodeType::kQuery);
   return Tanh(Add(type_map_[tu].Forward(zu), type_map_[tq].Forward(zq)));
@@ -160,7 +162,7 @@ Tensor ZoomerModel::AggregateNode(const RoiSubgraph& roi, int index,
   // type; eq. 10-11 combines across types).
   std::array<std::vector<Tensor>, kNumNodeTypes> by_type;
   for (int c = cb; c < ce; ++c) {
-    const int t = static_cast<int>(graph_->node_type(roi.nodes[c].id));
+    const int t = static_cast<int>(view_->node_type(roi.nodes[c].id));
     by_type[t].push_back(AggregateNode(roi, c, focal));
   }
 
@@ -220,8 +222,8 @@ Tensor ZoomerModel::AggregateNode(const RoiSubgraph& roi, int index,
 Tensor ZoomerModel::EgoEmbedding(NodeId ego, NodeId user, NodeId query,
                                  Rng* rng) const {
   std::vector<float> fc =
-      sampler_.FocalVector(*graph_, {user, query});  // content space (eq. 5)
-  RoiSubgraph roi = sampler_.Sample(*graph_, ego, fc, rng);
+      sampler_.FocalVector(*view_, {user, query});  // content space (eq. 5)
+  RoiSubgraph roi = sampler_.Sample(*view_, ego, fc, rng);
   Tensor focal = FocalVector(user, query);  // latent space (Sec. V-A)
   return AggregateNode(roi, 0, focal);
 }
@@ -234,7 +236,7 @@ Tensor ZoomerModel::UserQueryEmbedding(NodeId user, NodeId query,
 }
 
 Tensor ZoomerModel::ItemEmbedding(NodeId item) const {
-  ZCHECK_EQ(static_cast<int>(graph_->node_type(item)),
+  ZCHECK_EQ(static_cast<int>(view_->node_type(item)),
             static_cast<int>(NodeType::kItem));
   Tensor z = FeatureLevelEmbedding(item, Tensor());  // base model: no focal
   return Tanh(item_tower_.Forward(z));
@@ -260,8 +262,8 @@ std::vector<float> ZoomerModel::ItemEmbeddingInference(NodeId item) {
 
 std::vector<EdgeAttentionRecord> ZoomerModel::ExplainEdgeWeights(
     NodeId ego, NodeId user, NodeId query, Rng* rng) const {
-  std::vector<float> fc = sampler_.FocalVector(*graph_, {user, query});
-  RoiSubgraph roi = sampler_.Sample(*graph_, ego, fc, rng);
+  std::vector<float> fc = sampler_.FocalVector(*view_, {user, query});
+  RoiSubgraph roi = sampler_.Sample(*view_, ego, fc, rng);
   Tensor focal = FocalVector(user, query);
   Tensor z_self = FeatureLevelEmbedding(ego, focal);
 
@@ -271,7 +273,7 @@ std::vector<EdgeAttentionRecord> ZoomerModel::ExplainEdgeWeights(
   if (cb >= ce) return records;
   std::array<std::vector<int>, kNumNodeTypes> by_type;
   for (int c = cb; c < ce; ++c) {
-    by_type[static_cast<int>(graph_->node_type(roi.nodes[c].id))].push_back(c);
+    by_type[static_cast<int>(view_->node_type(roi.nodes[c].id))].push_back(c);
   }
   for (int t = 0; t < kNumNodeTypes; ++t) {
     if (by_type[t].empty()) continue;

@@ -67,8 +67,12 @@ class SlotEmbeddings {
   SlotEmbeddings() = default;
   SlotEmbeddings(const graph::HeteroGraph& g, int dim, Rng* rng);
 
-  /// (num_slots(node) x dim) matrix of the node's feature latent vectors.
-  tensor::Tensor Lookup(const graph::HeteroGraph& g, graph::NodeId node) const;
+  /// (num_slots(node) x dim) matrix of the node's feature latent vectors,
+  /// resolved through any GraphView (static CSR or streaming overlay).
+  tensor::Tensor Lookup(const graph::GraphView& g, graph::NodeId node) const;
+  tensor::Tensor Lookup(const graph::HeteroGraph& g, graph::NodeId node) const {
+    return Lookup(graph::CsrGraphView(g), node);
+  }
 
   std::vector<tensor::Tensor> Parameters() const;
   int dim() const { return dim_; }
@@ -130,6 +134,16 @@ class ZoomerModel : public ScoringModel {
   const RoiSampler& sampler() const { return sampler_; }
   const graph::HeteroGraph& graph() const { return *graph_; }
 
+  /// Routes all sampling and feature lookups through `view` — attach a
+  /// streaming::DynamicGraphView so training-time ROI construction scores
+  /// base+delta neighborhoods without waiting for Compact(). The view must
+  /// describe the same node space as the construction graph and outlive the
+  /// model; nullptr restores the static CSR view.
+  void AttachGraphView(const graph::GraphView* view) {
+    view_ = view != nullptr ? view : &base_view_;
+  }
+  const graph::GraphView& view() const { return *view_; }
+
  private:
   /// Feature-level node embedding (eq. 6-7) + per-type space mapping.
   tensor::Tensor FeatureLevelEmbedding(graph::NodeId node,
@@ -145,6 +159,8 @@ class ZoomerModel : public ScoringModel {
                                       const tensor::Tensor& focal) const;
 
   const graph::HeteroGraph* graph_;
+  graph::CsrGraphView base_view_;       // default static view over graph_
+  const graph::GraphView* view_;        // active view (never null)
   ZoomerConfig config_;
   RoiSampler sampler_;
   mutable Rng init_rng_;

@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "common/logging.h"
+#include "graph/graph_view.h"
 #include "streaming/dynamic_hetero_graph.h"
 
 namespace zoomer {
@@ -15,21 +16,15 @@ using graph::NodeId;
 namespace {
 
 /// Distinct weighted draws via the alias table (constant-time per draw);
-/// bounded retries mirror the production engine's draw-with-dedup.
+/// the shared GraphView helper provides the bounded-retry dedup the
+/// production engine's draw-with-dedup uses.
 SampleResponse SampleFromCsr(const graph::HeteroGraph& g,
                              const SampleRequest& req) {
   SampleResponse resp;
   if (g.degree(req.node) == 0) return resp;
   Rng rng(req.rng_seed);
-  std::vector<NodeId> seen;
-  for (int attempt = 0;
-       attempt < req.k * 4 && static_cast<int>(seen.size()) < req.k;
-       ++attempt) {
-    const NodeId nb = g.SampleNeighbor(req.node, &rng);
-    if (nb < 0) break;
-    if (std::find(seen.begin(), seen.end(), nb) != seen.end()) continue;
-    seen.push_back(nb);
-  }
+  const std::vector<NodeId> seen =
+      graph::CsrGraphView(g).SampleDistinctNeighbors(req.node, req.k, &rng);
   auto ids = g.neighbor_ids(req.node);
   auto weights = g.neighbor_weights(req.node);
   for (NodeId nb : seen) {

@@ -1,0 +1,24 @@
+#include "graph/graph_view.h"
+
+#include <algorithm>
+
+namespace zoomer {
+namespace graph {
+
+std::vector<NodeId> GraphView::SampleDistinctNeighbors(NodeId id, int k,
+                                                       Rng* rng) const {
+  std::vector<NodeId> seen;
+  if (k <= 0) return seen;
+  const int max_attempts = k * 4;
+  for (int a = 0; a < max_attempts && static_cast<int>(seen.size()) < k; ++a) {
+    const NodeId nb = SampleNeighbor(id, rng);
+    if (nb < 0) break;
+    if (std::find(seen.begin(), seen.end(), nb) == seen.end()) {
+      seen.push_back(nb);
+    }
+  }
+  return seen;
+}
+
+}  // namespace graph
+}  // namespace zoomer

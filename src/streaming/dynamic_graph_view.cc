@@ -1,0 +1,20 @@
+#include "streaming/dynamic_graph_view.h"
+
+namespace zoomer {
+namespace streaming {
+
+graph::NeighborBlock DynamicGraphView::Neighbors(
+    graph::NodeId id, graph::NeighborScratch* scratch) const {
+  // Untouched nodes (the vast majority between compactions) stay on the
+  // zero-copy CSR path, matching the static view's cost exactly.
+  if (!snapshot_.MaybeHasDelta(id)) {
+    const graph::HeteroGraph& base = snapshot_.base();
+    return {base.neighbor_ids(id), base.neighbor_weights(id),
+            base.neighbor_kinds(id)};
+  }
+  snapshot_.Neighbors(id, &scratch->ids, &scratch->weights, &scratch->kinds);
+  return {scratch->ids, scratch->weights, scratch->kinds};
+}
+
+}  // namespace streaming
+}  // namespace zoomer

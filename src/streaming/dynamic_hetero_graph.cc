@@ -5,6 +5,7 @@
 #include <tuple>
 
 #include "common/logging.h"
+#include "graph/graph_view.h"
 
 namespace zoomer {
 namespace streaming {
@@ -20,17 +21,54 @@ DynamicHeteroGraph::DynamicHeteroGraph(const HeteroGraph* base)
 DynamicHeteroGraph::DynamicHeteroGraph(
     std::shared_ptr<const HeteroGraph> base)
     : base_(std::move(base)),
-      node_epoch_(static_cast<size_t>(
-          base_.load(std::memory_order_relaxed)->num_nodes())) {
-  ZCHECK(base_.load(std::memory_order_relaxed) != nullptr);
+      node_epoch_(static_cast<size_t>(base_->num_nodes())) {
+  ZCHECK(base_ != nullptr);
 }
 
 std::shared_ptr<const HeteroGraph> DynamicHeteroGraph::base() const {
-  return base_.load(std::memory_order_acquire);
+  std::shared_lock<std::shared_mutex> lock(base_mu_);
+  return base_;
 }
 
 DynamicHeteroGraph::Snapshot DynamicHeteroGraph::MakeSnapshot() const {
-  return Snapshot(this, base(), epoch());
+  return Snapshot(this, base(), watermark_epoch());
+}
+
+void DynamicHeteroGraph::PublishWatermarkLocked() {
+  // Issued epochs are strictly increasing, so min(pending) only grows as
+  // batches land and the candidate is monotone; the CAS-max keeps the
+  // published watermark from ever moving backwards regardless.
+  const uint64_t candidate =
+      pending_epochs_.empty()
+          ? max_applied_epoch_.load(std::memory_order_acquire)
+          : *pending_epochs_.begin() - 1;
+  uint64_t cur = watermark_epoch_.load(std::memory_order_relaxed);
+  while (cur < candidate && !watermark_epoch_.compare_exchange_weak(
+                                cur, candidate, std::memory_order_acq_rel)) {
+  }
+}
+
+void DynamicHeteroGraph::NoteEpochIssued(uint64_t epoch) {
+  if (epoch == 0) return;
+  std::lock_guard<std::mutex> lock(epoch_mu_);
+  pending_epochs_.insert(epoch);
+  PublishWatermarkLocked();
+}
+
+void DynamicHeteroGraph::AttachParticipant(CompactionParticipant* participant) {
+  if (participant == nullptr) return;
+  std::lock_guard<std::mutex> lock(participants_mu_);
+  for (CompactionParticipant* p : participants_) {
+    if (p == participant) return;
+  }
+  participants_.push_back(participant);
+}
+
+void DynamicHeteroGraph::DetachParticipant(CompactionParticipant* participant) {
+  std::lock_guard<std::mutex> lock(participants_mu_);
+  participants_.erase(
+      std::remove(participants_.begin(), participants_.end(), participant),
+      participants_.end());
 }
 
 size_t DynamicHeteroGraph::VisiblePrefix(const NodeOverlay& ov,
@@ -42,22 +80,31 @@ size_t DynamicHeteroGraph::VisiblePrefix(const NodeOverlay& ov,
 }
 
 Status DynamicHeteroGraph::ApplyBatch(const DeltaBatch& batch) {
+  // A rejected batch will never apply: retire its pending-epoch mark on
+  // every failure path, or the watermark would freeze below it forever.
+  auto reject = [this, &batch](Status st) {
+    std::lock_guard<std::mutex> lock(epoch_mu_);
+    pending_epochs_.erase(batch.epoch);
+    PublishWatermarkLocked();
+    return st;
+  };
   if (batch.epoch == 0) {
-    return Status::InvalidArgument("delta batch has no epoch");
+    return reject(Status::InvalidArgument("delta batch has no epoch"));
   }
   auto base = this->base();
   const int64_t n = base->num_nodes();
   for (const EdgeEvent& ev : batch.events) {
     if (ev.src < 0 || ev.src >= n || ev.dst < 0 || ev.dst >= n) {
-      return Status::OutOfRange("edge event endpoint out of range");
+      return reject(Status::OutOfRange("edge event endpoint out of range"));
     }
     if (ev.src == ev.dst) {
-      return Status::InvalidArgument("self-loops are not allowed");
+      return reject(Status::InvalidArgument("self-loops are not allowed"));
     }
     if (!(ev.weight >= 0.0f) || ev.weight > 1e30f) {
       // Rejects negatives, NaN (all comparisons false) and infinities,
       // which would poison the overlay prefix sums.
-      return Status::InvalidArgument("edge weight must be finite and non-negative");
+      return reject(
+          Status::InvalidArgument("edge weight must be finite and non-negative"));
     }
   }
   for (const EdgeEvent& ev : batch.events) {
@@ -70,6 +117,13 @@ Status DynamicHeteroGraph::ApplyBatch(const DeltaBatch& batch) {
   while (cur < batch.epoch &&
          !max_applied_epoch_.compare_exchange_weak(
              cur, batch.epoch, std::memory_order_acq_rel)) {
+  }
+  {
+    // Retire the pending mark last: the watermark may only advance past this
+    // epoch once its entries are fully visible.
+    std::lock_guard<std::mutex> lock(epoch_mu_);
+    pending_epochs_.erase(batch.epoch);
+    PublishWatermarkLocked();
   }
   return Status::OK();
 }
@@ -148,6 +202,59 @@ double DynamicHeteroGraph::Snapshot::TotalWeight(NodeId node) const {
   return total;
 }
 
+namespace {
+
+/// Coalescing key shared by both merged-neighbor representations.
+int64_t EntryKey(NodeId neighbor, graph::RelationKind kind) {
+  return static_cast<int64_t>(neighbor) * graph::kNumRelationKinds +
+         static_cast<int>(kind);
+}
+
+}  // namespace
+
+template <typename KeyAt, typename Append, typename AddWeight>
+void DynamicHeteroGraph::CoalesceVisibleDeltas(
+    const std::vector<DeltaEntry>& entries, size_t prefix, size_t merged_size,
+    KeyAt key_at, Append append, AddWeight add_weight) {
+  size_t n = merged_size;
+  if (prefix < 16) {
+    // Tiny deltas: linear coalescing, no extra allocation.
+    for (size_t i = 0; i < prefix; ++i) {
+      const NeighborEntry& e = entries[i].e;
+      const int64_t k = EntryKey(e.neighbor, e.kind);
+      size_t match = n;
+      for (size_t j = 0; j < n; ++j) {
+        if (key_at(j) == k) {
+          match = j;
+          break;
+        }
+      }
+      if (match < n) {
+        add_weight(match, e.weight);
+      } else {
+        append(e);
+        ++n;
+      }
+    }
+    return;
+  }
+  // Hot nodes accumulate thousands of deltas between compactions; index the
+  // merged list by (neighbor, kind) so the merge stays linear.
+  std::unordered_map<int64_t, size_t> index;
+  index.reserve(n + prefix);
+  for (size_t j = 0; j < n; ++j) index.emplace(key_at(j), j);
+  for (size_t i = 0; i < prefix; ++i) {
+    const NeighborEntry& e = entries[i].e;
+    auto [it, inserted] = index.try_emplace(EntryKey(e.neighbor, e.kind), n);
+    if (inserted) {
+      append(e);
+      ++n;
+    } else {
+      add_weight(it->second, e.weight);
+    }
+  }
+}
+
 void DynamicHeteroGraph::Snapshot::Neighbors(
     NodeId node, std::vector<NeighborEntry>* out) const {
   ZCHECK(node >= 0 && node < base_->num_nodes());
@@ -165,42 +272,40 @@ void DynamicHeteroGraph::Snapshot::Neighbors(
   auto it = sh.overlays.find(node);
   if (it == sh.overlays.end()) return;
   const NodeOverlay& ov = it->second;
-  const size_t prefix = VisiblePrefix(ov, epoch_);
-  if (prefix < 16) {
-    // Tiny deltas: linear coalescing, no allocation.
-    for (size_t i = 0; i < prefix; ++i) {
-      const NeighborEntry& e = ov.entries[i].e;
-      auto match = std::find_if(out->begin(), out->end(),
-                                [&e](const NeighborEntry& b) {
-                                  return b.neighbor == e.neighbor &&
-                                         b.kind == e.kind;
-                                });
-      if (match != out->end()) {
-        match->weight += e.weight;
-      } else {
-        out->push_back(e);
-      }
-    }
-    return;
-  }
-  // Hot nodes accumulate thousands of deltas between compactions; index the
-  // merged list by (neighbor, kind) so the merge stays linear.
-  auto key = [](const NeighborEntry& e) {
-    return static_cast<int64_t>(e.neighbor) * graph::kNumRelationKinds +
-           static_cast<int>(e.kind);
-  };
-  std::unordered_map<int64_t, size_t> index;
-  index.reserve(out->size() + prefix);
-  for (size_t i = 0; i < out->size(); ++i) index.emplace(key((*out)[i]), i);
-  for (size_t i = 0; i < prefix; ++i) {
-    const NeighborEntry& e = ov.entries[i].e;
-    auto [it2, inserted] = index.try_emplace(key(e), out->size());
-    if (inserted) {
-      out->push_back(e);
-    } else {
-      (*out)[it2->second].weight += e.weight;
-    }
-  }
+  CoalesceVisibleDeltas(
+      ov.entries, VisiblePrefix(ov, epoch_), out->size(),
+      [out](size_t j) {
+        return EntryKey((*out)[j].neighbor, (*out)[j].kind);
+      },
+      [out](const NeighborEntry& e) { out->push_back(e); },
+      [out](size_t j, float w) { (*out)[j].weight += w; });
+}
+
+void DynamicHeteroGraph::Snapshot::Neighbors(
+    NodeId node, std::vector<NodeId>* ids, std::vector<float>* weights,
+    std::vector<graph::RelationKind>* kinds) const {
+  ZCHECK(node >= 0 && node < base_->num_nodes());
+  auto base_ids = base_->neighbor_ids(node);
+  auto base_weights = base_->neighbor_weights(node);
+  auto base_kinds = base_->neighbor_kinds(node);
+  ids->assign(base_ids.begin(), base_ids.end());
+  weights->assign(base_weights.begin(), base_weights.end());
+  kinds->assign(base_kinds.begin(), base_kinds.end());
+  if (owner_->node_epoch_[node].load(std::memory_order_acquire) == 0) return;
+  const LockShard& sh = owner_->lock_shards_[ShardFor(node)];
+  std::shared_lock<std::shared_mutex> lock(sh.mu);
+  auto it = sh.overlays.find(node);
+  if (it == sh.overlays.end()) return;
+  const NodeOverlay& ov = it->second;
+  CoalesceVisibleDeltas(
+      ov.entries, VisiblePrefix(ov, epoch_), ids->size(),
+      [&](size_t j) { return EntryKey((*ids)[j], (*kinds)[j]); },
+      [&](const NeighborEntry& e) {
+        ids->push_back(e.neighbor);
+        weights->push_back(e.weight);
+        kinds->push_back(e.kind);
+      },
+      [&](size_t j, float w) { (*weights)[j] += w; });
 }
 
 NodeId DynamicHeteroGraph::SampleOverlayLocked(const HeteroGraph& base,
@@ -256,14 +361,8 @@ std::vector<NodeId> DynamicHeteroGraph::Snapshot::SampleDistinctNeighbors(
   if (k <= 0) return seen;
   const int max_attempts = k * 4;
   auto draw_from_base = [&] {
-    for (int a = 0;
-         a < max_attempts && static_cast<int>(seen.size()) < k; ++a) {
-      const NodeId nb = base_->SampleNeighbor(node, rng);
-      if (nb < 0) break;
-      if (std::find(seen.begin(), seen.end(), nb) == seen.end()) {
-        seen.push_back(nb);
-      }
-    }
+    // Shared bounded-retry dedup draw over the base alias tables.
+    seen = graph::CsrGraphView(*base_).SampleDistinctNeighbors(node, k, rng);
   };
   if (owner_->node_epoch_[node].load(std::memory_order_acquire) == 0) {
     draw_from_base();
@@ -293,8 +392,37 @@ std::vector<NodeId> DynamicHeteroGraph::Snapshot::SampleDistinctNeighbors(
   return seen;
 }
 
+namespace {
+
+/// Parks every attached applier at a batch boundary for the duration of a
+/// compaction; EndQuiesce runs on every exit path (including errors).
+class QuiesceGuard {
+ public:
+  explicit QuiesceGuard(const std::vector<CompactionParticipant*>& participants)
+      : participants_(participants) {
+    for (CompactionParticipant* p : participants_) p->BeginQuiesce();
+  }
+  ~QuiesceGuard() {
+    for (CompactionParticipant* p : participants_) p->EndQuiesce();
+  }
+  QuiesceGuard(const QuiesceGuard&) = delete;
+  QuiesceGuard& operator=(const QuiesceGuard&) = delete;
+
+ private:
+  const std::vector<CompactionParticipant*>& participants_;
+};
+
+}  // namespace
+
 StatusOr<uint64_t> DynamicHeteroGraph::Compact() {
   std::lock_guard<std::mutex> compact_lock(compact_mu_);
+  // Quiescence handshake: park attached pipelines at a batch boundary so no
+  // delta batch is mid-apply (and none starts) while the fold runs. Events
+  // still queued have no epoch yet; they apply onto the new base afterwards.
+  // participants_mu_ stays held through the fold so a participant cannot
+  // detach (and die) between BeginQuiesce and EndQuiesce.
+  std::lock_guard<std::mutex> participants_lock(participants_mu_);
+  QuiesceGuard quiesce(participants_);
   // Exclusive hold on every lock shard: no reader or (contract-violating)
   // applier can observe the rebuild half-done.
   std::vector<std::unique_lock<std::shared_mutex>> locks;
@@ -307,7 +435,7 @@ StatusOr<uint64_t> DynamicHeteroGraph::Compact() {
     return fold_epoch;
   }
 
-  auto old_base = base_.load(std::memory_order_acquire);
+  auto old_base = this->base();
 
   // Coalesce base and delta half-edges into canonical undirected edges
   // keyed by (min, max, kind), summing weights — the same duplicate
@@ -354,7 +482,10 @@ StatusOr<uint64_t> DynamicHeteroGraph::Compact() {
   }
   auto new_base = std::make_shared<const HeteroGraph>(builder.Build());
 
-  base_.store(new_base, std::memory_order_release);
+  {
+    std::unique_lock<std::shared_mutex> base_lock(base_mu_);
+    base_ = new_base;
+  }
   for (auto& sh : lock_shards_) sh.overlays.clear();
   for (auto& e : node_epoch_) e.store(0, std::memory_order_release);
   total_entries_.store(0, std::memory_order_release);

@@ -18,13 +18,18 @@
 //    an inverse-CDF search over the (small) delta prefix-sum array.
 //  - Snapshot isolation: overlay entries are epoch-stamped and kept in epoch
 //    order; a snapshot at epoch E only surfaces entries with epoch <= E.
-//    Isolation is exact when batches are applied in epoch order (the ingest
-//    pipeline applies per-shard FIFO; cross-shard skew can briefly surface a
-//    lower-epoch batch to a newer snapshot, never the reverse).
+//    Snapshots pin to the *watermark* epoch — the largest epoch below every
+//    issued-but-unapplied batch — so cross-shard apply skew can no longer
+//    surface a lower-epoch batch to a newer snapshot (epoch issuance is
+//    reported through GraphDeltaLog::Append's on_issue callback ->
+//    NoteEpochIssued; without tracking the watermark equals the max applied
+//    epoch).
 //  - Compact() folds every applied delta back into a freshly built CSR and
-//    clears the overlays. It requires the ingestion pipeline to be flushed
-//    or paused; snapshots taken before a compaction keep their (pinned) old
-//    base but lose delta visibility, so treat snapshots as short read leases.
+//    clears the overlays. Attached ingest pipelines are quiesced with a
+//    handshake (CompactionParticipant) so a mid-ingest compaction cannot
+//    split or drop queued-but-unapplied deltas; snapshots taken before a
+//    compaction keep their (pinned) old base but lose delta visibility, so
+//    treat snapshots as short read leases.
 #ifndef ZOOMER_STREAMING_DYNAMIC_HETERO_GRAPH_H_
 #define ZOOMER_STREAMING_DYNAMIC_HETERO_GRAPH_H_
 
@@ -32,6 +37,7 @@
 #include <atomic>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <shared_mutex>
 #include <unordered_map>
 #include <vector>
@@ -44,6 +50,16 @@
 namespace zoomer {
 namespace streaming {
 
+/// A delta applier (the ingest pipeline) that Compact() can park at a batch
+/// boundary. BeginQuiesce blocks until no batch is mid-apply and prevents
+/// new applies until EndQuiesce.
+class CompactionParticipant {
+ public:
+  virtual ~CompactionParticipant() = default;
+  virtual void BeginQuiesce() = 0;
+  virtual void EndQuiesce() = 0;
+};
+
 class DynamicHeteroGraph {
  public:
   /// Non-owning view: `base` must outlive this object (and any compacted
@@ -55,6 +71,29 @@ class DynamicHeteroGraph {
   uint64_t epoch() const {
     return max_applied_epoch_.load(std::memory_order_acquire);
   }
+
+  /// Watermark epoch: the largest E such that no issued epoch <= E is still
+  /// unapplied. Snapshot() pins here, so out-of-order cross-shard applies
+  /// never mutate a live snapshot retroactively. Equals epoch() when no
+  /// epochs are pending (or when issuance is not being tracked). Lock-free
+  /// read — the pending-set bookkeeping republishes it on every change —
+  /// so per-request MakeSnapshot() calls do not serialize across shards.
+  uint64_t watermark_epoch() const {
+    return watermark_epoch_.load(std::memory_order_acquire);
+  }
+
+  /// Marks an epoch as issued-but-not-yet-applied. Pass as Append's
+  /// on_issue callback — log.Append(shard, events, [&g](uint64_t e) {
+  ///   g.NoteEpochIssued(e); }) — for every batch this graph will apply;
+  /// the ingest pipeline does this for you. The matching ApplyBatch clears
+  /// the pending mark.
+  void NoteEpochIssued(uint64_t epoch);
+
+  /// Registers/removes an applier for the Compact() quiescence handshake.
+  /// The participant must stay valid until detached (the ingest pipeline
+  /// attaches on construction and detaches on Stop()).
+  void AttachParticipant(CompactionParticipant* participant);
+  void DetachParticipant(CompactionParticipant* participant);
 
   /// Applies one delta batch: every event becomes two half-edges in the
   /// endpoints' overlays, stamped with the batch epoch. Validates the whole
@@ -69,6 +108,13 @@ class DynamicHeteroGraph {
 
     /// True if the node carries any delta visible at this epoch.
     bool HasDelta(graph::NodeId node) const;
+    /// Lock-free conservative check: false means the node definitely has no
+    /// delta (readers may then use the base CSR arrays directly); true means
+    /// it might. Used by GraphView adapters to keep untouched nodes on the
+    /// zero-copy path.
+    bool MaybeHasDelta(graph::NodeId node) const {
+      return owner_->node_epoch_[node].load(std::memory_order_acquire) != 0;
+    }
     /// Half-edge count: base degree + visible delta entries (parallel-edge
     /// semantics, matching how repeated events accumulate weight).
     int64_t Degree(graph::NodeId node) const;
@@ -79,6 +125,14 @@ class DynamicHeteroGraph {
     /// edges by (neighbor, kind) and summing weights.
     void Neighbors(graph::NodeId node,
                    std::vector<graph::NeighborEntry>* out) const;
+
+    /// Overlay-aware neighbor iteration for the sampler (epoch-pinned):
+    /// the same merge as Neighbors() resolved into parallel arrays — base
+    /// CSR range first, then the coalesced delta suffix — matching the
+    /// (ids, weights, kinds) layout GraphView::Neighbors hands out.
+    void Neighbors(graph::NodeId node, std::vector<graph::NodeId>* ids,
+                   std::vector<float>* weights,
+                   std::vector<graph::RelationKind>* kinds) const;
 
     /// One weighted draw over base + visible delta. Returns -1 for nodes
     /// with no edges at this epoch.
@@ -107,8 +161,10 @@ class DynamicHeteroGraph {
   /// Rebuilds the base CSR with every applied delta folded in (duplicate
   /// (a, b, kind) edges coalesced by weight, matching the offline builder's
   /// semantics), clears the overlays, and returns the epoch folded through
-  /// (pass it to GraphDeltaLog::Truncate). Precondition: no concurrent
-  /// ApplyBatch (flush or pause the ingest pipeline first).
+  /// (pass it to GraphDeltaLog::Truncate). Attached participants are
+  /// quiesced first, so a mid-ingest compaction parks the pipeline at a
+  /// batch boundary instead of splitting or dropping in-flight deltas;
+  /// appliers not registered as participants must not run concurrently.
   StatusOr<uint64_t> Compact();
 
   /// Current base CSR (changes only at Compact).
@@ -160,9 +216,25 @@ class DynamicHeteroGraph {
   /// epoch-ordered). Caller must hold the node's lock shard.
   static size_t VisiblePrefix(const NodeOverlay& ov, uint64_t at_epoch);
 
-  /// Lock-free published base pointer: swapped only at Compact, read on
-  /// every snapshot — a mutex here would serialize all shards' sampling.
-  std::atomic<std::shared_ptr<const graph::HeteroGraph>> base_;
+  /// Shared coalescing core behind both Snapshot::Neighbors overloads:
+  /// folds the visible delta prefix into a merged list of `merged_size`
+  /// base entries via callbacks (key_at(i) -> coalescing key of merged
+  /// entry i, append(entry), add_weight(i, w)). Linear probing for tiny
+  /// deltas, hash-indexed once a node runs hot. Defined in the .cc (only
+  /// used there).
+  template <typename KeyAt, typename Append, typename AddWeight>
+  static void CoalesceVisibleDeltas(const std::vector<DeltaEntry>& entries,
+                                    size_t prefix, size_t merged_size,
+                                    KeyAt key_at, Append append,
+                                    AddWeight add_weight);
+
+  /// Current base CSR: swapped only at Compact, read (copied) once per
+  /// snapshot or batch — never per draw. Shared-mode acquisitions do not
+  /// serialize readers against each other, and unlike
+  /// std::atomic<shared_ptr>'s internal spinlock the protocol is visible to
+  /// ThreadSanitizer, which the CI race job relies on.
+  mutable std::shared_mutex base_mu_;
+  std::shared_ptr<const graph::HeteroGraph> base_;  // guarded by base_mu_
 
   std::vector<std::atomic<uint64_t>> node_epoch_;  // 0 = no overlay
   std::array<LockShard, kNumLockShards> lock_shards_;
@@ -170,6 +242,18 @@ class DynamicHeteroGraph {
   std::atomic<int64_t> total_entries_{0};
   uint64_t compacted_through_epoch_ = 0;  // guarded by compact_mu_
   std::mutex compact_mu_;
+
+  /// Recomputes and CAS-max-publishes watermark_epoch_ from the pending
+  /// set. Caller must hold epoch_mu_.
+  void PublishWatermarkLocked();
+
+  /// Issued-but-unapplied epochs; min(pending) - 1 bounds the watermark.
+  mutable std::mutex epoch_mu_;
+  std::set<uint64_t> pending_epochs_;  // guarded by epoch_mu_
+  std::atomic<uint64_t> watermark_epoch_{0};
+
+  mutable std::mutex participants_mu_;
+  std::vector<CompactionParticipant*> participants_;  // guarded above
 };
 
 }  // namespace streaming

@@ -10,9 +10,15 @@ namespace streaming {
 GraphDeltaLog::GraphDeltaLog(int num_shards)
     : shards_(static_cast<size_t>(num_shards > 0 ? num_shards : 1)) {}
 
-uint64_t GraphDeltaLog::Append(int shard, std::vector<EdgeEvent> events) {
+uint64_t GraphDeltaLog::Append(int shard, std::vector<EdgeEvent> events,
+                               const EpochObserver& on_issue) {
   ZCHECK(shard >= 0 && shard < num_shards());
-  const uint64_t epoch = next_epoch_.fetch_add(1, std::memory_order_acq_rel);
+  uint64_t epoch;
+  {
+    std::lock_guard<std::mutex> lock(epoch_mu_);
+    epoch = next_epoch_.fetch_add(1, std::memory_order_acq_rel);
+    if (on_issue) on_issue(epoch);
+  }
   Shard& s = shards_[shard];
   std::lock_guard<std::mutex> lock(s.mu);
   s.events += static_cast<int64_t>(events.size());

@@ -11,6 +11,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <vector>
 
@@ -56,7 +57,17 @@ class GraphDeltaLog {
   /// Appends a batch to `shard` and returns its freshly assigned epoch.
   /// Events are moved into the log; the returned epoch is > every epoch
   /// returned by earlier Append calls (across all shards).
-  uint64_t Append(int shard, std::vector<EdgeEvent> events);
+  ///
+  /// `on_issue`, when provided, is invoked with the new epoch atomically
+  /// with its assignment (i.e. before any later epoch can be issued). The
+  /// appender that will apply the batch passes its graph's
+  /// DynamicHeteroGraph::NoteEpochIssued here so snapshots pin to the
+  /// cross-shard watermark — per-call, so pipelines feeding *different*
+  /// graphs from one shared log only mark the epochs they will themselves
+  /// apply (the ingest pipeline wires this automatically).
+  using EpochObserver = std::function<void(uint64_t epoch)>;
+  uint64_t Append(int shard, std::vector<EdgeEvent> events,
+                  const EpochObserver& on_issue = {});
 
   /// Epoch of the most recent append, 0 if the log is empty.
   uint64_t last_epoch() const {
@@ -82,6 +93,10 @@ class GraphDeltaLog {
   };
 
   std::atomic<uint64_t> next_epoch_{1};
+  /// Serializes epoch issuance with the on_issue notification: a later
+  /// epoch cannot be issued (let alone applied) before an earlier one is
+  /// reported pending, which the watermark correctness argument relies on.
+  mutable std::mutex epoch_mu_;
   std::vector<Shard> shards_;
 };
 

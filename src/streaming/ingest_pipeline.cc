@@ -47,6 +47,9 @@ IngestPipeline::IngestPipeline(GraphDeltaLog* log, DynamicHeteroGraph* graph,
     queues_.push_back(std::make_unique<BoundedQueue<EdgeEvent>>(
         static_cast<size_t>(options_.queue_capacity)));
   }
+  // Compaction quiescence: Compact() parks this pipeline at a batch
+  // boundary instead of relying on a caller-managed Flush().
+  graph_->AttachParticipant(this);
 }
 
 IngestPipeline::~IngestPipeline() { Stop(); }
@@ -108,17 +111,47 @@ void IngestPipeline::ConsumerLoop(int shard) {
            queue.TryPop(&ev)) {
       batch.push_back(std::move(ev));
     }
+    // Quiescence gate: a compaction in progress holds consumers here, with
+    // the collected batch intact (it has no epoch yet), until EndQuiesce.
+    {
+      std::unique_lock<std::mutex> lock(quiesce_mu_);
+      quiesce_cv_.wait(lock, [this] { return quiesce_requests_ == 0; });
+      ++active_applies_;
+    }
     CutBatch(shard, std::move(batch));
+    {
+      std::lock_guard<std::mutex> lock(quiesce_mu_);
+      --active_applies_;
+      if (active_applies_ == 0) quiesce_cv_.notify_all();
+    }
     batch.clear();
     batch.reserve(options_.batch_size);
   }
+}
+
+void IngestPipeline::BeginQuiesce() {
+  std::unique_lock<std::mutex> lock(quiesce_mu_);
+  ++quiesce_requests_;
+  quiesce_cv_.wait(lock, [this] { return active_applies_ == 0; });
+}
+
+void IngestPipeline::EndQuiesce() {
+  std::lock_guard<std::mutex> lock(quiesce_mu_);
+  --quiesce_requests_;
+  quiesce_cv_.notify_all();
 }
 
 void IngestPipeline::CutBatch(int shard, std::vector<EdgeEvent> events) {
   const int64_t n = static_cast<int64_t>(events.size());
   DeltaBatch batch;
   batch.events = std::move(events);
-  batch.epoch = log_->Append(shard, batch.events);  // log keeps a copy
+  // Cross-shard watermark: the epoch is marked pending on our graph
+  // atomically with its issuance, before any later epoch can be assigned —
+  // so snapshots never pin past this still-unapplied batch.
+  batch.epoch = log_->Append(shard, batch.events,  // log keeps a copy
+                             [this](uint64_t epoch) {
+                               graph_->NoteEpochIssued(epoch);
+                             });
   Status st = graph_->ApplyBatch(batch);
   ZCHECK(st.ok()) << st.ToString();  // events were validated at Offer
 
@@ -148,13 +181,17 @@ void IngestPipeline::Flush() {
 
 void IngestPipeline::Stop() {
   std::lock_guard<std::mutex> lock(lifecycle_mu_);
-  if (!started_ || stopped_) return;
-  stopped_ = true;
-  // Closing lets consumers drain what is queued, then exit.
-  for (auto& q : queues_) q->Close();
-  for (auto& t : consumers_) {
-    if (t.joinable()) t.join();
+  if (started_ && !stopped_) {
+    stopped_ = true;
+    // Closing lets consumers drain what is queued, then exit.
+    for (auto& q : queues_) q->Close();
+    for (auto& t : consumers_) {
+      if (t.joinable()) t.join();
+    }
   }
+  // Only after the consumers are gone: while they drain, a concurrent
+  // Compact() must still be able to quiesce this pipeline.
+  graph_->DetachParticipant(this);
 }
 
 IngestStats IngestPipeline::Stats() const {

@@ -14,6 +14,7 @@
 #define ZOOMER_STREAMING_INGEST_PIPELINE_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -57,7 +58,7 @@ struct IngestStats {
 /// adjacently clicked items. Exposed for tests and replay tooling.
 std::vector<EdgeEvent> SessionToEvents(const graph::SessionRecord& session);
 
-class IngestPipeline {
+class IngestPipeline : public CompactionParticipant {
  public:
   /// Hook invoked after a batch is applied, with the distinct nodes it
   /// touched. Runs on the shard consumer thread — keep it cheap (e.g.
@@ -66,6 +67,13 @@ class IngestPipeline {
 
   /// `log` and `graph` must outlive the pipeline. `engine` is optional; when
   /// present, per-shard update counts are reported into its stats.
+  /// Construction wires the streaming correctness plumbing: this pipeline
+  /// attaches to the graph as a CompactionParticipant (Compact() quiesces
+  /// it at a batch boundary, detached on Stop()), and every batch it cuts
+  /// marks its epoch pending on the graph atomically with issuance so
+  /// snapshots pin to the cross-shard watermark. Pipelines sharing one log
+  /// — even over different graphs — do not interfere: each marks only the
+  /// epochs it will itself apply.
   IngestPipeline(GraphDeltaLog* log, DynamicHeteroGraph* graph,
                  IngestOptions options,
                  engine::DistributedGraphEngine* engine = nullptr);
@@ -89,6 +97,13 @@ class IngestPipeline {
   /// Flushes, closes the queues, and joins the consumers. Idempotent.
   void Stop();
 
+  /// CompactionParticipant: parks shard consumers at a batch boundary (no
+  /// batch mid-apply, none starting) until EndQuiesce. Queued events simply
+  /// wait — they carry no epoch yet, so the compaction cannot split or drop
+  /// them. Called by DynamicHeteroGraph::Compact(); also usable directly.
+  void BeginQuiesce() override;
+  void EndQuiesce() override;
+
   IngestStats Stats() const;
   int64_t events_dropped() const {
     return events_dropped_.load(std::memory_order_acquire);
@@ -109,6 +124,12 @@ class IngestPipeline {
   std::atomic<bool> started_{false};
   bool stopped_ = false;  // guarded by lifecycle_mu_
   std::mutex lifecycle_mu_;
+
+  // Compaction quiescence handshake state.
+  std::mutex quiesce_mu_;
+  std::condition_variable quiesce_cv_;
+  int quiesce_requests_ = 0;  // active BeginQuiesce holds
+  int active_applies_ = 0;    // consumers currently inside CutBatch
 
   std::atomic<int64_t> sessions_{0};
   std::atomic<int64_t> events_offered_{0};

@@ -1,0 +1,25 @@
+#include "streaming/training_freshness.h"
+
+#include "common/logging.h"
+
+namespace zoomer {
+namespace streaming {
+
+void AttachTrainingFreshness(core::ZoomerModel* model,
+                             core::ZoomerTrainer* trainer,
+                             DynamicGraphView* view,
+                             IngestPipeline* pipeline) {
+  ZCHECK(model != nullptr);
+  ZCHECK(trainer != nullptr);
+  ZCHECK(view != nullptr);
+  ZCHECK(pipeline != nullptr);
+  model->AttachGraphView(view);
+  pipeline->AddUpdateListener(
+      [trainer](const std::vector<graph::NodeId>&) {
+        trainer->NotifyGraphUpdate();
+      });
+  trainer->SetGraphRefreshHook([view] { return view->Refresh(); });
+}
+
+}  // namespace streaming
+}  // namespace zoomer

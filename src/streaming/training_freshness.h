@@ -1,0 +1,33 @@
+// Training-freshness wiring (ROADMAP: "delta-aware ROI sampling so training
+// — not just serving — sees fresh edges"). One call connects the four ends:
+//   - the model's ROI sampler reads through the dynamic GraphView,
+//   - the ingest pipeline's update hook signals the trainer that new delta
+//     batches landed,
+//   - the trainer re-pins the view at the next minibatch boundary, so
+//     mini-batches drawn mid-ingest score freshly arrived clicks without an
+//     intervening Compact().
+// Must run before pipeline->Start() (listener registration requirement).
+// The view is read/refreshed only on the training thread; ingest threads
+// only bump an atomic counter.
+#ifndef ZOOMER_STREAMING_TRAINING_FRESHNESS_H_
+#define ZOOMER_STREAMING_TRAINING_FRESHNESS_H_
+
+#include "core/trainer.h"
+#include "core/zoomer_model.h"
+#include "streaming/dynamic_graph_view.h"
+#include "streaming/ingest_pipeline.h"
+
+namespace zoomer {
+namespace streaming {
+
+/// Attaches `view` to the model, registers the trainer's update signal as a
+/// pipeline listener, and installs the view-refresh hook on the trainer.
+/// All four objects must outlive the training run.
+void AttachTrainingFreshness(core::ZoomerModel* model,
+                             core::ZoomerTrainer* trainer,
+                             DynamicGraphView* view, IngestPipeline* pipeline);
+
+}  // namespace streaming
+}  // namespace zoomer
+
+#endif  // ZOOMER_STREAMING_TRAINING_FRESHNESS_H_

@@ -101,6 +101,30 @@ TEST(RoiSamplerTest, FocalTopKSelectsRelevantNeighbors) {
   }
 }
 
+TEST(RoiSamplerTest, GraphViewPathMatchesCsrOverload) {
+  // The HeteroGraph overloads wrap CsrGraphView; sampling through an
+  // explicit view must be bit-identical for the deterministic focal-top-k
+  // kind (same scores, same tiebreaks, same rng consumption).
+  HeteroGraph g = MakeStarGraph(6, 6);
+  RoiSamplerOptions opt;
+  opt.k = 4;
+  opt.num_hops = 1;
+  RoiSampler sampler(opt);
+  graph::CsrGraphView view(g);
+  auto fc_csr = sampler.FocalVector(g, {0, 1});
+  auto fc_view = sampler.FocalVector(view, {0, 1});
+  EXPECT_EQ(fc_csr, fc_view);
+  Rng r1(3), r2(3);
+  RoiSubgraph a = sampler.Sample(g, 0, fc_csr, &r1);
+  RoiSubgraph b = sampler.Sample(view, 0, fc_view, &r2);
+  ASSERT_EQ(a.size(), b.size());
+  for (int i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.nodes[i].id, b.nodes[i].id);
+    EXPECT_EQ(a.nodes[i].depth, b.nodes[i].depth);
+    EXPECT_EQ(a.nodes[i].parent, b.nodes[i].parent);
+  }
+}
+
 TEST(RoiSamplerTest, RelevanceScoresDecreaseInSelectionOrder) {
   HeteroGraph g = MakeStarGraph(8, 8);
   RoiSamplerOptions opt;

@@ -3,6 +3,7 @@
 // with the load generator.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <set>
@@ -103,12 +104,21 @@ TEST(AnnIndexTest, SearchFasterThanExactOnLargeIndex) {
   AnnIndex index(opt);
   ASSERT_TRUE(index.Build(vecs, n, dim, ids).ok());
   std::vector<float> query(dim, 0.5f);
-  WallTimer t1;
-  for (int i = 0; i < 50; ++i) index.Search(query.data(), 10);
-  const double approx_time = t1.ElapsedMicros();
-  WallTimer t2;
-  for (int i = 0; i < 50; ++i) index.SearchExact(query.data(), 10);
-  const double exact_time = t2.ElapsedMicros();
+  // Best-of-N timing: a single measurement loses to preemption when the
+  // suite shares cores with parallel ctest; the minimum over several short
+  // windows is robust to context switches.
+  auto best_of = [](auto&& fn) {
+    double best = 1e30;
+    for (int rep = 0; rep < 5; ++rep) {
+      WallTimer t;
+      for (int i = 0; i < 20; ++i) fn();
+      best = std::min(best, t.ElapsedMicros());
+    }
+    return best;
+  };
+  const double approx_time = best_of([&] { index.Search(query.data(), 10); });
+  const double exact_time =
+      best_of([&] { index.SearchExact(query.data(), 10); });
   EXPECT_LT(approx_time, exact_time);
 }
 
@@ -255,10 +265,21 @@ TEST(OnlineServerTest, LoadGeneratorMeasuresThroughput) {
   std::vector<ServingRequest> pool;
   for (int i = 0; i < 50; ++i) pool.push_back({ds.test[i].user, ds.test[i].query});
   for (const auto& r : pool) server->WarmCache({r.user, r.query});
-  auto result = RunLoad(server.get(), pool, /*qps=*/500, /*duration=*/0.5,
+  // Offered load and throughput floors scale with the machine so the test
+  // neither starves small CI runners nor under-exercises big ones (the old
+  // hard-coded 500-QPS/200-floor pair was CPU-count sensitive and needed a
+  // RUN_SERIAL workaround).
+  const unsigned hw = std::max(2u, std::thread::hardware_concurrency());
+  const double offered_qps = 125.0 * std::min(hw, 8u);  // 250..1000
+  const double duration_s = 0.5;
+  auto result = RunLoad(server.get(), pool, offered_qps, duration_s,
                         /*client_threads=*/2, /*seed=*/3);
-  EXPECT_GT(result.requests, 100);
-  EXPECT_GT(result.achieved_qps, 200.0);
+  // Expect at least 40% of the offered load to complete within the window —
+  // cache-warmed requests are microseconds of work, so anything lower means
+  // the harness (not the server) is starved.
+  EXPECT_GT(result.requests,
+            static_cast<int64_t>(offered_qps * duration_s * 0.4));
+  EXPECT_GT(result.achieved_qps, offered_qps * 0.4);
   EXPECT_GT(result.p99_ms, 0.0);
   EXPECT_GE(result.p99_ms, result.p50_ms);
 }

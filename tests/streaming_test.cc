@@ -1,23 +1,32 @@
 // Tests for the streaming graph-update subsystem: delta-log epochs,
 // delta-overlay sampling correctness against exact weights, epoch-snapshot
-// isolation under concurrent ingest, compaction, cache invalidation with
-// fill dedup, and end-to-end freshness at the serving layer.
+// isolation under concurrent ingest, the cross-shard watermark epoch,
+// compaction (including mid-ingest quiescence), GraphView base+delta parity
+// against a compacted CSR, cache invalidation with fill dedup, end-to-end
+// freshness at the serving layer, and training-time freshness through the
+// dynamic GraphView.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <map>
 #include <thread>
 
 #include "common/random.h"
+#include "core/roi_sampler.h"
+#include "core/trainer.h"
+#include "core/zoomer_model.h"
 #include "data/session_stream.h"
 #include "data/taobao_generator.h"
 #include "engine/distributed_graph_engine.h"
 #include "serving/neighbor_cache.h"
 #include "serving/online_server.h"
+#include "streaming/dynamic_graph_view.h"
 #include "streaming/dynamic_hetero_graph.h"
 #include "streaming/graph_delta_log.h"
 #include "streaming/ingest_pipeline.h"
+#include "streaming/training_freshness.h"
 
 namespace zoomer {
 namespace streaming {
@@ -50,12 +59,44 @@ HeteroGraph MakeTinyGraph(int num_items,
   return b.Build();
 }
 
+/// When `track` is set, the epoch is marked pending on that graph atomically
+/// with issuance (as the ingest pipeline does), enabling watermark pinning.
 DeltaBatch MakeBatch(GraphDeltaLog* log, int shard,
-                     std::vector<EdgeEvent> events) {
+                     std::vector<EdgeEvent> events,
+                     DynamicHeteroGraph* track = nullptr) {
   DeltaBatch batch;
   batch.events = std::move(events);
-  batch.epoch = log->Append(shard, batch.events);
+  batch.epoch =
+      track == nullptr
+          ? log->Append(shard, batch.events)
+          : log->Append(shard, batch.events,
+                        [track](uint64_t e) { track->NoteEpochIssued(e); });
   return batch;
+}
+
+/// Like MakeTinyGraph but with distinct random content vectors (so focal
+/// relevance scores are tie-free) and weighted base query-item edges on the
+/// first half of the items.
+HeteroGraph MakeContentGraph(int num_items, uint64_t seed) {
+  Rng rng(seed);
+  HeteroGraphBuilder b(kDim);
+  auto content = [&rng] {
+    std::vector<float> c(kDim);
+    for (auto& x : c) x = 0.05f + rng.UniformFloat();
+    return c;
+  };
+  b.AddNode(NodeType::kUser, content(), {0});
+  b.AddNode(NodeType::kQuery, content(), {1});
+  for (int i = 0; i < num_items; ++i) {
+    b.AddNode(NodeType::kItem, content(), {2});
+  }
+  EXPECT_TRUE(b.AddEdge(0, 1, RelationKind::kClick, 1.0f).ok());
+  for (int i = 0; i < num_items / 2; ++i) {
+    EXPECT_TRUE(b.AddEdge(1, 2 + static_cast<NodeId>(i), RelationKind::kClick,
+                          0.5f + 3.0f * rng.UniformFloat())
+                    .ok());
+  }
+  return b.Build();
 }
 
 // --- GraphDeltaLog --------------------------------------------------------
@@ -238,6 +279,72 @@ TEST(DynamicGraphTest, SnapshotStableUnderConcurrentIngest) {
   EXPECT_GT(dyn.num_delta_entries(), 0);
 }
 
+TEST(DynamicGraphTest, WatermarkExcludesIssuedButUnappliedEpochs) {
+  // Regression for the cross-shard ordering bug: shard 0's batch draws a
+  // lower epoch than shard 1's but applies later. Snapshots used to pin to
+  // the max applied epoch, so the late lower-epoch apply surfaced
+  // retroactively inside live snapshots. With the watermark, snapshots pin
+  // below the oldest issued-but-unapplied epoch and stay immutable.
+  HeteroGraph g = MakeTinyGraph(6);
+  GraphDeltaLog log(2);
+  DynamicHeteroGraph dyn(&g);
+
+  DeltaBatch slow =
+      MakeBatch(&log, 0, {{1, 2, RelationKind::kClick, 1.0f, 0}}, &dyn);
+  DeltaBatch fast =
+      MakeBatch(&log, 1, {{1, 3, RelationKind::kClick, 1.0f, 0}}, &dyn);
+  ASSERT_LT(slow.epoch, fast.epoch);
+  ASSERT_TRUE(dyn.ApplyBatch(fast).ok());  // out of order: fast lands first
+
+  EXPECT_EQ(dyn.epoch(), fast.epoch);
+  EXPECT_EQ(dyn.watermark_epoch(), slow.epoch - 1);
+  auto snap = dyn.MakeSnapshot();
+  EXPECT_EQ(snap.epoch(), slow.epoch - 1);
+  EXPECT_EQ(snap.Degree(1), 1);  // base user edge only; neither delta visible
+
+  // The interleaving the old code mishandled: the lower-epoch batch lands
+  // while the snapshot is live. The snapshot must not change.
+  ASSERT_TRUE(dyn.ApplyBatch(slow).ok());
+  EXPECT_EQ(snap.Degree(1), 1);
+
+  // Once nothing is pending, a fresh snapshot surfaces both batches.
+  EXPECT_EQ(dyn.watermark_epoch(), fast.epoch);
+  auto fresh = dyn.MakeSnapshot();
+  EXPECT_EQ(fresh.epoch(), fast.epoch);
+  EXPECT_EQ(fresh.Degree(1), 3);
+}
+
+TEST(DynamicGraphTest, RejectedBatchDoesNotFreezeWatermark) {
+  // A batch that fails ApplyBatch validation will never apply; its pending
+  // mark must be retired or the watermark would pin every later snapshot
+  // below it forever.
+  HeteroGraph g = MakeTinyGraph(4);
+  GraphDeltaLog log(1);
+  DynamicHeteroGraph dyn(&g);
+  DeltaBatch bad =
+      MakeBatch(&log, 0, {{1, 99, RelationKind::kClick, 1.0f, 0}}, &dyn);
+  EXPECT_FALSE(dyn.ApplyBatch(bad).ok());
+  DeltaBatch good =
+      MakeBatch(&log, 0, {{1, 2, RelationKind::kClick, 1.0f, 0}}, &dyn);
+  ASSERT_TRUE(dyn.ApplyBatch(good).ok());
+  EXPECT_EQ(dyn.watermark_epoch(), good.epoch);
+  EXPECT_EQ(dyn.MakeSnapshot().Degree(1), 2);  // base edge + fresh delta
+}
+
+TEST(DynamicGraphTest, WatermarkEqualsEpochWithoutObserver) {
+  // Untracked issuance (no pipeline, no observer): behaves exactly as the
+  // pre-watermark code — snapshots pin to the max applied epoch.
+  HeteroGraph g = MakeTinyGraph(4);
+  GraphDeltaLog log(1);
+  DynamicHeteroGraph dyn(&g);
+  ASSERT_TRUE(
+      dyn.ApplyBatch(
+             MakeBatch(&log, 0, {{1, 2, RelationKind::kClick, 1.0f, 0}}))
+          .ok());
+  EXPECT_EQ(dyn.watermark_epoch(), dyn.epoch());
+  EXPECT_EQ(dyn.MakeSnapshot().epoch(), dyn.epoch());
+}
+
 TEST(DynamicGraphTest, CompactFoldsDeltasIntoBase) {
   HeteroGraph g = MakeTinyGraph(4, {1.0f, 3.0f});
   GraphDeltaLog log(1);
@@ -299,6 +406,270 @@ TEST(DynamicGraphTest, ReplayFromLogRebuildsView) {
     EXPECT_EQ(a.Degree(v), b.Degree(v));
     EXPECT_DOUBLE_EQ(a.TotalWeight(v), b.TotalWeight(v));
   }
+}
+
+// --- GraphView parity: base+delta vs compacted CSR ------------------------
+
+/// The same delta set applied to two replicas: one kept as an overlay, the
+/// other folded by Compact(). ROI sampling through the dynamic GraphView
+/// must match sampling over the compacted CSR.
+struct ParityFixture {
+  HeteroGraph overlay_base;
+  HeteroGraph folded_base;
+  GraphDeltaLog overlay_log{1};
+  GraphDeltaLog folded_log{1};
+  std::unique_ptr<DynamicHeteroGraph> overlay;
+  std::unique_ptr<DynamicHeteroGraph> folded;
+
+  explicit ParityFixture(int num_items, uint64_t seed)
+      : overlay_base(MakeContentGraph(num_items, seed)),
+        folded_base(MakeContentGraph(num_items, seed)) {
+    overlay = std::make_unique<DynamicHeteroGraph>(&overlay_base);
+    folded = std::make_unique<DynamicHeteroGraph>(&folded_base);
+    // Fresh edges to the second half of the items plus weight increments on
+    // already-connected ones, mirroring accumulating click traffic.
+    std::vector<EdgeEvent> deltas;
+    Rng rng(seed + 1);
+    for (int i = num_items / 2; i < num_items; ++i) {
+      deltas.push_back({1, 2 + static_cast<NodeId>(i), RelationKind::kClick,
+                        0.5f + 2.0f * rng.UniformFloat(), 0});
+    }
+    for (int i = 0; i < num_items / 4; ++i) {
+      deltas.push_back({1, 2 + static_cast<NodeId>(i), RelationKind::kClick,
+                        1.0f, 0});
+    }
+    EXPECT_TRUE(
+        overlay->ApplyBatch(MakeBatch(&overlay_log, 0, deltas)).ok());
+    EXPECT_TRUE(folded->ApplyBatch(MakeBatch(&folded_log, 0, deltas)).ok());
+    EXPECT_TRUE(folded->Compact().ok());
+  }
+};
+
+TEST(GraphViewParityTest, FocalTopKRoiIdenticalOverlayVsCompacted) {
+  ParityFixture fx(12, 99);
+  DynamicGraphView overlay_view(fx.overlay.get());
+  DynamicGraphView folded_view(fx.folded.get());
+  ASSERT_GT(fx.overlay->num_delta_entries(), 0);
+  ASSERT_EQ(fx.folded->num_delta_entries(), 0);  // folded into the CSR
+
+  core::RoiSamplerOptions opt;
+  opt.k = 5;
+  opt.num_hops = 2;
+  opt.kind = core::SamplerKind::kFocalTopK;
+  core::RoiSampler sampler(opt);
+  auto fc_a = sampler.FocalVector(overlay_view, {0, 1});
+  auto fc_b = sampler.FocalVector(folded_view, {0, 1});
+  EXPECT_EQ(fc_a, fc_b);
+
+  for (uint64_t seed : {1u, 7u, 31u}) {
+    Rng ra(seed), rb(seed);
+    auto a = sampler.Sample(overlay_view, 1, fc_a, &ra);
+    auto b = sampler.Sample(folded_view, 1, fc_b, &rb);
+    // Tie-free relevance scores make focal top-k fully deterministic: the
+    // two views must select the same tree, not merely similar ones.
+    ASSERT_EQ(a.size(), b.size());
+    for (int i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a.nodes[i].id, b.nodes[i].id);
+      EXPECT_EQ(a.nodes[i].depth, b.nodes[i].depth);
+      EXPECT_EQ(a.nodes[i].parent, b.nodes[i].parent);
+      // Coalesced-weight float summation order differs between the overlay
+      // merge and the compacted builder; allow rounding slack only.
+      EXPECT_NEAR(a.nodes[i].edge_weight, b.nodes[i].edge_weight, 1e-4f);
+    }
+  }
+}
+
+TEST(GraphViewParityTest, WeightedEdgeDistributionMatchesCompacted) {
+  ParityFixture fx(10, 41);
+  DynamicGraphView overlay_view(fx.overlay.get());
+  DynamicGraphView folded_view(fx.folded.get());
+
+  core::RoiSamplerOptions opt;
+  opt.k = 1;
+  opt.num_hops = 1;
+  opt.kind = core::SamplerKind::kWeightedEdge;
+  core::RoiSampler sampler(opt);
+  auto fc = sampler.FocalVector(overlay_view, {0, 1});
+
+  // With k = 1 each ROI holds the ego plus one weighted draw; empirical
+  // child frequencies from the two views must agree (two-level overlay
+  // resampling vs a rebuilt alias table over the identical merged weights).
+  const int draws = 40000;
+  auto frequencies = [&](const graph::GraphView& view, uint64_t seed) {
+    Rng rng(seed);
+    std::map<NodeId, double> freq;
+    for (int i = 0; i < draws; ++i) {
+      auto roi = sampler.Sample(view, 1, fc, &rng);
+      if (roi.size() > 1) freq[roi.nodes[1].id] += 1.0 / draws;
+    }
+    return freq;
+  };
+  auto fa = frequencies(overlay_view, 5);
+  auto fb = frequencies(folded_view, 6);
+  std::map<NodeId, double> support = fa;
+  for (const auto& [id, p] : fb) support.emplace(id, 0.0);
+  ASSERT_GE(support.size(), 10u);  // both halves of the item range show up
+  for (const auto& [id, unused] : support) {
+    EXPECT_NEAR(fa[id], fb[id], 0.015) << "child " << id;
+  }
+}
+
+// --- Mid-ingest compaction quiescence --------------------------------------
+
+TEST(IngestPipelineTest, MidIngestCompactionPreservesEveryDelta) {
+  // Compact() used to require a caller-managed Flush(); invoking it while
+  // batches were mid-apply could split a batch across base and overlay. The
+  // quiescence handshake parks consumers at batch boundaries, so hammering
+  // Compact() during ingestion must conserve every applied half-edge.
+  HeteroGraph g = MakeTinyGraph(40);
+  double base_total = 0.0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (float w : g.neighbor_weights(v)) base_total += w;
+  }
+  GraphDeltaLog log(4);
+  DynamicHeteroGraph dyn(&g);
+  IngestOptions iopt;
+  iopt.num_shards = 4;
+  iopt.batch_size = 8;
+  IngestPipeline pipeline(&log, &dyn, iopt);
+  pipeline.Start();
+
+  std::atomic<bool> stop_compactor{false};
+  std::atomic<int> compactions{0};
+  std::thread compactor([&] {
+    while (!stop_compactor.load()) {
+      auto folded = dyn.Compact();
+      ASSERT_TRUE(folded.ok()) << folded.status().ToString();
+      compactions.fetch_add(1);
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+
+  Rng rng(3);
+  for (int i = 0; i < 400; ++i) {
+    graph::SessionRecord session;
+    session.user = 0;
+    session.query = 1;
+    session.clicks = {2 + static_cast<NodeId>(rng.Uniform(40)),
+                      2 + static_cast<NodeId>(rng.Uniform(40))};
+    ASSERT_TRUE(pipeline.Offer(session));
+  }
+  pipeline.Flush();
+  stop_compactor.store(true);
+  compactor.join();
+
+  auto stats = pipeline.Stats();
+  EXPECT_EQ(stats.events_applied, stats.events);
+  EXPECT_EQ(pipeline.events_dropped(), 0);
+  EXPECT_GT(compactions.load(), 0);
+
+  // Mass conservation: every applied event added weight 1 to each endpoint,
+  // whether it now lives in the rebuilt CSR or a delta overlay.
+  auto snap = dyn.MakeSnapshot();
+  double total = 0.0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) total += snap.TotalWeight(v);
+  EXPECT_NEAR(total, base_total + 2.0 * stats.events_applied, 0.5);
+
+  // A final quiesced compaction folds the remainder and truncates cleanly.
+  auto folded = dyn.Compact();
+  ASSERT_TRUE(folded.ok());
+  log.Truncate(folded.value());
+  EXPECT_EQ(dyn.num_delta_entries(), 0);
+  EXPECT_EQ(log.Stats().total_events, 0);
+  pipeline.Stop();
+}
+
+// --- Training freshness through the dynamic GraphView -----------------------
+
+TEST(TrainingFreshnessTest, MidIngestRoiSampleSeesFreshEdgesWithoutCompact) {
+  // Acceptance: edges ingested mid-training are returned by the very next
+  // RoiSampler::Sample through the dynamic GraphView — no Compact() needed.
+  HeteroGraph g = MakeTinyGraph(10, {1.0f, 1.0f});
+  GraphDeltaLog log(2);
+  DynamicHeteroGraph dyn(&g);
+  DynamicGraphView view(&dyn);
+
+  core::RoiSamplerOptions opt;
+  opt.k = 10;
+  opt.num_hops = 1;
+  core::RoiSampler sampler(opt);
+  Rng rng(7);
+  auto fc = sampler.FocalVector(view, {0, 1});
+  const NodeId fresh_item = 2 + 7;
+  auto before = sampler.Sample(view, 1, fc, &rng);
+  for (const auto& n : before.nodes) EXPECT_NE(n.id, fresh_item);
+
+  IngestOptions iopt;
+  iopt.num_shards = 2;
+  IngestPipeline pipeline(&log, &dyn, iopt);
+  pipeline.Start();
+  graph::SessionRecord session;
+  session.user = 0;
+  session.query = 1;
+  session.clicks = {fresh_item};
+  ASSERT_TRUE(pipeline.Offer(session));
+  pipeline.Flush();
+
+  const auto base_before = dyn.base();
+  view.Refresh();
+  auto after = sampler.Sample(view, 1, fc, &rng);
+  bool found = false;
+  for (const auto& n : after.nodes) {
+    found |= n.id == fresh_item && n.depth == 1;
+  }
+  EXPECT_TRUE(found);
+  // The fresh edge came from the overlay, not from a compaction.
+  EXPECT_EQ(dyn.base(), base_before);
+  EXPECT_GT(dyn.num_delta_entries(), 0);
+  pipeline.Stop();
+}
+
+TEST(TrainingFreshnessTest, TrainerRefreshesViewAtBatchBoundaries) {
+  data::TaobaoGeneratorOptions gopt;
+  gopt.num_users = 40;
+  gopt.num_queries = 30;
+  gopt.num_items = 80;
+  gopt.num_sessions = 300;
+  gopt.num_categories = 5;
+  gopt.content_dim = 8;
+  gopt.seed = 13;
+  auto ds = data::GenerateTaobaoDataset(gopt);
+
+  GraphDeltaLog log(2);
+  DynamicHeteroGraph dyn(&ds.graph);
+  DynamicGraphView view(&dyn);
+  core::ZoomerConfig cfg;
+  cfg.hidden_dim = 4;
+  cfg.sampler.k = 2;
+  cfg.sampler.num_hops = 1;
+  core::ZoomerModel model(&ds.graph, cfg);
+  core::TrainOptions topt;
+  topt.epochs = 1;
+  topt.batch_size = 16;
+  topt.max_examples_per_epoch = 48;
+  core::ZoomerTrainer trainer(&model, topt);
+  IngestOptions iopt;
+  iopt.num_shards = 2;
+  IngestPipeline pipeline(&log, &dyn, iopt);
+  AttachTrainingFreshness(&model, &trainer, &view, &pipeline);
+  EXPECT_EQ(&model.view(), &view);
+  pipeline.Start();
+
+  // Land live traffic before the run so the first batch boundary must
+  // observe it (deterministic; a concurrent feeder would also work).
+  data::LiveSessionOptions lopt;
+  lopt.num_sessions = 50;
+  lopt.seed = 5;
+  pipeline.OfferLog(data::SynthesizeLiveSessions(ds, lopt));
+  pipeline.Flush();
+  ASSERT_GT(dyn.epoch(), 0u);
+  EXPECT_EQ(view.epoch(), 0u);  // not yet re-pinned
+
+  auto result = trainer.Train(ds);
+  EXPECT_GT(result.graph_refreshes, 0);
+  EXPECT_EQ(result.graph_epoch, dyn.epoch());
+  EXPECT_EQ(view.epoch(), dyn.epoch());
+  pipeline.Stop();
 }
 
 // --- NeighborCache streaming integration ----------------------------------
