@@ -75,6 +75,8 @@ GnnBaselineConfig GnnBaselineConfig::PinSage(int hidden_dim, int k,
 GnnBaselineModel::GnnBaselineModel(const graph::HeteroGraph* g,
                                    const GnnBaselineConfig& config)
     : graph_(g),
+      base_view_(g),
+      view_(&base_view_),
       config_(config),
       sampler_(config.sampler),
       init_rng_(config.seed) {
@@ -97,8 +99,8 @@ GnnBaselineModel::GnnBaselineModel(const graph::HeteroGraph* g,
 }
 
 Tensor GnnBaselineModel::NodeEmbedding(NodeId node) const {
-  Tensor z = MeanRows(slots_.Lookup(*graph_, node));
-  const int t = static_cast<int>(graph_->node_type(node));
+  Tensor z = MeanRows(slots_.Lookup(*view_, node));
+  const int t = static_cast<int>(view_->node_type(node));
   return Tanh(type_map_[t].Forward(z));
 }
 
@@ -113,7 +115,7 @@ Tensor GnnBaselineModel::AggregateNode(const RoiSubgraph& roi,
   std::array<std::vector<Tensor>, kNumNodeTypes> by_type;
   std::array<std::vector<float>, kNumNodeTypes> importance;
   for (int c = cb; c < ce; ++c) {
-    const int t = static_cast<int>(graph_->node_type(roi.nodes[c].id));
+    const int t = static_cast<int>(view_->node_type(roi.nodes[c].id));
     by_type[t].push_back(AggregateNode(roi, c));
     importance[t].push_back(
         static_cast<float>(std::max(roi.nodes[c].relevance, 1e-3)));
@@ -182,10 +184,12 @@ Tensor GnnBaselineModel::AggregateNode(const RoiSubgraph& roi,
 
 Tensor GnnBaselineModel::EgoEmbedding(NodeId ego, Rng* rng) const {
   // Static samplers ignore the focal vector except for bookkeeping; the ego
-  // content stands in so the RoiSampler API stays uniform.
-  std::vector<float> fc(graph_->content(ego),
-                        graph_->content(ego) + graph_->content_dim());
-  RoiSubgraph roi = sampler_.Sample(*graph_, ego, fc, rng);
+  // content stands in so the RoiSampler API stays uniform. Sampling runs
+  // through the active view, so an attached dynamic view lets every
+  // baseline score freshly ingested edges.
+  std::vector<float> fc(view_->content(ego),
+                        view_->content(ego) + view_->content_dim());
+  RoiSubgraph roi = sampler_.Sample(*view_, ego, fc, rng);
   return AggregateNode(roi, 0);
 }
 

@@ -58,6 +58,16 @@ class GnnBaselineModel : public core::ScoringModel {
   GnnBaselineModel(const graph::HeteroGraph* g,
                    const GnnBaselineConfig& config);
 
+  /// Routes sampling and feature lookups through `view` — attach a
+  /// streaming::DynamicGraphView so the baselines, like ZoomerModel, train
+  /// and score over base+delta neighborhoods without waiting for Compact().
+  /// The view must describe the same node space as the construction graph
+  /// and outlive the model; nullptr restores the static CSR view.
+  void AttachGraphView(const graph::GraphView* view) {
+    view_ = view != nullptr ? view : &base_view_;
+  }
+  const graph::GraphView& view() const { return *view_; }
+
   std::string name() const override { return config_.name; }
   int embedding_dim() const override { return config_.hidden_dim; }
 
@@ -79,6 +89,8 @@ class GnnBaselineModel : public core::ScoringModel {
   tensor::Tensor EgoEmbedding(graph::NodeId ego, Rng* rng) const;
 
   const graph::HeteroGraph* graph_;
+  graph::CsrGraphView base_view_;  // default static view over graph_
+  const graph::GraphView* view_;   // active view (never null)
   GnnBaselineConfig config_;
   core::RoiSampler sampler_;
   mutable Rng init_rng_;

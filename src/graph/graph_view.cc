@@ -5,6 +5,26 @@
 namespace zoomer {
 namespace graph {
 
+NeighborBlock GraphView::NeighborsOfType(NodeId id, NodeType t,
+                                         NeighborScratch* scratch) const {
+  const NeighborBlock all = Neighbors(id, scratch);
+  // The merged block may already live in the scratch vectors, so filter
+  // into fresh locals before overwriting them.
+  std::vector<NodeId> ids;
+  std::vector<float> weights;
+  std::vector<RelationKind> kinds;
+  for (int64_t i = 0; i < all.size(); ++i) {
+    if (node_type(all.ids[i]) != t) continue;
+    ids.push_back(all.ids[i]);
+    weights.push_back(all.weights[i]);
+    kinds.push_back(all.kinds[i]);
+  }
+  scratch->ids = std::move(ids);
+  scratch->weights = std::move(weights);
+  scratch->kinds = std::move(kinds);
+  return {scratch->ids, scratch->weights, scratch->kinds};
+}
+
 std::vector<NodeId> GraphView::SampleDistinctNeighbors(NodeId id, int k,
                                                        Rng* rng) const {
   std::vector<NodeId> seen;

@@ -44,6 +44,19 @@ struct NeighborScratch {
   std::vector<RelationKind> kinds;
 };
 
+/// Zero-copy typed sub-block of a node's CSR neighbor arrays.
+/// HeteroGraph::TypedRange offsets are absolute into the global arrays;
+/// this rebases them onto the node's block so the parallel weight/kind
+/// spans line up — the one place that arithmetic lives.
+inline NeighborBlock TypedCsrBlock(const HeteroGraph& g, NodeId id,
+                                   NodeType t) {
+  const auto ids = g.neighbor_ids(id);
+  const auto typed = g.NeighborsOfType(id, t);
+  const size_t rel = static_cast<size_t>(typed.data() - ids.data());
+  return {typed, g.neighbor_weights(id).subspan(rel, typed.size()),
+          g.neighbor_kinds(id).subspan(rel, typed.size())};
+}
+
 /// Read interface shared by the static CSR and the streaming delta overlay.
 class GraphView {
  public:
@@ -66,6 +79,15 @@ class GraphView {
 
   /// Merged neighbor block of `id`; may resolve into `scratch`.
   virtual NeighborBlock Neighbors(NodeId id, NeighborScratch* scratch) const = 0;
+
+  /// Neighbors of `id` whose endpoint is of type `t` — the grouping
+  /// edge-level attention consumes (it only compares neighbors of one
+  /// type). The static view hands out the CSR's contiguous typed sub-range
+  /// zero-copy; the dynamic view merges the typed base range with only the
+  /// matching delta entries (no full-neighborhood merge). The default
+  /// filters Neighbors() into `scratch`, correct for any view.
+  virtual NeighborBlock NeighborsOfType(NodeId id, NodeType t,
+                                        NeighborScratch* scratch) const;
 
   /// One weighted neighbor draw (alias table on the static path, two-level
   /// base+delta resampling on the dynamic path). -1 for isolated nodes.
@@ -99,6 +121,10 @@ class CsrGraphView final : public GraphView {
   NeighborBlock Neighbors(NodeId id, NeighborScratch*) const override {
     return {g_->neighbor_ids(id), g_->neighbor_weights(id),
             g_->neighbor_kinds(id)};
+  }
+  NeighborBlock NeighborsOfType(NodeId id, NodeType t,
+                                NeighborScratch*) const override {
+    return TypedCsrBlock(*g_, id, t);
   }
   NodeId SampleNeighbor(NodeId id, Rng* rng) const override {
     return g_->SampleNeighbor(id, rng);

@@ -1,0 +1,60 @@
+// Scheduled compaction (ROADMAP streaming follow-up): a janitor policy that
+// watches the delta overlay and triggers DynamicHeteroGraph::Compact() —
+// safe mid-ingest since PR 2's quiescence handshake — once any configured
+// threshold is crossed: overlay entry count, overlay resident bytes, or the
+// age of the oldest un-compacted deltas (measured on the injectable
+// LogicalClock so tests are deterministic). After a successful fold the
+// policy truncates the delta log through the folded epoch, so callers no
+// longer manage the Compact()/Truncate() pair themselves.
+#ifndef ZOOMER_MAINTENANCE_COMPACTION_POLICY_H_
+#define ZOOMER_MAINTENANCE_COMPACTION_POLICY_H_
+
+#include <cstdint>
+
+#include "common/clock.h"
+#include "maintenance/maintenance_policy.h"
+#include "streaming/dynamic_hetero_graph.h"
+#include "streaming/graph_delta_log.h"
+
+namespace zoomer {
+namespace maintenance {
+
+struct CompactionPolicyOptions {
+  /// Fold once the overlay holds this many delta half-edges. 0 disables.
+  int64_t max_delta_entries = 50000;
+  /// Fold once the overlay resident size crosses this. 0 disables.
+  size_t max_overlay_bytes = 0;
+  /// Fold once deltas have been pending this long since the policy first
+  /// saw a non-empty overlay. 0 disables; requires a clock when set.
+  int64_t max_delta_age_seconds = 0;
+};
+
+class CompactionPolicy final : public MaintenancePolicy {
+ public:
+  /// `log` is optional (nullptr skips truncation); `clock` may be null
+  /// unless max_delta_age_seconds is set. All must outlive the scheduler.
+  CompactionPolicy(streaming::DynamicHeteroGraph* graph,
+                   streaming::GraphDeltaLog* log, const LogicalClock* clock,
+                   CompactionPolicyOptions options);
+
+  const char* name() const override { return "compaction"; }
+  StatusOr<MaintenanceReport> RunOnce() override;
+
+  int64_t compactions() const { return compactions_; }
+
+ private:
+  streaming::DynamicHeteroGraph* graph_;
+  streaming::GraphDeltaLog* log_;
+  const LogicalClock* clock_;
+  CompactionPolicyOptions options_;
+
+  /// Clock reading when the overlay last transitioned empty -> non-empty
+  /// (-1 while empty). Scheduler serializes RunOnce, so no locking.
+  int64_t deltas_pending_since_ = -1;
+  int64_t compactions_ = 0;
+};
+
+}  // namespace maintenance
+}  // namespace zoomer
+
+#endif  // ZOOMER_MAINTENANCE_COMPACTION_POLICY_H_

@@ -1,0 +1,219 @@
+#include "maintenance/hot_node_cache.h"
+
+#include <cstdlib>
+#include <utility>
+
+#include "common/logging.h"
+#include "streaming/dynamic_hetero_graph.h"
+
+namespace zoomer {
+namespace maintenance {
+
+using graph::NodeId;
+
+HotNodeOverlayCache::HotNodeOverlayCache(int64_t num_nodes,
+                                         HotNodeCacheOptions options)
+    : options_(options), slots_(static_cast<size_t>(num_nodes)) {
+  ZCHECK_GT(options_.min_delta_entries, 0);
+  ZCHECK_GE(num_nodes, 0);
+}
+
+HotNodeOverlayCache::~HotNodeOverlayCache() {
+  // Contract: no pins (snapshots) outlive the cache, so everything is
+  // reclaimable here.
+  for (auto& slot : slots_) delete slot.load(std::memory_order_acquire);
+  for (Entry* entry : retired_) delete entry;
+}
+
+std::shared_ptr<void> HotNodeOverlayCache::PinReaders() {
+  pins_.fetch_add(1, std::memory_order_acq_rel);
+  // The token is just a deleter; copies share one unpin.
+  return std::shared_ptr<void>(static_cast<void*>(this),
+                               [this](void*) { Unpin(); });
+}
+
+void HotNodeOverlayCache::Unpin() {
+  if (pins_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    std::lock_guard<std::mutex> lock(write_mu_);
+    MaybeReclaimLocked();
+  }
+}
+
+void HotNodeOverlayCache::RetireLocked(Entry* entry) {
+  retired_.push_back(entry);
+  MaybeReclaimLocked();
+}
+
+void HotNodeOverlayCache::MaybeReclaimLocked() {
+  // A pin taken after this check cannot reach the retired entries: they
+  // left the slot array before retirement, and Find() only chases current
+  // slot pointers.
+  if (pins_.load(std::memory_order_acquire) != 0) return;
+  for (Entry* entry : retired_) delete entry;
+  retired_.clear();
+}
+
+bool HotNodeOverlayCache::EntryValid(const Entry& entry,
+                                     uint64_t current_overlay_version,
+                                     uint64_t base_generation,
+                                     bool decay_active,
+                                     int64_t as_of_seconds,
+                                     const streaming::DecaySpec& spec) const {
+  if (entry.overlay_version != current_overlay_version) return false;
+  if (entry.base_generation != base_generation) return false;
+  if (entry.decayed != decay_active) return false;
+  if (decay_active) {
+    if (std::abs(as_of_seconds - entry.as_of_seconds) >
+        options_.decay_staleness_tolerance_seconds) {
+      return false;
+    }
+    // A per-view window must never serve another window's merge.
+    if (!(entry.spec == spec)) return false;
+  }
+  return true;
+}
+
+const HotNodeOverlayCache::Entry* HotNodeOverlayCache::Find(
+    NodeId node, uint64_t snapshot_epoch, uint64_t current_overlay_version,
+    uint64_t base_generation, bool decay_active, int64_t as_of_seconds,
+    const streaming::DecaySpec& spec) const {
+  const Entry* entry =
+      slots_[static_cast<size_t>(node)].load(std::memory_order_acquire);
+  if (entry != nullptr && snapshot_epoch >= entry->overlay_version &&
+      EntryValid(*entry, current_overlay_version, base_generation,
+                 decay_active, as_of_seconds, spec)) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return entry;
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return nullptr;
+}
+
+bool HotNodeOverlayCache::IsFresh(NodeId node,
+                                  uint64_t current_overlay_version,
+                                  uint64_t base_generation, bool decay_active,
+                                  int64_t as_of_seconds,
+                                  const streaming::DecaySpec& spec) const {
+  const Entry* entry =
+      slots_[static_cast<size_t>(node)].load(std::memory_order_acquire);
+  return entry != nullptr &&
+         EntryValid(*entry, current_overlay_version, base_generation,
+                    decay_active, as_of_seconds, spec);
+}
+
+bool HotNodeOverlayCache::Install(NodeId node, Entry entry) {
+  std::lock_guard<std::mutex> lock(write_mu_);
+  auto& slot = slots_[static_cast<size_t>(node)];
+  Entry* old = slot.load(std::memory_order_acquire);
+  if (old == nullptr) {
+    if (total_entries_.load(std::memory_order_acquire) >=
+        options_.max_entries) {
+      rejected_installs_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    total_entries_.fetch_add(1, std::memory_order_acq_rel);
+  }
+  slot.store(new Entry(std::move(entry)), std::memory_order_release);
+  if (old != nullptr) RetireLocked(old);
+  installs_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void HotNodeOverlayCache::Invalidate(NodeId node) {
+  if (static_cast<size_t>(node) >= slots_.size()) return;
+  auto& slot = slots_[static_cast<size_t>(node)];
+  // Lock-free peek first: ingest calls this for every touched node, and
+  // almost none of them are materialized.
+  if (slot.load(std::memory_order_acquire) == nullptr) return;
+  std::lock_guard<std::mutex> lock(write_mu_);
+  Entry* old = slot.exchange(nullptr, std::memory_order_acq_rel);
+  if (old == nullptr) return;
+  total_entries_.fetch_sub(1, std::memory_order_acq_rel);
+  invalidations_.fetch_add(1, std::memory_order_relaxed);
+  RetireLocked(old);
+}
+
+void HotNodeOverlayCache::Clear() {
+  std::lock_guard<std::mutex> lock(write_mu_);
+  size_t cleared = 0;
+  for (auto& slot : slots_) {
+    Entry* old = slot.exchange(nullptr, std::memory_order_acq_rel);
+    if (old == nullptr) continue;
+    ++cleared;
+    retired_.push_back(old);
+  }
+  total_entries_.fetch_sub(cleared, std::memory_order_acq_rel);
+  invalidations_.fetch_add(static_cast<int64_t>(cleared),
+                           std::memory_order_relaxed);
+  MaybeReclaimLocked();
+}
+
+size_t HotNodeOverlayCache::size() const {
+  return total_entries_.load(std::memory_order_acquire);
+}
+
+HotNodeCacheStats HotNodeOverlayCache::Stats() const {
+  HotNodeCacheStats stats;
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.installs = installs_.load(std::memory_order_relaxed);
+  stats.rejected_installs = rejected_installs_.load(std::memory_order_relaxed);
+  stats.invalidations = invalidations_.load(std::memory_order_relaxed);
+  stats.entries = size();
+  {
+    std::lock_guard<std::mutex> lock(write_mu_);
+    stats.retired = retired_.size();
+  }
+  return stats;
+}
+
+HotNodeRefreshPolicy::HotNodeRefreshPolicy(
+    streaming::DynamicHeteroGraph* graph, HotNodeOverlayCache* cache)
+    : graph_(graph), cache_(cache) {
+  ZCHECK(graph_ != nullptr);
+  ZCHECK(cache_ != nullptr);
+  graph_->AttachHotNodeCache(cache_);
+}
+
+HotNodeRefreshPolicy::~HotNodeRefreshPolicy() {
+  graph_->DetachHotNodeCache(cache_);
+}
+
+StatusOr<MaintenanceReport> HotNodeRefreshPolicy::RunOnce() {
+  MaintenanceReport report;
+  auto snap = graph_->MakeSnapshot();
+  const auto hot = graph_->DeltaNodes(cache_->options().min_delta_entries);
+  int installed = 0;
+  for (NodeId node : hot) {
+    // The merge below resolves everything visible at the snapshot's epoch;
+    // stamping it with the node's overlay version is only sound when that
+    // version (the node's max delta epoch) is itself covered. Nodes with
+    // entries beyond the watermark wait for the next pass.
+    const uint64_t version = graph_->node_epoch(node);
+    if (version == 0 || version > snap.epoch()) continue;
+    if (cache_->IsFresh(node, version, snap.base_generation(),
+                        snap.decay_active(), snap.as_of_seconds(),
+                        snap.decay_window())) {
+      continue;
+    }
+    HotNodeOverlayCache::Entry entry;
+    entry.overlay_version = version;
+    entry.base_generation = snap.base_generation();
+    entry.decayed = snap.decay_active();
+    entry.as_of_seconds = snap.as_of_seconds();
+    entry.spec = snap.decay_window();
+    snap.Neighbors(node, &entry.ids, &entry.weights, &entry.kinds);
+    entry.alias.Build(
+        std::vector<double>(entry.weights.begin(), entry.weights.end()));
+    if (cache_->Install(node, std::move(entry))) ++installed;
+  }
+  report.acted = installed > 0;
+  if (report.acted) {
+    report.detail = "materialized " + std::to_string(installed) + " of " +
+                    std::to_string(hot.size()) + " hot nodes";
+  }
+  return report;
+}
+
+}  // namespace maintenance
+}  // namespace zoomer

@@ -1,0 +1,200 @@
+// Materialized read path for delta-heavy ("hot") nodes. The dynamic overlay
+// keeps reads on hot nodes correct but slow: every draw pays a lock-shard
+// acquisition, an epoch upper_bound, and a two-level base+delta resample —
+// ~6-14x a static-CSR alias draw once a node accumulates hundreds of deltas
+// (ROADMAP: bench_streaming_freshness read-overhead item). This cache claws
+// that back by materializing, per hot node, the fully merged (coalesced)
+// neighbor list plus a rebuilt alias table, so snapshot sampling degrades to
+// one lock-free slot load + an O(1) alias draw.
+//
+// Read protocol (lock-free draws under a snapshot pin):
+//   - Entries live in a direct-indexed slot array (one atomic pointer per
+//     node). Readers never lock: Find() is an acquire load + stamp checks.
+//   - A reader first takes a Pin (DynamicHeteroGraph snapshots do this at
+//     construction and hold it for their lifetime). Replaced or invalidated
+//     entries are *retired*, not freed; retired memory is reclaimed only
+//     when the pin count returns to zero — so a pointer obtained through
+//     Find() stays valid for as long as the pin that covered the load.
+//     New pins cannot reach retired entries (they left the slots first),
+//     which keeps the reclamation check a plain counter.
+//
+// Consistency protocol (epoch-versioned, invalidated on apply/compact):
+//   - An entry is stamped with the node's overlay version (the node_epoch
+//     value its merge resolved — the max delta epoch of the node), the
+//     graph's base generation, and, when TTL/decay is active, the as_of
+//     instant its weights were decayed at.
+//   - A snapshot may serve from the entry only if (a) the node's current
+//     overlay version still equals the stamp (no delta applied since),
+//     (b) the snapshot's epoch covers the stamp (the snapshot sees at least
+//     everything merged), (c) the base generation matches (no compaction),
+//     and (d) under decay, the snapshot's as_of is within the configured
+//     staleness tolerance of the entry's.
+//   - DynamicHeteroGraph invalidates eagerly on ApplyBatch (per touched
+//     node), on TTL expiry sweeps (the one mutation that does not bump the
+//     overlay version), and clears on Compact(); the version check makes
+//     even a lost invalidation safe, only stale in memory.
+// Entries are refreshed by HotNodeRefreshPolicy on the maintenance
+// scheduler; the read path never writes the cache.
+#ifndef ZOOMER_MAINTENANCE_HOT_NODE_CACHE_H_
+#define ZOOMER_MAINTENANCE_HOT_NODE_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "graph/alias_table.h"
+#include "graph/hetero_graph.h"
+#include "maintenance/maintenance_policy.h"
+#include "streaming/edge_decay.h"
+
+namespace zoomer {
+
+namespace streaming {
+class DynamicHeteroGraph;
+}  // namespace streaming
+
+namespace maintenance {
+
+/// One materialized node: merged base+delta neighbors in GraphView's
+/// parallel-array layout, weights already decayed under `spec` at
+/// as_of_seconds when `decayed`, and an alias table over them. Namespace
+/// scope (not nested) so DynamicHeteroGraph can name it through a forward
+/// declaration.
+struct HotNodeCacheEntry {
+  uint64_t overlay_version = 0;  // node_epoch value the merge resolved
+  uint64_t base_generation = 0;
+  bool decayed = false;
+  int64_t as_of_seconds = 0;
+  streaming::DecaySpec spec;  // window the merge was resolved under
+  std::vector<graph::NodeId> ids;
+  std::vector<float> weights;
+  std::vector<graph::RelationKind> kinds;
+  graph::AliasTable alias;
+};
+
+struct HotNodeCacheOptions {
+  /// A node qualifies for materialization once its overlay holds at least
+  /// this many delta half-edges (below it, the overlay merge is cheap).
+  int64_t min_delta_entries = 16;
+  /// Cap on materialized nodes; installs beyond it are rejected (counted).
+  size_t max_entries = 1 << 16;
+  /// Under decay, an entry may serve snapshots whose as_of differs from the
+  /// entry's by at most this many seconds (0 = exact match only — decayed
+  /// weights drift with every tick of the clock).
+  int64_t decay_staleness_tolerance_seconds = 0;
+};
+
+struct HotNodeCacheStats {
+  int64_t hits = 0;
+  int64_t misses = 0;  // lookups with no (valid) entry
+  int64_t installs = 0;
+  int64_t rejected_installs = 0;  // capacity cap
+  int64_t invalidations = 0;
+  size_t entries = 0;
+  size_t retired = 0;  // awaiting reclamation under live pins
+};
+
+class HotNodeOverlayCache {
+ public:
+  using Entry = HotNodeCacheEntry;
+
+  /// `num_nodes` sizes the slot array (the graph's node-id space).
+  explicit HotNodeOverlayCache(int64_t num_nodes,
+                               HotNodeCacheOptions options = {});
+  ~HotNodeOverlayCache();
+
+  HotNodeOverlayCache(const HotNodeOverlayCache&) = delete;
+  HotNodeOverlayCache& operator=(const HotNodeOverlayCache&) = delete;
+
+  const HotNodeCacheOptions& options() const { return options_; }
+
+  /// Registers a reader epoch. Entries retired while the returned token is
+  /// alive are not reclaimed, so pointers from Find() stay valid until the
+  /// token drops. Snapshots take one pin for their whole lifetime; the
+  /// cache must outlive every pin.
+  std::shared_ptr<void> PinReaders();
+
+  /// Lock-free lookup: returns the node's entry iff it passes the
+  /// consistency protocol above, nullptr otherwise. The caller must hold a
+  /// pin taken before the call and keep it while using the pointer.
+  /// `current_overlay_version` is the node's node_epoch loaded by the
+  /// caller (the snapshot); `spec` is the caller's decay window — under
+  /// decay, only an entry merged under the identical window may serve (a
+  /// 1-day view must never be handed a 1-hour merge).
+  const Entry* Find(graph::NodeId node, uint64_t snapshot_epoch,
+                    uint64_t current_overlay_version,
+                    uint64_t base_generation, bool decay_active,
+                    int64_t as_of_seconds,
+                    const streaming::DecaySpec& spec) const;
+
+  /// Validity probe without stats side effects (refresh-policy skip check).
+  bool IsFresh(graph::NodeId node, uint64_t current_overlay_version,
+               uint64_t base_generation, bool decay_active,
+               int64_t as_of_seconds,
+               const streaming::DecaySpec& spec) const;
+
+  /// Installs/replaces the node's entry. Returns false when the capacity
+  /// cap rejected a new node.
+  bool Install(graph::NodeId node, Entry entry);
+
+  void Invalidate(graph::NodeId node);
+  void Clear();
+
+  size_t size() const;
+  HotNodeCacheStats Stats() const;
+
+ private:
+  bool EntryValid(const Entry& entry, uint64_t current_overlay_version,
+                  uint64_t base_generation, bool decay_active,
+                  int64_t as_of_seconds,
+                  const streaming::DecaySpec& spec) const;
+
+  /// Moves `entry` to the retired list and frees it (with everything else
+  /// retired) once no pins are live. Caller holds write_mu_.
+  void RetireLocked(Entry* entry);
+  void MaybeReclaimLocked();
+  void Unpin();
+
+  HotNodeCacheOptions options_;
+  std::vector<std::atomic<Entry*>> slots_;
+  std::atomic<int64_t> pins_{0};
+
+  /// Serializes writers (install / invalidate / clear — janitor-side, rare)
+  /// and guards the retired list. Mutable so Stats() can report it.
+  mutable std::mutex write_mu_;
+  std::vector<Entry*> retired_;  // guarded by write_mu_
+
+  std::atomic<size_t> total_entries_{0};
+  mutable std::atomic<int64_t> hits_{0};
+  mutable std::atomic<int64_t> misses_{0};
+  std::atomic<int64_t> installs_{0};
+  std::atomic<int64_t> rejected_installs_{0};
+  std::atomic<int64_t> invalidations_{0};
+};
+
+/// Janitor policy that scans the dynamic graph for nodes past the hotness
+/// threshold and (re)materializes their cache entries from a decay-aware
+/// snapshot. Construction attaches the cache to the graph so snapshot reads
+/// start consulting it; both must outlive the policy's scheduler.
+class HotNodeRefreshPolicy final : public MaintenancePolicy {
+ public:
+  HotNodeRefreshPolicy(streaming::DynamicHeteroGraph* graph,
+                       HotNodeOverlayCache* cache);
+  /// Detaches the cache from the graph (if still the attached one), so the
+  /// graph never dangles into a torn-down maintenance subsystem.
+  ~HotNodeRefreshPolicy() override;
+
+  const char* name() const override { return "hot_node_refresh"; }
+  StatusOr<MaintenanceReport> RunOnce() override;
+
+ private:
+  streaming::DynamicHeteroGraph* graph_;
+  HotNodeOverlayCache* cache_;
+};
+
+}  // namespace maintenance
+}  // namespace zoomer
+
+#endif  // ZOOMER_MAINTENANCE_HOT_NODE_CACHE_H_

@@ -1,0 +1,146 @@
+#include "maintenance/maintenance_scheduler.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace zoomer {
+namespace maintenance {
+
+MaintenanceScheduler::MaintenanceScheduler(MaintenanceSchedulerOptions options)
+    : options_(options), jitter_rng_(options.seed) {
+  ZCHECK_GT(options_.num_threads, 0);
+}
+
+MaintenanceScheduler::~MaintenanceScheduler() { Stop(); }
+
+void MaintenanceScheduler::AddPolicy(std::unique_ptr<MaintenancePolicy> policy,
+                                     PolicySchedule schedule) {
+  ZCHECK(policy != nullptr);
+  ZCHECK_GT(schedule.period_ms, 0);
+  ZCHECK(schedule.jitter_frac >= 0.0 && schedule.jitter_frac < 1.0);
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  ZCHECK(!started_) << "policies must be registered before Start()";
+  for (const auto& e : entries_) {
+    ZCHECK(std::string(e->policy->name()) != policy->name())
+        << "duplicate policy name " << policy->name();
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->stats.name = policy->name();
+  entry->policy = std::move(policy);
+  entry->schedule = schedule;
+  entries_.push_back(std::move(entry));
+}
+
+void MaintenanceScheduler::AddListener(MaintenanceListener listener) {
+  ZCHECK(listener != nullptr);
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  ZCHECK(!started_) << "listeners must be registered before Start()";
+  listeners_.push_back(std::move(listener));
+}
+
+std::chrono::milliseconds MaintenanceScheduler::JitteredPeriod(
+    const PolicySchedule& schedule) {
+  const double factor =
+      1.0 + schedule.jitter_frac * (2.0 * jitter_rng_.UniformDouble() - 1.0);
+  const auto ms = static_cast<int64_t>(
+      static_cast<double>(schedule.period_ms) * factor);
+  return std::chrono::milliseconds(std::max<int64_t>(1, ms));
+}
+
+void MaintenanceScheduler::Start() {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  if (started_) return;
+  started_ = true;
+  stopping_ = false;
+  const auto now = std::chrono::steady_clock::now();
+  for (auto& entry : entries_) {
+    entry->next_due = now + JitteredPeriod(entry->schedule);
+  }
+  workers_ = std::make_unique<ThreadPool>(
+      static_cast<size_t>(options_.num_threads));
+  timer_ = std::thread([this] { TimerLoop(); });
+}
+
+void MaintenanceScheduler::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(lifecycle_mu_);
+    if (!started_ || stopping_) return;
+    stopping_ = true;
+  }
+  timer_cv_.notify_all();
+  if (timer_.joinable()) timer_.join();
+  // Shutdown drains passes already handed to the pool; policies stay valid
+  // until then because entries_ outlive the workers.
+  workers_.reset();
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  started_ = false;
+}
+
+void MaintenanceScheduler::TimerLoop() {
+  std::unique_lock<std::mutex> lock(lifecycle_mu_);
+  while (!stopping_) {
+    // Earliest due time across policies bounds the wait; ticks for policies
+    // still in flight just reschedule them (no pile-up in the pool).
+    auto wake = std::chrono::steady_clock::now() + std::chrono::seconds(1);
+    for (const auto& entry : entries_) {
+      wake = std::min(wake, entry->next_due);
+    }
+    timer_cv_.wait_until(lock, wake, [this] { return stopping_; });
+    if (stopping_) break;
+    const auto now = std::chrono::steady_clock::now();
+    for (auto& entry : entries_) {
+      if (entry->next_due > now) continue;
+      entry->next_due = now + JitteredPeriod(entry->schedule);
+      bool expected = false;
+      if (!entry->in_flight.compare_exchange_strong(expected, true)) {
+        continue;  // previous pass still queued or running
+      }
+      Entry* raw = entry.get();
+      workers_->Submit([this, raw] {
+        RunEntry(raw);
+        raw->in_flight.store(false, std::memory_order_release);
+      });
+    }
+  }
+}
+
+StatusOr<MaintenanceReport> MaintenanceScheduler::RunEntry(Entry* entry) {
+  std::lock_guard<std::mutex> run_lock(entry->run_mu);
+  StatusOr<MaintenanceReport> result = entry->policy->RunOnce();
+  {
+    std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    ++entry->stats.runs;
+    if (!result.ok()) {
+      ++entry->stats.errors;
+      entry->stats.last_error = result.status().ToString();
+    } else if (result.value().acted) {
+      ++entry->stats.actions;
+    }
+  }
+  if (result.ok() && result.value().acted) {
+    for (const MaintenanceListener& listener : listeners_) {
+      listener(entry->stats.name, result.value());
+    }
+  }
+  return result;
+}
+
+StatusOr<MaintenanceReport> MaintenanceScheduler::RunOnceForTest(
+    const std::string& name) {
+  for (auto& entry : entries_) {
+    if (entry->stats.name == name) return RunEntry(entry.get());
+  }
+  return Status::NotFound("no maintenance policy named " + name);
+}
+
+std::vector<PolicyStats> MaintenanceScheduler::Stats() const {
+  std::vector<PolicyStats> out;
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  out.reserve(entries_.size());
+  for (const auto& entry : entries_) out.push_back(entry->stats);
+  return out;
+}
+
+}  // namespace maintenance
+}  // namespace zoomer

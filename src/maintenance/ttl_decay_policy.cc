@@ -1,0 +1,34 @@
+#include "maintenance/ttl_decay_policy.h"
+
+#include <string>
+
+#include "common/logging.h"
+
+namespace zoomer {
+namespace maintenance {
+
+TtlDecayPolicy::TtlDecayPolicy(streaming::DynamicHeteroGraph* graph,
+                               const LogicalClock* clock,
+                               const streaming::DecaySpec& spec)
+    : graph_(graph), clock_(clock) {
+  ZCHECK(graph_ != nullptr);
+  ZCHECK(clock_ != nullptr) << "TTL/decay requires a logical clock";
+  graph_->ConfigureDecay(spec, clock_);
+}
+
+StatusOr<MaintenanceReport> TtlDecayPolicy::RunOnce() {
+  MaintenanceReport report;
+  const int64_t before = graph_->num_delta_entries();
+  report.touched = graph_->ExpireDeltas(clock_->NowSeconds());
+  report.acted = !report.touched.empty();
+  if (report.acted) {
+    report.detail =
+        "expired " + std::to_string(before - graph_->num_delta_entries()) +
+        " delta half-edges on " + std::to_string(report.touched.size()) +
+        " nodes";
+  }
+  return report;
+}
+
+}  // namespace maintenance
+}  // namespace zoomer

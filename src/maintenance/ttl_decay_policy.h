@@ -1,0 +1,45 @@
+// TTL/decay maintenance (ROADMAP streaming follow-up: "TTL/decay on delta
+// edges to window 1-hour vs 1-day graphs online"). Two halves:
+//
+//   1. Construction installs the DecaySpec (and LogicalClock) on the
+//      DynamicHeteroGraph, turning every snapshot read decay-aware: delta
+//      entries past their per-kind TTL disappear from degrees, merges, and
+//      sampling, and un-expired entries contribute exponentially
+//      time-decayed weight. This is non-destructive windowing — individual
+//      views can still override the spec for a different horizon.
+//   2. RunOnce() is the garbage collector: it physically removes entries
+//      whose TTL has lapsed (they are invisible to every decay-aware reader
+//      already), returning their memory and reporting the touched nodes so
+//      serving caches re-fill without the dead edges. Expiry is the one
+//      overlay mutation that does not bump a node's delta epoch, so the
+//      sweep also eagerly invalidates the hot-node cache for those nodes.
+#ifndef ZOOMER_MAINTENANCE_TTL_DECAY_POLICY_H_
+#define ZOOMER_MAINTENANCE_TTL_DECAY_POLICY_H_
+
+#include "common/clock.h"
+#include "maintenance/maintenance_policy.h"
+#include "streaming/dynamic_hetero_graph.h"
+#include "streaming/edge_decay.h"
+
+namespace zoomer {
+namespace maintenance {
+
+class TtlDecayPolicy final : public MaintenancePolicy {
+ public:
+  /// Installs `spec`/`clock` on the graph (ConfigureDecay). Graph and clock
+  /// must outlive the policy's scheduler.
+  TtlDecayPolicy(streaming::DynamicHeteroGraph* graph,
+                 const LogicalClock* clock, const streaming::DecaySpec& spec);
+
+  const char* name() const override { return "ttl_decay"; }
+  StatusOr<MaintenanceReport> RunOnce() override;
+
+ private:
+  streaming::DynamicHeteroGraph* graph_;
+  const LogicalClock* clock_;
+};
+
+}  // namespace maintenance
+}  // namespace zoomer
+
+#endif  // ZOOMER_MAINTENANCE_TTL_DECAY_POLICY_H_

@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "common/logging.h"
+#include "maintenance/maintenance_scheduler.h"
 
 namespace zoomer {
 namespace serving {
@@ -45,6 +46,15 @@ void OnlineServer::OnGraphUpdate(const std::vector<NodeId>& nodes) {
   // Invalidate is a no-op for nodes never cached (e.g. items, which the
   // serving path does not cache), so touched-node lists pass through as-is.
   for (NodeId n : nodes) cache_->Invalidate(n);
+}
+
+void OnlineServer::AttachMaintenance(
+    maintenance::MaintenanceScheduler* scheduler) {
+  ZCHECK(scheduler != nullptr);
+  scheduler->AddListener(
+      [this](const std::string&, const maintenance::MaintenanceReport& report) {
+        OnGraphUpdate(report.touched);
+      });
 }
 
 void OnlineServer::EmbedRequest(const ServingRequest& req,

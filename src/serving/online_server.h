@@ -24,6 +24,11 @@
 #include "serving/neighbor_cache.h"
 
 namespace zoomer {
+
+namespace maintenance {
+class MaintenanceScheduler;
+}  // namespace maintenance
+
 namespace serving {
 
 struct OnlineServerOptions {
@@ -76,7 +81,19 @@ class OnlineServer {
   ///     server.OnGraphUpdate(nodes); });
   void OnGraphUpdate(const std::vector<graph::NodeId>& nodes);
 
+  /// Subscribes this server to the background maintenance scheduler: any
+  /// policy pass that changed node neighborhoods (e.g. a TTL expiry sweep
+  /// dropping aged-out click edges) invalidates those nodes' neighbor-cache
+  /// entries so the asynchronous re-fill serves the windowed view.
+  /// Compactions need no invalidation — the fold preserves every merged
+  /// neighbor distribution. Must be called before scheduler->Start(); the
+  /// scheduler must not outlive this server.
+  void AttachMaintenance(maintenance::MaintenanceScheduler* scheduler);
+
   const NeighborCache& cache() const { return *cache_; }
+  /// Mutable access for tests and warm-up tooling (Get records hit/miss
+  /// stats and schedules fills, so it is not const).
+  NeighborCache& cache() { return *cache_; }
   const AnnIndex& index() const { return index_; }
 
  private:

@@ -16,5 +16,16 @@ graph::NeighborBlock DynamicGraphView::Neighbors(
   return {scratch->ids, scratch->weights, scratch->kinds};
 }
 
+graph::NeighborBlock DynamicGraphView::NeighborsOfType(
+    graph::NodeId id, graph::NodeType t,
+    graph::NeighborScratch* scratch) const {
+  if (!snapshot_.MaybeHasDelta(id)) {
+    return graph::TypedCsrBlock(snapshot_.base(), id, t);
+  }
+  snapshot_.NeighborsOfType(id, t, &scratch->ids, &scratch->weights,
+                            &scratch->kinds);
+  return {scratch->ids, scratch->weights, scratch->kinds};
+}
+
 }  // namespace streaming
 }  // namespace zoomer

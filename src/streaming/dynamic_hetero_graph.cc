@@ -6,6 +6,7 @@
 
 #include "common/logging.h"
 #include "graph/graph_view.h"
+#include "maintenance/hot_node_cache.h"
 
 namespace zoomer {
 namespace streaming {
@@ -30,8 +31,85 @@ std::shared_ptr<const HeteroGraph> DynamicHeteroGraph::base() const {
   return base_;
 }
 
+std::pair<std::shared_ptr<const HeteroGraph>, uint64_t>
+DynamicHeteroGraph::CapturedBase() const {
+  std::shared_lock<std::shared_mutex> lock(base_mu_);
+  return {base_, base_generation_.load(std::memory_order_acquire)};
+}
+
+void DynamicHeteroGraph::ConfigureDecay(const DecaySpec& spec,
+                                        const LogicalClock* clock) {
+  ZCHECK(!spec.active() || clock != nullptr)
+      << "an active TTL/decay window needs a LogicalClock";
+  std::unique_lock<std::shared_mutex> lock(decay_mu_);
+  decay_spec_ = spec;
+  clock_ = clock;
+}
+
+void DynamicHeteroGraph::SetClock(const LogicalClock* clock) {
+  std::unique_lock<std::shared_mutex> lock(decay_mu_);
+  clock_ = clock;
+}
+
+DecaySpec DynamicHeteroGraph::decay_spec() const {
+  std::shared_lock<std::shared_mutex> lock(decay_mu_);
+  return decay_spec_;
+}
+
+void DynamicHeteroGraph::AttachHotNodeCache(
+    maintenance::HotNodeOverlayCache* cache) {
+  hot_cache_.store(cache, std::memory_order_release);
+}
+
+void DynamicHeteroGraph::DetachHotNodeCache(
+    maintenance::HotNodeOverlayCache* cache) {
+  maintenance::HotNodeOverlayCache* expected = cache;
+  hot_cache_.compare_exchange_strong(expected, nullptr,
+                                     std::memory_order_acq_rel);
+}
+
+DynamicHeteroGraph::Snapshot::Snapshot(
+    const DynamicHeteroGraph* owner,
+    std::shared_ptr<const HeteroGraph> base, uint64_t base_generation,
+    uint64_t epoch, DecaySpec decay, int64_t as_of)
+    : owner_(owner),
+      base_(std::move(base)),
+      epoch_(epoch),
+      base_generation_(base_generation),
+      hot_cache_(owner->hot_cache_.load(std::memory_order_acquire)),
+      hot_pin_(hot_cache_ != nullptr ? hot_cache_->PinReaders() : nullptr),
+      decay_(decay),
+      decay_active_(decay.active()),
+      as_of_(as_of) {}
+
+DynamicHeteroGraph::Snapshot DynamicHeteroGraph::SnapshotUnder(
+    const DecaySpec* override_window) const {
+  DecaySpec spec;
+  const LogicalClock* clock = nullptr;
+  {
+    std::shared_lock<std::shared_mutex> lock(decay_mu_);
+    spec = override_window != nullptr ? *override_window : decay_spec_;
+    clock = clock_;
+  }
+  // ConfigureDecay enforces this for the graph default; per-view windows
+  // land here, where a missing clock would otherwise silently disable the
+  // whole window (age 0 - timestamp never expires anything).
+  ZCHECK(!spec.active() || clock != nullptr)
+      << "an active TTL/decay window needs a LogicalClock "
+         "(SetClock/ConfigureDecay)";
+  const int64_t as_of = spec.active() ? clock->NowSeconds() : 0;
+  auto [base, generation] = CapturedBase();
+  return Snapshot(this, std::move(base), generation, watermark_epoch(), spec,
+                  as_of);
+}
+
 DynamicHeteroGraph::Snapshot DynamicHeteroGraph::MakeSnapshot() const {
-  return Snapshot(this, base(), watermark_epoch());
+  return SnapshotUnder(nullptr);
+}
+
+DynamicHeteroGraph::Snapshot DynamicHeteroGraph::MakeSnapshot(
+    const DecaySpec& window) const {
+  return SnapshotUnder(&window);
 }
 
 void DynamicHeteroGraph::PublishWatermarkLocked() {
@@ -108,8 +186,19 @@ Status DynamicHeteroGraph::ApplyBatch(const DeltaBatch& batch) {
     }
   }
   for (const EdgeEvent& ev : batch.events) {
-    AppendHalfEdge(*base, ev.src, {ev.dst, ev.weight, ev.kind}, batch.epoch);
-    AppendHalfEdge(*base, ev.dst, {ev.src, ev.weight, ev.kind}, batch.epoch);
+    AppendHalfEdge(*base, ev.src, {ev.dst, ev.weight, ev.kind}, batch.epoch,
+                   ev.timestamp);
+    AppendHalfEdge(*base, ev.dst, {ev.src, ev.weight, ev.kind}, batch.epoch,
+                   ev.timestamp);
+  }
+  // Hot-node entries for the touched endpoints are stale now (their overlay
+  // version moved); the lookup version check already rejects them, eager
+  // invalidation just returns the memory before the next refresh pass.
+  if (auto* cache = hot_cache_.load(std::memory_order_acquire)) {
+    for (const EdgeEvent& ev : batch.events) {
+      cache->Invalidate(ev.src);
+      cache->Invalidate(ev.dst);
+    }
   }
   // Publish the epoch only after every entry is in place, so snapshots taken
   // at this epoch see the whole batch.
@@ -129,7 +218,8 @@ Status DynamicHeteroGraph::ApplyBatch(const DeltaBatch& batch) {
 }
 
 void DynamicHeteroGraph::AppendHalfEdge(const HeteroGraph& base, NodeId node,
-                                        NeighborEntry entry, uint64_t epoch) {
+                                        NeighborEntry entry, uint64_t epoch,
+                                        int64_t timestamp) {
   LockShard& sh = lock_shards_[ShardFor(node)];
   {
     std::unique_lock<std::shared_mutex> lock(sh.mu);
@@ -146,7 +236,8 @@ void DynamicHeteroGraph::AppendHalfEdge(const HeteroGraph& base, NodeId node,
     // order, so this is an append with a rare short sorted insert.
     size_t pos = ov.entries.size();
     while (pos > 0 && ov.entries[pos - 1].epoch > epoch) --pos;
-    ov.entries.insert(ov.entries.begin() + pos, DeltaEntry{entry, epoch});
+    ov.entries.insert(ov.entries.begin() + pos,
+                      DeltaEntry{entry, epoch, timestamp});
     ov.weight_prefix.resize(ov.entries.size());
     for (size_t i = pos; i < ov.entries.size(); ++i) {
       ov.weight_prefix[i] = (i == 0 ? 0.0 : ov.weight_prefix[i - 1]) +
@@ -157,6 +248,30 @@ void DynamicHeteroGraph::AppendHalfEdge(const HeteroGraph& base, NodeId node,
   uint64_t cur = node_epoch_[node].load(std::memory_order_relaxed);
   while (cur < epoch && !node_epoch_[node].compare_exchange_weak(
                             cur, epoch, std::memory_order_acq_rel)) {
+  }
+}
+
+const maintenance::HotNodeCacheEntry* DynamicHeteroGraph::Snapshot::HotEntry(
+    NodeId node, uint64_t overlay_version) const {
+  if (hot_cache_ == nullptr || overlay_version == 0) return nullptr;
+  return hot_cache_->Find(node, epoch_, overlay_version, base_generation_,
+                          decay_active_, as_of_, decay_);
+}
+
+float DynamicHeteroGraph::Snapshot::EntryWeight(const DeltaEntry& d) const {
+  if (!decay_active_) return d.e.weight;
+  const int64_t age = as_of_ - d.timestamp;
+  if (decay_.Expired(d.e.kind, age)) return -1.0f;
+  return decay_.DecayedWeight(d.e.kind, d.e.weight, age);
+}
+
+template <typename Fn>
+void DynamicHeteroGraph::Snapshot::ForEachVisibleDelta(
+    const DeltaEntry* entries, size_t prefix, Fn&& fn) const {
+  for (size_t i = 0; i < prefix; ++i) {
+    const float w = EntryWeight(entries[i]);
+    if (w < 0.0f) continue;  // past TTL at as_of
+    fn(entries[i], w);
   }
 }
 
@@ -173,7 +288,12 @@ int64_t DynamicHeteroGraph::Snapshot::DeltaDegree(NodeId node) const {
   std::shared_lock<std::shared_mutex> lock(sh.mu);
   auto it = sh.overlays.find(node);
   if (it == sh.overlays.end()) return 0;
-  return static_cast<int64_t>(VisiblePrefix(it->second, epoch_));
+  const size_t prefix = VisiblePrefix(it->second, epoch_);
+  if (!decay_active_) return static_cast<int64_t>(prefix);
+  int64_t alive = 0;
+  ForEachVisibleDelta(it->second.entries.data(), prefix,
+                      [&alive](const DeltaEntry&, float) { ++alive; });
+  return alive;
 }
 
 int64_t DynamicHeteroGraph::Snapshot::Degree(NodeId node) const {
@@ -195,7 +315,13 @@ double DynamicHeteroGraph::Snapshot::TotalWeight(NodeId node) const {
     const NodeOverlay& ov = it->second;
     total = ov.base_total_weight;
     const size_t prefix = VisiblePrefix(ov, epoch_);
-    if (prefix > 0) total += ov.weight_prefix[prefix - 1];
+    if (!decay_active_) {
+      if (prefix > 0) total += ov.weight_prefix[prefix - 1];
+      return total;
+    }
+    ForEachVisibleDelta(
+        ov.entries.data(), prefix,
+        [&total](const DeltaEntry&, float w) { total += w; });
     return total;
   }
   for (float w : base_->neighbor_weights(node)) total += w;
@@ -212,30 +338,32 @@ int64_t EntryKey(NodeId neighbor, graph::RelationKind kind) {
 
 }  // namespace
 
-template <typename KeyAt, typename Append, typename AddWeight>
-void DynamicHeteroGraph::CoalesceVisibleDeltas(
-    const std::vector<DeltaEntry>& entries, size_t prefix, size_t merged_size,
-    KeyAt key_at, Append append, AddWeight add_weight) {
+template <typename Keep, typename KeyAt, typename Append, typename AddWeight>
+void DynamicHeteroGraph::Snapshot::CoalesceVisibleDeltas(
+    const NodeOverlay& ov, size_t merged_size, Keep keep, KeyAt key_at,
+    Append append, AddWeight add_weight) const {
+  const size_t prefix = VisiblePrefix(ov, epoch_);
   size_t n = merged_size;
   if (prefix < 16) {
     // Tiny deltas: linear coalescing, no extra allocation.
-    for (size_t i = 0; i < prefix; ++i) {
-      const NeighborEntry& e = entries[i].e;
-      const int64_t k = EntryKey(e.neighbor, e.kind);
-      size_t match = n;
-      for (size_t j = 0; j < n; ++j) {
-        if (key_at(j) == k) {
-          match = j;
-          break;
-        }
-      }
-      if (match < n) {
-        add_weight(match, e.weight);
-      } else {
-        append(e);
-        ++n;
-      }
-    }
+    ForEachVisibleDelta(
+        ov.entries.data(), prefix, [&](const DeltaEntry& d, float w) {
+          if (!keep(d.e)) return;
+          const int64_t k = EntryKey(d.e.neighbor, d.e.kind);
+          size_t match = n;
+          for (size_t j = 0; j < n; ++j) {
+            if (key_at(j) == k) {
+              match = j;
+              break;
+            }
+          }
+          if (match < n) {
+            add_weight(match, w);
+          } else {
+            append(d.e, w);
+            ++n;
+          }
+        });
     return;
   }
   // Hot nodes accumulate thousands of deltas between compactions; index the
@@ -243,22 +371,33 @@ void DynamicHeteroGraph::CoalesceVisibleDeltas(
   std::unordered_map<int64_t, size_t> index;
   index.reserve(n + prefix);
   for (size_t j = 0; j < n; ++j) index.emplace(key_at(j), j);
-  for (size_t i = 0; i < prefix; ++i) {
-    const NeighborEntry& e = entries[i].e;
-    auto [it, inserted] = index.try_emplace(EntryKey(e.neighbor, e.kind), n);
-    if (inserted) {
-      append(e);
-      ++n;
-    } else {
-      add_weight(it->second, e.weight);
-    }
-  }
+  ForEachVisibleDelta(
+      ov.entries.data(), prefix, [&](const DeltaEntry& d, float w) {
+        if (!keep(d.e)) return;
+        auto [it, inserted] =
+            index.try_emplace(EntryKey(d.e.neighbor, d.e.kind), n);
+        if (inserted) {
+          append(d.e, w);
+          ++n;
+        } else {
+          add_weight(it->second, w);
+        }
+      });
 }
 
 void DynamicHeteroGraph::Snapshot::Neighbors(
     NodeId node, std::vector<NeighborEntry>* out) const {
   ZCHECK(node >= 0 && node < base_->num_nodes());
   out->clear();
+  const uint64_t node_epoch =
+      owner_->node_epoch_[node].load(std::memory_order_acquire);
+  if (const auto* entry = HotEntry(node, node_epoch)) {
+    out->reserve(entry->ids.size());
+    for (size_t i = 0; i < entry->ids.size(); ++i) {
+      out->push_back({entry->ids[i], entry->weights[i], entry->kinds[i]});
+    }
+    return;
+  }
   auto ids = base_->neighbor_ids(node);
   auto weights = base_->neighbor_weights(node);
   auto kinds = base_->neighbor_kinds(node);
@@ -266,18 +405,19 @@ void DynamicHeteroGraph::Snapshot::Neighbors(
   for (size_t i = 0; i < ids.size(); ++i) {
     out->push_back({ids[i], weights[i], kinds[i]});
   }
-  if (owner_->node_epoch_[node].load(std::memory_order_acquire) == 0) return;
+  if (node_epoch == 0) return;
   const LockShard& sh = owner_->lock_shards_[ShardFor(node)];
   std::shared_lock<std::shared_mutex> lock(sh.mu);
   auto it = sh.overlays.find(node);
   if (it == sh.overlays.end()) return;
-  const NodeOverlay& ov = it->second;
   CoalesceVisibleDeltas(
-      ov.entries, VisiblePrefix(ov, epoch_), out->size(),
+      it->second, out->size(), [](const NeighborEntry&) { return true; },
       [out](size_t j) {
         return EntryKey((*out)[j].neighbor, (*out)[j].kind);
       },
-      [out](const NeighborEntry& e) { out->push_back(e); },
+      [out](const NeighborEntry& e, float w) {
+        out->push_back({e.neighbor, w, e.kind});
+      },
       [out](size_t j, float w) { (*out)[j].weight += w; });
 }
 
@@ -285,64 +425,157 @@ void DynamicHeteroGraph::Snapshot::Neighbors(
     NodeId node, std::vector<NodeId>* ids, std::vector<float>* weights,
     std::vector<graph::RelationKind>* kinds) const {
   ZCHECK(node >= 0 && node < base_->num_nodes());
+  const uint64_t node_epoch =
+      owner_->node_epoch_[node].load(std::memory_order_acquire);
+  if (const auto* entry = HotEntry(node, node_epoch)) {
+    ids->assign(entry->ids.begin(), entry->ids.end());
+    weights->assign(entry->weights.begin(), entry->weights.end());
+    kinds->assign(entry->kinds.begin(), entry->kinds.end());
+    return;
+  }
   auto base_ids = base_->neighbor_ids(node);
   auto base_weights = base_->neighbor_weights(node);
   auto base_kinds = base_->neighbor_kinds(node);
   ids->assign(base_ids.begin(), base_ids.end());
   weights->assign(base_weights.begin(), base_weights.end());
   kinds->assign(base_kinds.begin(), base_kinds.end());
-  if (owner_->node_epoch_[node].load(std::memory_order_acquire) == 0) return;
+  if (node_epoch == 0) return;
   const LockShard& sh = owner_->lock_shards_[ShardFor(node)];
   std::shared_lock<std::shared_mutex> lock(sh.mu);
   auto it = sh.overlays.find(node);
   if (it == sh.overlays.end()) return;
-  const NodeOverlay& ov = it->second;
   CoalesceVisibleDeltas(
-      ov.entries, VisiblePrefix(ov, epoch_), ids->size(),
+      it->second, ids->size(), [](const NeighborEntry&) { return true; },
       [&](size_t j) { return EntryKey((*ids)[j], (*kinds)[j]); },
-      [&](const NeighborEntry& e) {
+      [&](const NeighborEntry& e, float w) {
         ids->push_back(e.neighbor);
-        weights->push_back(e.weight);
+        weights->push_back(w);
         kinds->push_back(e.kind);
       },
       [&](size_t j, float w) { (*weights)[j] += w; });
 }
 
-NodeId DynamicHeteroGraph::SampleOverlayLocked(const HeteroGraph& base,
-                                               NodeId node,
-                                               const NodeOverlay& ov,
-                                               size_t prefix, Rng* rng) {
-  const double delta_w = ov.weight_prefix[prefix - 1];
+void DynamicHeteroGraph::Snapshot::NeighborsOfType(
+    NodeId node, graph::NodeType t, std::vector<NodeId>* ids,
+    std::vector<float>* weights, std::vector<graph::RelationKind>* kinds) const {
+  ZCHECK(node >= 0 && node < base_->num_nodes());
+  // Base neighbor blocks are sorted by (neighbor type, kind), so the typed
+  // sub-range is contiguous — copy it without touching the other types.
+  const graph::NeighborBlock typed = graph::TypedCsrBlock(*base_, node, t);
+  ids->assign(typed.ids.begin(), typed.ids.end());
+  weights->assign(typed.weights.begin(), typed.weights.end());
+  kinds->assign(typed.kinds.begin(), typed.kinds.end());
+  if (owner_->node_epoch_[node].load(std::memory_order_acquire) == 0) return;
+  const LockShard& sh = owner_->lock_shards_[ShardFor(node)];
+  std::shared_lock<std::shared_mutex> lock(sh.mu);
+  auto it = sh.overlays.find(node);
+  if (it == sh.overlays.end()) return;
+  // Only delta entries whose neighbor is of type t take part in the merge —
+  // no full-neighborhood resolution.
+  const HeteroGraph* base = base_.get();
+  CoalesceVisibleDeltas(
+      it->second, ids->size(),
+      [base, t](const NeighborEntry& entry) {
+        return base->node_type(entry.neighbor) == t;
+      },
+      [&](size_t j) { return EntryKey((*ids)[j], (*kinds)[j]); },
+      [&](const NeighborEntry& entry, float w) {
+        ids->push_back(entry.neighbor);
+        weights->push_back(w);
+        kinds->push_back(entry.kind);
+      },
+      [&](size_t j, float w) { (*weights)[j] += w; });
+}
+
+NodeId DynamicHeteroGraph::Snapshot::SampleOverlayLocked(NodeId node,
+                                                         const NodeOverlay& ov,
+                                                         size_t prefix,
+                                                         Rng* rng) const {
+  const HeteroGraph& base = *base_;
+  if (!decay_active_) {
+    const double delta_w = ov.weight_prefix[prefix - 1];
+    const double base_w = ov.base_total_weight;
+    const double total = base_w + delta_w;
+    if (total <= 0.0) {
+      // Degenerate all-zero weights: uniform over base + delta positions,
+      // matching AliasTable's degenerate behaviour.
+      const uint64_t n = static_cast<uint64_t>(base.degree(node)) + prefix;
+      if (n == 0) return -1;
+      const uint64_t idx = rng->Uniform(n);
+      if (idx < static_cast<uint64_t>(base.degree(node))) {
+        return base.neighbor_ids(node)[idx];
+      }
+      return ov.entries[idx - base.degree(node)].e.neighbor;
+    }
+    // Two-level alias-resampling: base-vs-delta coin by weight mass, then an
+    // O(1) alias draw in the base or an inverse-CDF draw in the delta prefix.
+    const double r = rng->UniformDouble() * total;
+    if (r < base_w) return base.SampleNeighbor(node, rng);
+    const double target = r - base_w;
+    auto pos = std::upper_bound(ov.weight_prefix.begin(),
+                                ov.weight_prefix.begin() + prefix, target);
+    if (pos == ov.weight_prefix.begin() + prefix) --pos;  // fp guard
+    return ov.entries[pos - ov.weight_prefix.begin()].e.neighbor;
+  }
+  // Windowed sampling: the raw prefix sums do not reflect TTL exclusion or
+  // decayed mass, so resolve the live entries on the fly (two passes, no
+  // allocation). Hot nodes dodge this cost through the overlay cache.
+  double delta_w = 0.0;
+  int64_t alive = 0;
+  ForEachVisibleDelta(ov.entries.data(), prefix,
+                      [&](const DeltaEntry&, float w) {
+                        delta_w += w;
+                        ++alive;
+                      });
+  if (alive == 0) return base.SampleNeighbor(node, rng);
   const double base_w = ov.base_total_weight;
   const double total = base_w + delta_w;
   if (total <= 0.0) {
-    // Degenerate all-zero weights: uniform over base + delta positions,
-    // matching AliasTable's degenerate behaviour.
-    const uint64_t n = static_cast<uint64_t>(base.degree(node)) + prefix;
-    if (n == 0) return -1;
+    const uint64_t n = static_cast<uint64_t>(base.degree(node)) +
+                       static_cast<uint64_t>(alive);
     const uint64_t idx = rng->Uniform(n);
     if (idx < static_cast<uint64_t>(base.degree(node))) {
       return base.neighbor_ids(node)[idx];
     }
-    return ov.entries[idx - base.degree(node)].e.neighbor;
+    int64_t skip = static_cast<int64_t>(idx) - base.degree(node);
+    NodeId picked = -1;
+    ForEachVisibleDelta(ov.entries.data(), prefix,
+                        [&](const DeltaEntry& d, float) {
+                          if (skip-- == 0) picked = d.e.neighbor;
+                        });
+    return picked;
   }
-  // Two-level alias-resampling: base-vs-delta coin by weight mass, then an
-  // O(1) alias draw in the base or an inverse-CDF draw in the delta prefix.
   const double r = rng->UniformDouble() * total;
   if (r < base_w) return base.SampleNeighbor(node, rng);
   const double target = r - base_w;
-  auto pos = std::upper_bound(ov.weight_prefix.begin(),
-                              ov.weight_prefix.begin() + prefix, target);
-  if (pos == ov.weight_prefix.begin() + prefix) --pos;  // fp guard
-  return ov.entries[pos - ov.weight_prefix.begin()].e.neighbor;
+  double cum = 0.0;
+  NodeId picked = -1;
+  for (size_t i = 0; i < prefix && picked < 0; ++i) {
+    const float w = EntryWeight(ov.entries[i]);
+    if (w < 0.0f) continue;
+    cum += w;
+    if (cum > target) picked = ov.entries[i].e.neighbor;
+  }
+  if (picked >= 0) return picked;
+  // fp guard: land on the last live entry.
+  for (size_t i = prefix; i-- > 0;) {
+    if (EntryWeight(ov.entries[i]) >= 0.0f) return ov.entries[i].e.neighbor;
+  }
+  return -1;
 }
 
 NodeId DynamicHeteroGraph::Snapshot::SampleNeighbor(NodeId node,
                                                     Rng* rng) const {
   ZCHECK(node >= 0 && node < base_->num_nodes());
   // Lock-free fast path: untouched nodes sample straight off the base CSR.
-  if (owner_->node_epoch_[node].load(std::memory_order_acquire) == 0) {
+  const uint64_t node_epoch =
+      owner_->node_epoch_[node].load(std::memory_order_acquire);
+  if (node_epoch == 0) {
     return base_->SampleNeighbor(node, rng);
+  }
+  if (const auto* entry = HotEntry(node, node_epoch)) {
+    if (entry->ids.empty()) return -1;
+    return entry->ids[entry->alias.Sample(rng)];
   }
   const LockShard& sh = owner_->lock_shards_[ShardFor(node)];
   std::shared_lock<std::shared_mutex> lock(sh.mu);
@@ -351,7 +584,7 @@ NodeId DynamicHeteroGraph::Snapshot::SampleNeighbor(NodeId node,
   const NodeOverlay& ov = it->second;
   const size_t prefix = VisiblePrefix(ov, epoch_);
   if (prefix == 0) return base_->SampleNeighbor(node, rng);
-  return SampleOverlayLocked(*base_, node, ov, prefix, rng);
+  return SampleOverlayLocked(node, ov, prefix, rng);
 }
 
 std::vector<NodeId> DynamicHeteroGraph::Snapshot::SampleDistinctNeighbors(
@@ -364,8 +597,22 @@ std::vector<NodeId> DynamicHeteroGraph::Snapshot::SampleDistinctNeighbors(
     // Shared bounded-retry dedup draw over the base alias tables.
     seen = graph::CsrGraphView(*base_).SampleDistinctNeighbors(node, k, rng);
   };
-  if (owner_->node_epoch_[node].load(std::memory_order_acquire) == 0) {
+  const uint64_t node_epoch =
+      owner_->node_epoch_[node].load(std::memory_order_acquire);
+  if (node_epoch == 0) {
     draw_from_base();
+    return seen;
+  }
+  if (const auto* entry = HotEntry(node, node_epoch)) {
+    // Batched O(1) alias draws over the materialized merge.
+    if (entry->ids.empty()) return seen;
+    for (int a = 0; a < max_attempts && static_cast<int>(seen.size()) < k;
+         ++a) {
+      const NodeId nb = entry->ids[entry->alias.Sample(rng)];
+      if (std::find(seen.begin(), seen.end(), nb) == seen.end()) {
+        seen.push_back(nb);
+      }
+    }
     return seen;
   }
   const LockShard& sh = owner_->lock_shards_[ShardFor(node)];
@@ -382,14 +629,84 @@ std::vector<NodeId> DynamicHeteroGraph::Snapshot::SampleDistinctNeighbors(
   // batch of draws.
   for (int a = 0; a < max_attempts && static_cast<int>(seen.size()) < k;
        ++a) {
-    const NodeId nb =
-        SampleOverlayLocked(*base_, node, it->second, prefix, rng);
+    const NodeId nb = SampleOverlayLocked(node, it->second, prefix, rng);
     if (nb < 0) break;
     if (std::find(seen.begin(), seen.end(), nb) == seen.end()) {
       seen.push_back(nb);
     }
   }
   return seen;
+}
+
+std::vector<NodeId> DynamicHeteroGraph::DeltaNodes(int64_t min_entries) const {
+  std::vector<NodeId> out;
+  for (const auto& sh : lock_shards_) {
+    std::shared_lock<std::shared_mutex> lock(sh.mu);
+    for (const auto& [node, ov] : sh.overlays) {
+      if (static_cast<int64_t>(ov.entries.size()) >= min_entries) {
+        out.push_back(node);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<NodeId> DynamicHeteroGraph::ExpireDeltas(int64_t now_seconds) {
+  const DecaySpec spec = decay_spec();
+  std::vector<NodeId> touched;
+  bool any_ttl = false;
+  for (const auto& k : spec.kinds) any_ttl |= k.ttl_seconds > 0;
+  if (!any_ttl) return touched;
+
+  int64_t removed_total = 0;
+  for (auto& sh : lock_shards_) {
+    std::unique_lock<std::shared_mutex> lock(sh.mu);
+    for (auto it = sh.overlays.begin(); it != sh.overlays.end();) {
+      NodeOverlay& ov = it->second;
+      // std::remove_if is stable, so surviving entries stay epoch-ordered.
+      auto new_end = std::remove_if(
+          ov.entries.begin(), ov.entries.end(), [&](const DeltaEntry& d) {
+            return spec.Expired(d.e.kind, now_seconds - d.timestamp);
+          });
+      const int64_t removed =
+          static_cast<int64_t>(ov.entries.end() - new_end);
+      if (removed == 0) {
+        ++it;
+        continue;
+      }
+      const NodeId node = it->first;
+      ov.entries.erase(new_end, ov.entries.end());
+      removed_total += removed;
+      touched.push_back(node);
+      if (ov.entries.empty()) {
+        // Readers that already saw a non-zero node_epoch take the shard
+        // lock, find no overlay, and fall back to the base — same path as
+        // after a compaction.
+        node_epoch_[node].store(0, std::memory_order_release);
+        it = sh.overlays.erase(it);
+        continue;
+      }
+      ov.weight_prefix.resize(ov.entries.size());
+      double cum = 0.0;
+      for (size_t i = 0; i < ov.entries.size(); ++i) {
+        cum += static_cast<double>(ov.entries[i].e.weight);
+        ov.weight_prefix[i] = cum;
+      }
+      // The overlay version tracks the newest surviving entry (epoch order
+      // makes that the back). A concurrent append's CAS-max simply re-raises
+      // it.
+      node_epoch_[node].store(ov.entries.back().epoch,
+                              std::memory_order_release);
+      ++it;
+    }
+  }
+  total_entries_.fetch_sub(removed_total, std::memory_order_acq_rel);
+  // Expiry rewrites overlays without bumping their versions, so the hot
+  // cache cannot catch it by version check alone — invalidate eagerly.
+  if (auto* cache = hot_cache_.load(std::memory_order_acquire)) {
+    for (NodeId node : touched) cache->Invalidate(node);
+  }
+  return touched;
 }
 
 namespace {
@@ -423,6 +740,24 @@ StatusOr<uint64_t> DynamicHeteroGraph::Compact() {
   // detach (and die) between BeginQuiesce and EndQuiesce.
   std::lock_guard<std::mutex> participants_lock(participants_mu_);
   QuiesceGuard quiesce(participants_);
+
+  // TTL interaction (resolved before the shard locks — decay_mu_ never
+  // nests inside them): entries already past their TTL are invisible to
+  // every decay-aware reader and pending garbage collection — folding them
+  // would permanently resurrect them as (never-windowed) base edges.
+  // Entries still inside their window fold at full raw weight: compaction
+  // is how a streamed edge graduates into the un-windowed offline
+  // aggregate.
+  DecaySpec spec;
+  const LogicalClock* clock = nullptr;
+  {
+    std::shared_lock<std::shared_mutex> decay_lock(decay_mu_);
+    spec = decay_spec_;
+    clock = clock_;
+  }
+  const bool drop_expired = spec.has_ttl() && clock != nullptr;
+  const int64_t now = drop_expired ? clock->NowSeconds() : 0;
+
   // Exclusive hold on every lock shard: no reader or (contract-violating)
   // applier can observe the rebuild half-done.
   std::vector<std::unique_lock<std::shared_mutex>> locks;
@@ -457,10 +792,12 @@ StatusOr<uint64_t> DynamicHeteroGraph::Compact() {
       // Each applied event put one half on each endpoint; counting only the
       // (node < neighbor) half sees every undirected delta exactly once.
       for (const DeltaEntry& d : ov.entries) {
-        if (node < d.e.neighbor) {
-          edges[{node, d.e.neighbor, static_cast<uint8_t>(d.e.kind)}] +=
-              static_cast<double>(d.e.weight);
+        if (node >= d.e.neighbor) continue;
+        if (drop_expired && spec.Expired(d.e.kind, now - d.timestamp)) {
+          continue;
         }
+        edges[{node, d.e.neighbor, static_cast<uint8_t>(d.e.kind)}] +=
+            static_cast<double>(d.e.weight);
       }
     }
   }
@@ -483,12 +820,23 @@ StatusOr<uint64_t> DynamicHeteroGraph::Compact() {
   auto new_base = std::make_shared<const HeteroGraph>(builder.Build());
 
   {
+    // The generation bump shares the exclusive section with the base swap,
+    // so CapturedBase() always hands snapshots a consistent (base,
+    // generation) pair — an old-base snapshot can never carry the new
+    // generation and validate hot-node entries built over the new base.
     std::unique_lock<std::shared_mutex> base_lock(base_mu_);
     base_ = new_base;
+    base_generation_.fetch_add(1, std::memory_order_acq_rel);
   }
   for (auto& sh : lock_shards_) sh.overlays.clear();
   for (auto& e : node_epoch_) e.store(0, std::memory_order_release);
   total_entries_.store(0, std::memory_order_release);
+  // Cache clear: snapshots pinned to the old base stop matching hot-node
+  // entries (generation mismatch), and post-compact entries carry overlay
+  // versions above the fold epoch as a second line of defense.
+  if (auto* cache = hot_cache_.load(std::memory_order_acquire)) {
+    cache->Clear();
+  }
   compacted_through_epoch_ = fold_epoch;
   return fold_epoch;
 }

@@ -30,6 +30,18 @@
 //    split or drop queued-but-unapplied deltas; snapshots taken before a
 //    compaction keep their (pinned) old base but lose delta visibility, so
 //    treat snapshots as short read leases.
+//  - TTL/decay windows (ConfigureDecay, or a per-view override passed to
+//    MakeSnapshot): delta entries carry their event timestamp; with an
+//    active DecaySpec a snapshot captures as_of from the injectable
+//    LogicalClock and every read excludes entries past their per-kind TTL
+//    and weighs the rest by exponential decay. Base-CSR edges — the offline
+//    aggregate — are never windowed. maintenance::TtlDecayPolicy installs
+//    the spec and garbage-collects expired entries (ExpireDeltas).
+//  - Hot-node overlay cache (AttachHotNodeCache): snapshot reads on
+//    delta-heavy nodes first consult maintenance::HotNodeOverlayCache for a
+//    pre-merged neighbor list + alias table (O(1) draws instead of the
+//    two-level resample); entries are invalidated here on ApplyBatch and
+//    expiry, cleared on Compact(), and version-checked on every lookup.
 #ifndef ZOOMER_STREAMING_DYNAMIC_HETERO_GRAPH_H_
 #define ZOOMER_STREAMING_DYNAMIC_HETERO_GRAPH_H_
 
@@ -40,14 +52,23 @@
 #include <set>
 #include <shared_mutex>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "common/clock.h"
 #include "common/random.h"
 #include "common/status.h"
 #include "graph/hetero_graph.h"
+#include "streaming/edge_decay.h"
 #include "streaming/graph_delta_log.h"
 
 namespace zoomer {
+
+namespace maintenance {
+class HotNodeOverlayCache;
+struct HotNodeCacheEntry;
+}  // namespace maintenance
+
 namespace streaming {
 
 /// A delta applier (the ingest pipeline) that Compact() can park at a batch
@@ -61,6 +82,10 @@ class CompactionParticipant {
 };
 
 class DynamicHeteroGraph {
+ private:
+  struct DeltaEntry;
+  struct NodeOverlay;
+
  public:
   /// Non-owning view: `base` must outlive this object (and any compacted
   /// successors replace it internally without touching the original).
@@ -95,16 +120,78 @@ class DynamicHeteroGraph {
   void AttachParticipant(CompactionParticipant* participant);
   void DetachParticipant(CompactionParticipant* participant);
 
+  /// Installs the graph-default TTL/decay window, evaluated against `clock`
+  /// at snapshot creation. Snapshots taken afterwards resolve decay-aware
+  /// reads; an inactive spec (all zeros) restores raw reads (and may pass a
+  /// clock only, enabling per-view windows without a graph default).
+  /// Usually called through maintenance::TtlDecayPolicy. An active spec
+  /// requires a clock — windows against event time are meaningless without
+  /// a time source.
+  void ConfigureDecay(const DecaySpec& spec, const LogicalClock* clock);
+  DecaySpec decay_spec() const;
+
+  /// Installs only the time source (keeps the current spec). Required
+  /// before any *per-view* window (MakeSnapshot(DecaySpec) /
+  /// DynamicGraphView's window constructor) when no TtlDecayPolicy has
+  /// configured the graph.
+  void SetClock(const LogicalClock* clock);
+
+  /// Attaches the hot-node overlay cache consulted by snapshot reads on
+  /// delta-carrying nodes (nullptr detaches). The cache must outlive this
+  /// graph or be detached first; maintenance::HotNodeRefreshPolicy attaches
+  /// on construction, keeps entries fresh, and detaches on destruction.
+  void AttachHotNodeCache(maintenance::HotNodeOverlayCache* cache);
+
+  /// Detaches `cache` iff it is still the attached one (so a policy tearing
+  /// down never un-attaches a replacement installed after it). Snapshots
+  /// taken while it was attached keep their pin — the cache must outlive
+  /// those regardless.
+  void DetachHotNodeCache(maintenance::HotNodeOverlayCache* cache);
+
+  /// Monotonic generation of the base CSR, bumped by every Compact();
+  /// stamps hot-node cache entries so a base swap invalidates them.
+  uint64_t base_generation() const {
+    return base_generation_.load(std::memory_order_acquire);
+  }
+
+  /// The node's overlay version: epoch of its newest delta entry (0 = no
+  /// overlay). Used by the hot-node cache consistency protocol.
+  uint64_t node_epoch(graph::NodeId node) const {
+    return node_epoch_[node].load(std::memory_order_acquire);
+  }
+
+  /// Nodes whose overlay holds at least `min_entries` delta half-edges —
+  /// the hot set the refresh policy materializes.
+  std::vector<graph::NodeId> DeltaNodes(int64_t min_entries) const;
+
+  /// Physically removes delta entries past their TTL under the installed
+  /// DecaySpec at `now_seconds` (no-op without TTLs). Decay-aware readers
+  /// already excluded them, so live snapshots observe no change; raw
+  /// (spec-less) snapshots lose the expired entries — same short-read-lease
+  /// contract as Compact(). Returns the nodes that lost entries and
+  /// invalidates their hot-node cache entries (expiry is the one overlay
+  /// mutation that does not bump the node's overlay version).
+  std::vector<graph::NodeId> ExpireDeltas(int64_t now_seconds);
+
   /// Applies one delta batch: every event becomes two half-edges in the
   /// endpoints' overlays, stamped with the batch epoch. Validates the whole
   /// batch before applying any of it.
   Status ApplyBatch(const DeltaBatch& batch);
 
-  /// Consistent read view pinned to the current base and epoch.
+  /// Consistent read view pinned to the current base and epoch. When a
+  /// DecaySpec is active (graph-default or per-snapshot override), every
+  /// accessor below resolves the *windowed* overlay: delta entries past
+  /// their TTL at as_of are invisible and the rest carry decayed weights.
   class Snapshot {
    public:
     const graph::HeteroGraph& base() const { return *base_; }
     uint64_t epoch() const { return epoch_; }
+    uint64_t base_generation() const { return base_generation_; }
+    bool decay_active() const { return decay_active_; }
+    /// Clock reading decay was evaluated at (0 when inactive or clockless).
+    int64_t as_of_seconds() const { return as_of_; }
+    /// The window this snapshot resolves reads under (inactive when none).
+    const DecaySpec& decay_window() const { return decay_; }
 
     /// True if the node carries any delta visible at this epoch.
     bool HasDelta(graph::NodeId node) const;
@@ -134,6 +221,15 @@ class DynamicHeteroGraph {
                    std::vector<float>* weights,
                    std::vector<graph::RelationKind>* kinds) const;
 
+    /// Typed sub-view of the merge: base CSR typed range (contiguous by
+    /// construction) plus only the visible delta entries whose neighbor is
+    /// of type `t` — no full-neighborhood merge. Feeds edge-attention
+    /// grouping, which only compares neighbors of one type.
+    void NeighborsOfType(graph::NodeId node, graph::NodeType t,
+                         std::vector<graph::NodeId>* ids,
+                         std::vector<float>* weights,
+                         std::vector<graph::RelationKind>* kinds) const;
+
     /// One weighted draw over base + visible delta. Returns -1 for nodes
     /// with no edges at this epoch.
     graph::NodeId SampleNeighbor(graph::NodeId node, Rng* rng) const;
@@ -148,15 +244,65 @@ class DynamicHeteroGraph {
    private:
     friend class DynamicHeteroGraph;
     Snapshot(const DynamicHeteroGraph* owner,
-             std::shared_ptr<const graph::HeteroGraph> base, uint64_t epoch)
-        : owner_(owner), base_(std::move(base)), epoch_(epoch) {}
+             std::shared_ptr<const graph::HeteroGraph> base,
+             uint64_t base_generation, uint64_t epoch, DecaySpec decay,
+             int64_t as_of);
+
+    /// Decayed weight of a visible entry, or < 0 when expired at as_of_.
+    float EntryWeight(const DeltaEntry& entry) const;
+
+    /// Validated hot-cache entry for `node` (nullptr on miss or no cache) —
+    /// the single place the consistency-protocol arguments are assembled.
+    /// `overlay_version` is the node_epoch the caller already loaded.
+    const maintenance::HotNodeCacheEntry* HotEntry(
+        graph::NodeId node, uint64_t overlay_version) const;
+
+    /// Invokes fn(entry, decayed_weight) for every entry of the visible
+    /// prefix that survives the TTL window. Caller holds the lock shard.
+    template <typename Fn>
+    void ForEachVisibleDelta(const DeltaEntry* entries, size_t prefix,
+                             Fn&& fn) const;
+
+    /// Shared coalescing core behind the Neighbors overloads: folds the
+    /// visible (windowed) delta prefix into a merged list of `merged_size`
+    /// base entries via callbacks (keep(entry) filters, key_at(i) ->
+    /// coalescing key of merged entry i, append(entry, w), add_weight(i,
+    /// w)). Linear probing for tiny deltas, hash-indexed once a node runs
+    /// hot.
+    template <typename Keep, typename KeyAt, typename Append,
+              typename AddWeight>
+    void CoalesceVisibleDeltas(const NodeOverlay& ov, size_t merged_size,
+                               Keep keep, KeyAt key_at, Append append,
+                               AddWeight add_weight) const;
+
+    /// Two-level base+delta draw over a resolved overlay whose visible
+    /// prefix is non-empty. Caller must hold the node's lock shard
+    /// (shared). Returns -1 only when nothing is drawable.
+    graph::NodeId SampleOverlayLocked(graph::NodeId node,
+                                      const NodeOverlay& ov, size_t prefix,
+                                      Rng* rng) const;
 
     const DynamicHeteroGraph* owner_;
     std::shared_ptr<const graph::HeteroGraph> base_;
     uint64_t epoch_;
+    uint64_t base_generation_;
+    maintenance::HotNodeOverlayCache* hot_cache_;  // may be null
+    /// Reader pin: keeps cache entries this snapshot may be pointing at
+    /// from being reclaimed (copies of the snapshot share it).
+    std::shared_ptr<void> hot_pin_;
+    DecaySpec decay_;
+    bool decay_active_;
+    int64_t as_of_;
   };
 
+  /// Snapshot under the graph-default decay window (none if unconfigured).
   Snapshot MakeSnapshot() const;
+  /// Snapshot under an explicit window — how two views serve a 1-hour and
+  /// a 1-day horizon from the same stream. An active window requires an
+  /// installed clock (SetClock / ConfigureDecay): without one the window
+  /// could never expire or decay anything, so that misconfiguration is a
+  /// hard error rather than a silent no-op.
+  Snapshot MakeSnapshot(const DecaySpec& window) const;
 
   /// Rebuilds the base CSR with every applied delta folded in (duplicate
   /// (a, b, kind) edges coalesced by weight, matching the offline builder's
@@ -165,6 +311,10 @@ class DynamicHeteroGraph {
   /// quiesced first, so a mid-ingest compaction parks the pipeline at a
   /// batch boundary instead of splitting or dropping in-flight deltas;
   /// appliers not registered as participants must not run concurrently.
+  /// Under an installed TTL window, entries already expired at fold time
+  /// are dropped (never resurrected as base edges); surviving entries fold
+  /// at full raw weight — compaction is how a streamed edge graduates into
+  /// the un-windowed offline aggregate.
   StatusOr<uint64_t> Compact();
 
   /// Current base CSR (changes only at Compact).
@@ -180,6 +330,7 @@ class DynamicHeteroGraph {
   struct DeltaEntry {
     graph::NeighborEntry e;
     uint64_t epoch;
+    int64_t timestamp;  // event time (seconds) for TTL/decay windows
   };
 
   /// Per-node overlay: epoch-ordered delta entries plus cumulative weights
@@ -203,30 +354,12 @@ class DynamicHeteroGraph {
   }
 
   void AppendHalfEdge(const graph::HeteroGraph& base, graph::NodeId node,
-                      graph::NeighborEntry entry, uint64_t epoch);
-
-  /// Two-level base+delta draw over a resolved overlay with prefix > 0
-  /// visible entries. Caller must hold the node's lock shard (shared).
-  static graph::NodeId SampleOverlayLocked(const graph::HeteroGraph& base,
-                                           graph::NodeId node,
-                                           const NodeOverlay& ov,
-                                           size_t prefix, Rng* rng);
+                      graph::NeighborEntry entry, uint64_t epoch,
+                      int64_t timestamp);
 
   /// Visible-prefix length of a node's overlay at `at_epoch` (entries are
   /// epoch-ordered). Caller must hold the node's lock shard.
   static size_t VisiblePrefix(const NodeOverlay& ov, uint64_t at_epoch);
-
-  /// Shared coalescing core behind both Snapshot::Neighbors overloads:
-  /// folds the visible delta prefix into a merged list of `merged_size`
-  /// base entries via callbacks (key_at(i) -> coalescing key of merged
-  /// entry i, append(entry), add_weight(i, w)). Linear probing for tiny
-  /// deltas, hash-indexed once a node runs hot. Defined in the .cc (only
-  /// used there).
-  template <typename KeyAt, typename Append, typename AddWeight>
-  static void CoalesceVisibleDeltas(const std::vector<DeltaEntry>& entries,
-                                    size_t prefix, size_t merged_size,
-                                    KeyAt key_at, Append append,
-                                    AddWeight add_weight);
 
   /// Current base CSR: swapped only at Compact, read (copied) once per
   /// snapshot or batch — never per draw. Shared-mode acquisitions do not
@@ -236,12 +369,33 @@ class DynamicHeteroGraph {
   mutable std::shared_mutex base_mu_;
   std::shared_ptr<const graph::HeteroGraph> base_;  // guarded by base_mu_
 
+  /// (base, generation) captured in one base_mu_ critical section —
+  /// Compact() bumps the generation inside the same exclusive section that
+  /// swaps the base, so a snapshot can never pair an old base with a new
+  /// generation (which would let it validate hot-cache entries built over
+  /// the new base).
+  std::pair<std::shared_ptr<const graph::HeteroGraph>, uint64_t>
+  CapturedBase() const;
+
+  /// Shared body of the MakeSnapshot overloads: resolves the effective
+  /// window (override, or the graph default when null) and clock in one
+  /// decay_mu_ section, then captures (base, generation) and the watermark.
+  Snapshot SnapshotUnder(const DecaySpec* override_window) const;
+
   std::vector<std::atomic<uint64_t>> node_epoch_;  // 0 = no overlay
   std::array<LockShard, kNumLockShards> lock_shards_;
   std::atomic<uint64_t> max_applied_epoch_{0};
   std::atomic<int64_t> total_entries_{0};
+  std::atomic<uint64_t> base_generation_{0};  // bumped by Compact
   uint64_t compacted_through_epoch_ = 0;  // guarded by compact_mu_
   std::mutex compact_mu_;
+
+  /// Graph-default TTL/decay window; copied into every snapshot.
+  mutable std::shared_mutex decay_mu_;
+  DecaySpec decay_spec_;                          // guarded by decay_mu_
+  const LogicalClock* clock_ = nullptr;           // guarded by decay_mu_
+
+  std::atomic<maintenance::HotNodeOverlayCache*> hot_cache_{nullptr};
 
   /// Recomputes and CAS-max-publishes watermark_epoch_ from the pending
   /// set. Caller must hold epoch_mu_.

@@ -1,0 +1,95 @@
+// Per-edge-type recency windows over streamed deltas (ROADMAP streaming
+// follow-up: "TTL/decay on delta edges to window 1-hour vs 1-day graphs
+// online"). Every delta entry carries its event timestamp; a DecaySpec turns
+// that age into
+//   - a hard TTL cutoff: entries older than ttl_seconds for their relation
+//     kind stop being visible through decay-aware snapshots (and are
+//     physically garbage-collected by maintenance::TtlDecayPolicy), and
+//   - an exponential weight decay with half-life half_life_seconds: an edge
+//     observed one half-life ago contributes half its recorded weight to
+//     degree-weighted sampling and neighbor merges.
+// Base-CSR edges are the offline aggregate and are never windowed — only the
+// streamed suffix ages. Two views over one DynamicHeteroGraph can carry
+// different specs (e.g. a 1-hour and a 1-day window) and serve both
+// freshness horizons from the same stream; timestamps are interpreted
+// against an injectable LogicalClock so tests are deterministic.
+#ifndef ZOOMER_STREAMING_EDGE_DECAY_H_
+#define ZOOMER_STREAMING_EDGE_DECAY_H_
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+
+#include "graph/hetero_graph.h"
+
+namespace zoomer {
+namespace streaming {
+
+struct DecaySpec {
+  struct KindWindow {
+    /// Entries older than this stop being visible. 0 = never expires.
+    int64_t ttl_seconds = 0;
+    /// Exponential half-life of the entry's weight. 0 = no decay.
+    double half_life_seconds = 0.0;
+
+    bool operator==(const KindWindow&) const = default;
+  };
+
+  std::array<KindWindow, graph::kNumRelationKinds> kinds;
+
+  /// Identity comparison — the hot-node cache stamps entries with the spec
+  /// their merge was windowed under, so a view with a different horizon
+  /// never serves another window's merge.
+  bool operator==(const DecaySpec&) const = default;
+
+  /// True if any relation kind has a hard TTL (drives expiry sweeps and
+  /// the compaction-time fold filter).
+  bool has_ttl() const {
+    for (const KindWindow& k : kinds) {
+      if (k.ttl_seconds > 0) return true;
+    }
+    return false;
+  }
+
+  /// True if any relation kind expires or decays; inactive specs keep every
+  /// read on the raw prefix-sum fast path.
+  bool active() const {
+    for (const KindWindow& k : kinds) {
+      if (k.ttl_seconds > 0 || k.half_life_seconds > 0.0) return true;
+    }
+    return false;
+  }
+
+  bool Expired(graph::RelationKind kind, int64_t age_seconds) const {
+    const KindWindow& k = kinds[static_cast<int>(kind)];
+    return k.ttl_seconds > 0 && age_seconds >= k.ttl_seconds;
+  }
+
+  /// Decayed contribution of a raw weight at the given age. Expiry is not
+  /// checked here; callers filter with Expired() first. Events timestamped
+  /// in the future (age < 0) count at full weight.
+  float DecayedWeight(graph::RelationKind kind, float weight,
+                      int64_t age_seconds) const {
+    const KindWindow& k = kinds[static_cast<int>(kind)];
+    if (k.half_life_seconds <= 0.0 || age_seconds <= 0) return weight;
+    return static_cast<float>(
+        weight * std::exp2(-static_cast<double>(age_seconds) /
+                           k.half_life_seconds));
+  }
+
+  /// Uniform window over every relation kind (the common case: one
+  /// freshness horizon for all behavior edges).
+  static DecaySpec Window(int64_t ttl_seconds, double half_life_seconds) {
+    DecaySpec spec;
+    for (auto& k : spec.kinds) {
+      k.ttl_seconds = ttl_seconds;
+      k.half_life_seconds = half_life_seconds;
+    }
+    return spec;
+  }
+};
+
+}  // namespace streaming
+}  // namespace zoomer
+
+#endif  // ZOOMER_STREAMING_EDGE_DECAY_H_
