@@ -13,17 +13,28 @@
 //      through the dynamic GraphView — view re-pins per minibatch, and ROI
 //      coverage of freshly arrived edges vs the stale static CSR,
 //   6. compaction cost: folding deltas back into the CSR and truncating the
-//      delta log, and
+//      delta log,
 //   7. maintenance: delta-heavy sampling with/without the hot-node overlay
 //      cache (acceptance: cached within 2x of static-CSR sampling, vs ~6x
 //      uncached), and overlay growth over a live ingest with the janitor's
-//      scheduled compaction on vs off.
+//      scheduled compaction on vs off, and
+//   8. cold-start node ingestion: brand-new item nodes minted online
+//      through OfferNewNode (id-space growth), their arrival rate, and
+//      ROI-sampler reachability through the grown dynamic view.
+//
+// Flags: --smoke shrinks every workload for a CI smoke run; --json PATH
+// writes the headline metrics as a flat JSON object so the workflow can
+// archive a BENCH_*.json artifact per commit and the perf trajectory
+// accumulates.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <memory>
+#include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/random.h"
@@ -105,15 +116,46 @@ double TimeCacheHits(serving::NeighborCache* cache,
   return timer.ElapsedMicros() / reads;
 }
 
+struct BenchConfig {
+  bool smoke = false;          // tiny iteration counts for the CI smoke run
+  std::string json_path;       // "" = no JSON artifact
+};
+
+/// Flat (name, value) metric sink serialized as one JSON object; names use
+/// unit suffixes so the artifact is self-describing.
+class MetricSink {
+ public:
+  void Record(const std::string& name, double value) {
+    metrics_.emplace_back(name, value);
+  }
+  bool WriteJson(const std::string& path, bool smoke) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    std::fprintf(f, "{\n  \"bench\": \"streaming_freshness\",\n");
+    std::fprintf(f, "  \"smoke\": %s", smoke ? "true" : "false");
+    for (const auto& [name, value] : metrics_) {
+      std::fprintf(f, ",\n  \"%s\": %.6g", name.c_str(), value);
+    }
+    std::fprintf(f, "\n}\n");
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  std::vector<std::pair<std::string, double>> metrics_;
+};
+
 }  // namespace
 
-int Run() {
-  std::printf("=== Streaming freshness benchmark ===\n");
+int Run(const BenchConfig& cfg) {
+  std::printf("=== Streaming freshness benchmark%s ===\n",
+              cfg.smoke ? " (smoke)" : "");
+  MetricSink sink;
   data::TaobaoGeneratorOptions opt;
-  opt.num_users = 1500;
-  opt.num_queries = 800;
-  opt.num_items = 3000;
-  opt.num_sessions = 12000;
+  opt.num_users = cfg.smoke ? 300 : 1500;
+  opt.num_queries = cfg.smoke ? 200 : 800;
+  opt.num_items = cfg.smoke ? 600 : 3000;
+  opt.num_sessions = cfg.smoke ? 2400 : 12000;
   opt.num_categories = 16;
   opt.content_dim = 16;
   opt.seed = 42;
@@ -133,13 +175,13 @@ int Run() {
   pipeline.Start();
 
   data::LiveSessionOptions lopt;
-  lopt.num_sessions = 8000;
+  lopt.num_sessions = cfg.smoke ? 800 : 8000;
   lopt.start_timestamp = opt.time_horizon_seconds + 1;
   lopt.seed = 77;
   auto live = data::SynthesizeLiveSessions(ds, lopt);
 
   // Overhead measured on untouched nodes before any delta exists.
-  const int kDraws = 200000;
+  const int kDraws = cfg.smoke ? 20000 : 200000;
   const double static_clean =
       TimeStaticSampling(ds.graph, queries, kDraws, 11);
   const double dyn_clean = TimeDynamicSampling(dyn, queries, kDraws, 11);
@@ -157,6 +199,8 @@ int Run() {
       static_cast<long long>(istats.batches), kShards,
       istats.events_applied / ingest_seconds,
       istats.sessions / ingest_seconds);
+  sink.Record("ingest_events_per_sec", istats.events_applied / ingest_seconds);
+  sink.Record("ingest_sessions_per_sec", istats.sessions / ingest_seconds);
   std::printf("[ingest] delta overlay: %lld half-edges on %lld nodes "
               "(%.1f KiB), log %.1f KiB, epoch %llu\n",
               static_cast<long long>(dyn.num_delta_entries()),
@@ -182,9 +226,12 @@ int Run() {
   serving::NeighborCache static_cache(&ds.graph, copt);
   serving::NeighborCache dynamic_cache(&ds.graph, copt);
   dynamic_cache.AttachDynamicGraph(&dyn);
-  const int kReads = 200000;
+  const int kReads = cfg.smoke ? 20000 : 200000;
   const double hit_static = TimeCacheHits(&static_cache, queries, kReads);
   const double hit_dynamic = TimeCacheHits(&dynamic_cache, queries, kReads);
+  sink.Record("sample_untouched_ratio", dyn_clean / static_clean);
+  sink.Record("sample_delta_ratio", dyn_delta / static_delta);
+  sink.Record("cache_hit_ratio_vs_static", hit_dynamic / hit_static);
 
   std::printf("\n[read-path overhead vs static CSR, per-op micros]\n");
   std::printf("  %-34s %10s %10s %8s\n", "path", "static", "dynamic", "ratio");
@@ -215,7 +262,7 @@ int Run() {
 
   LatencyStats visibility;
   int timeouts = 0;
-  const int kRounds = 60;
+  const int kRounds = cfg.smoke ? 10 : 60;
   for (int r = 0; r < kRounds; ++r) {
     const NodeId user = users[rng.Uniform(users.size())];
     const NodeId query = queries[rng.Uniform(queries.size())];
@@ -249,6 +296,8 @@ int Run() {
               visibility.Mean(), visibility.Percentile(50),
               visibility.Percentile(99), visibility.count(), kRounds,
               timeouts);
+  sink.Record("visibility_p50_ms", visibility.Percentile(50));
+  sink.Record("visibility_p99_ms", visibility.Percentile(99));
   vpipe.Stop();
 
   // ---- 4. End-to-end OnlineServer freshness -------------------------------
@@ -294,15 +343,15 @@ int Run() {
 
   // ---- 5. Training freshness ----------------------------------------------
   {
-    core::ZoomerConfig cfg;
-    cfg.hidden_dim = 8;
-    cfg.sampler.k = 4;
-    cfg.sampler.num_hops = 1;
-    core::ZoomerModel model(&ds.graph, cfg);
+    core::ZoomerConfig mcfg;
+    mcfg.hidden_dim = 8;
+    mcfg.sampler.k = 4;
+    mcfg.sampler.num_hops = 1;
+    core::ZoomerModel model(&ds.graph, mcfg);
     core::TrainOptions topt;
     topt.epochs = 1;
     topt.batch_size = 32;
-    topt.max_examples_per_epoch = 256;
+    topt.max_examples_per_epoch = cfg.smoke ? 64 : 256;
     core::ZoomerTrainer trainer(&model, topt);
     streaming::DynamicGraphView view(&dyn);
     streaming::IngestPipeline tpipe(&log, &dyn, iopt);
@@ -312,7 +361,7 @@ int Run() {
     std::atomic<bool> done{false};
     std::thread feeder([&] {
       data::LiveSessionOptions flopt;
-      flopt.num_sessions = 2000;
+      flopt.num_sessions = cfg.smoke ? 300 : 2000;
       flopt.start_timestamp = opt.time_horizon_seconds + 2;
       flopt.seed = 99;
       auto fresh = data::SynthesizeLiveSessions(ds, flopt);
@@ -335,7 +384,7 @@ int Run() {
     // focal-top-k ROI (through the refreshed view) contains a neighbor the
     // static CSR has never seen. The static trainer scores 0 by definition.
     view.Refresh();
-    core::RoiSampler roi_sampler(cfg.sampler);
+    core::RoiSampler roi_sampler(mcfg.sampler);
     Rng crng(123);
     int covered = 0, considered = 0;
     for (NodeId q : queries) {
@@ -381,6 +430,7 @@ int Run() {
   std::printf("[compact] delta-node sample cost after compaction: %.4f "
               "micros/op (%.2fx static)\n",
               dyn_after_compact, dyn_after_compact / static_delta);
+  sink.Record("compact_ms", compact_ms);
 
   // ---- 7. Maintenance: hot-node cache + scheduled compaction ---------------
   {
@@ -390,11 +440,13 @@ int Run() {
     // table of the hot-node overlay cache.
     std::vector<NodeId> hot(queries.begin(),
                             queries.begin() + std::min<size_t>(
-                                                  64, queries.size()));
+                                                  cfg.smoke ? 16 : 64,
+                                                  queries.size()));
     Rng hrng(211);
+    const int deltas_per_hot_node = cfg.smoke ? 128 : 512;
     std::vector<streaming::EdgeEvent> burst;
     for (NodeId q : hot) {
-      for (int i = 0; i < 512; ++i) {
+      for (int i = 0; i < deltas_per_hot_node; ++i) {
         burst.push_back({q,
                          ds.all_items[hrng.Uniform(ds.all_items.size())],
                          graph::RelationKind::kClick, 1.0f, 0});
@@ -429,9 +481,11 @@ int Run() {
     const double hot_cached = TimeDynamicSampling(dyn, hot, kDraws, 19);
 
     auto cstats = hot_cache.Stats();
-    std::printf("\n[maintenance] delta-heavy sampling, %zu nodes x ~512 "
+    sink.Record("hot_uncached_ratio", hot_uncached / static_hot);
+    sink.Record("hot_cached_ratio", hot_cached / static_hot);
+    std::printf("\n[maintenance] delta-heavy sampling, %zu nodes x ~%d "
                 "deltas (per-op micros)\n",
-                hot.size());
+                hot.size(), deltas_per_hot_node);
     std::printf("  %-34s %10.4f\n", "static CSR", static_hot);
     std::printf("  %-34s %10.4f %7.2fx\n", "dynamic, no hot-node cache",
                 hot_uncached, hot_uncached / static_hot);
@@ -471,7 +525,7 @@ int Run() {
       }
       jpipe.Start();
       data::LiveSessionOptions jlopt;
-      jlopt.num_sessions = 6000;
+      jlopt.num_sessions = cfg.smoke ? 600 : 6000;
       jlopt.start_timestamp = opt.time_horizon_seconds + 3;
       jlopt.seed = 311;
       auto sessions = data::SynthesizeLiveSessions(ds, jlopt);
@@ -503,7 +557,9 @@ int Run() {
     };
     auto grown = timed_ingest(/*janitor=*/false);
     auto swept = timed_ingest(/*janitor=*/true);
-    std::printf("\n[maintenance] overlay bytes over 6000 live sessions "
+    sink.Record("overlay_peak_kib_janitor_off", grown.peak_bytes / 1024.0);
+    sink.Record("overlay_peak_kib_janitor_on", swept.peak_bytes / 1024.0);
+    std::printf("\n[maintenance] overlay bytes over the live-session sweep "
                 "(scheduled compaction off vs on)\n");
     std::printf("  %-26s peak %8.1f KiB  final %8.1f KiB\n", "janitor off",
                 grown.peak_bytes / 1024.0, grown.final_bytes / 1024.0);
@@ -514,11 +570,94 @@ int Run() {
                 static_cast<long long>(swept.compactions));
   }
 
+  // ---- 8. Cold-start node ingestion (id-space growth) ----------------------
+  {
+    data::ColdStartOptions aopt;
+    aopt.num_new_items = cfg.smoke ? 50 : 500;
+    aopt.start_timestamp = opt.time_horizon_seconds + 4;
+    aopt.seed = 401;
+    auto arrivals = data::SynthesizeColdStartArrivals(ds, aopt);
+    const int64_t nodes_before = dyn.MakeSnapshot().num_nodes();
+    WallTimer mint_timer;
+    std::vector<NodeId> minted;
+    minted.reserve(arrivals.size());
+    for (auto& arrival : arrivals) {
+      auto id = pipeline.OfferNewNode(std::move(arrival.item),
+                                      std::move(arrival.edges));
+      if (!id.ok()) {
+        std::printf("cold-start offer failed: %s\n",
+                    id.status().ToString().c_str());
+        return 1;
+      }
+      minted.push_back(id.value());
+    }
+    const double mint_seconds = mint_timer.ElapsedSeconds();
+    auto snap = dyn.MakeSnapshot();
+
+    // Reachability: every minted item resolves through the grown view and
+    // its introducing edges expand into a non-trivial ROI.
+    streaming::DynamicGraphView grown_view(&dyn);
+    core::RoiSamplerOptions ropt;
+    ropt.k = 4;
+    ropt.num_hops = 2;
+    core::RoiSampler roi(ropt);
+    Rng nrng(77);
+    int reachable = 0;
+    for (NodeId id : minted) {
+      auto fc = roi.FocalVector(grown_view, {users[0], id});
+      reachable += roi.Sample(grown_view, id, fc, &nrng).size() > 1;
+    }
+    std::printf(
+        "\n[node ingest] %zu cold-start items minted in %.3f s (%.0f "
+        "nodes/s); id-space %lld -> %lld; %d/%zu reachable via 2-hop ROI\n",
+        minted.size(), mint_seconds, minted.size() / mint_seconds,
+        static_cast<long long>(nodes_before),
+        static_cast<long long>(snap.num_nodes()), reachable, minted.size());
+    sink.Record("node_ingest_per_sec", minted.size() / mint_seconds);
+    sink.Record("node_ingest_roi_reachable_frac",
+                reachable / static_cast<double>(minted.size()));
+
+    // The fold appends them into the next base generation renumber-free.
+    WallTimer fold_timer;
+    auto refolded = dyn.Compact();
+    if (!refolded.ok()) {
+      std::printf("post-mint compact failed: %s\n",
+                  refolded.status().ToString().c_str());
+      return 1;
+    }
+    log.Truncate(refolded.value());
+    std::printf("[node ingest] fold with %zu overlay nodes: %.1f ms; new "
+                "base: %s\n",
+                minted.size(), fold_timer.ElapsedMillis(),
+                dyn.base()->DebugString().c_str());
+    sink.Record("node_ingest_fold_ms", fold_timer.ElapsedMillis());
+  }
+
   pipeline.Stop();
+  if (!cfg.json_path.empty()) {
+    if (!sink.WriteJson(cfg.json_path, cfg.smoke)) {
+      std::printf("failed to write %s\n", cfg.json_path.c_str());
+      return 1;
+    }
+    std::printf("\nmetrics written to %s\n", cfg.json_path.c_str());
+  }
   return 0;
 }
 
 }  // namespace bench
 }  // namespace zoomer
 
-int main() { return zoomer::bench::Run(); }
+int main(int argc, char** argv) {
+  zoomer::bench::BenchConfig cfg;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      cfg.smoke = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      cfg.json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--json PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+  return zoomer::bench::Run(cfg);
+}

@@ -38,7 +38,7 @@ Tensor PinnerSageModel::ItemTower(NodeId item) const {
 }
 
 void PinnerSageModel::OnEpochBegin(const data::RetrievalDataset& ds,
-                                   Rng* rng) {
+                                   Rng* /*rng*/) {
   if (history_.empty()) {
     for (const auto& rec : ds.log) {
       auto& h = history_[rec.user];
@@ -159,15 +159,14 @@ Tensor PinnerSageModel::UserQueryTower(NodeId user, NodeId query) const {
   return Tanh(uq_tower_.Forward(ConcatCols(rep, q)));
 }
 
-Tensor PinnerSageModel::ScoreLogit(const data::Example& ex, Rng* rng) {
+Tensor PinnerSageModel::ScoreLogit(const data::Example& ex, Rng* /*rng*/) {
   Tensor uq = UserQueryTower(ex.user, ex.query);
   Tensor it = ItemTower(ex.item);
   return Mul(RowwiseCosine(uq, it), logit_scale_);
 }
 
-std::vector<float> PinnerSageModel::UserQueryEmbeddingInference(NodeId user,
-                                                                NodeId query,
-                                                                Rng* rng) {
+std::vector<float> PinnerSageModel::UserQueryEmbeddingInference(
+    NodeId user, NodeId query, Rng* /*rng*/) {
   Tensor uq = UserQueryTower(user, query);
   return {uq.data(), uq.data() + uq.size()};
 }

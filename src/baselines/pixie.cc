@@ -12,7 +12,7 @@ PixieModel::PixieModel(const graph::HeteroGraph* g, const PixieConfig& config)
     : graph_(g), config_(config) {}
 
 const std::unordered_map<NodeId, int>& PixieModel::CountsFor(NodeId pin,
-                                                             Rng* rng) {
+                                                             Rng* /*rng*/) {
   auto it = cache_.find(pin);
   if (it != cache_.end()) return it->second;
   std::unordered_map<NodeId, int> counts;

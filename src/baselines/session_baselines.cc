@@ -64,7 +64,7 @@ std::string SessionBaselineModel::name() const {
 }
 
 void SessionBaselineModel::OnEpochBegin(const data::RetrievalDataset& ds,
-                                        Rng* rng) {
+                                        Rng* /*rng*/) {
   if (!history_.empty()) return;
   for (const auto& rec : ds.log) {
     auto& h = history_[rec.user];
@@ -119,7 +119,7 @@ Tensor SessionBaselineModel::GceGnnReadout(const Tensor& history,
 }
 
 Tensor SessionBaselineModel::FgnnReadout(const Tensor& history,
-                                         const Tensor& query) const {
+                                         const Tensor& /*query*/) const {
   // Learned positional factors: score_i = v' tanh(W1 e_i + P_i).
   const int64_t n = history.rows();
   std::vector<int64_t> pos(n);
@@ -134,7 +134,7 @@ Tensor SessionBaselineModel::FgnnReadout(const Tensor& history,
 }
 
 Tensor SessionBaselineModel::MccfReadout(const Tensor& history,
-                                         const Tensor& query) const {
+                                         const Tensor& /*query*/) const {
   // M motivation components; component-level gating over component readouts.
   std::vector<Tensor> comp_vecs, gate_scores;
   for (const auto& comp : components_) {
@@ -188,14 +188,14 @@ Tensor SessionBaselineModel::ItemTower(NodeId item) const {
   return Tanh(item_tower_.Forward(self));
 }
 
-Tensor SessionBaselineModel::ScoreLogit(const data::Example& ex, Rng* rng) {
+Tensor SessionBaselineModel::ScoreLogit(const data::Example& ex, Rng* /*rng*/) {
   Tensor uq = UserQueryTower(ex.user, ex.query);
   Tensor it = ItemTower(ex.item);
   return Mul(RowwiseCosine(uq, it), logit_scale_);
 }
 
 std::vector<float> SessionBaselineModel::UserQueryEmbeddingInference(
-    NodeId user, NodeId query, Rng* rng) {
+    NodeId user, NodeId query, Rng* /*rng*/) {
   Tensor uq = UserQueryTower(user, query);
   return {uq.data(), uq.data() + uq.size()};
 }

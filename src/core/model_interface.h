@@ -51,7 +51,8 @@ class ScoringModel {
 
   /// Hook invoked once per training epoch (e.g., PinnerSage re-clusters its
   /// user medoids). Default: no-op.
-  virtual void OnEpochBegin(const data::RetrievalDataset& ds, Rng* rng) {}
+  virtual void OnEpochBegin(const data::RetrievalDataset& /*ds*/,
+                            Rng* /*rng*/) {}
 };
 
 }  // namespace core

@@ -62,5 +62,77 @@ graph::SessionLog SynthesizeLiveSessions(const RetrievalDataset& ds,
   return log;
 }
 
+std::vector<ColdStartArrival> SynthesizeColdStartArrivals(
+    const RetrievalDataset& ds, const ColdStartOptions& options) {
+  const auto& g = ds.graph;
+  ZCHECK_EQ(static_cast<int64_t>(ds.category.size()), g.num_nodes());
+  ZCHECK(!ds.all_items.empty());
+  std::vector<NodeId> users;
+  std::vector<std::vector<NodeId>> queries_by_cat;
+  auto bucket = [&queries_by_cat](int cat) -> std::vector<NodeId>& {
+    if (static_cast<size_t>(cat) >= queries_by_cat.size()) {
+      queries_by_cat.resize(cat + 1);
+    }
+    return queries_by_cat[cat];
+  };
+  std::vector<NodeId> all_queries;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (g.node_type(v) == NodeType::kUser) users.push_back(v);
+    if (g.node_type(v) == NodeType::kQuery) {
+      all_queries.push_back(v);
+      if (ds.category[v] >= 0) bucket(ds.category[v]).push_back(v);
+    }
+  }
+  ZCHECK(!users.empty());
+  ZCHECK(!all_queries.empty());
+
+  Rng rng(options.seed);
+  std::vector<ColdStartArrival> arrivals;
+  arrivals.reserve(options.num_new_items);
+  for (int i = 0; i < options.num_new_items; ++i) {
+    const int64_t ts =
+        options.start_timestamp +
+        static_cast<int64_t>(i) * options.inter_arrival_seconds;
+    // A new catalog item resembles an existing one of its category: noisy
+    // copy of the template's content, same categorical slots (the model
+    // embeds slot ids it has seen; inventing fresh vocab is the offline
+    // build's job).
+    const NodeId tmpl = ds.all_items[rng.Uniform(ds.all_items.size())];
+    const int cat = ds.category[tmpl];
+    ColdStartArrival arrival;
+    arrival.item.type = NodeType::kItem;
+    arrival.item.timestamp = ts;
+    const float* c = g.content(tmpl);
+    arrival.item.content.assign(c, c + g.content_dim());
+    for (float& x : arrival.item.content) {
+      x += static_cast<float>(rng.Normal()) *
+           static_cast<float>(options.content_noise);
+    }
+    auto tmpl_slots = g.slots(tmpl);
+    arrival.item.slots.assign(tmpl_slots.begin(), tmpl_slots.end());
+
+    const auto& cat_queries =
+        (cat >= 0 && static_cast<size_t>(cat) < queries_by_cat.size() &&
+         !queries_by_cat[cat].empty())
+            ? queries_by_cat[cat]
+            : all_queries;
+    for (int s = 0; s < options.introducing_sessions; ++s) {
+      const NodeId user = users[rng.Uniform(users.size())];
+      const NodeId query = cat_queries[rng.Uniform(cat_queries.size())];
+      arrival.edges.push_back(
+          {user, query, graph::RelationKind::kClick, 1.0f, ts});
+      // -1 placeholder: the new item's id, assigned at append time.
+      arrival.edges.push_back(
+          {query, -1, graph::RelationKind::kClick, 1.0f, ts});
+    }
+    // Session adjacency to the template: the new item was browsed next to
+    // its closest catalog sibling.
+    arrival.edges.push_back(
+        {-1, tmpl, graph::RelationKind::kSession, 1.0f, ts});
+    arrivals.push_back(std::move(arrival));
+  }
+  return arrivals;
+}
+
 }  // namespace data
 }  // namespace zoomer

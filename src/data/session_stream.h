@@ -5,12 +5,21 @@
 // noise). These sessions postdate the offline graph build — exactly the
 // traffic the paper's deployment ingests continuously — so none of their
 // edges exist in the base CSR.
+//
+// Cold-start synthesis (SynthesizeColdStartArrivals) goes one step further:
+// it mints items the offline build has never seen — a NodeEvent carrying a
+// fresh content vector drawn near an existing category's items, plus the
+// first click/session edges that introduce it (placeholder -1 endpoints
+// refer to the about-to-be-assigned id). Feed each arrival to
+// IngestPipeline::OfferNewNode to grow the id-space online.
 #ifndef ZOOMER_DATA_SESSION_STREAM_H_
 #define ZOOMER_DATA_SESSION_STREAM_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "data/dataset.h"
+#include "streaming/graph_delta_log.h"
 
 namespace zoomer {
 namespace data {
@@ -35,6 +44,35 @@ struct LiveSessionOptions {
 /// generators).
 graph::SessionLog SynthesizeLiveSessions(const RetrievalDataset& ds,
                                          const LiveSessionOptions& options);
+
+struct ColdStartOptions {
+  int num_new_items = 50;
+  /// Distinct (user, query) pairs whose session introduces each new item.
+  int introducing_sessions = 2;
+  /// Gaussian noise scale applied to the template item's content vector.
+  double content_noise = 0.05;
+  /// First arrival timestamp; defaults past the live-session horizon.
+  int64_t start_timestamp = 2 * 86400;
+  int64_t inter_arrival_seconds = 1;
+  uint64_t seed = 131;
+};
+
+/// One brand-new item plus the traffic that introduces it: the NodeEvent's
+/// id is unassigned (-1), and edge endpoints equal to -1 are placeholders
+/// for it (resolved when GraphDeltaLog::AppendWithNodes allocates the id —
+/// pass both parts to IngestPipeline::OfferNewNode as one batch).
+struct ColdStartArrival {
+  streaming::NodeEvent item;
+  std::vector<streaming::EdgeEvent> edges;
+};
+
+/// Synthesizes items the offline build has never seen. Each new item copies
+/// the category structure of an existing "template" item (noisy content,
+/// same category slot), and arrives with click edges from same-category
+/// queries (plus their users' click edges) and a session edge to a
+/// same-category catalog item.
+std::vector<ColdStartArrival> SynthesizeColdStartArrivals(
+    const RetrievalDataset& ds, const ColdStartOptions& options);
 
 }  // namespace data
 }  // namespace zoomer

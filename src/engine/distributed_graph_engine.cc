@@ -53,7 +53,7 @@ GraphShard::GraphShard(const graph::HeteroGraph* g, int shard_id,
 }
 
 StatusOr<SampleResponse> GraphShard::Sample(const SampleRequest& req) const {
-  if (req.node < 0 || req.node >= graph_->num_nodes()) {
+  if (req.node < 0) {
     return Status::InvalidArgument("node id out of range");
   }
   if (!Owns(req.node)) {
@@ -63,11 +63,16 @@ StatusOr<SampleResponse> GraphShard::Sample(const SampleRequest& req) const {
       dynamic_.load(std::memory_order_acquire);
   if (dynamic != nullptr) {
     // Streaming path: draw from an epoch snapshot over base + deltas so
-    // freshly ingested edges are sampleable shard-side. The snapshot's base
-    // is also the compaction-current CSR, so untouched nodes stay on the
-    // cheap alias path without materializing a merged list.
+    // freshly ingested edges (and nodes born online) are sampleable
+    // shard-side. The snapshot's base is also the compaction-current CSR,
+    // so untouched nodes stay on the cheap alias path without
+    // materializing a merged list.
     auto snap = dynamic->MakeSnapshot();
+    if (req.node >= snap.num_nodes()) {
+      return Status::InvalidArgument("node id out of range");
+    }
     if (snap.DeltaDegree(req.node) == 0) {
+      if (!snap.InBase(req.node)) return SampleResponse{};  // isolated
       return SampleFromCsr(snap.base(), req);
     }
     std::vector<graph::NeighborEntry> merged;
@@ -86,6 +91,9 @@ StatusOr<SampleResponse> GraphShard::Sample(const SampleRequest& req) const {
       resp.weights.push_back(w);
     }
     return resp;
+  }
+  if (req.node >= graph_->num_nodes()) {
+    return Status::InvalidArgument("node id out of range");
   }
   return SampleFromCsr(*graph_, req);
 }

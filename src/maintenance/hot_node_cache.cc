@@ -77,6 +77,12 @@ const HotNodeOverlayCache::Entry* HotNodeOverlayCache::Find(
     NodeId node, uint64_t snapshot_epoch, uint64_t current_overlay_version,
     uint64_t base_generation, bool decay_active, int64_t as_of_seconds,
     const streaming::DecaySpec& spec) const {
+  // Ids born after the cache was sized (streamed id-space growth) simply
+  // miss — they are served by the overlay until the next cache rebuild.
+  if (node < 0 || node >= static_cast<NodeId>(slots_.size())) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
   const Entry* entry =
       slots_[static_cast<size_t>(node)].load(std::memory_order_acquire);
   if (entry != nullptr && snapshot_epoch >= entry->overlay_version &&
@@ -94,6 +100,7 @@ bool HotNodeOverlayCache::IsFresh(NodeId node,
                                   uint64_t base_generation, bool decay_active,
                                   int64_t as_of_seconds,
                                   const streaming::DecaySpec& spec) const {
+  if (node < 0 || node >= static_cast<NodeId>(slots_.size())) return false;
   const Entry* entry =
       slots_[static_cast<size_t>(node)].load(std::memory_order_acquire);
   return entry != nullptr &&
@@ -102,6 +109,12 @@ bool HotNodeOverlayCache::IsFresh(NodeId node,
 }
 
 bool HotNodeOverlayCache::Install(NodeId node, Entry entry) {
+  if (node < 0 || node >= static_cast<NodeId>(slots_.size())) {
+    // The slot array is sized once; nodes born later stay uncached until a
+    // rebuild (counted so the refresh policy's skips are observable).
+    rejected_installs_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
   std::lock_guard<std::mutex> lock(write_mu_);
   auto& slot = slots_[static_cast<size_t>(node)];
   Entry* old = slot.load(std::memory_order_acquire);
@@ -191,6 +204,9 @@ StatusOr<MaintenanceReport> HotNodeRefreshPolicy::RunOnce() {
     // entries beyond the watermark wait for the next pass.
     const uint64_t version = graph_->node_epoch(node);
     if (version == 0 || version > snap.epoch()) continue;
+    // A node born past this snapshot's pinned id-space (streamed id growth
+    // racing the janitor) is resolved by a later pass.
+    if (node >= snap.num_nodes()) continue;
     if (cache_->IsFresh(node, version, snap.base_generation(),
                         snap.decay_active(), snap.as_of_seconds(),
                         snap.decay_window())) {

@@ -83,10 +83,38 @@ Status AnnIndex::Build(const std::vector<float>& vectors, int64_t n, int dim,
   return Status::OK();
 }
 
+Status AnnIndex::Insert(const float* vector, int64_t id) {
+  if (dim_ == 0 || centroids_.empty()) {
+    return Status::FailedPrecondition("index not built");
+  }
+  std::vector<float> row(vector, vector + dim_);
+  Normalize(row.data());
+  // Nearest coarse centroid — centroids are immutable after Build, so this
+  // scan runs outside the row lock.
+  const int nlist = static_cast<int>(centroids_.size() / dim_);
+  float best = -2.0f;
+  int best_c = 0;
+  for (int c = 0; c < nlist; ++c) {
+    float dot = 0.0f;
+    for (int d = 0; d < dim_; ++d) dot += row[d] * centroids_[c * dim_ + d];
+    if (dot > best) {
+      best = dot;
+      best_c = c;
+    }
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  const int64_t new_row = n_++;
+  data_.insert(data_.end(), row.begin(), row.end());
+  ids_.push_back(id);
+  lists_[best_c].push_back(new_row);
+  return Status::OK();
+}
+
 std::vector<AnnResult> AnnIndex::Search(const float* query, int k) const {
-  ZCHECK_GT(n_, 0) << "index not built";
   std::vector<float> q(query, query + dim_);
   Normalize(q.data());
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  ZCHECK_GT(n_, 0) << "index not built";
   // Rank lists by centroid similarity.
   const int nlist = static_cast<int>(lists_.size());
   std::vector<std::pair<float, int>> list_rank(nlist);
@@ -117,9 +145,10 @@ std::vector<AnnResult> AnnIndex::Search(const float* query, int k) const {
 
 std::vector<AnnResult> AnnIndex::SearchExact(const float* query,
                                              int k) const {
-  ZCHECK_GT(n_, 0) << "index not built";
   std::vector<float> q(query, query + dim_);
   Normalize(q.data());
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  ZCHECK_GT(n_, 0) << "index not built";
   std::vector<AnnResult> results(n_);
   for (int64_t i = 0; i < n_; ++i) {
     float dot = 0.0f;

@@ -7,6 +7,7 @@
 #define ZOOMER_SERVING_ANN_INDEX_H_
 
 #include <cstdint>
+#include <shared_mutex>
 #include <utility>
 #include <vector>
 
@@ -33,9 +34,17 @@ class AnnIndex {
   explicit AnnIndex(AnnIndexOptions options) : options_(options) {}
 
   /// Builds the index over `vectors` (n x dim, row-major), with ids[i]
-  /// attached to row i. Vectors are L2-normalized internally.
+  /// attached to row i. Vectors are L2-normalized internally. Not
+  /// thread-safe against concurrent Search/Insert (build first).
   Status Build(const std::vector<float>& vectors, int64_t n, int dim,
                const std::vector<int64_t>& ids);
+
+  /// Incrementally inserts one vector after Build(): normalized, assigned
+  /// to the nearest coarse centroid, appended to that inverted list (the
+  /// centroids are not re-trained — standard IVF incremental insert). Safe
+  /// to call concurrently with Search, so the serving path can index a
+  /// streamed cold-start item without rebuilding.
+  Status Insert(const float* vector, int64_t id);
 
   /// Top-k by cosine over the nprobe nearest lists.
   std::vector<AnnResult> Search(const float* query, int k) const;
@@ -43,7 +52,10 @@ class AnnIndex {
   /// Exact top-k scan (recall oracle for tests/benches).
   std::vector<AnnResult> SearchExact(const float* query, int k) const;
 
-  int64_t size() const { return n_; }
+  int64_t size() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return n_;
+  }
   int dim() const { return dim_; }
   const AnnIndexOptions& options() const { return options_; }
 
@@ -51,12 +63,15 @@ class AnnIndex {
   void Normalize(float* v) const;
 
   AnnIndexOptions options_;
-  int64_t n_ = 0;
-  int dim_ = 0;
-  std::vector<float> data_;       // normalized vectors
-  std::vector<int64_t> ids_;
+  int dim_ = 0;  // fixed at Build
+  /// Guards the row storage against Insert-vs-Search races; centroids are
+  /// fixed after Build so the coarse quantizer reads stay unguarded.
+  mutable std::shared_mutex mu_;
+  int64_t n_ = 0;                 // guarded by mu_
+  std::vector<float> data_;       // normalized vectors, guarded by mu_
+  std::vector<int64_t> ids_;      // guarded by mu_
   std::vector<float> centroids_;  // nlist x dim
-  std::vector<std::vector<int64_t>> lists_;  // row indices per list
+  std::vector<std::vector<int64_t>> lists_;  // row indices, guarded by mu_
 };
 
 }  // namespace serving

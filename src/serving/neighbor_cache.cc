@@ -29,12 +29,19 @@ std::vector<NodeId> NeighborCache::ComputeTopK(NodeId node) const {
       dynamic_.load(std::memory_order_acquire);
   if (dynamic != nullptr) {
     // Merged base + delta view: freshly ingested clicks compete for the
-    // top-k on accumulated weight like any offline edge.
+    // top-k on accumulated weight like any offline edge. A fill can race a
+    // node's birth (an update hook fires before this snapshot's watermark
+    // covers the birth epoch): store an empty entry — the hook that makes
+    // the node visible also invalidates it, triggering a re-fill.
+    auto snap = dynamic->MakeSnapshot();
+    if (node < 0 || node >= snap.num_nodes()) return {};
     std::vector<graph::NeighborEntry> merged;
-    dynamic->MakeSnapshot().Neighbors(node, &merged);
+    snap.Neighbors(node, &merged);
     scored.reserve(merged.size());
     for (const auto& e : merged) scored.emplace_back(e.weight, e.neighbor);
   } else {
+    // Static path: ids past the offline CSR cannot have neighbors.
+    if (node < 0 || node >= graph_->num_nodes()) return {};
     auto ids = graph_->neighbor_ids(node);
     auto weights = graph_->neighbor_weights(node);
     scored.reserve(ids.size());

@@ -42,6 +42,42 @@ void OnlineServer::AttachDynamicGraph(
   cache_->AttachDynamicGraph(dynamic);
 }
 
+Status OnlineServer::IngestNode(NodeId id, std::vector<float> embedding,
+                                bool is_item) {
+  if (static_cast<int>(embedding.size()) != options_.embedding_dim) {
+    return Status::InvalidArgument("embedding dim mismatch");
+  }
+  if (id < graph_->num_nodes()) {
+    return Status::InvalidArgument(
+        "id belongs to the offline export, not a streamed node");
+  }
+  // Duplicates are rejected, not overwritten: concurrent EmbedRequest
+  // threads hold raw pointers into registered rows outside the lock
+  // (NodeEmbedding's never-erased contract), and a second ANN insert would
+  // leave a stale retrievable row under the same id. Claiming the row
+  // first also dedupes two racing registrations of one id.
+  const float* row = nullptr;
+  {
+    std::unique_lock<std::shared_mutex> lock(overlay_emb_mu_);
+    auto [it, inserted] = overlay_emb_.try_emplace(id, std::move(embedding));
+    if (!inserted) {
+      return Status::InvalidArgument("node embedding already registered");
+    }
+    row = it->second.data();  // heap buffer: stable across rehashes
+  }
+  if (is_item) return index_.Insert(row, id);
+  return Status::OK();
+}
+
+const float* OnlineServer::NodeEmbedding(NodeId id) const {
+  if (id >= 0 && id < graph_->num_nodes()) {
+    return node_emb_.data() + id * options_.embedding_dim;
+  }
+  std::shared_lock<std::shared_mutex> lock(overlay_emb_mu_);
+  auto it = overlay_emb_.find(id);
+  return it == overlay_emb_.end() ? nullptr : it->second.data();
+}
+
 void OnlineServer::OnGraphUpdate(const std::vector<NodeId>& nodes) {
   // Invalidate is a no-op for nodes never cached (e.g. items, which the
   // serving path does not cache), so touched-node lists pass through as-is.
@@ -61,15 +97,22 @@ void OnlineServer::EmbedRequest(const ServingRequest& req,
                                 std::vector<float>* out) {
   const int d = options_.embedding_dim;
   out->assign(d, 0.0f);
-  const float* eu = node_emb_.data() + req.user * d;
-  const float* eq = node_emb_.data() + req.query * d;
-  // Focal vector = user + query embeddings.
-  std::vector<float> focal(d);
-  for (int j = 0; j < d; ++j) focal[j] = eu[j] + eq[j];
+  // Focal vector = user + query embeddings. Ego nodes born after the
+  // export but never registered contribute zero instead of reading off the
+  // end of the embedding table.
+  std::vector<float> focal(d, 0.0f);
+  for (NodeId ego : {req.user, req.query}) {
+    if (const float* e = NodeEmbedding(ego)) {
+      for (int j = 0; j < d; ++j) focal[j] += e[j];
+    }
+  }
 
   // Aggregate cached neighbors of both ego nodes with edge-level attention
-  // (scores = dot(neighbor, focal); softmax; weighted sum).
-  std::vector<NodeId> nbrs;
+  // (scores = dot(neighbor, focal); softmax; weighted sum). Neighbors
+  // without a registered embedding (a streamed node whose IngestNode has
+  // not landed) are excluded from the softmax rather than scored as
+  // garbage.
+  std::vector<const float*> nbr_emb;
   std::vector<NodeId> tmp;
   for (NodeId ego : {req.user, req.query}) {
     bool hit = true;
@@ -80,17 +123,20 @@ void OnlineServer::EmbedRequest(const ServingRequest& req,
       cache_->Warm(ego);
       hit = cache_->Get(ego, &tmp);
     }
-    if (hit) nbrs.insert(nbrs.end(), tmp.begin(), tmp.end());
+    if (!hit) continue;
+    for (NodeId nb : tmp) {
+      if (const float* e = NodeEmbedding(nb)) nbr_emb.push_back(e);
+    }
   }
 
-  if (nbrs.empty()) {
+  if (nbr_emb.empty()) {
     for (int j = 0; j < d; ++j) (*out)[j] = focal[j];
     return;
   }
-  std::vector<float> scores(nbrs.size());
+  std::vector<float> scores(nbr_emb.size());
   float max_score = -1e30f;
-  for (size_t i = 0; i < nbrs.size(); ++i) {
-    const float* en = node_emb_.data() + nbrs[i] * d;
+  for (size_t i = 0; i < nbr_emb.size(); ++i) {
+    const float* en = nbr_emb[i];
     float dot = 0.0f;
     for (int j = 0; j < d; ++j) dot += en[j] * focal[j];
     scores[i] = options_.use_edge_attention
@@ -103,9 +149,9 @@ void OnlineServer::EmbedRequest(const ServingRequest& req,
     s = std::exp(s - max_score);
     z += s;
   }
-  for (size_t i = 0; i < nbrs.size(); ++i) {
+  for (size_t i = 0; i < nbr_emb.size(); ++i) {
     const float w = scores[i] / z;
-    const float* en = node_emb_.data() + nbrs[i] * d;
+    const float* en = nbr_emb[i];
     for (int j = 0; j < d; ++j) (*out)[j] += w * en[j];
   }
   // Residual merge with the focal vector.

@@ -14,6 +14,8 @@
 
 #include <atomic>
 #include <memory>
+#include <shared_mutex>
+#include <unordered_map>
 #include <vector>
 
 #include "common/random.h"
@@ -75,6 +77,15 @@ class OnlineServer {
   /// reflect freshly ingested edges. The view must outlive the server.
   void AttachDynamicGraph(const streaming::DynamicHeteroGraph* dynamic);
 
+  /// Registers the embedding row of a node born after construction (id >=
+  /// the offline graph's num_nodes(), e.g. a streamed cold-start item) so
+  /// aggregation can score it as a cached neighbor. When `is_item`, the
+  /// embedding is also inserted into the ANN index incrementally — a
+  /// subsequent Handle() can then retrieve the brand-new item without an
+  /// offline rebuild. Thread-safe against concurrent Handle().
+  Status IngestNode(graph::NodeId id, std::vector<float> embedding,
+                    bool is_item);
+
   /// Ingest-pipeline update hook: invalidates the touched nodes' cache
   /// entries (each schedules an asynchronous re-fill). Register as
   ///   pipeline.AddUpdateListener([&](const auto& nodes) {
@@ -100,9 +111,18 @@ class OnlineServer {
   /// Edge-attention-only user-query embedding in plain float math.
   void EmbedRequest(const ServingRequest& req, std::vector<float>* out);
 
+  /// Embedding row of `id`, spanning the offline export and streamed
+  /// overlay nodes; nullptr for ids with no registered embedding. The
+  /// pointer stays valid for the server's lifetime (rows are never erased
+  /// and map rehashes do not move a vector's heap buffer).
+  const float* NodeEmbedding(graph::NodeId id) const;
+
   const graph::HeteroGraph* graph_;
   OnlineServerOptions options_;
-  std::vector<float> node_emb_;  // num_nodes x dim
+  std::vector<float> node_emb_;  // num_nodes x dim (offline export)
+  /// Streamed nodes' embedding rows, keyed by overlay id.
+  mutable std::shared_mutex overlay_emb_mu_;
+  std::unordered_map<graph::NodeId, std::vector<float>> overlay_emb_;
   std::unique_ptr<NeighborCache> cache_;
   AnnIndex index_;
 };

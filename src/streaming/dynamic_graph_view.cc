@@ -5,9 +5,11 @@ namespace streaming {
 
 graph::NeighborBlock DynamicGraphView::Neighbors(
     graph::NodeId id, graph::NeighborScratch* scratch) const {
-  // Untouched nodes (the vast majority between compactions) stay on the
-  // zero-copy CSR path, matching the static view's cost exactly.
-  if (!snapshot_.MaybeHasDelta(id)) {
+  // Untouched base nodes (the vast majority between compactions) stay on
+  // the zero-copy CSR path, matching the static view's cost exactly. An
+  // overlay-born id must resolve through the snapshot even when it has no
+  // deltas yet (the base arrays do not cover it).
+  if (snapshot_.InBase(id) && !snapshot_.MaybeHasDelta(id)) {
     const graph::HeteroGraph& base = snapshot_.base();
     return {base.neighbor_ids(id), base.neighbor_weights(id),
             base.neighbor_kinds(id)};
@@ -19,7 +21,7 @@ graph::NeighborBlock DynamicGraphView::Neighbors(
 graph::NeighborBlock DynamicGraphView::NeighborsOfType(
     graph::NodeId id, graph::NodeType t,
     graph::NeighborScratch* scratch) const {
-  if (!snapshot_.MaybeHasDelta(id)) {
+  if (snapshot_.InBase(id) && !snapshot_.MaybeHasDelta(id)) {
     return graph::TypedCsrBlock(snapshot_.base(), id, t);
   }
   snapshot_.NeighborsOfType(id, t, &scratch->ids, &scratch->weights,

@@ -55,17 +55,21 @@ class DynamicGraphView final : public graph::GraphView {
 
   const DynamicHeteroGraph::Snapshot& snapshot() const { return snapshot_; }
 
-  int64_t num_nodes() const override { return snapshot_.base().num_nodes(); }
+  /// Epoch-pinned id-space: base nodes plus overlay nodes born at or below
+  /// the pinned epoch — a node ingested mid-epoch appears here only after
+  /// the next Refresh() that covers its birth epoch.
+  int64_t num_nodes() const override { return snapshot_.num_nodes(); }
   int content_dim() const override { return snapshot_.base().content_dim(); }
+  // Node features are immutable once ingested; the snapshot resolves base
+  // ids zero-copy and overlay ids through the append-only node records.
   graph::NodeType node_type(graph::NodeId id) const override {
-    return snapshot_.base().node_type(id);
+    return snapshot_.node_type(id);
   }
-  // Node features are static (streaming is edges-only): straight to base.
   const float* content(graph::NodeId id) const override {
-    return snapshot_.base().content(id);
+    return snapshot_.content(id);
   }
   std::span<const int64_t> slots(graph::NodeId id) const override {
-    return snapshot_.base().slots(id);
+    return snapshot_.slots(id);
   }
   int64_t degree(graph::NodeId id) const override {
     return snapshot_.Degree(id);

@@ -22,8 +22,99 @@ DynamicHeteroGraph::DynamicHeteroGraph(const HeteroGraph* base)
 DynamicHeteroGraph::DynamicHeteroGraph(
     std::shared_ptr<const HeteroGraph> base)
     : base_(std::move(base)),
-      node_epoch_(static_cast<size_t>(base_->num_nodes())) {
+      overlay_origin_(base_ != nullptr ? base_->num_nodes() : 0),
+      epoch_chunks_(new std::atomic<EpochChunk*>[kMaxNodeChunks]()),
+      record_chunks_(new std::atomic<RecordChunk*>[kMaxNodeChunks]()) {
   ZCHECK(base_ != nullptr);
+  EnsureEpochSlots(overlay_origin_);
+}
+
+DynamicHeteroGraph::~DynamicHeteroGraph() {
+  for (size_t c = 0; c < kMaxNodeChunks; ++c) {
+    delete epoch_chunks_[c].load(std::memory_order_acquire);
+    delete record_chunks_[c].load(std::memory_order_acquire);
+  }
+}
+
+void DynamicHeteroGraph::EnsureEpochSlots(int64_t n) {
+  if (n <= 0) return;
+  const size_t need = static_cast<size_t>((n - 1) >> kNodeChunkBits) + 1;
+  ZCHECK(need <= kMaxNodeChunks) << "id-space exceeds the chunk capacity";
+  std::lock_guard<std::mutex> lock(grow_mu_);
+  for (size_t c = 0; c < need; ++c) {
+    if (epoch_chunks_[c].load(std::memory_order_relaxed) == nullptr) {
+      epoch_chunks_[c].store(new EpochChunk(), std::memory_order_release);
+    }
+  }
+}
+
+Status DynamicHeteroGraph::GrowAllocationLocked(int64_t new_end,
+                                                uint64_t epoch) {
+  const int64_t before = overlay_allocated_.load(std::memory_order_relaxed);
+  if (new_end <= before) return Status::OK();
+  if (before > 0 &&
+      overlay_record(overlay_origin_ + before - 1).birth_epoch > epoch) {
+    return Status::InvalidArgument(
+        "birth epochs must be monotone in id (allocate under the log's "
+        "epoch lock)");
+  }
+  const size_t need =
+      static_cast<size_t>((new_end - 1) >> kNodeChunkBits) + 1;
+  if (need > kMaxNodeChunks) {
+    return Status::OutOfRange("id-space exceeds the chunk capacity");
+  }
+  for (size_t c = 0; c < need; ++c) {
+    if (record_chunks_[c].load(std::memory_order_relaxed) == nullptr) {
+      record_chunks_[c].store(new RecordChunk(), std::memory_order_release);
+    }
+  }
+  EnsureEpochSlots(overlay_origin_ + new_end);
+  for (int64_t i = before; i < new_end; ++i) {
+    overlay_record(overlay_origin_ + i).birth_epoch = epoch;
+  }
+  overlay_allocated_.store(new_end, std::memory_order_release);
+  return Status::OK();
+}
+
+NodeId DynamicHeteroGraph::AllocateNodeIds(int count, uint64_t epoch) {
+  ZCHECK_GT(count, 0);
+  ZCHECK_GT(epoch, 0u) << "node ids are born at a log epoch";
+  std::lock_guard<std::mutex> lock(alloc_mu_);
+  const int64_t start = overlay_allocated_.load(std::memory_order_relaxed);
+  Status st = GrowAllocationLocked(start + count, epoch);
+  ZCHECK(st.ok()) << st.ToString();
+  return overlay_origin_ + start;
+}
+
+int64_t DynamicHeteroGraph::VisibleOverlayNodes(uint64_t epoch) const {
+  // Binary search over the monotone birth epochs, clamped to the applied
+  // prefix: an allocated-but-unapplied record (its batch is still pending,
+  // or was rejected) must never become readable.
+  int64_t lo = 0;
+  int64_t hi = std::min(overlay_allocated_.load(std::memory_order_acquire),
+                        applied_node_prefix_.load(std::memory_order_acquire));
+  while (lo < hi) {
+    const int64_t mid = lo + (hi - lo) / 2;
+    if (overlay_record(overlay_origin_ + mid).birth_epoch <= epoch) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+void DynamicHeteroGraph::AdvanceAppliedNodePrefix() {
+  std::lock_guard<std::mutex> lock(alloc_mu_);
+  const int64_t allocated =
+      overlay_allocated_.load(std::memory_order_acquire);
+  int64_t prefix = applied_node_prefix_.load(std::memory_order_relaxed);
+  while (prefix < allocated &&
+         overlay_record(overlay_origin_ + prefix)
+             .applied.load(std::memory_order_acquire)) {
+    ++prefix;
+  }
+  applied_node_prefix_.store(prefix, std::memory_order_release);
 }
 
 std::shared_ptr<const HeteroGraph> DynamicHeteroGraph::base() const {
@@ -76,11 +167,38 @@ DynamicHeteroGraph::Snapshot::Snapshot(
       base_(std::move(base)),
       epoch_(epoch),
       base_generation_(base_generation),
+      // The pinned id-space. After a compaction the new base may already
+      // cover overlay nodes this epoch cannot "see" through birth epochs
+      // (compaction folds by applied state, not snapshot visibility), so
+      // the base size is the floor.
+      num_nodes_(std::max(base_->num_nodes(),
+                          owner->overlay_origin_ +
+                              owner->VisibleOverlayNodes(epoch))),
       hot_cache_(owner->hot_cache_.load(std::memory_order_acquire)),
       hot_pin_(hot_cache_ != nullptr ? hot_cache_->PinReaders() : nullptr),
       decay_(decay),
       decay_active_(decay.active()),
       as_of_(as_of) {}
+
+graph::NodeType DynamicHeteroGraph::Snapshot::node_type(NodeId node) const {
+  ZCHECK(node >= 0 && node < num_nodes_);
+  if (node < base_->num_nodes()) return base_->node_type(node);
+  return owner_->overlay_record(node).type;
+}
+
+const float* DynamicHeteroGraph::Snapshot::content(NodeId node) const {
+  ZCHECK(node >= 0 && node < num_nodes_);
+  if (node < base_->num_nodes()) return base_->content(node);
+  return owner_->overlay_record(node).content.data();
+}
+
+std::span<const int64_t> DynamicHeteroGraph::Snapshot::slots(
+    NodeId node) const {
+  ZCHECK(node >= 0 && node < num_nodes_);
+  if (node < base_->num_nodes()) return base_->slots(node);
+  const OverlayNodeRecord& rec = owner_->overlay_record(node);
+  return {rec.slots.data(), rec.slots.size()};
+}
 
 DynamicHeteroGraph::Snapshot DynamicHeteroGraph::SnapshotUnder(
     const DecaySpec* override_window) const {
@@ -170,10 +288,36 @@ Status DynamicHeteroGraph::ApplyBatch(const DeltaBatch& batch) {
     return reject(Status::InvalidArgument("delta batch has no epoch"));
   }
   auto base = this->base();
-  const int64_t n = base->num_nodes();
+  // Validate the whole batch — edges included — before RegisterNodeEvents
+  // commits any allocation: a batch rejected after allocating would leave a
+  // permanently-unapplied record that blocks the applied-node prefix (and
+  // with it every later node's visibility).
+  const int64_t n = num_nodes_allocated();
+  auto in_batch_node = [&batch](NodeId id) {
+    for (const NodeEvent& nv : batch.node_events) {
+      if (nv.id == id) return true;
+    }
+    return false;
+  };
   for (const EdgeEvent& ev : batch.events) {
-    if (ev.src < 0 || ev.src >= n || ev.dst < 0 || ev.dst >= n) {
-      return reject(Status::OutOfRange("edge event endpoint out of range"));
+    for (const NodeId endpoint : {ev.src, ev.dst}) {
+      if (endpoint >= 0 && endpoint < overlay_origin_) continue;
+      // Overlay endpoints must be introduced by this very batch, or already
+      // applied at or below this batch's epoch — otherwise a snapshot could
+      // surface an edge to an id beyond its pinned num_nodes().
+      if (in_batch_node(endpoint)) continue;
+      if (endpoint < 0 || endpoint >= n) {
+        return reject(Status::OutOfRange("edge event endpoint out of range"));
+      }
+      const OverlayNodeRecord& rec = overlay_record(endpoint);
+      if (rec.birth_epoch > batch.epoch) {
+        return reject(Status::InvalidArgument(
+            "edge references a node born at a later epoch"));
+      }
+      if (!rec.applied.load(std::memory_order_acquire)) {
+        return reject(Status::InvalidArgument(
+            "edge references a never-ingested node id"));
+      }
     }
     if (ev.src == ev.dst) {
       return reject(Status::InvalidArgument("self-loops are not allowed"));
@@ -185,6 +329,26 @@ Status DynamicHeteroGraph::ApplyBatch(const DeltaBatch& batch) {
           Status::InvalidArgument("edge weight must be finite and non-negative"));
     }
   }
+  // Register (or, for replay onto a fresh graph, allocate) the batch's node
+  // records; validates before mutating, so a rejection leaves no trace.
+  if (!batch.node_events.empty()) {
+    Status st = RegisterNodeEvents(batch);
+    if (!st.ok()) return reject(st);
+  }
+  // Apply node events before edge events, so a mixed batch introduces a
+  // node and its first edges at one visibility instant (the batch epoch).
+  bool applied_nodes = false;
+  for (const NodeEvent& nv : batch.node_events) {
+    OverlayNodeRecord& rec = overlay_record(nv.id);
+    if (rec.applied.load(std::memory_order_acquire)) continue;  // replay
+    rec.type = nv.type;
+    rec.timestamp = nv.timestamp;
+    rec.content = nv.content;
+    rec.slots = nv.slots;
+    rec.applied.store(true, std::memory_order_release);
+    applied_nodes = true;
+  }
+  if (applied_nodes) AdvanceAppliedNodePrefix();
   for (const EdgeEvent& ev : batch.events) {
     AppendHalfEdge(*base, ev.src, {ev.dst, ev.weight, ev.kind}, batch.epoch,
                    ev.timestamp);
@@ -217,6 +381,39 @@ Status DynamicHeteroGraph::ApplyBatch(const DeltaBatch& batch) {
   return Status::OK();
 }
 
+Status DynamicHeteroGraph::RegisterNodeEvents(const DeltaBatch& batch) {
+  const int content_dim = this->base()->content_dim();
+  std::lock_guard<std::mutex> lock(alloc_mu_);
+  const int64_t before = overlay_allocated_.load(std::memory_order_relaxed);
+  int64_t allocated = before;
+  // Pure validation first — ApplyBatch's whole-batch-or-nothing contract.
+  for (const NodeEvent& nv : batch.node_events) {
+    if (nv.id < overlay_origin_) {
+      return Status::InvalidArgument("node event id inside the base id-space");
+    }
+    if (static_cast<int>(nv.content.size()) != content_dim) {
+      return Status::InvalidArgument("node event content dim mismatch");
+    }
+    const int64_t idx = nv.id - overlay_origin_;
+    if (idx < allocated) {
+      // Pre-allocated (the pipeline path) or a replayed duplicate: the id
+      // must have been born at this batch's epoch, or visibility and
+      // adjacency would disagree about when the node appeared.
+      if (idx < before && overlay_record(nv.id).birth_epoch != batch.epoch) {
+        return Status::InvalidArgument(
+            "node event epoch does not match the id's birth epoch");
+      }
+    } else if (idx == allocated) {
+      // Replay / direct-apply path onto a graph that never allocated this
+      // id: extend the id-space in order.
+      ++allocated;
+    } else {
+      return Status::InvalidArgument("node event id leaves an allocation gap");
+    }
+  }
+  return GrowAllocationLocked(allocated, batch.epoch);
+}
+
 void DynamicHeteroGraph::AppendHalfEdge(const HeteroGraph& base, NodeId node,
                                         NeighborEntry entry, uint64_t epoch,
                                         int64_t timestamp) {
@@ -227,9 +424,11 @@ void DynamicHeteroGraph::AppendHalfEdge(const HeteroGraph& base, NodeId node,
     NodeOverlay& ov = it->second;
     if (inserted) {
       // One O(degree) pass caches the base weight mass for the two-level
-      // base-vs-delta sampling coin.
+      // base-vs-delta sampling coin. Overlay-born nodes have no base edges.
       double total = 0.0;
-      for (float w : base.neighbor_weights(node)) total += w;
+      if (node < base.num_nodes()) {
+        for (float w : base.neighbor_weights(node)) total += w;
+      }
       ov.base_total_weight = total;
     }
     // Entries stay epoch-ordered; batches almost always arrive in epoch
@@ -245,9 +444,11 @@ void DynamicHeteroGraph::AppendHalfEdge(const HeteroGraph& base, NodeId node,
     }
   }
   total_entries_.fetch_add(1, std::memory_order_acq_rel);
-  uint64_t cur = node_epoch_[node].load(std::memory_order_relaxed);
-  while (cur < epoch && !node_epoch_[node].compare_exchange_weak(
-                            cur, epoch, std::memory_order_acq_rel)) {
+  std::atomic<uint64_t>& slot = node_epoch_slot(node);
+  uint64_t cur = slot.load(std::memory_order_relaxed);
+  while (cur < epoch &&
+         !slot.compare_exchange_weak(cur, epoch,
+                                     std::memory_order_acq_rel)) {
   }
 }
 
@@ -280,8 +481,8 @@ bool DynamicHeteroGraph::Snapshot::HasDelta(NodeId node) const {
 }
 
 int64_t DynamicHeteroGraph::Snapshot::DeltaDegree(NodeId node) const {
-  ZCHECK(node >= 0 && node < base_->num_nodes());
-  if (owner_->node_epoch_[node].load(std::memory_order_acquire) == 0) {
+  ZCHECK(node >= 0 && node < num_nodes_);
+  if (owner_->node_epoch_slot(node).load(std::memory_order_acquire) == 0) {
     return 0;
   }
   const LockShard& sh = owner_->lock_shards_[ShardFor(node)];
@@ -297,14 +498,17 @@ int64_t DynamicHeteroGraph::Snapshot::DeltaDegree(NodeId node) const {
 }
 
 int64_t DynamicHeteroGraph::Snapshot::Degree(NodeId node) const {
-  return base_->degree(node) + DeltaDegree(node);
+  const int64_t base_degree = InBase(node) ? base_->degree(node) : 0;
+  return base_degree + DeltaDegree(node);
 }
 
 double DynamicHeteroGraph::Snapshot::TotalWeight(NodeId node) const {
-  ZCHECK(node >= 0 && node < base_->num_nodes());
-  if (owner_->node_epoch_[node].load(std::memory_order_acquire) == 0) {
+  ZCHECK(node >= 0 && node < num_nodes_);
+  if (owner_->node_epoch_slot(node).load(std::memory_order_acquire) == 0) {
     double total = 0.0;
-    for (float w : base_->neighbor_weights(node)) total += w;
+    if (InBase(node)) {
+      for (float w : base_->neighbor_weights(node)) total += w;
+    }
     return total;
   }
   const LockShard& sh = owner_->lock_shards_[ShardFor(node)];
@@ -324,7 +528,9 @@ double DynamicHeteroGraph::Snapshot::TotalWeight(NodeId node) const {
         [&total](const DeltaEntry&, float w) { total += w; });
     return total;
   }
-  for (float w : base_->neighbor_weights(node)) total += w;
+  if (InBase(node)) {
+    for (float w : base_->neighbor_weights(node)) total += w;
+  }
   return total;
 }
 
@@ -387,10 +593,10 @@ void DynamicHeteroGraph::Snapshot::CoalesceVisibleDeltas(
 
 void DynamicHeteroGraph::Snapshot::Neighbors(
     NodeId node, std::vector<NeighborEntry>* out) const {
-  ZCHECK(node >= 0 && node < base_->num_nodes());
+  ZCHECK(node >= 0 && node < num_nodes_);
   out->clear();
   const uint64_t node_epoch =
-      owner_->node_epoch_[node].load(std::memory_order_acquire);
+      owner_->node_epoch_slot(node).load(std::memory_order_acquire);
   if (const auto* entry = HotEntry(node, node_epoch)) {
     out->reserve(entry->ids.size());
     for (size_t i = 0; i < entry->ids.size(); ++i) {
@@ -398,12 +604,14 @@ void DynamicHeteroGraph::Snapshot::Neighbors(
     }
     return;
   }
-  auto ids = base_->neighbor_ids(node);
-  auto weights = base_->neighbor_weights(node);
-  auto kinds = base_->neighbor_kinds(node);
-  out->reserve(ids.size());
-  for (size_t i = 0; i < ids.size(); ++i) {
-    out->push_back({ids[i], weights[i], kinds[i]});
+  if (InBase(node)) {
+    auto ids = base_->neighbor_ids(node);
+    auto weights = base_->neighbor_weights(node);
+    auto kinds = base_->neighbor_kinds(node);
+    out->reserve(ids.size());
+    for (size_t i = 0; i < ids.size(); ++i) {
+      out->push_back({ids[i], weights[i], kinds[i]});
+    }
   }
   if (node_epoch == 0) return;
   const LockShard& sh = owner_->lock_shards_[ShardFor(node)];
@@ -424,21 +632,27 @@ void DynamicHeteroGraph::Snapshot::Neighbors(
 void DynamicHeteroGraph::Snapshot::Neighbors(
     NodeId node, std::vector<NodeId>* ids, std::vector<float>* weights,
     std::vector<graph::RelationKind>* kinds) const {
-  ZCHECK(node >= 0 && node < base_->num_nodes());
+  ZCHECK(node >= 0 && node < num_nodes_);
   const uint64_t node_epoch =
-      owner_->node_epoch_[node].load(std::memory_order_acquire);
+      owner_->node_epoch_slot(node).load(std::memory_order_acquire);
   if (const auto* entry = HotEntry(node, node_epoch)) {
     ids->assign(entry->ids.begin(), entry->ids.end());
     weights->assign(entry->weights.begin(), entry->weights.end());
     kinds->assign(entry->kinds.begin(), entry->kinds.end());
     return;
   }
-  auto base_ids = base_->neighbor_ids(node);
-  auto base_weights = base_->neighbor_weights(node);
-  auto base_kinds = base_->neighbor_kinds(node);
-  ids->assign(base_ids.begin(), base_ids.end());
-  weights->assign(base_weights.begin(), base_weights.end());
-  kinds->assign(base_kinds.begin(), base_kinds.end());
+  if (InBase(node)) {
+    auto base_ids = base_->neighbor_ids(node);
+    auto base_weights = base_->neighbor_weights(node);
+    auto base_kinds = base_->neighbor_kinds(node);
+    ids->assign(base_ids.begin(), base_ids.end());
+    weights->assign(base_weights.begin(), base_weights.end());
+    kinds->assign(base_kinds.begin(), base_kinds.end());
+  } else {
+    ids->clear();
+    weights->clear();
+    kinds->clear();
+  }
   if (node_epoch == 0) return;
   const LockShard& sh = owner_->lock_shards_[ShardFor(node)];
   std::shared_lock<std::shared_mutex> lock(sh.mu);
@@ -458,25 +672,33 @@ void DynamicHeteroGraph::Snapshot::Neighbors(
 void DynamicHeteroGraph::Snapshot::NeighborsOfType(
     NodeId node, graph::NodeType t, std::vector<NodeId>* ids,
     std::vector<float>* weights, std::vector<graph::RelationKind>* kinds) const {
-  ZCHECK(node >= 0 && node < base_->num_nodes());
-  // Base neighbor blocks are sorted by (neighbor type, kind), so the typed
-  // sub-range is contiguous — copy it without touching the other types.
-  const graph::NeighborBlock typed = graph::TypedCsrBlock(*base_, node, t);
-  ids->assign(typed.ids.begin(), typed.ids.end());
-  weights->assign(typed.weights.begin(), typed.weights.end());
-  kinds->assign(typed.kinds.begin(), typed.kinds.end());
-  if (owner_->node_epoch_[node].load(std::memory_order_acquire) == 0) return;
+  ZCHECK(node >= 0 && node < num_nodes_);
+  if (InBase(node)) {
+    // Base neighbor blocks are sorted by (neighbor type, kind), so the typed
+    // sub-range is contiguous — copy it without touching the other types.
+    const graph::NeighborBlock typed = graph::TypedCsrBlock(*base_, node, t);
+    ids->assign(typed.ids.begin(), typed.ids.end());
+    weights->assign(typed.weights.begin(), typed.weights.end());
+    kinds->assign(typed.kinds.begin(), typed.kinds.end());
+  } else {
+    ids->clear();
+    weights->clear();
+    kinds->clear();
+  }
+  if (owner_->node_epoch_slot(node).load(std::memory_order_acquire) == 0) {
+    return;
+  }
   const LockShard& sh = owner_->lock_shards_[ShardFor(node)];
   std::shared_lock<std::shared_mutex> lock(sh.mu);
   auto it = sh.overlays.find(node);
   if (it == sh.overlays.end()) return;
   // Only delta entries whose neighbor is of type t take part in the merge —
-  // no full-neighborhood resolution.
-  const HeteroGraph* base = base_.get();
+  // no full-neighborhood resolution. node_type spans base + overlay, since
+  // a delta edge may point at a node born after the offline build.
   CoalesceVisibleDeltas(
       it->second, ids->size(),
-      [base, t](const NeighborEntry& entry) {
-        return base->node_type(entry.neighbor) == t;
+      [this, t](const NeighborEntry& entry) {
+        return node_type(entry.neighbor) == t;
       },
       [&](size_t j) { return EntryKey((*ids)[j], (*kinds)[j]); },
       [&](const NeighborEntry& entry, float w) {
@@ -492,6 +714,9 @@ NodeId DynamicHeteroGraph::Snapshot::SampleOverlayLocked(NodeId node,
                                                          size_t prefix,
                                                          Rng* rng) const {
   const HeteroGraph& base = *base_;
+  // Overlay-born nodes have no base block; their base_total_weight is 0 so
+  // the weighted coin below never lands on the base side either.
+  const int64_t base_degree = InBase(node) ? base.degree(node) : 0;
   if (!decay_active_) {
     const double delta_w = ov.weight_prefix[prefix - 1];
     const double base_w = ov.base_total_weight;
@@ -499,13 +724,13 @@ NodeId DynamicHeteroGraph::Snapshot::SampleOverlayLocked(NodeId node,
     if (total <= 0.0) {
       // Degenerate all-zero weights: uniform over base + delta positions,
       // matching AliasTable's degenerate behaviour.
-      const uint64_t n = static_cast<uint64_t>(base.degree(node)) + prefix;
+      const uint64_t n = static_cast<uint64_t>(base_degree) + prefix;
       if (n == 0) return -1;
       const uint64_t idx = rng->Uniform(n);
-      if (idx < static_cast<uint64_t>(base.degree(node))) {
+      if (idx < static_cast<uint64_t>(base_degree)) {
         return base.neighbor_ids(node)[idx];
       }
-      return ov.entries[idx - base.degree(node)].e.neighbor;
+      return ov.entries[idx - base_degree].e.neighbor;
     }
     // Two-level alias-resampling: base-vs-delta coin by weight mass, then an
     // O(1) alias draw in the base or an inverse-CDF draw in the delta prefix.
@@ -527,17 +752,19 @@ NodeId DynamicHeteroGraph::Snapshot::SampleOverlayLocked(NodeId node,
                         delta_w += w;
                         ++alive;
                       });
-  if (alive == 0) return base.SampleNeighbor(node, rng);
+  if (alive == 0) {
+    return base_degree > 0 ? base.SampleNeighbor(node, rng) : -1;
+  }
   const double base_w = ov.base_total_weight;
   const double total = base_w + delta_w;
   if (total <= 0.0) {
-    const uint64_t n = static_cast<uint64_t>(base.degree(node)) +
+    const uint64_t n = static_cast<uint64_t>(base_degree) +
                        static_cast<uint64_t>(alive);
     const uint64_t idx = rng->Uniform(n);
-    if (idx < static_cast<uint64_t>(base.degree(node))) {
+    if (idx < static_cast<uint64_t>(base_degree)) {
       return base.neighbor_ids(node)[idx];
     }
-    int64_t skip = static_cast<int64_t>(idx) - base.degree(node);
+    int64_t skip = static_cast<int64_t>(idx) - base_degree;
     NodeId picked = -1;
     ForEachVisibleDelta(ov.entries.data(), prefix,
                         [&](const DeltaEntry& d, float) {
@@ -566,12 +793,13 @@ NodeId DynamicHeteroGraph::Snapshot::SampleOverlayLocked(NodeId node,
 
 NodeId DynamicHeteroGraph::Snapshot::SampleNeighbor(NodeId node,
                                                     Rng* rng) const {
-  ZCHECK(node >= 0 && node < base_->num_nodes());
-  // Lock-free fast path: untouched nodes sample straight off the base CSR.
+  ZCHECK(node >= 0 && node < num_nodes_);
+  // Lock-free fast path: untouched nodes sample straight off the base CSR
+  // (overlay-born nodes without deltas are isolated at this epoch).
   const uint64_t node_epoch =
-      owner_->node_epoch_[node].load(std::memory_order_acquire);
+      owner_->node_epoch_slot(node).load(std::memory_order_acquire);
   if (node_epoch == 0) {
-    return base_->SampleNeighbor(node, rng);
+    return InBase(node) ? base_->SampleNeighbor(node, rng) : -1;
   }
   if (const auto* entry = HotEntry(node, node_epoch)) {
     if (entry->ids.empty()) return -1;
@@ -580,25 +808,31 @@ NodeId DynamicHeteroGraph::Snapshot::SampleNeighbor(NodeId node,
   const LockShard& sh = owner_->lock_shards_[ShardFor(node)];
   std::shared_lock<std::shared_mutex> lock(sh.mu);
   auto it = sh.overlays.find(node);
-  if (it == sh.overlays.end()) return base_->SampleNeighbor(node, rng);
+  if (it == sh.overlays.end()) {
+    return InBase(node) ? base_->SampleNeighbor(node, rng) : -1;
+  }
   const NodeOverlay& ov = it->second;
   const size_t prefix = VisiblePrefix(ov, epoch_);
-  if (prefix == 0) return base_->SampleNeighbor(node, rng);
+  if (prefix == 0) {
+    return InBase(node) ? base_->SampleNeighbor(node, rng) : -1;
+  }
   return SampleOverlayLocked(node, ov, prefix, rng);
 }
 
 std::vector<NodeId> DynamicHeteroGraph::Snapshot::SampleDistinctNeighbors(
     NodeId node, int k, Rng* rng) const {
-  ZCHECK(node >= 0 && node < base_->num_nodes());
+  ZCHECK(node >= 0 && node < num_nodes_);
   std::vector<NodeId> seen;
   if (k <= 0) return seen;
   const int max_attempts = k * 4;
   auto draw_from_base = [&] {
-    // Shared bounded-retry dedup draw over the base alias tables.
+    // Shared bounded-retry dedup draw over the base alias tables; nothing
+    // to draw for an overlay-born node with no visible deltas.
+    if (!InBase(node)) return;
     seen = graph::CsrGraphView(*base_).SampleDistinctNeighbors(node, k, rng);
   };
   const uint64_t node_epoch =
-      owner_->node_epoch_[node].load(std::memory_order_acquire);
+      owner_->node_epoch_slot(node).load(std::memory_order_acquire);
   if (node_epoch == 0) {
     draw_from_base();
     return seen;
@@ -658,9 +892,9 @@ std::vector<NodeId> DynamicHeteroGraph::ExpireDeltas(int64_t now_seconds) {
   for (const auto& k : spec.kinds) any_ttl |= k.ttl_seconds > 0;
   if (!any_ttl) return touched;
 
-  int64_t removed_total = 0;
   for (auto& sh : lock_shards_) {
     std::unique_lock<std::shared_mutex> lock(sh.mu);
+    int64_t removed_in_shard = 0;
     for (auto it = sh.overlays.begin(); it != sh.overlays.end();) {
       NodeOverlay& ov = it->second;
       // std::remove_if is stable, so surviving entries stay epoch-ordered.
@@ -676,13 +910,13 @@ std::vector<NodeId> DynamicHeteroGraph::ExpireDeltas(int64_t now_seconds) {
       }
       const NodeId node = it->first;
       ov.entries.erase(new_end, ov.entries.end());
-      removed_total += removed;
+      removed_in_shard += removed;
       touched.push_back(node);
       if (ov.entries.empty()) {
         // Readers that already saw a non-zero node_epoch take the shard
         // lock, find no overlay, and fall back to the base — same path as
         // after a compaction.
-        node_epoch_[node].store(0, std::memory_order_release);
+        node_epoch_slot(node).store(0, std::memory_order_release);
         it = sh.overlays.erase(it);
         continue;
       }
@@ -695,12 +929,17 @@ std::vector<NodeId> DynamicHeteroGraph::ExpireDeltas(int64_t now_seconds) {
       // The overlay version tracks the newest surviving entry (epoch order
       // makes that the back). A concurrent append's CAS-max simply re-raises
       // it.
-      node_epoch_[node].store(ov.entries.back().epoch,
-                              std::memory_order_release);
+      node_epoch_slot(node).store(ov.entries.back().epoch,
+                                  std::memory_order_release);
       ++it;
     }
+    // Subtract while still holding this shard's lock: a concurrent
+    // Compact() (multi-threaded janitor) stores total_entries_ absolutely
+    // under *all* shard locks, so a sweep-wide deferred subtraction could
+    // double-count entries the fold already discarded and drive the
+    // counter negative for good.
+    total_entries_.fetch_sub(removed_in_shard, std::memory_order_acq_rel);
   }
-  total_entries_.fetch_sub(removed_total, std::memory_order_acq_rel);
   // Expiry rewrites overlays without bumping their versions, so the hot
   // cache cannot catch it by version check alone — invalidate eagerly.
   if (auto* cache = hot_cache_.load(std::memory_order_acquire)) {
@@ -765,12 +1004,22 @@ StatusOr<uint64_t> DynamicHeteroGraph::Compact() {
   for (auto& sh : lock_shards_) locks.emplace_back(sh.mu);
 
   const uint64_t fold_epoch = max_applied_epoch_.load(std::memory_order_acquire);
-  if (total_entries_.load(std::memory_order_acquire) == 0) {
+  auto old_base = this->base();
+
+  // Overlay nodes fold renumber-free: the contiguous applied prefix with
+  // birth epoch <= fold_epoch is appended to the new base in id order.
+  // Records beyond it (allocated but unapplied, or born above the fold
+  // epoch — possible with out-of-order cross-shard appliers) stay overlay
+  // nodes, and any delta entry touching them is carried over instead of
+  // folded, since the builder cannot reference ids past the new base.
+  const int64_t fold_nodes = VisibleOverlayNodes(fold_epoch);
+  const int64_t new_num_nodes = overlay_origin_ + fold_nodes;
+  ZCHECK_GE(new_num_nodes, old_base->num_nodes());
+  if (total_entries_.load(std::memory_order_acquire) == 0 &&
+      new_num_nodes == old_base->num_nodes()) {
     compacted_through_epoch_ = fold_epoch;
     return fold_epoch;
   }
-
-  auto old_base = this->base();
 
   // Coalesce base and delta half-edges into canonical undirected edges
   // keyed by (min, max, kind), summing weights — the same duplicate
@@ -787,15 +1036,20 @@ StatusOr<uint64_t> DynamicHeteroGraph::Compact() {
       }
     }
   }
+  int64_t retained_entries = 0;
   for (const auto& sh : lock_shards_) {
     for (const auto& [node, ov] : sh.overlays) {
       // Each applied event put one half on each endpoint; counting only the
       // (node < neighbor) half sees every undirected delta exactly once.
       for (const DeltaEntry& d : ov.entries) {
-        if (node >= d.e.neighbor) continue;
         if (drop_expired && spec.Expired(d.e.kind, now - d.timestamp)) {
           continue;
         }
+        if (node >= new_num_nodes || d.e.neighbor >= new_num_nodes) {
+          ++retained_entries;  // half-edge carried over, not folded
+          continue;
+        }
+        if (node >= d.e.neighbor) continue;
         edges[{node, d.e.neighbor, static_cast<uint8_t>(d.e.kind)}] +=
             static_cast<double>(d.e.weight);
       }
@@ -809,6 +1063,10 @@ StatusOr<uint64_t> DynamicHeteroGraph::Compact() {
     builder.AddNode(old_base->node_type(v),
                     std::vector<float>(c, c + old_base->content_dim()),
                     std::vector<int64_t>(slots.begin(), slots.end()));
+  }
+  for (NodeId v = old_base->num_nodes(); v < new_num_nodes; ++v) {
+    const OverlayNodeRecord& rec = overlay_record(v);
+    builder.AddNode(rec.type, rec.content, rec.slots);
   }
   for (const auto& [key, weight] : edges) {
     Status st = builder.AddEdge(std::get<0>(key), std::get<1>(key),
@@ -828,9 +1086,49 @@ StatusOr<uint64_t> DynamicHeteroGraph::Compact() {
     base_ = new_base;
     base_generation_.fetch_add(1, std::memory_order_acq_rel);
   }
-  for (auto& sh : lock_shards_) sh.overlays.clear();
-  for (auto& e : node_epoch_) e.store(0, std::memory_order_release);
-  total_entries_.store(0, std::memory_order_release);
+  {
+    const int64_t allocated =
+        overlay_allocated_.load(std::memory_order_acquire);
+    for (int64_t v = 0; v < overlay_origin_ + allocated; ++v) {
+      node_epoch_slot(v).store(0, std::memory_order_release);
+    }
+  }
+  for (auto& sh : lock_shards_) {
+    if (retained_entries == 0) {
+      sh.overlays.clear();
+      continue;
+    }
+    // Carry over the entries the fold could not absorb, rebuilt against the
+    // new base (the folded mass now lives there).
+    std::unordered_map<NodeId, NodeOverlay> kept;
+    for (auto& [node, ov] : sh.overlays) {
+      NodeOverlay next;
+      for (const DeltaEntry& d : ov.entries) {
+        if (drop_expired && spec.Expired(d.e.kind, now - d.timestamp)) {
+          continue;
+        }
+        if (node < new_num_nodes && d.e.neighbor < new_num_nodes) continue;
+        next.entries.push_back(d);  // filtering keeps the epoch order
+      }
+      if (next.entries.empty()) continue;
+      double cum = 0.0;
+      next.weight_prefix.reserve(next.entries.size());
+      for (const DeltaEntry& d : next.entries) {
+        cum += static_cast<double>(d.e.weight);
+        next.weight_prefix.push_back(cum);
+      }
+      if (node < new_base->num_nodes()) {
+        double total = 0.0;
+        for (float w : new_base->neighbor_weights(node)) total += w;
+        next.base_total_weight = total;
+      }
+      node_epoch_slot(node).store(next.entries.back().epoch,
+                                  std::memory_order_release);
+      kept.emplace(node, std::move(next));
+    }
+    sh.overlays = std::move(kept);
+  }
+  total_entries_.store(retained_entries, std::memory_order_release);
   // Cache clear: snapshots pinned to the old base stop matching hot-node
   // entries (generation mismatch), and post-compact entries carry overlay
   // versions above the fold epoch as a second line of defense.

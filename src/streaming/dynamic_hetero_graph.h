@@ -42,6 +42,19 @@
 //    pre-merged neighbor list + alias table (O(1) draws instead of the
 //    two-level resample); entries are invalidated here on ApplyBatch and
 //    expiry, cleared on Compact(), and version-checked on every lookup.
+//  - Id-space growth (open universe): NodeEvents append brand-new nodes
+//    past the base CSR without copying it. Ids are allocated monotonically
+//    in birth epoch (GraphDeltaLog::AppendWithNodes calls AllocateNodeIds
+//    under the epoch-issuance lock), records live in chunked append-only
+//    storage whose slots never relocate (readers keep raw pointers across
+//    growth), and a snapshot's num_nodes() is the longest applied prefix of
+//    overlay nodes born at or below its pinned epoch — so a node born
+//    mid-epoch is absent from older pinned snapshots and present in newer
+//    ones, and samplers never surface an id >= the snapshot's num_nodes().
+//    Compact() folds the applied overlay-node prefix into the next base
+//    generation by appending (ids are stable, renumber-free); folded
+//    records are retained so snapshots pinned to the old base keep reading
+//    them (memory is bounded by the nodes ever streamed).
 #ifndef ZOOMER_STREAMING_DYNAMIC_HETERO_GRAPH_H_
 #define ZOOMER_STREAMING_DYNAMIC_HETERO_GRAPH_H_
 
@@ -91,6 +104,7 @@ class DynamicHeteroGraph {
   /// successors replace it internally without touching the original).
   explicit DynamicHeteroGraph(const graph::HeteroGraph* base);
   explicit DynamicHeteroGraph(std::shared_ptr<const graph::HeteroGraph> base);
+  ~DynamicHeteroGraph();
 
   /// Epoch of the newest applied batch (0 before any delta).
   uint64_t epoch() const {
@@ -113,6 +127,42 @@ class DynamicHeteroGraph {
   /// the ingest pipeline does this for you. The matching ApplyBatch clears
   /// the pending mark.
   void NoteEpochIssued(uint64_t epoch);
+
+  /// Allocates `count` contiguous node ids born at `epoch`, growing the
+  /// id-space past the base CSR; returns the first id. Birth epochs must be
+  /// non-decreasing across calls — pass this method as GraphDeltaLog::
+  /// AppendWithNodes's allocator (which invokes it under the epoch-issuance
+  /// lock) rather than calling it directly, unless single-threaded (tests).
+  /// The ids become visible to snapshots only once their NodeEvents apply.
+  graph::NodeId AllocateNodeIds(int count, uint64_t epoch);
+
+  /// Upper bound of the allocated id-space: base nodes plus every overlay
+  /// id handed out so far (some may still be awaiting their NodeEvent's
+  /// apply). Edge events are validated against this bound.
+  int64_t num_nodes_allocated() const {
+    return overlay_origin_ +
+           overlay_allocated_.load(std::memory_order_acquire);
+  }
+
+  /// True iff edge events may reference `id`: a base id, or an overlay id
+  /// whose NodeEvent has applied (monotone — once true, always true). The
+  /// ingest pipeline gates Offer() traffic on this instead of the raw
+  /// allocation bound, so an id mid-mint (allocated in AppendWithNodes but
+  /// not yet applied) is a counted drop rather than a downstream
+  /// ApplyBatch failure.
+  bool IsNodeIngested(graph::NodeId id) const {
+    if (id < 0 || id >= num_nodes_allocated()) return false;
+    if (id < overlay_origin_) return true;
+    return overlay_record(id).applied.load(std::memory_order_acquire);
+  }
+
+  /// First overlay id (the base CSR's num_nodes() at construction); stable
+  /// across Compact() — folded overlay nodes keep their ids.
+  int64_t overlay_origin() const { return overlay_origin_; }
+
+  /// Overlay nodes applied and visible at `epoch` (the contiguous applied
+  /// prefix with birth epoch <= epoch).
+  int64_t VisibleOverlayNodes(uint64_t epoch) const;
 
   /// Registers/removes an applier for the Compact() quiescence handshake.
   /// The participant must stay valid until detached (the ingest pipeline
@@ -155,9 +205,10 @@ class DynamicHeteroGraph {
   }
 
   /// The node's overlay version: epoch of its newest delta entry (0 = no
-  /// overlay). Used by the hot-node cache consistency protocol.
+  /// overlay). Used by the hot-node cache consistency protocol. `node` must
+  /// be below num_nodes_allocated().
   uint64_t node_epoch(graph::NodeId node) const {
-    return node_epoch_[node].load(std::memory_order_acquire);
+    return node_epoch_slot(node).load(std::memory_order_acquire);
   }
 
   /// Nodes whose overlay holds at least `min_entries` delta half-edges —
@@ -193,6 +244,25 @@ class DynamicHeteroGraph {
     /// The window this snapshot resolves reads under (inactive when none).
     const DecaySpec& decay_window() const { return decay_; }
 
+    /// Stable id-space of this snapshot: base nodes plus the overlay nodes
+    /// born at or below the pinned epoch. Every accessor below (and every
+    /// id they surface) stays inside [0, num_nodes()).
+    int64_t num_nodes() const { return num_nodes_; }
+
+    /// True for ids the pinned base CSR covers; overlay ids above resolve
+    /// through the append-only node records instead.
+    bool InBase(graph::NodeId node) const {
+      return node < base_->num_nodes();
+    }
+
+    /// Node lookups spanning base + overlay. Content/slot storage is
+    /// append-only and never relocates, so the returned pointers/spans stay
+    /// valid for the lifetime of the owning DynamicHeteroGraph (not merely
+    /// this snapshot).
+    graph::NodeType node_type(graph::NodeId node) const;
+    const float* content(graph::NodeId node) const;
+    std::span<const int64_t> slots(graph::NodeId node) const;
+
     /// True if the node carries any delta visible at this epoch.
     bool HasDelta(graph::NodeId node) const;
     /// Lock-free conservative check: false means the node definitely has no
@@ -200,7 +270,8 @@ class DynamicHeteroGraph {
     /// it might. Used by GraphView adapters to keep untouched nodes on the
     /// zero-copy path.
     bool MaybeHasDelta(graph::NodeId node) const {
-      return owner_->node_epoch_[node].load(std::memory_order_acquire) != 0;
+      return owner_->node_epoch_slot(node).load(std::memory_order_acquire) !=
+             0;
     }
     /// Half-edge count: base degree + visible delta entries (parallel-edge
     /// semantics, matching how repeated events accumulate weight).
@@ -286,6 +357,7 @@ class DynamicHeteroGraph {
     std::shared_ptr<const graph::HeteroGraph> base_;
     uint64_t epoch_;
     uint64_t base_generation_;
+    int64_t num_nodes_;  // pinned id-space (base + visible overlay nodes)
     maintenance::HotNodeOverlayCache* hot_cache_;  // may be null
     /// Reader pin: keeps cache entries this snapshot may be pointing at
     /// from being reclaimed (copies of the snapshot share it).
@@ -306,15 +378,19 @@ class DynamicHeteroGraph {
 
   /// Rebuilds the base CSR with every applied delta folded in (duplicate
   /// (a, b, kind) edges coalesced by weight, matching the offline builder's
-  /// semantics), clears the overlays, and returns the epoch folded through
-  /// (pass it to GraphDeltaLog::Truncate). Attached participants are
-  /// quiesced first, so a mid-ingest compaction parks the pipeline at a
+  /// semantics), clears the folded overlays, and returns the epoch folded
+  /// through (pass it to GraphDeltaLog::Truncate). Attached participants
+  /// are quiesced first, so a mid-ingest compaction parks the pipeline at a
   /// batch boundary instead of splitting or dropping in-flight deltas;
   /// appliers not registered as participants must not run concurrently.
   /// Under an installed TTL window, entries already expired at fold time
   /// are dropped (never resurrected as base edges); surviving entries fold
   /// at full raw weight — compaction is how a streamed edge graduates into
-  /// the un-windowed offline aggregate.
+  /// the un-windowed offline aggregate. Overlay nodes fold renumber-free:
+  /// the applied prefix is appended to the new base in id order, and delta
+  /// entries touching a not-yet-foldable node (allocated but unapplied, or
+  /// born above the fold epoch) are carried over into the new overlay
+  /// rather than dropped.
   StatusOr<uint64_t> Compact();
 
   /// Current base CSR (changes only at Compact).
@@ -331,6 +407,20 @@ class DynamicHeteroGraph {
     graph::NeighborEntry e;
     uint64_t epoch;
     int64_t timestamp;  // event time (seconds) for TTL/decay windows
+  };
+
+  /// One streamed node. `birth_epoch` is written at allocation (under
+  /// alloc_mu_, published through overlay_allocated_); the payload fields
+  /// are written once at apply and published through `applied` plus the
+  /// watermark, after which the record is immutable — readers therefore
+  /// hold pointers into content/slots without locks.
+  struct OverlayNodeRecord {
+    uint64_t birth_epoch = 0;
+    std::atomic<bool> applied{false};
+    graph::NodeType type = graph::NodeType::kItem;
+    int64_t timestamp = 0;
+    std::vector<float> content;
+    std::vector<int64_t> slots;
   };
 
   /// Per-node overlay: epoch-ordered delta entries plus cumulative weights
@@ -357,6 +447,57 @@ class DynamicHeteroGraph {
                       graph::NeighborEntry entry, uint64_t epoch,
                       int64_t timestamp);
 
+  // ---- chunked, append-only per-id storage ---------------------------------
+  // Slots never relocate once a chunk exists, so lock-free readers keep raw
+  // references across id-space growth; chunks are allocated on demand under
+  // alloc_mu_ (node records, indexed by id - overlay_origin_) or grow_mu_
+  // (epoch slots, indexed by id). This is exactly the indexing that used to
+  // run off the end of the fixed base-sized arrays — the ASan CI job guards
+  // it now.
+  static constexpr int kNodeChunkBits = 12;
+  static constexpr int64_t kNodeChunkSize = int64_t{1} << kNodeChunkBits;
+  static constexpr int64_t kNodeChunkMask = kNodeChunkSize - 1;
+  static constexpr size_t kMaxNodeChunks = size_t{1} << 14;  // 64M ids
+
+  struct EpochChunk {
+    std::array<std::atomic<uint64_t>, kNodeChunkSize> slots{};
+  };
+  struct RecordChunk {
+    std::array<OverlayNodeRecord, kNodeChunkSize> records{};
+  };
+
+  /// Atomic epoch slot for any id below num_nodes_allocated().
+  std::atomic<uint64_t>& node_epoch_slot(graph::NodeId id) const {
+    EpochChunk* chunk =
+        epoch_chunks_[static_cast<size_t>(id >> kNodeChunkBits)].load(
+            std::memory_order_acquire);
+    return chunk->slots[static_cast<size_t>(id & kNodeChunkMask)];
+  }
+
+  /// Record of overlay id `id` (>= overlay_origin_, < num_nodes_allocated).
+  OverlayNodeRecord& overlay_record(graph::NodeId id) const {
+    const int64_t idx = id - overlay_origin_;
+    RecordChunk* chunk =
+        record_chunks_[static_cast<size_t>(idx >> kNodeChunkBits)].load(
+            std::memory_order_acquire);
+    return chunk->records[static_cast<size_t>(idx & kNodeChunkMask)];
+  }
+
+  /// Allocates epoch-slot chunks covering ids [0, n). Thread-safe.
+  void EnsureEpochSlots(int64_t n);
+
+  /// Verifies (or, for replay onto a fresh graph, allocates) the records of
+  /// a batch's node events; called from ApplyBatch's validation pass.
+  Status RegisterNodeEvents(const DeltaBatch& batch);
+
+  /// Shared allocation tail of AllocateNodeIds/RegisterNodeEvents: grows
+  /// the record/epoch-slot chunks to cover `new_end` overlay records, all
+  /// born at `epoch`, and publishes the new bound. Caller holds alloc_mu_.
+  Status GrowAllocationLocked(int64_t new_end, uint64_t epoch);
+
+  /// Advances the contiguous applied-record prefix. Takes alloc_mu_.
+  void AdvanceAppliedNodePrefix();
+
   /// Visible-prefix length of a node's overlay at `at_epoch` (entries are
   /// epoch-ordered). Caller must hold the node's lock shard.
   static size_t VisiblePrefix(const NodeOverlay& ov, uint64_t at_epoch);
@@ -382,7 +523,26 @@ class DynamicHeteroGraph {
   /// decay_mu_ section, then captures (base, generation) and the watermark.
   Snapshot SnapshotUnder(const DecaySpec* override_window) const;
 
-  std::vector<std::atomic<uint64_t>> node_epoch_;  // 0 = no overlay
+  /// First overlay id; fixed at construction (base ids are [0, origin)).
+  const int64_t overlay_origin_;
+
+  /// Per-id overlay versions (0 = no overlay), covering base + overlay ids.
+  std::unique_ptr<std::atomic<EpochChunk*>[]> epoch_chunks_;
+  /// Overlay node records, indexed by id - overlay_origin_. Append-only;
+  /// retained across Compact() so old-base snapshots keep resolving folded
+  /// ids (bounded by the number of nodes ever streamed).
+  std::unique_ptr<std::atomic<RecordChunk*>[]> record_chunks_;
+  /// Records with birth_epoch written (publishes the binary-search bound).
+  std::atomic<int64_t> overlay_allocated_{0};
+  /// Length of the contiguous prefix of applied records; with the monotone
+  /// birth epochs this makes snapshot num_nodes() a pure prefix count.
+  std::atomic<int64_t> applied_node_prefix_{0};
+  /// Serializes allocation, record-chunk growth, and prefix advancement.
+  mutable std::mutex alloc_mu_;
+  /// Serializes epoch-slot chunk growth (taken inside alloc_mu_ sections
+  /// and at construction; never nested the other way).
+  std::mutex grow_mu_;
+
   std::array<LockShard, kNumLockShards> lock_shards_;
   std::atomic<uint64_t> max_applied_epoch_{0};
   std::atomic<int64_t> total_entries_{0};

@@ -22,7 +22,58 @@ uint64_t GraphDeltaLog::Append(int shard, std::vector<EdgeEvent> events,
   Shard& s = shards_[shard];
   std::lock_guard<std::mutex> lock(s.mu);
   s.events += static_cast<int64_t>(events.size());
-  s.batches.push_back(DeltaBatch{epoch, std::move(events)});
+  DeltaBatch batch;
+  batch.epoch = epoch;
+  batch.events = std::move(events);
+  s.batches.push_back(std::move(batch));
+  return epoch;
+}
+
+uint64_t GraphDeltaLog::AppendWithNodes(int shard,
+                                        std::vector<NodeEvent>* nodes,
+                                        std::vector<EdgeEvent>* edges,
+                                        const NodeIdAllocator& alloc,
+                                        const EpochObserver& on_issue) {
+  ZCHECK(shard >= 0 && shard < num_shards());
+  ZCHECK(nodes != nullptr && !nodes->empty());
+  ZCHECK(alloc != nullptr);
+  uint64_t epoch;
+  {
+    std::lock_guard<std::mutex> lock(epoch_mu_);
+    epoch = next_epoch_.fetch_add(1, std::memory_order_acq_rel);
+    // Ids are allocated under the same lock that orders epoch issuance, so
+    // overlay node ids are monotone in birth epoch — the prefix-visibility
+    // invariant behind the snapshot-pinned num_nodes().
+    const graph::NodeId first =
+        alloc(static_cast<int>(nodes->size()), epoch);
+    for (size_t i = 0; i < nodes->size(); ++i) {
+      ZCHECK((*nodes)[i].id < 0) << "node event already carries an id";
+      (*nodes)[i].id = first + static_cast<graph::NodeId>(i);
+    }
+    if (edges != nullptr) {
+      // Placeholder endpoints -1-k refer to the k-th node of this batch.
+      auto resolve = [&](graph::NodeId endpoint) {
+        if (endpoint >= 0) return endpoint;
+        const size_t k = static_cast<size_t>(-1 - endpoint);
+        ZCHECK(k < nodes->size()) << "edge placeholder out of range";
+        return (*nodes)[k].id;
+      };
+      for (EdgeEvent& ev : *edges) {
+        ev.src = resolve(ev.src);
+        ev.dst = resolve(ev.dst);
+      }
+    }
+    if (on_issue) on_issue(epoch);
+  }
+  Shard& s = shards_[shard];
+  std::lock_guard<std::mutex> lock(s.mu);
+  DeltaBatch batch;
+  batch.epoch = epoch;
+  batch.node_events = *nodes;  // log keeps a copy; caller applies its own
+  if (edges != nullptr) batch.events = *edges;
+  s.events += static_cast<int64_t>(batch.events.size());
+  s.node_events += static_cast<int64_t>(batch.node_events.size());
+  s.batches.push_back(std::move(batch));
   return epoch;
 }
 
@@ -48,6 +99,8 @@ void GraphDeltaLog::Truncate(uint64_t epoch) {
                                [epoch, &s](const DeltaBatch& b) {
                                  if (b.epoch <= epoch) {
                                    s.events -= static_cast<int64_t>(b.events.size());
+                                   s.node_events -=
+                                       static_cast<int64_t>(b.node_events.size());
                                    return true;
                                  }
                                  return false;
@@ -62,6 +115,7 @@ DeltaLogStats GraphDeltaLog::Stats() const {
   for (const Shard& s : shards_) {
     std::lock_guard<std::mutex> lock(s.mu);
     stats.total_events += s.events;
+    stats.total_node_events += s.node_events;
     stats.total_batches += static_cast<int64_t>(s.batches.size());
     stats.events_per_shard.push_back(s.events);
   }
@@ -75,6 +129,10 @@ size_t GraphDeltaLog::MemoryBytes() const {
     bytes += s.batches.size() * sizeof(DeltaBatch);
     for (const DeltaBatch& b : s.batches) {
       bytes += b.events.size() * sizeof(EdgeEvent);
+      for (const NodeEvent& nv : b.node_events) {
+        bytes += sizeof(NodeEvent) + nv.content.size() * sizeof(float) +
+                 nv.slots.size() * sizeof(int64_t);
+      }
     }
   }
   return bytes;

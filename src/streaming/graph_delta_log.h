@@ -22,7 +22,9 @@ namespace streaming {
 
 /// One streaming half-edge-pair event: an undirected edge (src, dst) of the
 /// given relation kind observed online (a click, a session adjacency, or a
-/// freshly computed similarity pair).
+/// freshly computed similarity pair). Endpoints may use the placeholder
+/// convention -1-k to reference the k-th NodeEvent of the same batch (see
+/// AppendWithNodes), resolved to the freshly assigned id at append time.
 struct EdgeEvent {
   graph::NodeId src = -1;
   graph::NodeId dst = -1;
@@ -31,15 +33,32 @@ struct EdgeEvent {
   int64_t timestamp = 0;  // seconds, event time
 };
 
+/// A brand-new node observed online (id-space growth): a cold-start item,
+/// a first-session user, or a never-seen query. Carries everything the
+/// offline builder's AddNode takes; `id` is assigned by AppendWithNodes
+/// through the graph's allocator (leave it -1) so overlay ids stay monotone
+/// in birth epoch — the invariant epoch-pinned num_nodes() relies on.
+struct NodeEvent {
+  graph::NodeId id = -1;
+  graph::NodeType type = graph::NodeType::kItem;
+  std::vector<float> content;      // content_dim floats
+  std::vector<int64_t> slots;      // categorical feature-slot ids
+  int64_t timestamp = 0;           // seconds, event time
+};
+
 /// A batch of events stamped with the epoch the log assigned on append.
+/// Node events apply before edge events, so one batch can introduce a node
+/// and its first edges atomically (same epoch = same visibility instant).
 struct DeltaBatch {
   uint64_t epoch = 0;
   std::vector<EdgeEvent> events;
+  std::vector<NodeEvent> node_events;
 };
 
 struct DeltaLogStats {
   uint64_t last_epoch = 0;
   int64_t total_events = 0;
+  int64_t total_node_events = 0;
   int64_t total_batches = 0;
   std::vector<int64_t> events_per_shard;
 };
@@ -69,6 +88,25 @@ class GraphDeltaLog {
   uint64_t Append(int shard, std::vector<EdgeEvent> events,
                   const EpochObserver& on_issue = {});
 
+  /// Assigns `count` contiguous fresh node ids born at `epoch` and returns
+  /// the first id of the range. Pass DynamicHeteroGraph::AllocateNodeIds
+  /// (the ingest pipeline wires this): the log invokes it inside the same
+  /// critical section that orders epoch issuance, so overlay ids are
+  /// monotone in birth epoch across shards and threads.
+  using NodeIdAllocator = std::function<graph::NodeId(int count,
+                                                      uint64_t epoch)>;
+
+  /// Appends a batch that grows the id-space: every NodeEvent in `*nodes`
+  /// with id -1 receives a freshly allocated id (written back to the
+  /// caller's vector), and edge endpoints using the -1-k placeholder are
+  /// resolved to the k-th node's new id (also in place, so the caller can
+  /// ApplyBatch the same data the log recorded). `edges` may be null for a
+  /// node-only batch. Epoch semantics match Append.
+  uint64_t AppendWithNodes(int shard, std::vector<NodeEvent>* nodes,
+                           std::vector<EdgeEvent>* edges,
+                           const NodeIdAllocator& alloc,
+                           const EpochObserver& on_issue = {});
+
   /// Epoch of the most recent append, 0 if the log is empty.
   uint64_t last_epoch() const {
     return next_epoch_.load(std::memory_order_acquire) - 1;
@@ -90,6 +128,7 @@ class GraphDeltaLog {
     mutable std::mutex mu;
     std::vector<DeltaBatch> batches;  // epoch-ordered within the shard
     int64_t events = 0;
+    int64_t node_events = 0;
   };
 
   std::atomic<uint64_t> next_epoch_{1};

@@ -46,6 +46,8 @@ IngestPipeline::IngestPipeline(GraphDeltaLog* log, DynamicHeteroGraph* graph,
   for (int s = 0; s < options_.num_shards; ++s) {
     queues_.push_back(std::make_unique<BoundedQueue<EdgeEvent>>(
         static_cast<size_t>(options_.queue_capacity)));
+    rejected_unknown_node_.push_back(
+        std::make_unique<std::atomic<int64_t>>(0));
   }
   // Compaction quiescence: Compact() parks this pipeline at a batch
   // boundary instead of relying on a caller-managed Flush().
@@ -71,14 +73,28 @@ void IngestPipeline::Start() {
 
 bool IngestPipeline::Offer(const graph::SessionRecord& session) {
   ZCHECK(started_) << "call Start() before offering sessions";
-  const int64_t num_nodes = graph_->base()->num_nodes();
   sessions_.fetch_add(1, std::memory_order_acq_rel);
   bool accepted_all = true;
   for (EdgeEvent& ev : SessionToEvents(session)) {
-    if (ev.src < 0 || ev.src >= num_nodes || ev.dst < 0 ||
-        ev.dst >= num_nodes || ev.src == ev.dst) {
-      // Live logs reference entities the offline build never saw; dropping
-      // (with a counter) is the production behaviour, not an error.
+    // Validate against the *ingested* id-space (base + applied streamed
+    // nodes) — a completed OfferNewNode's id is referencable immediately,
+    // while an id still mid-mint on another thread is a counted drop here
+    // rather than an ApplyBatch failure on the consumer.
+    const bool src_known = graph_->IsNodeIngested(ev.src);
+    const bool dst_known = graph_->IsNodeIngested(ev.dst);
+    if (!src_known || !dst_known) {
+      // Live logs reference entities never ingested; dropping is the
+      // production behaviour, not an error — but an unobservable drop hides
+      // every cold-start miss, so count it on the shard that would have
+      // owned the batch.
+      const graph::NodeId anchor = src_known ? ev.src : (dst_known ? ev.dst : 0);
+      rejected_unknown_node_[engine::GraphShard::NodeShard(
+                                 anchor, options_.num_shards)]
+          ->fetch_add(1, std::memory_order_acq_rel);
+      events_dropped_.fetch_add(1, std::memory_order_acq_rel);
+      continue;
+    }
+    if (ev.src == ev.dst) {
       events_dropped_.fetch_add(1, std::memory_order_acq_rel);
       continue;
     }
@@ -91,6 +107,93 @@ bool IngestPipeline::Offer(const graph::SessionRecord& session) {
     }
   }
   return accepted_all;
+}
+
+StatusOr<graph::NodeId> IngestPipeline::OfferNewNode(
+    NodeEvent event, std::vector<EdgeEvent> edges) {
+  ZCHECK(started_) << "call Start() before offering nodes";
+  // Validate everything up front: once AppendWithNodes allocates the id,
+  // the batch must apply (a rejected apply would strand an allocated,
+  // never-applied record and freeze node visibility behind it).
+  if (static_cast<int>(event.content.size()) !=
+      graph_->base()->content_dim()) {
+    return Status::InvalidArgument("node event content dim mismatch");
+  }
+  if (event.id >= 0) {
+    return Status::InvalidArgument("leave NodeEvent::id unassigned");
+  }
+  for (const EdgeEvent& ev : edges) {
+    for (const graph::NodeId endpoint : {ev.src, ev.dst}) {
+      // Applied ids only (not merely allocated): ApplyBatch below must not
+      // be able to fail after the id is burned.
+      if (endpoint < -1 ||
+          (endpoint >= 0 && !graph_->IsNodeIngested(endpoint))) {
+        return Status::OutOfRange(
+            "edge endpoint must be an ingested id or the -1 placeholder");
+      }
+    }
+    if (ev.src == ev.dst) {
+      return Status::InvalidArgument("self-loops are not allowed");
+    }
+    if (!(ev.weight >= 0.0f) || ev.weight > 1e30f) {
+      return Status::InvalidArgument(
+          "edge weight must be finite and non-negative");
+    }
+  }
+  const int shard = static_cast<int>(node_shard_rr_.fetch_add(
+                        1, std::memory_order_acq_rel)) %
+                    options_.num_shards;
+  std::vector<NodeEvent> nodes;
+  nodes.push_back(std::move(event));
+  // Producer-side apply honors the same quiescence gate as the shard
+  // consumers: a concurrent Compact() parks node ingestion at a batch
+  // boundary too.
+  {
+    std::unique_lock<std::mutex> lock(quiesce_mu_);
+    quiesce_cv_.wait(lock, [this] { return quiesce_requests_ == 0; });
+    ++active_applies_;
+  }
+  DeltaBatch batch;
+  batch.epoch = log_->AppendWithNodes(
+      shard, &nodes, &edges,
+      [this](int count, uint64_t epoch) {
+        return graph_->AllocateNodeIds(count, epoch);
+      },
+      [this](uint64_t epoch) { graph_->NoteEpochIssued(epoch); });
+  const graph::NodeId id = nodes[0].id;
+  batch.node_events = std::move(nodes);
+  batch.events = std::move(edges);  // placeholders resolved by the log
+  Status st = graph_->ApplyBatch(batch);
+  {
+    std::lock_guard<std::mutex> lock(quiesce_mu_);
+    --active_applies_;
+    if (active_applies_ == 0) quiesce_cv_.notify_all();
+  }
+  ZCHECK(st.ok()) << st.ToString();  // everything was validated above
+
+  std::vector<NodeId> touched;
+  touched.push_back(id);
+  for (const EdgeEvent& ev : batch.events) {
+    touched.push_back(ev.src);
+    touched.push_back(ev.dst);
+  }
+  std::sort(touched.begin(), touched.end());
+  touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+  for (const UpdateListener& listener : listeners_) listener(touched);
+
+  if (engine_ != nullptr) {
+    engine_->RecordShardUpdate(shard,
+                               static_cast<int64_t>(batch.events.size()));
+  }
+  batches_.fetch_add(1, std::memory_order_acq_rel);
+  nodes_ingested_.fetch_add(1, std::memory_order_acq_rel);
+  // Offered and applied move together (the apply was synchronous), so
+  // Flush()'s applied >= offered invariant holds at every instant.
+  events_applied_.fetch_add(static_cast<int64_t>(batch.events.size()),
+                            std::memory_order_acq_rel);
+  events_offered_.fetch_add(static_cast<int64_t>(batch.events.size()),
+                            std::memory_order_acq_rel);
+  return id;
 }
 
 void IngestPipeline::OfferLog(const graph::SessionLog& log) {
@@ -200,7 +303,13 @@ IngestStats IngestPipeline::Stats() const {
   stats.events = events_offered_.load(std::memory_order_acquire);
   stats.events_applied = events_applied_.load(std::memory_order_acquire);
   stats.batches = batches_.load(std::memory_order_acquire);
+  stats.nodes_ingested = nodes_ingested_.load(std::memory_order_acquire);
   stats.last_epoch = log_->last_epoch();
+  stats.rejected_unknown_node.reserve(rejected_unknown_node_.size());
+  for (const auto& counter : rejected_unknown_node_) {
+    stats.rejected_unknown_node.push_back(
+        counter->load(std::memory_order_acquire));
+  }
   return stats;
 }
 

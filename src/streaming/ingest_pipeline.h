@@ -50,7 +50,13 @@ struct IngestStats {
   int64_t events = 0;          // edge events emitted
   int64_t events_applied = 0;  // edge events applied to the dynamic graph
   int64_t batches = 0;         // delta batches cut
+  int64_t nodes_ingested = 0;  // brand-new nodes applied (id-space growth)
   uint64_t last_epoch = 0;
+  /// Edge events dropped because an endpoint was outside the allocated
+  /// id-space, per shard (routed by the in-range endpoint). These are the
+  /// cold-start misses: entities the graph has never ingested. Formerly a
+  /// silent drop; events_dropped() aggregates them plus self-loop drops.
+  std::vector<int64_t> rejected_unknown_node;
 };
 
 /// Converts sessions to edge events exactly as the offline graph builder
@@ -86,10 +92,24 @@ class IngestPipeline : public CompactionParticipant {
 
   /// Converts the session to events and enqueues them onto their owning
   /// shards. Blocks while queues are full; returns false after Stop().
-  /// Events with out-of-range endpoints are dropped (counted, not fatal) —
-  /// live logs routinely reference entities the graph build has not seen.
+  /// Events with out-of-range endpoints are dropped (counted per shard in
+  /// Stats().rejected_unknown_node) — live logs routinely reference
+  /// entities the graph has never ingested.
   bool Offer(const graph::SessionRecord& session);
   void OfferLog(const graph::SessionLog& log);
+
+  /// Synchronously ingests a brand-new node (a cold-start item, a
+  /// first-session user or query), growing the id-space online: appends one
+  /// node(+edge) batch to the delta log — the graph allocates the id under
+  /// the log's epoch lock — and applies it before returning, so the
+  /// returned id is immediately valid for subsequent Offer() traffic and
+  /// already visible to fresh snapshots. `edges` land in the same batch
+  /// (one visibility instant) and may reference the new node with the -1
+  /// placeholder endpoint. Runs under the same quiescence gate as the shard
+  /// consumers, so a concurrent Compact() parks this too. Leave event.id
+  /// unassigned (-1).
+  StatusOr<graph::NodeId> OfferNewNode(NodeEvent event,
+                                       std::vector<EdgeEvent> edges = {});
 
   /// Blocks until every offered event has been applied and listeners fired.
   void Flush();
@@ -136,6 +156,12 @@ class IngestPipeline : public CompactionParticipant {
   std::atomic<int64_t> events_applied_{0};
   std::atomic<int64_t> events_dropped_{0};
   std::atomic<int64_t> batches_{0};
+  std::atomic<int64_t> nodes_ingested_{0};
+  /// Round-robin shard for node batches (no prior traffic to co-locate
+  /// with; the owning shard of the id is unknown until allocation).
+  std::atomic<uint32_t> node_shard_rr_{0};
+  /// Per-shard count of edge events dropped for an unknown endpoint.
+  std::vector<std::unique_ptr<std::atomic<int64_t>>> rejected_unknown_node_;
 };
 
 }  // namespace streaming

@@ -368,7 +368,9 @@ TEST(TtlDecayTest, DecayedWeightsAlterSampledDistribution) {
   std::vector<graph::NeighborEntry> merged;
   older.Neighbors(1, &merged);
   for (const auto& e : merged) {
-    if (e.neighbor == 3) EXPECT_NEAR(e.weight, 1.0f, 1e-5f);
+    if (e.neighbor == 3) {
+      EXPECT_NEAR(e.weight, 1.0f, 1e-5f);
+    }
   }
 }
 
@@ -444,7 +446,9 @@ TEST(TtlDecayTest, CompactDropsExpiredEntriesInsteadOfResurrecting) {
   auto weights = base->neighbor_weights(1);
   for (size_t i = 0; i < ids.size(); ++i) {
     EXPECT_NE(ids[i], 3);
-    if (ids[i] == 4) EXPECT_FLOAT_EQ(weights[i], 2.0f);
+    if (ids[i] == 4) {
+      EXPECT_FLOAT_EQ(weights[i], 2.0f);
+    }
   }
 }
 
@@ -564,7 +568,9 @@ TEST(HotNodeCacheTest, DecayedEntriesExpireWithTheClock) {
   snap.Neighbors(1, &merged);
   EXPECT_GT(cache.Stats().hits, 0);
   for (const auto& e : merged) {
-    if (e.neighbor == 3) EXPECT_NEAR(e.weight, 2.0f, 1e-5f);
+    if (e.neighbor == 3) {
+      EXPECT_NEAR(e.weight, 2.0f, 1e-5f);
+    }
   }
 
   // Clock moved: decayed weights drifted, the stale as_of must not serve.
@@ -574,7 +580,9 @@ TEST(HotNodeCacheTest, DecayedEntriesExpireWithTheClock) {
   later.Neighbors(1, &merged);
   EXPECT_EQ(cache.Stats().hits, hits_before);
   for (const auto& e : merged) {
-    if (e.neighbor == 3) EXPECT_NEAR(e.weight, 1.0f, 1e-5f);
+    if (e.neighbor == 3) {
+      EXPECT_NEAR(e.weight, 1.0f, 1e-5f);
+    }
   }
 
   // The next refresh re-materializes at the new as_of and serves again.
@@ -593,7 +601,9 @@ TEST(HotNodeCacheTest, DecayedEntriesExpireWithTheClock) {
   for (const auto& e : merged) {
     // Half-life 100000s at age 200 is ~full weight, far from the 1.0 the
     // graph-default (half-life 100) merge carries.
-    if (e.neighbor == 3) EXPECT_GT(e.weight, 3.9f);
+    if (e.neighbor == 3) {
+      EXPECT_GT(e.weight, 3.9f);
+    }
   }
 }
 
@@ -686,6 +696,93 @@ TEST(JanitorRaceTest, ScheduledCompactionRacesIngestAndPinnedSnapshots) {
   auto folded = dyn.Compact();
   ASSERT_TRUE(folded.ok());
   log.Truncate(folded.value());
+  EXPECT_EQ(dyn.num_delta_entries(), 0);
+  pipeline.Stop();
+}
+
+TEST(JanitorRaceTest, NodeIngestRacesScheduledCompaction) {
+  // Id-space growth under the janitor: the producer keeps minting
+  // brand-new item nodes (with their introducing edges) through the
+  // pipeline while the scheduler compacts on a tight period and reader
+  // threads hold pinned snapshots. Every minted node must survive however
+  // many folds land — appended into a rebuilt base or still in the overlay
+  // — and no reader may ever observe an id beyond its pin.
+  HeteroGraph g = MakeTinyGraph(10);
+  GraphDeltaLog log(2);
+  auto dyn_owner = MakeDynamic(&g);
+  DynamicHeteroGraph& dyn = *dyn_owner;
+  streaming::IngestOptions iopt;
+  iopt.num_shards = 2;
+  iopt.batch_size = 4;
+  streaming::IngestPipeline pipeline(&log, &dyn, iopt);
+  pipeline.Start();
+
+  MaintenanceScheduler scheduler;
+  CompactionPolicyOptions popt;
+  popt.max_delta_entries = 1;  // every janitor tick compacts
+  PolicySchedule fast;
+  fast.period_ms = 2;
+  scheduler.AddPolicy(
+      std::make_unique<CompactionPolicy>(&dyn, &log, nullptr, popt), fast);
+  scheduler.Start();
+
+  std::atomic<bool> stop_readers{false};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 2; ++t) {
+    readers.emplace_back([&, t] {
+      Rng rng(50 + t);
+      while (!stop_readers.load()) {
+        auto snap = dyn.MakeSnapshot();
+        const int64_t pinned = snap.num_nodes();
+        for (int i = 0; i < 50; ++i) {
+          const NodeId nb = snap.SampleNeighbor(1, &rng);
+          ASSERT_GE(nb, 0);
+          ASSERT_LT(nb, pinned);
+        }
+        ASSERT_EQ(snap.num_nodes(), pinned);  // a pin never grows
+      }
+    });
+  }
+
+  const int kMints = 120;
+  std::vector<NodeId> minted;
+  Rng rng(9);
+  for (int i = 0; i < kMints; ++i) {
+    streaming::NodeEvent ev;
+    ev.type = NodeType::kItem;
+    ev.content = std::vector<float>(kDim, 0.2f + 0.5f * rng.UniformFloat());
+    ev.slots = {3};
+    auto id = pipeline.OfferNewNode(
+        std::move(ev), {{1, -1, RelationKind::kClick, 1.0f, 0}});
+    ASSERT_TRUE(id.ok()) << id.status().ToString();
+    minted.push_back(id.value());
+    graph::SessionRecord session;
+    session.user = 0;
+    session.query = 1;
+    session.clicks = {id.value()};
+    ASSERT_TRUE(pipeline.Offer(session));
+  }
+  pipeline.Flush();
+  stop_readers.store(true);
+  for (auto& r : readers) r.join();
+  scheduler.Stop();
+
+  // Conservation: every minted id resolves with its type, and the weight
+  // mass of its introducing click plus one session click survives wherever
+  // the folds left it (a fold coalesces the two same-kind clicks into one
+  // edge, so half-edge counts may shrink — mass never does).
+  auto snap = dyn.MakeSnapshot();
+  EXPECT_EQ(snap.num_nodes(), g.num_nodes() + kMints);
+  for (NodeId id : minted) {
+    EXPECT_EQ(snap.node_type(id), NodeType::kItem);
+    EXPECT_GE(snap.Degree(id), 1);
+    EXPECT_GE(snap.TotalWeight(id), 2.0 - 1e-6);
+  }
+  EXPECT_GT(scheduler.Stats()[0].actions, 0) << "no compaction ever fired";
+  auto folded = dyn.Compact();
+  ASSERT_TRUE(folded.ok());
+  log.Truncate(folded.value());
+  EXPECT_EQ(dyn.base()->num_nodes(), g.num_nodes() + kMints);
   EXPECT_EQ(dyn.num_delta_entries(), 0);
   pipeline.Stop();
 }

@@ -74,6 +74,33 @@ DeltaBatch MakeBatch(GraphDeltaLog* log, int shard,
   return batch;
 }
 
+NodeEvent MakeItemEvent(float fill = 0.4f, int64_t timestamp = 0) {
+  NodeEvent ev;
+  ev.type = NodeType::kItem;
+  ev.content = std::vector<float>(kDim, fill);
+  ev.slots = {7, 8};
+  ev.timestamp = timestamp;
+  return ev;
+}
+
+/// Node(+edge) batch through the log: ids allocated by `graph` under the
+/// epoch lock, -1 edge placeholders resolved to the first node's id.
+DeltaBatch MakeNodeBatch(GraphDeltaLog* log, int shard,
+                         DynamicHeteroGraph* graph,
+                         std::vector<NodeEvent> nodes,
+                         std::vector<EdgeEvent> edges = {}) {
+  DeltaBatch batch;
+  batch.epoch = log->AppendWithNodes(
+      shard, &nodes, &edges,
+      [graph](int count, uint64_t epoch) {
+        return graph->AllocateNodeIds(count, epoch);
+      },
+      [graph](uint64_t e) { graph->NoteEpochIssued(e); });
+  batch.node_events = std::move(nodes);
+  batch.events = std::move(edges);
+  return batch;
+}
+
 /// Like MakeTinyGraph but with distinct random content vectors (so focal
 /// relevance scores are tie-free) and weighted base query-item edges on the
 /// first half of the items.
@@ -140,14 +167,14 @@ TEST(GraphDeltaLogTest, ReadSinceAndTruncate) {
 TEST(DynamicGraphTest, ApplyBatchValidation) {
   HeteroGraph g = MakeTinyGraph(3);
   DynamicHeteroGraph dyn(&g);
-  EXPECT_FALSE(dyn.ApplyBatch({0, {{0, 1, RelationKind::kClick, 1.0f, 0}}})
+  EXPECT_FALSE(dyn.ApplyBatch({0, {{0, 1, RelationKind::kClick, 1.0f, 0}}, {}})
                    .ok());  // missing epoch
   EXPECT_FALSE(
-      dyn.ApplyBatch({1, {{0, 99, RelationKind::kClick, 1.0f, 0}}}).ok());
+      dyn.ApplyBatch({1, {{0, 99, RelationKind::kClick, 1.0f, 0}}, {}}).ok());
   EXPECT_FALSE(
-      dyn.ApplyBatch({1, {{2, 2, RelationKind::kClick, 1.0f, 0}}}).ok());
+      dyn.ApplyBatch({1, {{2, 2, RelationKind::kClick, 1.0f, 0}}, {}}).ok());
   EXPECT_FALSE(
-      dyn.ApplyBatch({1, {{0, 1, RelationKind::kClick, -1.0f, 0}}}).ok());
+      dyn.ApplyBatch({1, {{0, 1, RelationKind::kClick, -1.0f, 0}}, {}}).ok());
   EXPECT_EQ(dyn.epoch(), 0u);
   EXPECT_EQ(dyn.num_delta_entries(), 0);
 }
@@ -190,8 +217,12 @@ TEST(DynamicGraphTest, SamplingMatchesExactWeights) {
   snap.Neighbors(1, &merged);
   ASSERT_EQ(merged.size(), 4u);
   for (const auto& e : merged) {
-    if (e.neighbor == 3) EXPECT_FLOAT_EQ(e.weight, 5.0f);
-    if (e.neighbor == 4) EXPECT_FLOAT_EQ(e.weight, 4.0f);
+    if (e.neighbor == 3) {
+      EXPECT_FLOAT_EQ(e.weight, 5.0f);
+    }
+    if (e.neighbor == 4) {
+      EXPECT_FLOAT_EQ(e.weight, 4.0f);
+    }
   }
 }
 
@@ -883,6 +914,396 @@ TEST(IngestPipelineTest, LiveSessionsFromDatasetIngestCleanly) {
   pipeline.Stop();
 }
 
+// --- Streaming node ingestion: id-space growth ----------------------------
+
+TEST(NodeIngestTest, NodeBatchGrowsIdSpaceAtItsEpoch) {
+  HeteroGraph g = MakeTinyGraph(3);  // ids 0..4
+  GraphDeltaLog log(1);
+  DynamicHeteroGraph dyn(&g);
+  EXPECT_EQ(dyn.num_nodes_allocated(), g.num_nodes());
+
+  auto before = dyn.MakeSnapshot();
+  EXPECT_EQ(before.num_nodes(), g.num_nodes());
+
+  DeltaBatch batch = MakeNodeBatch(
+      &log, 0, &dyn, {MakeItemEvent(0.4f)},
+      {{1, -1, RelationKind::kClick, 2.0f, 0}});  // -1 = the new item
+  const NodeId fresh = batch.node_events[0].id;
+  EXPECT_EQ(fresh, g.num_nodes());  // appended, renumber-free
+  EXPECT_EQ(batch.events[0].dst, fresh);  // placeholder resolved
+  EXPECT_EQ(dyn.num_nodes_allocated(), g.num_nodes() + 1);
+  ASSERT_TRUE(dyn.ApplyBatch(batch).ok());
+
+  // The pre-ingest snapshot never grows; a fresh snapshot covers the node
+  // with full type/content/slot lookups and delta adjacency both ways.
+  EXPECT_EQ(before.num_nodes(), g.num_nodes());
+  auto after = dyn.MakeSnapshot();
+  EXPECT_EQ(after.num_nodes(), g.num_nodes() + 1);
+  EXPECT_EQ(after.node_type(fresh), NodeType::kItem);
+  EXPECT_FLOAT_EQ(after.content(fresh)[0], 0.4f);
+  ASSERT_EQ(after.slots(fresh).size(), 2u);
+  EXPECT_EQ(after.slots(fresh)[1], 8);
+  EXPECT_EQ(after.Degree(fresh), 1);
+  Rng rng(3);
+  EXPECT_EQ(after.SampleNeighbor(fresh, &rng), 1);
+  bool fresh_sampled = false;
+  for (int i = 0; i < 200; ++i) {
+    fresh_sampled |= after.SampleNeighbor(1, &rng) == fresh;
+  }
+  EXPECT_TRUE(fresh_sampled);  // weight 2 of 3 at the query
+
+  // The delta log replays node batches onto a replica.
+  DynamicHeteroGraph replica(&g);
+  for (const DeltaBatch& replayed : log.ReadSince(0)) {
+    ASSERT_TRUE(replica.ApplyBatch(replayed).ok());
+  }
+  auto mirrored = replica.MakeSnapshot();
+  EXPECT_EQ(mirrored.num_nodes(), after.num_nodes());
+  EXPECT_EQ(mirrored.node_type(fresh), NodeType::kItem);
+  EXPECT_EQ(mirrored.Degree(fresh), 1);
+}
+
+TEST(NodeIngestTest, ApplyBatchValidatesNodeAndEdgeGrowth) {
+  HeteroGraph g = MakeTinyGraph(3);
+  GraphDeltaLog log(1);
+  DynamicHeteroGraph dyn(&g);
+
+  // Edge to a never-ingested id is rejected, not silently dropped.
+  EXPECT_FALSE(
+      dyn.ApplyBatch(
+             MakeBatch(&log, 0,
+                       {{1, g.num_nodes(), RelationKind::kClick, 1.0f, 0}},
+                       &dyn))
+          .ok());
+
+  // Content dim mismatch rejects the whole batch without allocating.
+  {
+    NodeEvent bad;
+    bad.id = g.num_nodes();
+    bad.content = std::vector<float>(kDim + 1, 0.1f);
+    DeltaBatch batch;
+    batch.epoch = log.Append(0, {}, [&dyn](uint64_t e) {
+      dyn.NoteEpochIssued(e);
+    });
+    batch.node_events = {std::move(bad)};
+    EXPECT_FALSE(dyn.ApplyBatch(batch).ok());
+    EXPECT_EQ(dyn.num_nodes_allocated(), g.num_nodes());
+  }
+
+  // An id gap (skipping one) is rejected; in-order direct ids apply.
+  {
+    NodeEvent gap = MakeItemEvent();
+    gap.id = g.num_nodes() + 1;
+    DeltaBatch batch;
+    batch.epoch = log.Append(0, {}, [&dyn](uint64_t e) {
+      dyn.NoteEpochIssued(e);
+    });
+    batch.node_events = {std::move(gap)};
+    EXPECT_FALSE(dyn.ApplyBatch(batch).ok());
+  }
+  {
+    NodeEvent ok = MakeItemEvent();
+    ok.id = g.num_nodes();
+    DeltaBatch batch;
+    batch.epoch = log.Append(0, {}, [&dyn](uint64_t e) {
+      dyn.NoteEpochIssued(e);
+    });
+    batch.node_events = {std::move(ok)};
+    ASSERT_TRUE(dyn.ApplyBatch(batch).ok());
+    EXPECT_EQ(dyn.MakeSnapshot().num_nodes(), g.num_nodes() + 1);
+  }
+
+  // A rejected mixed batch must not leave a stranded allocation that would
+  // block later nodes' visibility.
+  {
+    NodeEvent node = MakeItemEvent();
+    node.id = g.num_nodes() + 1;
+    DeltaBatch batch;
+    batch.epoch = log.Append(0, {}, [&dyn](uint64_t e) {
+      dyn.NoteEpochIssued(e);
+    });
+    batch.node_events = {std::move(node)};
+    batch.events = {{1, 1, RelationKind::kClick, 1.0f, 0}};  // self-loop
+    EXPECT_FALSE(dyn.ApplyBatch(batch).ok());
+    EXPECT_EQ(dyn.num_nodes_allocated(), g.num_nodes() + 1);
+  }
+  DeltaBatch later = MakeNodeBatch(&log, 0, &dyn, {MakeItemEvent()});
+  ASSERT_TRUE(dyn.ApplyBatch(later).ok());
+  EXPECT_EQ(dyn.MakeSnapshot().num_nodes(), g.num_nodes() + 2);
+}
+
+TEST(NodeIngestTest, MidEpochNodeInvisibleToOlderPinnedSnapshots) {
+  HeteroGraph g = MakeTinyGraph(4);
+  GraphDeltaLog log(1);
+  DynamicHeteroGraph dyn(&g);
+  ASSERT_TRUE(
+      dyn.ApplyBatch(
+             MakeBatch(&log, 0, {{1, 2, RelationKind::kClick, 1.0f, 0}},
+                       &dyn))
+          .ok());
+  auto old_snap = dyn.MakeSnapshot();
+
+  DeltaBatch birth = MakeNodeBatch(
+      &log, 0, &dyn, {MakeItemEvent()},
+      {{1, -1, RelationKind::kClick, 50.0f, 0}});
+  const NodeId fresh = birth.node_events[0].id;
+  ASSERT_TRUE(dyn.ApplyBatch(birth).ok());
+
+  // The old pin: id-space, degrees, and draws all predate the birth.
+  EXPECT_EQ(old_snap.num_nodes(), g.num_nodes());
+  EXPECT_EQ(old_snap.Degree(1), 2);  // base user edge + one delta
+  Rng rng(11);
+  for (int i = 0; i < 3000; ++i) {
+    const NodeId nb = old_snap.SampleNeighbor(1, &rng);
+    ASSERT_GE(nb, 0);
+    ASSERT_LT(nb, old_snap.num_nodes());
+  }
+  auto fresh_snap = dyn.MakeSnapshot();
+  EXPECT_EQ(fresh_snap.num_nodes(), g.num_nodes() + 1);
+  int hits = 0;
+  for (int i = 0; i < 1000; ++i) {
+    hits += fresh_snap.SampleNeighbor(1, &rng) == fresh;
+  }
+  EXPECT_GT(hits, 800);  // 50/52 of the query's mass
+}
+
+TEST(NodeIngestTest, CompactFoldsOverlayNodesRenumberFree) {
+  HeteroGraph g = MakeTinyGraph(3, {1.0f});
+  GraphDeltaLog log(1);
+  DynamicHeteroGraph dyn(&g);
+  DeltaBatch birth = MakeNodeBatch(
+      &log, 0, &dyn, {MakeItemEvent(0.7f, 42)},
+      {{1, -1, RelationKind::kClick, 3.0f, 0},
+       {-1, 2, RelationKind::kSession, 1.5f, 0}});
+  const NodeId fresh = birth.node_events[0].id;
+  ASSERT_TRUE(dyn.ApplyBatch(birth).ok());
+  auto pre = dyn.MakeSnapshot();
+  std::vector<graph::NeighborEntry> pre_nbrs;
+  pre.Neighbors(fresh, &pre_nbrs);
+
+  auto folded = dyn.Compact();
+  ASSERT_TRUE(folded.ok());
+  log.Truncate(folded.value());
+  EXPECT_EQ(dyn.num_delta_entries(), 0);
+
+  // Conservation: the node and both its edges graduated into the new base
+  // under the same id; the old pinned snapshot still resolves it.
+  auto base = dyn.base();
+  ASSERT_EQ(base->num_nodes(), g.num_nodes() + 1);
+  EXPECT_EQ(base->node_type(fresh), NodeType::kItem);
+  EXPECT_FLOAT_EQ(base->content(fresh)[0], 0.7f);
+  ASSERT_EQ(base->slots(fresh).size(), 2u);
+  EXPECT_EQ(base->degree(fresh), 2);
+  auto post = dyn.MakeSnapshot();
+  EXPECT_EQ(post.num_nodes(), g.num_nodes() + 1);
+  std::vector<graph::NeighborEntry> post_nbrs;
+  post.Neighbors(fresh, &post_nbrs);
+  ASSERT_EQ(post_nbrs.size(), pre_nbrs.size());
+  double pre_mass = 0.0, post_mass = 0.0;
+  for (const auto& e : pre_nbrs) pre_mass += e.weight;
+  for (const auto& e : post_nbrs) post_mass += e.weight;
+  EXPECT_NEAR(pre_mass, post_mass, 1e-5);
+  EXPECT_EQ(pre.node_type(fresh), NodeType::kItem);  // old pin still valid
+
+  // Growth continues past the fold: the next node appends after `fresh`.
+  DeltaBatch next = MakeNodeBatch(&log, 0, &dyn, {MakeItemEvent()});
+  EXPECT_EQ(next.node_events[0].id, fresh + 1);
+  ASSERT_TRUE(dyn.ApplyBatch(next).ok());
+  EXPECT_EQ(dyn.MakeSnapshot().num_nodes(), g.num_nodes() + 2);
+}
+
+TEST(NodeIngestTest, PipelineOfferNewNodeIsImmediatelyServable) {
+  HeteroGraph g = MakeTinyGraph(4);
+  GraphDeltaLog log(2);
+  DynamicHeteroGraph dyn(&g);
+  IngestOptions iopt;
+  iopt.num_shards = 2;
+  IngestPipeline pipeline(&log, &dyn, iopt);
+  std::mutex mu;
+  std::vector<NodeId> touched;
+  pipeline.AddUpdateListener([&](const std::vector<NodeId>& nodes) {
+    std::lock_guard<std::mutex> lock(mu);
+    touched.insert(touched.end(), nodes.begin(), nodes.end());
+  });
+  pipeline.Start();
+
+  auto minted = pipeline.OfferNewNode(
+      MakeItemEvent(), {{1, -1, RelationKind::kClick, 1.0f, 0}});
+  ASSERT_TRUE(minted.ok()) << minted.status().ToString();
+  const NodeId fresh = minted.value();
+  EXPECT_EQ(fresh, g.num_nodes());
+
+  // Synchronous contract: traffic referencing the id is valid immediately.
+  graph::SessionRecord session;
+  session.user = 0;
+  session.query = 1;
+  session.clicks = {fresh, 2};
+  ASSERT_TRUE(pipeline.Offer(session));
+  pipeline.Flush();
+  auto stats = pipeline.Stats();
+  EXPECT_EQ(stats.nodes_ingested, 1);
+  EXPECT_EQ(pipeline.events_dropped(), 0);
+  auto snap = dyn.MakeSnapshot();
+  EXPECT_EQ(snap.num_nodes(), g.num_nodes() + 1);
+  EXPECT_GE(snap.Degree(fresh), 2);  // intro click + session traffic
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    EXPECT_NE(std::find(touched.begin(), touched.end(), fresh),
+              touched.end());
+  }
+
+  // Invalid offers fail fast without burning an id.
+  const int64_t allocated = dyn.num_nodes_allocated();
+  NodeEvent bad = MakeItemEvent();
+  bad.content.resize(kDim + 2);
+  EXPECT_FALSE(pipeline.OfferNewNode(std::move(bad)).ok());
+  EXPECT_FALSE(pipeline
+                   .OfferNewNode(MakeItemEvent(),
+                                 {{999, -1, RelationKind::kClick, 1.0f, 0}})
+                   .ok());
+  EXPECT_EQ(dyn.num_nodes_allocated(), allocated);
+  pipeline.Stop();
+}
+
+TEST(NodeIngestTest, RejectedUnknownNodeCountedPerShard) {
+  HeteroGraph g = MakeTinyGraph(4);
+  GraphDeltaLog log(2);
+  DynamicHeteroGraph dyn(&g);
+  IngestOptions iopt;
+  iopt.num_shards = 2;
+  IngestPipeline pipeline(&log, &dyn, iopt);
+  pipeline.Start();
+  graph::SessionRecord session;
+  session.user = 0;
+  session.query = 1;
+  session.clicks = {2, 999, 777};  // two clicks on never-ingested items
+  pipeline.Offer(session);
+  pipeline.Flush();
+  auto stats = pipeline.Stats();
+  ASSERT_EQ(stats.rejected_unknown_node.size(), 2u);
+  int64_t rejected = 0;
+  for (int64_t r : stats.rejected_unknown_node) rejected += r;
+  // query->999, query->777, 2->999 session, 999->777 session... exactly the
+  // events with an unknown endpoint.
+  EXPECT_EQ(rejected, 4);
+  EXPECT_EQ(pipeline.events_dropped(), rejected);
+  pipeline.Stop();
+}
+
+TEST(NodeIngestTest, ColdStartArrivalsFlowThroughThePipeline) {
+  data::TaobaoGeneratorOptions gopt;
+  gopt.num_users = 30;
+  gopt.num_queries = 20;
+  gopt.num_items = 50;
+  gopt.num_sessions = 200;
+  gopt.num_categories = 4;
+  gopt.content_dim = 8;
+  gopt.seed = 21;
+  auto ds = data::GenerateTaobaoDataset(gopt);
+
+  data::ColdStartOptions copt;
+  copt.num_new_items = 12;
+  copt.seed = 5;
+  auto arrivals = data::SynthesizeColdStartArrivals(ds, copt);
+  ASSERT_EQ(arrivals.size(), 12u);
+
+  GraphDeltaLog log(2);
+  DynamicHeteroGraph dyn(&ds.graph);
+  IngestOptions iopt;
+  iopt.num_shards = 2;
+  IngestPipeline pipeline(&log, &dyn, iopt);
+  pipeline.Start();
+  std::vector<NodeId> minted;
+  for (auto& arrival : arrivals) {
+    auto id = pipeline.OfferNewNode(std::move(arrival.item),
+                                    std::move(arrival.edges));
+    ASSERT_TRUE(id.ok()) << id.status().ToString();
+    minted.push_back(id.value());
+  }
+  pipeline.Flush();
+  EXPECT_EQ(pipeline.Stats().nodes_ingested, 12);
+  auto snap = dyn.MakeSnapshot();
+  EXPECT_EQ(snap.num_nodes(), ds.graph.num_nodes() + 12);
+  for (NodeId id : minted) {
+    EXPECT_EQ(snap.node_type(id), NodeType::kItem);
+    EXPECT_GE(snap.Degree(id), 2);  // intro clicks + session sibling
+  }
+
+  // The ROI sampler reaches cold-start items through the dynamic view.
+  DynamicGraphView view(&dyn);
+  EXPECT_EQ(view.num_nodes(), snap.num_nodes());
+  core::RoiSamplerOptions ropt;
+  ropt.k = 8;
+  ropt.num_hops = 2;
+  core::RoiSampler sampler(ropt);
+  Rng rng(9);
+  int reachable = 0;
+  for (NodeId id : minted) {
+    auto fc = sampler.FocalVector(view, {0, id});
+    auto roi = sampler.Sample(view, id, fc, &rng);
+    EXPECT_EQ(roi.ego(), id);
+    reachable += roi.size() > 1;
+    for (const auto& n : roi.nodes) {
+      ASSERT_GE(n.id, 0);
+      ASSERT_LT(n.id, view.num_nodes());
+    }
+  }
+  EXPECT_EQ(reachable, 12);
+  pipeline.Stop();
+}
+
+TEST(NodeIngestTest, SamplerNeverExceedsPinnedNumNodesUnderIngest) {
+  HeteroGraph g = MakeTinyGraph(20);
+  GraphDeltaLog log(2);
+  DynamicHeteroGraph dyn(&g);
+  IngestOptions iopt;
+  iopt.num_shards = 2;
+  iopt.batch_size = 4;
+  IngestPipeline pipeline(&log, &dyn, iopt);
+  pipeline.Start();
+
+  std::atomic<bool> stop{false};
+  std::thread minter([&] {
+    Rng rng(31);
+    while (!stop.load()) {
+      auto id = pipeline.OfferNewNode(
+          MakeItemEvent(0.2f + 0.6f * rng.UniformFloat()),
+          {{1, -1, RelationKind::kClick, 1.0f, 0}});
+      ASSERT_TRUE(id.ok());
+      graph::SessionRecord session;
+      session.user = 0;
+      session.query = 1;
+      session.clicks = {id.value()};
+      pipeline.Offer(session);
+    }
+  });
+
+  // Make sure the minter actually interleaves with the reads (it may not
+  // have been scheduled yet on a loaded host).
+  while (dyn.num_nodes_allocated() == g.num_nodes()) {
+    std::this_thread::yield();
+  }
+  Rng rng(13);
+  for (int round = 0; round < 150; ++round) {
+    auto snap = dyn.MakeSnapshot();
+    const int64_t pinned = snap.num_nodes();
+    for (int i = 0; i < 40; ++i) {
+      const NodeId nb = snap.SampleNeighbor(1, &rng);
+      ASSERT_GE(nb, 0);
+      ASSERT_LT(nb, pinned);
+      for (NodeId d : snap.SampleDistinctNeighbors(1, 4, &rng)) {
+        ASSERT_LT(d, pinned);
+      }
+    }
+    ASSERT_EQ(snap.num_nodes(), pinned);  // a pin never grows
+  }
+  stop.store(true);
+  minter.join();
+  pipeline.Flush();
+  EXPECT_GT(dyn.MakeSnapshot().num_nodes(), g.num_nodes());
+  pipeline.Stop();
+}
+
 // --- End-to-end serving freshness -----------------------------------------
 
 TEST(ServingFreshnessTest, IngestedClickBecomesVisibleInHandle) {
@@ -943,6 +1364,94 @@ TEST(ServingFreshnessTest, IngestedClickBecomesVisibleInHandle) {
   }
   EXPECT_TRUE(visible);
   EXPECT_GT(server.cache().Stats().invalidations, 0);
+  pipeline.Stop();
+}
+
+TEST(ServingFreshnessTest, ColdStartItemRecommendedPreAndPostCompact) {
+  // Acceptance (id-space growth e2e): a brand-new item node plus its first
+  // edges stream in; the server indexes its embedding incrementally, a
+  // request recommends it with no Compact() — and the fold then changes
+  // nothing about the response.
+  const int dim = 16;
+  const int num_items = 10;
+  HeteroGraph g = MakeTinyGraph(num_items);
+  std::vector<float> node_emb(g.num_nodes() * dim, 0.0f);
+  std::vector<NodeId> item_ids;
+  std::vector<float> item_emb(num_items * dim, 0.0f);
+  for (int i = 0; i < num_items; ++i) {
+    const NodeId id = 2 + i;
+    node_emb[id * dim + i] = 1.0f;
+    item_emb[i * dim + i] = 1.0f;
+    item_ids.push_back(id);
+  }
+  serving::OnlineServerOptions opt;
+  opt.embedding_dim = dim;
+  opt.top_n = 3;
+  serving::OnlineServer server(&g, opt, node_emb, item_ids, item_emb);
+
+  GraphDeltaLog log(2);
+  DynamicHeteroGraph dyn(&g);
+  server.AttachDynamicGraph(&dyn);
+  IngestOptions iopt;
+  iopt.num_shards = 2;
+  IngestPipeline pipeline(&log, &dyn, iopt);
+  pipeline.AddUpdateListener(
+      [&](const std::vector<NodeId>& nodes) { server.OnGraphUpdate(nodes); });
+  pipeline.Start();
+  server.WarmCache({0, 1});
+  const serving::ServingRequest req{0, 1};
+  EXPECT_NEAR(server.Handle(req).items[0].score, 0.0f, 1e-5f);
+
+  // The item is born online: node event + introducing click in one batch.
+  auto minted = pipeline.OfferNewNode(
+      MakeItemEvent(0.3f), {{1, -1, RelationKind::kClick, 3.0f, 0}});
+  ASSERT_TRUE(minted.ok()) << minted.status().ToString();
+  const NodeId fresh = minted.value();
+  // Serving-side registration: embedding row + incremental ANN insert. The
+  // embedding leans on an existing catalog direction (so the IVF coarse
+  // quantizer routes both the insert and the probe to a trained list — a
+  // fully orthogonal vector would land in an unprobed region) but keeps a
+  // dominant novel component that makes the new item the unique best match.
+  std::vector<float> fresh_emb(dim, 0.0f);
+  fresh_emb[num_items] = 0.8f;
+  fresh_emb[7] = 0.6f;
+  ASSERT_TRUE(server.IngestNode(fresh, fresh_emb, /*is_item=*/true).ok());
+  ASSERT_EQ(server.index().size(), num_items + 1);
+  // Clicks keep accumulating on the new item through normal traffic.
+  graph::SessionRecord session;
+  session.user = 0;
+  session.query = 1;
+  session.clicks = {fresh, fresh};
+  ASSERT_TRUE(pipeline.Offer(session));
+  pipeline.Flush();
+
+  // Pre-Compact: once the asynchronous cache re-fill lands, the cold-start
+  // item must be the top recommendation.
+  serving::ServingResponse before;
+  bool visible = false;
+  for (int i = 0; i < 2000 && !visible; ++i) {
+    before = server.Handle(req);
+    visible = !before.items.empty() && before.items[0].id == fresh &&
+              before.items[0].score > 0.1f;
+    if (!visible) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(visible);
+  ASSERT_GT(dyn.num_delta_entries(), 0);  // served from the overlay
+
+  // The fold conserves the merged neighborhoods, so the response is
+  // identical — same items in the same order.
+  auto folded = dyn.Compact();
+  ASSERT_TRUE(folded.ok());
+  log.Truncate(folded.value());
+  EXPECT_EQ(dyn.base()->num_nodes(), g.num_nodes() + 1);
+  EXPECT_EQ(dyn.num_delta_entries(), 0);
+  auto after = server.Handle(req);
+  ASSERT_EQ(after.items.size(), before.items.size());
+  for (size_t i = 0; i < after.items.size(); ++i) {
+    EXPECT_EQ(after.items[i].id, before.items[i].id);
+    EXPECT_NEAR(after.items[i].score, before.items[i].score, 1e-4f);
+  }
+  EXPECT_EQ(after.items[0].id, fresh);
   pipeline.Stop();
 }
 
