@@ -20,7 +20,11 @@
 //      scheduled compaction on vs off, and
 //   8. cold-start node ingestion: brand-new item nodes minted online
 //      through OfferNewNode (id-space growth), their arrival rate, and
-//      ROI-sampler reachability through the grown dynamic view.
+//      ROI-sampler reachability through the grown dynamic view, and
+//   9. incremental compaction: the segmented base's fold pause at dirty
+//      fractions 1/8..1 of the segments over identical uniformly-dirty
+//      workloads (acceptance: folding <= 1/8 of the segments costs <= ~25%
+//      of a full Compact()).
 //
 // Flags: --smoke shrinks every workload for a CI smoke run; --json PATH
 // writes the headline metrics as a flat JSON object so the workflow can
@@ -76,9 +80,11 @@ std::vector<NodeId> NodesOfTypeWithEdges(const graph::HeteroGraph& g,
   return all;
 }
 
-double TimeStaticSampling(const graph::HeteroGraph& g,
-                          const std::vector<NodeId>& nodes, int draws,
-                          uint64_t seed) {
+/// Works over any CSR-shaped graph exposing SampleNeighbor (the offline
+/// HeteroGraph and the dynamic graph's SegmentedCsr base).
+template <typename Csr>
+double TimeStaticSampling(const Csr& g, const std::vector<NodeId>& nodes,
+                          int draws, uint64_t seed) {
   Rng rng(seed);
   WallTimer timer;
   int64_t sink = 0;
@@ -631,6 +637,96 @@ int Run(const BenchConfig& cfg) {
                 minted.size(), fold_timer.ElapsedMillis(),
                 dyn.base()->DebugString().c_str());
     sink.Record("node_ingest_fold_ms", fold_timer.ElapsedMillis());
+  }
+
+  // ---- 9. Incremental compaction: fold pause vs dirty fraction -------------
+  {
+    // Identical uniformly-dirty workloads, folded at different dirty
+    // fractions: every segment receives the same count of segment-local
+    // delta edges, then one run folds all segments (the old full Compact
+    // pause) and the others fold only the first 1/2, 1/4, 1/8 of them.
+    // Acceptance (ROADMAP/ISSUE): folding <= 1/8 of the segments costs
+    // <= ~25% of the full fold on this workload.
+    const int edges_per_segment = cfg.smoke ? 64 : 512;
+    auto prepare = [&](streaming::GraphDeltaLog* dlog) {
+      auto d = std::make_unique<streaming::DynamicHeteroGraph>(&ds.graph);
+      const int64_t span = d->segment_span();
+      const int64_t nsegs = d->base()->num_segments();
+      Rng brng(907);
+      for (int64_t s = 0; s < nsegs; ++s) {
+        const NodeId lo = static_cast<NodeId>(s * span);
+        const NodeId hi =
+            std::min<NodeId>(lo + span, ds.graph.num_nodes());
+        if (hi - lo < 2) continue;
+        std::vector<streaming::EdgeEvent> events;
+        events.reserve(edges_per_segment);
+        for (int i = 0; i < edges_per_segment; ++i) {
+          const NodeId a = lo + static_cast<NodeId>(brng.Uniform(hi - lo));
+          NodeId b = lo + static_cast<NodeId>(brng.Uniform(hi - lo));
+          if (a == b) b = a == lo ? a + 1 : lo;
+          events.push_back({a, b, graph::RelationKind::kClick, 1.0f, 0});
+        }
+        streaming::DeltaBatch batch;
+        batch.events = std::move(events);
+        batch.epoch = dlog->Append(0, batch.events);
+        auto st = d->ApplyBatch(batch);
+        if (!st.ok()) {
+          std::printf("incremental-bench apply failed: %s\n",
+                      st.ToString().c_str());
+          std::abort();
+        }
+      }
+      return d;
+    };
+
+    struct FoldPoint {
+      double frac;
+      int64_t segments;
+      double ms;
+    };
+    std::vector<FoldPoint> points;
+    const std::vector<double> fracs = {1.0, 0.5, 0.25, 0.125};
+    for (double frac : fracs) {
+      streaming::GraphDeltaLog dlog(1);
+      auto d = prepare(&dlog);
+      const int64_t nsegs = d->base()->num_segments();
+      const int64_t k = std::max<int64_t>(
+          1, static_cast<int64_t>(nsegs * frac + 0.5));
+      std::vector<int64_t> selection;
+      for (int64_t s = 0; s < k; ++s) selection.push_back(s);
+      WallTimer fold_timer;
+      auto folded = frac >= 1.0 ? d->Compact()
+                                : d->CompactSegments(std::move(selection));
+      const double ms = fold_timer.ElapsedMillis();
+      if (!folded.ok()) {
+        std::printf("incremental fold failed: %s\n",
+                    folded.status().ToString().c_str());
+        return 1;
+      }
+      dlog.Truncate(d->SafeTruncateEpoch());
+      points.push_back({frac, k, ms});
+    }
+    const double full_ms = points[0].ms;
+    const double eighth_ratio = points.back().ms / full_ms;
+    std::printf("\n[incremental compaction] fold pause vs dirty fraction "
+                "(%lld segments x %d delta edges each)\n",
+                static_cast<long long>(
+                    points[0].segments),
+                edges_per_segment);
+    for (const FoldPoint& p : points) {
+      std::printf("  fold %5.1f%% (%3lld segs) %10.2f ms  %5.1f%% of full%s\n",
+                  p.frac * 100.0, static_cast<long long>(p.segments), p.ms,
+                  100.0 * p.ms / full_ms,
+                  p.frac <= 0.125
+                      ? (p.ms / full_ms <= 0.25 ? "  (<= 25% OK)"
+                                                : "  (> 25%!)")
+                      : "");
+    }
+    sink.Record("segmented_full_fold_ms", full_ms);
+    sink.Record("incr_fold_eighth_ms", points.back().ms);
+    sink.Record("incr_fold_eighth_vs_full_ratio", eighth_ratio);
+    sink.Record("incr_fold_quarter_vs_full_ratio", points[2].ms / full_ms);
+    sink.Record("incr_fold_half_vs_full_ratio", points[1].ms / full_ms);
   }
 
   pipeline.Stop();

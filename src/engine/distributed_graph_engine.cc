@@ -17,22 +17,25 @@ namespace {
 
 /// Distinct weighted draws via the alias table (constant-time per draw);
 /// the shared GraphView helper provides the bounded-retry dedup the
-/// production engine's draw-with-dedup uses.
-SampleResponse SampleFromCsr(const graph::HeteroGraph& g,
+/// production engine's draw-with-dedup uses. Takes the view abstraction so
+/// the static path (CsrGraphView over the offline HeteroGraph) and the
+/// streaming path (SegmentedCsrView over a snapshot's pinned segmented
+/// base) share one implementation.
+SampleResponse SampleFromCsr(const graph::GraphView& g,
                              const SampleRequest& req) {
   SampleResponse resp;
   if (g.degree(req.node) == 0) return resp;
   Rng rng(req.rng_seed);
   const std::vector<NodeId> seen =
-      graph::CsrGraphView(g).SampleDistinctNeighbors(req.node, req.k, &rng);
-  auto ids = g.neighbor_ids(req.node);
-  auto weights = g.neighbor_weights(req.node);
+      g.SampleDistinctNeighbors(req.node, req.k, &rng);
+  graph::NeighborScratch scratch;
+  const graph::NeighborBlock block = g.Neighbors(req.node, &scratch);
   for (NodeId nb : seen) {
     resp.neighbors.push_back(nb);
     float w = 0.0f;
-    for (size_t p = 0; p < ids.size(); ++p) {
-      if (ids[p] == nb) {
-        w = weights[p];
+    for (int64_t p = 0; p < block.size(); ++p) {
+      if (block.ids[p] == nb) {
+        w = block.weights[p];
         break;
       }
     }
@@ -73,7 +76,7 @@ StatusOr<SampleResponse> GraphShard::Sample(const SampleRequest& req) const {
     }
     if (snap.DeltaDegree(req.node) == 0) {
       if (!snap.InBase(req.node)) return SampleResponse{};  // isolated
-      return SampleFromCsr(snap.base(), req);
+      return SampleFromCsr(graph::SegmentedCsrView(snap.base()), req);
     }
     std::vector<graph::NeighborEntry> merged;
     snap.Neighbors(req.node, &merged);
@@ -95,7 +98,7 @@ StatusOr<SampleResponse> GraphShard::Sample(const SampleRequest& req) const {
   if (req.node >= graph_->num_nodes()) {
     return Status::InvalidArgument("node id out of range");
   }
-  return SampleFromCsr(*graph_, req);
+  return SampleFromCsr(graph::CsrGraphView(*graph_), req);
 }
 
 size_t GraphShard::MemoryBytes() const {

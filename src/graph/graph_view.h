@@ -44,12 +44,15 @@ struct NeighborScratch {
   std::vector<RelationKind> kinds;
 };
 
-/// Zero-copy typed sub-block of a node's CSR neighbor arrays.
-/// HeteroGraph::TypedRange offsets are absolute into the global arrays;
-/// this rebases them onto the node's block so the parallel weight/kind
-/// spans line up — the one place that arithmetic lives.
-inline NeighborBlock TypedCsrBlock(const HeteroGraph& g, NodeId id,
-                                   NodeType t) {
+/// Zero-copy typed sub-block of a node's CSR neighbor arrays. Works over
+/// any CSR-shaped graph exposing neighbor_ids/NeighborsOfType/
+/// neighbor_weights/neighbor_kinds (the monolithic HeteroGraph and the
+/// node-partitioned SegmentedCsr). Typed-range offsets may be absolute into
+/// global arrays (HeteroGraph) or segment-local (SegmentedCsr); rebasing
+/// the typed span onto the node's block normalizes both — the one place
+/// that arithmetic lives.
+template <typename Csr>
+inline NeighborBlock TypedCsrBlock(const Csr& g, NodeId id, NodeType t) {
   const auto ids = g.neighbor_ids(id);
   const auto typed = g.NeighborsOfType(id, t);
   const size_t rel = static_cast<size_t>(typed.data() - ids.data());

@@ -1,0 +1,260 @@
+#include "graph/segmented_csr.h"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+namespace zoomer {
+namespace graph {
+
+size_t CsrSegment::MemoryBytes() const {
+  size_t bytes = 0;
+  bytes += types_.size() * sizeof(NodeType);
+  bytes += contents_.size() * sizeof(float);
+  bytes += slot_ids_.size() * sizeof(int64_t);
+  bytes += slot_offsets_.size() * sizeof(int64_t);
+  bytes += offsets_.size() * sizeof(int64_t);
+  bytes += nbr_id_.size() * sizeof(NodeId);
+  bytes += nbr_weight_.size() * sizeof(float);
+  bytes += nbr_kind_.size() * sizeof(RelationKind);
+  bytes += type_offsets_.size() * sizeof(int64_t);
+  for (const auto& a : alias_) bytes += a.MemoryBytes();
+  return bytes;
+}
+
+CsrSegmentBuilder::CsrSegmentBuilder(NodeId first_node, int64_t expected_rows,
+                                     int content_dim, uint64_t generation,
+                                     TypeResolver type_of)
+    : type_of_(std::move(type_of)) {
+  seg_.first_node_ = first_node;
+  seg_.generation_ = generation;
+  seg_.content_dim_ = content_dim;
+  seg_.types_.reserve(expected_rows);
+  seg_.contents_.reserve(expected_rows * content_dim);
+  seg_.slot_offsets_.push_back(0);
+  seg_.offsets_.push_back(0);
+}
+
+void CsrSegmentBuilder::AddRow(NodeType type, std::span<const float> content,
+                               std::span<const int64_t> slots,
+                               std::vector<NeighborEntry> neighbors) {
+  ZCHECK_EQ(static_cast<int>(content.size()), seg_.content_dim_)
+      << "row content dim mismatch";
+  seg_.types_.push_back(type);
+  ++seg_.type_counts_[static_cast<int>(type)];
+  seg_.contents_.insert(seg_.contents_.end(), content.begin(), content.end());
+  seg_.slot_ids_.insert(seg_.slot_ids_.end(), slots.begin(), slots.end());
+  seg_.slot_offsets_.push_back(static_cast<int64_t>(seg_.slot_ids_.size()));
+
+  // The block order contract shared with HeteroGraphBuilder::Build: sort by
+  // (neighbor type, kind, neighbor id). The key is unique per coalesced
+  // entry, so the order — and with it typed sub-ranges, alias layout, and
+  // every downstream draw sequence — is deterministic regardless of how the
+  // row was assembled (offline build, full fold, or a chain of incremental
+  // segment folds). That determinism is what the fold-parity test pins.
+  std::sort(neighbors.begin(), neighbors.end(),
+            [this](const NeighborEntry& x, const NeighborEntry& y) {
+              const int tx = static_cast<int>(type_of_(x.neighbor));
+              const int ty = static_cast<int>(type_of_(y.neighbor));
+              if (tx != ty) return tx < ty;
+              const int kx = static_cast<int>(x.kind);
+              const int ky = static_cast<int>(y.kind);
+              if (kx != ky) return kx < ky;
+              return x.neighbor < y.neighbor;
+            });
+
+  const int64_t block_begin = static_cast<int64_t>(seg_.nbr_id_.size());
+  for (const NeighborEntry& e : neighbors) {
+    seg_.nbr_id_.push_back(e.neighbor);
+    seg_.nbr_weight_.push_back(e.weight);
+    seg_.nbr_kind_.push_back(e.kind);
+  }
+  seg_.offsets_.push_back(static_cast<int64_t>(seg_.nbr_id_.size()));
+
+  // Typed sub-offsets (segment-local) over the freshly sorted block.
+  int64_t pos = block_begin;
+  const int64_t block_end = static_cast<int64_t>(seg_.nbr_id_.size());
+  for (int t = 0; t < kNumNodeTypes; ++t) {
+    seg_.type_offsets_.push_back(pos);
+    while (pos < block_end &&
+           static_cast<int>(type_of_(seg_.nbr_id_[pos])) == t) {
+      ++pos;
+    }
+  }
+  seg_.type_offsets_.push_back(pos);
+
+  seg_.alias_.emplace_back();
+  if (!neighbors.empty()) {
+    std::vector<double> w;
+    w.reserve(neighbors.size());
+    for (const NeighborEntry& e : neighbors) w.push_back(e.weight);
+    seg_.alias_.back().Build(w);
+  }
+}
+
+void CsrSegmentBuilder::CopyRow(const CsrSegment& src, int64_t src_row) {
+  ZCHECK_EQ(src.content_dim(), seg_.content_dim_);
+  seg_.types_.push_back(src.row_type(src_row));
+  ++seg_.type_counts_[static_cast<int>(src.row_type(src_row))];
+  const float* c = src.row_content(src_row);
+  seg_.contents_.insert(seg_.contents_.end(), c, c + seg_.content_dim_);
+  const auto slots = src.row_slots(src_row);
+  seg_.slot_ids_.insert(seg_.slot_ids_.end(), slots.begin(), slots.end());
+  seg_.slot_offsets_.push_back(static_cast<int64_t>(seg_.slot_ids_.size()));
+
+  const int64_t block_begin = static_cast<int64_t>(seg_.nbr_id_.size());
+  const auto ids = src.row_neighbor_ids(src_row);
+  const auto weights = src.row_neighbor_weights(src_row);
+  const auto kinds = src.row_neighbor_kinds(src_row);
+  seg_.nbr_id_.insert(seg_.nbr_id_.end(), ids.begin(), ids.end());
+  seg_.nbr_weight_.insert(seg_.nbr_weight_.end(), weights.begin(),
+                          weights.end());
+  seg_.nbr_kind_.insert(seg_.nbr_kind_.end(), kinds.begin(), kinds.end());
+  seg_.offsets_.push_back(static_cast<int64_t>(seg_.nbr_id_.size()));
+
+  const int64_t src_block = src.offsets_[src_row];
+  for (int t = 0; t <= kNumNodeTypes; ++t) {
+    seg_.type_offsets_.push_back(
+        block_begin +
+        (src.type_offsets_[src_row * (kNumNodeTypes + 1) + t] - src_block));
+  }
+  seg_.alias_.push_back(src.row_alias(src_row));
+}
+
+void CsrSegmentBuilder::CopyRow(const HeteroGraph& src, NodeId src_row) {
+  ZCHECK_EQ(src.content_dim(), seg_.content_dim_);
+  const NodeType type = src.node_type(src_row);
+  seg_.types_.push_back(type);
+  ++seg_.type_counts_[static_cast<int>(type)];
+  const float* c = src.content(src_row);
+  seg_.contents_.insert(seg_.contents_.end(), c, c + seg_.content_dim_);
+  const auto slots = src.slots(src_row);
+  seg_.slot_ids_.insert(seg_.slot_ids_.end(), slots.begin(), slots.end());
+  seg_.slot_offsets_.push_back(static_cast<int64_t>(seg_.slot_ids_.size()));
+
+  const int64_t block_begin = static_cast<int64_t>(seg_.nbr_id_.size());
+  const auto ids = src.neighbor_ids(src_row);
+  const auto weights = src.neighbor_weights(src_row);
+  const auto kinds = src.neighbor_kinds(src_row);
+  seg_.nbr_id_.insert(seg_.nbr_id_.end(), ids.begin(), ids.end());
+  seg_.nbr_weight_.insert(seg_.nbr_weight_.end(), weights.begin(),
+                          weights.end());
+  seg_.nbr_kind_.insert(seg_.nbr_kind_.end(), kinds.begin(), kinds.end());
+  seg_.offsets_.push_back(static_cast<int64_t>(seg_.nbr_id_.size()));
+
+  // HeteroGraph typed ranges are absolute into its global arrays; rebase
+  // onto this row's block (the first type's begin is the block start).
+  const int64_t src_block =
+      src.TypedRange(src_row, static_cast<NodeType>(0)).first;
+  for (int t = 0; t < kNumNodeTypes; ++t) {
+    seg_.type_offsets_.push_back(
+        block_begin +
+        (src.TypedRange(src_row, static_cast<NodeType>(t)).first -
+         src_block));
+  }
+  seg_.type_offsets_.push_back(
+      block_begin +
+      (src.TypedRange(src_row, static_cast<NodeType>(kNumNodeTypes - 1))
+           .second -
+       src_block));
+
+  seg_.alias_.emplace_back();
+  if (!ids.empty()) {
+    std::vector<double> w(weights.begin(), weights.end());
+    seg_.alias_.back().Build(w);
+  }
+}
+
+std::shared_ptr<const CsrSegment> CsrSegmentBuilder::Build() {
+  return std::make_shared<const CsrSegment>(std::move(seg_));
+}
+
+SegmentedCsr::SegmentedCsr(const HeteroGraph& base, int64_t span,
+                           uint64_t generation) {
+  ZCHECK_GT(span, 0);
+  ZCHECK_EQ(span & (span - 1), 0) << "segment span must be a power of two";
+  span_ = span;
+  span_shift_ = 0;
+  while ((int64_t{1} << span_shift_) < span) ++span_shift_;
+  content_dim_ = base.content_dim();
+
+  const int64_t n = base.num_nodes();
+  for (NodeId lo = 0; lo < n; lo += span) {
+    const int64_t hi = std::min<int64_t>(lo + span, n);
+    // Verbatim row copies: the offline blocks are already in the shared
+    // sort order, so partitioning is memcpy-shaped (plus per-row alias
+    // rebuilds) — never a re-sort of the whole graph.
+    CsrSegmentBuilder builder(
+        lo, hi - lo, content_dim_, generation,
+        [&base](NodeId id) { return base.node_type(id); });
+    for (NodeId v = lo; v < hi; ++v) builder.CopyRow(base, v);
+    segments_.push_back(builder.Build());
+  }
+  RecomputeTotals();
+}
+
+std::shared_ptr<const SegmentedCsr> SegmentedCsr::Successor(
+    const std::vector<std::pair<int64_t, std::shared_ptr<const CsrSegment>>>&
+        replaced) const {
+  auto next = std::shared_ptr<SegmentedCsr>(new SegmentedCsr());
+  next->span_ = span_;
+  next->span_shift_ = span_shift_;
+  next->content_dim_ = content_dim_;
+  next->segments_ = segments_;  // shared_ptr copies: untouched rows shared
+  for (const auto& [s, seg] : replaced) {
+    ZCHECK(seg != nullptr);
+    ZCHECK_EQ(seg->first_node(), s * span_);
+    if (s < static_cast<int64_t>(next->segments_.size())) {
+      next->segments_[s] = seg;
+    } else {
+      // Appended coverage must stay contiguous (the fold includes every
+      // frontier segment up to its bound, in order).
+      ZCHECK_EQ(s, static_cast<int64_t>(next->segments_.size()))
+          << "segment append leaves a coverage gap";
+      next->segments_.push_back(seg);
+    }
+  }
+  // All but the last segment must span the full range, or segment_of()
+  // indexing breaks.
+  for (size_t i = 0; i + 1 < next->segments_.size(); ++i) {
+    ZCHECK_EQ(next->segments_[i]->num_rows(), span_)
+        << "only the frontier segment may be partial";
+  }
+  next->RecomputeTotals();
+  return next;
+}
+
+void SegmentedCsr::RecomputeTotals() {
+  num_nodes_ = 0;
+  num_half_edges_ = 0;
+  type_counts_ = {0, 0, 0};
+  for (const auto& seg : segments_) {
+    ZCHECK_EQ(seg->first_node(), num_nodes_) << "segments must be contiguous";
+    num_nodes_ += seg->num_rows();
+    num_half_edges_ += seg->num_half_edges();
+    for (int t = 0; t < kNumNodeTypes; ++t) {
+      type_counts_[t] += seg->num_rows_of_type(static_cast<NodeType>(t));
+    }
+  }
+}
+
+size_t SegmentedCsr::MemoryBytes() const {
+  size_t bytes = segments_.size() * sizeof(std::shared_ptr<const CsrSegment>);
+  for (const auto& seg : segments_) bytes += seg->MemoryBytes();
+  return bytes;
+}
+
+std::string SegmentedCsr::DebugString() const {
+  std::ostringstream os;
+  os << "SegmentedCsr{nodes=" << num_nodes() << " (user="
+     << num_nodes_of_type(NodeType::kUser)
+     << ", query=" << num_nodes_of_type(NodeType::kQuery)
+     << ", item=" << num_nodes_of_type(NodeType::kItem)
+     << "), half_edges=" << num_edges() << ", content_dim=" << content_dim_
+     << ", segments=" << num_segments() << " x " << span_
+     << " rows, bytes=" << MemoryBytes() << "}";
+  return os.str();
+}
+
+}  // namespace graph
+}  // namespace zoomer

@@ -1,0 +1,300 @@
+// Node-partitioned CSR storage (ROADMAP maintenance follow-up: "incremental
+// compaction — fold only hot shards instead of a full CSR rebuild"). The
+// monolithic HeteroGraph stays the offline build artifact; the *serving*
+// base of the streaming subsystem is a SegmentedCsr: the id-space is cut
+// into fixed-span contiguous row ranges ("segments"), each an independently
+// rebuildable immutable CsrSegment with its own generation.
+//
+// Why this shape:
+//  - A fold that absorbs the delta overlay of a few hot segments rebuilds
+//    only those CsrSegments; every untouched segment is *shared* (by
+//    shared_ptr) between the old and new SegmentedCsr. Snapshots pin the
+//    whole SegmentedCsr, so zero-copy spans handed out for untouched
+//    segments stay valid across any number of incremental folds — the
+//    persistent-data-structure property the GraphView/snapshot contracts
+//    rely on.
+//  - Per-segment generations let caches (maintenance::HotNodeOverlayCache)
+//    stamp entries with the generation of the one segment that backs a
+//    node, so an incremental fold invalidates only the folded ranges
+//    instead of flushing the whole cache.
+//  - Neighbor ids are global: an edge folded into segment A may reference a
+//    row of segment B (or an overlay-born node not yet folded at all);
+//    readers resolve the endpoint independently, exactly as the delta
+//    overlay always did. Row payloads (type/content/slots) and neighbor
+//    blocks mirror HeteroGraph's layout — blocks sorted by (neighbor type,
+//    kind, id) with typed sub-ranges and a per-row alias table — so the
+//    read API is call-compatible with HeteroGraph and TypedCsrBlock /
+//    sampler code templates over either.
+#ifndef ZOOMER_GRAPH_SEGMENTED_CSR_H_
+#define ZOOMER_GRAPH_SEGMENTED_CSR_H_
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "graph/alias_table.h"
+#include "graph/graph_view.h"
+#include "graph/hetero_graph.h"
+
+namespace zoomer {
+namespace graph {
+
+/// One immutable row range [first_node, first_node + num_rows) of the
+/// segmented CSR. Self-contained (owns its arrays): rebuilding a segment
+/// never touches its neighbors, and sharing one between two SegmentedCsr
+/// epochs is a shared_ptr copy.
+class CsrSegment {
+ public:
+  NodeId first_node() const { return first_node_; }
+  int64_t num_rows() const { return static_cast<int64_t>(types_.size()); }
+  /// Monotonic rebuild stamp: bumped every time a fold replaces this row
+  /// range. Caches key their per-node entries on it.
+  uint64_t generation() const { return generation_; }
+  int content_dim() const { return content_dim_; }
+  int64_t num_half_edges() const { return static_cast<int64_t>(nbr_id_.size()); }
+  int64_t num_rows_of_type(NodeType t) const {
+    return type_counts_[static_cast<int>(t)];
+  }
+
+  // Row accessors take the segment-local row index in [0, num_rows()).
+  NodeType row_type(int64_t r) const { return types_[r]; }
+  const float* row_content(int64_t r) const {
+    return contents_.data() + r * content_dim_;
+  }
+  std::span<const int64_t> row_slots(int64_t r) const {
+    return {slot_ids_.data() + slot_offsets_[r],
+            static_cast<size_t>(slot_offsets_[r + 1] - slot_offsets_[r])};
+  }
+  int64_t row_degree(int64_t r) const { return offsets_[r + 1] - offsets_[r]; }
+  std::span<const NodeId> row_neighbor_ids(int64_t r) const {
+    return {nbr_id_.data() + offsets_[r], static_cast<size_t>(row_degree(r))};
+  }
+  std::span<const float> row_neighbor_weights(int64_t r) const {
+    return {nbr_weight_.data() + offsets_[r],
+            static_cast<size_t>(row_degree(r))};
+  }
+  std::span<const RelationKind> row_neighbor_kinds(int64_t r) const {
+    return {nbr_kind_.data() + offsets_[r],
+            static_cast<size_t>(row_degree(r))};
+  }
+  /// [begin, end) for type `t`, relative to the *row's* neighbor block
+  /// (i.e. indexes into row_neighbor_ids(r)).
+  std::pair<int64_t, int64_t> row_typed_range(int64_t r, NodeType t) const {
+    const int64_t base = r * (kNumNodeTypes + 1);
+    return {type_offsets_[base + static_cast<int>(t)] - offsets_[r],
+            type_offsets_[base + static_cast<int>(t) + 1] - offsets_[r]};
+  }
+  const AliasTable& row_alias(int64_t r) const { return alias_[r]; }
+
+  size_t MemoryBytes() const;
+
+ private:
+  friend class CsrSegmentBuilder;
+
+  NodeId first_node_ = 0;
+  uint64_t generation_ = 0;
+  int content_dim_ = 0;
+  std::vector<NodeType> types_;
+  std::array<int64_t, kNumNodeTypes> type_counts_ = {0, 0, 0};
+  std::vector<float> contents_;        // num_rows * content_dim
+  std::vector<int64_t> slot_ids_;
+  std::vector<int64_t> slot_offsets_;  // num_rows + 1
+  std::vector<int64_t> offsets_;       // num_rows + 1, segment-local
+  std::vector<NodeId> nbr_id_;         // global neighbor ids
+  std::vector<float> nbr_weight_;
+  std::vector<RelationKind> nbr_kind_;
+  std::vector<int64_t> type_offsets_;  // per row: kNumNodeTypes+1 local offsets
+  std::vector<AliasTable> alias_;
+};
+
+/// Row-at-a-time builder for one CsrSegment. Rows must be added in id
+/// order; each row's neighbor block is sorted by (neighbor type, kind, id)
+/// — the exact order HeteroGraphBuilder::Build produces — using the
+/// caller's global type resolver (neighbors may live in other segments or
+/// in the streaming overlay).
+class CsrSegmentBuilder {
+ public:
+  using TypeResolver = std::function<NodeType(NodeId)>;
+
+  CsrSegmentBuilder(NodeId first_node, int64_t expected_rows, int content_dim,
+                    uint64_t generation, TypeResolver type_of);
+
+  /// Appends the next row. `neighbors` need not be sorted; duplicates by
+  /// (neighbor, kind) must already be coalesced by the caller.
+  void AddRow(NodeType type, std::span<const float> content,
+              std::span<const int64_t> slots,
+              std::vector<NeighborEntry> neighbors);
+
+  /// Fast path for a row copied verbatim from an existing segment: the
+  /// neighbor block is already sorted/typed, and the alias table is reused
+  /// instead of rebuilt.
+  void CopyRow(const CsrSegment& src, int64_t src_row);
+
+  /// Same verbatim copy from an offline HeteroGraph row (its blocks are
+  /// already in the shared (neighbor type, kind, id) order): block arrays
+  /// and typed offsets are memcpy-shaped, only the alias table is rebuilt
+  /// (the source's is inaccessible) — no sorting, no type resolution.
+  void CopyRow(const HeteroGraph& src, NodeId src_row);
+
+  std::shared_ptr<const CsrSegment> Build();
+
+ private:
+  CsrSegment seg_;
+  TypeResolver type_of_;
+};
+
+/// Immutable node-partitioned CSR: contiguous segments of `segment_span`
+/// rows (a power of two; the last segment may be partial). Successor() is
+/// how incremental compaction works: it produces a new SegmentedCsr that
+/// shares every untouched segment and swaps/appends the rebuilt ones.
+class SegmentedCsr {
+ public:
+  /// Partitions an offline HeteroGraph into segments of `span` rows (all
+  /// segments start at generation `generation`). Row payloads and neighbor
+  /// blocks are copied verbatim, so reads are bit-identical to the source.
+  SegmentedCsr(const HeteroGraph& base, int64_t span,
+               uint64_t generation = 1);
+
+  /// Successor sharing this graph's segments except those in `replaced`
+  /// (indexed by segment number; entries beyond the current segment count
+  /// append new coverage, which must stay contiguous).
+  std::shared_ptr<const SegmentedCsr> Successor(
+      const std::vector<std::pair<int64_t,
+                                  std::shared_ptr<const CsrSegment>>>&
+          replaced) const;
+
+  int64_t segment_span() const { return span_; }
+  int span_shift() const { return span_shift_; }
+  int64_t num_segments() const { return static_cast<int64_t>(segments_.size()); }
+  int64_t segment_of(NodeId id) const { return id >> span_shift_; }
+  const CsrSegment& segment(int64_t s) const { return *segments_[s]; }
+  std::shared_ptr<const CsrSegment> segment_ptr(int64_t s) const {
+    return segments_[s];
+  }
+  /// Generation of the segment backing `id` (0 for ids beyond coverage —
+  /// i.e. overlay-born nodes not yet folded).
+  uint64_t generation_of(NodeId id) const {
+    const int64_t s = segment_of(id);
+    return (id >= 0 && s < num_segments()) ? segments_[s]->generation() : 0;
+  }
+  uint64_t segment_generation(int64_t s) const {
+    return segments_[s]->generation();
+  }
+
+  // ---- HeteroGraph-compatible read API (global node ids) -------------------
+  int64_t num_nodes() const { return num_nodes_; }
+  int64_t num_edges() const { return num_half_edges_; }
+  int64_t num_nodes_of_type(NodeType t) const {
+    return type_counts_[static_cast<int>(t)];
+  }
+  int content_dim() const { return content_dim_; }
+
+  NodeType node_type(NodeId id) const {
+    const auto [seg, r] = Locate(id);
+    return seg->row_type(r);
+  }
+  const float* content(NodeId id) const {
+    const auto [seg, r] = Locate(id);
+    return seg->row_content(r);
+  }
+  std::span<const int64_t> slots(NodeId id) const {
+    const auto [seg, r] = Locate(id);
+    return seg->row_slots(r);
+  }
+  int64_t degree(NodeId id) const {
+    const auto [seg, r] = Locate(id);
+    return seg->row_degree(r);
+  }
+  std::span<const NodeId> neighbor_ids(NodeId id) const {
+    const auto [seg, r] = Locate(id);
+    return seg->row_neighbor_ids(r);
+  }
+  std::span<const float> neighbor_weights(NodeId id) const {
+    const auto [seg, r] = Locate(id);
+    return seg->row_neighbor_weights(r);
+  }
+  std::span<const RelationKind> neighbor_kinds(NodeId id) const {
+    const auto [seg, r] = Locate(id);
+    return seg->row_neighbor_kinds(r);
+  }
+  std::span<const NodeId> NeighborsOfType(NodeId id, NodeType t) const {
+    const auto [seg, r] = Locate(id);
+    const auto [b, e] = seg->row_typed_range(r, t);
+    return seg->row_neighbor_ids(r).subspan(static_cast<size_t>(b),
+                                            static_cast<size_t>(e - b));
+  }
+  NodeId SampleNeighbor(NodeId id, Rng* rng) const {
+    const auto [seg, r] = Locate(id);
+    if (seg->row_degree(r) == 0) return -1;
+    const size_t k = seg->row_alias(r).Sample(rng);
+    return seg->row_neighbor_ids(r)[k];
+  }
+
+  size_t MemoryBytes() const;
+  std::string DebugString() const;
+
+ private:
+  SegmentedCsr() = default;
+
+  std::pair<const CsrSegment*, int64_t> Locate(NodeId id) const {
+    ZCHECK(id >= 0 && id < num_nodes_);
+    const CsrSegment* seg = segments_[id >> span_shift_].get();
+    return {seg, id - seg->first_node()};
+  }
+
+  void RecomputeTotals();
+
+  int64_t span_ = 0;
+  int span_shift_ = 0;
+  int content_dim_ = 0;
+  int64_t num_nodes_ = 0;
+  int64_t num_half_edges_ = 0;
+  std::array<int64_t, kNumNodeTypes> type_counts_ = {0, 0, 0};
+  std::vector<std::shared_ptr<const CsrSegment>> segments_;
+};
+
+/// GraphView adapter over a SegmentedCsr, mirroring CsrGraphView: zero-copy
+/// spans into the owning segments. `base` must outlive the view (snapshots
+/// pin the SegmentedCsr, satisfying this on the streaming read path).
+class SegmentedCsrView final : public GraphView {
+ public:
+  explicit SegmentedCsrView(const SegmentedCsr* base) : g_(base) {}
+  explicit SegmentedCsrView(const SegmentedCsr& base) : g_(&base) {}
+
+  int64_t num_nodes() const override { return g_->num_nodes(); }
+  int content_dim() const override { return g_->content_dim(); }
+  NodeType node_type(NodeId id) const override { return g_->node_type(id); }
+  const float* content(NodeId id) const override { return g_->content(id); }
+  std::span<const int64_t> slots(NodeId id) const override {
+    return g_->slots(id);
+  }
+  int64_t degree(NodeId id) const override { return g_->degree(id); }
+  NeighborBlock Neighbors(NodeId id, NeighborScratch*) const override {
+    return {g_->neighbor_ids(id), g_->neighbor_weights(id),
+            g_->neighbor_kinds(id)};
+  }
+  NeighborBlock NeighborsOfType(NodeId id, NodeType t,
+                                NeighborScratch*) const override {
+    return TypedCsrBlock(*g_, id, t);
+  }
+  NodeId SampleNeighbor(NodeId id, Rng* rng) const override {
+    return g_->SampleNeighbor(id, rng);
+  }
+
+  const SegmentedCsr& csr() const { return *g_; }
+
+ private:
+  const SegmentedCsr* g_;
+};
+
+}  // namespace graph
+}  // namespace zoomer
+
+#endif  // ZOOMER_GRAPH_SEGMENTED_CSR_H_

@@ -1,15 +1,25 @@
-// Scheduled compaction (ROADMAP streaming follow-up): a janitor policy that
-// watches the delta overlay and triggers DynamicHeteroGraph::Compact() —
-// safe mid-ingest since PR 2's quiescence handshake — once any configured
-// threshold is crossed: overlay entry count, overlay resident bytes, or the
-// age of the oldest un-compacted deltas (measured on the injectable
-// LogicalClock so tests are deterministic). After a successful fold the
-// policy truncates the delta log through the folded epoch, so callers no
-// longer manage the Compact()/Truncate() pair themselves.
+// Incremental compaction policy (ROADMAP maintenance follow-up: "fold only
+// hot shards instead of a full CSR rebuild" + "adaptive hotness thresholds
+// from observed read rates"). Each janitor pass reads the graph's
+// per-segment overlay pressure (DynamicHeteroGraph::SegmentPressures) and
+// folds only the segments whose pending delta mass crossed an *adaptive*
+// budget: segments whose overlay-path read rate since the last pass runs
+// above the fleet average fold sooner (reads are what pay the overlay
+// merge cost), cold segments may lag proportionally longer. Frontier
+// segments (overlay-born nodes awaiting their first fold) trigger on
+// pending node count. The old full Compact() remains as the safety net:
+// the global entry/byte/age thresholds — the legacy static triggers —
+// force a fold of every dirty segment at once.
+//
+// After any fold the policy truncates the delta log through
+// DynamicHeteroGraph::SafeTruncateEpoch(), the largest epoch no overlay
+// entry still pends on — correct even when different segments have folded
+// through different epochs.
 #ifndef ZOOMER_MAINTENANCE_COMPACTION_POLICY_H_
 #define ZOOMER_MAINTENANCE_COMPACTION_POLICY_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "common/clock.h"
 #include "maintenance/maintenance_policy.h"
@@ -20,13 +30,30 @@ namespace zoomer {
 namespace maintenance {
 
 struct CompactionPolicyOptions {
-  /// Fold once the overlay holds this many delta half-edges. 0 disables.
+  /// Fold every dirty segment once the overlay holds this many delta
+  /// half-edges in total. 0 disables.
   int64_t max_delta_entries = 50000;
-  /// Fold once the overlay resident size crosses this. 0 disables.
+  /// Same, once the overlay resident size crosses this. 0 disables.
   size_t max_overlay_bytes = 0;
-  /// Fold once deltas have been pending this long since the policy first
+  /// Same, once deltas have been pending this long since the policy first
   /// saw a non-empty overlay. 0 disables; requires a clock when set.
   int64_t max_delta_age_seconds = 0;
+
+  /// Incremental mode: fold an individual segment once its pending entries
+  /// cross its *effective* budget (see read_hot_boost). Also the pending
+  /// overlay-node count that triggers a frontier fold. 0 disables
+  /// per-segment folds — only the global thresholds above act (legacy
+  /// full-fold behavior).
+  int64_t segment_entry_budget = 0;
+  /// Adaptive hotness from observed read rates: a segment's effective
+  /// budget is segment_entry_budget scaled by avg_read_rate / its own read
+  /// rate (since the last pass), clamped to [budget / boost, budget *
+  /// boost]. Read-hot segments therefore fold up to `boost`x sooner, cold
+  /// ones lag up to `boost`x longer. 1.0 disables the adaptation.
+  double read_hot_boost = 4.0;
+  /// Cap on segments folded per pass, hottest (by pending entries weighted
+  /// with read rate) first. 0 = no cap.
+  int max_segments_per_pass = 0;
 };
 
 class CompactionPolicy final : public MaintenancePolicy {
@@ -40,9 +67,16 @@ class CompactionPolicy final : public MaintenancePolicy {
   const char* name() const override { return "compaction"; }
   StatusOr<MaintenanceReport> RunOnce() override;
 
+  /// Folds performed (full and incremental) and incremental-only count.
   int64_t compactions() const { return compactions_; }
+  int64_t incremental_compactions() const { return incremental_; }
 
  private:
+  /// Segments whose pressure crosses the adaptive budget this pass (empty
+  /// when incremental mode is off or nothing qualifies).
+  std::vector<int64_t> SelectDirtySegments(
+      const std::vector<streaming::SegmentPressure>& pressures);
+
   streaming::DynamicHeteroGraph* graph_;
   streaming::GraphDeltaLog* log_;
   const LogicalClock* clock_;
@@ -52,6 +86,10 @@ class CompactionPolicy final : public MaintenancePolicy {
   /// (-1 while empty). Scheduler serializes RunOnce, so no locking.
   int64_t deltas_pending_since_ = -1;
   int64_t compactions_ = 0;
+  int64_t incremental_ = 0;
+  /// Cumulative per-segment read counters at the previous pass, to
+  /// difference rates from.
+  std::vector<int64_t> last_reads_;
 };
 
 }  // namespace maintenance

@@ -1,5 +1,6 @@
 #include "maintenance/hot_node_cache.h"
 
+#include <algorithm>
 #include <cstdlib>
 #include <utility>
 
@@ -55,12 +56,12 @@ void HotNodeOverlayCache::MaybeReclaimLocked() {
 
 bool HotNodeOverlayCache::EntryValid(const Entry& entry,
                                      uint64_t current_overlay_version,
-                                     uint64_t base_generation,
+                                     uint64_t segment_generation,
                                      bool decay_active,
                                      int64_t as_of_seconds,
                                      const streaming::DecaySpec& spec) const {
   if (entry.overlay_version != current_overlay_version) return false;
-  if (entry.base_generation != base_generation) return false;
+  if (entry.segment_generation != segment_generation) return false;
   if (entry.decayed != decay_active) return false;
   if (decay_active) {
     if (std::abs(as_of_seconds - entry.as_of_seconds) >
@@ -75,7 +76,7 @@ bool HotNodeOverlayCache::EntryValid(const Entry& entry,
 
 const HotNodeOverlayCache::Entry* HotNodeOverlayCache::Find(
     NodeId node, uint64_t snapshot_epoch, uint64_t current_overlay_version,
-    uint64_t base_generation, bool decay_active, int64_t as_of_seconds,
+    uint64_t segment_generation, bool decay_active, int64_t as_of_seconds,
     const streaming::DecaySpec& spec) const {
   // Ids born after the cache was sized (streamed id-space growth) simply
   // miss — they are served by the overlay until the next cache rebuild.
@@ -86,7 +87,7 @@ const HotNodeOverlayCache::Entry* HotNodeOverlayCache::Find(
   const Entry* entry =
       slots_[static_cast<size_t>(node)].load(std::memory_order_acquire);
   if (entry != nullptr && snapshot_epoch >= entry->overlay_version &&
-      EntryValid(*entry, current_overlay_version, base_generation,
+      EntryValid(*entry, current_overlay_version, segment_generation,
                  decay_active, as_of_seconds, spec)) {
     hits_.fetch_add(1, std::memory_order_relaxed);
     return entry;
@@ -97,14 +98,14 @@ const HotNodeOverlayCache::Entry* HotNodeOverlayCache::Find(
 
 bool HotNodeOverlayCache::IsFresh(NodeId node,
                                   uint64_t current_overlay_version,
-                                  uint64_t base_generation, bool decay_active,
-                                  int64_t as_of_seconds,
+                                  uint64_t segment_generation,
+                                  bool decay_active, int64_t as_of_seconds,
                                   const streaming::DecaySpec& spec) const {
   if (node < 0 || node >= static_cast<NodeId>(slots_.size())) return false;
   const Entry* entry =
       slots_[static_cast<size_t>(node)].load(std::memory_order_acquire);
   return entry != nullptr &&
-         EntryValid(*entry, current_overlay_version, base_generation,
+         EntryValid(*entry, current_overlay_version, segment_generation,
                     decay_active, as_of_seconds, spec);
 }
 
@@ -144,6 +145,26 @@ void HotNodeOverlayCache::Invalidate(NodeId node) {
   total_entries_.fetch_sub(1, std::memory_order_acq_rel);
   invalidations_.fetch_add(1, std::memory_order_relaxed);
   RetireLocked(old);
+}
+
+void HotNodeOverlayCache::InvalidateRange(NodeId begin, NodeId end) {
+  begin = std::max<NodeId>(begin, 0);
+  end = std::min<NodeId>(end, static_cast<NodeId>(slots_.size()));
+  if (begin >= end) return;
+  std::lock_guard<std::mutex> lock(write_mu_);
+  size_t cleared = 0;
+  for (NodeId node = begin; node < end; ++node) {
+    Entry* old = slots_[static_cast<size_t>(node)].exchange(
+        nullptr, std::memory_order_acq_rel);
+    if (old == nullptr) continue;
+    ++cleared;
+    retired_.push_back(old);
+  }
+  if (cleared == 0) return;
+  total_entries_.fetch_sub(cleared, std::memory_order_acq_rel);
+  invalidations_.fetch_add(static_cast<int64_t>(cleared),
+                           std::memory_order_relaxed);
+  MaybeReclaimLocked();
 }
 
 void HotNodeOverlayCache::Clear() {
@@ -207,14 +228,16 @@ StatusOr<MaintenanceReport> HotNodeRefreshPolicy::RunOnce() {
     // A node born past this snapshot's pinned id-space (streamed id growth
     // racing the janitor) is resolved by a later pass.
     if (node >= snap.num_nodes()) continue;
-    if (cache_->IsFresh(node, version, snap.base_generation(),
-                        snap.decay_active(), snap.as_of_seconds(),
-                        snap.decay_window())) {
+    // Stamp with the generation of the one segment backing the node, so an
+    // incremental fold of other segments leaves this entry serving.
+    const uint64_t seg_gen = snap.segment_generation(node);
+    if (cache_->IsFresh(node, version, seg_gen, snap.decay_active(),
+                        snap.as_of_seconds(), snap.decay_window())) {
       continue;
     }
     HotNodeOverlayCache::Entry entry;
     entry.overlay_version = version;
-    entry.base_generation = snap.base_generation();
+    entry.segment_generation = seg_gen;
     entry.decayed = snap.decay_active();
     entry.as_of_seconds = snap.as_of_seconds();
     entry.spec = snap.decay_window();

@@ -18,21 +18,27 @@
 //     New pins cannot reach retired entries (they left the slots first),
 //     which keeps the reclamation check a plain counter.
 //
-// Consistency protocol (epoch-versioned, invalidated on apply/compact):
+// Consistency protocol (epoch-versioned, invalidated on apply/fold):
 //   - An entry is stamped with the node's overlay version (the node_epoch
 //     value its merge resolved — the max delta epoch of the node), the
-//     graph's base generation, and, when TTL/decay is active, the as_of
-//     instant its weights were decayed at.
+//     generation of the *CSR segment backing the node* (the segmented base
+//     rebuilds per segment; an incremental fold elsewhere must not kill
+//     this entry), and, when TTL/decay is active, the as_of instant its
+//     weights were decayed at.
 //   - A snapshot may serve from the entry only if (a) the node's current
 //     overlay version still equals the stamp (no delta applied since),
 //     (b) the snapshot's epoch covers the stamp (the snapshot sees at least
-//     everything merged), (c) the base generation matches (no compaction),
+//     everything merged), (c) the node's segment generation in the
+//     snapshot's pinned base matches (the node's rows did not fold since),
 //     and (d) under decay, the snapshot's as_of is within the configured
 //     staleness tolerance of the entry's.
 //   - DynamicHeteroGraph invalidates eagerly on ApplyBatch (per touched
 //     node), on TTL expiry sweeps (the one mutation that does not bump the
-//     overlay version), and clears on Compact(); the version check makes
-//     even a lost invalidation safe, only stale in memory.
+//     overlay version), and per folded row range on CompactSegments
+//     (InvalidateRange — entries of untouched segments keep serving across
+//     incremental folds, replacing the old whole-cache Clear()); the
+//     version check makes even a lost invalidation safe, only stale in
+//     memory.
 // Entries are refreshed by HotNodeRefreshPolicy on the maintenance
 // scheduler; the read path never writes the cache.
 #ifndef ZOOMER_MAINTENANCE_HOT_NODE_CACHE_H_
@@ -64,7 +70,10 @@ namespace maintenance {
 /// declaration.
 struct HotNodeCacheEntry {
   uint64_t overlay_version = 0;  // node_epoch value the merge resolved
-  uint64_t base_generation = 0;
+  /// Generation of the CSR segment backing the node at merge time
+  /// (Snapshot::segment_generation) — NOT the graph-global generation, so
+  /// incremental folds of other segments leave the entry valid.
+  uint64_t segment_generation = 0;
   bool decayed = false;
   int64_t as_of_seconds = 0;
   streaming::DecaySpec spec;  // window the merge was resolved under
@@ -120,18 +129,19 @@ class HotNodeOverlayCache {
   /// consistency protocol above, nullptr otherwise. The caller must hold a
   /// pin taken before the call and keep it while using the pointer.
   /// `current_overlay_version` is the node's node_epoch loaded by the
-  /// caller (the snapshot); `spec` is the caller's decay window — under
-  /// decay, only an entry merged under the identical window may serve (a
-  /// 1-day view must never be handed a 1-hour merge).
+  /// caller (the snapshot); `segment_generation` is the generation of the
+  /// node's segment in the caller's pinned base; `spec` is the caller's
+  /// decay window — under decay, only an entry merged under the identical
+  /// window may serve (a 1-day view must never be handed a 1-hour merge).
   const Entry* Find(graph::NodeId node, uint64_t snapshot_epoch,
                     uint64_t current_overlay_version,
-                    uint64_t base_generation, bool decay_active,
+                    uint64_t segment_generation, bool decay_active,
                     int64_t as_of_seconds,
                     const streaming::DecaySpec& spec) const;
 
   /// Validity probe without stats side effects (refresh-policy skip check).
   bool IsFresh(graph::NodeId node, uint64_t current_overlay_version,
-               uint64_t base_generation, bool decay_active,
+               uint64_t segment_generation, bool decay_active,
                int64_t as_of_seconds,
                const streaming::DecaySpec& spec) const;
 
@@ -140,6 +150,10 @@ class HotNodeOverlayCache {
   bool Install(graph::NodeId node, Entry entry);
 
   void Invalidate(graph::NodeId node);
+  /// Drops every entry with begin <= node < end — the per-segment
+  /// invalidation an incremental fold issues for its rebuilt row ranges
+  /// (whole-graph Clear() is reserved for teardown/tests).
+  void InvalidateRange(graph::NodeId begin, graph::NodeId end);
   void Clear();
 
   size_t size() const;
@@ -147,7 +161,7 @@ class HotNodeOverlayCache {
 
  private:
   bool EntryValid(const Entry& entry, uint64_t current_overlay_version,
-                  uint64_t base_generation, bool decay_active,
+                  uint64_t segment_generation, bool decay_active,
                   int64_t as_of_seconds,
                   const streaming::DecaySpec& spec) const;
 

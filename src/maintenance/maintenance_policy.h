@@ -13,6 +13,7 @@
 #define ZOOMER_MAINTENANCE_MAINTENANCE_POLICY_H_
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -25,10 +26,17 @@ namespace maintenance {
 struct MaintenanceReport {
   /// False for a pass that inspected state and found nothing to do.
   bool acted = false;
-  /// The base CSR was swapped (compaction). Weighted distributions are
-  /// preserved by the fold, so serving caches stay content-valid; overlay
-  /// epoch state is reset.
+  /// The base was swapped (a full or incremental fold). Weighted
+  /// distributions are preserved by the fold, so serving caches stay
+  /// content-valid; overlay epoch state of the folded rows is reset.
   bool graph_rebuilt = false;
+  /// Node-id ranges [begin, end) whose base segments a fold rebuilt,
+  /// populated only when the fold could change raw-visible content (a TTL
+  /// window is active, so entries aged out at fold time). Listeners
+  /// invalidate these ranges instead of flushing the whole graph; without
+  /// a window the fold preserves every weighted distribution and the list
+  /// stays empty (no serving invalidation at all).
+  std::vector<std::pair<graph::NodeId, graph::NodeId>> folded_ranges;
   /// Nodes whose visible neighborhood changed (e.g. lost TTL-expired
   /// edges). Listeners invalidate per-node caches with this.
   std::vector<graph::NodeId> touched;

@@ -9,8 +9,9 @@ namespace maintenance {
 
 TtlDecayPolicy::TtlDecayPolicy(streaming::DynamicHeteroGraph* graph,
                                const LogicalClock* clock,
-                               const streaming::DecaySpec& spec)
-    : graph_(graph), clock_(clock) {
+                               const streaming::DecaySpec& spec,
+                               streaming::GraphDeltaLog* log)
+    : graph_(graph), clock_(clock), log_(log) {
   ZCHECK(graph_ != nullptr);
   ZCHECK(clock_ != nullptr) << "TTL/decay requires a logical clock";
   graph_->ConfigureDecay(spec, clock_);
@@ -18,14 +19,25 @@ TtlDecayPolicy::TtlDecayPolicy(streaming::DynamicHeteroGraph* graph,
 
 StatusOr<MaintenanceReport> TtlDecayPolicy::RunOnce() {
   MaintenanceReport report;
+  const int64_t now = clock_->NowSeconds();
   const int64_t before = graph_->num_delta_entries();
-  report.touched = graph_->ExpireDeltas(clock_->NowSeconds());
-  report.acted = !report.touched.empty();
+  report.touched = graph_->ExpireDeltas(now);
+  int64_t truncated = 0;
+  if (log_ != nullptr) {
+    // The watermark bound keeps issued-but-unapplied batches replayable; an
+    // applied batch whose every event aged out is dead weight the next
+    // fold would only discard anyway.
+    truncated =
+        log_->TruncateExpired(graph_->decay_spec(), now,
+                              graph_->watermark_epoch());
+    log_batches_truncated_ += truncated;
+  }
+  report.acted = !report.touched.empty() || truncated > 0;
   if (report.acted) {
     report.detail =
         "expired " + std::to_string(before - graph_->num_delta_entries()) +
         " delta half-edges on " + std::to_string(report.touched.size()) +
-        " nodes";
+        " nodes, truncated " + std::to_string(truncated) + " log batches";
   }
   return report;
 }

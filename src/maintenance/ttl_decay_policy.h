@@ -13,6 +13,11 @@
 //      serving caches re-fill without the dead edges. Expiry is the one
 //      overlay mutation that does not bump a node's delta epoch, so the
 //      sweep also eagerly invalidates the hot-node cache for those nodes.
+//      With a GraphDeltaLog attached, the sweep also TTL-truncates the
+//      in-memory log itself (GraphDeltaLog::TruncateExpired): batches whose
+//      every event aged past its window are dropped up to the graph's
+//      watermark, so a quiet stream no longer pins applied entries until
+//      the next compaction fold.
 #ifndef ZOOMER_MAINTENANCE_TTL_DECAY_POLICY_H_
 #define ZOOMER_MAINTENANCE_TTL_DECAY_POLICY_H_
 
@@ -20,6 +25,7 @@
 #include "maintenance/maintenance_policy.h"
 #include "streaming/dynamic_hetero_graph.h"
 #include "streaming/edge_decay.h"
+#include "streaming/graph_delta_log.h"
 
 namespace zoomer {
 namespace maintenance {
@@ -27,16 +33,23 @@ namespace maintenance {
 class TtlDecayPolicy final : public MaintenancePolicy {
  public:
   /// Installs `spec`/`clock` on the graph (ConfigureDecay). Graph and clock
-  /// must outlive the policy's scheduler.
+  /// must outlive the policy's scheduler. `log` is optional: when given,
+  /// every sweep also truncates fully-expired batches from it (bounded by
+  /// the graph's watermark so issued-but-unapplied batches survive).
   TtlDecayPolicy(streaming::DynamicHeteroGraph* graph,
-                 const LogicalClock* clock, const streaming::DecaySpec& spec);
+                 const LogicalClock* clock, const streaming::DecaySpec& spec,
+                 streaming::GraphDeltaLog* log = nullptr);
 
   const char* name() const override { return "ttl_decay"; }
   StatusOr<MaintenanceReport> RunOnce() override;
 
+  int64_t log_batches_truncated() const { return log_batches_truncated_; }
+
  private:
   streaming::DynamicHeteroGraph* graph_;
   const LogicalClock* clock_;
+  streaming::GraphDeltaLog* log_;
+  int64_t log_batches_truncated_ = 0;  // scheduler serializes RunOnce
 };
 
 }  // namespace maintenance

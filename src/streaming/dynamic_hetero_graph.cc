@@ -1,8 +1,7 @@
 #include "streaming/dynamic_hetero_graph.h"
 
 #include <algorithm>
-#include <map>
-#include <tuple>
+#include <string>
 
 #include "common/logging.h"
 #include "graph/graph_view.h"
@@ -14,19 +13,47 @@ namespace streaming {
 using graph::HeteroGraph;
 using graph::NeighborEntry;
 using graph::NodeId;
+using graph::SegmentedCsr;
 
-DynamicHeteroGraph::DynamicHeteroGraph(const HeteroGraph* base)
-    : DynamicHeteroGraph(std::shared_ptr<const HeteroGraph>(
-          base, [](const HeteroGraph*) {})) {}
+DynamicHeteroGraph::DynamicHeteroGraph(const HeteroGraph* base,
+                                       DynamicHeteroGraphOptions options)
+    : DynamicHeteroGraph(
+          std::shared_ptr<const HeteroGraph>(base, [](const HeteroGraph*) {}),
+          options) {}
 
 DynamicHeteroGraph::DynamicHeteroGraph(
-    std::shared_ptr<const HeteroGraph> base)
-    : base_(std::move(base)),
-      overlay_origin_(base_ != nullptr ? base_->num_nodes() : 0),
+    std::shared_ptr<const HeteroGraph> base,
+    DynamicHeteroGraphOptions options)
+    : options_(options),
+      overlay_origin_(base != nullptr ? base->num_nodes() : 0),
       epoch_chunks_(new std::atomic<EpochChunk*>[kMaxNodeChunks]()),
-      record_chunks_(new std::atomic<RecordChunk*>[kMaxNodeChunks]()) {
-  ZCHECK(base_ != nullptr);
+      record_chunks_(new std::atomic<RecordChunk*>[kMaxNodeChunks]()),
+      seg_chunks_(new std::atomic<SegStatChunk*>[kMaxSegChunks]()) {
+  ZCHECK(base != nullptr);
+  content_dim_ = base->content_dim();
+  zero_content_.assign(static_cast<size_t>(content_dim_), 0.0f);
+  int64_t span = options_.segment_span;
+  if (span == 0) {
+    // Auto: ~16 segments over the base, never finer than 64 rows — small
+    // graphs degenerate to one segment (incremental == full fold there).
+    const int64_t target = std::max<int64_t>(64, overlay_origin_ / 16);
+    span = 64;
+    while (span < target) span <<= 1;
+  }
+  ZCHECK(span > 0 && (span & (span - 1)) == 0)
+      << "segment_span must be a power of two";
+  segment_span_ = span;
+  segment_shift_ = 0;
+  while ((int64_t{1} << segment_shift_) < span) ++segment_shift_;
+  for (int t = 0; t < graph::kNumNodeTypes; ++t) {
+    base_type_counts_[t] =
+        base->num_nodes_of_type(static_cast<graph::NodeType>(t));
+  }
   EnsureEpochSlots(overlay_origin_);
+  // Generation 1 for the initial partition: 0 stays the "beyond coverage"
+  // sentinel generation_of() hands out for never-folded overlay ids.
+  base_ = std::make_shared<const SegmentedCsr>(*base, span, /*generation=*/1);
+  base_generation_.store(1, std::memory_order_release);
 }
 
 DynamicHeteroGraph::~DynamicHeteroGraph() {
@@ -34,16 +61,28 @@ DynamicHeteroGraph::~DynamicHeteroGraph() {
     delete epoch_chunks_[c].load(std::memory_order_acquire);
     delete record_chunks_[c].load(std::memory_order_acquire);
   }
+  for (size_t c = 0; c < kMaxSegChunks; ++c) {
+    delete seg_chunks_[c].load(std::memory_order_acquire);
+  }
 }
 
 void DynamicHeteroGraph::EnsureEpochSlots(int64_t n) {
   if (n <= 0) return;
   const size_t need = static_cast<size_t>((n - 1) >> kNodeChunkBits) + 1;
   ZCHECK(need <= kMaxNodeChunks) << "id-space exceeds the chunk capacity";
+  const int64_t nsegs = ((n - 1) >> segment_shift_) + 1;
+  const size_t seg_need = static_cast<size_t>((nsegs - 1) >> kSegChunkBits) + 1;
+  ZCHECK(seg_need <= kMaxSegChunks)
+      << "segment count exceeds the chunk capacity";
   std::lock_guard<std::mutex> lock(grow_mu_);
   for (size_t c = 0; c < need; ++c) {
     if (epoch_chunks_[c].load(std::memory_order_relaxed) == nullptr) {
       epoch_chunks_[c].store(new EpochChunk(), std::memory_order_release);
+    }
+  }
+  for (size_t c = 0; c < seg_need; ++c) {
+    if (seg_chunks_[c].load(std::memory_order_relaxed) == nullptr) {
+      seg_chunks_[c].store(new SegStatChunk(), std::memory_order_release);
     }
   }
 }
@@ -86,6 +125,50 @@ NodeId DynamicHeteroGraph::AllocateNodeIds(int count, uint64_t epoch) {
   return overlay_origin_ + start;
 }
 
+StatusOr<NodeId> DynamicHeteroGraph::AllocateNodeIds(
+    const std::vector<NodeEvent>& nodes, uint64_t epoch) {
+  if (nodes.empty()) {
+    return Status::InvalidArgument("typed allocation needs node events");
+  }
+  if (epoch == 0) {
+    return Status::InvalidArgument("node ids are born at a log epoch");
+  }
+  std::array<int64_t, graph::kNumNodeTypes> add = {0, 0, 0};
+  for (const NodeEvent& nv : nodes) ++add[static_cast<int>(nv.type)];
+  std::lock_guard<std::mutex> lock(alloc_mu_);
+  // Capacity first, allocation second: exhaustion must reject before any id
+  // is burned — a stranded allocated-but-unapplied record would freeze the
+  // applied prefix (and every later node's visibility) behind it.
+  for (int t = 0; t < graph::kNumNodeTypes; ++t) {
+    const int64_t cap = options_.max_nodes_per_type[t];
+    if (cap > 0 &&
+        base_type_counts_[t] +
+                overlay_type_counts_[t].load(std::memory_order_relaxed) +
+                add[t] >
+            cap) {
+      return Status::OutOfRange(
+          std::string("node capacity exhausted for type ") +
+          graph::NodeTypeName(static_cast<graph::NodeType>(t)));
+    }
+  }
+  const int64_t start = overlay_allocated_.load(std::memory_order_relaxed);
+  Status st = GrowAllocationLocked(start + static_cast<int64_t>(nodes.size()),
+                                   epoch);
+  if (!st.ok()) return st;
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    OverlayNodeRecord& rec =
+        overlay_record(overlay_origin_ + start + static_cast<int64_t>(i));
+    rec.type = nodes[i].type;
+    rec.type_claimed = true;
+  }
+  for (int t = 0; t < graph::kNumNodeTypes; ++t) {
+    if (add[t] != 0) {
+      overlay_type_counts_[t].fetch_add(add[t], std::memory_order_acq_rel);
+    }
+  }
+  return overlay_origin_ + start;
+}
+
 int64_t DynamicHeteroGraph::VisibleOverlayNodes(uint64_t epoch) const {
   // Binary search over the monotone birth epochs, clamped to the applied
   // prefix: an allocated-but-unapplied record (its batch is still pending,
@@ -117,12 +200,12 @@ void DynamicHeteroGraph::AdvanceAppliedNodePrefix() {
   applied_node_prefix_.store(prefix, std::memory_order_release);
 }
 
-std::shared_ptr<const HeteroGraph> DynamicHeteroGraph::base() const {
+std::shared_ptr<const SegmentedCsr> DynamicHeteroGraph::base() const {
   std::shared_lock<std::shared_mutex> lock(base_mu_);
   return base_;
 }
 
-std::pair<std::shared_ptr<const HeteroGraph>, uint64_t>
+std::pair<std::shared_ptr<const SegmentedCsr>, uint64_t>
 DynamicHeteroGraph::CapturedBase() const {
   std::shared_lock<std::shared_mutex> lock(base_mu_);
   return {base_, base_generation_.load(std::memory_order_acquire)};
@@ -161,16 +244,16 @@ void DynamicHeteroGraph::DetachHotNodeCache(
 
 DynamicHeteroGraph::Snapshot::Snapshot(
     const DynamicHeteroGraph* owner,
-    std::shared_ptr<const HeteroGraph> base, uint64_t base_generation,
+    std::shared_ptr<const SegmentedCsr> base, uint64_t base_generation,
     uint64_t epoch, DecaySpec decay, int64_t as_of)
     : owner_(owner),
       base_(std::move(base)),
       epoch_(epoch),
       base_generation_(base_generation),
-      // The pinned id-space. After a compaction the new base may already
-      // cover overlay nodes this epoch cannot "see" through birth epochs
-      // (compaction folds by applied state, not snapshot visibility), so
-      // the base size is the floor.
+      // The pinned id-space. After a fold the new base may already cover
+      // overlay nodes this epoch cannot "see" through birth epochs
+      // (folding goes by applied state, not snapshot visibility), so the
+      // base size is the floor.
       num_nodes_(std::max(base_->num_nodes(),
                           owner->overlay_origin_ +
                               owner->VisibleOverlayNodes(epoch))),
@@ -189,7 +272,11 @@ graph::NodeType DynamicHeteroGraph::Snapshot::node_type(NodeId node) const {
 const float* DynamicHeteroGraph::Snapshot::content(NodeId node) const {
   ZCHECK(node >= 0 && node < num_nodes_);
   if (node < base_->num_nodes()) return base_->content(node);
-  return owner_->overlay_record(node).content.data();
+  const OverlayNodeRecord& rec = owner_->overlay_record(node);
+  // Defensive zero fallback (payloads are never freed while the graph
+  // lives, but an empty vector's data() may be null).
+  if (rec.content.empty()) return owner_->zero_content_.data();
+  return rec.content.data();
 }
 
 std::span<const int64_t> DynamicHeteroGraph::Snapshot::slots(
@@ -341,6 +428,18 @@ Status DynamicHeteroGraph::ApplyBatch(const DeltaBatch& batch) {
   for (const NodeEvent& nv : batch.node_events) {
     OverlayNodeRecord& rec = overlay_record(nv.id);
     if (rec.applied.load(std::memory_order_acquire)) continue;  // replay
+    // Per-type accounting: a typed allocation already counted its claim;
+    // the legacy untyped path counts here, at apply. A (misused) claim
+    // mismatch moves the count rather than double-counting.
+    if (!rec.type_claimed) {
+      overlay_type_counts_[static_cast<int>(nv.type)].fetch_add(
+          1, std::memory_order_acq_rel);
+    } else if (rec.type != nv.type) {
+      overlay_type_counts_[static_cast<int>(rec.type)].fetch_sub(
+          1, std::memory_order_acq_rel);
+      overlay_type_counts_[static_cast<int>(nv.type)].fetch_add(
+          1, std::memory_order_acq_rel);
+    }
     rec.type = nv.type;
     rec.timestamp = nv.timestamp;
     rec.content = nv.content;
@@ -382,7 +481,6 @@ Status DynamicHeteroGraph::ApplyBatch(const DeltaBatch& batch) {
 }
 
 Status DynamicHeteroGraph::RegisterNodeEvents(const DeltaBatch& batch) {
-  const int content_dim = this->base()->content_dim();
   std::lock_guard<std::mutex> lock(alloc_mu_);
   const int64_t before = overlay_allocated_.load(std::memory_order_relaxed);
   int64_t allocated = before;
@@ -391,7 +489,7 @@ Status DynamicHeteroGraph::RegisterNodeEvents(const DeltaBatch& batch) {
     if (nv.id < overlay_origin_) {
       return Status::InvalidArgument("node event id inside the base id-space");
     }
-    if (static_cast<int>(nv.content.size()) != content_dim) {
+    if (static_cast<int>(nv.content.size()) != content_dim_) {
       return Status::InvalidArgument("node event content dim mismatch");
     }
     const int64_t idx = nv.id - overlay_origin_;
@@ -414,7 +512,7 @@ Status DynamicHeteroGraph::RegisterNodeEvents(const DeltaBatch& batch) {
   return GrowAllocationLocked(allocated, batch.epoch);
 }
 
-void DynamicHeteroGraph::AppendHalfEdge(const HeteroGraph& base, NodeId node,
+void DynamicHeteroGraph::AppendHalfEdge(const SegmentedCsr& base, NodeId node,
                                         NeighborEntry entry, uint64_t epoch,
                                         int64_t timestamp) {
   LockShard& sh = lock_shards_[ShardFor(node)];
@@ -424,7 +522,8 @@ void DynamicHeteroGraph::AppendHalfEdge(const HeteroGraph& base, NodeId node,
     NodeOverlay& ov = it->second;
     if (inserted) {
       // One O(degree) pass caches the base weight mass for the two-level
-      // base-vs-delta sampling coin. Overlay-born nodes have no base edges.
+      // base-vs-delta sampling coin. Overlay-born nodes beyond base
+      // coverage have no base edges.
       double total = 0.0;
       if (node < base.num_nodes()) {
         for (float w : base.neighbor_weights(node)) total += w;
@@ -442,8 +541,13 @@ void DynamicHeteroGraph::AppendHalfEdge(const HeteroGraph& base, NodeId node,
       ov.weight_prefix[i] = (i == 0 ? 0.0 : ov.weight_prefix[i - 1]) +
                             static_cast<double>(ov.entries[i].e.weight);
     }
+    // Lifetime traffic of an overlay-born node — the cold-node TTL signal.
+    if (node >= overlay_origin_) ++overlay_record(node).lifetime_entries;
   }
   total_entries_.fetch_add(1, std::memory_order_acq_rel);
+  SegStat& ss = seg_stat(segment_of(node));
+  ss.entries.fetch_add(1, std::memory_order_relaxed);
+  ss.writes.fetch_add(1, std::memory_order_relaxed);
   std::atomic<uint64_t>& slot = node_epoch_slot(node);
   uint64_t cur = slot.load(std::memory_order_relaxed);
   while (cur < epoch &&
@@ -455,8 +559,11 @@ void DynamicHeteroGraph::AppendHalfEdge(const HeteroGraph& base, NodeId node,
 const maintenance::HotNodeCacheEntry* DynamicHeteroGraph::Snapshot::HotEntry(
     NodeId node, uint64_t overlay_version) const {
   if (hot_cache_ == nullptr || overlay_version == 0) return nullptr;
-  return hot_cache_->Find(node, epoch_, overlay_version, base_generation_,
-                          decay_active_, as_of_, decay_);
+  // Entries are stamped with the generation of the one segment backing the
+  // node, so an incremental fold elsewhere leaves this lookup valid.
+  return hot_cache_->Find(node, epoch_, overlay_version,
+                          base_->generation_of(node), decay_active_, as_of_,
+                          decay_);
 }
 
 float DynamicHeteroGraph::Snapshot::EntryWeight(const DeltaEntry& d) const {
@@ -536,7 +643,8 @@ double DynamicHeteroGraph::Snapshot::TotalWeight(NodeId node) const {
 
 namespace {
 
-/// Coalescing key shared by both merged-neighbor representations.
+/// Coalescing key shared by the merged-neighbor representations and the
+/// segment fold.
 int64_t EntryKey(NodeId neighbor, graph::RelationKind kind) {
   return static_cast<int64_t>(neighbor) * graph::kNumRelationKinds +
          static_cast<int>(kind);
@@ -614,6 +722,7 @@ void DynamicHeteroGraph::Snapshot::Neighbors(
     }
   }
   if (node_epoch == 0) return;
+  owner_->NoteSegmentRead(node);
   const LockShard& sh = owner_->lock_shards_[ShardFor(node)];
   std::shared_lock<std::shared_mutex> lock(sh.mu);
   auto it = sh.overlays.find(node);
@@ -654,6 +763,7 @@ void DynamicHeteroGraph::Snapshot::Neighbors(
     kinds->clear();
   }
   if (node_epoch == 0) return;
+  owner_->NoteSegmentRead(node);
   const LockShard& sh = owner_->lock_shards_[ShardFor(node)];
   std::shared_lock<std::shared_mutex> lock(sh.mu);
   auto it = sh.overlays.find(node);
@@ -688,6 +798,7 @@ void DynamicHeteroGraph::Snapshot::NeighborsOfType(
   if (owner_->node_epoch_slot(node).load(std::memory_order_acquire) == 0) {
     return;
   }
+  owner_->NoteSegmentRead(node);
   const LockShard& sh = owner_->lock_shards_[ShardFor(node)];
   std::shared_lock<std::shared_mutex> lock(sh.mu);
   auto it = sh.overlays.find(node);
@@ -713,9 +824,10 @@ NodeId DynamicHeteroGraph::Snapshot::SampleOverlayLocked(NodeId node,
                                                          const NodeOverlay& ov,
                                                          size_t prefix,
                                                          Rng* rng) const {
-  const HeteroGraph& base = *base_;
-  // Overlay-born nodes have no base block; their base_total_weight is 0 so
-  // the weighted coin below never lands on the base side either.
+  const SegmentedCsr& base = *base_;
+  // Overlay-born nodes beyond base coverage have no base block; their
+  // base_total_weight is 0 so the weighted coin below never lands on the
+  // base side either.
   const int64_t base_degree = InBase(node) ? base.degree(node) : 0;
   if (!decay_active_) {
     const double delta_w = ov.weight_prefix[prefix - 1];
@@ -805,6 +917,10 @@ NodeId DynamicHeteroGraph::Snapshot::SampleNeighbor(NodeId node,
     if (entry->ids.empty()) return -1;
     return entry->ids[entry->alias.Sample(rng)];
   }
+  // Locked overlay read: feed the adaptive hotness signal (one relaxed add
+  // on the already-slow merge path — hot-cache hits above run at ~static
+  // cost and are deliberately not counted as fold pressure).
+  owner_->NoteSegmentRead(node);
   const LockShard& sh = owner_->lock_shards_[ShardFor(node)];
   std::shared_lock<std::shared_mutex> lock(sh.mu);
   auto it = sh.overlays.find(node);
@@ -829,7 +945,8 @@ std::vector<NodeId> DynamicHeteroGraph::Snapshot::SampleDistinctNeighbors(
     // Shared bounded-retry dedup draw over the base alias tables; nothing
     // to draw for an overlay-born node with no visible deltas.
     if (!InBase(node)) return;
-    seen = graph::CsrGraphView(*base_).SampleDistinctNeighbors(node, k, rng);
+    seen = graph::SegmentedCsrView(*base_).SampleDistinctNeighbors(node, k,
+                                                                   rng);
   };
   const uint64_t node_epoch =
       owner_->node_epoch_slot(node).load(std::memory_order_acquire);
@@ -849,6 +966,7 @@ std::vector<NodeId> DynamicHeteroGraph::Snapshot::SampleDistinctNeighbors(
     }
     return seen;
   }
+  owner_->NoteSegmentRead(node);
   const LockShard& sh = owner_->lock_shards_[ShardFor(node)];
   std::shared_lock<std::shared_mutex> lock(sh.mu);
   auto it = sh.overlays.find(node);
@@ -888,9 +1006,7 @@ std::vector<NodeId> DynamicHeteroGraph::DeltaNodes(int64_t min_entries) const {
 std::vector<NodeId> DynamicHeteroGraph::ExpireDeltas(int64_t now_seconds) {
   const DecaySpec spec = decay_spec();
   std::vector<NodeId> touched;
-  bool any_ttl = false;
-  for (const auto& k : spec.kinds) any_ttl |= k.ttl_seconds > 0;
-  if (!any_ttl) return touched;
+  if (!spec.has_ttl()) return touched;
 
   for (auto& sh : lock_shards_) {
     std::unique_lock<std::shared_mutex> lock(sh.mu);
@@ -911,11 +1027,13 @@ std::vector<NodeId> DynamicHeteroGraph::ExpireDeltas(int64_t now_seconds) {
       const NodeId node = it->first;
       ov.entries.erase(new_end, ov.entries.end());
       removed_in_shard += removed;
+      seg_stat(segment_of(node))
+          .entries.fetch_sub(removed, std::memory_order_relaxed);
       touched.push_back(node);
       if (ov.entries.empty()) {
         // Readers that already saw a non-zero node_epoch take the shard
         // lock, find no overlay, and fall back to the base — same path as
-        // after a compaction.
+        // after a fold.
         node_epoch_slot(node).store(0, std::memory_order_release);
         it = sh.overlays.erase(it);
         continue;
@@ -933,11 +1051,11 @@ std::vector<NodeId> DynamicHeteroGraph::ExpireDeltas(int64_t now_seconds) {
                                   std::memory_order_release);
       ++it;
     }
-    // Subtract while still holding this shard's lock: a concurrent
-    // Compact() (multi-threaded janitor) stores total_entries_ absolutely
-    // under *all* shard locks, so a sweep-wide deferred subtraction could
-    // double-count entries the fold already discarded and drive the
-    // counter negative for good.
+    // Subtract while still holding this shard's lock: a concurrent fold
+    // (multi-threaded janitor) adjusts total_entries_ under *all* shard
+    // locks, so a sweep-wide deferred subtraction could double-count
+    // entries the fold already discarded and drive the counter negative
+    // for good.
     total_entries_.fetch_sub(removed_in_shard, std::memory_order_acq_rel);
   }
   // Expiry rewrites overlays without bumping their versions, so the hot
@@ -951,7 +1069,7 @@ std::vector<NodeId> DynamicHeteroGraph::ExpireDeltas(int64_t now_seconds) {
 namespace {
 
 /// Parks every attached applier at a batch boundary for the duration of a
-/// compaction; EndQuiesce runs on every exit path (including errors).
+/// fold; EndQuiesce runs on every exit path (including errors).
 class QuiesceGuard {
  public:
   explicit QuiesceGuard(const std::vector<CompactionParticipant*>& participants)
@@ -971,6 +1089,16 @@ class QuiesceGuard {
 }  // namespace
 
 StatusOr<uint64_t> DynamicHeteroGraph::Compact() {
+  // "Fold all segments": every covered segment plus the whole frontier.
+  const int64_t end =
+      std::max(base()->num_nodes(), num_nodes_allocated());
+  std::vector<int64_t> all;
+  for (int64_t s = 0; s * segment_span_ < end; ++s) all.push_back(s);
+  return CompactSegments(std::move(all));
+}
+
+StatusOr<uint64_t> DynamicHeteroGraph::CompactSegments(
+    std::vector<int64_t> segments) {
   std::lock_guard<std::mutex> compact_lock(compact_mu_);
   // Quiescence handshake: park attached pipelines at a batch boundary so no
   // delta batch is mid-apply (and none starts) while the fold runs. Events
@@ -995,122 +1123,261 @@ StatusOr<uint64_t> DynamicHeteroGraph::Compact() {
     clock = clock_;
   }
   const bool drop_expired = spec.has_ttl() && clock != nullptr;
-  const int64_t now = drop_expired ? clock->NowSeconds() : 0;
+  const bool expire_cold =
+      options_.cold_node_ttl_seconds > 0 && clock != nullptr;
+  const int64_t now = clock != nullptr ? clock->NowSeconds() : 0;
 
   // Exclusive hold on every lock shard: no reader or (contract-violating)
-  // applier can observe the rebuild half-done.
+  // applier can observe the rebuild half-done. The pause is bounded by the
+  // *selected* segments' work, which is the whole point.
   std::vector<std::unique_lock<std::shared_mutex>> locks;
   locks.reserve(kNumLockShards);
   for (auto& sh : lock_shards_) locks.emplace_back(sh.mu);
 
-  const uint64_t fold_epoch = max_applied_epoch_.load(std::memory_order_acquire);
+  const uint64_t fold_epoch =
+      max_applied_epoch_.load(std::memory_order_acquire);
   auto old_base = this->base();
-
+  const int64_t covered = old_base->num_nodes();
   // Overlay nodes fold renumber-free: the contiguous applied prefix with
-  // birth epoch <= fold_epoch is appended to the new base in id order.
+  // birth epoch <= fold_epoch may be appended to the base in id order.
   // Records beyond it (allocated but unapplied, or born above the fold
   // epoch — possible with out-of-order cross-shard appliers) stay overlay
   // nodes, and any delta entry touching them is carried over instead of
-  // folded, since the builder cannot reference ids past the new base.
-  const int64_t fold_nodes = VisibleOverlayNodes(fold_epoch);
-  const int64_t new_num_nodes = overlay_origin_ + fold_nodes;
-  ZCHECK_GE(new_num_nodes, old_base->num_nodes());
-  if (total_entries_.load(std::memory_order_acquire) == 0 &&
-      new_num_nodes == old_base->num_nodes()) {
+  // folded, since a base row cannot reference ids no snapshot may surface.
+  const int64_t fold_bound = overlay_origin_ + VisibleOverlayNodes(fold_epoch);
+  ZCHECK_GE(fold_bound, covered);
+  const int64_t span = segment_span_;
+
+  // Normalize the selection: sort, dedup, clamp to the foldable id-space;
+  // any frontier selection folds the whole applied prefix so coverage
+  // stays contiguous.
+  std::sort(segments.begin(), segments.end());
+  segments.erase(std::unique(segments.begin(), segments.end()),
+                 segments.end());
+  int64_t target_end = covered;
+  {
+    std::vector<int64_t> kept;
+    bool wants_frontier = false;
+    for (int64_t s : segments) {
+      if (s < 0) continue;
+      const int64_t lo = s * span;
+      if (lo >= std::max(covered, fold_bound)) continue;
+      if ((s + 1) * span > covered && fold_bound > covered) {
+        wants_frontier = true;
+      }
+      kept.push_back(s);
+    }
+    segments = std::move(kept);
+    if (wants_frontier) {
+      target_end = fold_bound;
+      const int64_t first = covered > 0 ? (covered - 1) >> segment_shift_ : 0;
+      const int64_t last = (fold_bound - 1) >> segment_shift_;
+      for (int64_t s = first; s <= last; ++s) segments.push_back(s);
+      std::sort(segments.begin(), segments.end());
+      segments.erase(std::unique(segments.begin(), segments.end()),
+                     segments.end());
+    }
+  }
+  auto selected = [&segments](int64_t s) {
+    return std::binary_search(segments.begin(), segments.end(), s);
+  };
+
+  // Index the overlays of foldable rows in the selection (pointers stay
+  // valid through the fold phase; the cleanup phase below re-walks the
+  // shards).
+  std::unordered_map<NodeId, const NodeOverlay*> dirty;
+  for (const auto& sh : lock_shards_) {
+    for (const auto& [node, ov] : sh.overlays) {
+      if (node < target_end && selected(node >> segment_shift_)) {
+        dirty.emplace(node, &ov);
+      }
+    }
+  }
+  if (dirty.empty() && target_end == covered) {
+    // Nothing to fold in this selection: keep the base — and its pointer
+    // identity — untouched.
+    for (int64_t s : segments) {
+      seg_stat(s).folded_epoch.store(fold_epoch, std::memory_order_release);
+    }
     compacted_through_epoch_ = fold_epoch;
     return fold_epoch;
   }
 
-  // Coalesce base and delta half-edges into canonical undirected edges
-  // keyed by (min, max, kind), summing weights — the same duplicate
-  // coalescing the offline graph builder performs.
-  std::map<std::tuple<NodeId, NodeId, uint8_t>, double> edges;
-  for (NodeId v = 0; v < old_base->num_nodes(); ++v) {
-    auto ids = old_base->neighbor_ids(v);
-    auto weights = old_base->neighbor_weights(v);
-    auto kinds = old_base->neighbor_kinds(v);
-    for (size_t i = 0; i < ids.size(); ++i) {
-      if (v < ids[i]) {
-        edges[{v, ids[i], static_cast<uint8_t>(kinds[i])}] +=
-            static_cast<double>(weights[i]);
-      }
-    }
-  }
-  int64_t retained_entries = 0;
-  for (const auto& sh : lock_shards_) {
-    for (const auto& [node, ov] : sh.overlays) {
-      // Each applied event put one half on each endpoint; counting only the
-      // (node < neighbor) half sees every undirected delta exactly once.
-      for (const DeltaEntry& d : ov.entries) {
-        if (drop_expired && spec.Expired(d.e.kind, now - d.timestamp)) {
-          continue;
-        }
-        if (node >= new_num_nodes || d.e.neighbor >= new_num_nodes) {
-          ++retained_entries;  // half-edge carried over, not folded
-          continue;
-        }
-        if (node >= d.e.neighbor) continue;
-        edges[{node, d.e.neighbor, static_cast<uint8_t>(d.e.kind)}] +=
-            static_cast<double>(d.e.weight);
-      }
-    }
-  }
+  const uint64_t next_gen =
+      base_generation_.load(std::memory_order_acquire) + 1;
+  // Global type resolver spanning the old base and applied overlay records
+  // (a folded row may reference a neighbor in any segment or still in the
+  // overlay).
+  auto type_of = [&](NodeId id) -> graph::NodeType {
+    if (id < covered) return old_base->node_type(id);
+    return overlay_record(id).type;
+  };
 
-  graph::HeteroGraphBuilder builder(old_base->content_dim());
-  for (NodeId v = 0; v < old_base->num_nodes(); ++v) {
-    const float* c = old_base->content(v);
-    auto slots = old_base->slots(v);
-    builder.AddNode(old_base->node_type(v),
-                    std::vector<float>(c, c + old_base->content_dim()),
-                    std::vector<int64_t>(slots.begin(), slots.end()));
+  int64_t cold_expired = 0;
+  std::vector<std::pair<int64_t, std::shared_ptr<const graph::CsrSegment>>>
+      rebuilt;
+  rebuilt.reserve(segments.size());
+  for (int64_t s : segments) {
+    const NodeId lo = static_cast<NodeId>(s * span);
+    const NodeId hi =
+        static_cast<NodeId>(std::min<int64_t>((s + 1) * span, target_end));
+    if (lo >= hi) continue;
+    const graph::CsrSegment* old_seg =
+        s < old_base->num_segments() ? &old_base->segment(s) : nullptr;
+    graph::CsrSegmentBuilder builder(lo, hi - lo, content_dim_, next_gen,
+                                     type_of);
+    for (NodeId r = lo; r < hi; ++r) {
+      const bool in_old = old_seg != nullptr && r < covered;
+      auto dit = dirty.find(r);
+      const NodeOverlay* ov = dit != dirty.end() ? dit->second : nullptr;
+      const size_t prefix = ov != nullptr ? VisiblePrefix(*ov, fold_epoch) : 0;
+      if (in_old && prefix == 0) {
+        // Untouched row: verbatim copy, alias table reused — the common
+        // case even inside a dirty segment.
+        builder.CopyRow(*old_seg, r - old_seg->first_node());
+        continue;
+      }
+      // Merge the base row (if any) with the foldable delta entries,
+      // coalescing by (neighbor, kind). Weights accumulate in double and
+      // round to float once, and entries merge in epoch order — the same
+      // deterministic arithmetic whether this row folds in one full pass
+      // or across a chain of incremental folds of integer-weight events.
+      std::vector<NeighborEntry> merged;
+      std::vector<double> weight_acc;
+      if (in_old) {
+        const int64_t lr = r - old_seg->first_node();
+        const auto ids = old_seg->row_neighbor_ids(lr);
+        const auto weights = old_seg->row_neighbor_weights(lr);
+        const auto kinds = old_seg->row_neighbor_kinds(lr);
+        merged.reserve(ids.size() + prefix);
+        weight_acc.reserve(ids.size() + prefix);
+        for (size_t i = 0; i < ids.size(); ++i) {
+          merged.push_back({ids[i], 0.0f, kinds[i]});
+          weight_acc.push_back(static_cast<double>(weights[i]));
+        }
+      }
+      if (ov != nullptr) {
+        std::unordered_map<int64_t, size_t> index;
+        index.reserve(merged.size() + prefix);
+        for (size_t j = 0; j < merged.size(); ++j) {
+          index.emplace(EntryKey(merged[j].neighbor, merged[j].kind), j);
+        }
+        for (size_t i = 0; i < prefix; ++i) {
+          const DeltaEntry& d = ov->entries[i];
+          if (drop_expired && spec.Expired(d.e.kind, now - d.timestamp)) {
+            continue;  // dropped, not resurrected as a base edge
+          }
+          if (d.e.neighbor >= fold_bound) continue;  // carried over
+          auto [pos, inserted] = index.try_emplace(
+              EntryKey(d.e.neighbor, d.e.kind), merged.size());
+          if (inserted) {
+            merged.push_back({d.e.neighbor, 0.0f, d.e.kind});
+            weight_acc.push_back(static_cast<double>(d.e.weight));
+          } else {
+            weight_acc[pos->second] += static_cast<double>(d.e.weight);
+          }
+        }
+      }
+      for (size_t j = 0; j < merged.size(); ++j) {
+        merged[j].weight = static_cast<float>(weight_acc[j]);
+      }
+      if (in_old) {
+        const int64_t lr = r - old_seg->first_node();
+        builder.AddRow(old_seg->row_type(lr),
+                       {old_seg->row_content(lr),
+                        static_cast<size_t>(content_dim_)},
+                       old_seg->row_slots(lr), std::move(merged));
+        continue;
+      }
+      // Frontier row: the overlay record is the payload source.
+      OverlayNodeRecord& rec = overlay_record(r);
+      // Node-TTL groundwork: a cold-start node that never accumulated
+      // more than cold_node_max_degree half-edges in its lifetime, aged
+      // past the node TTL, and with nothing foldable or carried over,
+      // folds as an isolated stub and its record payload is reclaimed.
+      bool carried = false;
+      if (ov != nullptr) {
+        for (size_t i = 0; i < ov->entries.size() && !carried; ++i) {
+          const DeltaEntry& d = ov->entries[i];
+          if (drop_expired && spec.Expired(d.e.kind, now - d.timestamp)) {
+            continue;
+          }
+          carried |= i >= prefix || d.e.neighbor >= fold_bound;
+        }
+      }
+      const bool cold =
+          expire_cold && merged.empty() && !carried &&
+          rec.lifetime_entries <= options_.cold_node_max_degree &&
+          now - rec.timestamp >= options_.cold_node_ttl_seconds;
+      if (cold) {
+        // Stub row: the base never inherits the payload or any edges, so
+        // the reclaimed storage is everything the fold would otherwise
+        // carry forward. The record itself stays intact — snapshots pinned
+        // to pre-fold bases read it lock-free, so freeing it here would be
+        // a use-after-free; full record reclamation needs snapshot pin
+        // tracking (future work).
+        builder.AddRow(rec.type,
+                       {zero_content_.data(), zero_content_.size()},
+                       std::span<const int64_t>{}, {});
+        ++cold_expired;
+        continue;
+      }
+      builder.AddRow(rec.type,
+                     {rec.content.data(), rec.content.size()},
+                     {rec.slots.data(), rec.slots.size()}, std::move(merged));
+    }
+    rebuilt.emplace_back(s, builder.Build());
   }
-  for (NodeId v = old_base->num_nodes(); v < new_num_nodes; ++v) {
-    const OverlayNodeRecord& rec = overlay_record(v);
-    builder.AddNode(rec.type, rec.content, rec.slots);
-  }
-  for (const auto& [key, weight] : edges) {
-    Status st = builder.AddEdge(std::get<0>(key), std::get<1>(key),
-                                static_cast<graph::RelationKind>(
-                                    std::get<2>(key)),
-                                static_cast<float>(weight));
-    if (!st.ok()) return st;
-  }
-  auto new_base = std::make_shared<const HeteroGraph>(builder.Build());
+  auto new_base = old_base->Successor(rebuilt);
 
   {
     // The generation bump shares the exclusive section with the base swap,
     // so CapturedBase() always hands snapshots a consistent (base,
-    // generation) pair — an old-base snapshot can never carry the new
-    // generation and validate hot-node entries built over the new base.
+    // generation) pair — an old-base snapshot can never pair with rebuilt
+    // segments' generations and validate hot-cache entries built over
+    // them.
     std::unique_lock<std::shared_mutex> base_lock(base_mu_);
     base_ = new_base;
-    base_generation_.fetch_add(1, std::memory_order_acq_rel);
+    base_generation_.store(next_gen, std::memory_order_release);
   }
-  {
-    const int64_t allocated =
-        overlay_allocated_.load(std::memory_order_acquire);
-    for (int64_t v = 0; v < overlay_origin_ + allocated; ++v) {
-      node_epoch_slot(v).store(0, std::memory_order_release);
-    }
-  }
+
+  // Clear the folded overlays; carry over what the fold could not absorb
+  // (entries past the fold epoch or touching a not-yet-foldable node),
+  // rebuilt against the new base. Overlays of unselected segments are not
+  // touched — their base rows are shared with the old SegmentedCsr.
+  int64_t removed_total = 0;
+  std::unordered_map<int64_t, int64_t> retained_per_seg;
+  for (int64_t s : segments) retained_per_seg.emplace(s, 0);
   for (auto& sh : lock_shards_) {
-    if (retained_entries == 0) {
-      sh.overlays.clear();
-      continue;
-    }
-    // Carry over the entries the fold could not absorb, rebuilt against the
-    // new base (the folded mass now lives there).
-    std::unordered_map<NodeId, NodeOverlay> kept;
-    for (auto& [node, ov] : sh.overlays) {
+    for (auto it = sh.overlays.begin(); it != sh.overlays.end();) {
+      const NodeId node = it->first;
+      const int64_t s = node >> segment_shift_;
+      if (!selected(s)) {
+        ++it;
+        continue;
+      }
+      NodeOverlay& ov = it->second;
+      // Same fold decision as above: entries of rows beyond target_end were
+      // not folded (prefix 0); expired entries drop everywhere.
+      const size_t prefix =
+          node < target_end ? VisiblePrefix(ov, fold_epoch) : 0;
       NodeOverlay next;
-      for (const DeltaEntry& d : ov.entries) {
+      for (size_t i = 0; i < ov.entries.size(); ++i) {
+        const DeltaEntry& d = ov.entries[i];
         if (drop_expired && spec.Expired(d.e.kind, now - d.timestamp)) {
           continue;
         }
-        if (node < new_num_nodes && d.e.neighbor < new_num_nodes) continue;
+        if (i < prefix && d.e.neighbor < fold_bound) continue;  // folded
         next.entries.push_back(d);  // filtering keeps the epoch order
       }
-      if (next.entries.empty()) continue;
+      removed_total +=
+          static_cast<int64_t>(ov.entries.size() - next.entries.size());
+      if (next.entries.empty()) {
+        node_epoch_slot(node).store(0, std::memory_order_release);
+        it = sh.overlays.erase(it);
+        continue;
+      }
+      retained_per_seg[s] += static_cast<int64_t>(next.entries.size());
       double cum = 0.0;
       next.weight_prefix.reserve(next.entries.size());
       for (const DeltaEntry& d : next.entries) {
@@ -1124,19 +1391,76 @@ StatusOr<uint64_t> DynamicHeteroGraph::Compact() {
       }
       node_epoch_slot(node).store(next.entries.back().epoch,
                                   std::memory_order_release);
-      kept.emplace(node, std::move(next));
+      it->second = std::move(next);
+      ++it;
     }
-    sh.overlays = std::move(kept);
   }
-  total_entries_.store(retained_entries, std::memory_order_release);
-  // Cache clear: snapshots pinned to the old base stop matching hot-node
-  // entries (generation mismatch), and post-compact entries carry overlay
-  // versions above the fold epoch as a second line of defense.
+  total_entries_.fetch_sub(removed_total, std::memory_order_acq_rel);
+  expired_cold_nodes_.fetch_add(cold_expired, std::memory_order_acq_rel);
+  for (int64_t s : segments) {
+    seg_stat(s).entries.store(retained_per_seg[s], std::memory_order_release);
+    seg_stat(s).folded_epoch.store(fold_epoch, std::memory_order_release);
+  }
+  // Per-segment cache invalidation replaces the old whole-cache flush:
+  // snapshots pinned to old *folded* segments stop matching entries
+  // (segment-generation mismatch), entries over untouched segments keep
+  // serving.
   if (auto* cache = hot_cache_.load(std::memory_order_acquire)) {
-    cache->Clear();
+    for (int64_t s : segments) {
+      cache->InvalidateRange(
+          static_cast<NodeId>(s * span),
+          static_cast<NodeId>(std::min<int64_t>((s + 1) * span, target_end)));
+    }
   }
   compacted_through_epoch_ = fold_epoch;
   return fold_epoch;
+}
+
+uint64_t DynamicHeteroGraph::SafeTruncateEpoch() const {
+  // Every epoch <= the result is fully accounted for: its entries were
+  // folded into some segment, physically expired, or — if still pending in
+  // an overlay — hold the minimum below. Unapplied issued batches bound it
+  // through the watermark.
+  uint64_t safe = watermark_epoch();
+  for (const auto& sh : lock_shards_) {
+    std::shared_lock<std::shared_mutex> lock(sh.mu);
+    for (const auto& [node, ov] : sh.overlays) {
+      if (ov.entries.empty()) continue;
+      const uint64_t oldest = ov.entries.front().epoch;  // epoch-ordered
+      if (oldest > 0 && oldest - 1 < safe) safe = oldest - 1;
+    }
+  }
+  return safe;
+}
+
+std::vector<SegmentPressure> DynamicHeteroGraph::SegmentPressures() const {
+  auto base = this->base();
+  const int64_t covered = base->num_nodes();
+  const int64_t applied_bound =
+      overlay_origin_ + applied_node_prefix_.load(std::memory_order_acquire);
+  const int64_t nsegs = num_segments_allocated();
+  std::vector<SegmentPressure> out;
+  out.reserve(static_cast<size_t>(nsegs));
+  for (int64_t s = 0; s < nsegs; ++s) {
+    SegmentPressure p;
+    p.segment = s;
+    p.first_node = static_cast<NodeId>(s * segment_span_);
+    const int64_t end = (s + 1) * segment_span_;
+    p.covered_rows =
+        std::clamp<int64_t>(covered - p.first_node, 0, segment_span_);
+    p.pending_nodes = std::clamp<int64_t>(
+        std::min(applied_bound, end) - std::max<int64_t>(covered,
+                                                         p.first_node),
+        0, segment_span_);
+    const SegStat& ss = seg_stat(s);
+    p.delta_entries = ss.entries.load(std::memory_order_relaxed);
+    p.reads = ss.reads.load(std::memory_order_relaxed);
+    p.writes = ss.writes.load(std::memory_order_relaxed);
+    p.folded_epoch = ss.folded_epoch.load(std::memory_order_relaxed);
+    p.generation = base->generation_of(p.first_node);
+    out.push_back(p);
+  }
+  return out;
 }
 
 int64_t DynamicHeteroGraph::num_delta_nodes() const {

@@ -5,6 +5,21 @@
 // serving-path samplers and aggregators observe a consistent graph while the
 // ingestion pipeline keeps applying batches.
 //
+// Storage layout (incremental compaction): the base is not one monolithic
+// CSR but a graph::SegmentedCsr — fixed-span contiguous row ranges, each an
+// independently rebuildable immutable segment with its own generation.
+// CompactSegments(dirty_set) folds the delta overlays of only the selected
+// segments into fresh CsrSegments and publishes a successor SegmentedCsr
+// that *shares* every untouched segment, so
+//   - the fold pause scales with the dirty fraction, not the graph size,
+//   - snapshots pinned before the fold keep reading their old segments
+//     (zero-copy spans stay valid — persistent-data-structure sharing), and
+//   - hot-node cache entries and serving caches of untouched segments stay
+//     valid (entries are stamped with per-segment generations).
+// Compact() is now simply "fold all segments"; per-segment folds return the
+// fold epoch, but log truncation must use SafeTruncateEpoch() — the largest
+// epoch no longer needed by any still-pending overlay entry.
+//
 // Concurrency design:
 //  - Nodes with no deltas (the vast majority at any instant) are read
 //    entirely lock-free: a per-node atomic epoch of 0 routes the read to the
@@ -24,12 +39,12 @@
 //    reported through GraphDeltaLog::Append's on_issue callback ->
 //    NoteEpochIssued; without tracking the watermark equals the max applied
 //    epoch).
-//  - Compact() folds every applied delta back into a freshly built CSR and
-//    clears the overlays. Attached ingest pipelines are quiesced with a
-//    handshake (CompactionParticipant) so a mid-ingest compaction cannot
-//    split or drop queued-but-unapplied deltas; snapshots taken before a
-//    compaction keep their (pinned) old base but lose delta visibility, so
-//    treat snapshots as short read leases.
+//  - CompactSegments/Compact fold applied deltas into rebuilt segments and
+//    clear the folded overlays. Attached ingest pipelines are quiesced with
+//    a handshake (CompactionParticipant) so a mid-ingest fold cannot split
+//    or drop queued-but-unapplied deltas; snapshots taken before a fold
+//    keep their (pinned) old base but lose delta visibility for folded
+//    nodes, so treat snapshots as short read leases.
 //  - TTL/decay windows (ConfigureDecay, or a per-view override passed to
 //    MakeSnapshot): delta entries carry their event timestamp; with an
 //    active DecaySpec a snapshot captures as_of from the injectable
@@ -41,7 +56,10 @@
 //    delta-heavy nodes first consult maintenance::HotNodeOverlayCache for a
 //    pre-merged neighbor list + alias table (O(1) draws instead of the
 //    two-level resample); entries are invalidated here on ApplyBatch and
-//    expiry, cleared on Compact(), and version-checked on every lookup.
+//    expiry, and per folded segment range on CompactSegments (untouched
+//    segments keep their entries); entries are version-checked on every
+//    lookup against the node's overlay version and its *segment's*
+//    generation.
 //  - Id-space growth (open universe): NodeEvents append brand-new nodes
 //    past the base CSR without copying it. Ids are allocated monotonically
 //    in birth epoch (GraphDeltaLog::AppendWithNodes calls AllocateNodeIds
@@ -51,10 +69,19 @@
 //    overlay nodes born at or below its pinned epoch — so a node born
 //    mid-epoch is absent from older pinned snapshots and present in newer
 //    ones, and samplers never surface an id >= the snapshot's num_nodes().
-//    Compact() folds the applied overlay-node prefix into the next base
-//    generation by appending (ids are stable, renumber-free); folded
-//    records are retained so snapshots pinned to the old base keep reading
-//    them (memory is bounded by the nodes ever streamed).
+//    Folding the frontier appends the applied overlay-node prefix to the
+//    segmented base renumber-free; folded records are retained so snapshots
+//    pinned to the old base keep reading them. Per-type capacity limits
+//    (DynamicHeteroGraphOptions::max_nodes_per_type) bound growth on the
+//    typed allocation path used by the pipeline; exhaustion is a clean
+//    OutOfRange before any id is burned.
+//  - Node-TTL groundwork (cold_node_ttl_seconds): an overlay-born node that
+//    never accumulated more than cold_node_max_degree half-edges over its
+//    lifetime, whose visible entries have all aged out by the time its
+//    segment folds, folds to an isolated zero-content stub row — the base
+//    never inherits its payload or edges. The overlay record itself is
+//    retained (lock-free pinned readers may still hold pointers into it);
+//    freeing it too needs snapshot pin tracking and stays future work.
 #ifndef ZOOMER_STREAMING_DYNAMIC_HETERO_GRAPH_H_
 #define ZOOMER_STREAMING_DYNAMIC_HETERO_GRAPH_H_
 
@@ -72,6 +99,7 @@
 #include "common/random.h"
 #include "common/status.h"
 #include "graph/hetero_graph.h"
+#include "graph/segmented_csr.h"
 #include "streaming/edge_decay.h"
 #include "streaming/graph_delta_log.h"
 
@@ -84,14 +112,61 @@ struct HotNodeCacheEntry;
 
 namespace streaming {
 
-/// A delta applier (the ingest pipeline) that Compact() can park at a batch
-/// boundary. BeginQuiesce blocks until no batch is mid-apply and prevents
-/// new applies until EndQuiesce.
+/// A delta applier (the ingest pipeline) that Compact()/CompactSegments()
+/// can park at a batch boundary. BeginQuiesce blocks until no batch is
+/// mid-apply and prevents new applies until EndQuiesce.
 class CompactionParticipant {
  public:
   virtual ~CompactionParticipant() = default;
   virtual void BeginQuiesce() = 0;
   virtual void EndQuiesce() = 0;
+};
+
+struct DynamicHeteroGraphOptions {
+  /// Rows per base-CSR segment (power of two; fixed for the graph's
+  /// lifetime, id-space growth extends coverage in the same span). 0 =
+  /// auto: the base partitions into ~16 segments, clamped to >= 64 rows.
+  int64_t segment_span = 0;
+  /// Per-type cap on the total id-space (base + overlay), enforced by the
+  /// typed AllocateNodeIds overload the ingest pipeline routes through.
+  /// 0 = unbounded.
+  std::array<int64_t, graph::kNumNodeTypes> max_nodes_per_type = {0, 0, 0};
+  /// Node-TTL groundwork: an overlay-born node older than this (against the
+  /// installed LogicalClock) that never accumulated more than
+  /// cold_node_max_degree overlay half-edges in its lifetime, and whose
+  /// entries have all expired by fold time, folds as an isolated
+  /// zero-content stub row — the base stops carrying its payload and
+  /// edges forward (the overlay record stays for pinned readers).
+  /// 0 disables.
+  int64_t cold_node_ttl_seconds = 0;
+  int64_t cold_node_max_degree = 0;
+};
+
+/// Per-segment overlay pressure, the signal the incremental
+/// maintenance::CompactionPolicy selects dirty segments from.
+struct SegmentPressure {
+  int64_t segment = 0;
+  graph::NodeId first_node = 0;
+  /// Rows the current base covers in this segment (0 for a pure-frontier
+  /// segment whose overlay-born rows have never folded).
+  int64_t covered_rows = 0;
+  /// Overlay half-edges pending fold for rows of this segment.
+  int64_t delta_entries = 0;
+  /// Applied overlay-born nodes in this segment's range awaiting their
+  /// first fold.
+  int64_t pending_nodes = 0;
+  /// Cumulative *locked* overlay reads: snapshot reads of this segment's
+  /// rows that paid the shard-lock merge. Hot-node-cache hits run at
+  /// ~static cost and are deliberately not counted — they exert no fold
+  /// pressure.
+  int64_t reads = 0;
+  /// Cumulative overlay appends to rows of this segment.
+  int64_t writes = 0;
+  /// Generation of the backing CsrSegment (0 before first fold of a
+  /// frontier segment).
+  uint64_t generation = 0;
+  /// Epoch this segment last folded through (0 = never).
+  uint64_t folded_epoch = 0;
 };
 
 class DynamicHeteroGraph {
@@ -100,11 +175,16 @@ class DynamicHeteroGraph {
   struct NodeOverlay;
 
  public:
-  /// Non-owning view: `base` must outlive this object (and any compacted
-  /// successors replace it internally without touching the original).
-  explicit DynamicHeteroGraph(const graph::HeteroGraph* base);
-  explicit DynamicHeteroGraph(std::shared_ptr<const graph::HeteroGraph> base);
+  /// Partitions `base` into the segmented serving CSR (row payloads and
+  /// neighbor blocks copied verbatim, so reads match the offline CSR
+  /// bit-for-bit). The original HeteroGraph is not referenced afterwards.
+  explicit DynamicHeteroGraph(const graph::HeteroGraph* base,
+                              DynamicHeteroGraphOptions options = {});
+  explicit DynamicHeteroGraph(std::shared_ptr<const graph::HeteroGraph> base,
+                              DynamicHeteroGraphOptions options = {});
   ~DynamicHeteroGraph();
+
+  const DynamicHeteroGraphOptions& options() const { return options_; }
 
   /// Epoch of the newest applied batch (0 before any delta).
   uint64_t epoch() const {
@@ -130,11 +210,22 @@ class DynamicHeteroGraph {
 
   /// Allocates `count` contiguous node ids born at `epoch`, growing the
   /// id-space past the base CSR; returns the first id. Birth epochs must be
-  /// non-decreasing across calls — pass this method as GraphDeltaLog::
-  /// AppendWithNodes's allocator (which invokes it under the epoch-issuance
-  /// lock) rather than calling it directly, unless single-threaded (tests).
-  /// The ids become visible to snapshots only once their NodeEvents apply.
+  /// non-decreasing across calls. This legacy overload carries no type
+  /// information, so per-type capacity limits cannot be enforced here (the
+  /// types are counted when the records apply); production traffic goes
+  /// through the typed overload below. The ids become visible to snapshots
+  /// only once their NodeEvents apply.
   graph::NodeId AllocateNodeIds(int count, uint64_t epoch);
+
+  /// Typed allocation: one id per event, enforcing
+  /// options().max_nodes_per_type before any id is burned (OutOfRange on
+  /// exhaustion — the clean rejection point, since a rejected *apply* after
+  /// allocation would strand an unapplied record and freeze node visibility
+  /// behind it). Pass this as GraphDeltaLog::AppendWithNodes's allocator
+  /// (which invokes it under the epoch-issuance lock) rather than calling
+  /// it directly, unless single-threaded (tests).
+  StatusOr<graph::NodeId> AllocateNodeIds(const std::vector<NodeEvent>& nodes,
+                                          uint64_t epoch);
 
   /// Upper bound of the allocated id-space: base nodes plus every overlay
   /// id handed out so far (some may still be awaiting their NodeEvent's
@@ -142,6 +233,15 @@ class DynamicHeteroGraph {
   int64_t num_nodes_allocated() const {
     return overlay_origin_ +
            overlay_allocated_.load(std::memory_order_acquire);
+  }
+
+  /// Nodes of type `t` in the id-space: base rows plus overlay allocations
+  /// (typed allocations count immediately, untyped ones once applied).
+  /// The quantity max_nodes_per_type caps.
+  int64_t num_nodes_of_type(graph::NodeType t) const {
+    return base_type_counts_[static_cast<int>(t)] +
+           overlay_type_counts_[static_cast<int>(t)].load(
+               std::memory_order_acquire);
   }
 
   /// True iff edge events may reference `id`: a base id, or an overlay id
@@ -157,14 +257,14 @@ class DynamicHeteroGraph {
   }
 
   /// First overlay id (the base CSR's num_nodes() at construction); stable
-  /// across Compact() — folded overlay nodes keep their ids.
+  /// across folds — folded overlay nodes keep their ids.
   int64_t overlay_origin() const { return overlay_origin_; }
 
   /// Overlay nodes applied and visible at `epoch` (the contiguous applied
   /// prefix with birth epoch <= epoch).
   int64_t VisibleOverlayNodes(uint64_t epoch) const;
 
-  /// Registers/removes an applier for the Compact() quiescence handshake.
+  /// Registers/removes an applier for the fold quiescence handshake.
   /// The participant must stay valid until detached (the ingest pipeline
   /// attaches on construction and detaches on Stop()).
   void AttachParticipant(CompactionParticipant* participant);
@@ -183,7 +283,7 @@ class DynamicHeteroGraph {
   /// Installs only the time source (keeps the current spec). Required
   /// before any *per-view* window (MakeSnapshot(DecaySpec) /
   /// DynamicGraphView's window constructor) when no TtlDecayPolicy has
-  /// configured the graph.
+  /// configured the graph, and before cold-node TTL folds can trigger.
   void SetClock(const LogicalClock* clock);
 
   /// Attaches the hot-node overlay cache consulted by snapshot reads on
@@ -198,8 +298,10 @@ class DynamicHeteroGraph {
   /// those regardless.
   void DetachHotNodeCache(maintenance::HotNodeOverlayCache* cache);
 
-  /// Monotonic generation of the base CSR, bumped by every Compact();
-  /// stamps hot-node cache entries so a base swap invalidates them.
+  /// Monotonic generation of the base, bumped by every fold (full or
+  /// incremental). Newly (re)built segments are stamped with the
+  /// post-fold value, so segment generations are mutually consistent; use
+  /// Snapshot::segment_generation for per-node cache stamping.
   uint64_t base_generation() const {
     return base_generation_.load(std::memory_order_acquire);
   }
@@ -219,7 +321,7 @@ class DynamicHeteroGraph {
   /// DecaySpec at `now_seconds` (no-op without TTLs). Decay-aware readers
   /// already excluded them, so live snapshots observe no change; raw
   /// (spec-less) snapshots lose the expired entries — same short-read-lease
-  /// contract as Compact(). Returns the nodes that lost entries and
+  /// contract as the folds. Returns the nodes that lost entries and
   /// invalidates their hot-node cache entries (expiry is the one overlay
   /// mutation that does not bump the node's overlay version).
   std::vector<graph::NodeId> ExpireDeltas(int64_t now_seconds);
@@ -235,9 +337,17 @@ class DynamicHeteroGraph {
   /// their TTL at as_of are invisible and the rest carry decayed weights.
   class Snapshot {
    public:
-    const graph::HeteroGraph& base() const { return *base_; }
+    const graph::SegmentedCsr& base() const { return *base_; }
     uint64_t epoch() const { return epoch_; }
     uint64_t base_generation() const { return base_generation_; }
+    /// Generation of the segment backing `node` in this snapshot's pinned
+    /// base (0 for overlay nodes beyond base coverage). The stamp the
+    /// hot-node cache keys entry validity on — an incremental fold bumps
+    /// only the folded segments' generations, so entries of untouched
+    /// segments keep serving across it.
+    uint64_t segment_generation(graph::NodeId node) const {
+      return base_->generation_of(node);
+    }
     bool decay_active() const { return decay_active_; }
     /// Clock reading decay was evaluated at (0 when inactive or clockless).
     int64_t as_of_seconds() const { return as_of_; }
@@ -249,7 +359,7 @@ class DynamicHeteroGraph {
     /// id they surface) stays inside [0, num_nodes()).
     int64_t num_nodes() const { return num_nodes_; }
 
-    /// True for ids the pinned base CSR covers; overlay ids above resolve
+    /// True for ids the pinned base covers; overlay ids above resolve
     /// through the append-only node records instead.
     bool InBase(graph::NodeId node) const {
       return node < base_->num_nodes();
@@ -258,7 +368,8 @@ class DynamicHeteroGraph {
     /// Node lookups spanning base + overlay. Content/slot storage is
     /// append-only and never relocates, so the returned pointers/spans stay
     /// valid for the lifetime of the owning DynamicHeteroGraph (not merely
-    /// this snapshot).
+    /// this snapshot). A cold-node-TTL stub fold does not violate this:
+    /// the record payload is retained; only the folded base row is zeroed.
     graph::NodeType node_type(graph::NodeId node) const;
     const float* content(graph::NodeId node) const;
     std::span<const int64_t> slots(graph::NodeId node) const;
@@ -315,7 +426,7 @@ class DynamicHeteroGraph {
    private:
     friend class DynamicHeteroGraph;
     Snapshot(const DynamicHeteroGraph* owner,
-             std::shared_ptr<const graph::HeteroGraph> base,
+             std::shared_ptr<const graph::SegmentedCsr> base,
              uint64_t base_generation, uint64_t epoch, DecaySpec decay,
              int64_t as_of);
 
@@ -354,7 +465,7 @@ class DynamicHeteroGraph {
                                       Rng* rng) const;
 
     const DynamicHeteroGraph* owner_;
-    std::shared_ptr<const graph::HeteroGraph> base_;
+    std::shared_ptr<const graph::SegmentedCsr> base_;
     uint64_t epoch_;
     uint64_t base_generation_;
     int64_t num_nodes_;  // pinned id-space (base + visible overlay nodes)
@@ -376,25 +487,62 @@ class DynamicHeteroGraph {
   /// hard error rather than a silent no-op.
   Snapshot MakeSnapshot(const DecaySpec& window) const;
 
-  /// Rebuilds the base CSR with every applied delta folded in (duplicate
-  /// (a, b, kind) edges coalesced by weight, matching the offline builder's
+  /// Folds every applied delta into the segmented base (duplicate (a, b,
+  /// kind) edges coalesced by weight, matching the offline builder's
   /// semantics), clears the folded overlays, and returns the epoch folded
-  /// through (pass it to GraphDeltaLog::Truncate). Attached participants
-  /// are quiesced first, so a mid-ingest compaction parks the pipeline at a
-  /// batch boundary instead of splitting or dropping in-flight deltas;
-  /// appliers not registered as participants must not run concurrently.
-  /// Under an installed TTL window, entries already expired at fold time
-  /// are dropped (never resurrected as base edges); surviving entries fold
-  /// at full raw weight — compaction is how a streamed edge graduates into
-  /// the un-windowed offline aggregate. Overlay nodes fold renumber-free:
-  /// the applied prefix is appended to the new base in id order, and delta
-  /// entries touching a not-yet-foldable node (allocated but unapplied, or
-  /// born above the fold epoch) are carried over into the new overlay
-  /// rather than dropped.
+  /// through. Implemented as "fold all segments" — see CompactSegments for
+  /// the contract (quiescence, TTL interaction, renumber-free frontier
+  /// growth, carried-over entries).
   StatusOr<uint64_t> Compact();
 
-  /// Current base CSR (changes only at Compact).
-  std::shared_ptr<const graph::HeteroGraph> base() const;
+  /// Incremental fold: rebuilds only the selected segments (by index; out
+  /// of range or duplicate entries are ignored), folding their rows'
+  /// applied deltas and swapping one successor base that shares every
+  /// untouched segment. Selecting any frontier segment folds the whole
+  /// applied overlay-node prefix (coverage stays contiguous). Attached
+  /// participants are quiesced exactly as for Compact(); appliers not
+  /// registered as participants must not run concurrently. Under an
+  /// installed TTL window, entries already expired at fold time are
+  /// dropped (never resurrected as base edges); surviving entries fold at
+  /// full raw weight. Delta entries touching a not-yet-foldable node
+  /// (allocated but unapplied, or born above the fold epoch) are carried
+  /// over into the rebuilt overlay rather than dropped. Returns the fold
+  /// epoch; for log truncation use SafeTruncateEpoch(), since unselected
+  /// segments may still hold entries of older epochs.
+  StatusOr<uint64_t> CompactSegments(std::vector<int64_t> segments);
+
+  /// Largest epoch E such that no overlay entry with epoch <= E is still
+  /// pending fold anywhere (every such entry has been folded into a
+  /// segment or physically expired) and no issued batch at or below E is
+  /// unapplied. GraphDeltaLog::Truncate(SafeTruncateEpoch()) is therefore
+  /// always safe, even between incremental folds of different segments.
+  uint64_t SafeTruncateEpoch() const;
+
+  /// Current segmented base (changes only at folds; snapshots pin their
+  /// own).
+  std::shared_ptr<const graph::SegmentedCsr> base() const;
+
+  /// Rows per segment and current segment count covering the *allocated*
+  /// id-space (>= base coverage once ids grow past it).
+  int64_t segment_span() const { return segment_span_; }
+  int64_t num_segments_allocated() const {
+    const int64_t n = num_nodes_allocated();
+    return n == 0 ? 0 : ((n - 1) >> segment_shift_) + 1;
+  }
+  int64_t segment_of(graph::NodeId node) const {
+    return node >> segment_shift_;
+  }
+
+  /// Per-segment overlay pressure over the allocated id-space — the
+  /// incremental CompactionPolicy's selection signal (delta counts plus
+  /// observed read/write rates).
+  std::vector<SegmentPressure> SegmentPressures() const;
+
+  /// Overlay-born nodes the cold-node TTL folded as zero-content stub rows
+  /// (the base stopped carrying their payload and edges forward).
+  int64_t expired_cold_nodes() const {
+    return expired_cold_nodes_.load(std::memory_order_acquire);
+  }
 
   int64_t num_delta_entries() const {
     return total_entries_.load(std::memory_order_acquire);
@@ -413,12 +561,21 @@ class DynamicHeteroGraph {
   /// alloc_mu_, published through overlay_allocated_); the payload fields
   /// are written once at apply and published through `applied` plus the
   /// watermark, after which the record is immutable — readers therefore
-  /// hold pointers into content/slots without locks.
+  /// hold pointers into content/slots without locks — which is also why a
+  /// cold-node-TTL stub fold leaves the payload untouched (freeing it
+  /// would race those readers; it waits for snapshot pin tracking).
   struct OverlayNodeRecord {
     uint64_t birth_epoch = 0;
     std::atomic<bool> applied{false};
+    /// Type was claimed at (typed) allocation and already counted against
+    /// the per-type capacity; apply must not re-count it.
+    bool type_claimed = false;
     graph::NodeType type = graph::NodeType::kItem;
     int64_t timestamp = 0;
+    /// Lifetime overlay half-edges ever appended to this node (never
+    /// decremented by expiry or folds) — the "accumulated traffic" signal
+    /// the cold-node TTL checks. Written under the node's lock shard.
+    int64_t lifetime_entries = 0;
     std::vector<float> content;
     std::vector<int64_t> slots;
   };
@@ -443,7 +600,7 @@ class DynamicHeteroGraph {
                             kNumLockShards);
   }
 
-  void AppendHalfEdge(const graph::HeteroGraph& base, graph::NodeId node,
+  void AppendHalfEdge(const graph::SegmentedCsr& base, graph::NodeId node,
                       graph::NeighborEntry entry, uint64_t epoch,
                       int64_t timestamp);
 
@@ -451,9 +608,9 @@ class DynamicHeteroGraph {
   // Slots never relocate once a chunk exists, so lock-free readers keep raw
   // references across id-space growth; chunks are allocated on demand under
   // alloc_mu_ (node records, indexed by id - overlay_origin_) or grow_mu_
-  // (epoch slots, indexed by id). This is exactly the indexing that used to
-  // run off the end of the fixed base-sized arrays — the ASan CI job guards
-  // it now.
+  // (epoch slots and per-segment stats, indexed by id / segment). This is
+  // exactly the indexing that used to run off the end of the fixed
+  // base-sized arrays — the ASan CI job guards it now.
   static constexpr int kNodeChunkBits = 12;
   static constexpr int64_t kNodeChunkSize = int64_t{1} << kNodeChunkBits;
   static constexpr int64_t kNodeChunkMask = kNodeChunkSize - 1;
@@ -464,6 +621,24 @@ class DynamicHeteroGraph {
   };
   struct RecordChunk {
     std::array<OverlayNodeRecord, kNodeChunkSize> records{};
+  };
+
+  /// Per-segment counters. Reads/writes are relaxed rate signals; entries
+  /// is kept exact under the shard locks that mutate overlays.
+  struct SegStat {
+    std::atomic<int64_t> entries{0};
+    std::atomic<int64_t> reads{0};
+    std::atomic<int64_t> writes{0};
+    std::atomic<uint64_t> folded_epoch{0};
+  };
+  static constexpr int kSegChunkBits = 8;
+  static constexpr int64_t kSegChunkSize = int64_t{1} << kSegChunkBits;
+  static constexpr int64_t kSegChunkMask = kSegChunkSize - 1;
+  /// Enough chunks for the smallest span (64 rows) over the full 64M-id
+  /// space.
+  static constexpr size_t kMaxSegChunks = size_t{1} << 12;
+  struct SegStatChunk {
+    std::array<SegStat, kSegChunkSize> stats{};
   };
 
   /// Atomic epoch slot for any id below num_nodes_allocated().
@@ -483,16 +658,32 @@ class DynamicHeteroGraph {
     return chunk->records[static_cast<size_t>(idx & kNodeChunkMask)];
   }
 
-  /// Allocates epoch-slot chunks covering ids [0, n). Thread-safe.
+  /// Stats of segment `s` (must be covered by EnsureEpochSlots growth).
+  SegStat& seg_stat(int64_t s) const {
+    SegStatChunk* chunk =
+        seg_chunks_[static_cast<size_t>(s >> kSegChunkBits)].load(
+            std::memory_order_acquire);
+    return chunk->stats[static_cast<size_t>(s & kSegChunkMask)];
+  }
+
+  /// Counts an overlay-path read against the node's segment (relaxed; the
+  /// adaptive compaction policy differences these between passes).
+  void NoteSegmentRead(graph::NodeId node) const {
+    seg_stat(segment_of(node)).reads.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Allocates epoch-slot and segment-stat chunks covering ids [0, n).
+  /// Thread-safe.
   void EnsureEpochSlots(int64_t n);
 
   /// Verifies (or, for replay onto a fresh graph, allocates) the records of
   /// a batch's node events; called from ApplyBatch's validation pass.
   Status RegisterNodeEvents(const DeltaBatch& batch);
 
-  /// Shared allocation tail of AllocateNodeIds/RegisterNodeEvents: grows
-  /// the record/epoch-slot chunks to cover `new_end` overlay records, all
-  /// born at `epoch`, and publishes the new bound. Caller holds alloc_mu_.
+  /// Shared allocation tail of the AllocateNodeIds overloads and
+  /// RegisterNodeEvents: grows the record/epoch-slot chunks to cover
+  /// `new_end` overlay records, all born at `epoch`, and publishes the new
+  /// bound. Caller holds alloc_mu_.
   Status GrowAllocationLocked(int64_t new_end, uint64_t epoch);
 
   /// Advances the contiguous applied-record prefix. Takes alloc_mu_.
@@ -502,20 +693,20 @@ class DynamicHeteroGraph {
   /// epoch-ordered). Caller must hold the node's lock shard.
   static size_t VisiblePrefix(const NodeOverlay& ov, uint64_t at_epoch);
 
-  /// Current base CSR: swapped only at Compact, read (copied) once per
+  /// Current segmented base: swapped only at folds, read (copied) once per
   /// snapshot or batch — never per draw. Shared-mode acquisitions do not
   /// serialize readers against each other, and unlike
   /// std::atomic<shared_ptr>'s internal spinlock the protocol is visible to
   /// ThreadSanitizer, which the CI race job relies on.
   mutable std::shared_mutex base_mu_;
-  std::shared_ptr<const graph::HeteroGraph> base_;  // guarded by base_mu_
+  std::shared_ptr<const graph::SegmentedCsr> base_;  // guarded by base_mu_
 
   /// (base, generation) captured in one base_mu_ critical section —
-  /// Compact() bumps the generation inside the same exclusive section that
+  /// folds bump the generation inside the same exclusive section that
   /// swaps the base, so a snapshot can never pair an old base with a new
   /// generation (which would let it validate hot-cache entries built over
   /// the new base).
-  std::pair<std::shared_ptr<const graph::HeteroGraph>, uint64_t>
+  std::pair<std::shared_ptr<const graph::SegmentedCsr>, uint64_t>
   CapturedBase() const;
 
   /// Shared body of the MakeSnapshot overloads: resolves the effective
@@ -523,15 +714,34 @@ class DynamicHeteroGraph {
   /// decay_mu_ section, then captures (base, generation) and the watermark.
   Snapshot SnapshotUnder(const DecaySpec* override_window) const;
 
+  DynamicHeteroGraphOptions options_;
+  int content_dim_ = 0;
+  /// Rows per segment (power of two) and its log2; fixed at construction.
+  int64_t segment_span_ = 0;
+  int segment_shift_ = 0;
+  /// Base-CSR node counts per type at construction (immutable; overlay
+  /// growth is tracked separately so capacity checks are O(1)).
+  std::array<int64_t, graph::kNumNodeTypes> base_type_counts_ = {0, 0, 0};
+  /// Overlay allocations per type (typed path counts at allocation under
+  /// alloc_mu_; the legacy untyped path counts at apply).
+  mutable std::array<std::atomic<int64_t>, graph::kNumNodeTypes>
+      overlay_type_counts_ = {};
+  /// All-zero content row (content_dim floats): the payload of cold-node
+  /// stub rows in rebuilt segments, and the defensive fallback for empty
+  /// record payloads.
+  std::vector<float> zero_content_;
+
   /// First overlay id; fixed at construction (base ids are [0, origin)).
   const int64_t overlay_origin_;
 
   /// Per-id overlay versions (0 = no overlay), covering base + overlay ids.
   std::unique_ptr<std::atomic<EpochChunk*>[]> epoch_chunks_;
   /// Overlay node records, indexed by id - overlay_origin_. Append-only;
-  /// retained across Compact() so old-base snapshots keep resolving folded
+  /// retained across folds so old-base snapshots keep resolving folded
   /// ids (bounded by the number of nodes ever streamed).
   std::unique_ptr<std::atomic<RecordChunk*>[]> record_chunks_;
+  /// Per-segment pressure counters, indexed by segment number.
+  std::unique_ptr<std::atomic<SegStatChunk*>[]> seg_chunks_;
   /// Records with birth_epoch written (publishes the binary-search bound).
   std::atomic<int64_t> overlay_allocated_{0};
   /// Length of the contiguous prefix of applied records; with the monotone
@@ -539,14 +749,15 @@ class DynamicHeteroGraph {
   std::atomic<int64_t> applied_node_prefix_{0};
   /// Serializes allocation, record-chunk growth, and prefix advancement.
   mutable std::mutex alloc_mu_;
-  /// Serializes epoch-slot chunk growth (taken inside alloc_mu_ sections
-  /// and at construction; never nested the other way).
+  /// Serializes epoch-slot/segment-stat chunk growth (taken inside
+  /// alloc_mu_ sections and at construction; never nested the other way).
   std::mutex grow_mu_;
 
   std::array<LockShard, kNumLockShards> lock_shards_;
   std::atomic<uint64_t> max_applied_epoch_{0};
   std::atomic<int64_t> total_entries_{0};
-  std::atomic<uint64_t> base_generation_{0};  // bumped by Compact
+  std::atomic<uint64_t> base_generation_{0};  // bumped by every fold
+  std::atomic<int64_t> expired_cold_nodes_{0};
   uint64_t compacted_through_epoch_ = 0;  // guarded by compact_mu_
   std::mutex compact_mu_;
 

@@ -29,11 +29,9 @@ uint64_t GraphDeltaLog::Append(int shard, std::vector<EdgeEvent> events,
   return epoch;
 }
 
-uint64_t GraphDeltaLog::AppendWithNodes(int shard,
-                                        std::vector<NodeEvent>* nodes,
-                                        std::vector<EdgeEvent>* edges,
-                                        const NodeIdAllocator& alloc,
-                                        const EpochObserver& on_issue) {
+StatusOr<uint64_t> GraphDeltaLog::AppendWithNodes(
+    int shard, std::vector<NodeEvent>* nodes, std::vector<EdgeEvent>* edges,
+    const NodeIdAllocator& alloc, const EpochObserver& on_issue) {
   ZCHECK(shard >= 0 && shard < num_shards());
   ZCHECK(nodes != nullptr && !nodes->empty());
   ZCHECK(alloc != nullptr);
@@ -43,12 +41,16 @@ uint64_t GraphDeltaLog::AppendWithNodes(int shard,
     epoch = next_epoch_.fetch_add(1, std::memory_order_acq_rel);
     // Ids are allocated under the same lock that orders epoch issuance, so
     // overlay node ids are monotone in birth epoch — the prefix-visibility
-    // invariant behind the snapshot-pinned num_nodes().
-    const graph::NodeId first =
-        alloc(static_cast<int>(nodes->size()), epoch);
+    // invariant behind the snapshot-pinned num_nodes(). A capacity
+    // rejection leaves only an epoch hole: nothing allocated, recorded, or
+    // marked pending.
+    for (const NodeEvent& nv : *nodes) {
+      ZCHECK(nv.id < 0) << "node event already carries an id";
+    }
+    StatusOr<graph::NodeId> first = alloc(*nodes, epoch);
+    if (!first.ok()) return first.status();
     for (size_t i = 0; i < nodes->size(); ++i) {
-      ZCHECK((*nodes)[i].id < 0) << "node event already carries an id";
-      (*nodes)[i].id = first + static_cast<graph::NodeId>(i);
+      (*nodes)[i].id = first.value() + static_cast<graph::NodeId>(i);
     }
     if (edges != nullptr) {
       // Placeholder endpoints -1-k refer to the k-th node of this batch.
@@ -90,6 +92,37 @@ std::vector<DeltaBatch> GraphDeltaLog::ReadSince(uint64_t epoch) const {
               return a.epoch < b.epoch;
             });
   return out;
+}
+
+int64_t GraphDeltaLog::TruncateExpired(const streaming::DecaySpec& spec,
+                                       int64_t now_seconds,
+                                       uint64_t max_epoch) {
+  if (!spec.has_ttl()) return 0;
+  int64_t dropped = 0;
+  for (Shard& s : shards_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    auto keep = std::remove_if(
+        s.batches.begin(), s.batches.end(), [&](const DeltaBatch& b) {
+          if (b.epoch > max_epoch) return false;  // possibly unapplied
+          // Node-minting batches are the id-space record: a later surviving
+          // edge batch may reference the minted ids, and ReadSince replay
+          // onto a fresh graph would reject those edges if the mint were
+          // gone — so node batches never TTL out of the middle of the log
+          // (only a fold-driven Truncate retires them, with the ids safely
+          // in the folded base).
+          if (!b.node_events.empty()) return false;
+          for (const EdgeEvent& ev : b.events) {
+            if (!spec.Expired(ev.kind, now_seconds - ev.timestamp)) {
+              return false;
+            }
+          }
+          s.events -= static_cast<int64_t>(b.events.size());
+          ++dropped;
+          return true;
+        });
+    s.batches.erase(keep, s.batches.end());
+  }
+  return dropped;
 }
 
 void GraphDeltaLog::Truncate(uint64_t epoch) {

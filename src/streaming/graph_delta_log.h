@@ -15,7 +15,9 @@
 #include <mutex>
 #include <vector>
 
+#include "common/status.h"
 #include "graph/hetero_graph.h"
+#include "streaming/edge_decay.h"
 
 namespace zoomer {
 namespace streaming {
@@ -88,24 +90,30 @@ class GraphDeltaLog {
   uint64_t Append(int shard, std::vector<EdgeEvent> events,
                   const EpochObserver& on_issue = {});
 
-  /// Assigns `count` contiguous fresh node ids born at `epoch` and returns
-  /// the first id of the range. Pass DynamicHeteroGraph::AllocateNodeIds
-  /// (the ingest pipeline wires this): the log invokes it inside the same
-  /// critical section that orders epoch issuance, so overlay ids are
-  /// monotone in birth epoch across shards and threads.
-  using NodeIdAllocator = std::function<graph::NodeId(int count,
-                                                      uint64_t epoch)>;
+  /// Assigns one fresh node id per event, all born at `epoch`, and returns
+  /// the first id of the contiguous range — or an error (per-type capacity
+  /// exhausted) in which case nothing was allocated. Pass the typed
+  /// DynamicHeteroGraph::AllocateNodeIds overload (the ingest pipeline
+  /// wires this): the log invokes it inside the same critical section that
+  /// orders epoch issuance, so overlay ids are monotone in birth epoch
+  /// across shards and threads, and capacity rejection happens before any
+  /// id is burned.
+  using NodeIdAllocator = std::function<StatusOr<graph::NodeId>(
+      const std::vector<NodeEvent>& nodes, uint64_t epoch)>;
 
   /// Appends a batch that grows the id-space: every NodeEvent in `*nodes`
   /// with id -1 receives a freshly allocated id (written back to the
   /// caller's vector), and edge endpoints using the -1-k placeholder are
   /// resolved to the k-th node's new id (also in place, so the caller can
   /// ApplyBatch the same data the log recorded). `edges` may be null for a
-  /// node-only batch. Epoch semantics match Append.
-  uint64_t AppendWithNodes(int shard, std::vector<NodeEvent>* nodes,
-                           std::vector<EdgeEvent>* edges,
-                           const NodeIdAllocator& alloc,
-                           const EpochObserver& on_issue = {});
+  /// node-only batch. Epoch semantics match Append. A rejected allocation
+  /// (per-type capacity) propagates without recording anything — the
+  /// already-issued epoch becomes a harmless hole in the sequence (never
+  /// marked pending, never applied).
+  StatusOr<uint64_t> AppendWithNodes(int shard, std::vector<NodeEvent>* nodes,
+                                     std::vector<EdgeEvent>* edges,
+                                     const NodeIdAllocator& alloc,
+                                     const EpochObserver& on_issue = {});
 
   /// Epoch of the most recent append, 0 if the log is empty.
   uint64_t last_epoch() const {
@@ -117,8 +125,22 @@ class GraphDeltaLog {
   std::vector<DeltaBatch> ReadSince(uint64_t epoch) const;
 
   /// Drops batches with epoch <= `epoch` (called after compaction folds
-  /// them into the base CSR).
+  /// them into the base CSR — with incremental segment folds, pass
+  /// DynamicHeteroGraph::SafeTruncateEpoch()).
   void Truncate(uint64_t epoch);
+
+  /// TTL-driven truncation (ROADMAP: "TTL'd truncation of the in-memory
+  /// delta log itself"): drops edge-only batches with epoch <= `max_epoch`
+  /// whose every event has aged past its relation kind's TTL at
+  /// `now_seconds`. Such entries are invisible to every decay-aware reader
+  /// and already swept from the overlay, so a quiet stream no longer pins
+  /// them until the next fold. Node-minting batches are exempt — they are
+  /// the id-space record later surviving edge batches may reference on a
+  /// fresh replay; only fold-driven Truncate() retires them. Pass the
+  /// graph's watermark_epoch() as `max_epoch` so an issued-but-unapplied
+  /// batch is never dropped. Returns the number of batches dropped.
+  int64_t TruncateExpired(const streaming::DecaySpec& spec,
+                          int64_t now_seconds, uint64_t max_epoch);
 
   DeltaLogStats Stats() const;
   size_t MemoryBytes() const;

@@ -48,6 +48,7 @@ IngestPipeline::IngestPipeline(GraphDeltaLog* log, DynamicHeteroGraph* graph,
         static_cast<size_t>(options_.queue_capacity)));
     rejected_unknown_node_.push_back(
         std::make_unique<std::atomic<int64_t>>(0));
+    rejected_capacity_.push_back(std::make_unique<std::atomic<int64_t>>(0));
   }
   // Compaction quiescence: Compact() parks this pipeline at a batch
   // boundary instead of relying on a caller-managed Flush().
@@ -154,12 +155,25 @@ StatusOr<graph::NodeId> IngestPipeline::OfferNewNode(
     ++active_applies_;
   }
   DeltaBatch batch;
-  batch.epoch = log_->AppendWithNodes(
+  // The typed allocator enforces DynamicHeteroGraphOptions::
+  // max_nodes_per_type inside the log's epoch section — a capacity
+  // rejection happens before any id is burned or event recorded.
+  StatusOr<uint64_t> epoch = log_->AppendWithNodes(
       shard, &nodes, &edges,
-      [this](int count, uint64_t epoch) {
-        return graph_->AllocateNodeIds(count, epoch);
+      [this](const std::vector<NodeEvent>& evs, uint64_t e) {
+        return graph_->AllocateNodeIds(evs, e);
       },
-      [this](uint64_t epoch) { graph_->NoteEpochIssued(epoch); });
+      [this](uint64_t e) { graph_->NoteEpochIssued(e); });
+  if (!epoch.ok()) {
+    {
+      std::lock_guard<std::mutex> lock(quiesce_mu_);
+      --active_applies_;
+      if (active_applies_ == 0) quiesce_cv_.notify_all();
+    }
+    rejected_capacity_[shard]->fetch_add(1, std::memory_order_acq_rel);
+    return epoch.status();
+  }
+  batch.epoch = epoch.value();
   const graph::NodeId id = nodes[0].id;
   batch.node_events = std::move(nodes);
   batch.events = std::move(edges);  // placeholders resolved by the log
@@ -308,6 +322,11 @@ IngestStats IngestPipeline::Stats() const {
   stats.rejected_unknown_node.reserve(rejected_unknown_node_.size());
   for (const auto& counter : rejected_unknown_node_) {
     stats.rejected_unknown_node.push_back(
+        counter->load(std::memory_order_acquire));
+  }
+  stats.rejected_capacity.reserve(rejected_capacity_.size());
+  for (const auto& counter : rejected_capacity_) {
+    stats.rejected_capacity.push_back(
         counter->load(std::memory_order_acquire));
   }
   return stats;

@@ -57,6 +57,10 @@ struct IngestStats {
   /// cold-start misses: entities the graph has never ingested. Formerly a
   /// silent drop; events_dropped() aggregates them plus self-loop drops.
   std::vector<int64_t> rejected_unknown_node;
+  /// OfferNewNode calls rejected by the graph's per-type capacity limit
+  /// (DynamicHeteroGraphOptions::max_nodes_per_type), per shard — the
+  /// mirror of rejected_unknown_node for id-space growth.
+  std::vector<int64_t> rejected_capacity;
 };
 
 /// Converts sessions to edge events exactly as the offline graph builder
@@ -107,7 +111,10 @@ class IngestPipeline : public CompactionParticipant {
   /// (one visibility instant) and may reference the new node with the -1
   /// placeholder endpoint. Runs under the same quiescence gate as the shard
   /// consumers, so a concurrent Compact() parks this too. Leave event.id
-  /// unassigned (-1).
+  /// unassigned (-1). Returns OutOfRange — counted per shard in
+  /// Stats().rejected_capacity — when the graph's per-type capacity limit
+  /// (DynamicHeteroGraphOptions::max_nodes_per_type) is exhausted; no id
+  /// is burned in that case.
   StatusOr<graph::NodeId> OfferNewNode(NodeEvent event,
                                        std::vector<EdgeEvent> edges = {});
 
@@ -162,6 +169,8 @@ class IngestPipeline : public CompactionParticipant {
   std::atomic<uint32_t> node_shard_rr_{0};
   /// Per-shard count of edge events dropped for an unknown endpoint.
   std::vector<std::unique_ptr<std::atomic<int64_t>>> rejected_unknown_node_;
+  /// Per-shard count of node mints rejected by per-type capacity.
+  std::vector<std::unique_ptr<std::atomic<int64_t>>> rejected_capacity_;
 };
 
 }  // namespace streaming

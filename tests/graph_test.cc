@@ -10,8 +10,10 @@
 #include "common/random.h"
 #include "graph/alias_table.h"
 #include "graph/graph_builder.h"
+#include "graph/graph_view.h"
 #include "graph/hetero_graph.h"
 #include "graph/minhash.h"
+#include "graph/segmented_csr.h"
 #include "graph/session_log.h"
 
 namespace zoomer {
@@ -367,6 +369,175 @@ TEST(GraphBuilderTest, RejectsInvalidLogs) {
   log2.push_back({0, 2, {99}, 1});  // unknown item id
   EXPECT_FALSE(BuildGraphFromLogs(nodes, log2, opt).ok());
   EXPECT_FALSE(BuildGraphFromLogs({}, {}, opt).ok());  // empty nodes
+}
+
+// --- SegmentedCsr (node-partitioned base for incremental compaction) --------
+
+/// A graph wide enough to span several 4-row segments, with deterministic
+/// structure: users 0..3, queries 4..7, items 8..15, edges wired so every
+/// row has a non-trivial typed block.
+HeteroGraph MakeWideGraph() {
+  HeteroGraphBuilder b(2);
+  for (int i = 0; i < 4; ++i) {
+    b.AddNode(NodeType::kUser, {1.0f * i, 0.0f}, {i});
+  }
+  for (int i = 0; i < 4; ++i) {
+    b.AddNode(NodeType::kQuery, {0.0f, 1.0f * i}, {10 + i, 20 + i});
+  }
+  for (int i = 0; i < 8; ++i) {
+    b.AddNode(NodeType::kItem, {0.5f, 0.5f * i}, {30 + i});
+  }
+  for (NodeId u = 0; u < 4; ++u) {
+    EXPECT_TRUE(b.AddEdge(u, 4 + u, RelationKind::kClick, 1.0f + u).ok());
+  }
+  for (NodeId q = 4; q < 8; ++q) {
+    for (NodeId it = 8; it < 16; it += 2) {
+      EXPECT_TRUE(
+          b.AddEdge(q, it, RelationKind::kClick, 0.5f * (it - 7)).ok());
+    }
+  }
+  EXPECT_TRUE(b.AddEdge(8, 10, RelationKind::kSession, 2.0f).ok());
+  return b.Build();
+}
+
+TEST(SegmentedCsrTest, PartitionMatchesSourceRowForRow) {
+  HeteroGraph g = MakeWideGraph();
+  SegmentedCsr seg(g, /*span=*/4);
+  EXPECT_EQ(seg.num_nodes(), g.num_nodes());
+  EXPECT_EQ(seg.num_edges(), g.num_edges());
+  EXPECT_EQ(seg.content_dim(), g.content_dim());
+  EXPECT_EQ(seg.num_segments(), 4);
+  EXPECT_EQ(seg.segment_span(), 4);
+  for (int t = 0; t < kNumNodeTypes; ++t) {
+    EXPECT_EQ(seg.num_nodes_of_type(static_cast<NodeType>(t)),
+              g.num_nodes_of_type(static_cast<NodeType>(t)));
+  }
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_EQ(seg.node_type(v), g.node_type(v));
+    EXPECT_EQ(seg.degree(v), g.degree(v));
+    for (int d = 0; d < g.content_dim(); ++d) {
+      EXPECT_FLOAT_EQ(seg.content(v)[d], g.content(v)[d]);
+    }
+    ASSERT_EQ(seg.slots(v).size(), g.slots(v).size());
+    for (size_t i = 0; i < g.slots(v).size(); ++i) {
+      EXPECT_EQ(seg.slots(v)[i], g.slots(v)[i]);
+    }
+    auto sids = seg.neighbor_ids(v);
+    auto gids = g.neighbor_ids(v);
+    ASSERT_EQ(sids.size(), gids.size());
+    for (size_t i = 0; i < gids.size(); ++i) {
+      EXPECT_EQ(sids[i], gids[i]);
+      EXPECT_FLOAT_EQ(seg.neighbor_weights(v)[i], g.neighbor_weights(v)[i]);
+      EXPECT_EQ(seg.neighbor_kinds(v)[i], g.neighbor_kinds(v)[i]);
+    }
+    for (int t = 0; t < kNumNodeTypes; ++t) {
+      auto styped = seg.NeighborsOfType(v, static_cast<NodeType>(t));
+      auto gtyped = g.NeighborsOfType(v, static_cast<NodeType>(t));
+      ASSERT_EQ(styped.size(), gtyped.size());
+      for (size_t i = 0; i < gtyped.size(); ++i) {
+        EXPECT_EQ(styped[i], gtyped[i]);
+      }
+    }
+  }
+}
+
+TEST(SegmentedCsrTest, TypedCsrBlockAlignsParallelSpans) {
+  HeteroGraph g = MakeWideGraph();
+  SegmentedCsr seg(g, 4);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (int t = 0; t < kNumNodeTypes; ++t) {
+      const NeighborBlock sb = TypedCsrBlock(seg, v, static_cast<NodeType>(t));
+      const NeighborBlock gb = TypedCsrBlock(g, v, static_cast<NodeType>(t));
+      ASSERT_EQ(sb.size(), gb.size());
+      for (int64_t i = 0; i < gb.size(); ++i) {
+        EXPECT_EQ(sb.ids[i], gb.ids[i]);
+        EXPECT_FLOAT_EQ(sb.weights[i], gb.weights[i]);
+        EXPECT_EQ(sb.kinds[i], gb.kinds[i]);
+      }
+    }
+  }
+}
+
+TEST(SegmentedCsrTest, SamplingMatchesMonolithicDistribution) {
+  HeteroGraph g = MakeWideGraph();
+  SegmentedCsr seg(g, 4);
+  // Query 4's weighted item distribution through the segment alias tables
+  // must match the exact weights (same guarantee the monolithic CSR gives).
+  const NodeId q = 4;
+  std::map<NodeId, double> want;
+  double total = 0.0;
+  for (size_t i = 0; i < g.neighbor_ids(q).size(); ++i) {
+    want[g.neighbor_ids(q)[i]] += g.neighbor_weights(q)[i];
+    total += g.neighbor_weights(q)[i];
+  }
+  Rng rng(23);
+  std::map<NodeId, int> got;
+  const int n = 60000;
+  for (int i = 0; i < n; ++i) ++got[seg.SampleNeighbor(q, &rng)];
+  for (const auto& [nb, w] : want) {
+    EXPECT_NEAR(got[nb] / static_cast<double>(n), w / total, 0.02);
+  }
+}
+
+TEST(SegmentedCsrTest, SuccessorSharesUntouchedSegments) {
+  HeteroGraph g = MakeWideGraph();
+  auto base = std::make_shared<const SegmentedCsr>(g, 4, /*generation=*/1);
+  // Rebuild segment 1 (rows 4..7) with one extra edge on row 4.
+  CsrSegmentBuilder builder(4, 4, g.content_dim(), /*generation=*/2,
+                            [&g](NodeId id) { return g.node_type(id); });
+  for (NodeId r = 4; r < 8; ++r) {
+    std::vector<NeighborEntry> nbrs;
+    auto ids = g.neighbor_ids(r);
+    for (size_t i = 0; i < ids.size(); ++i) {
+      nbrs.push_back({ids[i], g.neighbor_weights(r)[i],
+                      g.neighbor_kinds(r)[i]});
+    }
+    if (r == 4) nbrs.push_back({15, 9.0f, RelationKind::kSimilarity});
+    builder.AddRow(g.node_type(r), {g.content(r), 2u}, g.slots(r),
+                   std::move(nbrs));
+  }
+  auto next = base->Successor({{1, builder.Build()}});
+
+  // Untouched segments are the same objects (zero-copy sharing), the
+  // rebuilt one is new with its own generation.
+  EXPECT_EQ(next->segment_ptr(0), base->segment_ptr(0));
+  EXPECT_EQ(next->segment_ptr(2), base->segment_ptr(2));
+  EXPECT_EQ(next->segment_ptr(3), base->segment_ptr(3));
+  EXPECT_NE(next->segment_ptr(1), base->segment_ptr(1));
+  EXPECT_EQ(next->generation_of(0), 1u);
+  EXPECT_EQ(next->generation_of(5), 2u);
+  EXPECT_EQ(base->generation_of(5), 1u);
+  // Beyond coverage: the never-folded sentinel.
+  EXPECT_EQ(next->generation_of(16), 0u);
+
+  // The new edge exists only through the successor; old spans still valid.
+  EXPECT_EQ(next->degree(4), base->degree(4) + 1);
+  EXPECT_EQ(base->num_edges() + 1, next->num_edges());
+  auto old_span = base->neighbor_ids(4);
+  EXPECT_EQ(old_span.size(), static_cast<size_t>(base->degree(4)));
+}
+
+TEST(SegmentedCsrViewTest, GraphViewParityWithCsrGraphView) {
+  HeteroGraph g = MakeWideGraph();
+  SegmentedCsr seg(g, 4);
+  SegmentedCsrView sv(seg);
+  CsrGraphView cv(g);
+  NeighborScratch s1, s2;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_EQ(sv.degree(v), cv.degree(v));
+    const NeighborBlock a = sv.Neighbors(v, &s1);
+    const NeighborBlock b = cv.Neighbors(v, &s2);
+    ASSERT_EQ(a.size(), b.size());
+    for (int64_t i = 0; i < b.size(); ++i) {
+      EXPECT_EQ(a.ids[i], b.ids[i]);
+      EXPECT_FLOAT_EQ(a.weights[i], b.weights[i]);
+    }
+    // Identical alias layouts + identical RNG stream => identical draws.
+    Rng ra(7 + v), rb(7 + v);
+    for (int i = 0; i < 32; ++i) {
+      EXPECT_EQ(sv.SampleNeighbor(v, &ra), cv.SampleNeighbor(v, &rb));
+    }
+  }
 }
 
 }  // namespace

@@ -977,6 +977,182 @@ TEST(ServingMaintenanceTest, TtlSweepInvalidatesNeighborCacheViaScheduler) {
   pipeline.Stop();
 }
 
+// --- Incremental compaction policy (per-segment, adaptive hotness) ----------
+
+/// 16-node graph (user 0, query 1, items 2..15) partitioned into four
+/// 4-row segments.
+std::unique_ptr<DynamicHeteroGraph> MakeSegmented(const HeteroGraph* g) {
+  streaming::DynamicHeteroGraphOptions opt;
+  opt.segment_span = 4;
+  return std::make_unique<DynamicHeteroGraph>(g, opt);
+}
+
+TEST(IncrementalCompactionPolicyTest, FoldsOnlySegmentsOverBudget) {
+  HeteroGraph g = MakeTinyGraph(14);
+  GraphDeltaLog log(1);
+  auto dyn_owner = MakeSegmented(&g);
+  DynamicHeteroGraph& dyn = *dyn_owner;
+  CompactionPolicyOptions opt;
+  opt.max_delta_entries = 1 << 20;  // global safety net far away
+  opt.segment_entry_budget = 6;
+  opt.read_hot_boost = 1.0;  // pure entry budget (adaptation off)
+  CompactionPolicy policy(&dyn, &log, /*clock=*/nullptr, opt);
+  // A (non-expiring) TTL window makes the policy report folded_ranges —
+  // without one, folds preserve distributions and report nothing.
+  ManualClock clock;
+  clock.SetSeconds(100);
+  dyn.ConfigureDecay(DecaySpec::Window(1 << 30, 0.0), &clock);
+
+  // Segment 2 (rows 8..11) runs hot: 4 same-segment edges = 8 half-edges
+  // there. Segment 0 stays just warm: 1 edge = 2 half-edges.
+  for (NodeId it = 8; it < 12; ++it) {
+    ASSERT_TRUE(
+        dyn.ApplyBatch(MakeBatch(
+                           &log, 0,
+                           {{it, it == 11 ? NodeId{8} : it + 1,
+                             RelationKind::kSession, 1.0f, 0}}))
+            .ok());
+  }
+  ASSERT_TRUE(
+      dyn.ApplyBatch(
+             MakeBatch(&log, 0, {{1, 2, RelationKind::kClick, 1.0f, 0}}))
+          .ok());
+
+  auto base_before = dyn.base();
+  auto r = policy.RunOnce();
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().acted);
+  EXPECT_EQ(policy.incremental_compactions(), 1);
+  ASSERT_EQ(r.value().folded_ranges.size(), 1u);
+  EXPECT_EQ(r.value().folded_ranges[0].first, 8);
+  EXPECT_EQ(r.value().folded_ranges[0].second, 12);
+
+  // Only segment 2 was rebuilt; segment 0's overlay survived untouched and
+  // the other segments are shared pointers.
+  auto base_after = dyn.base();
+  EXPECT_NE(base_after->segment_ptr(2), base_before->segment_ptr(2));
+  EXPECT_EQ(base_after->segment_ptr(0), base_before->segment_ptr(0));
+  EXPECT_EQ(base_after->segment_ptr(1), base_before->segment_ptr(1));
+  EXPECT_EQ(base_after->segment_ptr(3), base_before->segment_ptr(3));
+  EXPECT_EQ(dyn.num_delta_entries(), 2);  // the warm segment-0 edge
+  EXPECT_EQ(base_after->degree(8), 2);    // session ring folded in
+  // The log keeps everything the warm overlay still pends on.
+  EXPECT_GT(log.Stats().total_batches, 0);
+  auto pressures = dyn.SegmentPressures();
+  EXPECT_EQ(pressures[2].delta_entries, 0);
+  EXPECT_EQ(pressures[0].delta_entries, 2);
+  EXPECT_GT(pressures[2].folded_epoch, 0u);
+}
+
+TEST(IncrementalCompactionPolicyTest, ReadHotSegmentsFoldSooner) {
+  HeteroGraph g = MakeTinyGraph(14);
+  GraphDeltaLog log(1);
+  auto dyn_owner = MakeSegmented(&g);
+  DynamicHeteroGraph& dyn = *dyn_owner;
+  CompactionPolicyOptions opt;
+  opt.max_delta_entries = 1 << 20;
+  // Neither segment reaches the static budget (each holds 4 half-edges);
+  // with two dirty segments the fleet-average normalization lets a
+  // read-hot one fold at just over half the budget.
+  opt.segment_entry_budget = 7;
+  opt.read_hot_boost = 4.0;
+  CompactionPolicy policy(&dyn, &log, nullptr, opt);
+  ManualClock clock;
+  clock.SetSeconds(100);
+  dyn.ConfigureDecay(DecaySpec::Window(1 << 30, 0.0), &clock);
+
+  // Equal delta mass (4 half-edges each) in segments 2 and 3.
+  ASSERT_TRUE(dyn.ApplyBatch(MakeBatch(&log, 0,
+                                       {{8, 9, RelationKind::kSession, 1.f, 0},
+                                        {10, 11, RelationKind::kSession, 1.f,
+                                         0}}))
+                  .ok());
+  ASSERT_TRUE(dyn.ApplyBatch(MakeBatch(&log, 0,
+                                       {{12, 13, RelationKind::kSession, 1.f,
+                                         0},
+                                        {14, 15, RelationKind::kSession, 1.f,
+                                         0}}))
+                  .ok());
+  // First pass baselines the read counters (nothing folds yet).
+  auto r = policy.RunOnce();
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r.value().acted);
+
+  // Hammer overlay reads on segment 2 only.
+  auto snap = dyn.MakeSnapshot();
+  Rng rng(3);
+  for (int i = 0; i < 512; ++i) {
+    snap.SampleNeighbor(8 + (i % 4), &rng);
+  }
+  r = policy.RunOnce();
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r.value().acted) << "read-hot segment should fold below budget";
+  ASSERT_EQ(r.value().folded_ranges.size(), 1u);
+  EXPECT_EQ(r.value().folded_ranges[0].first, 8);   // segment 2, not 3
+  auto pressures = dyn.SegmentPressures();
+  EXPECT_EQ(pressures[2].delta_entries, 0);
+  EXPECT_EQ(pressures[3].delta_entries, 4);
+}
+
+TEST(IncrementalCompactionPolicyTest, GlobalThresholdStillForcesFullFold) {
+  HeteroGraph g = MakeTinyGraph(14);
+  GraphDeltaLog log(1);
+  auto dyn_owner = MakeSegmented(&g);
+  DynamicHeteroGraph& dyn = *dyn_owner;
+  CompactionPolicyOptions opt;
+  opt.max_delta_entries = 4;      // the legacy safety net
+  opt.segment_entry_budget = 100;  // incremental alone would never trigger
+  CompactionPolicy policy(&dyn, &log, nullptr, opt);
+
+  ASSERT_TRUE(dyn.ApplyBatch(MakeBatch(&log, 0,
+                                       {{1, 2, RelationKind::kClick, 1.f, 0},
+                                        {8, 9, RelationKind::kSession, 1.f,
+                                         0}}))
+                  .ok());
+  auto r = policy.RunOnce();
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().acted);
+  EXPECT_EQ(policy.compactions(), 1);
+  EXPECT_EQ(policy.incremental_compactions(), 0);
+  EXPECT_EQ(dyn.num_delta_entries(), 0);
+  EXPECT_EQ(log.Stats().total_events, 0);  // SafeTruncateEpoch == watermark
+  // No TTL window => the fold preserved every distribution and reported no
+  // ranges — serving caches see zero invalidation (no refill storm).
+  EXPECT_TRUE(r.value().folded_ranges.empty());
+}
+
+TEST(TtlDecayTest, SweepTruncatesFullyExpiredLogBatches) {
+  HeteroGraph g = MakeTinyGraph(4);
+  GraphDeltaLog log(1);
+  auto dyn_owner = MakeDynamic(&g);
+  DynamicHeteroGraph& dyn = *dyn_owner;
+  ManualClock clock;
+  clock.SetSeconds(1000);
+  DecaySpec spec = DecaySpec::Window(/*ttl_seconds=*/100, 0.0);
+  TtlDecayPolicy policy(&dyn, &clock, spec, &log);
+
+  // One aged batch, one fresh; both applied (watermark covers them).
+  ASSERT_TRUE(dyn.ApplyBatch(MakeBatch(&log, 0,
+                                       {{1, 2, RelationKind::kClick, 1.f,
+                                         /*timestamp=*/850}},
+                                       &dyn))
+                  .ok());
+  ASSERT_TRUE(dyn.ApplyBatch(MakeBatch(&log, 0,
+                                       {{1, 3, RelationKind::kClick, 1.f,
+                                         /*timestamp=*/990}},
+                                       &dyn))
+                  .ok());
+  auto r = policy.RunOnce();
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().acted);
+  // The overlay sweep dropped the aged entries AND the log dropped the
+  // batch that carried them — a quiet stream no longer pins it until the
+  // next fold.
+  EXPECT_EQ(policy.log_batches_truncated(), 1);
+  EXPECT_EQ(log.Stats().total_batches, 1);
+  EXPECT_EQ(dyn.num_delta_entries(), 2);  // the fresh edge's two halves
+}
+
 }  // namespace
 }  // namespace maintenance
 }  // namespace zoomer

@@ -90,12 +90,14 @@ DeltaBatch MakeNodeBatch(GraphDeltaLog* log, int shard,
                          std::vector<NodeEvent> nodes,
                          std::vector<EdgeEvent> edges = {}) {
   DeltaBatch batch;
-  batch.epoch = log->AppendWithNodes(
+  auto epoch = log->AppendWithNodes(
       shard, &nodes, &edges,
-      [graph](int count, uint64_t epoch) {
-        return graph->AllocateNodeIds(count, epoch);
+      [graph](const std::vector<NodeEvent>& evs, uint64_t e) {
+        return graph->AllocateNodeIds(evs, e);
       },
       [graph](uint64_t e) { graph->NoteEpochIssued(e); });
+  ZCHECK(epoch.ok()) << epoch.status().ToString();
+  batch.epoch = epoch.value();
   batch.node_events = std::move(nodes);
   batch.events = std::move(edges);
   return batch;
@@ -1452,6 +1454,369 @@ TEST(ServingFreshnessTest, ColdStartItemRecommendedPreAndPostCompact) {
     EXPECT_NEAR(after.items[i].score, before.items[i].score, 1e-4f);
   }
   EXPECT_EQ(after.items[0].id, fresh);
+  pipeline.Stop();
+}
+
+// --- Incremental compaction (segmented base) --------------------------------
+
+/// Applies the same integer-weight event stream to two graphs; weights are
+/// integers so float sums are exact and every read must be bit-identical
+/// regardless of how (or how often) the base folded.
+std::vector<std::vector<EdgeEvent>> ParityBatches() {
+  // Nodes: user 0, query 1, items 2..15 (MakeContentGraph(14)); with
+  // segment_span=4 the id-space splits into segments {0..3}, {4..7},
+  // {8..11}, {12..15}. Edges deliberately cross segments and repeat
+  // (neighbor, kind) pairs to exercise coalescing.
+  return {
+      {{1, 4, RelationKind::kClick, 2.0f, 0},
+       {1, 4, RelationKind::kClick, 1.0f, 0},
+       {0, 9, RelationKind::kClick, 3.0f, 0},
+       {5, 13, RelationKind::kSession, 1.0f, 0}},
+      {{1, 9, RelationKind::kClick, 4.0f, 0},
+       {2, 10, RelationKind::kSession, 2.0f, 0},
+       {0, 1, RelationKind::kClick, 1.0f, 0}},
+      {{1, 4, RelationKind::kClick, 5.0f, 0},
+       {12, 14, RelationKind::kSession, 3.0f, 0},
+       {3, 12, RelationKind::kClick, 2.0f, 0}},
+      {{1, 15, RelationKind::kClick, 1.0f, 0},
+       {2, 10, RelationKind::kSession, 6.0f, 0}},
+  };
+}
+
+TEST(IncrementalCompactionTest, SegmentFoldChainMatchesSingleFullFold) {
+  HeteroGraph g = MakeContentGraph(14, 77);
+  DynamicHeteroGraphOptions opt;
+  opt.segment_span = 4;
+  // One shared log keeps epochs aligned between the two graphs — each
+  // pipeline-less test applier marks only its own graph's epochs.
+  GraphDeltaLog log_a(1), log_b(1);
+  DynamicHeteroGraph a(&g, opt), b(&g, opt);
+  ASSERT_EQ(a.base()->num_segments(), 4);
+
+  const auto batches = ParityBatches();
+  const std::vector<std::vector<int64_t>> folds = {{0}, {1, 3}, {2}, {}};
+  for (size_t i = 0; i < batches.size(); ++i) {
+    ASSERT_TRUE(a.ApplyBatch(MakeBatch(&log_a, 0, batches[i])).ok());
+    ASSERT_TRUE(b.ApplyBatch(MakeBatch(&log_b, 0, batches[i])).ok());
+    if (!folds[i].empty()) {
+      auto folded = a.CompactSegments(folds[i]);
+      ASSERT_TRUE(folded.ok());
+    }
+  }
+  // (a) chain of per-segment folds, closed by a full fold; (b) one full
+  // fold over the identical stream.
+  ASSERT_TRUE(a.Compact().ok());
+  ASSERT_TRUE(b.Compact().ok());
+  EXPECT_EQ(a.num_delta_entries(), 0);
+  EXPECT_EQ(b.num_delta_entries(), 0);
+
+  auto sa = a.MakeSnapshot();
+  auto sb = b.MakeSnapshot();
+  ASSERT_EQ(sa.num_nodes(), sb.num_nodes());
+  Rng draw_a(99), draw_b(99);
+  for (NodeId v = 0; v < sa.num_nodes(); ++v) {
+    // Merged neighbor lists identical entry-for-entry (order included:
+    // both folds sort rows by (neighbor type, kind, id)).
+    std::vector<graph::NeighborEntry> na, nb;
+    sa.Neighbors(v, &na);
+    sb.Neighbors(v, &nb);
+    ASSERT_EQ(na.size(), nb.size()) << "node " << v;
+    for (size_t i = 0; i < na.size(); ++i) {
+      EXPECT_EQ(na[i].neighbor, nb[i].neighbor) << "node " << v;
+      EXPECT_EQ(na[i].kind, nb[i].kind) << "node " << v;
+      EXPECT_FLOAT_EQ(na[i].weight, nb[i].weight) << "node " << v;
+    }
+    EXPECT_EQ(sa.Degree(v), sb.Degree(v));
+    EXPECT_DOUBLE_EQ(sa.TotalWeight(v), sb.TotalWeight(v));
+    // Identical rows + identical RNG stream => identical weighted draws
+    // (the distributions are not merely close, they are the same).
+    for (int i = 0; i < 16; ++i) {
+      EXPECT_EQ(sa.SampleNeighbor(v, &draw_a), sb.SampleNeighbor(v, &draw_b));
+    }
+  }
+
+  // Focal top-k ROI through the dynamic views is identical too.
+  DynamicGraphView va(&a), vb(&b);
+  core::RoiSamplerOptions ropt;
+  ropt.k = 4;
+  ropt.num_hops = 2;
+  core::RoiSampler roi(ropt);
+  Rng ra(5), rb(5);
+  for (NodeId ego : {NodeId{1}, NodeId{4}, NodeId{9}, NodeId{12}}) {
+    auto fa = roi.FocalVector(va, {0, ego});
+    auto fb = roi.FocalVector(vb, {0, ego});
+    auto roi_a = roi.Sample(va, ego, fa, &ra);
+    auto roi_b = roi.Sample(vb, ego, fb, &rb);
+    ASSERT_EQ(roi_a.nodes.size(), roi_b.nodes.size());
+    for (size_t i = 0; i < roi_a.nodes.size(); ++i) {
+      EXPECT_EQ(roi_a.nodes[i].id, roi_b.nodes[i].id);
+    }
+  }
+}
+
+TEST(IncrementalCompactionTest, UntouchedSegmentsStaySharedAcrossFold) {
+  HeteroGraph g = MakeContentGraph(14, 31);
+  DynamicHeteroGraphOptions opt;
+  opt.segment_span = 4;
+  GraphDeltaLog log(1);
+  DynamicHeteroGraph dyn(&g, opt);
+  auto base_before = dyn.base();
+  auto pinned = dyn.MakeSnapshot();  // old-base reader across the fold
+
+  // Dirty only segment 0 (nodes 1<->2 live in rows 0..3).
+  ASSERT_TRUE(
+      dyn.ApplyBatch(
+             MakeBatch(&log, 0, {{1, 2, RelationKind::kClick, 2.0f, 0}}))
+          .ok());
+  const uint64_t gen_before = dyn.base_generation();
+  auto folded = dyn.CompactSegments({0});
+  ASSERT_TRUE(folded.ok());
+  auto base_after = dyn.base();
+
+  // Persistent-structure sharing: only segment 0 was rebuilt.
+  EXPECT_NE(base_after, base_before);
+  EXPECT_NE(base_after->segment_ptr(0), base_before->segment_ptr(0));
+  for (int64_t s = 1; s < 4; ++s) {
+    EXPECT_EQ(base_after->segment_ptr(s), base_before->segment_ptr(s));
+    EXPECT_EQ(base_after->segment_generation(s),
+              base_before->segment_generation(s));
+  }
+  EXPECT_EQ(dyn.base_generation(), gen_before + 1);
+  EXPECT_EQ(base_after->generation_of(1), gen_before + 1);
+
+  // The fold landed: new snapshots read the merged weight from the base
+  // with no overlay left.
+  EXPECT_EQ(dyn.num_delta_entries(), 0);
+  auto snap = dyn.MakeSnapshot();
+  EXPECT_FALSE(snap.MaybeHasDelta(1));
+  // +2 on the (1,2) half; NEAR, not EQ — the fold re-rounds each coalesced
+  // weight to float once (random base weights are not float-exact sums).
+  EXPECT_NEAR(snap.TotalWeight(1), pinned.TotalWeight(1) + 2.0, 1e-4);
+  // The pinned old-base snapshot still reads its (pre-fold) segment 0 rows
+  // — zero-copy spans stayed valid; it lost only delta visibility (the
+  // short-read-lease contract).
+  EXPECT_EQ(&pinned.base(), base_before.get());
+  EXPECT_EQ(pinned.base().degree(1), base_before->degree(1));
+}
+
+TEST(IncrementalCompactionTest, SafeTruncateEpochBoundsPartialFolds) {
+  HeteroGraph g = MakeContentGraph(14, 13);
+  DynamicHeteroGraphOptions opt;
+  opt.segment_span = 4;
+  GraphDeltaLog log(1);
+  DynamicHeteroGraph dyn(&g, opt);
+
+  // Epoch e1 touches segment 0 (edge 0-1); epoch e2 touches segment 2
+  // (edge 8-9).
+  auto b1 = MakeBatch(&log, 0, {{0, 1, RelationKind::kClick, 1.0f, 0}}, &dyn);
+  ASSERT_TRUE(dyn.ApplyBatch(b1).ok());
+  auto b2 = MakeBatch(&log, 0, {{8, 9, RelationKind::kClick, 1.0f, 0}}, &dyn);
+  ASSERT_TRUE(dyn.ApplyBatch(b2).ok());
+
+  // Folding only segment 2 leaves epoch e1's halves pending in segment 0:
+  // the log may truncate through e1 - 1 only.
+  ASSERT_TRUE(dyn.CompactSegments({2}).ok());
+  EXPECT_EQ(dyn.SafeTruncateEpoch(), b1.epoch - 1);
+  log.Truncate(dyn.SafeTruncateEpoch());
+  EXPECT_EQ(log.ReadSince(0).size(), 2u);  // both batches survive
+
+  // After segment 0 folds too, everything is absorbed.
+  ASSERT_TRUE(dyn.CompactSegments({0}).ok());
+  EXPECT_EQ(dyn.SafeTruncateEpoch(), dyn.watermark_epoch());
+  log.Truncate(dyn.SafeTruncateEpoch());
+  EXPECT_EQ(log.ReadSince(0).size(), 0u);
+}
+
+// --- Per-type capacity limits (id-space growth) -----------------------------
+
+TEST(NodeCapacityTest, TypedAllocationEnforcesPerTypeCap) {
+  HeteroGraph g = MakeTinyGraph(2);  // 2 base items
+  DynamicHeteroGraphOptions opt;
+  opt.max_nodes_per_type[static_cast<int>(NodeType::kItem)] = 4;  // +2 room
+  GraphDeltaLog log(1);
+  DynamicHeteroGraph dyn(&g, opt);
+  IngestOptions iopt;
+  iopt.num_shards = 1;
+  IngestPipeline pipeline(&log, &dyn, iopt);
+  pipeline.Start();
+
+  auto id1 = pipeline.OfferNewNode(MakeItemEvent());
+  auto id2 = pipeline.OfferNewNode(MakeItemEvent());
+  ASSERT_TRUE(id1.ok());
+  ASSERT_TRUE(id2.ok());
+  EXPECT_EQ(dyn.num_nodes_of_type(NodeType::kItem), 4);
+
+  const int64_t allocated_before = dyn.num_nodes_allocated();
+  auto id3 = pipeline.OfferNewNode(MakeItemEvent());
+  ASSERT_FALSE(id3.ok());
+  EXPECT_EQ(id3.status().code(), StatusCode::kOutOfRange);
+  // The rejection burned nothing: no id, no record, no pending epoch.
+  EXPECT_EQ(dyn.num_nodes_allocated(), allocated_before);
+  EXPECT_EQ(dyn.num_nodes_of_type(NodeType::kItem), 4);
+  int64_t rejected = 0;
+  for (int64_t c : pipeline.Stats().rejected_capacity) rejected += c;
+  EXPECT_EQ(rejected, 1);
+
+  // Uncapped types still mint, and ingest over the minted ids still works.
+  NodeEvent user;
+  user.type = NodeType::kUser;
+  user.content = std::vector<float>(kDim, 0.5f);
+  auto uid = pipeline.OfferNewNode(std::move(user));
+  ASSERT_TRUE(uid.ok());
+  graph::SessionRecord session;
+  session.user = uid.value();
+  session.query = 1;
+  session.clicks = {id1.value()};
+  ASSERT_TRUE(pipeline.Offer(session));
+  pipeline.Flush();
+  EXPECT_GT(dyn.MakeSnapshot().Degree(id1.value()), 0);
+  pipeline.Stop();
+}
+
+// --- TTL'd truncation of the delta log itself -------------------------------
+
+TEST(DeltaLogTtlTest, TruncateExpiredDropsOnlyFullyAgedAppliedBatches) {
+  GraphDeltaLog log(2);
+  // Old batch: every event aged out. Mixed batch: one event still fresh.
+  log.Append(0, {{0, 1, RelationKind::kClick, 1.0f, /*timestamp=*/100}});
+  const uint64_t mixed =
+      log.Append(1, {{0, 1, RelationKind::kClick, 1.0f, 100},
+                     {1, 2, RelationKind::kClick, 1.0f, 950}});
+  const uint64_t fresh_epoch =
+      log.Append(0, {{1, 2, RelationKind::kSession, 1.0f, 990}});
+
+  DecaySpec spec = DecaySpec::Window(/*ttl_seconds=*/200,
+                                     /*half_life_seconds=*/0.0);
+  // max_epoch below the old batch: nothing droppable yet (unapplied guard).
+  EXPECT_EQ(log.TruncateExpired(spec, /*now=*/1000, /*max_epoch=*/0), 0);
+  // Applied watermark covers everything: only the fully-aged batch drops.
+  EXPECT_EQ(log.TruncateExpired(spec, 1000, fresh_epoch), 1);
+  auto left = log.ReadSince(0);
+  ASSERT_EQ(left.size(), 2u);
+  EXPECT_EQ(left[0].epoch, mixed);
+  EXPECT_EQ(log.Stats().total_events, 3);
+  // No TTL configured => never drops.
+  EXPECT_EQ(log.TruncateExpired(DecaySpec{}, 1000000, fresh_epoch), 0);
+}
+
+// --- Node-TTL groundwork (cold-start reclamation at fold time) --------------
+
+TEST(ColdNodeTtlTest, IsolatedColdNodesFoldToStubsAndReclaim) {
+  HeteroGraph g = MakeTinyGraph(2);
+  DynamicHeteroGraphOptions opt;
+  opt.segment_span = 4;
+  opt.cold_node_ttl_seconds = 100;
+  GraphDeltaLog log(1);
+  DynamicHeteroGraph dyn(&g, opt);
+  ManualClock clock;
+  clock.SetSeconds(1000);
+  dyn.SetClock(&clock);
+
+  // Cold arrival: a node that never accumulates an edge. Warm arrival: a
+  // node introduced with a click (lifetime traffic > cold_node_max_degree).
+  auto cold_batch = MakeNodeBatch(&log, 0, &dyn, {MakeItemEvent(0.4f, 1000)});
+  ASSERT_TRUE(dyn.ApplyBatch(cold_batch).ok());
+  const NodeId cold_id = cold_batch.node_events[0].id;
+  auto warm_batch = MakeNodeBatch(
+      &log, 0, &dyn, {MakeItemEvent(0.6f, 1000)},
+      {{1, -1, RelationKind::kClick, 2.0f, 1000}});
+  ASSERT_TRUE(dyn.ApplyBatch(warm_batch).ok());
+  const NodeId warm_id = warm_batch.node_events[0].id;
+
+  // Before the TTL elapses, a fold keeps the cold node's payload.
+  ASSERT_TRUE(dyn.Compact().ok());
+  EXPECT_EQ(dyn.expired_cold_nodes(), 0);
+  auto snap1 = dyn.MakeSnapshot();
+  EXPECT_FLOAT_EQ(snap1.content(cold_id)[0], 0.4f);
+
+  // A later fold past the TTL reclaims it: stub row, zeroed content, type
+  // retained, id-space stable; the warm node is untouched.
+  clock.AdvanceSeconds(200);
+  ASSERT_TRUE(dyn.Compact().ok());
+  EXPECT_EQ(dyn.expired_cold_nodes(), 0)
+      << "already-folded rows must not re-qualify";
+  // Reclamation happens at the fold that first absorbs the node past its
+  // TTL — mint a fresh cold node and age it out.
+  auto cold2 = MakeNodeBatch(&log, 0, &dyn, {MakeItemEvent(0.7f, 1200)});
+  ASSERT_TRUE(dyn.ApplyBatch(cold2).ok());
+  const NodeId cold2_id = cold2.node_events[0].id;
+  clock.AdvanceSeconds(300);
+  ASSERT_TRUE(dyn.Compact().ok());
+  EXPECT_EQ(dyn.expired_cold_nodes(), 1);
+  auto snap2 = dyn.MakeSnapshot();
+  ASSERT_GT(snap2.num_nodes(), cold2_id);
+  EXPECT_EQ(snap2.node_type(cold2_id), NodeType::kItem);
+  EXPECT_EQ(snap2.Degree(cold2_id), 0);
+  EXPECT_FLOAT_EQ(snap2.content(cold2_id)[0], 0.0f);  // reclaimed payload
+  EXPECT_GT(snap2.Degree(warm_id), 0);
+  EXPECT_FLOAT_EQ(snap2.content(warm_id)[0], 0.6f);
+}
+
+// --- CompactSegments racing online node minting (TSan) ----------------------
+
+TEST(IncrementalCompactionTest, SegmentFoldsRaceOfferNewNode) {
+  HeteroGraph g = MakeContentGraph(14, 3);
+  DynamicHeteroGraphOptions opt;
+  opt.segment_span = 4;
+  GraphDeltaLog log(2);
+  DynamicHeteroGraph dyn(&g, opt);
+  IngestOptions iopt;
+  iopt.num_shards = 2;
+  iopt.batch_size = 4;
+  IngestPipeline pipeline(&log, &dyn, iopt);
+  pipeline.Start();
+
+  constexpr int kMints = 24;
+  std::vector<NodeId> minted(kMints, -1);
+  std::thread minter([&] {
+    Rng rng(17);
+    for (int i = 0; i < kMints; ++i) {
+      auto id = pipeline.OfferNewNode(
+          MakeItemEvent(0.2f + 0.01f * i),
+          {{1, -1, RelationKind::kClick, 1.0f, 0}});
+      ASSERT_TRUE(id.ok());
+      minted[i] = id.value();
+      graph::SessionRecord session;
+      session.user = 0;
+      session.query = 1;
+      session.clicks = {minted[rng.Uniform(i + 1)]};
+      pipeline.Offer(session);
+    }
+  });
+  std::atomic<bool> stop_readers{false};
+  std::thread reader([&] {
+    Rng rng(29);
+    while (!stop_readers.load(std::memory_order_acquire)) {
+      auto snap = dyn.MakeSnapshot();
+      const NodeId n = static_cast<NodeId>(rng.Uniform(snap.num_nodes()));
+      snap.SampleNeighbor(n, &rng);
+      std::vector<graph::NeighborEntry> out;
+      snap.Neighbors(1, &out);
+    }
+  });
+  // Rotate incremental folds across segments (including the growing
+  // frontier) while minting and reads are in flight — the quiescence
+  // handshake parks OfferNewNode's producer-side apply at batch
+  // boundaries.
+  for (int round = 0; round < 12; ++round) {
+    auto folded = dyn.CompactSegments({round % 5});
+    ASSERT_TRUE(folded.ok());
+  }
+  minter.join();
+  stop_readers.store(true, std::memory_order_release);
+  reader.join();
+  pipeline.Flush();
+  ASSERT_TRUE(dyn.Compact().ok());
+
+  // Conservation: every minted node survived the folds with its intro
+  // click's mass, renumber-free.
+  auto snap = dyn.MakeSnapshot();
+  EXPECT_EQ(snap.num_nodes(), g.num_nodes() + kMints);
+  for (NodeId id : minted) {
+    ASSERT_GE(id, g.num_nodes());
+    EXPECT_EQ(snap.node_type(id), NodeType::kItem);
+    EXPECT_GE(snap.TotalWeight(id), 1.0 - 1e-6);
+  }
   pipeline.Stop();
 }
 
