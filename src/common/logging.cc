@@ -1,5 +1,7 @@
 #include "common/logging.h"
 
+#include <cctype>
+
 namespace zoomer {
 
 namespace {
@@ -24,6 +26,32 @@ LogLevel GetLogLevel() {
 void SetLogLevel(LogLevel level) {
   g_log_level.store(static_cast<int>(level), std::memory_order_relaxed);
 }
+
+void SetLogLevelFromEnv() {
+  const char* raw = std::getenv("ZOOMER_LOG_LEVEL");
+  if (raw == nullptr || *raw == '\0') return;
+  std::string value(raw);
+  for (char& c : value) c = static_cast<char>(std::toupper(c));
+  if (value == "DEBUG" || value == "0") {
+    SetLogLevel(LogLevel::kDebug);
+  } else if (value == "INFO" || value == "1") {
+    SetLogLevel(LogLevel::kInfo);
+  } else if (value == "WARNING" || value == "WARN" || value == "2") {
+    SetLogLevel(LogLevel::kWarning);
+  } else if (value == "ERROR" || value == "3") {
+    SetLogLevel(LogLevel::kError);
+  }
+  // Anything else: keep the current threshold rather than guessing.
+}
+
+namespace {
+/// Applies ZOOMER_LOG_LEVEL during static initialization so every binary
+/// linking the library honors it without explicit setup.
+struct EnvLogLevelInit {
+  EnvLogLevelInit() { SetLogLevelFromEnv(); }
+};
+const EnvLogLevelInit g_env_log_level_init;
+}  // namespace
 
 namespace internal {
 

@@ -7,6 +7,7 @@
 #define ZOOMER_COMMON_LOGGING_H_
 
 #include <atomic>
+#include <cstdint>
 #include <cstdlib>
 #include <iostream>
 #include <mutex>
@@ -20,6 +21,13 @@ enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 /// Global log threshold; messages below it are discarded.
 LogLevel GetLogLevel();
 void SetLogLevel(LogLevel level);
+
+/// Re-reads ZOOMER_LOG_LEVEL from the environment and applies it. Accepts
+/// DEBUG/INFO/WARNING/WARN/ERROR (any case) or the numeric level 0-3; an
+/// unset or unparsable value leaves the current threshold unchanged.
+/// Applied once automatically at process startup (static initialization),
+/// exposed so tests and long-lived tools can re-apply it.
+void SetLogLevelFromEnv();
 
 namespace internal {
 
@@ -49,6 +57,21 @@ class LogMessage {
 #define ZLOG_ERROR \
   ::zoomer::internal::LogMessage(::zoomer::LogLevel::kError, __FILE__, __LINE__).stream()
 #define ZLOG(level) ZLOG_##level
+
+/// Rate-limited logging for per-request/per-event instrumentation: emits the
+/// 1st, (n+1)th, (2n+1)th, ... hit of this particular macro expansion site
+/// (each site keeps its own counter), so hot-path drop logging cannot flood
+/// stderr. The empty if-branch keeps dangling-else safe:
+///   ZLOG_EVERY_N(WARNING, 1024) << "dropped event " << ev;
+#define ZLOG_EVERY_N(level, n)                                               \
+  if (!([]() -> bool {                                                       \
+        static std::atomic<int64_t> zlog_every_n_counter{0};                 \
+        return zlog_every_n_counter.fetch_add(                               \
+                   1, std::memory_order_relaxed) % (n) == 0;                 \
+      }()))                                                                  \
+    ;                                                                        \
+  else                                                                       \
+    ZLOG(level)
 
 #define ZCHECK(cond)                                                         \
   if (!(cond))                                                               \

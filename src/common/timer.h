@@ -32,9 +32,20 @@ class WallTimer {
 
 /// Accumulates scalar samples (e.g., per-request latencies) and reports
 /// summary statistics including percentiles.
+///
+/// Single-thread contract: this is an offline/reporting accumulator — Add()
+/// and the query methods must not race. Hot multi-threaded paths use
+/// obs::Histogram (lock-free, no sort) instead; LatencyStats keeps exact
+/// percentiles for benches and tests that tally on one thread.
+///
+/// Percentile() sorts lazily and caches the sorted order, so repeated
+/// quantile queries (p50/p90/p99/...) between Adds sort once, not per call.
 class LatencyStats {
  public:
-  void Add(double v) { samples_.push_back(v); }
+  void Add(double v) {
+    samples_.push_back(v);
+    sorted_valid_ = false;
+  }
 
   size_t count() const { return samples_.size(); }
 
@@ -65,24 +76,39 @@ class LatencyStats {
                : *std::max_element(samples_.begin(), samples_.end());
   }
 
-  /// p in [0, 100]. Nearest-rank percentile over a sorted copy.
+  /// p in [0, 100]. Interpolated nearest-rank percentile; sorts at most
+  /// once per batch of Adds (cached until the next Add/Clear).
   double Percentile(double p) const {
     if (samples_.empty()) return 0.0;
-    std::vector<double> sorted = samples_;
-    std::sort(sorted.begin(), sorted.end());
-    double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+    EnsureSorted();
+    double rank = p / 100.0 * static_cast<double>(sorted_.size() - 1);
     size_t lo = static_cast<size_t>(rank);
-    size_t hi = std::min(lo + 1, sorted.size() - 1);
+    size_t hi = std::min(lo + 1, sorted_.size() - 1);
     double frac = rank - static_cast<double>(lo);
-    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+    return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
   }
 
-  void Clear() { samples_.clear(); }
+  void Clear() {
+    samples_.clear();
+    sorted_.clear();
+    sorted_valid_ = false;
+  }
 
   const std::vector<double>& samples() const { return samples_; }
 
  private:
+  void EnsureSorted() const {
+    if (sorted_valid_) return;
+    sorted_ = samples_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+  }
+
   std::vector<double> samples_;
+  // Lazily maintained sorted copy (single-thread contract makes the
+  // mutable cache safe).
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
 };
 
 }  // namespace zoomer

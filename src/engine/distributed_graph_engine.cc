@@ -6,6 +6,7 @@
 
 #include "common/logging.h"
 #include "graph/graph_view.h"
+#include "obs/metrics.h"
 #include "streaming/dynamic_hetero_graph.h"
 
 namespace zoomer {
@@ -116,6 +117,12 @@ DistributedGraphEngine::DistributedGraphEngine(const graph::HeteroGraph* g,
     : options_(options) {
   ZCHECK_GT(options_.num_shards, 0);
   ZCHECK_GT(options_.replication_factor, 0);
+  obs::MetricsRegistry* reg = options_.registry != nullptr
+                                  ? options_.registry
+                                  : obs::MetricsRegistry::Global();
+  sample_requests_ = reg->GetCounter("engine.sample_requests");
+  update_events_ = reg->GetCounter("engine.update_events");
+  sample_latency_us_ = reg->GetHistogram("engine.sample_latency_us");
   for (int s = 0; s < options_.num_shards; ++s) {
     shard_update_events_.push_back(std::make_unique<std::atomic<int64_t>>(0));
     for (int r = 0; r < options_.replication_factor; ++r) {
@@ -136,6 +143,7 @@ void DistributedGraphEngine::RecordShardUpdate(int shard, int64_t num_events) {
   if (shard < 0 || shard >= options_.num_shards) return;
   shard_update_events_[shard]->fetch_add(num_events,
                                          std::memory_order_relaxed);
+  update_events_->Add(num_events);
 }
 
 DistributedGraphEngine::~DistributedGraphEngine() = default;
@@ -157,12 +165,18 @@ std::future<StatusOr<SampleResponse>> DistributedGraphEngine::SampleAsync(
   Replica* rep = replicas_[best].get();
   rep->requests.fetch_add(1, std::memory_order_relaxed);
   rep->inflight.fetch_add(1, std::memory_order_relaxed);
+  sample_requests_->Add(1);
   const int rpc_micros = options_.simulated_rpc_micros;
-  return rep->worker->Submit([rep, req, rpc_micros] {
+  obs::Histogram* latency_hist = sample_latency_us_;
+  return rep->worker->Submit([rep, req, rpc_micros, latency_hist] {
     if (rpc_micros > 0) {
       std::this_thread::sleep_for(std::chrono::microseconds(rpc_micros));
     }
+    // Service time on the replica worker (the simulated RPC delay is load,
+    // not work — excluded).
+    const int64_t start_us = obs::MonotonicMicros();
     auto result = rep->shard->Sample(req);
+    latency_hist->Record(obs::MonotonicMicros() - start_us);
     rep->inflight.fetch_sub(1, std::memory_order_relaxed);
     return result;
   });

@@ -19,6 +19,12 @@
 #include "graph/hetero_graph.h"
 
 namespace zoomer {
+namespace obs {
+class Counter;
+class Histogram;
+class MetricsRegistry;
+}  // namespace obs
+
 namespace streaming {
 class DynamicHeteroGraph;
 }  // namespace streaming
@@ -31,6 +37,9 @@ struct EngineOptions {
   /// Simulated per-request network + serialization latency (microseconds);
   /// 0 disables the artificial delay (pure in-memory cost).
   int simulated_rpc_micros = 0;
+  /// Metrics registry for engine throughput instruments ("engine." names).
+  /// Null means the process-global registry.
+  obs::MetricsRegistry* registry = nullptr;
 };
 
 struct SampleRequest {
@@ -124,6 +133,11 @@ class DistributedGraphEngine {
   };
 
   EngineOptions options_;
+  /// Registry-owned throughput instruments (resolved once at construction;
+  /// Stats() stays the exact per-engine view from the atomics above).
+  obs::Counter* sample_requests_ = nullptr;   // engine.sample_requests
+  obs::Counter* update_events_ = nullptr;     // engine.update_events
+  obs::Histogram* sample_latency_us_ = nullptr;  // engine.sample_latency_us
   std::vector<std::unique_ptr<Replica>> replicas_;  // shard-major layout
   std::vector<std::unique_ptr<std::atomic<int64_t>>> shard_update_events_;
 };

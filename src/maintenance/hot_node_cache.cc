@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "obs/trace.h"
 #include "streaming/dynamic_hetero_graph.h"
 
 namespace zoomer {
@@ -14,12 +15,29 @@ using graph::NodeId;
 
 HotNodeOverlayCache::HotNodeOverlayCache(int64_t num_nodes,
                                          HotNodeCacheOptions options)
-    : options_(options), slots_(static_cast<size_t>(num_nodes)) {
+    : options_(options),
+      slots_(static_cast<size_t>(num_nodes)),
+      registry_(options.registry != nullptr ? options.registry
+                                            : obs::MetricsRegistry::Global()) {
   ZCHECK_GT(options_.min_delta_entries, 0);
   ZCHECK_GE(num_nodes, 0);
+  const std::pair<const char*, const obs::Counter*> views[] = {
+      {"maintenance.hot_cache.hits", &hits_},
+      {"maintenance.hot_cache.misses", &misses_},
+      {"maintenance.hot_cache.installs", &installs_},
+      {"maintenance.hot_cache.rejected_installs", &rejected_installs_},
+      {"maintenance.hot_cache.invalidations", &invalidations_},
+  };
+  for (const auto& [name, view] : views) {
+    registry_->RegisterCounter(name, view);
+    registered_.emplace_back(name, view);
+  }
 }
 
 HotNodeOverlayCache::~HotNodeOverlayCache() {
+  for (const auto& [name, ptr] : registered_) {
+    registry_->Unregister(name, ptr);
+  }
   // Contract: no pins (snapshots) outlive the cache, so everything is
   // reclaimable here.
   for (auto& slot : slots_) delete slot.load(std::memory_order_acquire);
@@ -81,7 +99,7 @@ const HotNodeOverlayCache::Entry* HotNodeOverlayCache::Find(
   // Ids born after the cache was sized (streamed id-space growth) simply
   // miss — they are served by the overlay until the next cache rebuild.
   if (node < 0 || node >= static_cast<NodeId>(slots_.size())) {
-    misses_.fetch_add(1, std::memory_order_relaxed);
+    misses_.Add(1);
     return nullptr;
   }
   const Entry* entry =
@@ -89,10 +107,10 @@ const HotNodeOverlayCache::Entry* HotNodeOverlayCache::Find(
   if (entry != nullptr && snapshot_epoch >= entry->overlay_version &&
       EntryValid(*entry, current_overlay_version, segment_generation,
                  decay_active, as_of_seconds, spec)) {
-    hits_.fetch_add(1, std::memory_order_relaxed);
+    hits_.Add(1);
     return entry;
   }
-  misses_.fetch_add(1, std::memory_order_relaxed);
+  misses_.Add(1);
   return nullptr;
 }
 
@@ -113,7 +131,7 @@ bool HotNodeOverlayCache::Install(NodeId node, Entry entry) {
   if (node < 0 || node >= static_cast<NodeId>(slots_.size())) {
     // The slot array is sized once; nodes born later stay uncached until a
     // rebuild (counted so the refresh policy's skips are observable).
-    rejected_installs_.fetch_add(1, std::memory_order_relaxed);
+    rejected_installs_.Add(1);
     return false;
   }
   std::lock_guard<std::mutex> lock(write_mu_);
@@ -122,14 +140,14 @@ bool HotNodeOverlayCache::Install(NodeId node, Entry entry) {
   if (old == nullptr) {
     if (total_entries_.load(std::memory_order_acquire) >=
         options_.max_entries) {
-      rejected_installs_.fetch_add(1, std::memory_order_relaxed);
+      rejected_installs_.Add(1);
       return false;
     }
     total_entries_.fetch_add(1, std::memory_order_acq_rel);
   }
   slot.store(new Entry(std::move(entry)), std::memory_order_release);
   if (old != nullptr) RetireLocked(old);
-  installs_.fetch_add(1, std::memory_order_relaxed);
+  installs_.Add(1);
   return true;
 }
 
@@ -143,7 +161,7 @@ void HotNodeOverlayCache::Invalidate(NodeId node) {
   Entry* old = slot.exchange(nullptr, std::memory_order_acq_rel);
   if (old == nullptr) return;
   total_entries_.fetch_sub(1, std::memory_order_acq_rel);
-  invalidations_.fetch_add(1, std::memory_order_relaxed);
+  invalidations_.Add(1);
   RetireLocked(old);
 }
 
@@ -162,8 +180,7 @@ void HotNodeOverlayCache::InvalidateRange(NodeId begin, NodeId end) {
   }
   if (cleared == 0) return;
   total_entries_.fetch_sub(cleared, std::memory_order_acq_rel);
-  invalidations_.fetch_add(static_cast<int64_t>(cleared),
-                           std::memory_order_relaxed);
+  invalidations_.Add(static_cast<int64_t>(cleared));
   MaybeReclaimLocked();
 }
 
@@ -177,8 +194,7 @@ void HotNodeOverlayCache::Clear() {
     retired_.push_back(old);
   }
   total_entries_.fetch_sub(cleared, std::memory_order_acq_rel);
-  invalidations_.fetch_add(static_cast<int64_t>(cleared),
-                           std::memory_order_relaxed);
+  invalidations_.Add(static_cast<int64_t>(cleared));
   MaybeReclaimLocked();
 }
 
@@ -188,11 +204,11 @@ size_t HotNodeOverlayCache::size() const {
 
 HotNodeCacheStats HotNodeOverlayCache::Stats() const {
   HotNodeCacheStats stats;
-  stats.hits = hits_.load(std::memory_order_relaxed);
-  stats.misses = misses_.load(std::memory_order_relaxed);
-  stats.installs = installs_.load(std::memory_order_relaxed);
-  stats.rejected_installs = rejected_installs_.load(std::memory_order_relaxed);
-  stats.invalidations = invalidations_.load(std::memory_order_relaxed);
+  stats.hits = hits_.Value();
+  stats.misses = misses_.Value();
+  stats.installs = installs_.Value();
+  stats.rejected_installs = rejected_installs_.Value();
+  stats.invalidations = invalidations_.Value();
   stats.entries = size();
   {
     std::lock_guard<std::mutex> lock(write_mu_);
@@ -206,6 +222,8 @@ HotNodeRefreshPolicy::HotNodeRefreshPolicy(
     : graph_(graph), cache_(cache) {
   ZCHECK(graph_ != nullptr);
   ZCHECK(cache_ != nullptr);
+  hit_ratio_ = obs::MetricsRegistry::Global()->GetGauge(
+      "maintenance.hot_cache.hit_ratio");
   graph_->AttachHotNodeCache(cache_);
 }
 
@@ -214,6 +232,7 @@ HotNodeRefreshPolicy::~HotNodeRefreshPolicy() {
 }
 
 StatusOr<MaintenanceReport> HotNodeRefreshPolicy::RunOnce() {
+  obs::TraceSpan span("hot_node_refresh");
   MaintenanceReport report;
   auto snap = graph_->MakeSnapshot();
   const auto hot = graph_->DeltaNodes(cache_->options().min_delta_entries);
@@ -246,6 +265,12 @@ StatusOr<MaintenanceReport> HotNodeRefreshPolicy::RunOnce() {
         std::vector<double>(entry.weights.begin(), entry.weights.end()));
     if (cache_->Install(node, std::move(entry))) ++installed;
   }
+  span.set_attr(installed);
+  // Janitor-cadence derived gauge: read ratio over the cache's lifetime.
+  const HotNodeCacheStats stats = cache_->Stats();
+  const int64_t lookups = stats.hits + stats.misses;
+  hit_ratio_->Set(lookups > 0 ? static_cast<double>(stats.hits) / lookups
+                              : 0.0);
   report.acted = installed > 0;
   if (report.acted) {
     report.detail = "materialized " + std::to_string(installed) + " of " +

@@ -48,11 +48,14 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "graph/alias_table.h"
 #include "graph/hetero_graph.h"
 #include "maintenance/maintenance_policy.h"
+#include "obs/metrics.h"
 #include "streaming/edge_decay.h"
 
 namespace zoomer {
@@ -93,6 +96,9 @@ struct HotNodeCacheOptions {
   /// entry's by at most this many seconds (0 = exact match only — decayed
   /// weights drift with every tick of the clock).
   int64_t decay_staleness_tolerance_seconds = 0;
+  /// Metrics registry the cache registers its counters with (names under
+  /// "maintenance.hot_cache."). Null means the process-global registry.
+  obs::MetricsRegistry* registry = nullptr;
 };
 
 struct HotNodeCacheStats {
@@ -181,11 +187,16 @@ class HotNodeOverlayCache {
   std::vector<Entry*> retired_;  // guarded by write_mu_
 
   std::atomic<size_t> total_entries_{0};
-  mutable std::atomic<int64_t> hits_{0};
-  mutable std::atomic<int64_t> misses_{0};
-  std::atomic<int64_t> installs_{0};
-  std::atomic<int64_t> rejected_installs_{0};
-  std::atomic<int64_t> invalidations_{0};
+  // Registry-backed instruments ("maintenance.hot_cache." names); kept as
+  // members so Stats() stays an exact per-cache view. Mutable: Find() is
+  // logically const but counts.
+  obs::MetricsRegistry* registry_;  // resolved (never null)
+  mutable obs::Counter hits_;
+  mutable obs::Counter misses_;
+  obs::Counter installs_;
+  obs::Counter rejected_installs_;
+  obs::Counter invalidations_;
+  std::vector<std::pair<std::string, const void*>> registered_;
 };
 
 /// Janitor policy that scans the dynamic graph for nodes past the hotness
@@ -206,6 +217,8 @@ class HotNodeRefreshPolicy final : public MaintenancePolicy {
  private:
   streaming::DynamicHeteroGraph* graph_;
   HotNodeOverlayCache* cache_;
+  /// Global-registry gauge refreshed each pass from the cache's counters.
+  obs::Gauge* hit_ratio_ = nullptr;
 };
 
 }  // namespace maintenance

@@ -3,13 +3,20 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/timer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace zoomer {
 namespace maintenance {
 
 MaintenanceScheduler::MaintenanceScheduler(MaintenanceSchedulerOptions options)
-    : options_(options), jitter_rng_(options.seed) {
+    : options_(options),
+      registry_(options.registry != nullptr ? options.registry
+                                            : obs::MetricsRegistry::Global()),
+      jitter_rng_(options.seed) {
   ZCHECK_GT(options_.num_threads, 0);
+  pass_errors_ = registry_->GetCounter("maintenance.pass_errors");
 }
 
 MaintenanceScheduler::~MaintenanceScheduler() { Stop(); }
@@ -27,6 +34,8 @@ void MaintenanceScheduler::AddPolicy(std::unique_ptr<MaintenancePolicy> policy,
   }
   auto entry = std::make_unique<Entry>();
   entry->stats.name = policy->name();
+  entry->pass_latency_us = registry_->GetHistogram(
+      "maintenance.pass_latency_us." + entry->stats.name);
   entry->policy = std::move(policy);
   entry->schedule = schedule;
   entries_.push_back(std::move(entry));
@@ -107,7 +116,16 @@ void MaintenanceScheduler::TimerLoop() {
 
 StatusOr<MaintenanceReport> MaintenanceScheduler::RunEntry(Entry* entry) {
   std::lock_guard<std::mutex> run_lock(entry->run_mu);
-  StatusOr<MaintenanceReport> result = entry->policy->RunOnce();
+  StatusOr<MaintenanceReport> result = [&]() -> StatusOr<MaintenanceReport> {
+    // Policy name() is a stable string literal per the interface contract,
+    // so the span can carry it beyond this frame.
+    obs::TraceSpan span(entry->policy->name(), nullptr,
+                        entry->pass_latency_us);
+    auto pass = entry->policy->RunOnce();
+    span.set_attr(pass.ok() && pass.value().acted ? 1 : 0);
+    return pass;
+  }();
+  if (!result.ok()) pass_errors_->Add(1);
   {
     std::lock_guard<std::mutex> stats_lock(stats_mu_);
     ++entry->stats.runs;

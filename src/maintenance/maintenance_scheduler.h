@@ -39,6 +39,13 @@
 #include "maintenance/maintenance_policy.h"
 
 namespace zoomer {
+
+namespace obs {
+class Counter;
+class Histogram;
+class MetricsRegistry;
+}  // namespace obs
+
 namespace maintenance {
 
 struct PolicySchedule {
@@ -54,6 +61,10 @@ struct MaintenanceSchedulerOptions {
   int num_threads = 1;
   /// Seed of the jitter Rng (deterministic tick spacing given one thread).
   uint64_t seed = 97;
+  /// Metrics registry for pass telemetry ("maintenance.pass_latency_us.
+  /// <policy>", "maintenance.pass_errors"). Null means the process-global
+  /// registry.
+  obs::MetricsRegistry* registry = nullptr;
 };
 
 /// Per-policy counters (snapshot, in registration order).
@@ -105,6 +116,9 @@ class MaintenanceScheduler {
   struct Entry {
     std::unique_ptr<MaintenancePolicy> policy;
     PolicySchedule schedule;
+    /// Registry-owned per-policy pass-latency histogram (resolved at
+    /// AddPolicy so RunEntry never touches the registry map).
+    obs::Histogram* pass_latency_us = nullptr;
     std::chrono::steady_clock::time_point next_due;
     /// Serializes passes of this policy (janitor vs. RunOnceForTest).
     std::mutex run_mu;
@@ -122,6 +136,8 @@ class MaintenanceScheduler {
   std::chrono::milliseconds JitteredPeriod(const PolicySchedule& schedule);
 
   MaintenanceSchedulerOptions options_;
+  obs::MetricsRegistry* registry_;      // resolved (never null)
+  obs::Counter* pass_errors_ = nullptr; // maintenance.pass_errors
   std::vector<std::unique_ptr<Entry>> entries_;
   std::vector<MaintenanceListener> listeners_;
 

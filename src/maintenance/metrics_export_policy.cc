@@ -1,0 +1,41 @@
+#include "maintenance/metrics_export_policy.h"
+
+#include <string>
+#include <utility>
+
+#include "obs/exporter.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace zoomer {
+namespace maintenance {
+
+MetricsExportPolicy::MetricsExportPolicy(MetricsExportPolicyOptions options)
+    : options_(std::move(options)) {
+  if (options_.registry == nullptr) {
+    options_.registry = obs::MetricsRegistry::Global();
+  }
+}
+
+StatusOr<MaintenanceReport> MetricsExportPolicy::RunOnce() {
+  obs::TraceSpan span("metrics_export");
+  obs::MetricsExporter exporter(options_.registry);
+  const obs::RegistrySnapshot snap = options_.registry->Snapshot();
+  span.set_attr(static_cast<int64_t>(snap.points.size()));
+  if (options_.sink) {
+    options_.sink(exporter.JsonLine());
+  }
+  if (!options_.json_path.empty()) {
+    Status appended = exporter.AppendJsonLine(options_.json_path);
+    if (!appended.ok()) return appended;
+  }
+  ++exports_;
+  MaintenanceReport report;
+  report.acted = true;
+  report.detail =
+      "exported " + std::to_string(snap.points.size()) + " metrics";
+  return report;
+}
+
+}  // namespace maintenance
+}  // namespace zoomer

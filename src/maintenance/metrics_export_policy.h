@@ -1,0 +1,54 @@
+// Scheduled metrics export (ISSUE 6 tentpole wiring): a maintenance policy
+// that snapshots the metrics registry on the janitor cadence and emits one
+// JSON line per pass — to a file (append), a caller sink, or both. Running
+// export as just another MaintenancePolicy means it inherits the scheduler's
+// jittered ticks, per-policy stats, and error accounting for free, and the
+// export pass itself shows up in "maintenance.pass_latency_us.metrics_export"
+// like any other janitor work.
+#ifndef ZOOMER_MAINTENANCE_METRICS_EXPORT_POLICY_H_
+#define ZOOMER_MAINTENANCE_METRICS_EXPORT_POLICY_H_
+
+#include <functional>
+#include <string>
+
+#include "maintenance/maintenance_policy.h"
+
+namespace zoomer {
+
+namespace obs {
+class MetricsRegistry;
+}  // namespace obs
+
+namespace maintenance {
+
+struct MetricsExportPolicyOptions {
+  /// Append each pass's JSON line here; empty disables the file sink.
+  std::string json_path;
+  /// Called with each pass's JSON line (in-process scrape hook for tests
+  /// and benches); null disables.
+  std::function<void(const std::string&)> sink;
+  /// Registry to snapshot. Null means the process-global registry.
+  obs::MetricsRegistry* registry = nullptr;
+};
+
+class MetricsExportPolicy final : public MaintenancePolicy {
+ public:
+  explicit MetricsExportPolicy(MetricsExportPolicyOptions options);
+
+  const char* name() const override { return "metrics_export"; }
+  /// Snapshots the registry and emits one JSON line to every configured
+  /// sink. A failed file append returns non-OK so the scheduler's
+  /// PolicyStats.errors counts it.
+  StatusOr<MaintenanceReport> RunOnce() override;
+
+  int64_t exports() const { return exports_; }
+
+ private:
+  MetricsExportPolicyOptions options_;
+  int64_t exports_ = 0;  // scheduler serializes RunOnce
+};
+
+}  // namespace maintenance
+}  // namespace zoomer
+
+#endif  // ZOOMER_MAINTENANCE_METRICS_EXPORT_POLICY_H_

@@ -3,6 +3,8 @@
 #include <string>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace zoomer {
 namespace maintenance {
@@ -15,9 +17,13 @@ TtlDecayPolicy::TtlDecayPolicy(streaming::DynamicHeteroGraph* graph,
   ZCHECK(graph_ != nullptr);
   ZCHECK(clock_ != nullptr) << "TTL/decay requires a logical clock";
   graph_->ConfigureDecay(spec, clock_);
+  obs::MetricsRegistry* reg = obs::MetricsRegistry::Global();
+  expired_nodes_ = reg->GetCounter("maintenance.ttl_expired_nodes");
+  log_truncated_ = reg->GetCounter("maintenance.ttl_log_batches_truncated");
 }
 
 StatusOr<MaintenanceReport> TtlDecayPolicy::RunOnce() {
+  obs::TraceSpan span("ttl_sweep");
   MaintenanceReport report;
   const int64_t now = clock_->NowSeconds();
   const int64_t before = graph_->num_delta_entries();
@@ -32,6 +38,9 @@ StatusOr<MaintenanceReport> TtlDecayPolicy::RunOnce() {
                               graph_->watermark_epoch());
     log_batches_truncated_ += truncated;
   }
+  expired_nodes_->Add(static_cast<int64_t>(report.touched.size()));
+  log_truncated_->Add(truncated);
+  span.set_attr(static_cast<int64_t>(report.touched.size()));
   report.acted = !report.touched.empty() || truncated > 0;
   if (report.acted) {
     report.detail =

@@ -28,6 +28,11 @@
 #include "streaming/graph_delta_log.h"
 
 namespace zoomer {
+
+namespace obs {
+class Counter;
+}  // namespace obs
+
 namespace maintenance {
 
 class TtlDecayPolicy final : public MaintenancePolicy {
@@ -50,6 +55,9 @@ class TtlDecayPolicy final : public MaintenancePolicy {
   const LogicalClock* clock_;
   streaming::GraphDeltaLog* log_;
   int64_t log_batches_truncated_ = 0;  // scheduler serializes RunOnce
+  // Global-registry counters (sweeps are process-level janitor work).
+  obs::Counter* expired_nodes_ = nullptr;
+  obs::Counter* log_truncated_ = nullptr;
 };
 
 }  // namespace maintenance

@@ -1,0 +1,212 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cmath>
+
+namespace zoomer {
+namespace obs {
+
+int64_t MonotonicMicros() {
+  // A fixed process-local origin keeps the values small and readable; the
+  // first caller pins it.
+  static const auto origin = std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - origin)
+      .count();
+}
+
+unsigned ThreadShardIndex() {
+  static std::atomic<unsigned> next{0};
+  thread_local const unsigned id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+// ---------------------------------------------------------------------------
+// Histogram bucketing
+
+int Histogram::BucketIndex(int64_t value) {
+  if (value < 0) value = 0;
+  const uint64_t u = static_cast<uint64_t>(value);
+  if (u < static_cast<uint64_t>(kSubBuckets)) return static_cast<int>(u);
+  const int exp = 63 - std::countl_zero(u);  // >= kSubBits here
+  const int sub =
+      static_cast<int>((u >> (exp - kSubBits)) & (kSubBuckets - 1));
+  return ((exp - kSubBits + 1) << kSubBits) | sub;
+}
+
+int64_t Histogram::BucketLowerBound(int index) {
+  if (index < kSubBuckets) return index;
+  const int block = index >> kSubBits;   // >= 1
+  const int sub = index & (kSubBuckets - 1);
+  return static_cast<int64_t>(kSubBuckets + sub) << (block - 1);
+}
+
+int64_t Histogram::BucketMidpoint(int index) {
+  if (index < kSubBuckets) return index;  // exact buckets
+  const int block = index >> kSubBits;
+  const int64_t width = static_cast<int64_t>(1) << (block - 1);
+  return BucketLowerBound(index) + (width >> 1);
+}
+
+HistogramSnapshot::HistogramSnapshot()
+    : counts_(Histogram::kNumBuckets, 0) {}
+
+int64_t HistogramSnapshot::Percentile(double p) const {
+  if (count_ == 0) return 0;
+  p = std::clamp(p, 0.0, 100.0);
+  const int64_t target = std::max<int64_t>(
+      1, static_cast<int64_t>(std::ceil(p / 100.0 *
+                                        static_cast<double>(count_))));
+  int64_t cumulative = 0;
+  for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+    cumulative += counts_[i];
+    if (cumulative >= target) return Histogram::BucketMidpoint(i);
+  }
+  return Max();
+}
+
+int64_t HistogramSnapshot::Max() const {
+  for (int i = Histogram::kNumBuckets - 1; i >= 0; --i) {
+    if (counts_[i] > 0) return Histogram::BucketMidpoint(i);
+  }
+  return 0;
+}
+
+void HistogramSnapshot::Merge(const HistogramSnapshot& other) {
+  for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  MergeInto(&snap);
+  return snap;
+}
+
+void Histogram::MergeInto(HistogramSnapshot* snap) const {
+  for (const Shard& shard : shards_) {
+    for (int i = 0; i < kNumBuckets; ++i) {
+      const int64_t c = shard.counts[i].load(std::memory_order_relaxed);
+      snap->counts_[i] += c;
+      snap->count_ += c;
+    }
+    snap->sum_ += shard.sum.load(std::memory_order_relaxed);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+
+MetricsRegistry* MetricsRegistry::Global() {
+  static MetricsRegistry* const g = new MetricsRegistry();  // leaked: see decl
+  return g;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry<Counter>& entry = counters_[name];
+  if (!entry.owned) entry.owned = std::make_unique<Counter>();
+  return entry.owned.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry<Gauge>& entry = gauges_[name];
+  if (!entry.owned) entry.owned = std::make_unique<Gauge>();
+  return entry.owned.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry<Histogram>& entry = histograms_[name];
+  if (!entry.owned) entry.owned = std::make_unique<Histogram>();
+  return entry.owned.get();
+}
+
+void MetricsRegistry::RegisterCounter(const std::string& name,
+                                      const Counter* view) {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_[name].views.push_back(view);
+}
+
+void MetricsRegistry::RegisterGauge(const std::string& name,
+                                    const Gauge* view) {
+  std::lock_guard<std::mutex> lock(mu_);
+  gauges_[name].views.push_back(view);
+}
+
+void MetricsRegistry::RegisterHistogram(const std::string& name,
+                                        const Histogram* view) {
+  std::lock_guard<std::mutex> lock(mu_);
+  histograms_[name].views.push_back(view);
+}
+
+void MetricsRegistry::Unregister(const std::string& name, const void* view) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto erase_from = [&](auto& table) {
+    auto it = table.find(name);
+    if (it == table.end()) return;
+    auto& views = it->second.views;
+    views.erase(std::remove(views.begin(), views.end(), view), views.end());
+    if (views.empty() && !it->second.owned) table.erase(it);
+  };
+  erase_from(counters_);
+  erase_from(gauges_);
+  erase_from(histograms_);
+}
+
+RegistrySnapshot MetricsRegistry::Snapshot() const {
+  RegistrySnapshot snap;
+  snap.monotonic_us = MonotonicMicros();
+  std::lock_guard<std::mutex> lock(mu_);
+  snap.points.reserve(counters_.size() + gauges_.size() + histograms_.size());
+  for (const auto& [name, entry] : counters_) {
+    MetricPoint point;
+    point.name = name;
+    point.kind = MetricKind::kCounter;
+    int64_t total = entry.owned ? entry.owned->Value() : 0;
+    for (const Counter* view : entry.views) total += view->Value();
+    point.value = static_cast<double>(total);
+    snap.points.push_back(std::move(point));
+  }
+  for (const auto& [name, entry] : gauges_) {
+    MetricPoint point;
+    point.name = name;
+    point.kind = MetricKind::kGauge;
+    // Max across registered instances: for staleness-style gauges the worst
+    // instance is the honest process-wide reading.
+    double v = entry.owned ? entry.owned->Value() : 0.0;
+    for (const Gauge* view : entry.views) v = std::max(v, view->Value());
+    point.value = v;
+    snap.points.push_back(std::move(point));
+  }
+  for (const auto& [name, entry] : histograms_) {
+    MetricPoint point;
+    point.name = name;
+    point.kind = MetricKind::kHistogram;
+    if (entry.owned) entry.owned->MergeInto(&point.hist);
+    for (const Histogram* view : entry.views) view->MergeInto(&point.hist);
+    snap.points.push_back(std::move(point));
+  }
+  std::sort(snap.points.begin(), snap.points.end(),
+            [](const MetricPoint& a, const MetricPoint& b) {
+              return a.name < b.name;
+            });
+  return snap;
+}
+
+const MetricPoint* RegistrySnapshot::Find(const std::string& name) const {
+  for (const MetricPoint& p : points) {
+    if (p.name == name) return &p;
+  }
+  return nullptr;
+}
+
+}  // namespace obs
+}  // namespace zoomer

@@ -1,0 +1,224 @@
+// Process-wide observability instruments (ISSUE 6): lock-free sharded
+// Counter/Gauge and a fixed-bucket log-scale Histogram whose record path is
+// two relaxed fetch_adds — no lock, no sort, mergeable across thread shards
+// and across instrument instances. A MetricsRegistry names instruments so a
+// running server can be scraped (OnlineServer::DumpMetrics) and the bench
+// artifact can carry the full snapshot.
+//
+// Two ownership modes coexist under one namespace of names:
+//  - registry-owned instruments: GetCounter/GetGauge/GetHistogram(name)
+//    returns a stable pointer shared by every caller of the same name.
+//  - component-owned views: a component keeps instruments as members (so its
+//    existing Stats() accessors stay exact per-instance views) and registers
+//    them with RegisterCounter/...; several instances registered under one
+//    name aggregate in Snapshot() (counters and histograms sum, gauges take
+//    the max — the conservative reading for staleness-style gauges).
+// Components must Unregister(name, ptr) before destroying a registered view.
+#ifndef ZOOMER_OBS_METRICS_H_
+#define ZOOMER_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace zoomer {
+namespace obs {
+
+/// Microseconds on the steady clock since an arbitrary process-local origin.
+/// Monotonic; use for durations and freshness ages, never wall timestamps.
+int64_t MonotonicMicros();
+
+/// Stable small integer for the calling thread, used to spread instrument
+/// writes across cache-line-padded shards.
+unsigned ThreadShardIndex();
+
+/// Monotonically increasing sum, sharded across cache lines so concurrent
+/// writers do not bounce a single line. Add() is one relaxed fetch_add.
+class Counter {
+ public:
+  static constexpr int kShards = 8;
+
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Add(int64_t n = 1) {
+    cells_[ThreadShardIndex() & (kShards - 1)].v.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+
+  int64_t Value() const {
+    int64_t total = 0;
+    for (const Cell& c : cells_) total += c.v.load(std::memory_order_relaxed);
+    return total;
+  }
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<int64_t> v{0};
+  };
+  Cell cells_[kShards];
+};
+
+/// Last-writer-wins instantaneous value (e.g. freshness lag, queue depth).
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(double v) { v_.store(v, std::memory_order_relaxed); }
+  double Value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+class Histogram;
+
+/// Point-in-time copy of a Histogram (or a merge of several). Percentiles
+/// walk the cumulative bucket counts — no sorting, error bounded by the
+/// log-scale bucket width (<= 1/16 relative, see Histogram).
+class HistogramSnapshot {
+ public:
+  HistogramSnapshot();
+
+  int64_t count() const { return count_; }
+  int64_t sum() const { return sum_; }
+  double Mean() const {
+    return count_ > 0 ? static_cast<double>(sum_) / count_ : 0.0;
+  }
+  /// Estimated value at percentile `p` in [0, 100]; 0 when empty. Returns
+  /// the midpoint of the bucket holding the p-th sample.
+  int64_t Percentile(double p) const;
+  /// Midpoint of the highest non-empty bucket (upper envelope of the data).
+  int64_t Max() const;
+
+  /// Adds another snapshot's buckets into this one (cross-shard /
+  /// cross-instance merge).
+  void Merge(const HistogramSnapshot& other);
+
+  const std::vector<int64_t>& bucket_counts() const { return counts_; }
+
+ private:
+  friend class Histogram;
+  std::vector<int64_t> counts_;
+  int64_t count_ = 0;
+  int64_t sum_ = 0;
+};
+
+/// Fixed-bucket log-scale latency/size histogram (HDR-style): values below
+/// 16 get exact unit buckets; above, each power of two splits into 16
+/// sub-buckets, so the relative quantile error is <= 1/16 (6.25%), halved to
+/// ~3.1% by reporting bucket midpoints. 976 buckets cover all of int64.
+/// Record() is two relaxed fetch_adds on a thread-sharded cell — safe from
+/// any thread, never locks, never allocates.
+class Histogram {
+ public:
+  static constexpr int kSubBits = 4;
+  static constexpr int kSubBuckets = 1 << kSubBits;  // 16
+  static constexpr int kNumBuckets = kSubBuckets * (64 - kSubBits + 1);  // 976
+  static constexpr int kThreadShards = 4;
+
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Record(int64_t value) {
+    Shard& shard = shards_[ThreadShardIndex() & (kThreadShards - 1)];
+    shard.counts[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+    shard.sum.fetch_add(value < 0 ? 0 : value, std::memory_order_relaxed);
+  }
+
+  /// Merged view over all thread shards.
+  HistogramSnapshot Snapshot() const;
+  /// Adds this histogram's buckets into an existing snapshot.
+  void MergeInto(HistogramSnapshot* snap) const;
+
+  /// Bucket index for a value (negatives clamp to bucket 0).
+  static int BucketIndex(int64_t value);
+  /// Inclusive lower bound of bucket `index`.
+  static int64_t BucketLowerBound(int index);
+  /// Representative (midpoint) value reported for bucket `index`.
+  static int64_t BucketMidpoint(int index);
+
+ private:
+  struct alignas(64) Shard {
+    std::array<std::atomic<int64_t>, kNumBuckets> counts{};
+    std::atomic<int64_t> sum{0};
+  };
+  Shard shards_[kThreadShards];
+};
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+/// One named metric in a registry snapshot.
+struct MetricPoint {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  double value = 0.0;       // counter / gauge
+  HistogramSnapshot hist;   // histogram only
+};
+
+struct RegistrySnapshot {
+  int64_t monotonic_us = 0;  // MonotonicMicros() at snapshot time
+  std::vector<MetricPoint> points;  // sorted by name
+
+  const MetricPoint* Find(const std::string& name) const;
+};
+
+/// Thread-safe name -> instrument directory. See file comment for the two
+/// ownership modes. Registration and Snapshot take a mutex; the instruments
+/// themselves stay lock-free — the registry is never on a record path.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Process-global registry (leaked singleton: components may unregister
+  /// during static destruction). Components default to this when their
+  /// options carry a null registry.
+  static MetricsRegistry* Global();
+
+  /// Returns the registry-owned instrument for `name`, creating it on first
+  /// use. The pointer is stable for the registry's lifetime and shared by
+  /// every caller of the same name.
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  /// Registers a component-owned instrument under `name`. Multiple views
+  /// (and a registry-owned instrument) may share a name; Snapshot()
+  /// aggregates them. The view must stay alive until Unregister.
+  void RegisterCounter(const std::string& name, const Counter* view);
+  void RegisterGauge(const std::string& name, const Gauge* view);
+  void RegisterHistogram(const std::string& name, const Histogram* view);
+
+  /// Removes a previously registered view (no-op if absent).
+  void Unregister(const std::string& name, const void* view);
+
+  RegistrySnapshot Snapshot() const;
+
+ private:
+  template <typename T>
+  struct Entry {
+    std::unique_ptr<T> owned;
+    std::vector<const T*> views;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry<Counter>> counters_;
+  std::map<std::string, Entry<Gauge>> gauges_;
+  std::map<std::string, Entry<Histogram>> histograms_;
+};
+
+}  // namespace obs
+}  // namespace zoomer
+
+#endif  // ZOOMER_OBS_METRICS_H_

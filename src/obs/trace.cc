@@ -1,0 +1,44 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+
+namespace zoomer {
+namespace obs {
+
+TraceRing::TraceRing(size_t capacity)
+    : capacity_(std::max<size_t>(1, capacity)) {
+  ring_.resize(capacity_);
+}
+
+TraceRing* TraceRing::Global() {
+  static TraceRing* const g = new TraceRing();
+  return g;
+}
+
+void TraceRing::Record(const TraceEvent& ev) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_[total_ % capacity_] = ev;
+  ++total_;
+}
+
+std::vector<TraceEvent> TraceRing::Recent(size_t max_events) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const size_t live = static_cast<size_t>(
+      std::min<uint64_t>(total_, capacity_));
+  const size_t n = std::min(max_events, live);
+  std::vector<TraceEvent> out;
+  out.reserve(n);
+  for (size_t i = live - n; i < live; ++i) {
+    // Oldest live event sits at total_ - live.
+    out.push_back(ring_[(total_ - live + i) % capacity_]);
+  }
+  return out;
+}
+
+uint64_t TraceRing::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+}  // namespace obs
+}  // namespace zoomer

@@ -1,0 +1,88 @@
+// Lightweight tracing: RAII TraceSpan scopes record (name, start, duration,
+// attr) events into a bounded ring buffer. The ring is a diagnostic tail —
+// "what did the last N maintenance passes / folds / batch cuts look like" —
+// not a distributed tracer; span names must be string literals (the ring
+// stores the pointer, not a copy).
+#ifndef ZOOMER_OBS_TRACE_H_
+#define ZOOMER_OBS_TRACE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace zoomer {
+namespace obs {
+
+struct TraceEvent {
+  const char* name = "";    // string literal (not owned)
+  int64_t start_us = 0;     // MonotonicMicros() at span entry
+  int64_t duration_us = 0;
+  int64_t attr = 0;         // span-defined (segment count, batch size, ...)
+};
+
+/// Fixed-capacity ring of the most recent trace events. Mutex-guarded:
+/// spans bound coarse operations (folds, sweeps, batch cuts), not
+/// per-request work, so contention is negligible.
+class TraceRing {
+ public:
+  explicit TraceRing(size_t capacity = 4096);
+  TraceRing(const TraceRing&) = delete;
+  TraceRing& operator=(const TraceRing&) = delete;
+
+  /// Process-global ring (leaked singleton, same rationale as
+  /// MetricsRegistry::Global).
+  static TraceRing* Global();
+
+  void Record(const TraceEvent& ev);
+
+  /// Up to `max_events` most recent events, oldest first.
+  std::vector<TraceEvent> Recent(size_t max_events = SIZE_MAX) const;
+
+  /// Total events ever recorded (recorded - capacity = dropped tail).
+  uint64_t total_recorded() const;
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> ring_;  // ring_[total_ % capacity_] is next slot
+  uint64_t total_ = 0;
+};
+
+/// RAII scope: stamps start on construction, records duration into `ring`
+/// (and optionally a latency histogram) on destruction. `name` must be a
+/// string literal or otherwise outlive the ring.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name, TraceRing* ring = nullptr,
+                     Histogram* latency = nullptr)
+      : ring_(ring != nullptr ? ring : TraceRing::Global()),
+        latency_(latency) {
+    ev_.name = name;
+    ev_.start_us = MonotonicMicros();
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  void set_attr(int64_t attr) { ev_.attr = attr; }
+
+  ~TraceSpan() {
+    ev_.duration_us = MonotonicMicros() - ev_.start_us;
+    if (latency_ != nullptr) latency_->Record(ev_.duration_us);
+    ring_->Record(ev_);
+  }
+
+ private:
+  TraceRing* ring_;
+  Histogram* latency_;
+  TraceEvent ev_;
+};
+
+}  // namespace obs
+}  // namespace zoomer
+
+#endif  // ZOOMER_OBS_TRACE_H_

@@ -4,9 +4,19 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/timer.h"
+#include "obs/metrics.h"
 
 namespace zoomer {
 namespace serving {
+
+AnnIndex::AnnIndex(AnnIndexOptions options) : options_(options) {
+  obs::MetricsRegistry* reg = options_.registry != nullptr
+                                  ? options_.registry
+                                  : obs::MetricsRegistry::Global();
+  search_latency_us_ = reg->GetHistogram("serving.ann_search_latency_us");
+  insert_latency_us_ = reg->GetHistogram("serving.ann_insert_latency_us");
+}
 
 void AnnIndex::Normalize(float* v) const {
   float norm = 0.0f;
@@ -87,6 +97,7 @@ Status AnnIndex::Insert(const float* vector, int64_t id) {
   if (dim_ == 0 || centroids_.empty()) {
     return Status::FailedPrecondition("index not built");
   }
+  WallTimer timer;
   std::vector<float> row(vector, vector + dim_);
   Normalize(row.data());
   // Nearest coarse centroid — centroids are immutable after Build, so this
@@ -107,10 +118,12 @@ Status AnnIndex::Insert(const float* vector, int64_t id) {
   data_.insert(data_.end(), row.begin(), row.end());
   ids_.push_back(id);
   lists_[best_c].push_back(new_row);
+  insert_latency_us_->Record(static_cast<int64_t>(timer.ElapsedMicros()));
   return Status::OK();
 }
 
 std::vector<AnnResult> AnnIndex::Search(const float* query, int k) const {
+  WallTimer timer;
   std::vector<float> q(query, query + dim_);
   Normalize(q.data());
   std::shared_lock<std::shared_mutex> lock(mu_);
@@ -140,6 +153,7 @@ std::vector<AnnResult> AnnIndex::Search(const float* query, int k) const {
                       return a.score > b.score;
                     });
   results.resize(keep);
+  search_latency_us_->Record(static_cast<int64_t>(timer.ElapsedMicros()));
   return results;
 }
 

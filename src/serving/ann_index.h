@@ -15,6 +15,12 @@
 #include "common/status.h"
 
 namespace zoomer {
+
+namespace obs {
+class Histogram;
+class MetricsRegistry;
+}  // namespace obs
+
 namespace serving {
 
 struct AnnIndexOptions {
@@ -22,6 +28,10 @@ struct AnnIndexOptions {
   int nprobe = 4;        // lists scanned per query
   int kmeans_iters = 8;
   uint64_t seed = 17;
+  /// Metrics registry for search/insert timing histograms
+  /// ("serving.ann_search_latency_us", "serving.ann_insert_latency_us").
+  /// Null means the process-global registry.
+  obs::MetricsRegistry* registry = nullptr;
 };
 
 struct AnnResult {
@@ -31,7 +41,7 @@ struct AnnResult {
 
 class AnnIndex {
  public:
-  explicit AnnIndex(AnnIndexOptions options) : options_(options) {}
+  explicit AnnIndex(AnnIndexOptions options);
 
   /// Builds the index over `vectors` (n x dim, row-major), with ids[i]
   /// attached to row i. Vectors are L2-normalized internally. Not
@@ -63,6 +73,9 @@ class AnnIndex {
   void Normalize(float* v) const;
 
   AnnIndexOptions options_;
+  /// Registry-owned timing histograms (resolved once at construction).
+  obs::Histogram* search_latency_us_ = nullptr;
+  obs::Histogram* insert_latency_us_ = nullptr;
   int dim_ = 0;  // fixed at Build
   /// Guards the row storage against Insert-vs-Search races; centroids are
   /// fixed after Build so the coarse quantizer reads stay unguarded.

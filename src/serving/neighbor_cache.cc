@@ -4,6 +4,7 @@
 #include <chrono>
 #include <thread>
 
+#include "common/timer.h"
 #include "streaming/dynamic_hetero_graph.h"
 
 namespace zoomer {
@@ -15,7 +16,32 @@ NeighborCache::NeighborCache(const graph::HeteroGraph* g,
                              NeighborCacheOptions options)
     : graph_(g),
       options_(options),
-      refresher_(std::make_unique<ThreadPool>(options.refresh_threads)) {}
+      registry_(options.registry != nullptr ? options.registry
+                                            : obs::MetricsRegistry::Global()),
+      refresher_(std::make_unique<ThreadPool>(options.refresh_threads)) {
+  fill_latency_us_ =
+      registry_->GetHistogram("serving.neighbor_cache.fill_latency_us");
+  auto counter = [this](const std::string& name, const obs::Counter* c) {
+    registry_->RegisterCounter(name, c);
+    registered_.emplace_back(name, c);
+  };
+  counter("serving.neighbor_cache.hits", &hits_);
+  counter("serving.neighbor_cache.misses", &misses_);
+  counter("serving.neighbor_cache.invalidations", &invalidations_);
+  counter("serving.neighbor_cache.scheduled_fills", &scheduled_fills_);
+  counter("serving.neighbor_cache.completed_fills", &completed_fills_);
+}
+
+NeighborCache::~NeighborCache() {
+  // Join in-flight fills (they bump the counters below) before the registry
+  // stops seeing the views and the members die. Shutdown() rather than
+  // reset(): a fill that re-runs itself reads `refresher_` from its worker
+  // thread, so the unique_ptr must not be mutated until workers are joined.
+  refresher_->Shutdown();
+  for (const auto& [name, ptr] : registered_) {
+    registry_->Unregister(name, ptr);
+  }
+}
 
 void NeighborCache::AttachDynamicGraph(
     const streaming::DynamicHeteroGraph* dynamic) {
@@ -65,14 +91,14 @@ bool NeighborCache::Get(NodeId node, std::vector<NodeId>* out) {
     auto it = cache_.find(node);
     if (it != cache_.end()) {
       *out = it->second;
-      hits_.fetch_add(1, std::memory_order_relaxed);
+      hits_.Add(1);
       return true;
     }
     // Checked under the shared lock so a miss burst on a cold node does not
     // serialize every reader behind ScheduleFill's writer lock.
     fill_pending = pending_fills_.count(node) > 0;
   }
-  misses_.fetch_add(1, std::memory_order_relaxed);
+  misses_.Add(1);
   if (!fill_pending) ScheduleFill(node);
   return false;
 }
@@ -87,7 +113,7 @@ void NeighborCache::ScheduleFill(NodeId node) {
 }
 
 void NeighborCache::SubmitFill(NodeId node) {
-  scheduled_fills_.fetch_add(1, std::memory_order_relaxed);
+  scheduled_fills_.Add(1);
   refresher_->Submit([this, node] { FillTask(node); });
 }
 
@@ -96,7 +122,9 @@ void NeighborCache::FillTask(NodeId node) {
     std::this_thread::sleep_for(
         std::chrono::microseconds(options_.refresh_delay_micros));
   }
+  WallTimer fill_timer;
   auto topk = ComputeTopK(node);
+  fill_latency_us_->Record(static_cast<int64_t>(fill_timer.ElapsedMicros()));
   bool rerun = false;
   {
     std::unique_lock<std::shared_mutex> lock(mu_);
@@ -113,7 +141,7 @@ void NeighborCache::FillTask(NodeId node) {
       }
     }
   }
-  completed_fills_.fetch_add(1, std::memory_order_relaxed);
+  completed_fills_.Add(1);
   if (rerun) SubmitFill(node);
 }
 
@@ -123,7 +151,7 @@ void NeighborCache::Warm(NodeId node) {
     std::unique_lock<std::shared_mutex> lock(mu_);
     cache_[node] = std::move(topk);
   }
-  completed_fills_.fetch_add(1, std::memory_order_relaxed);
+  completed_fills_.Add(1);
 }
 
 void NeighborCache::WarmAll(const std::vector<NodeId>& nodes) {
@@ -144,7 +172,7 @@ void NeighborCache::Invalidate(NodeId node) {
     }
   }
   if (!was_cached && !fill_in_flight) return;
-  invalidations_.fetch_add(1, std::memory_order_relaxed);
+  invalidations_.Add(1);
   // Asynchronous re-fill keeps the refresh off the request path, matching
   // the paper's fully asynchronous cache updating.
   if (!fill_in_flight) ScheduleFill(node);
@@ -177,7 +205,7 @@ void NeighborCache::InvalidateRange(NodeId begin, NodeId end) {
     affected += pending_only;
   }
   if (affected == 0) return;
-  invalidations_.fetch_add(affected, std::memory_order_relaxed);
+  invalidations_.Add(affected);
   for (NodeId n : to_fill) ScheduleFill(n);
 }
 
@@ -200,7 +228,7 @@ void NeighborCache::InvalidateAll() {
     affected = static_cast<int64_t>(cache_.size()) + pending_only;
     cache_.clear();
   }
-  invalidations_.fetch_add(affected, std::memory_order_relaxed);
+  invalidations_.Add(affected);
   for (NodeId n : to_fill) ScheduleFill(n);
 }
 
@@ -211,11 +239,11 @@ size_t NeighborCache::size() const {
 
 NeighborCacheStats NeighborCache::Stats() const {
   NeighborCacheStats stats;
-  stats.hits = hits_.load();
-  stats.misses = misses_.load();
-  stats.invalidations = invalidations_.load();
-  stats.scheduled_fills = scheduled_fills_.load();
-  stats.completed_fills = completed_fills_.load();
+  stats.hits = hits_.Value();
+  stats.misses = misses_.Value();
+  stats.invalidations = invalidations_.Value();
+  stats.scheduled_fills = scheduled_fills_.Value();
+  stats.completed_fills = completed_fills_.Value();
   stats.entries = size();
   return stats;
 }

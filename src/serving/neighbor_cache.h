@@ -13,11 +13,14 @@
 #include <atomic>
 #include <memory>
 #include <shared_mutex>
+#include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/threadpool.h"
 #include "graph/hetero_graph.h"
+#include "obs/metrics.h"
 
 namespace zoomer {
 
@@ -34,6 +37,9 @@ struct NeighborCacheOptions {
   /// Artificial delay before each background fill (microseconds); simulates
   /// refresh cost and widens the async window deterministically in tests.
   int refresh_delay_micros = 0;
+  /// Metrics registry the cache registers its counters with (names under
+  /// "serving.neighbor_cache."). Null means the process-global registry.
+  obs::MetricsRegistry* registry = nullptr;
 };
 
 /// Counter snapshot in the style of EngineStats.
@@ -53,6 +59,7 @@ struct NeighborCacheStats {
 class NeighborCache {
  public:
   NeighborCache(const graph::HeteroGraph* g, NeighborCacheOptions options);
+  ~NeighborCache();
 
   /// Serve top-k reads over base + streaming deltas (nullptr restores
   /// static reads). The view must outlive the cache.
@@ -77,8 +84,8 @@ class NeighborCache {
   void InvalidateRange(graph::NodeId begin, graph::NodeId end);
   void InvalidateAll();
 
-  int64_t hits() const { return hits_.load(); }
-  int64_t misses() const { return misses_.load(); }
+  int64_t hits() const { return hits_.Value(); }
+  int64_t misses() const { return misses_.Value(); }
   size_t size() const;
   NeighborCacheStats Stats() const;
 
@@ -99,11 +106,16 @@ class NeighborCache {
   /// invalidated mid-compute, so it must re-run after it lands. Guarded by
   /// mu_.
   std::unordered_map<graph::NodeId, bool> pending_fills_;
-  std::atomic<int64_t> hits_{0};
-  std::atomic<int64_t> misses_{0};
-  std::atomic<int64_t> invalidations_{0};
-  std::atomic<int64_t> scheduled_fills_{0};
-  std::atomic<int64_t> completed_fills_{0};
+  // Registry-backed instruments ("serving.neighbor_cache." names); the
+  // members keep Stats()/hits()/misses() exact per-cache views.
+  obs::MetricsRegistry* registry_;  // resolved (never null)
+  obs::Counter hits_;
+  obs::Counter misses_;
+  obs::Counter invalidations_;
+  obs::Counter scheduled_fills_;
+  obs::Counter completed_fills_;
+  obs::Histogram* fill_latency_us_;  // registry-owned, shared by name
+  std::vector<std::pair<std::string, const void*>> registered_;
   /// Declared last: its destructor joins in-flight fills, which touch every
   /// member above — reverse destruction order keeps them alive until then.
   std::unique_ptr<ThreadPool> refresher_;

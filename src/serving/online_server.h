@@ -15,6 +15,7 @@
 #include <atomic>
 #include <memory>
 #include <shared_mutex>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -46,6 +47,10 @@ struct OnlineServerOptions {
   /// the cache benefit.
   bool use_neighbor_cache = true;
   uint64_t seed = 23;
+  /// Metrics registry for serving instruments ("serving." names). Null
+  /// means the process-global registry; propagated to cache/ann options
+  /// that did not set their own.
+  obs::MetricsRegistry* registry = nullptr;
 };
 
 struct ServingRequest {
@@ -101,6 +106,15 @@ class OnlineServer {
   /// scheduler must not outlive this server.
   void AttachMaintenance(maintenance::MaintenanceScheduler* scheduler);
 
+  /// Scrape endpoints: one flat JSON object (DumpMetrics) or Prometheus
+  /// text exposition (DumpMetricsPrometheus) over the server's metrics
+  /// registry — per-shard freshness lag, fold-pause histograms, cache hit
+  /// ratio, serving latency percentiles, and everything else registered
+  /// with it. Derived gauges (cache hit ratio, entry count) refresh on
+  /// every call.
+  std::string DumpMetrics() const;
+  std::string DumpMetricsPrometheus() const;
+
   const NeighborCache& cache() const { return *cache_; }
   /// Mutable access for tests and warm-up tooling (Get records hit/miss
   /// stats and schedules fills, so it is not const).
@@ -117,8 +131,18 @@ class OnlineServer {
   /// and map rehashes do not move a vector's heap buffer).
   const float* NodeEmbedding(graph::NodeId id) const;
 
+  /// Refreshes scrape-time derived gauges (hit ratio, cache entries).
+  void RefreshDerivedGauges() const;
+
   const graph::HeteroGraph* graph_;
   OnlineServerOptions options_;
+  obs::MetricsRegistry* registry_;          // resolved (never null)
+  obs::Counter* requests_;                  // serving.requests
+  obs::Counter* node_ingests_;              // serving.node_ingest
+  obs::Histogram* request_latency_us_;      // serving.request_latency_us
+  obs::Histogram* embed_latency_us_;        // serving.embed_latency_us
+  obs::Gauge* cache_hit_ratio_;             // serving.neighbor_cache.hit_ratio
+  obs::Gauge* cache_entries_;               // serving.neighbor_cache.entries
   std::vector<float> node_emb_;  // num_nodes x dim (offline export)
   /// Streamed nodes' embedding rows, keyed by overlay id.
   mutable std::shared_mutex overlay_emb_mu_;

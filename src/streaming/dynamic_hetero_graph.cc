@@ -4,8 +4,11 @@
 #include <string>
 
 #include "common/logging.h"
+#include "common/timer.h"
 #include "graph/graph_view.h"
 #include "maintenance/hot_node_cache.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace zoomer {
 namespace streaming {
@@ -30,6 +33,13 @@ DynamicHeteroGraph::DynamicHeteroGraph(
       record_chunks_(new std::atomic<RecordChunk*>[kMaxNodeChunks]()),
       seg_chunks_(new std::atomic<SegStatChunk*>[kMaxSegChunks]()) {
   ZCHECK(base != nullptr);
+  {
+    obs::MetricsRegistry* reg = options_.registry != nullptr
+                                    ? options_.registry
+                                    : obs::MetricsRegistry::Global();
+    fold_pause_us_ = reg->GetHistogram("maintenance.fold_pause_us");
+    fold_segments_ = reg->GetHistogram("maintenance.fold_segments");
+  }
   content_dim_ = base->content_dim();
   zero_content_.assign(static_cast<size_t>(content_dim_), 0.0f);
   int64_t span = options_.segment_span;
@@ -1099,6 +1109,25 @@ StatusOr<uint64_t> DynamicHeteroGraph::Compact() {
 
 StatusOr<uint64_t> DynamicHeteroGraph::CompactSegments(
     std::vector<int64_t> segments) {
+  // Fold-pause telemetry covers the whole pause as ingest experiences it:
+  // quiesce handshake + exclusive shard hold + rebuild. The span's attr is
+  // the folded segment count, recorded when the selection is final.
+  obs::TraceSpan fold_span("compact_segments");
+  WallTimer fold_timer;
+  struct PauseRecorder {
+    obs::Histogram* pause;
+    obs::Histogram* seg_count;
+    obs::TraceSpan* span;
+    WallTimer* timer;
+    const std::vector<int64_t>* segments;
+    ~PauseRecorder() {
+      const int64_t n = static_cast<int64_t>(segments->size());
+      span->set_attr(n);
+      seg_count->Record(n);
+      pause->Record(static_cast<int64_t>(timer->ElapsedMicros()));
+    }
+  } pause_recorder{fold_pause_us_, fold_segments_, &fold_span, &fold_timer,
+                   &segments};
   std::lock_guard<std::mutex> compact_lock(compact_mu_);
   // Quiescence handshake: park attached pipelines at a batch boundary so no
   // delta batch is mid-apply (and none starts) while the fold runs. Events

@@ -110,6 +110,11 @@ class HotNodeOverlayCache;
 struct HotNodeCacheEntry;
 }  // namespace maintenance
 
+namespace obs {
+class Histogram;
+class MetricsRegistry;
+}  // namespace obs
+
 namespace streaming {
 
 /// A delta applier (the ingest pipeline) that Compact()/CompactSegments()
@@ -140,6 +145,9 @@ struct DynamicHeteroGraphOptions {
   /// 0 disables.
   int64_t cold_node_ttl_seconds = 0;
   int64_t cold_node_max_degree = 0;
+  /// Metrics registry for fold telemetry ("maintenance.fold_pause_us",
+  /// "maintenance.fold_segments"). Null means the process-global registry.
+  obs::MetricsRegistry* registry = nullptr;
 };
 
 /// Per-segment overlay pressure, the signal the incremental
@@ -760,6 +768,9 @@ class DynamicHeteroGraph {
   std::atomic<int64_t> expired_cold_nodes_{0};
   uint64_t compacted_through_epoch_ = 0;  // guarded by compact_mu_
   std::mutex compact_mu_;
+  /// Fold telemetry (registry-owned; resolved once at construction).
+  obs::Histogram* fold_pause_us_ = nullptr;
+  obs::Histogram* fold_segments_ = nullptr;
 
   /// Graph-default TTL/decay window; copied into every snapshot.
   mutable std::shared_mutex decay_mu_;

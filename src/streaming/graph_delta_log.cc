@@ -122,6 +122,11 @@ int64_t GraphDeltaLog::TruncateExpired(const streaming::DecaySpec& spec,
         });
     s.batches.erase(keep, s.batches.end());
   }
+  if (dropped > 0) {
+    ZLOG_EVERY_N(DEBUG, 16) << "delta-log TTL truncation dropped " << dropped
+                            << " fully-expired batches (<= epoch "
+                            << max_epoch << ")";
+  }
   return dropped;
 }
 

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <chrono>
+#include <string>
 
 #include "common/logging.h"
+#include "common/timer.h"
 #include "engine/distributed_graph_engine.h"
+#include "obs/trace.h"
 
 namespace zoomer {
 namespace streaming {
@@ -36,7 +39,12 @@ std::vector<EdgeEvent> SessionToEvents(const graph::SessionRecord& session) {
 IngestPipeline::IngestPipeline(GraphDeltaLog* log, DynamicHeteroGraph* graph,
                                IngestOptions options,
                                engine::DistributedGraphEngine* engine)
-    : log_(log), graph_(graph), options_(options), engine_(engine) {
+    : log_(log),
+      graph_(graph),
+      options_(options),
+      engine_(engine),
+      registry_(options.registry != nullptr ? options.registry
+                                            : obs::MetricsRegistry::Global()) {
   ZCHECK(log_ != nullptr);
   ZCHECK(graph_ != nullptr);
   ZCHECK_GT(options_.num_shards, 0);
@@ -44,18 +52,55 @@ IngestPipeline::IngestPipeline(GraphDeltaLog* log, DynamicHeteroGraph* graph,
   ZCHECK_EQ(options_.num_shards, log_->num_shards())
       << "pipeline and delta log must agree on sharding";
   for (int s = 0; s < options_.num_shards; ++s) {
-    queues_.push_back(std::make_unique<BoundedQueue<EdgeEvent>>(
+    queues_.push_back(std::make_unique<BoundedQueue<QueuedEvent>>(
         static_cast<size_t>(options_.queue_capacity)));
     rejected_unknown_node_.push_back(
         std::make_unique<std::atomic<int64_t>>(0));
     rejected_capacity_.push_back(std::make_unique<std::atomic<int64_t>>(0));
+    freshness_lag_.push_back(std::make_unique<obs::Gauge>());
   }
+  batch_latency_us_ =
+      registry_->GetHistogram("streaming.ingest_batch_latency_us");
+  node_mint_latency_us_ =
+      registry_->GetHistogram("streaming.node_mint_latency_us");
+  RegisterMetrics();
   // Compaction quiescence: Compact() parks this pipeline at a batch
   // boundary instead of relying on a caller-managed Flush().
   graph_->AttachParticipant(this);
 }
 
-IngestPipeline::~IngestPipeline() { Stop(); }
+void IngestPipeline::RegisterMetrics() {
+  auto counter = [this](const std::string& name, const obs::Counter* c) {
+    registry_->RegisterCounter(name, c);
+    registered_.emplace_back(name, c);
+  };
+  counter("streaming.sessions", &sessions_);
+  counter("streaming.events_offered", &events_offered_);
+  counter("streaming.events_applied", &events_applied_);
+  counter("streaming.events_dropped", &events_dropped_);
+  counter("streaming.dropped_self_loop", &dropped_self_loop_);
+  counter("streaming.batches", &batches_);
+  counter("streaming.nodes_ingested", &nodes_ingested_);
+  counter("streaming.rejected_unknown_node", &rejected_unknown_node_total_);
+  counter("streaming.rejected_capacity", &rejected_capacity_total_);
+  registry_->RegisterGauge("streaming.freshness_lag_us", &freshness_lag_max_);
+  registered_.emplace_back("streaming.freshness_lag_us", &freshness_lag_max_);
+  for (int s = 0; s < options_.num_shards; ++s) {
+    const std::string name =
+        "streaming.freshness_lag_us.shard" + std::to_string(s);
+    registry_->RegisterGauge(name, freshness_lag_[s].get());
+    registered_.emplace_back(name, freshness_lag_[s].get());
+  }
+}
+
+IngestPipeline::~IngestPipeline() {
+  Stop();
+  // Only after the consumers are joined: a registered view must outlive its
+  // last writer, and the registry must stop seeing it before it dies.
+  for (const auto& [name, ptr] : registered_) {
+    registry_->Unregister(name, ptr);
+  }
+}
 
 void IngestPipeline::AddUpdateListener(UpdateListener listener) {
   std::lock_guard<std::mutex> lock(lifecycle_mu_);
@@ -74,7 +119,7 @@ void IngestPipeline::Start() {
 
 bool IngestPipeline::Offer(const graph::SessionRecord& session) {
   ZCHECK(started_) << "call Start() before offering sessions";
-  sessions_.fetch_add(1, std::memory_order_acq_rel);
+  sessions_.Add(1);
   bool accepted_all = true;
   for (EdgeEvent& ev : SessionToEvents(session)) {
     // Validate against the *ingested* id-space (base + applied streamed
@@ -92,19 +137,30 @@ bool IngestPipeline::Offer(const graph::SessionRecord& session) {
       rejected_unknown_node_[engine::GraphShard::NodeShard(
                                  anchor, options_.num_shards)]
           ->fetch_add(1, std::memory_order_acq_rel);
-      events_dropped_.fetch_add(1, std::memory_order_acq_rel);
+      rejected_unknown_node_total_.Add(1);
+      events_dropped_.Add(1);
+      ZLOG_EVERY_N(WARNING, 1024)
+          << "ingest: dropping edge event with unknown endpoint ("
+          << ev.src << " -> " << ev.dst << "); total unknown-node drops: "
+          << rejected_unknown_node_total_.Value();
       continue;
     }
     if (ev.src == ev.dst) {
-      events_dropped_.fetch_add(1, std::memory_order_acq_rel);
+      dropped_self_loop_.Add(1);
+      events_dropped_.Add(1);
+      ZLOG_EVERY_N(DEBUG, 4096)
+          << "ingest: dropping self-loop on node " << ev.src
+          << "; total self-loop drops: " << dropped_self_loop_.Value();
       continue;
     }
     const int shard =
         engine::GraphShard::NodeShard(ev.src, options_.num_shards);
-    events_offered_.fetch_add(1, std::memory_order_acq_rel);
-    if (!queues_[shard]->Push(std::move(ev))) {
-      events_offered_.fetch_sub(1, std::memory_order_acq_rel);
+    events_offered_.Add(1);
+    if (!queues_[shard]->Push({std::move(ev), obs::MonotonicMicros()})) {
+      events_offered_.Add(-1);
       accepted_all = false;  // queue closed (Stop raced the producer)
+      ZLOG_EVERY_N(WARNING, 1024)
+          << "ingest: event rejected after Stop() (queue closed)";
     }
   }
   return accepted_all;
@@ -113,6 +169,7 @@ bool IngestPipeline::Offer(const graph::SessionRecord& session) {
 StatusOr<graph::NodeId> IngestPipeline::OfferNewNode(
     NodeEvent event, std::vector<EdgeEvent> edges) {
   ZCHECK(started_) << "call Start() before offering nodes";
+  WallTimer mint_timer;
   // Validate everything up front: once AppendWithNodes allocates the id,
   // the batch must apply (a rejected apply would strand an allocated,
   // never-applied record and freeze node visibility behind it).
@@ -171,6 +228,10 @@ StatusOr<graph::NodeId> IngestPipeline::OfferNewNode(
       if (active_applies_ == 0) quiesce_cv_.notify_all();
     }
     rejected_capacity_[shard]->fetch_add(1, std::memory_order_acq_rel);
+    rejected_capacity_total_.Add(1);
+    ZLOG_EVERY_N(WARNING, 256)
+        << "ingest: node mint rejected (per-type capacity): "
+        << epoch.status().ToString();
     return epoch.status();
   }
   batch.epoch = epoch.value();
@@ -199,14 +260,14 @@ StatusOr<graph::NodeId> IngestPipeline::OfferNewNode(
     engine_->RecordShardUpdate(shard,
                                static_cast<int64_t>(batch.events.size()));
   }
-  batches_.fetch_add(1, std::memory_order_acq_rel);
-  nodes_ingested_.fetch_add(1, std::memory_order_acq_rel);
+  batches_.Add(1);
+  nodes_ingested_.Add(1);
   // Offered and applied move together (the apply was synchronous), so
   // Flush()'s applied >= offered invariant holds at every instant.
-  events_applied_.fetch_add(static_cast<int64_t>(batch.events.size()),
-                            std::memory_order_acq_rel);
-  events_offered_.fetch_add(static_cast<int64_t>(batch.events.size()),
-                            std::memory_order_acq_rel);
+  events_applied_.Add(static_cast<int64_t>(batch.events.size()));
+  events_offered_.Add(static_cast<int64_t>(batch.events.size()));
+  node_mint_latency_us_->Record(
+      static_cast<int64_t>(mint_timer.ElapsedMicros()));
   return id;
 }
 
@@ -215,19 +276,26 @@ void IngestPipeline::OfferLog(const graph::SessionLog& log) {
 }
 
 void IngestPipeline::ConsumerLoop(int shard) {
-  BoundedQueue<EdgeEvent>& queue = *queues_[shard];
+  BoundedQueue<QueuedEvent>& queue = *queues_[shard];
   std::vector<EdgeEvent> batch;
   batch.reserve(options_.batch_size);
-  EdgeEvent ev;
+  QueuedEvent qe;
   // Blocking pop for the first event, then opportunistically drain up to
   // batch_size: batches grow under load (throughput) and stay small when
   // traffic is light (update-visibility latency).
-  while (queue.Pop(&ev)) {
-    batch.push_back(std::move(ev));
+  while (queue.Pop(&qe)) {
+    // FIFO per shard: the first popped event is the batch's oldest, which
+    // is what freshness lag measures.
+    const int64_t oldest_offer_us = qe.offer_us;
+    batch.push_back(std::move(qe.ev));
     while (static_cast<int>(batch.size()) < options_.batch_size &&
-           queue.TryPop(&ev)) {
-      batch.push_back(std::move(ev));
+           queue.TryPop(&qe)) {
+      batch.push_back(std::move(qe.ev));
     }
+    // A short batch means TryPop hit an empty queue — the shard is caught
+    // up, so its freshness lag drops to 0 after this apply.
+    const bool queue_drained =
+        static_cast<int>(batch.size()) < options_.batch_size;
     // Quiescence gate: a compaction in progress holds consumers here, with
     // the collected batch intact (it has no epoch yet), until EndQuiesce.
     {
@@ -235,7 +303,7 @@ void IngestPipeline::ConsumerLoop(int shard) {
       quiesce_cv_.wait(lock, [this] { return quiesce_requests_ == 0; });
       ++active_applies_;
     }
-    CutBatch(shard, std::move(batch));
+    CutBatch(shard, std::move(batch), oldest_offer_us, queue_drained);
     {
       std::lock_guard<std::mutex> lock(quiesce_mu_);
       --active_applies_;
@@ -258,8 +326,11 @@ void IngestPipeline::EndQuiesce() {
   quiesce_cv_.notify_all();
 }
 
-void IngestPipeline::CutBatch(int shard, std::vector<EdgeEvent> events) {
+void IngestPipeline::CutBatch(int shard, std::vector<EdgeEvent> events,
+                              int64_t oldest_offer_us, bool queue_drained) {
+  obs::TraceSpan span("ingest_batch");
   const int64_t n = static_cast<int64_t>(events.size());
+  span.set_attr(n);
   DeltaBatch batch;
   batch.events = std::move(events);
   // Cross-shard watermark: the epoch is marked pending on our graph
@@ -285,13 +356,25 @@ void IngestPipeline::CutBatch(int shard, std::vector<EdgeEvent> events) {
   if (engine_ != nullptr) {
     engine_->RecordShardUpdate(shard, n);
   }
-  batches_.fetch_add(1, std::memory_order_acq_rel);
-  events_applied_.fetch_add(n, std::memory_order_acq_rel);
+  batches_.Add(1);
+  events_applied_.Add(n);
+
+  // Freshness telemetry: end-to-end age of the batch's oldest event at
+  // apply completion. A drained queue means the shard is caught up — its
+  // lag gauge reads 0 until the next backlog builds.
+  const int64_t lag_us = obs::MonotonicMicros() - oldest_offer_us;
+  batch_latency_us_->Record(lag_us);
+  freshness_lag_[shard]->Set(queue_drained ? 0.0
+                                           : static_cast<double>(lag_us));
+  double max_lag = 0.0;
+  for (const auto& gauge : freshness_lag_) {
+    max_lag = std::max(max_lag, gauge->Value());
+  }
+  freshness_lag_max_.Set(max_lag);
 }
 
 void IngestPipeline::Flush() {
-  while (events_applied_.load(std::memory_order_acquire) <
-         events_offered_.load(std::memory_order_acquire)) {
+  while (events_applied_.Value() < events_offered_.Value()) {
     std::this_thread::sleep_for(std::chrono::microseconds(200));
   }
 }
@@ -313,11 +396,11 @@ void IngestPipeline::Stop() {
 
 IngestStats IngestPipeline::Stats() const {
   IngestStats stats;
-  stats.sessions = sessions_.load(std::memory_order_acquire);
-  stats.events = events_offered_.load(std::memory_order_acquire);
-  stats.events_applied = events_applied_.load(std::memory_order_acquire);
-  stats.batches = batches_.load(std::memory_order_acquire);
-  stats.nodes_ingested = nodes_ingested_.load(std::memory_order_acquire);
+  stats.sessions = sessions_.Value();
+  stats.events = events_offered_.Value();
+  stats.events_applied = events_applied_.Value();
+  stats.batches = batches_.Value();
+  stats.nodes_ingested = nodes_ingested_.Value();
   stats.last_epoch = log_->last_epoch();
   stats.rejected_unknown_node.reserve(rejected_unknown_node_.size());
   for (const auto& counter : rejected_unknown_node_) {

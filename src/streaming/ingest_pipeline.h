@@ -24,6 +24,7 @@
 #include "common/status.h"
 #include "common/threadpool.h"
 #include "graph/session_log.h"
+#include "obs/metrics.h"
 #include "streaming/dynamic_hetero_graph.h"
 #include "streaming/graph_delta_log.h"
 
@@ -43,6 +44,10 @@ struct IngestOptions {
   int batch_size = 64;
   /// Bounded per-shard queue capacity (events); Offer blocks when full.
   int queue_capacity = 4096;
+  /// Metrics registry the pipeline registers its instruments with (names
+  /// under "streaming."). Null means the process-global registry; inject a
+  /// private one in tests that assert on metric values.
+  obs::MetricsRegistry* registry = nullptr;
 };
 
 struct IngestStats {
@@ -132,21 +137,30 @@ class IngestPipeline : public CompactionParticipant {
   void EndQuiesce() override;
 
   IngestStats Stats() const;
-  int64_t events_dropped() const {
-    return events_dropped_.load(std::memory_order_acquire);
-  }
+  int64_t events_dropped() const { return events_dropped_.Value(); }
 
  private:
+  /// Queue element: the event plus its Offer() timestamp, so the consumer
+  /// can report end-to-end batch latency and the per-shard freshness lag
+  /// (age of the oldest event a batch applied).
+  struct QueuedEvent {
+    EdgeEvent ev;
+    int64_t offer_us = 0;  // obs::MonotonicMicros() at enqueue
+  };
+
   void ConsumerLoop(int shard);
-  void CutBatch(int shard, std::vector<EdgeEvent> events);
+  void CutBatch(int shard, std::vector<EdgeEvent> events,
+                int64_t oldest_offer_us, bool queue_drained);
+  void RegisterMetrics();
 
   GraphDeltaLog* log_;
   DynamicHeteroGraph* graph_;
   IngestOptions options_;
   engine::DistributedGraphEngine* engine_;
+  obs::MetricsRegistry* registry_;  // resolved (never null)
 
   std::vector<UpdateListener> listeners_;
-  std::vector<std::unique_ptr<BoundedQueue<EdgeEvent>>> queues_;
+  std::vector<std::unique_ptr<BoundedQueue<QueuedEvent>>> queues_;
   std::vector<std::thread> consumers_;
   std::atomic<bool> started_{false};
   bool stopped_ = false;  // guarded by lifecycle_mu_
@@ -158,12 +172,29 @@ class IngestPipeline : public CompactionParticipant {
   int quiesce_requests_ = 0;  // active BeginQuiesce holds
   int active_applies_ = 0;    // consumers currently inside CutBatch
 
-  std::atomic<int64_t> sessions_{0};
-  std::atomic<int64_t> events_offered_{0};
-  std::atomic<int64_t> events_applied_{0};
-  std::atomic<int64_t> events_dropped_{0};
-  std::atomic<int64_t> batches_{0};
-  std::atomic<int64_t> nodes_ingested_{0};
+  // Registry-backed instruments (registered under "streaming." names; the
+  // members keep Stats() an exact per-pipeline view).
+  obs::Counter sessions_;
+  obs::Counter events_offered_;
+  obs::Counter events_applied_;
+  obs::Counter events_dropped_;
+  obs::Counter dropped_self_loop_;
+  obs::Counter batches_;
+  obs::Counter nodes_ingested_;
+  obs::Counter rejected_unknown_node_total_;
+  obs::Counter rejected_capacity_total_;
+  /// Per-shard freshness lag gauge: age (µs) of the oldest event the
+  /// shard's most recent batch applied, 0 once the shard drained its queue.
+  std::vector<std::unique_ptr<obs::Gauge>> freshness_lag_;
+  /// Max over shards, refreshed at every apply (the scrape-friendly
+  /// aggregate "streaming.freshness_lag_us").
+  obs::Gauge freshness_lag_max_;
+  /// Registry-owned shared histograms (hot-path latencies).
+  obs::Histogram* batch_latency_us_;     // offer -> applied, per batch
+  obs::Histogram* node_mint_latency_us_; // OfferNewNode end-to-end
+  /// (name, instrument) pairs to Unregister on destruction.
+  std::vector<std::pair<std::string, const void*>> registered_;
+
   /// Round-robin shard for node batches (no prior traffic to co-locate
   /// with; the owning shard of the id is unknown until allocation).
   std::atomic<uint32_t> node_shard_rr_{0};

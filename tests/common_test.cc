@@ -3,10 +3,12 @@
 
 #include <atomic>
 #include <cmath>
+#include <cstdlib>
 #include <set>
 #include <thread>
 #include <vector>
 
+#include "common/logging.h"
 #include "common/random.h"
 #include "common/status.h"
 #include "common/threadpool.h"
@@ -259,6 +261,67 @@ TEST(LatencyStatsTest, StdDevOfConstantIsZero) {
   LatencyStats s;
   for (int i = 0; i < 10; ++i) s.Add(3.0);
   EXPECT_NEAR(s.StdDev(), 0.0, 1e-12);
+}
+
+TEST(LatencyStatsTest, InterleavedAddAndPercentileStaysCorrect) {
+  // The cached sort must invalidate on every Add: alternate queries and
+  // inserts and re-check against the exact order statistic each time.
+  LatencyStats s;
+  for (int i = 1; i <= 50; ++i) {
+    s.Add(i);
+    EXPECT_DOUBLE_EQ(s.Percentile(100), static_cast<double>(i)) << i;
+    EXPECT_DOUBLE_EQ(s.Percentile(0), 1.0) << i;
+  }
+  EXPECT_NEAR(s.Percentile(50), 25.5, 0.5);
+  s.Clear();
+  EXPECT_EQ(s.Percentile(50), 0.0);
+  s.Add(7.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(50), 7.0);
+}
+
+TEST(LoggingTest, SetLogLevelFromEnvParsesNamesAndNumbers) {
+  const LogLevel saved = GetLogLevel();
+  ::setenv("ZOOMER_LOG_LEVEL", "error", 1);
+  SetLogLevelFromEnv();
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  ::setenv("ZOOMER_LOG_LEVEL", "0", 1);
+  SetLogLevelFromEnv();
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  ::setenv("ZOOMER_LOG_LEVEL", "WARN", 1);
+  SetLogLevelFromEnv();
+  EXPECT_EQ(GetLogLevel(), LogLevel::kWarning);
+  // Unparsable input leaves the threshold unchanged.
+  ::setenv("ZOOMER_LOG_LEVEL", "shout", 1);
+  SetLogLevelFromEnv();
+  EXPECT_EQ(GetLogLevel(), LogLevel::kWarning);
+  ::unsetenv("ZOOMER_LOG_LEVEL");
+  SetLogLevel(saved);
+}
+
+TEST(LoggingTest, ZlogEveryNFiresFirstAndEveryNth) {
+  // The macro's site-local counter fires on hits 1, n+1, 2n+1, ...; the
+  // side-effect probe below counts stream evaluations without depending on
+  // the log threshold (ERROR always passes it).
+  const LogLevel saved = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  int fired = 0;
+  auto probe = [&fired]() {
+    ++fired;
+    return "";
+  };
+  for (int i = 0; i < 10; ++i) {
+    ZLOG_EVERY_N(ERROR, 4) << probe();
+  }
+  EXPECT_EQ(fired, 3);  // hits 1, 5, 9
+  // Dangling-else safety: the macro in an unbraced if-else must bind
+  // correctly (compile-time property; the else must not attach inside).
+  bool took_else = false;
+  if (false)
+    ZLOG_EVERY_N(ERROR, 1) << "";
+  else
+    took_else = true;
+  EXPECT_TRUE(took_else);
+  SetLogLevel(saved);
 }
 
 }  // namespace
