@@ -266,7 +266,7 @@ int Run(const BenchConfig& cfg) {
   // The visibility pipeline shares the delta log so epochs stay globally
   // monotonic across pipelines feeding one dynamic view.
   streaming::IngestPipeline vpipe(&log, &dyn, iopt);
-  vpipe.AddUpdateListener([&cache](const std::vector<NodeId>& nodes) {
+  vpipe.AddUpdateListener([&cache](uint64_t, const std::vector<NodeId>& nodes) {
     for (NodeId n : nodes) cache.Invalidate(n);
   });
   vpipe.Start();
@@ -331,9 +331,10 @@ int Run(const BenchConfig& cfg) {
                                  ds.all_items, item_emb);
     server.AttachDynamicGraph(&dyn);
     streaming::IngestPipeline spipe(&log, &dyn, iopt);
-    spipe.AddUpdateListener([&server](const std::vector<NodeId>& nodes) {
-      server.OnGraphUpdate(nodes);
-    });
+    spipe.AddUpdateListener(
+        [&server](uint64_t epoch, const std::vector<NodeId>& nodes) {
+          server.OnGraphUpdate(epoch, nodes);
+        });
     spipe.Start();
     const NodeId user = users[0], query = queries[0];
     server.WarmCache({user, query});

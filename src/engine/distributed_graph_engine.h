@@ -1,32 +1,51 @@
-// Distributed graph engine simulation (paper Sec. VI, "Distributed graph
-// engine" built on Euler): the graph is hash-partitioned into shards for
-// storage capacity, each shard replicated onto multiple (simulated) servers
-// for aggregate throughput, and neighbor-sampling requests are routed to the
-// replica with the least outstanding load. Within one process, each replica
-// is backed by a worker thread draining a request queue, which reproduces
-// the queueing behaviour the online serving experiment (Fig. 9) depends on.
+// Distributed graph engine (paper Sec. VI, "Distributed graph engine" built
+// on Euler): the graph is hash-partitioned into shards for storage capacity,
+// and each shard is a *replica group* — every replica owns an independent
+// DynamicHeteroGraph over the shared immutable base plus its own apply
+// cursor into the shared GraphDeltaLog. The ingest pipeline applies a batch
+// to the primary graph, then publishes its epoch to the owning shard's
+// fanout bus; each replica's applier thread replays the log tail up to the
+// primary's watermark and advances an explicit per-replica apply watermark
+// (exported as "engine.replica_watermark_lag" gauges).
+//
+// Routing picks the least-loaded *alive* replica of the owning shard,
+// subject to a freshness bound: a request may carry a min_epoch floor
+// (read-your-writes — a session's reads pin to replicas whose watermark
+// covers its own writes), and EngineOptions::freshness_bound_epochs caps
+// how far any chosen replica may trail the primary. When no alive replica
+// qualifies within a bounded wait, the request is served off the primary
+// graph (a counted stale-fallback) so freshness floors are honored even
+// mid-recovery.
+//
+// Failure injection: KillReplica parks a replica's applier and removes it
+// from routing (serving degrades to the surviving replicas); its frozen log
+// cursor pins the delta-log tail it will need. ReviveReplica resumes the
+// applier, which rebuilds state by replaying the log from the last
+// watermark — the same replay path a durability tier would use.
 #ifndef ZOOMER_ENGINE_DISTRIBUTED_GRAPH_ENGINE_H_
 #define ZOOMER_ENGINE_DISTRIBUTED_GRAPH_ENGINE_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <future>
 #include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/random.h"
 #include "common/status.h"
 #include "common/threadpool.h"
 #include "graph/hetero_graph.h"
+#include "obs/metrics.h"
 
 namespace zoomer {
-namespace obs {
-class Counter;
-class Histogram;
-class MetricsRegistry;
-}  // namespace obs
 
 namespace streaming {
 class DynamicHeteroGraph;
+class GraphDeltaLog;
 }  // namespace streaming
 
 namespace engine {
@@ -35,8 +54,22 @@ struct EngineOptions {
   int num_shards = 4;
   int replication_factor = 2;
   /// Simulated per-request network + serialization latency (microseconds);
-  /// 0 disables the artificial delay (pure in-memory cost).
+  /// 0 disables the artificial delay (pure in-memory cost). Applied on the
+  /// replica worker thread *before* sampling, so it contributes queueing
+  /// pressure (load) without polluting the service-time histogram —
+  /// "engine.sample_latency_us" measures the sample alone, while
+  /// "engine.request_latency_us" measures submit -> completion (queueing +
+  /// simulated RPC + service).
   int simulated_rpc_micros = 0;
+  /// Freshness bound for routing (epochs; replica-group mode only): a
+  /// replica qualifies for a request only if its apply watermark trails the
+  /// primary's by at most this many epochs. 0 = load-only routing (any
+  /// alive replica qualifies, unless the request carries min_epoch).
+  uint64_t freshness_bound_epochs = 0;
+  /// Bounded wait (microseconds) for some alive replica to satisfy a
+  /// request's freshness floor before falling back to serving the request
+  /// off the primary graph (counted in "engine.stale_fallback_reads").
+  int freshness_wait_micros = 5000;
   /// Metrics registry for engine throughput instruments ("engine." names).
   /// Null means the process-global registry.
   obs::MetricsRegistry* registry = nullptr;
@@ -46,11 +79,27 @@ struct SampleRequest {
   graph::NodeId node = -1;
   int k = 10;
   uint64_t rng_seed = 0;
+  /// Read-your-writes floor: route only to replicas whose apply watermark
+  /// covers this epoch (0 = no constraint). Stamp it with the delta-log
+  /// epoch of the session's own last write (the ingest pipeline's update
+  /// listener reports it). In legacy shared-graph mode every replica reads
+  /// the primary view, so the floor is trivially met.
+  uint64_t min_epoch = 0;
 };
 
 struct SampleResponse {
   std::vector<graph::NodeId> neighbors;
   std::vector<float> weights;
+};
+
+/// Health + progress of one replica, as reported by EngineStats.
+struct ReplicaStatus {
+  int shard = 0;
+  int replica = 0;  // index within the shard's group
+  bool alive = true;
+  /// Epochs applied through (replica-group mode; 0 in legacy mode).
+  uint64_t watermark = 0;
+  int64_t requests = 0;
 };
 
 struct EngineStats {
@@ -60,6 +109,17 @@ struct EngineStats {
   /// Streaming-update traffic routed to each shard by the ingest pipeline.
   std::vector<int64_t> update_events_per_shard;
   int64_t total_update_events = 0;
+  /// Per-replica health and apply progress (shard-major order).
+  std::vector<ReplicaStatus> replicas;
+  int64_t dead_replicas = 0;
+  /// Primary graph's watermark (replica-group mode; 0 in legacy mode).
+  uint64_t primary_watermark = 0;
+  /// Requests served off the primary because no alive replica met the
+  /// freshness floor within the bounded wait.
+  int64_t stale_fallback_reads = 0;
+  /// Requests that reached a replica killed after they were routed (the
+  /// detection window); the router never sends new traffic to a dead one.
+  int64_t killed_inflight_failures = 0;
 };
 
 /// One storage shard: the subset of nodes whose hash maps to this shard.
@@ -72,15 +132,26 @@ class GraphShard {
     return NodeShard(node, num_shards_) == shard_id_;
   }
   static int NodeShard(graph::NodeId node, int num_shards) {
-    // Knuth multiplicative hash for balanced ownership.
-    return static_cast<int>((static_cast<uint64_t>(node) * 2654435761ull) %
-                            static_cast<uint64_t>(num_shards));
+    // Knuth multiplicative hash with the high half folded down. The modulo
+    // (shard counts are usually powers of two) reads only the product's low
+    // bits, which are constant across ids that share a stride divisible by
+    // num_shards — the xor-fold mixes the well-shuffled high bits in so
+    // strided id ranges still spread evenly.
+    uint64_t h = static_cast<uint64_t>(node) * 2654435761ull;
+    h ^= h >> 32;
+    return static_cast<int>(h % static_cast<uint64_t>(num_shards));
   }
 
   /// Weighted neighbor sample (alias table) of up to k distinct neighbors.
   /// With a dynamic view attached, draws come from an epoch snapshot over
   /// base + streaming deltas instead of the static CSR.
   StatusOr<SampleResponse> Sample(const SampleRequest& req) const;
+
+  /// Samples from an explicit dynamic view (the engine's primary-fallback
+  /// path); nullptr falls back to the static CSR.
+  StatusOr<SampleResponse> SampleFrom(
+      const SampleRequest& req,
+      const streaming::DynamicHeteroGraph* view) const;
 
   /// Serve reads through the streaming delta overlay (nullptr restores
   /// static-CSR sampling). The view must outlive this shard. Safe to call
@@ -100,14 +171,17 @@ class GraphShard {
   std::vector<graph::NodeId> owned_;
 };
 
-/// Client-facing engine: routes requests to shard replicas over per-replica
-/// worker threads and collects load statistics.
+/// Client-facing engine: routes requests to shard replica groups over
+/// per-replica worker threads, fans streamed deltas out to per-replica
+/// apply threads, and collects load/health statistics.
 class DistributedGraphEngine {
  public:
   DistributedGraphEngine(const graph::HeteroGraph* g, EngineOptions options);
   ~DistributedGraphEngine();
 
   /// Asynchronous sampling RPC; the future resolves on the replica thread.
+  /// May block the caller up to freshness_wait_micros while routing when no
+  /// alive replica currently satisfies the request's freshness floor.
   std::future<StatusOr<SampleResponse>> SampleAsync(const SampleRequest& req);
 
   /// Blocking convenience wrapper.
@@ -116,30 +190,133 @@ class DistributedGraphEngine {
   EngineStats Stats() const;
   int num_replicas() const { return static_cast<int>(replicas_.size()); }
 
-  /// Routes streaming reads of every replica through the dynamic delta
-  /// overlay (see GraphShard::AttachDynamicGraph).
+  /// Legacy shared-graph mode: routes streaming reads of every replica
+  /// through one shared dynamic view (no per-replica apply lag — see
+  /// ConnectUpdateFanout for the replica-group mode that supersedes this).
   void AttachDynamicGraph(const streaming::DynamicHeteroGraph* dynamic);
+
+  /// Replica-group mode: gives every replica its own DynamicHeteroGraph
+  /// over the engine's base graph plus an apply thread consuming `log`
+  /// through a registered per-replica cursor, bounded by `primary`'s
+  /// watermark (the ingest pipeline's graph). Call once, before ingest
+  /// starts and before sampling traffic; `log` and `primary` must outlive
+  /// this engine. Mutually exclusive with AttachDynamicGraph.
+  void ConnectUpdateFanout(streaming::GraphDeltaLog* log,
+                           const streaming::DynamicHeteroGraph* primary);
 
   /// Called by the ingest pipeline when a delta batch lands on `shard`;
   /// surfaces per-shard update traffic in Stats().
   void RecordShardUpdate(int shard, int64_t num_events);
 
+  /// Called by the ingest pipeline after applying epoch `epoch` to the
+  /// primary: wakes the shard's replica appliers (every shard's, when
+  /// `all_shards` — node-mint batches grow the global id-space and must
+  /// reach every replica). No-op until ConnectUpdateFanout.
+  void PublishDelta(int shard, uint64_t epoch, bool all_shards = false);
+
+  /// Failure injection: marks the replica dead — the router skips it, its
+  /// applier parks (the frozen log cursor pins the replay tail), and
+  /// requests already queued on its worker fail with Unavailable (counted).
+  /// Serving continues degraded on the shard's surviving replicas.
+  void KillReplica(int shard, int replica);
+
+  /// Recovery: marks the replica alive again; its applier replays the
+  /// delta log from the last watermark until it has caught up with the
+  /// primary (watch AwaitReplicaCatchUp / the lag gauge return to 0).
+  void ReviveReplica(int shard, int replica);
+
+  bool IsReplicaAlive(int shard, int replica) const;
+
+  /// Epochs the replica has applied through (0 outside replica-group mode).
+  uint64_t ReplicaWatermark(int shard, int replica) const;
+
+  /// Blocks until the replica's watermark reaches the primary's current
+  /// watermark (true) or the timeout elapses (false).
+  bool AwaitReplicaCatchUp(int shard, int replica,
+                           int64_t timeout_micros) const;
+
  private:
-  struct Replica {
-    std::unique_ptr<GraphShard> shard;
-    std::unique_ptr<ThreadPool> worker;
-    std::atomic<int64_t> requests{0};
-    std::atomic<int64_t> inflight{0};
+  /// Cache-line-padded per-shard counter slot: the ingest consumers of
+  /// different shards bump adjacent slots concurrently, so sharing a line
+  /// would bounce it (the old vector<unique_ptr<atomic>> paid a pointer
+  /// chase per update *and* let the allocator pack the atomics together).
+  struct alignas(64) PaddedCounter {
+    std::atomic<int64_t> v{0};
   };
 
+  struct Replica {
+    std::unique_ptr<GraphShard> shard;
+    std::atomic<int64_t> requests{0};
+    std::atomic<int64_t> inflight{0};
+    std::atomic<bool> alive{true};
+    // Replica-group (fanout) state; unset in legacy shared-graph mode.
+    std::unique_ptr<streaming::DynamicHeteroGraph> dyn;
+    std::thread applier;                 // joined by the engine dtor
+    std::atomic<uint64_t> watermark{0};  // epochs applied through
+    int log_consumer = -1;               // GraphDeltaLog consumer id
+    int shard_id = 0;
+    int replica_id = 0;  // index within the group
+    /// Per-replica gauges, registered under both the per-replica name and
+    /// the aggregate ("engine.replica_watermark_lag" max-aggregates,
+    /// "engine.queue_depth" sum-aggregates).
+    obs::Gauge lag_gauge;
+    obs::Gauge queue_gauge;
+    /// Declared last: worker tasks read `shard` and `dyn`, so the pool must
+    /// drain (ThreadPool dtor joins) before either is destroyed.
+    std::unique_ptr<ThreadPool> worker;
+  };
+
+  /// Per-shard fanout bus: the ingest pipeline publishes applied epochs
+  /// here; replica appliers of the shard block on it. The bus is a wakeup,
+  /// not the data path — appliers read the shared log, bounded by the
+  /// primary watermark. Appliers also poll on a short timeout, which covers
+  /// cross-shard edge batches (an edge's dst may live on another shard than
+  /// the src the batch was routed by) without a broadcast per batch.
+  struct ShardBus {
+    std::mutex mu;
+    std::condition_variable cv;
+    uint64_t published = 0;  // guarded by mu
+  };
+
+  Replica* replica(int shard, int r) {
+    return replicas_[static_cast<size_t>(shard) * options_.replication_factor +
+                     r]
+        .get();
+  }
+  const Replica* replica(int shard, int r) const {
+    return replicas_[static_cast<size_t>(shard) * options_.replication_factor +
+                     r]
+        .get();
+  }
+
+  void ApplierLoop(Replica* rep);
+  void RefreshReplicaGauges(Replica* rep) const;
+  void SetDeadGauge();
+
+  const graph::HeteroGraph* graph_;
   EngineOptions options_;
+  obs::MetricsRegistry* registry_;  // resolved (never null)
   /// Registry-owned throughput instruments (resolved once at construction;
-  /// Stats() stays the exact per-engine view from the atomics above).
+  /// Stats() stays the exact per-engine view from the atomics).
   obs::Counter* sample_requests_ = nullptr;   // engine.sample_requests
   obs::Counter* update_events_ = nullptr;     // engine.update_events
-  obs::Histogram* sample_latency_us_ = nullptr;  // engine.sample_latency_us
+  obs::Histogram* sample_latency_us_ = nullptr;   // engine.sample_latency_us
+  obs::Histogram* request_latency_us_ = nullptr;  // engine.request_latency_us
+  /// Per-engine views (registered; Unregistered on destruction).
+  obs::Counter stale_fallback_reads_;      // engine.stale_fallback_reads
+  obs::Counter killed_inflight_failures_;  // engine.killed_inflight_failures
+  obs::Gauge dead_replicas_gauge_;         // engine.dead_replicas
+  std::vector<std::pair<std::string, const void*>> registered_;
+
   std::vector<std::unique_ptr<Replica>> replicas_;  // shard-major layout
-  std::vector<std::unique_ptr<std::atomic<int64_t>>> shard_update_events_;
+  std::unique_ptr<PaddedCounter[]> shard_update_events_;  // num_shards slots
+
+  // Replica-group mode wiring (null until ConnectUpdateFanout).
+  streaming::GraphDeltaLog* log_ = nullptr;
+  std::atomic<const streaming::DynamicHeteroGraph*> primary_{nullptr};
+  std::vector<std::unique_ptr<ShardBus>> buses_;  // one per shard
+  std::atomic<bool> shutdown_{false};
+  std::atomic<int64_t> dead_replicas_{0};
 };
 
 }  // namespace engine

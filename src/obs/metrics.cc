@@ -135,10 +135,15 @@ void MetricsRegistry::RegisterCounter(const std::string& name,
   counters_[name].views.push_back(view);
 }
 
-void MetricsRegistry::RegisterGauge(const std::string& name,
-                                    const Gauge* view) {
+void MetricsRegistry::RegisterGauge(const std::string& name, const Gauge* view,
+                                    GaugeAgg agg) {
   std::lock_guard<std::mutex> lock(mu_);
   gauges_[name].views.push_back(view);
+  if (agg == GaugeAgg::kSum) {
+    gauge_agg_[name] = agg;
+  } else {
+    gauge_agg_.erase(name);  // back to the kMax default
+  }
 }
 
 void MetricsRegistry::RegisterHistogram(const std::string& name,
@@ -159,6 +164,7 @@ void MetricsRegistry::Unregister(const std::string& name, const void* view) {
   erase_from(counters_);
   erase_from(gauges_);
   erase_from(histograms_);
+  if (gauges_.find(name) == gauges_.end()) gauge_agg_.erase(name);
 }
 
 RegistrySnapshot MetricsRegistry::Snapshot() const {
@@ -179,10 +185,17 @@ RegistrySnapshot MetricsRegistry::Snapshot() const {
     MetricPoint point;
     point.name = name;
     point.kind = MetricKind::kGauge;
-    // Max across registered instances: for staleness-style gauges the worst
-    // instance is the honest process-wide reading.
+    // Default is max across registered instances: for staleness-style
+    // gauges the worst instance is the honest process-wide reading.
+    // Names registered with GaugeAgg::kSum combine by addition instead
+    // (capacity-style gauges whose instances partition a total).
+    const auto agg_it = gauge_agg_.find(name);
+    const bool sum = agg_it != gauge_agg_.end() &&
+                     agg_it->second == GaugeAgg::kSum;
     double v = entry.owned ? entry.owned->Value() : 0.0;
-    for (const Gauge* view : entry.views) v = std::max(v, view->Value());
+    for (const Gauge* view : entry.views) {
+      v = sum ? v + view->Value() : std::max(v, view->Value());
+    }
     point.value = v;
     snap.points.push_back(std::move(point));
   }

@@ -157,6 +157,13 @@ class Histogram {
 
 enum class MetricKind { kCounter, kGauge, kHistogram };
 
+/// How a registry Snapshot() combines several gauges registered under one
+/// name. kMax is the conservative reading for staleness-style gauges (the
+/// worst replica's watermark lag IS the fleet's lag); kSum is for capacity
+/// gauges whose instances partition a total (per-replica queue depths sum
+/// to the engine's total backlog).
+enum class GaugeAgg { kMax, kSum };
+
 /// One named metric in a registry snapshot.
 struct MetricPoint {
   std::string name;
@@ -195,9 +202,12 @@ class MetricsRegistry {
 
   /// Registers a component-owned instrument under `name`. Multiple views
   /// (and a registry-owned instrument) may share a name; Snapshot()
-  /// aggregates them. The view must stay alive until Unregister.
+  /// aggregates them (counters/histograms sum; gauges combine per the
+  /// name's GaugeAgg — the last registration's `agg` wins for the name).
+  /// The view must stay alive until Unregister.
   void RegisterCounter(const std::string& name, const Counter* view);
-  void RegisterGauge(const std::string& name, const Gauge* view);
+  void RegisterGauge(const std::string& name, const Gauge* view,
+                     GaugeAgg agg = GaugeAgg::kMax);
   void RegisterHistogram(const std::string& name, const Histogram* view);
 
   /// Removes a previously registered view (no-op if absent).
@@ -215,6 +225,7 @@ class MetricsRegistry {
   mutable std::mutex mu_;
   std::map<std::string, Entry<Counter>> counters_;
   std::map<std::string, Entry<Gauge>> gauges_;
+  std::map<std::string, GaugeAgg> gauge_agg_;  // absent = kMax
   std::map<std::string, Entry<Histogram>> histograms_;
 };
 

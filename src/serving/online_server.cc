@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "common/logging.h"
+#include "engine/distributed_graph_engine.h"
 #include "maintenance/maintenance_scheduler.h"
 #include "obs/exporter.h"
 #include "obs/metrics.h"
@@ -44,6 +45,8 @@ OnlineServer::OnlineServer(const graph::HeteroGraph* g,
       cache_(std::make_unique<NeighborCache>(g, options_.cache)),
       index_(options_.ann) {
   requests_ = registry_->GetCounter("serving.requests");
+  ryw_requests_ =
+      registry_->GetCounter("serving.read_your_writes_requests");
   node_ingests_ = registry_->GetCounter("serving.node_ingest");
   request_latency_us_ = registry_->GetHistogram("serving.request_latency_us");
   embed_latency_us_ = registry_->GetHistogram("serving.embed_latency_us");
@@ -66,6 +69,10 @@ void OnlineServer::WarmCache(const std::vector<NodeId>& nodes) {
 void OnlineServer::AttachDynamicGraph(
     const streaming::DynamicHeteroGraph* dynamic) {
   cache_->AttachDynamicGraph(dynamic);
+}
+
+void OnlineServer::AttachEngine(engine::DistributedGraphEngine* engine) {
+  engine_ = engine;
 }
 
 Status OnlineServer::IngestNode(NodeId id, std::vector<float> embedding,
@@ -111,6 +118,17 @@ void OnlineServer::OnGraphUpdate(const std::vector<NodeId>& nodes) {
   for (NodeId n : nodes) cache_->Invalidate(n);
 }
 
+void OnlineServer::OnGraphUpdate(uint64_t epoch,
+                                 const std::vector<NodeId>& nodes) {
+  // Monotone CAS: listeners fire from several shard consumer threads and
+  // epochs may arrive out of order across shards.
+  uint64_t seen = last_update_epoch_.load(std::memory_order_relaxed);
+  while (epoch > seen && !last_update_epoch_.compare_exchange_weak(
+                             seen, epoch, std::memory_order_acq_rel)) {
+  }
+  OnGraphUpdate(nodes);
+}
+
 void OnlineServer::AttachMaintenance(
     maintenance::MaintenanceScheduler* scheduler) {
   ZCHECK(scheduler != nullptr);
@@ -127,6 +145,7 @@ void OnlineServer::AttachMaintenance(
 }
 
 void OnlineServer::EmbedRequest(const ServingRequest& req,
+                                uint64_t min_epoch,
                                 std::vector<float>* out) {
   const int d = options_.embedding_dim;
   out->assign(d, 0.0f);
@@ -149,7 +168,22 @@ void OnlineServer::EmbedRequest(const ServingRequest& req,
   std::vector<NodeId> tmp;
   for (NodeId ego : {req.user, req.query}) {
     bool hit = true;
-    if (options_.use_neighbor_cache) {
+    if (min_epoch > 0 && engine_ != nullptr) {
+      // Read-your-writes path: a cached entry may predate the session's
+      // write, so fetch through the engine — its freshness-aware router
+      // only uses replicas whose watermark covers min_epoch.
+      engine::SampleRequest sreq;
+      sreq.node = ego;
+      sreq.k = options_.cache.k;
+      sreq.rng_seed = options_.seed ^ static_cast<uint64_t>(ego);
+      sreq.min_epoch = min_epoch;
+      StatusOr<engine::SampleResponse> sresp = engine_->Sample(sreq);
+      if (sresp.ok()) {
+        tmp = std::move(sresp.value().neighbors);
+      } else {
+        hit = cache_->Get(ego, &tmp);  // degrade to the cached view
+      }
+    } else if (options_.use_neighbor_cache) {
       hit = cache_->Get(ego, &tmp);
     } else {
       // Cache bypass: compute top-k on the request path.
@@ -194,10 +228,16 @@ void OnlineServer::EmbedRequest(const ServingRequest& req,
 }
 
 ServingResponse OnlineServer::Handle(const ServingRequest& req) {
+  return Handle(req, SessionToken{});
+}
+
+ServingResponse OnlineServer::Handle(const ServingRequest& req,
+                                     const SessionToken& token) {
   WallTimer timer;
   ServingResponse resp;
   std::vector<float> uq;
-  EmbedRequest(req, &uq);
+  if (token.last_write_epoch > 0) ryw_requests_->Add(1);
+  EmbedRequest(req, token.last_write_epoch, &uq);
   const int64_t embed_us = static_cast<int64_t>(timer.ElapsedMicros());
   embed_latency_us_->Record(embed_us);
   resp.items = index_.Search(uq.data(), options_.top_n);

@@ -28,6 +28,10 @@
 
 namespace zoomer {
 
+namespace engine {
+class DistributedGraphEngine;
+}  // namespace engine
+
 namespace maintenance {
 class MaintenanceScheduler;
 }  // namespace maintenance
@@ -58,6 +62,20 @@ struct ServingRequest {
   graph::NodeId query = -1;
 };
 
+/// Read-your-writes session state: tracks the delta-log epoch of the
+/// session's own last write. Pass it to Handle(req, token) so neighbor
+/// reads route only to engine replicas whose apply watermark covers the
+/// session's writes — a lagging replica can never serve this session a
+/// view that misses its own just-ingested edge. Feed it from the ingest
+/// pipeline's update listener (or OfferNewNode's epoch).
+struct SessionToken {
+  uint64_t last_write_epoch = 0;
+  /// Records a write the session observed (monotone).
+  void Observe(uint64_t epoch) {
+    if (epoch > last_write_epoch) last_write_epoch = epoch;
+  }
+};
+
 struct ServingResponse {
   std::vector<AnnResult> items;
   double latency_ms = 0.0;
@@ -74,6 +92,19 @@ class OnlineServer {
 
   /// Synchronous request handling (measures its own latency).
   ServingResponse Handle(const ServingRequest& req);
+
+  /// Session-pinned handling: when an engine is attached (AttachEngine) and
+  /// the token has observed a write, ego-node neighbor reads go through the
+  /// engine with SampleRequest::min_epoch = the token's last write epoch —
+  /// the freshness-aware router then only uses replicas whose watermark
+  /// covers the session's writes (cached entries may predate them).
+  ServingResponse Handle(const ServingRequest& req,
+                         const SessionToken& token);
+
+  /// Routes session-pinned neighbor reads (Handle with a SessionToken)
+  /// through the replica-group engine's freshness-aware router. The engine
+  /// must outlive this server.
+  void AttachEngine(engine::DistributedGraphEngine* engine);
 
   /// Pre-fills the neighbor cache for the given nodes.
   void WarmCache(const std::vector<graph::NodeId>& nodes);
@@ -93,9 +124,19 @@ class OnlineServer {
 
   /// Ingest-pipeline update hook: invalidates the touched nodes' cache
   /// entries (each schedules an asynchronous re-fill). Register as
-  ///   pipeline.AddUpdateListener([&](const auto& nodes) {
-  ///     server.OnGraphUpdate(nodes); });
+  ///   pipeline.AddUpdateListener([&](uint64_t epoch, const auto& nodes) {
+  ///     server.OnGraphUpdate(epoch, nodes); });
   void OnGraphUpdate(const std::vector<graph::NodeId>& nodes);
+
+  /// Epoch-carrying overload matching IngestPipeline::UpdateListener; the
+  /// epoch is also remembered as last_update_epoch() so callers can stamp
+  /// session tokens without threading the listener themselves.
+  void OnGraphUpdate(uint64_t epoch, const std::vector<graph::NodeId>& nodes);
+
+  /// Delta-log epoch of the newest update observed via OnGraphUpdate.
+  uint64_t last_update_epoch() const {
+    return last_update_epoch_.load(std::memory_order_acquire);
+  }
 
   /// Subscribes this server to the background maintenance scheduler: any
   /// policy pass that changed node neighborhoods (e.g. a TTL expiry sweep
@@ -122,8 +163,11 @@ class OnlineServer {
   const AnnIndex& index() const { return index_; }
 
  private:
-  /// Edge-attention-only user-query embedding in plain float math.
-  void EmbedRequest(const ServingRequest& req, std::vector<float>* out);
+  /// Edge-attention-only user-query embedding in plain float math. A
+  /// non-zero `min_epoch` (with an attached engine) fetches ego neighbors
+  /// through the engine's freshness-aware router instead of the cache.
+  void EmbedRequest(const ServingRequest& req, uint64_t min_epoch,
+                    std::vector<float>* out);
 
   /// Embedding row of `id`, spanning the offline export and streamed
   /// overlay nodes; nullptr for ids with no registered embedding. The
@@ -136,8 +180,11 @@ class OnlineServer {
 
   const graph::HeteroGraph* graph_;
   OnlineServerOptions options_;
+  engine::DistributedGraphEngine* engine_ = nullptr;  // AttachEngine
+  std::atomic<uint64_t> last_update_epoch_{0};
   obs::MetricsRegistry* registry_;          // resolved (never null)
   obs::Counter* requests_;                  // serving.requests
+  obs::Counter* ryw_requests_;              // serving.read_your_writes_requests
   obs::Counter* node_ingests_;              // serving.node_ingest
   obs::Histogram* request_latency_us_;      // serving.request_latency_us
   obs::Histogram* embed_latency_us_;        // serving.embed_latency_us

@@ -604,8 +604,12 @@ class DynamicHeteroGraph {
   };
 
   static int ShardFor(graph::NodeId node) {
-    return static_cast<int>((static_cast<uint64_t>(node) * 2654435761ull) %
-                            kNumLockShards);
+    // Fold the product's high half down before the modulo: kNumLockShards
+    // is a power of two, so the raw low bits alias strided id ranges onto
+    // one lock shard (serializing every overlay op on a single mutex).
+    uint64_t h = static_cast<uint64_t>(node) * 2654435761ull;
+    h ^= h >> 32;
+    return static_cast<int>(h % kNumLockShards);
   }
 
   void AppendHalfEdge(const graph::SegmentedCsr& base, graph::NodeId node,

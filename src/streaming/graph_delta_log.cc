@@ -1,6 +1,7 @@
 #include "streaming/graph_delta_log.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "common/logging.h"
 
@@ -80,11 +81,16 @@ StatusOr<uint64_t> GraphDeltaLog::AppendWithNodes(
 }
 
 std::vector<DeltaBatch> GraphDeltaLog::ReadSince(uint64_t epoch) const {
+  return ReadSince(epoch, std::numeric_limits<uint64_t>::max());
+}
+
+std::vector<DeltaBatch> GraphDeltaLog::ReadSince(uint64_t epoch,
+                                                 uint64_t max_epoch) const {
   std::vector<DeltaBatch> out;
   for (const Shard& s : shards_) {
     std::lock_guard<std::mutex> lock(s.mu);
     for (const DeltaBatch& b : s.batches) {
-      if (b.epoch > epoch) out.push_back(b);
+      if (b.epoch > epoch && b.epoch <= max_epoch) out.push_back(b);
     }
   }
   std::sort(out.begin(), out.end(),
@@ -94,10 +100,57 @@ std::vector<DeltaBatch> GraphDeltaLog::ReadSince(uint64_t epoch) const {
   return out;
 }
 
+int GraphDeltaLog::RegisterConsumer(uint64_t start_epoch) {
+  std::lock_guard<std::mutex> lock(consumers_mu_);
+  const int id = next_consumer_id_++;
+  consumers_.emplace_back(id, start_epoch);
+  return id;
+}
+
+void GraphDeltaLog::AdvanceConsumer(int id, uint64_t epoch) {
+  std::lock_guard<std::mutex> lock(consumers_mu_);
+  for (auto& [cid, cursor] : consumers_) {
+    if (cid == id) {
+      cursor = std::max(cursor, epoch);
+      return;
+    }
+  }
+}
+
+void GraphDeltaLog::UnregisterConsumer(int id) {
+  std::lock_guard<std::mutex> lock(consumers_mu_);
+  consumers_.erase(std::remove_if(consumers_.begin(), consumers_.end(),
+                                  [id](const std::pair<int, uint64_t>& c) {
+                                    return c.first == id;
+                                  }),
+                   consumers_.end());
+}
+
+uint64_t GraphDeltaLog::ConsumerCursor(int id) const {
+  std::lock_guard<std::mutex> lock(consumers_mu_);
+  for (const auto& [cid, cursor] : consumers_) {
+    if (cid == id) return cursor;
+  }
+  return 0;
+}
+
+uint64_t GraphDeltaLog::MinConsumerEpoch() const {
+  std::lock_guard<std::mutex> lock(consumers_mu_);
+  uint64_t min_cursor = std::numeric_limits<uint64_t>::max();
+  for (const auto& [cid, cursor] : consumers_) {
+    (void)cid;
+    min_cursor = std::min(min_cursor, cursor);
+  }
+  return min_cursor;
+}
+
 int64_t GraphDeltaLog::TruncateExpired(const streaming::DecaySpec& spec,
                                        int64_t now_seconds,
                                        uint64_t max_epoch) {
   if (!spec.has_ttl()) return 0;
+  // A registered replay consumer (a replica's apply cursor) pins everything
+  // past its cursor, dead or alive — revival replays exactly this tail.
+  max_epoch = std::min(max_epoch, MinConsumerEpoch());
   int64_t dropped = 0;
   for (Shard& s : shards_) {
     std::lock_guard<std::mutex> lock(s.mu);
@@ -131,6 +184,7 @@ int64_t GraphDeltaLog::TruncateExpired(const streaming::DecaySpec& spec,
 }
 
 void GraphDeltaLog::Truncate(uint64_t epoch) {
+  epoch = std::min(epoch, MinConsumerEpoch());
   for (Shard& s : shards_) {
     std::lock_guard<std::mutex> lock(s.mu);
     auto keep = std::remove_if(s.batches.begin(), s.batches.end(),

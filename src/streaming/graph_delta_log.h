@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <functional>
 #include <mutex>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -124,9 +125,42 @@ class GraphDeltaLog {
   /// Replay cursor for recovery and for rebuilding a dynamic view.
   std::vector<DeltaBatch> ReadSince(uint64_t epoch) const;
 
+  /// Bounded replay read: batches with `epoch` < batch epoch <= `max_epoch`,
+  /// sorted. Replica appliers bound reads by the primary graph's watermark —
+  /// a watermark-covered epoch is guaranteed fully appended (batches are
+  /// inserted into their shard vector outside the epoch lock, so an
+  /// unbounded read could observe epoch N+1 before N lands).
+  std::vector<DeltaBatch> ReadSince(uint64_t epoch, uint64_t max_epoch) const;
+
+  // ---- replay consumers (replica apply cursors) ---------------------------
+  // Each replica of the distributed engine owns a cursor into this log.
+  // While a consumer is registered, Truncate/TruncateExpired clamp to the
+  // minimum cursor, so a lagging — or killed — replica's replay tail
+  // survives until it catches up (or is unregistered). This is what makes
+  // ReviveReplica's "rebuild by replaying from the last watermark" safe
+  // against concurrent fold-driven truncation.
+
+  /// Registers a consumer whose cursor starts at `start_epoch` (it still
+  /// needs every batch with epoch > start_epoch). Returns the consumer id.
+  int RegisterConsumer(uint64_t start_epoch = 0);
+
+  /// Advances the consumer's cursor (monotone; lower values are ignored).
+  void AdvanceConsumer(int id, uint64_t epoch);
+
+  /// Drops the consumer; its cursor no longer pins retention.
+  void UnregisterConsumer(int id);
+
+  uint64_t ConsumerCursor(int id) const;
+
+  /// Smallest registered cursor, or UINT64_MAX when no consumer is
+  /// registered — the retention floor Truncate/TruncateExpired respect.
+  uint64_t MinConsumerEpoch() const;
+
   /// Drops batches with epoch <= `epoch` (called after compaction folds
   /// them into the base CSR — with incremental segment folds, pass
-  /// DynamicHeteroGraph::SafeTruncateEpoch()).
+  /// DynamicHeteroGraph::SafeTruncateEpoch()). Clamped to
+  /// MinConsumerEpoch(): a registered replay consumer's unconsumed tail is
+  /// never dropped, however far compaction has folded.
   void Truncate(uint64_t epoch);
 
   /// TTL-driven truncation (ROADMAP: "TTL'd truncation of the in-memory
@@ -138,7 +172,9 @@ class GraphDeltaLog {
   /// the id-space record later surviving edge batches may reference on a
   /// fresh replay; only fold-driven Truncate() retires them. Pass the
   /// graph's watermark_epoch() as `max_epoch` so an issued-but-unapplied
-  /// batch is never dropped. Returns the number of batches dropped.
+  /// batch is never dropped; `max_epoch` is additionally clamped to
+  /// MinConsumerEpoch() so replay consumers keep their tails. Returns the
+  /// number of batches dropped.
   int64_t TruncateExpired(const streaming::DecaySpec& spec,
                           int64_t now_seconds, uint64_t max_epoch);
 
@@ -154,6 +190,10 @@ class GraphDeltaLog {
   };
 
   std::atomic<uint64_t> next_epoch_{1};
+  /// Replay-consumer cursors (consumer id -> last consumed epoch).
+  mutable std::mutex consumers_mu_;
+  std::vector<std::pair<int, uint64_t>> consumers_;  // guarded above
+  int next_consumer_id_ = 0;                         // guarded above
   /// Serializes epoch issuance with the on_issue notification: a later
   /// epoch cannot be issued (let alone applied) before an earlier one is
   /// reported pending, which the watermark correctness argument relies on.

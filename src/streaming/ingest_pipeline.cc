@@ -254,11 +254,16 @@ StatusOr<graph::NodeId> IngestPipeline::OfferNewNode(
   }
   std::sort(touched.begin(), touched.end());
   touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
-  for (const UpdateListener& listener : listeners_) listener(touched);
+  for (const UpdateListener& listener : listeners_) {
+    listener(batch.epoch, touched);
+  }
 
   if (engine_ != nullptr) {
     engine_->RecordShardUpdate(shard,
                                static_cast<int64_t>(batch.events.size()));
+    // Node mints grow the global id-space: every shard's replicas must
+    // replay them (gap-free id allocation), so publish to all buses.
+    engine_->PublishDelta(shard, batch.epoch, /*all_shards=*/true);
   }
   batches_.Add(1);
   nodes_ingested_.Add(1);
@@ -351,10 +356,15 @@ void IngestPipeline::CutBatch(int shard, std::vector<EdgeEvent> events,
   }
   std::sort(touched.begin(), touched.end());
   touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
-  for (const UpdateListener& listener : listeners_) listener(touched);
+  for (const UpdateListener& listener : listeners_) {
+    listener(batch.epoch, touched);
+  }
 
   if (engine_ != nullptr) {
     engine_->RecordShardUpdate(shard, n);
+    // Wake the owning shard's replica appliers (cross-shard dst endpoints
+    // are covered by the appliers' poll interval).
+    engine_->PublishDelta(shard, batch.epoch);
   }
   batches_.Add(1);
   events_applied_.Add(n);

@@ -75,10 +75,13 @@ std::vector<EdgeEvent> SessionToEvents(const graph::SessionRecord& session);
 
 class IngestPipeline : public CompactionParticipant {
  public:
-  /// Hook invoked after a batch is applied, with the distinct nodes it
-  /// touched. Runs on the shard consumer thread — keep it cheap (e.g.
-  /// schedule cache invalidations).
-  using UpdateListener = std::function<void(const std::vector<graph::NodeId>&)>;
+  /// Hook invoked after a batch is applied, with the batch's delta-log
+  /// epoch and the distinct nodes it touched. Runs on the shard consumer
+  /// thread — keep it cheap (e.g. schedule cache invalidations). The epoch
+  /// is what a session stamps into engine::SampleRequest::min_epoch (or
+  /// serving::OnlineServer::SessionToken) for read-your-writes routing.
+  using UpdateListener =
+      std::function<void(uint64_t epoch, const std::vector<graph::NodeId>&)>;
 
   /// `log` and `graph` must outlive the pipeline. `engine` is optional; when
   /// present, per-shard update counts are reported into its stats.

@@ -15,7 +15,7 @@ void AttachTrainingFreshness(core::ZoomerModel* model,
   ZCHECK(pipeline != nullptr);
   model->AttachGraphView(view);
   pipeline->AddUpdateListener(
-      [trainer](const std::vector<graph::NodeId>&) {
+      [trainer](uint64_t /*epoch*/, const std::vector<graph::NodeId>&) {
         trainer->NotifyGraphUpdate();
       });
   trainer->SetGraphRefreshHook([view] { return view->Refresh(); });

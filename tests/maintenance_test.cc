@@ -989,8 +989,9 @@ TEST(ServingMaintenanceTest, TtlSweepInvalidatesNeighborCacheViaScheduler) {
   streaming::IngestOptions iopt;
   iopt.num_shards = 2;
   streaming::IngestPipeline pipeline(&log, &dyn, iopt);
-  pipeline.AddUpdateListener(
-      [&](const std::vector<NodeId>& nodes) { server.OnGraphUpdate(nodes); });
+  pipeline.AddUpdateListener([&](uint64_t epoch, const std::vector<NodeId>& nodes) {
+    server.OnGraphUpdate(epoch, nodes);
+  });
   pipeline.Start();
 
   const NodeId fresh_item = 2 + 3;

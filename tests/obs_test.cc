@@ -176,6 +176,36 @@ TEST(RegistryTest, ViewsAggregateAndUnregister) {
   EXPECT_EQ(snap.Find("agg.gauge")->value, 1.0);
 }
 
+TEST(RegistryTest, SumGaugesAddAcrossViews) {
+  // Capacity-style gauges (per-replica queue depths) register with
+  // GaugeAgg::kSum: their instances partition a total, so the snapshot adds
+  // them instead of taking the worst one.
+  MetricsRegistry reg;
+  Gauge qa, qb, qc;
+  qa.Set(2.0);
+  qb.Set(5.0);
+  qc.Set(1.0);
+  reg.RegisterGauge("queue.depth", &qa, GaugeAgg::kSum);
+  reg.RegisterGauge("queue.depth", &qb, GaugeAgg::kSum);
+  reg.RegisterGauge("queue.depth", &qc, GaugeAgg::kSum);
+  EXPECT_EQ(reg.Snapshot().Find("queue.depth")->value, 8.0);
+
+  reg.Unregister("queue.depth", &qb);
+  EXPECT_EQ(reg.Snapshot().Find("queue.depth")->value, 3.0);
+
+  // Dropping the last view clears the name AND its aggregation mode: a
+  // future max-style registration under the same name must not sum.
+  reg.Unregister("queue.depth", &qa);
+  reg.Unregister("queue.depth", &qc);
+  EXPECT_EQ(reg.Snapshot().Find("queue.depth"), nullptr);
+  Gauge ga, gb;
+  ga.Set(4.0);
+  gb.Set(6.0);
+  reg.RegisterGauge("queue.depth", &ga);
+  reg.RegisterGauge("queue.depth", &gb);
+  EXPECT_EQ(reg.Snapshot().Find("queue.depth")->value, 6.0);  // max again
+}
+
 TEST(RegistryTest, OwnedAndViewShareOneName) {
   MetricsRegistry reg;
   reg.GetCounter("mix")->Add(5);

@@ -11,9 +11,14 @@
 
 #include "common/random.h"
 #include "data/taobao_generator.h"
+#include "engine/distributed_graph_engine.h"
+#include "obs/metrics.h"
 #include "serving/ann_index.h"
 #include "serving/neighbor_cache.h"
 #include "serving/online_server.h"
+#include "streaming/dynamic_hetero_graph.h"
+#include "streaming/graph_delta_log.h"
+#include "streaming/ingest_pipeline.h"
 
 namespace zoomer {
 namespace serving {
@@ -255,6 +260,75 @@ TEST(OnlineServerTest, CacheWarmupIncreasesHitRate) {
     server->Handle({ds.test[i].user, ds.test[i].query});
   }
   EXPECT_GT(server->cache().hits(), 30);  // 2 lookups per request, warmed
+}
+
+TEST(OnlineServerTest, SessionTokenRoutesReadsThroughEngine) {
+  const auto& ds = Dataset();
+  obs::MetricsRegistry reg;
+  OnlineServerOptions opt;
+  opt.embedding_dim = 8;
+  opt.top_n = 5;
+  opt.registry = &reg;
+  auto server = MakeServer(ds, opt);
+
+  const int kShards = 2;
+  streaming::GraphDeltaLog log(kShards);
+  streaming::DynamicHeteroGraph primary(&ds.graph);
+  engine::EngineOptions eopt;
+  eopt.num_shards = kShards;
+  eopt.replication_factor = 2;
+  eopt.registry = &reg;
+  engine::DistributedGraphEngine eng(&ds.graph, eopt);
+  eng.ConnectUpdateFanout(&log, &primary);
+  server->AttachEngine(&eng);
+
+  streaming::IngestOptions iopt;
+  iopt.num_shards = kShards;
+  iopt.batch_size = 4;
+  iopt.registry = &reg;
+  streaming::IngestPipeline pipe(&log, &primary, iopt, &eng);
+  pipe.AddUpdateListener(
+      [&](uint64_t epoch, const std::vector<graph::NodeId>& nodes) {
+        server->OnGraphUpdate(epoch, nodes);
+      });
+  pipe.Start();
+
+  // The session writes two click edges, then reads with a token stamped
+  // from the write's delta-log epoch: the ego neighbor reads must go
+  // through the engine's freshness-aware router, not the (stale) cache.
+  graph::SessionRecord session;
+  session.user = ds.test[0].user;
+  session.query = ds.test[0].query;
+  session.clicks = {ds.all_items[0], ds.all_items[1]};
+  ASSERT_TRUE(pipe.Offer(session));
+  pipe.Flush();
+  ASSERT_GT(server->last_update_epoch(), 0u);
+
+  SessionToken token;
+  token.Observe(server->last_update_epoch());
+  EXPECT_EQ(token.last_write_epoch, server->last_update_epoch());
+  const uint64_t stamped = token.last_write_epoch;
+  token.Observe(stamped - 1);  // stale observes must not roll back
+  EXPECT_EQ(token.last_write_epoch, stamped);
+
+  ServingResponse resp = server->Handle({session.user, session.query}, token);
+  EXPECT_EQ(resp.items.size(), 5u);
+
+  auto snap = reg.Snapshot();
+  const obs::MetricPoint* ryw = snap.Find("serving.read_your_writes_requests");
+  ASSERT_NE(ryw, nullptr);
+  EXPECT_EQ(ryw->value, 1.0);
+  const obs::MetricPoint* samples = snap.Find("engine.sample_requests");
+  ASSERT_NE(samples, nullptr);
+  EXPECT_GE(samples->value, 1.0);  // ego reads actually hit the engine
+
+  // A tokenless Handle uses the cache path and never touches the engine.
+  const double engine_samples = samples->value;
+  server->Handle({session.user, session.query});
+  snap = reg.Snapshot();
+  EXPECT_EQ(snap.Find("engine.sample_requests")->value, engine_samples);
+  EXPECT_EQ(snap.Find("serving.read_your_writes_requests")->value, 1.0);
+  pipe.Stop();
 }
 
 TEST(OnlineServerTest, LoadGeneratorMeasuresThroughput) {

@@ -164,6 +164,52 @@ TEST(GraphDeltaLogTest, ReadSinceAndTruncate) {
   EXPECT_EQ(log.last_epoch(), e2);  // truncation never rewinds epochs
 }
 
+TEST(GraphDeltaLogTest, BoundedReadSinceExcludesNewerEpochs) {
+  GraphDeltaLog log(1);
+  const uint64_t e1 = log.Append(0, {{0, 1, RelationKind::kClick, 1.0f, 0}});
+  const uint64_t e2 = log.Append(0, {{0, 2, RelationKind::kClick, 1.0f, 0}});
+  const uint64_t e3 = log.Append(0, {{1, 2, RelationKind::kClick, 1.0f, 0}});
+  auto window = log.ReadSince(e1, e2);
+  ASSERT_EQ(window.size(), 1u);
+  EXPECT_EQ(window[0].epoch, e2);
+  EXPECT_TRUE(log.ReadSince(e3, e3).empty());
+  EXPECT_EQ(log.ReadSince(0, e3).size(), 3u);
+}
+
+TEST(GraphDeltaLogTest, ConsumerCursorsPinTruncation) {
+  // A registered replay consumer (a replica's apply cursor) clamps
+  // Truncate: its unconsumed tail survives however far compaction folded —
+  // the property ReviveReplica's log replay depends on.
+  GraphDeltaLog log(1);
+  const uint64_t e1 = log.Append(0, {{0, 1, RelationKind::kClick, 1.0f, 0}});
+  const uint64_t e2 = log.Append(0, {{0, 2, RelationKind::kClick, 1.0f, 0}});
+  const uint64_t e3 = log.Append(0, {{1, 2, RelationKind::kClick, 1.0f, 0}});
+
+  EXPECT_EQ(log.MinConsumerEpoch(), UINT64_MAX);  // no consumer: no floor
+  const int c = log.RegisterConsumer(e1);
+  EXPECT_EQ(log.ConsumerCursor(c), e1);
+  EXPECT_EQ(log.MinConsumerEpoch(), e1);
+
+  log.Truncate(e3);  // clamped to the consumer's cursor e1
+  auto remaining = log.ReadSince(0);
+  ASSERT_EQ(remaining.size(), 2u);
+  EXPECT_EQ(remaining[0].epoch, e2);
+  EXPECT_EQ(remaining[1].epoch, e3);
+
+  log.AdvanceConsumer(c, e2);
+  log.AdvanceConsumer(c, e1);  // monotone: lower values are ignored
+  EXPECT_EQ(log.ConsumerCursor(c), e2);
+  log.Truncate(e3);
+  remaining = log.ReadSince(0);
+  ASSERT_EQ(remaining.size(), 1u);
+  EXPECT_EQ(remaining[0].epoch, e3);
+
+  // Unregistering releases the pin entirely.
+  log.UnregisterConsumer(c);
+  log.Truncate(e3);
+  EXPECT_TRUE(log.ReadSince(0).empty());
+}
+
 // --- DynamicHeteroGraph ---------------------------------------------------
 
 TEST(DynamicGraphTest, ApplyBatchValidation) {
@@ -839,7 +885,7 @@ TEST(IngestPipelineTest, IngestAppliesEventsAndNotifies) {
   IngestPipeline pipeline(&log, &dyn, iopt, &engine);
   std::mutex mu;
   std::vector<NodeId> touched;
-  pipeline.AddUpdateListener([&](const std::vector<NodeId>& nodes) {
+  pipeline.AddUpdateListener([&](uint64_t, const std::vector<NodeId>& nodes) {
     std::lock_guard<std::mutex> lock(mu);
     touched.insert(touched.end(), nodes.begin(), nodes.end());
   });
@@ -1123,7 +1169,7 @@ TEST(NodeIngestTest, PipelineOfferNewNodeIsImmediatelyServable) {
   IngestPipeline pipeline(&log, &dyn, iopt);
   std::mutex mu;
   std::vector<NodeId> touched;
-  pipeline.AddUpdateListener([&](const std::vector<NodeId>& nodes) {
+  pipeline.AddUpdateListener([&](uint64_t, const std::vector<NodeId>& nodes) {
     std::lock_guard<std::mutex> lock(mu);
     touched.insert(touched.end(), nodes.begin(), nodes.end());
   });
@@ -1337,8 +1383,9 @@ TEST(ServingFreshnessTest, IngestedClickBecomesVisibleInHandle) {
   IngestOptions iopt;
   iopt.num_shards = 2;
   IngestPipeline pipeline(&log, &dyn, iopt);
-  pipeline.AddUpdateListener(
-      [&](const std::vector<NodeId>& nodes) { server.OnGraphUpdate(nodes); });
+  pipeline.AddUpdateListener([&](uint64_t epoch, const std::vector<NodeId>& nodes) {
+    server.OnGraphUpdate(epoch, nodes);
+  });
   pipeline.Start();
 
   server.WarmCache({0, 1});
@@ -1397,8 +1444,9 @@ TEST(ServingFreshnessTest, ColdStartItemRecommendedPreAndPostCompact) {
   IngestOptions iopt;
   iopt.num_shards = 2;
   IngestPipeline pipeline(&log, &dyn, iopt);
-  pipeline.AddUpdateListener(
-      [&](const std::vector<NodeId>& nodes) { server.OnGraphUpdate(nodes); });
+  pipeline.AddUpdateListener([&](uint64_t epoch, const std::vector<NodeId>& nodes) {
+    server.OnGraphUpdate(epoch, nodes);
+  });
   pipeline.Start();
   server.WarmCache({0, 1});
   const serving::ServingRequest req{0, 1};
