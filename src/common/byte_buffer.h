@@ -1,0 +1,98 @@
+// In-memory little-endian serialization buffers shared by the persistence
+// formats (checkpoint segments, manifest, WAL records). A record is always
+// built fully in memory first so its CRC can be computed before anything
+// touches the file — the write side of the "length + checksum + payload"
+// framing every on-disk artifact here uses. The read side parses from a
+// byte span and turns every malformed length or overrun into a clean false
+// (callers surface it as a Status) instead of UB.
+#ifndef ZOOMER_COMMON_BYTE_BUFFER_H_
+#define ZOOMER_COMMON_BYTE_BUFFER_H_
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+namespace zoomer {
+
+/// Append-only serialization buffer. Scalars and vectors of trivially
+/// copyable element types are written raw (little-endian hosts only, the
+/// same assumption graph_io.cc has always made).
+class ByteWriter {
+ public:
+  void Bytes(const void* data, size_t n) {
+    const auto* p = static_cast<const uint8_t*>(data);
+    buf_.insert(buf_.end(), p, p + n);
+  }
+
+  template <typename T>
+  void Scalar(T v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    Bytes(&v, sizeof(T));
+  }
+
+  /// uint64 element count followed by the raw element bytes.
+  template <typename T>
+  void Vector(const std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    Scalar<uint64_t>(v.size());
+    if (!v.empty()) Bytes(v.data(), v.size() * sizeof(T));
+  }
+
+  const std::vector<uint8_t>& data() const { return buf_; }
+  size_t size() const { return buf_.size(); }
+
+ private:
+  std::vector<uint8_t> buf_;
+};
+
+/// Bounded parser over a byte span. Every accessor returns false on
+/// overrun or on a vector length past `max_elems` (the corruption guard
+/// graph_io.cc established); once any read fails, ok() stays false.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const uint8_t> data) : data_(data) {}
+
+  bool ok() const { return ok_; }
+  bool exhausted() const { return pos_ == data_.size(); }
+  size_t remaining() const { return data_.size() - pos_; }
+
+  bool Bytes(void* out, size_t n) {
+    if (!ok_ || data_.size() - pos_ < n) {
+      ok_ = false;
+      return false;
+    }
+    std::memcpy(out, data_.data() + pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+  template <typename T>
+  bool Scalar(T* out) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    return Bytes(out, sizeof(T));
+  }
+
+  template <typename T>
+  bool Vector(std::vector<T>* out, uint64_t max_elems) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    uint64_t n = 0;
+    if (!Scalar(&n)) return false;
+    if (n > max_elems || data_.size() - pos_ < n * sizeof(T)) {
+      ok_ = false;
+      return false;
+    }
+    out->resize(n);
+    return out->empty() || Bytes(out->data(), n * sizeof(T));
+  }
+
+ private:
+  std::span<const uint8_t> data_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace zoomer
+
+#endif  // ZOOMER_COMMON_BYTE_BUFFER_H_

@@ -1,0 +1,19 @@
+// CRC-32 (IEEE 802.3 polynomial, reflected) for persistence integrity
+// checks: every checkpoint segment file, manifest, and WAL record carries a
+// checksum so recovery can tell a torn tail from silent corruption. Table
+// driven, no hardware or library dependencies.
+#ifndef ZOOMER_COMMON_CRC32_H_
+#define ZOOMER_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace zoomer {
+
+/// CRC-32 of `n` bytes. Chain blocks by passing the previous result as
+/// `seed` (the default seed is the standard initial value).
+uint32_t Crc32(const void* data, size_t n, uint32_t seed = 0);
+
+}  // namespace zoomer
+
+#endif  // ZOOMER_COMMON_CRC32_H_

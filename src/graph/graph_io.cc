@@ -5,6 +5,9 @@
 #include <memory>
 #include <vector>
 
+#include "common/byte_buffer.h"
+#include "common/crc32.h"
+
 namespace zoomer {
 namespace graph {
 
@@ -12,6 +15,9 @@ namespace {
 
 constexpr uint64_t kMagic = 0x5A4F4F4D47524148ull;  // "ZOOMGRAH"
 constexpr uint32_t kVersion = 1;
+
+constexpr uint64_t kSegMagic = 0x5A4F4F4D5345474Dull;  // "ZOOMSEGM"
+constexpr uint32_t kSegVersion = 1;
 
 struct FileCloser {
   void operator()(std::FILE* f) const {
@@ -174,6 +180,167 @@ StatusOr<HeteroGraph> LoadGraph(const std::string& path) {
     if (!st.ok()) return st;
   }
   return builder.Build();
+}
+
+Status SaveCsrSegment(const CsrSegment& seg, const std::string& path) {
+  // Payload first, in memory: the header carries its CRC, so recovery can
+  // distinguish a torn write from silent corruption before trusting any
+  // array. Alias tables are omitted — AliasTable::Build is deterministic
+  // over the stored (ordered) weights, so the rebuilt tables, and with
+  // them every weighted-draw sequence, match the saved segment exactly.
+  ByteWriter w;
+  w.Scalar<int64_t>(seg.first_node_);
+  w.Scalar<uint64_t>(seg.generation_);
+  w.Scalar<uint64_t>(seg.folded_epoch_);
+  w.Scalar<int32_t>(seg.content_dim_);
+  w.Vector(seg.types_);
+  w.Vector(seg.contents_);
+  w.Vector(seg.slot_ids_);
+  w.Vector(seg.slot_offsets_);
+  w.Vector(seg.offsets_);
+  w.Vector(seg.nbr_id_);
+  w.Vector(seg.nbr_weight_);
+  w.Vector(seg.nbr_kind_);
+  w.Vector(seg.type_offsets_);
+
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) return Status::Unavailable("cannot open " + path + " for writing");
+  const uint32_t crc = Crc32(w.data().data(), w.size());
+  bool ok = WriteScalar(f.get(), kSegMagic) &&
+            WriteScalar(f.get(), kSegVersion) && WriteScalar(f.get(), crc) &&
+            WriteScalar<uint64_t>(f.get(), w.size()) &&
+            (w.size() == 0 || WriteBytes(f.get(), w.data().data(), w.size()));
+  ok = ok && std::fflush(f.get()) == 0;
+  if (!ok) return Status::Internal("short write to " + path);
+  return Status::OK();
+}
+
+StatusOr<std::shared_ptr<const CsrSegment>> LoadCsrSegment(
+    const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) return Status::NotFound("cannot open " + path);
+  uint64_t magic = 0;
+  uint32_t version = 0, crc = 0;
+  uint64_t payload_size = 0;
+  if (!ReadScalar(f.get(), &magic) || magic != kSegMagic) {
+    return Status::InvalidArgument("bad segment magic in " + path);
+  }
+  if (!ReadScalar(f.get(), &version) || version != kSegVersion) {
+    return Status::InvalidArgument("unsupported segment file version in " +
+                                   path);
+  }
+  constexpr uint64_t kMaxPayload = 1ull << 38;
+  if (!ReadScalar(f.get(), &crc) || !ReadScalar(f.get(), &payload_size) ||
+      payload_size > kMaxPayload) {
+    return Status::InvalidArgument("corrupt segment header in " + path);
+  }
+  std::vector<uint8_t> payload(payload_size);
+  if (payload_size > 0 &&
+      !ReadBytes(f.get(), payload.data(), payload.size())) {
+    return Status::InvalidArgument("truncated segment payload in " + path);
+  }
+  if (Crc32(payload.data(), payload.size()) != crc) {
+    return Status::InvalidArgument("segment payload CRC mismatch in " + path);
+  }
+
+  constexpr uint64_t kMaxElems = 1ull << 34;
+  auto seg = std::make_shared<CsrSegment>();
+  ByteReader r({payload.data(), payload.size()});
+  int32_t content_dim = 0;
+  bool ok = r.Scalar(&seg->first_node_) && r.Scalar(&seg->generation_) &&
+            r.Scalar(&seg->folded_epoch_) && r.Scalar(&content_dim) &&
+            r.Vector(&seg->types_, kMaxElems) &&
+            r.Vector(&seg->contents_, kMaxElems) &&
+            r.Vector(&seg->slot_ids_, kMaxElems) &&
+            r.Vector(&seg->slot_offsets_, kMaxElems) &&
+            r.Vector(&seg->offsets_, kMaxElems) &&
+            r.Vector(&seg->nbr_id_, kMaxElems) &&
+            r.Vector(&seg->nbr_weight_, kMaxElems) &&
+            r.Vector(&seg->nbr_kind_, kMaxElems) &&
+            r.Vector(&seg->type_offsets_, kMaxElems);
+  if (!ok || !r.exhausted()) {
+    return Status::InvalidArgument("corrupt segment payload in " + path);
+  }
+  seg->content_dim_ = content_dim;
+
+  // Structural validation: the CRC catches bit rot, this catches a payload
+  // that checksums fine but violates the segment invariants (e.g. written
+  // by a buggy producer). Nothing below may index out of the arrays.
+  const int64_t rows = static_cast<int64_t>(seg->types_.size());
+  const int64_t half_edges = static_cast<int64_t>(seg->nbr_id_.size());
+  if (rows <= 0 || content_dim <= 0 || seg->first_node_ < 0) {
+    return Status::InvalidArgument("invalid segment shape in " + path);
+  }
+  if (static_cast<int64_t>(seg->contents_.size()) != rows * content_dim ||
+      static_cast<int64_t>(seg->slot_offsets_.size()) != rows + 1 ||
+      static_cast<int64_t>(seg->offsets_.size()) != rows + 1 ||
+      seg->nbr_weight_.size() != seg->nbr_id_.size() ||
+      seg->nbr_kind_.size() != seg->nbr_id_.size() ||
+      static_cast<int64_t>(seg->type_offsets_.size()) !=
+          rows * (kNumNodeTypes + 1)) {
+    return Status::InvalidArgument("segment section size mismatch in " + path);
+  }
+  if (seg->slot_offsets_[0] != 0 || seg->offsets_[0] != 0 ||
+      seg->slot_offsets_[rows] !=
+          static_cast<int64_t>(seg->slot_ids_.size()) ||
+      seg->offsets_[rows] != half_edges) {
+    return Status::InvalidArgument("segment offsets do not cover arrays in " +
+                                   path);
+  }
+  for (int64_t r2 = 0; r2 < rows; ++r2) {
+    if (seg->slot_offsets_[r2 + 1] < seg->slot_offsets_[r2] ||
+        seg->offsets_[r2 + 1] < seg->offsets_[r2]) {
+      return Status::InvalidArgument("non-monotone segment offsets in " +
+                                     path);
+    }
+    const int64_t tbase = r2 * (kNumNodeTypes + 1);
+    if (seg->type_offsets_[tbase] != seg->offsets_[r2] ||
+        seg->type_offsets_[tbase + kNumNodeTypes] != seg->offsets_[r2 + 1]) {
+      return Status::InvalidArgument("typed sub-ranges do not cover the row "
+                                     "block in " +
+                                     path);
+    }
+    for (int t = 0; t < kNumNodeTypes; ++t) {
+      if (seg->type_offsets_[tbase + t + 1] < seg->type_offsets_[tbase + t]) {
+        return Status::InvalidArgument("non-monotone typed sub-ranges in " +
+                                       path);
+      }
+    }
+    if (static_cast<uint8_t>(seg->types_[r2]) >= kNumNodeTypes) {
+      return Status::InvalidArgument("invalid node type in " + path);
+    }
+  }
+  for (const RelationKind k : seg->nbr_kind_) {
+    if (static_cast<uint8_t>(k) >= kNumRelationKinds) {
+      return Status::InvalidArgument("invalid relation kind in " + path);
+    }
+  }
+  for (const NodeId id : seg->nbr_id_) {
+    if (id < 0) {
+      return Status::InvalidArgument("negative neighbor id in " + path);
+    }
+  }
+
+  // Derived state: type counts and the per-row alias tables (deterministic
+  // Vose construction over the stored weight order).
+  for (int64_t r2 = 0; r2 < rows; ++r2) {
+    ++seg->type_counts_[static_cast<int>(seg->types_[r2])];
+  }
+  seg->alias_.resize(static_cast<size_t>(rows));
+  std::vector<double> wbuf;
+  for (int64_t r2 = 0; r2 < rows; ++r2) {
+    const int64_t deg = seg->offsets_[r2 + 1] - seg->offsets_[r2];
+    if (deg == 0) continue;
+    wbuf.assign(seg->nbr_weight_.begin() + seg->offsets_[r2],
+                seg->nbr_weight_.begin() + seg->offsets_[r2 + 1]);
+    for (double wv : wbuf) {
+      if (!(wv >= 0.0)) {
+        return Status::InvalidArgument("invalid neighbor weight in " + path);
+      }
+    }
+    seg->alias_[static_cast<size_t>(r2)].Build(wbuf);
+  }
+  return std::shared_ptr<const CsrSegment>(std::move(seg));
 }
 
 }  // namespace graph

@@ -6,10 +6,12 @@
 #ifndef ZOOMER_GRAPH_GRAPH_IO_H_
 #define ZOOMER_GRAPH_GRAPH_IO_H_
 
+#include <memory>
 #include <string>
 
 #include "common/status.h"
 #include "graph/hetero_graph.h"
+#include "graph/segmented_csr.h"
 
 namespace zoomer {
 namespace graph {
@@ -20,6 +22,19 @@ Status SaveGraph(const HeteroGraph& g, const std::string& path);
 /// Loads a graph written by SaveGraph. Validates magic, version, and
 /// structural invariants before returning.
 StatusOr<HeteroGraph> LoadGraph(const std::string& path);
+
+/// Writes one checkpoint segment file: header (magic, version, payload
+/// CRC-32, payload size) followed by the segment's raw arrays. The alias
+/// tables are NOT serialized — they rebuild deterministically from the
+/// stored weights, in order, so a loaded segment samples bit-identically.
+Status SaveCsrSegment(const CsrSegment& seg, const std::string& path);
+
+/// Loads a segment written by SaveCsrSegment. Verifies the CRC and every
+/// structural invariant (offset monotonicity, typed sub-range bounds, enum
+/// ranges) before returning — a truncated or corrupted file yields a clear
+/// Status, never a partially valid segment.
+StatusOr<std::shared_ptr<const CsrSegment>> LoadCsrSegment(
+    const std::string& path);
 
 }  // namespace graph
 }  // namespace zoomer

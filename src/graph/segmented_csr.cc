@@ -24,10 +24,12 @@ size_t CsrSegment::MemoryBytes() const {
 
 CsrSegmentBuilder::CsrSegmentBuilder(NodeId first_node, int64_t expected_rows,
                                      int content_dim, uint64_t generation,
-                                     TypeResolver type_of)
+                                     TypeResolver type_of,
+                                     uint64_t folded_epoch)
     : type_of_(std::move(type_of)) {
   seg_.first_node_ = first_node;
   seg_.generation_ = generation;
+  seg_.folded_epoch_ = folded_epoch;
   seg_.content_dim_ = content_dim;
   seg_.types_.reserve(expected_rows);
   seg_.contents_.reserve(expected_rows * content_dim);
@@ -222,6 +224,42 @@ std::shared_ptr<const SegmentedCsr> SegmentedCsr::Successor(
   }
   next->RecomputeTotals();
   return next;
+}
+
+StatusOr<std::shared_ptr<const SegmentedCsr>> SegmentedCsr::FromSegments(
+    int64_t span, std::vector<std::shared_ptr<const CsrSegment>> segments) {
+  if (span <= 0 || (span & (span - 1)) != 0) {
+    return Status::InvalidArgument("segment span must be a power of two");
+  }
+  if (segments.empty()) {
+    return Status::InvalidArgument("cannot assemble a CSR from 0 segments");
+  }
+  auto csr = std::shared_ptr<SegmentedCsr>(new SegmentedCsr());
+  csr->span_ = span;
+  csr->span_shift_ = 0;
+  while ((int64_t{1} << csr->span_shift_) < span) ++csr->span_shift_;
+  csr->content_dim_ = segments.front()->content_dim();
+  int64_t expect_first = 0;
+  for (size_t s = 0; s < segments.size(); ++s) {
+    const CsrSegment& seg = *segments[s];
+    if (seg.first_node() != expect_first) {
+      return Status::InvalidArgument("segments leave a row-coverage gap");
+    }
+    if (s + 1 < segments.size() && seg.num_rows() != span) {
+      return Status::InvalidArgument(
+          "only the frontier segment may be partial");
+    }
+    if (seg.num_rows() <= 0 || seg.num_rows() > span) {
+      return Status::InvalidArgument("segment row count out of range");
+    }
+    if (seg.content_dim() != csr->content_dim_) {
+      return Status::InvalidArgument("segments disagree on content_dim");
+    }
+    expect_first += seg.num_rows();
+  }
+  csr->segments_ = std::move(segments);
+  csr->RecomputeTotals();
+  return std::shared_ptr<const SegmentedCsr>(std::move(csr));
 }
 
 void SegmentedCsr::RecomputeTotals() {

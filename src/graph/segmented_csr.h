@@ -39,12 +39,23 @@
 
 #include "common/logging.h"
 #include "common/random.h"
+#include "common/status.h"
 #include "graph/alias_table.h"
 #include "graph/graph_view.h"
 #include "graph/hetero_graph.h"
 
 namespace zoomer {
 namespace graph {
+
+class CsrSegment;
+
+// Checkpoint serializers (persist layer, implemented in graph_io.cc); they
+// need raw-array access so a loaded segment is byte-identical to the saved
+// one — re-sorting or re-deriving anything on load would break the
+// bit-identical recovery contract.
+Status SaveCsrSegment(const CsrSegment& seg, const std::string& path);
+StatusOr<std::shared_ptr<const CsrSegment>> LoadCsrSegment(
+    const std::string& path);
 
 /// One immutable row range [first_node, first_node + num_rows) of the
 /// segmented CSR. Self-contained (owns its arrays): rebuilding a segment
@@ -57,6 +68,12 @@ class CsrSegment {
   /// Monotonic rebuild stamp: bumped every time a fold replaces this row
   /// range. Caches key their per-node entries on it.
   uint64_t generation() const { return generation_; }
+  /// Epoch this segment's rows last folded through (0 = the offline
+  /// partition, never folded). Overlay entries of these rows with epoch <=
+  /// folded_epoch and a neighbor born at or below it are already absorbed
+  /// into the rows — the per-segment replay floor crash recovery filters
+  /// WAL half-edges against.
+  uint64_t folded_epoch() const { return folded_epoch_; }
   int content_dim() const { return content_dim_; }
   int64_t num_half_edges() const { return static_cast<int64_t>(nbr_id_.size()); }
   int64_t num_rows_of_type(NodeType t) const {
@@ -97,9 +114,13 @@ class CsrSegment {
 
  private:
   friend class CsrSegmentBuilder;
+  friend Status SaveCsrSegment(const CsrSegment& seg, const std::string& path);
+  friend StatusOr<std::shared_ptr<const CsrSegment>> LoadCsrSegment(
+      const std::string& path);
 
   NodeId first_node_ = 0;
   uint64_t generation_ = 0;
+  uint64_t folded_epoch_ = 0;
   int content_dim_ = 0;
   std::vector<NodeType> types_;
   std::array<int64_t, kNumNodeTypes> type_counts_ = {0, 0, 0};
@@ -123,8 +144,12 @@ class CsrSegmentBuilder {
  public:
   using TypeResolver = std::function<NodeType(NodeId)>;
 
+  /// `folded_epoch` stamps the segment with the epoch its rows fold
+  /// through (0 for the offline partition) — see
+  /// CsrSegment::folded_epoch().
   CsrSegmentBuilder(NodeId first_node, int64_t expected_rows, int content_dim,
-                    uint64_t generation, TypeResolver type_of);
+                    uint64_t generation, TypeResolver type_of,
+                    uint64_t folded_epoch = 0);
 
   /// Appends the next row. `neighbors` need not be sorted; duplicates by
   /// (neighbor, kind) must already be coalesced by the caller.
@@ -169,6 +194,14 @@ class SegmentedCsr {
       const std::vector<std::pair<int64_t,
                                   std::shared_ptr<const CsrSegment>>>&
           replaced) const;
+
+  /// Reassembles a SegmentedCsr from already-built segments (checkpoint
+  /// recovery). Validates span (power of two), contiguity (segment i
+  /// starts at i * span, all but the last span full rows), and a
+  /// consistent content_dim across segments.
+  static StatusOr<std::shared_ptr<const SegmentedCsr>> FromSegments(
+      int64_t span,
+      std::vector<std::shared_ptr<const CsrSegment>> segments);
 
   int64_t segment_span() const { return span_; }
   int span_shift() const { return span_shift_; }

@@ -29,6 +29,7 @@ DynamicHeteroGraph::DynamicHeteroGraph(
     DynamicHeteroGraphOptions options)
     : options_(options),
       overlay_origin_(base != nullptr ? base->num_nodes() : 0),
+      mint_origin_(base != nullptr ? base->num_nodes() : 0),
       epoch_chunks_(new std::atomic<EpochChunk*>[kMaxNodeChunks]()),
       record_chunks_(new std::atomic<RecordChunk*>[kMaxNodeChunks]()),
       seg_chunks_(new std::atomic<SegStatChunk*>[kMaxSegChunks]()) {
@@ -64,6 +65,169 @@ DynamicHeteroGraph::DynamicHeteroGraph(
   // sentinel generation_of() hands out for never-folded overlay ids.
   base_ = std::make_shared<const SegmentedCsr>(*base, span, /*generation=*/1);
   base_generation_.store(1, std::memory_order_release);
+}
+
+StatusOr<std::unique_ptr<DynamicHeteroGraph>> DynamicHeteroGraph::Recover(
+    const RecoveryImage& image, DynamicHeteroGraphOptions options) {
+  if (image.base == nullptr) {
+    return Status::InvalidArgument("recovery image has no base");
+  }
+  const int64_t coverage = image.base->num_nodes();
+  if (options.segment_span != 0 &&
+      options.segment_span != image.base->segment_span()) {
+    return Status::InvalidArgument(
+        "options.segment_span disagrees with the checkpointed base");
+  }
+  if (image.base_generation == 0) {
+    return Status::InvalidArgument("base generation must be >= 1");
+  }
+  for (int64_t s = 0; s < image.base->num_segments(); ++s) {
+    if (image.base->segment_generation(s) > image.base_generation) {
+      return Status::InvalidArgument(
+          "a segment's generation exceeds the recorded base generation");
+    }
+  }
+  if (image.mint_origin < 0 || image.mint_origin > coverage) {
+    return Status::InvalidArgument("mint origin outside the base id-space");
+  }
+  if (static_cast<int64_t>(image.folded_birth_epochs.size()) !=
+      coverage - image.mint_origin) {
+    return Status::InvalidArgument(
+        "folded birth table does not span [mint_origin, base coverage)");
+  }
+  uint64_t last_birth = 0;
+  for (uint64_t b : image.folded_birth_epochs) {
+    if (b == 0 || b < last_birth) {
+      return Status::InvalidArgument(
+          "folded birth epochs must be positive and monotone in id");
+    }
+    last_birth = b;
+  }
+  NodeId expect = coverage;
+  for (const RestoredNodeRecord& r : image.overlay_records) {
+    if (r.id != expect++) {
+      return Status::InvalidArgument(
+          "overlay records must be contiguous from base coverage");
+    }
+    if (r.birth_epoch == 0 || r.birth_epoch < last_birth) {
+      return Status::InvalidArgument(
+          "overlay record birth epochs must be positive and monotone in id");
+    }
+    last_birth = r.birth_epoch;
+    if (r.applied) {
+      if (static_cast<int>(r.content.size()) != image.base->content_dim()) {
+        return Status::InvalidArgument("restored record content dim mismatch");
+      }
+      if (static_cast<int>(r.type) < 0 ||
+          static_cast<int>(r.type) >= graph::kNumNodeTypes) {
+        return Status::InvalidArgument("restored record type out of range");
+      }
+    } else if (r.birth_epoch <= image.checkpoint_epoch) {
+      // An unapplied batch holds the watermark — and SafeTruncateEpoch —
+      // below its epoch, so an unapplied record born at or below the
+      // checkpoint epoch can only come from a corrupt manifest.
+      return Status::InvalidArgument(
+          "an unapplied record cannot be born at or below the checkpoint "
+          "epoch");
+    }
+  }
+  return std::unique_ptr<DynamicHeteroGraph>(
+      new DynamicHeteroGraph(image, options));
+}
+
+DynamicHeteroGraph::DynamicHeteroGraph(const RecoveryImage& image,
+                                       DynamicHeteroGraphOptions options)
+    : options_(options),
+      overlay_origin_(image.base->num_nodes()),
+      mint_origin_(image.mint_origin),
+      epoch_chunks_(new std::atomic<EpochChunk*>[kMaxNodeChunks]()),
+      record_chunks_(new std::atomic<RecordChunk*>[kMaxNodeChunks]()),
+      seg_chunks_(new std::atomic<SegStatChunk*>[kMaxSegChunks]()) {
+  {
+    obs::MetricsRegistry* reg = options_.registry != nullptr
+                                    ? options_.registry
+                                    : obs::MetricsRegistry::Global();
+    fold_pause_us_ = reg->GetHistogram("maintenance.fold_pause_us");
+    fold_segments_ = reg->GetHistogram("maintenance.fold_segments");
+  }
+  content_dim_ = image.base->content_dim();
+  zero_content_.assign(static_cast<size_t>(content_dim_), 0.0f);
+  segment_span_ = image.base->segment_span();
+  segment_shift_ = image.base->span_shift();
+  folded_birth_epochs_ = image.folded_birth_epochs;
+  for (int t = 0; t < graph::kNumNodeTypes; ++t) {
+    base_type_counts_[t] =
+        image.base->num_nodes_of_type(static_cast<graph::NodeType>(t));
+  }
+  EnsureEpochSlots(overlay_origin_);
+  base_ = image.base;
+  base_generation_.store(image.base_generation, std::memory_order_release);
+  // Per-segment replay floors, mirrored into the pressure stats so the
+  // janitor's staleness view survives the restart.
+  replay_floors_.reserve(static_cast<size_t>(image.base->num_segments()));
+  for (int64_t s = 0; s < image.base->num_segments(); ++s) {
+    const uint64_t floor = image.base->segment(s).folded_epoch();
+    replay_floors_.push_back(floor);
+    seg_stat(s).folded_epoch.store(floor, std::memory_order_release);
+  }
+  // Restore the overlay records past base coverage. Applied records carry
+  // their payloads (their WAL batches replay as no-ops); unapplied records
+  // reserve their id + birth epoch and take their payload from replay.
+  {
+    std::lock_guard<std::mutex> lock(alloc_mu_);
+    for (const RestoredNodeRecord& r : image.overlay_records) {
+      const int64_t idx = r.id - overlay_origin_;
+      Status st = GrowAllocationLocked(idx + 1, r.birth_epoch);
+      ZCHECK(st.ok()) << st.ToString();  // Recover() validated monotonicity
+      if (!r.applied) continue;
+      OverlayNodeRecord& rec = overlay_record(r.id);
+      rec.type = r.type;
+      rec.type_claimed = true;
+      rec.timestamp = r.timestamp;
+      rec.content = r.content;
+      rec.slots = r.slots;
+      overlay_type_counts_[static_cast<int>(r.type)].fetch_add(
+          1, std::memory_order_relaxed);
+      rec.applied.store(true, std::memory_order_release);
+    }
+  }
+  AdvanceAppliedNodePrefix();
+  // The recovered graph reads exactly as a snapshot at the checkpoint epoch
+  // did pre-crash: restored records born above it stay invisible until
+  // replay re-applies their batches and the watermark passes their births.
+  max_applied_epoch_.store(image.checkpoint_epoch, std::memory_order_release);
+  watermark_epoch_.store(image.checkpoint_epoch, std::memory_order_release);
+  compacted_through_epoch_ = image.checkpoint_epoch;
+}
+
+uint64_t DynamicHeteroGraph::MintBirthEpoch(NodeId id) const {
+  if (id < mint_origin_) return 0;  // offline-born: predates every epoch
+  if (id < overlay_origin_) {
+    return folded_birth_epochs_[static_cast<size_t>(id - mint_origin_)];
+  }
+  ZCHECK(id < num_nodes_allocated());
+  return overlay_record(id).birth_epoch;
+}
+
+DynamicHeteroGraph::RestoredNodeRecord DynamicHeteroGraph::SnapshotNodeRecord(
+    NodeId id) const {
+  ZCHECK(id >= overlay_origin_ && id < num_nodes_allocated());
+  const OverlayNodeRecord& rec = overlay_record(id);
+  RestoredNodeRecord out;
+  out.id = id;
+  out.birth_epoch = rec.birth_epoch;  // immutable once published
+  if (rec.applied.load(std::memory_order_acquire)) {
+    // The payload is immutable once `applied` is set (release/acquire pair
+    // with ApplyBatch), so this copy is race-free under live ingest. An
+    // unapplied payload may be mid-write — its WAL batch is the durable
+    // source instead.
+    out.applied = true;
+    out.type = rec.type;
+    out.timestamp = rec.timestamp;
+    out.content = rec.content;
+    out.slots = rec.slots;
+  }
+  return out;
 }
 
 DynamicHeteroGraph::~DynamicHeteroGraph() {
@@ -436,6 +600,7 @@ Status DynamicHeteroGraph::ApplyBatch(const DeltaBatch& batch) {
   // node and its first edges at one visibility instant (the batch epoch).
   bool applied_nodes = false;
   for (const NodeEvent& nv : batch.node_events) {
+    if (nv.id < overlay_origin_) continue;  // replayed mint already folded
     OverlayNodeRecord& rec = overlay_record(nv.id);
     if (rec.applied.load(std::memory_order_acquire)) continue;  // replay
     // Per-type accounting: a typed allocation already counted its claim;
@@ -459,10 +624,19 @@ Status DynamicHeteroGraph::ApplyBatch(const DeltaBatch& batch) {
   }
   if (applied_nodes) AdvanceAppliedNodePrefix();
   for (const EdgeEvent& ev : batch.events) {
-    AppendHalfEdge(*base, ev.src, {ev.dst, ev.weight, ev.kind}, batch.epoch,
-                   ev.timestamp);
-    AppendHalfEdge(*base, ev.dst, {ev.src, ev.weight, ev.kind}, batch.epoch,
-                   ev.timestamp);
+    // Recovery replay: a half-edge a checkpointed segment already folded
+    // must not re-enter the overlay (the next fold would double-count it);
+    // the two directions decide independently — seg(src) may have folded
+    // this epoch while seg(dst) had not. Inert outside replay (empty
+    // floors, and live epochs always exceed every floor).
+    if (!ReplayFolded(ev.src, ev.dst, batch.epoch)) {
+      AppendHalfEdge(*base, ev.src, {ev.dst, ev.weight, ev.kind}, batch.epoch,
+                     ev.timestamp);
+    }
+    if (!ReplayFolded(ev.dst, ev.src, batch.epoch)) {
+      AppendHalfEdge(*base, ev.dst, {ev.src, ev.weight, ev.kind}, batch.epoch,
+                     ev.timestamp);
+    }
   }
   // Hot-node entries for the touched endpoints are stale now (their overlay
   // version moved); the lookup version check already rejects them, eager
@@ -497,6 +671,13 @@ Status DynamicHeteroGraph::RegisterNodeEvents(const DeltaBatch& batch) {
   // Pure validation first — ApplyBatch's whole-batch-or-nothing contract.
   for (const NodeEvent& nv : batch.node_events) {
     if (nv.id < overlay_origin_) {
+      // A WAL-replayed mint the recovered base already covers (the node
+      // folded before the crash): nothing to register, and the apply loop
+      // skips it too. Everything else below the origin is a caller bug.
+      if (!replay_floors_.empty() && nv.id >= mint_origin_ &&
+          MintBirthEpoch(nv.id) == batch.epoch) {
+        continue;
+      }
       return Status::InvalidArgument("node event id inside the base id-space");
     }
     if (static_cast<int>(nv.content.size()) != content_dim_) {
@@ -1163,8 +1344,15 @@ StatusOr<uint64_t> DynamicHeteroGraph::CompactSegments(
   locks.reserve(kNumLockShards);
   for (auto& sh : lock_shards_) locks.emplace_back(sh.mu);
 
-  const uint64_t fold_epoch =
-      max_applied_epoch_.load(std::memory_order_acquire);
+  // Fold through the *watermark*, not max_applied: an out-of-order shard
+  // may be parked on an unapplied batch below max_applied, whose entries
+  // would land after this fold yet sit at or below a max_applied floor —
+  // crash recovery's replay filter would then drop them as "already
+  // folded". At the watermark the floor is exact: every batch at or below
+  // it is fully applied, so its entries are in the overlays right now (or
+  // folded/expired earlier) and the rebuilt rows absorb all of them.
+  // Entries above the watermark are carried over and fold later.
+  const uint64_t fold_epoch = watermark_epoch();
   auto old_base = this->base();
   const int64_t covered = old_base->num_nodes();
   // Overlay nodes fold renumber-free: the contiguous applied prefix with
@@ -1254,7 +1442,7 @@ StatusOr<uint64_t> DynamicHeteroGraph::CompactSegments(
     const graph::CsrSegment* old_seg =
         s < old_base->num_segments() ? &old_base->segment(s) : nullptr;
     graph::CsrSegmentBuilder builder(lo, hi - lo, content_dim_, next_gen,
-                                     type_of);
+                                     type_of, fold_epoch);
     for (NodeId r = lo; r < hi; ++r) {
       const bool in_old = old_seg != nullptr && r < covered;
       auto dit = dirty.find(r);

@@ -192,6 +192,75 @@ class DynamicHeteroGraph {
                               DynamicHeteroGraphOptions options = {});
   ~DynamicHeteroGraph();
 
+  // ---- crash recovery (persist::RecoverFrom) ------------------------------
+
+  /// One overlay-born node as a checkpoint captured it. An unapplied record
+  /// carries only its birth epoch — its payload travels in the WAL batch
+  /// that minted it (guaranteed past the checkpoint epoch, since an
+  /// unapplied batch holds the watermark, and with it SafeTruncateEpoch,
+  /// below itself).
+  struct RestoredNodeRecord {
+    graph::NodeId id = -1;
+    uint64_t birth_epoch = 0;
+    bool applied = false;
+    graph::NodeType type = graph::NodeType::kItem;
+    int64_t timestamp = 0;
+    std::vector<float> content;
+    std::vector<int64_t> slots;
+  };
+
+  /// Everything a checkpoint must carry to rebuild this graph:
+  /// the segmented base (each segment stamped with the epoch it folded
+  /// through — the per-segment replay floor), the checkpoint epoch C
+  /// (= SafeTruncateEpoch at capture: every overlay entry pending then has
+  /// epoch > C, so base + WAL tail (> C) is the complete state), and the
+  /// node-mint record — birth epochs of overlay-born ids the base already
+  /// covers (so a replayed WAL half-edge can tell "neighbor was foldable at
+  /// my segment's fold" from "neighbor was carried"), plus full records of
+  /// ids past base coverage.
+  struct RecoveryImage {
+    std::shared_ptr<const graph::SegmentedCsr> base;
+    /// SafeTruncateEpoch at capture; the recovered graph starts with
+    /// epoch() == watermark_epoch() == this, and replay resumes above it.
+    uint64_t checkpoint_epoch = 0;
+    /// base_generation() at capture (>= every segment's generation).
+    uint64_t base_generation = 1;
+    /// First overlay-born id ever (the *genesis* base size — after folds,
+    /// base coverage exceeds it; ids below were offline-born).
+    int64_t mint_origin = 0;
+    /// Birth epochs of ids [mint_origin, base->num_nodes()), ascending.
+    std::vector<uint64_t> folded_birth_epochs;
+    /// Records of ids >= base->num_nodes(), contiguous ascending.
+    std::vector<RestoredNodeRecord> overlay_records;
+  };
+
+  /// Rebuilds a graph from a checkpoint image. The result reads exactly as
+  /// a snapshot at the checkpoint epoch did pre-crash; replaying the WAL
+  /// tail (NoteEpochIssued + ApplyBatch per batch, in epoch order — the
+  /// normal apply path) then reproduces the pre-crash graph bit-for-bit:
+  /// replayed half-edges already absorbed by a segment's fold are filtered
+  /// against that segment's replay floor, while entries that had been
+  /// carried over (neighbor born above the floor) re-enter the overlay.
+  static StatusOr<std::unique_ptr<DynamicHeteroGraph>> Recover(
+      const RecoveryImage& image, DynamicHeteroGraphOptions options = {});
+
+  /// First overlay-born id ever minted across this graph's whole restart
+  /// lineage (== overlay_origin() for a graph built from an offline
+  /// HeteroGraph; <= overlay_origin() after recovery, whose base may
+  /// already cover folded mints).
+  int64_t mint_origin() const { return mint_origin_; }
+
+  /// Birth epoch of a minted id (0 for offline-born ids below
+  /// mint_origin()). Defined for every id below num_nodes_allocated();
+  /// this is the lookup replay filtering and checkpoint capture share.
+  uint64_t MintBirthEpoch(graph::NodeId id) const;
+
+  /// Point-in-time copy of an overlay record for checkpointing, `id` in
+  /// [overlay_origin(), num_nodes_allocated()). Safe concurrent with
+  /// ingest: an unapplied record yields only its birth epoch (its payload
+  /// is still being written and is recoverable from the WAL instead).
+  RestoredNodeRecord SnapshotNodeRecord(graph::NodeId id) const;
+
   const DynamicHeteroGraphOptions& options() const { return options_; }
 
   /// Epoch of the newest applied batch (0 before any delta).
@@ -313,6 +382,13 @@ class DynamicHeteroGraph {
   uint64_t base_generation() const {
     return base_generation_.load(std::memory_order_acquire);
   }
+
+  /// (base, generation) captured in one base_mu_ critical section — folds
+  /// bump the generation inside the same exclusive section that swaps the
+  /// base, so a capture can never pair an old base with a new generation.
+  /// Used by snapshots and by the persist layer's CheckpointWriter.
+  std::pair<std::shared_ptr<const graph::SegmentedCsr>, uint64_t>
+  CapturedBase() const;
 
   /// The node's overlay version: epoch of its newest delta entry (0 = no
   /// overlay). Used by the hot-node cache consistency protocol. `node` must
@@ -559,6 +635,10 @@ class DynamicHeteroGraph {
   size_t OverlayMemoryBytes() const;
 
  private:
+  /// Recovery constructor; `image` must already be validated (Recover()).
+  DynamicHeteroGraph(const RecoveryImage& image,
+                     DynamicHeteroGraphOptions options);
+
   struct DeltaEntry {
     graph::NeighborEntry e;
     uint64_t epoch;
@@ -713,14 +793,6 @@ class DynamicHeteroGraph {
   mutable std::shared_mutex base_mu_;
   std::shared_ptr<const graph::SegmentedCsr> base_;  // guarded by base_mu_
 
-  /// (base, generation) captured in one base_mu_ critical section —
-  /// folds bump the generation inside the same exclusive section that
-  /// swaps the base, so a snapshot can never pair an old base with a new
-  /// generation (which would let it validate hot-cache entries built over
-  /// the new base).
-  std::pair<std::shared_ptr<const graph::SegmentedCsr>, uint64_t>
-  CapturedBase() const;
-
   /// Shared body of the MakeSnapshot overloads: resolves the effective
   /// window (override, or the graph default when null) and clock in one
   /// decay_mu_ section, then captures (base, generation) and the watermark.
@@ -745,6 +817,32 @@ class DynamicHeteroGraph {
 
   /// First overlay id; fixed at construction (base ids are [0, origin)).
   const int64_t overlay_origin_;
+  /// First overlay-born id across the restart lineage (== overlay_origin_
+  /// unless recovered); see mint_origin().
+  const int64_t mint_origin_;
+  /// Birth epochs of folded mints [mint_origin_, overlay_origin_), restored
+  /// from the checkpoint manifest. Immutable after construction.
+  std::vector<uint64_t> folded_birth_epochs_;
+  /// Per-segment replay floors of the recovered base (empty for a fresh
+  /// graph — the filter is inert). A replayed half-edge (u -> v, epoch e)
+  /// with e <= floor(seg(u)) was folded into u's row iff v was foldable at
+  /// that fold, i.e. MintBirthEpoch(v) <= floor — otherwise it was carried
+  /// over and must re-enter the overlay. Post-recovery traffic always
+  /// carries epochs above every floor (floors <= the last pre-crash epoch,
+  /// which the restored log's sequence resumes past), so the filter never
+  /// touches live ingest. Immutable after construction.
+  std::vector<uint64_t> replay_floors_;
+
+  /// True iff the recovery replay filter decided half-edge (node -> nbr,
+  /// epoch) is already folded into node's base row.
+  bool ReplayFolded(graph::NodeId node, graph::NodeId nbr,
+                    uint64_t epoch) const {
+    if (replay_floors_.empty()) return false;
+    const int64_t s = segment_of(node);
+    if (s >= static_cast<int64_t>(replay_floors_.size())) return false;
+    const uint64_t floor = replay_floors_[static_cast<size_t>(s)];
+    return epoch <= floor && MintBirthEpoch(nbr) <= floor;
+  }
 
   /// Per-id overlay versions (0 = no overlay), covering base + overlay ids.
   std::unique_ptr<std::atomic<EpochChunk*>[]> epoch_chunks_;

@@ -27,6 +27,7 @@ uint64_t GraphDeltaLog::Append(int shard, std::vector<EdgeEvent> events,
   batch.epoch = epoch;
   batch.events = std::move(events);
   s.batches.push_back(std::move(batch));
+  NotifyAppendLocked(shard, s.batches.back());
   return epoch;
 }
 
@@ -77,7 +78,51 @@ StatusOr<uint64_t> GraphDeltaLog::AppendWithNodes(
   s.events += static_cast<int64_t>(batch.events.size());
   s.node_events += static_cast<int64_t>(batch.node_events.size());
   s.batches.push_back(std::move(batch));
+  NotifyAppendLocked(shard, s.batches.back());
   return epoch;
+}
+
+void GraphDeltaLog::SetAppendObserver(AppendObserver observer) {
+  std::unique_lock<std::shared_mutex> lock(observer_mu_);
+  append_observer_ = std::move(observer);
+}
+
+void GraphDeltaLog::NotifyAppendLocked(int shard, const DeltaBatch& batch) {
+  std::shared_lock<std::shared_mutex> lock(observer_mu_);
+  if (append_observer_) append_observer_(shard, batch);
+}
+
+Status GraphDeltaLog::RestoreBatch(int shard, DeltaBatch batch) {
+  if (shard < 0 || shard >= num_shards()) {
+    return Status::InvalidArgument("restore shard out of range");
+  }
+  if (batch.epoch == 0) {
+    return Status::InvalidArgument("cannot restore a batch without an epoch");
+  }
+  const uint64_t epoch = batch.epoch;
+  Shard& s = shards_[shard];
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    if (!s.batches.empty() && s.batches.back().epoch >= epoch) {
+      return Status::InvalidArgument(
+          "restored batches must arrive in epoch order per shard");
+    }
+    s.events += static_cast<int64_t>(batch.events.size());
+    s.node_events += static_cast<int64_t>(batch.node_events.size());
+    s.batches.push_back(std::move(batch));
+  }
+  AdvanceEpochFloor(epoch);
+  return Status::OK();
+}
+
+void GraphDeltaLog::AdvanceEpochFloor(uint64_t epoch) {
+  // Under epoch_mu_ so a concurrent Append cannot interleave with the
+  // floor raise and hand out a stale epoch.
+  std::lock_guard<std::mutex> lock(epoch_mu_);
+  uint64_t cur = next_epoch_.load(std::memory_order_relaxed);
+  while (cur < epoch + 1 && !next_epoch_.compare_exchange_weak(
+                                cur, epoch + 1, std::memory_order_acq_rel)) {
+  }
 }
 
 std::vector<DeltaBatch> GraphDeltaLog::ReadSince(uint64_t epoch) const {

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <functional>
 #include <mutex>
+#include <shared_mutex>
 #include <utility>
 #include <vector>
 
@@ -116,6 +117,35 @@ class GraphDeltaLog {
                                      const NodeIdAllocator& alloc,
                                      const EpochObserver& on_issue = {});
 
+  // ---- durable tee (persist::DeltaLogPersister) ---------------------------
+
+  /// Observer invoked with every recorded batch, under its shard's lock and
+  /// after the batch is in the in-memory log — the tee the WAL persister
+  /// hangs off so Append returning implies the batch is (at least buffered)
+  /// on its way to disk. Because the call runs inside the shard critical
+  /// section, per-shard WAL order matches log order; across shards records
+  /// may interleave out of epoch order, which recovery resolves by sorting
+  /// (exactly as ReadSince does). Pass an empty function to detach. The
+  /// observer must not call back into this log.
+  using AppendObserver = std::function<void(int shard,
+                                            const DeltaBatch& batch)>;
+  void SetAppendObserver(AppendObserver observer);
+
+  /// Recovery-only: re-inserts a batch replayed from the WAL with its
+  /// *original* epoch (never re-issued), so a recovered process's in-memory
+  /// log carries the same tail a survivor's would — replica revival and
+  /// consumer cursors keep working across a restart. Advances the epoch
+  /// sequence past the restored epoch. Batches must be restored in epoch
+  /// order per shard; the append observer is not invoked (the tail is
+  /// already durable). Rejects epoch 0.
+  Status RestoreBatch(int shard, DeltaBatch batch);
+
+  /// Raises the epoch sequence so every future append is issued above
+  /// `epoch`. Recovery calls this with the checkpoint epoch even when the
+  /// WAL tail is empty — a fresh log restarting at epoch 1 would collide
+  /// with the epochs already folded into the recovered base.
+  void AdvanceEpochFloor(uint64_t epoch);
+
   /// Epoch of the most recent append, 0 if the log is empty.
   uint64_t last_epoch() const {
     return next_epoch_.load(std::memory_order_acquire) - 1;
@@ -182,6 +212,10 @@ class GraphDeltaLog {
   size_t MemoryBytes() const;
 
  private:
+  /// Runs the attached append observer (if any); caller holds the shard's
+  /// lock so the tee sees batches in shard order.
+  void NotifyAppendLocked(int shard, const DeltaBatch& batch);
+
   struct Shard {
     mutable std::mutex mu;
     std::vector<DeltaBatch> batches;  // epoch-ordered within the shard
@@ -198,6 +232,10 @@ class GraphDeltaLog {
   /// epoch cannot be issued (let alone applied) before an earlier one is
   /// reported pending, which the watermark correctness argument relies on.
   mutable std::mutex epoch_mu_;
+  /// Durable tee; read under shared lock on every append, swapped under
+  /// exclusive lock (attach/detach are rare — process start and teardown).
+  mutable std::shared_mutex observer_mu_;
+  AppendObserver append_observer_;  // guarded by observer_mu_
   std::vector<Shard> shards_;
 };
 
