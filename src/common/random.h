@@ -42,7 +42,27 @@ class Rng {
   }
 
   /// Uniform in [0, n). n must be > 0.
-  uint64_t Uniform(uint64_t n) { return NextUint64() % n; }
+  ///
+  /// Lemire's multiply-shift bounded draw: the 64-bit random word is mapped
+  /// onto [0, n) by taking the high half of a 128-bit product, with a
+  /// rejection pass that removes the modulo bias of the naive `x % n` (and
+  /// with it the hot-loop 64-bit division — the common case is one multiply;
+  /// the `2^64 % n` divide runs only in the rejection branch, reached with
+  /// probability n / 2^64).
+  uint64_t Uniform(uint64_t n) {
+    uint64_t x = NextUint64();
+    unsigned __int128 m = static_cast<unsigned __int128>(x) * n;
+    uint64_t low = static_cast<uint64_t>(m);
+    if (low < n) {
+      const uint64_t threshold = (0 - n) % n;  // 2^64 mod n
+      while (low < threshold) {
+        x = NextUint64();
+        m = static_cast<unsigned __int128>(x) * n;
+        low = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
 
   /// Uniform integer in [lo, hi].
   int64_t UniformInt(int64_t lo, int64_t hi) {
@@ -54,8 +74,13 @@ class Rng {
     return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
   }
 
-  /// Uniform float in [0, 1).
-  float UniformFloat() { return static_cast<float>(UniformDouble()); }
+  /// Uniform float in [0, 1). Built from the top 24 bits so the result is
+  /// exactly representable and strictly below 1.0f (a narrowing cast from
+  /// UniformDouble() could round up to 1.0f). Consumes one 64-bit word, same
+  /// as UniformDouble().
+  float UniformFloat() {
+    return static_cast<float>(NextUint64() >> 40) * 0x1.0p-24f;
+  }
 
   /// Standard normal via Box-Muller.
   double Normal() {

@@ -1,10 +1,12 @@
 #include "core/roi_sampler.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <numeric>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
 
 namespace zoomer {
 namespace core {
@@ -13,6 +15,20 @@ using graph::GraphView;
 using graph::NeighborBlock;
 using graph::NeighborScratch;
 using graph::NodeId;
+
+namespace {
+
+double ScoreMemoized(const RelevanceScorer& scorer, const GraphView& g,
+                     const std::vector<float>& fc, NodeId candidate,
+                     std::unordered_map<NodeId, double>* memo) {
+  const auto it = memo->find(candidate);
+  if (it != memo->end()) return it->second;
+  const double s = scorer.ScoreNode(g, fc, candidate);
+  memo->emplace(candidate, s);
+  return s;
+}
+
+}  // namespace
 
 RoiSampler::RoiSampler(RoiSamplerOptions options)
     : options_(options), scorer_(MakeRelevanceScorer(options.relevance)) {
@@ -39,6 +55,7 @@ double RoiSampler::Relevance(const GraphView& g, const std::vector<float>& fc,
 void RoiSampler::SelectChildren(const GraphView& g, NodeId node,
                                 NodeId parent, const std::vector<float>& fc,
                                 int hop, Rng* rng, NeighborScratch* scratch,
+                                std::unordered_map<NodeId, double>* memo,
                                 std::vector<RoiNode>* out) const {
   const int k_at_hop = std::max(
       1, static_cast<int>(options_.k *
@@ -64,7 +81,8 @@ void RoiSampler::SelectChildren(const GraphView& g, NodeId node,
       scored.reserve(deg);
       for (int64_t p = 0; p < deg; ++p) {
         if (options_.exclude_parent && nb.ids[p] == parent) continue;
-        scored.emplace_back(scorer_->ScoreNode(g, fc, nb.ids[p]), p);
+        scored.emplace_back(ScoreMemoized(*scorer_, g, fc, nb.ids[p], memo),
+                            p);
       }
       const int take = std::min<int>(k_at_hop, scored.size());
       std::partial_sort(scored.begin(), scored.begin() + take, scored.end(),
@@ -155,48 +173,79 @@ void RoiSampler::SelectChildren(const GraphView& g, NodeId node,
 
 RoiSubgraph RoiSampler::Sample(const GraphView& g, NodeId ego,
                                const std::vector<float>& fc, Rng* rng) const {
-  ZCHECK(ego >= 0 && ego < g.num_nodes());
-  ZCHECK_EQ(static_cast<int>(fc.size()), g.content_dim());
-  RoiSubgraph roi;
-  RoiNode root;
-  root.id = ego;
-  root.depth = 0;
-  root.parent = -1;
-  root.relevance = scorer_->ScoreNode(g, fc, ego);
-  roi.nodes.push_back(root);
+  return std::move(SampleBatch(g, {&ego, 1}, fc, rng)[0]);
+}
 
-  // Breadth-first expansion: children of frontier nodes, one hop at a time.
+std::vector<RoiSubgraph> RoiSampler::SampleBatch(
+    const GraphView& g, std::span<const NodeId> egos,
+    const std::vector<float>& fc, Rng* rng) const {
+  static obs::Histogram* batch_size_hist =
+      obs::MetricsRegistry::Global()->GetHistogram("sampler.batch_size");
+  static obs::Histogram* batch_latency_hist =
+      obs::MetricsRegistry::Global()->GetHistogram("sampler.batch_latency_us");
+  const auto t0 = std::chrono::steady_clock::now();
+
+  ZCHECK_EQ(static_cast<int>(fc.size()), g.content_dim());
+  std::vector<RoiSubgraph> rois(egos.size());
+  // Shared across the batch: one scratch, one relevance memo (all egos
+  // score against the same fc), and — when g is a dynamic view — the one
+  // snapshot the view pinned, held for the whole expansion.
   NeighborScratch scratch;
-  size_t frontier_begin = 0;
+  std::unordered_map<NodeId, double> memo;
+  std::vector<size_t> frontier_begin(egos.size(), 0);
+  for (size_t e = 0; e < egos.size(); ++e) {
+    const NodeId ego = egos[e];
+    ZCHECK(ego >= 0 && ego < g.num_nodes());
+    RoiNode root;
+    root.id = ego;
+    root.depth = 0;
+    root.parent = -1;
+    root.relevance = ScoreMemoized(*scorer_, g, fc, ego, &memo);
+    rois[e].nodes.push_back(root);
+  }
+
+  // Breadth-first, frontier-at-once: hop h of every ego expands before any
+  // ego moves to hop h+1, so all hop-h children score in one pass.
   for (int hop = 1; hop <= options_.num_hops; ++hop) {
-    const size_t frontier_end = roi.nodes.size();
-    for (size_t fi = frontier_begin; fi < frontier_end; ++fi) {
-      if (roi.size() >= options_.max_nodes) break;
-      std::vector<RoiNode> children;
-      const NodeId parent_of_node =
-          roi.nodes[fi].parent >= 0 ? roi.nodes[roi.nodes[fi].parent].id : -1;
-      SelectChildren(g, roi.nodes[fi].id, parent_of_node, fc, hop, rng,
-                     &scratch, &children);
-      for (auto& c : children) {
+    for (size_t e = 0; e < egos.size(); ++e) {
+      RoiSubgraph& roi = rois[e];
+      const size_t frontier_end = roi.nodes.size();
+      for (size_t fi = frontier_begin[e]; fi < frontier_end; ++fi) {
         if (roi.size() >= options_.max_nodes) break;
-        c.depth = hop;
-        c.parent = static_cast<int>(fi);
-        roi.nodes.push_back(c);
+        std::vector<RoiNode> children;
+        const NodeId parent_of_node =
+            roi.nodes[fi].parent >= 0 ? roi.nodes[roi.nodes[fi].parent].id
+                                      : -1;
+        SelectChildren(g, roi.nodes[fi].id, parent_of_node, fc, hop, rng,
+                       &scratch, &memo, &children);
+        for (auto& c : children) {
+          if (roi.size() >= options_.max_nodes) break;
+          c.depth = hop;
+          c.parent = static_cast<int>(fi);
+          roi.nodes.push_back(c);
+        }
       }
+      frontier_begin[e] = frontier_end;
     }
-    frontier_begin = frontier_end;
   }
 
   // Child ranges: nodes are in BFS order and children of one parent are
   // contiguous by construction.
-  roi.children_begin.assign(roi.size(), 0);
-  roi.children_end.assign(roi.size(), 0);
-  for (int i = 1; i < roi.size(); ++i) {
-    const int p = roi.nodes[i].parent;
-    if (roi.children_end[p] == 0) roi.children_begin[p] = i;
-    roi.children_end[p] = i + 1;
+  for (RoiSubgraph& roi : rois) {
+    roi.children_begin.assign(roi.size(), 0);
+    roi.children_end.assign(roi.size(), 0);
+    for (int i = 1; i < roi.size(); ++i) {
+      const int p = roi.nodes[i].parent;
+      if (roi.children_end[p] == 0) roi.children_begin[p] = i;
+      roi.children_end[p] = i + 1;
+    }
   }
-  return roi;
+
+  batch_size_hist->Record(static_cast<int64_t>(egos.size()));
+  batch_latency_hist->Record(std::chrono::duration_cast<std::chrono::microseconds>(
+                                 std::chrono::steady_clock::now() - t0)
+                                 .count());
+  return rois;
 }
 
 }  // namespace core

@@ -17,6 +17,8 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
+#include <unordered_map>
 #include <vector>
 
 #include "common/random.h"
@@ -88,11 +90,34 @@ class RoiSampler {
   }
 
   /// Samples the ROI subgraph rooted at `ego` under focal vector `fc`.
+  /// Implemented as a batch of one, so single- and batched-ego sampling are
+  /// bit-identical by construction.
   RoiSubgraph Sample(const graph::GraphView& g, graph::NodeId ego,
                      const std::vector<float>& fc, Rng* rng) const;
   RoiSubgraph Sample(const graph::HeteroGraph& g, graph::NodeId ego,
                      const std::vector<float>& fc, Rng* rng) const {
     return Sample(graph::CsrGraphView(g), ego, fc, rng);
+  }
+
+  /// Frontier-at-once batch expansion: all egos share the focal vector fc
+  /// (the serving case — both the user and query egos of one request score
+  /// against the same Fc). Hop h of every ego expands in one pass reusing
+  /// one NeighborScratch, one per-batch relevance memo (ScoreNode is pure
+  /// in (fc, node), so cross-ego repeats are scored once), and — when g is
+  /// a dynamic view — the one snapshot the view pinned, instead of
+  /// re-resolving per ego. Draw order interleaves egos per hop; with one
+  /// ego it degenerates to the classic order, and for deterministic kinds
+  /// (kFocalTopK) the per-ego result is identical at any batch size.
+  /// Records sampler.batch_size / sampler.batch_latency_us histograms.
+  std::vector<RoiSubgraph> SampleBatch(const graph::GraphView& g,
+                                       std::span<const graph::NodeId> egos,
+                                       const std::vector<float>& fc,
+                                       Rng* rng) const;
+  std::vector<RoiSubgraph> SampleBatch(const graph::HeteroGraph& g,
+                                       std::span<const graph::NodeId> egos,
+                                       const std::vector<float>& fc,
+                                       Rng* rng) const {
+    return SampleBatch(graph::CsrGraphView(g), egos, fc, rng);
   }
 
   /// Scores a single neighbor against the focal vector (exposed for tests
@@ -108,10 +133,12 @@ class RoiSampler {
 
  private:
   /// Selects up to k(hop) children of `node`, excluding `parent`. The
-  /// neighbor block is resolved through `scratch` (reused across calls).
+  /// neighbor block is resolved through `scratch` (reused across calls);
+  /// kFocalTopK relevance lookups go through the batch-shared `memo`.
   void SelectChildren(const graph::GraphView& g, graph::NodeId node,
                       graph::NodeId parent, const std::vector<float>& fc,
                       int hop, Rng* rng, graph::NeighborScratch* scratch,
+                      std::unordered_map<graph::NodeId, double>* memo,
                       std::vector<RoiNode>* out) const;
 
   RoiSamplerOptions options_;

@@ -230,8 +230,15 @@ Tensor ZoomerModel::EgoEmbedding(NodeId ego, NodeId user, NodeId query,
 
 Tensor ZoomerModel::UserQueryEmbedding(NodeId user, NodeId query,
                                        Rng* rng) const {
-  Tensor hu = EgoEmbedding(user, user, query, rng);
-  Tensor hq = EgoEmbedding(query, user, query, rng);
+  // Both egos share one focal vector, so their ROIs expand as one batch:
+  // one snapshot pin, one scratch, and a shared relevance memo (minibatch
+  // assembly in the trainer funnels through here per example).
+  const std::vector<float> fc = sampler_.FocalVector(*view_, {user, query});
+  const NodeId egos[2] = {user, query};
+  std::vector<RoiSubgraph> rois = sampler_.SampleBatch(*view_, egos, fc, rng);
+  Tensor focal = FocalVector(user, query);  // latent space (Sec. V-A)
+  Tensor hu = AggregateNode(rois[0], 0, focal);
+  Tensor hq = AggregateNode(rois[1], 0, focal);
   return Tanh(uq_tower_.Forward(ConcatCols(hu, hq)));
 }
 

@@ -82,6 +82,44 @@ StatusOr<SampleResponse> GraphShard::Sample(const SampleRequest& req) const {
   return SampleFrom(req, dynamic_.load(std::memory_order_acquire));
 }
 
+namespace {
+
+/// Streaming-path draw off an already-pinned epoch snapshot: freshly
+/// ingested edges (and nodes born online) are sampleable shard-side. The
+/// snapshot's base is also the compaction-current CSR, so untouched nodes
+/// stay on the cheap alias path without materializing a merged list.
+/// Factored out of SampleFrom so SampleManyFrom serves a whole batch under
+/// one snapshot pin.
+StatusOr<SampleResponse> SampleFromSnapshot(
+    const streaming::DynamicHeteroGraph::Snapshot& snap,
+    const SampleRequest& req) {
+  if (req.node >= snap.num_nodes()) {
+    return Status::InvalidArgument("node id out of range");
+  }
+  if (snap.DeltaDegree(req.node) == 0) {
+    if (!snap.InBase(req.node)) return SampleResponse{};  // isolated
+    return SampleFromCsr(graph::SegmentedCsrView(snap.base()), req);
+  }
+  std::vector<graph::NeighborEntry> merged;
+  snap.Neighbors(req.node, &merged);
+  SampleResponse resp;
+  Rng rng(req.rng_seed);
+  for (NodeId nb : snap.SampleDistinctNeighbors(req.node, req.k, &rng)) {
+    resp.neighbors.push_back(nb);
+    float w = 0.0f;
+    for (const auto& entry : merged) {
+      if (entry.neighbor == nb) {
+        w = entry.weight;
+        break;
+      }
+    }
+    resp.weights.push_back(w);
+  }
+  return resp;
+}
+
+}  // namespace
+
 StatusOr<SampleResponse> GraphShard::SampleFrom(
     const SampleRequest& req,
     const streaming::DynamicHeteroGraph* view) const {
@@ -92,40 +130,41 @@ StatusOr<SampleResponse> GraphShard::SampleFrom(
     return Status::FailedPrecondition("node not owned by this shard");
   }
   if (view != nullptr) {
-    // Streaming path: draw from an epoch snapshot over base + deltas so
-    // freshly ingested edges (and nodes born online) are sampleable
-    // shard-side. The snapshot's base is also the compaction-current CSR,
-    // so untouched nodes stay on the cheap alias path without
-    // materializing a merged list.
     auto snap = view->MakeSnapshot();
-    if (req.node >= snap.num_nodes()) {
-      return Status::InvalidArgument("node id out of range");
-    }
-    if (snap.DeltaDegree(req.node) == 0) {
-      if (!snap.InBase(req.node)) return SampleResponse{};  // isolated
-      return SampleFromCsr(graph::SegmentedCsrView(snap.base()), req);
-    }
-    std::vector<graph::NeighborEntry> merged;
-    snap.Neighbors(req.node, &merged);
-    SampleResponse resp;
-    Rng rng(req.rng_seed);
-    for (NodeId nb : snap.SampleDistinctNeighbors(req.node, req.k, &rng)) {
-      resp.neighbors.push_back(nb);
-      float w = 0.0f;
-      for (const auto& entry : merged) {
-        if (entry.neighbor == nb) {
-          w = entry.weight;
-          break;
-        }
-      }
-      resp.weights.push_back(w);
-    }
-    return resp;
+    return SampleFromSnapshot(snap, req);
   }
   if (req.node >= graph_->num_nodes()) {
     return Status::InvalidArgument("node id out of range");
   }
   return SampleFromCsr(graph::CsrGraphView(*graph_), req);
+}
+
+std::vector<StatusOr<SampleResponse>> GraphShard::SampleMany(
+    std::span<const SampleRequest> reqs) const {
+  return SampleManyFrom(reqs, dynamic_.load(std::memory_order_acquire));
+}
+
+std::vector<StatusOr<SampleResponse>> GraphShard::SampleManyFrom(
+    std::span<const SampleRequest> reqs,
+    const streaming::DynamicHeteroGraph* view) const {
+  std::vector<StatusOr<SampleResponse>> out;
+  out.reserve(reqs.size());
+  if (view == nullptr) {
+    for (const SampleRequest& req : reqs) out.push_back(SampleFrom(req, nullptr));
+    return out;
+  }
+  // One epoch snapshot (base pin + hot-cache reader pin) for the batch.
+  const auto snap = view->MakeSnapshot();
+  for (const SampleRequest& req : reqs) {
+    if (req.node < 0) {
+      out.push_back(Status::InvalidArgument("node id out of range"));
+    } else if (!Owns(req.node)) {
+      out.push_back(Status::FailedPrecondition("node not owned by this shard"));
+    } else {
+      out.push_back(SampleFromSnapshot(snap, req));
+    }
+  }
+  return out;
 }
 
 size_t GraphShard::MemoryBytes() const {
@@ -149,6 +188,7 @@ DistributedGraphEngine::DistributedGraphEngine(const graph::HeteroGraph* g,
   update_events_ = registry_->GetCounter("engine.update_events");
   sample_latency_us_ = registry_->GetHistogram("engine.sample_latency_us");
   request_latency_us_ = registry_->GetHistogram("engine.request_latency_us");
+  sample_batch_size_ = registry_->GetHistogram("engine.sample_batch_size");
   auto track = [this](const std::string& name, const void* view) {
     registered_.emplace_back(name, view);
   };
@@ -390,9 +430,8 @@ bool DistributedGraphEngine::AwaitReplicaCatchUp(int shard, int r,
   }
 }
 
-std::future<StatusOr<SampleResponse>> DistributedGraphEngine::SampleAsync(
-    const SampleRequest& req) {
-  const int shard = GraphShard::NodeShard(req.node, options_.num_shards);
+DistributedGraphEngine::RoutedTarget DistributedGraphEngine::RouteToReplica(
+    int shard, uint64_t min_epoch) {
   const int rf = options_.replication_factor;
   const bool fanout = !buses_.empty();
   const streaming::DynamicHeteroGraph* primary =
@@ -401,7 +440,7 @@ std::future<StatusOr<SampleResponse>> DistributedGraphEngine::SampleAsync(
   // Freshness floor: the caller's read-your-writes epoch, raised by the
   // engine-wide staleness bound when configured (a replica trailing the
   // primary by more than the bound never serves).
-  uint64_t floor = req.min_epoch;
+  uint64_t floor = min_epoch;
   if (fanout && options_.freshness_bound_epochs > 0 && primary != nullptr) {
     const uint64_t pw = primary->watermark_epoch();
     if (pw > options_.freshness_bound_epochs) {
@@ -428,29 +467,40 @@ std::future<StatusOr<SampleResponse>> DistributedGraphEngine::SampleAsync(
     return best;
   };
 
-  Replica* rep = pick(/*check_floor=*/true);
-  bool use_primary = false;
-  if (rep == nullptr) {
+  RoutedTarget target;
+  target.rep = pick(/*check_floor=*/true);
+  if (target.rep == nullptr) {
     // No alive replica satisfies the floor right now: wait a bounded
     // interval for an applier to catch up, then degrade gracefully.
     const int64_t deadline =
         obs::MonotonicMicros() + options_.freshness_wait_micros;
-    while (rep == nullptr && obs::MonotonicMicros() < deadline) {
+    while (target.rep == nullptr && obs::MonotonicMicros() < deadline) {
       std::this_thread::sleep_for(std::chrono::microseconds(20));
-      rep = pick(/*check_floor=*/true);
+      target.rep = pick(/*check_floor=*/true);
     }
-    if (rep == nullptr) {
-      rep = pick(/*check_floor=*/false);
-      if (rep != nullptr && fanout && floor > 0 && primary != nullptr) {
+    if (target.rep == nullptr) {
+      target.rep = pick(/*check_floor=*/false);
+      if (target.rep != nullptr && fanout && floor > 0 && primary != nullptr) {
         // Serve off the primary graph through this replica's worker: the
         // primary's watermark covers every applied epoch, so the floor is
         // met deterministically — at the price of reading the shared view
         // (counted; watch engine.stale_fallback_reads stay near zero).
-        use_primary = true;
+        target.use_primary = true;
         stale_fallback_reads_.Add(1);
       }
     }
   }
+  return target;
+}
+
+std::future<StatusOr<SampleResponse>> DistributedGraphEngine::SampleAsync(
+    const SampleRequest& req) {
+  const int shard = GraphShard::NodeShard(req.node, options_.num_shards);
+  const streaming::DynamicHeteroGraph* primary =
+      primary_.load(std::memory_order_acquire);
+  const RoutedTarget target = RouteToReplica(shard, req.min_epoch);
+  Replica* rep = target.rep;
+  const bool use_primary = target.use_primary;
   if (rep == nullptr) {
     // The whole replica group is dead — fail fast instead of queueing on a
     // worker that cannot serve.
@@ -503,6 +553,90 @@ std::future<StatusOr<SampleResponse>> DistributedGraphEngine::SampleAsync(
 StatusOr<SampleResponse> DistributedGraphEngine::Sample(
     const SampleRequest& req) {
   return SampleAsync(req).get();
+}
+
+std::vector<StatusOr<SampleResponse>> DistributedGraphEngine::SampleMany(
+    std::span<const SampleRequest> reqs) {
+  std::vector<StatusOr<SampleResponse>> out(
+      reqs.size(),
+      StatusOr<SampleResponse>(Status::Unavailable("request not routed")));
+  if (reqs.empty()) return out;
+
+  // Group request indices by owning shard (order preserved within a group).
+  std::vector<std::vector<size_t>> groups(options_.num_shards);
+  for (size_t i = 0; i < reqs.size(); ++i) {
+    groups[GraphShard::NodeShard(reqs[i].node, options_.num_shards)]
+        .push_back(i);
+  }
+
+  const streaming::DynamicHeteroGraph* primary =
+      primary_.load(std::memory_order_acquire);
+  std::vector<std::future<void>> pending;
+  for (int s = 0; s < options_.num_shards; ++s) {
+    const std::vector<size_t>& idx = groups[s];
+    if (idx.empty()) continue;
+    // One routing decision per shard-group; the floor is the strictest
+    // read-your-writes epoch in the group.
+    uint64_t floor = 0;
+    for (size_t i : idx) floor = std::max(floor, reqs[i].min_epoch);
+    const RoutedTarget target = RouteToReplica(s, floor);
+    Replica* rep = target.rep;
+    if (rep == nullptr) {
+      for (size_t i : idx) {
+        out[i] = Status::Unavailable("all replicas of the owning shard are dead");
+      }
+      continue;
+    }
+    const int64_t n = static_cast<int64_t>(idx.size());
+    rep->requests.fetch_add(n, std::memory_order_relaxed);
+    rep->inflight.fetch_add(n, std::memory_order_relaxed);
+    rep->queue_gauge.Set(
+        static_cast<double>(rep->inflight.load(std::memory_order_relaxed)));
+    sample_requests_->Add(n);
+    sample_batch_size_->Record(n);
+    auto batch = std::make_shared<std::vector<SampleRequest>>();
+    batch->reserve(idx.size());
+    for (size_t i : idx) batch->push_back(reqs[i]);
+    const bool use_primary = target.use_primary;
+    const int rpc_micros = options_.simulated_rpc_micros;
+    const int64_t submit_us = obs::MonotonicMicros();
+    obs::Histogram* service_hist = sample_latency_us_;
+    obs::Histogram* request_hist = request_latency_us_;
+    obs::Counter* killed = &killed_inflight_failures_;
+    // Writes land on disjoint out[] slots per group, and every future is
+    // drained below before out is read — so the workers may scatter their
+    // group's results directly.
+    pending.push_back(rep->worker->Submit([rep, batch, idx, rpc_micros,
+                                           use_primary, primary, submit_us,
+                                           service_hist, request_hist, killed,
+                                           &out] {
+      if (rpc_micros > 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(rpc_micros));
+      }
+      if (!rep->alive.load(std::memory_order_acquire)) {
+        killed->Add(static_cast<int64_t>(idx.size()));
+        for (size_t i : idx) {
+          out[i] = Status::Unavailable("replica killed while request in flight");
+        }
+      } else {
+        const int64_t start_us = obs::MonotonicMicros();
+        auto results = use_primary
+                           ? rep->shard->SampleManyFrom(*batch, primary)
+                           : rep->shard->SampleMany(*batch);
+        service_hist->Record(obs::MonotonicMicros() - start_us);
+        for (size_t j = 0; j < idx.size(); ++j) {
+          out[idx[j]] = std::move(results[j]);
+        }
+      }
+      request_hist->Record(obs::MonotonicMicros() - submit_us);
+      rep->inflight.fetch_sub(static_cast<int64_t>(idx.size()),
+                              std::memory_order_relaxed);
+      rep->queue_gauge.Set(
+          static_cast<double>(rep->inflight.load(std::memory_order_relaxed)));
+    }));
+  }
+  for (auto& f : pending) f.get();
+  return out;
 }
 
 EngineStats DistributedGraphEngine::Stats() const {

@@ -30,6 +30,7 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <thread>
 #include <utility>
@@ -153,6 +154,16 @@ class GraphShard {
       const SampleRequest& req,
       const streaming::DynamicHeteroGraph* view) const;
 
+  /// Batched sampling: one response per request, in order. With a dynamic
+  /// view attached, the whole batch draws under ONE epoch snapshot (one
+  /// base pin + one hot-cache reader pin) instead of one MakeSnapshot per
+  /// request — the per-replica worker's batch amortization.
+  std::vector<StatusOr<SampleResponse>> SampleMany(
+      std::span<const SampleRequest> reqs) const;
+  std::vector<StatusOr<SampleResponse>> SampleManyFrom(
+      std::span<const SampleRequest> reqs,
+      const streaming::DynamicHeteroGraph* view) const;
+
   /// Serve reads through the streaming delta overlay (nullptr restores
   /// static-CSR sampling). The view must outlive this shard. Safe to call
   /// while Sample traffic is in flight (atomic publish).
@@ -186,6 +197,14 @@ class DistributedGraphEngine {
 
   /// Blocking convenience wrapper.
   StatusOr<SampleResponse> Sample(const SampleRequest& req);
+
+  /// Batched sampling: responses in request order. Requests are grouped by
+  /// owning shard; each group routes once (floor = the group's max
+  /// min_epoch) and runs as ONE task on the chosen replica's worker, which
+  /// serves the whole group under one epoch snapshot (GraphShard::
+  /// SampleMany). Records engine.sample_batch_size per shard-group.
+  std::vector<StatusOr<SampleResponse>> SampleMany(
+      std::span<const SampleRequest> reqs);
 
   EngineStats Stats() const;
   int num_replicas() const { return static_cast<int>(replicas_.size()); }
@@ -289,6 +308,19 @@ class DistributedGraphEngine {
         .get();
   }
 
+  /// Routing result: the chosen replica (null = whole group dead) and
+  /// whether the request must be served off the primary view (freshness
+  /// fallback, counted in engine.stale_fallback_reads).
+  struct RoutedTarget {
+    Replica* rep = nullptr;
+    bool use_primary = false;
+  };
+
+  /// Shared routing core behind SampleAsync and SampleMany: least-inflight
+  /// alive replica of `shard` satisfying the freshness floor, with the
+  /// bounded wait and primary fallback documented on SampleAsync.
+  RoutedTarget RouteToReplica(int shard, uint64_t min_epoch);
+
   void ApplierLoop(Replica* rep);
   void RefreshReplicaGauges(Replica* rep) const;
   void SetDeadGauge();
@@ -302,6 +334,7 @@ class DistributedGraphEngine {
   obs::Counter* update_events_ = nullptr;     // engine.update_events
   obs::Histogram* sample_latency_us_ = nullptr;   // engine.sample_latency_us
   obs::Histogram* request_latency_us_ = nullptr;  // engine.request_latency_us
+  obs::Histogram* sample_batch_size_ = nullptr;   // engine.sample_batch_size
   /// Per-engine views (registered; Unregistered on destruction).
   obs::Counter stale_fallback_reads_;      // engine.stale_fallback_reads
   obs::Counter killed_inflight_failures_;  // engine.killed_inflight_failures

@@ -2,11 +2,22 @@
 // The paper (Sec. VI) uses alias tables in the Euler graph engine to achieve
 // constant-time weighted neighbor sampling independent of degree; this is the
 // same structure backing HeteroGraph::SampleNeighbor.
+//
+// Storage is an interleaved array of 8-byte {float prob; uint32 alias}
+// buckets — one cache line covers 8 entries, so a draw touches exactly one
+// line instead of the two (prob[] + alias[]) a split layout costs, and the
+// batched path can gather buckets as single 64-bit lanes.
 #ifndef ZOOMER_GRAPH_ALIAS_TABLE_H_
 #define ZOOMER_GRAPH_ALIAS_TABLE_H_
 
+#include <algorithm>
 #include <cstdint>
+#include <span>
 #include <vector>
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
 
 #include "common/logging.h"
 #include "common/random.h"
@@ -18,6 +29,14 @@ namespace graph {
 /// Sample() draws index i with probability weights[i] / sum(weights) in O(1).
 class AliasTable {
  public:
+  /// One interleaved entry: acceptance threshold and alias target share an
+  /// 8-byte slot so a draw is a single load.
+  struct Bucket {
+    float prob;
+    uint32_t alias;
+  };
+  static_assert(sizeof(Bucket) == 8, "bucket must pack to 8 bytes");
+
   AliasTable() = default;
 
   /// Builds from unnormalized weights. Zero-weight entries are never drawn
@@ -26,8 +45,7 @@ class AliasTable {
 
   void Build(const std::vector<double>& weights) {
     const size_t n = weights.size();
-    prob_.assign(n, 1.0);
-    alias_.assign(n, 0);
+    buckets_.assign(n, Bucket{1.0f, 0});
     if (n == 0) return;
     double total = 0.0;
     for (double w : weights) {
@@ -36,7 +54,7 @@ class AliasTable {
     }
     if (total <= 0.0) {
       // Degenerate: uniform.
-      for (size_t i = 0; i < n; ++i) alias_[i] = static_cast<uint32_t>(i);
+      for (size_t i = 0; i < n; ++i) buckets_[i].alias = static_cast<uint32_t>(i);
       return;
     }
     std::vector<double> scaled(n);
@@ -54,40 +72,96 @@ class AliasTable {
       small.pop_back();
       const uint32_t l = large.back();
       large.pop_back();
-      prob_[s] = scaled[s];
-      alias_[s] = l;
+      buckets_[s] = Bucket{static_cast<float>(scaled[s]), l};
       scaled[l] = scaled[l] + scaled[s] - 1.0;
       (scaled[l] < 1.0 ? small : large).push_back(l);
     }
-    for (uint32_t i : large) {
-      prob_[i] = 1.0;
-      alias_[i] = i;
-    }
-    for (uint32_t i : small) {
-      prob_[i] = 1.0;
-      alias_[i] = i;
-    }
+    for (uint32_t i : large) buckets_[i] = Bucket{1.0f, i};
+    for (uint32_t i : small) buckets_[i] = Bucket{1.0f, i};
   }
 
   /// Draws an index according to the built distribution. Table must be
-  /// non-empty.
+  /// non-empty. Consumes exactly one bounded draw and one float per call —
+  /// SampleBatch() replays the identical consumption order, so batched and
+  /// single draws are bit-identical under a fixed seed.
   size_t Sample(Rng* rng) const {
-    ZCHECK(!prob_.empty()) << "sampling from empty alias table";
-    const size_t i = rng->Uniform(prob_.size());
-    return rng->UniformDouble() < prob_[i] ? i : alias_[i];
+    ZCHECK(!buckets_.empty()) << "sampling from empty alias table";
+    return SampleUnchecked(rng);
   }
 
-  size_t size() const { return prob_.size(); }
-  bool empty() const { return prob_.empty(); }
+  /// Sample() without the non-empty check, for batch loops that validated
+  /// the table once up front. Identical Rng consumption and result.
+  size_t SampleUnchecked(Rng* rng) const {
+    const size_t i = rng->Uniform(buckets_.size());
+    const Bucket b = buckets_[i];
+    return rng->UniformFloat() < b.prob ? i : b.alias;
+  }
+
+  /// Draws out.size() indices. RNG consumption per draw matches Sample()
+  /// exactly (bounded index draw, then threshold float), so the output is
+  /// bit-identical to calling Sample() out.size() times with the same Rng.
+  ///
+  /// The per-draw ZCHECK is hoisted out; draws run in chunks of 64 as two
+  /// flat passes: phase 1 generates (index, threshold) pairs and prefetches
+  /// each bucket as soon as its index is known, phase 2 resolves the chunk
+  /// as a branch-free gather/compare loop (AVX2 gather when available,
+  /// auto-vectorizable scalar otherwise).
+  void SampleBatch(Rng* rng, std::span<uint32_t> out) const {
+    ZCHECK(!buckets_.empty()) << "sampling from empty alias table";
+    const uint64_t n = buckets_.size();
+    constexpr size_t kChunk = 64;
+    uint32_t idx[kChunk];
+    float u[kChunk];
+    size_t done = 0;
+    while (done < out.size()) {
+      const size_t m = std::min(kChunk, out.size() - done);
+      for (size_t j = 0; j < m; ++j) {
+        idx[j] = static_cast<uint32_t>(rng->Uniform(n));
+        u[j] = rng->UniformFloat();
+        __builtin_prefetch(&buckets_[idx[j]], /*rw=*/0, /*locality=*/1);
+      }
+      ResolveChunk(idx, u, m, out.data() + done);
+      done += m;
+    }
+  }
+
+  size_t size() const { return buckets_.size(); }
+  bool empty() const { return buckets_.empty(); }
 
   /// Memory footprint in bytes (for engine storage accounting).
-  size_t MemoryBytes() const {
-    return prob_.size() * sizeof(double) + alias_.size() * sizeof(uint32_t);
-  }
+  size_t MemoryBytes() const { return buckets_.size() * sizeof(Bucket); }
 
  private:
-  std::vector<double> prob_;
-  std::vector<uint32_t> alias_;
+  /// out[j] = u[j] < prob[idx[j]] ? idx[j] : alias[idx[j]] for j in [0, m).
+  void ResolveChunk(const uint32_t* idx, const float* u, size_t m,
+                    uint32_t* out) const {
+    size_t j = 0;
+#if defined(__AVX2__)
+    // Each bucket is one 64-bit lane: gather 4 buckets, split the even
+    // 32-bit lanes (prob) from the odd (alias), compare, blend.
+    const __m256i kDeinterleave = _mm256_setr_epi32(0, 2, 4, 6, 1, 3, 5, 7);
+    for (; j + 4 <= m; j += 4) {
+      const __m128i vidx =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(idx + j));
+      const __m256i buck = _mm256_i32gather_epi64(
+          reinterpret_cast<const long long*>(buckets_.data()), vidx,
+          /*scale=*/8);
+      const __m256i split = _mm256_permutevar8x32_epi32(buck, kDeinterleave);
+      const __m128 prob = _mm_castsi128_ps(_mm256_castsi256_si128(split));
+      const __m128i alias = _mm256_extracti128_si256(split, 1);
+      const __m128 accept = _mm_cmplt_ps(_mm_loadu_ps(u + j), prob);
+      const __m128i picked =
+          _mm_blendv_epi8(alias, vidx, _mm_castps_si128(accept));
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(out + j), picked);
+    }
+#endif
+    for (; j < m; ++j) {
+      const Bucket b = buckets_[idx[j]];
+      out[j] = u[j] < b.prob ? idx[j] : b.alias;
+    }
+  }
+
+  std::vector<Bucket> buckets_;
 };
 
 }  // namespace graph

@@ -25,6 +25,18 @@ NeighborBlock GraphView::NeighborsOfType(NodeId id, NodeType t,
   return {scratch->ids, scratch->weights, scratch->kinds};
 }
 
+void GraphView::SampleManyNeighbors(std::span<const NodeId> nodes, int k,
+                                    Rng* rng,
+                                    std::vector<NodeId>* out) const {
+  const size_t kk = static_cast<size_t>(std::max(k, 0));
+  out->assign(nodes.size() * kk, NodeId{-1});
+  if (k <= 0) return;
+  size_t w = 0;
+  for (const NodeId id : nodes) {
+    for (size_t j = 0; j < kk; ++j) (*out)[w++] = SampleNeighbor(id, rng);
+  }
+}
+
 std::vector<NodeId> GraphView::SampleDistinctNeighbors(NodeId id, int k,
                                                        Rng* rng) const {
   std::vector<NodeId> seen;

@@ -96,6 +96,17 @@ class GraphView {
   /// base+delta resampling on the dynamic path). -1 for isolated nodes.
   virtual NodeId SampleNeighbor(NodeId id, Rng* rng) const = 0;
 
+  /// Batched weighted draws: k draws (with replacement) per node, written
+  /// row-major into `out` (resized to nodes.size()*k; isolated nodes leave
+  /// -1 rows). Every implementation consumes the Rng draw-for-draw exactly
+  /// like k SampleNeighbor calls per node in order, so the default loop and
+  /// the batched overrides are bit-identical under a fixed seed. Overrides
+  /// (CsrGraphView, SegmentedCsrView, the dynamic snapshot) pin the epoch
+  /// snapshot once per batch, prefetch CSR rows and alias buckets one node
+  /// ahead, and draw through AliasTable::SampleBatch.
+  virtual void SampleManyNeighbors(std::span<const NodeId> nodes, int k,
+                                   Rng* rng, std::vector<NodeId>* out) const;
+
   /// Up to k distinct weighted draws with bounded (4k) retries. The default
   /// loops SampleNeighbor; dynamic views override to batch the draws under
   /// one lock acquisition.
@@ -131,6 +142,10 @@ class CsrGraphView final : public GraphView {
   }
   NodeId SampleNeighbor(NodeId id, Rng* rng) const override {
     return g_->SampleNeighbor(id, rng);
+  }
+  void SampleManyNeighbors(std::span<const NodeId> nodes, int k, Rng* rng,
+                           std::vector<NodeId>* out) const override {
+    g_->SampleManyNeighbors(nodes, k, rng, out);
   }
 
   const HeteroGraph& csr() const { return *g_; }

@@ -25,6 +25,31 @@ const char* RelationKindName(RelationKind k) {
   return "?";
 }
 
+void HeteroGraph::SampleManyNeighbors(std::span<const NodeId> nodes, int k,
+                                      Rng* rng,
+                                      std::vector<NodeId>* out) const {
+  const size_t kk = static_cast<size_t>(std::max(k, 0));
+  out->assign(nodes.size() * kk, NodeId{-1});
+  if (k <= 0) return;
+  std::vector<uint32_t> pos(kk);
+  for (size_t r = 0; r < nodes.size(); ++r) {
+    if (r + 1 < nodes.size()) {
+      // Touch the next node's row start and alias header one node ahead so
+      // its lines are in flight while this node's draws resolve.
+      const NodeId nxt = nodes[r + 1];
+      __builtin_prefetch(nbr_id_.data() + offsets_[nxt], /*rw=*/0,
+                         /*locality=*/1);
+      __builtin_prefetch(alias_.data() + nxt, /*rw=*/0, /*locality=*/1);
+    }
+    const NodeId id = nodes[r];
+    if (degree(id) == 0) continue;
+    alias_[id].SampleBatch(rng, {pos.data(), kk});
+    NodeId* row = out->data() + r * kk;
+    const NodeId* ids = nbr_id_.data() + offsets_[id];
+    for (size_t j = 0; j < kk; ++j) row[j] = ids[pos[j]];
+  }
+}
+
 std::vector<NodeId> HeteroGraph::SampleNeighborsUniform(NodeId id, int k,
                                                         Rng* rng) const {
   std::vector<NodeId> out;

@@ -118,6 +118,14 @@ class HeteroGraph {
     return nbr_id_[offsets_[id] + static_cast<int64_t>(k)];
   }
 
+  /// Batched weighted draws: k draws (with replacement) per node, written
+  /// row-major into `out` (nodes.size()*k entries; isolated nodes leave -1
+  /// rows). Bit-identical to k SampleNeighbor calls per node in order, but
+  /// software-prefetches the next node's CSR row and alias table one node
+  /// ahead and draws through AliasTable::SampleBatch.
+  void SampleManyNeighbors(std::span<const NodeId> nodes, int k, Rng* rng,
+                           std::vector<NodeId>* out) const;
+
   /// Uniform sample of up to k distinct positions from the neighbor block
   /// (with replacement if degree < k and allow_repeat).
   std::vector<NodeId> SampleNeighborsUniform(NodeId id, int k, Rng* rng) const;

@@ -262,6 +262,31 @@ StatusOr<std::shared_ptr<const SegmentedCsr>> SegmentedCsr::FromSegments(
   return std::shared_ptr<const SegmentedCsr>(std::move(csr));
 }
 
+void SegmentedCsr::SampleManyNeighbors(std::span<const NodeId> nodes, int k,
+                                       Rng* rng,
+                                       std::vector<NodeId>* out) const {
+  const size_t kk = static_cast<size_t>(std::max(k, 0));
+  out->assign(nodes.size() * kk, NodeId{-1});
+  if (k <= 0) return;
+  std::vector<uint32_t> pos(kk);
+  for (size_t r = 0; r < nodes.size(); ++r) {
+    if (r + 1 < nodes.size()) {
+      // Resolve the next node's segment one iteration early and touch its
+      // row start + alias header so those lines load while this node draws.
+      const auto [nseg, nrow] = Locate(nodes[r + 1]);
+      __builtin_prefetch(nseg->row_neighbor_ids(nrow).data(), /*rw=*/0,
+                         /*locality=*/1);
+      __builtin_prefetch(&nseg->row_alias(nrow), /*rw=*/0, /*locality=*/1);
+    }
+    const auto [seg, row] = Locate(nodes[r]);
+    if (seg->row_degree(row) == 0) continue;
+    seg->row_alias(row).SampleBatch(rng, {pos.data(), kk});
+    NodeId* dst = out->data() + r * kk;
+    const NodeId* ids = seg->row_neighbor_ids(row).data();
+    for (size_t j = 0; j < kk; ++j) dst[j] = ids[pos[j]];
+  }
+}
+
 void SegmentedCsr::RecomputeTotals() {
   num_nodes_ = 0;
   num_half_edges_ = 0;

@@ -270,6 +270,14 @@ class SegmentedCsr {
     return seg->row_neighbor_ids(r)[k];
   }
 
+  /// Batched weighted draws across segments: k draws per node, row-major
+  /// into `out` (-1 rows for isolated nodes). Bit-identical to k
+  /// SampleNeighbor calls per node in order; resolves Locate() once per
+  /// node, prefetches the next node's row and alias table one node ahead,
+  /// and draws through AliasTable::SampleBatch.
+  void SampleManyNeighbors(std::span<const NodeId> nodes, int k, Rng* rng,
+                           std::vector<NodeId>* out) const;
+
   size_t MemoryBytes() const;
   std::string DebugString() const;
 
@@ -319,6 +327,10 @@ class SegmentedCsrView final : public GraphView {
   }
   NodeId SampleNeighbor(NodeId id, Rng* rng) const override {
     return g_->SampleNeighbor(id, rng);
+  }
+  void SampleManyNeighbors(std::span<const NodeId> nodes, int k, Rng* rng,
+                           std::vector<NodeId>* out) const override {
+    g_->SampleManyNeighbors(nodes, k, rng, out);
   }
 
   const SegmentedCsr& csr() const { return *g_; }

@@ -20,6 +20,8 @@ HotNodeOverlayCache::HotNodeOverlayCache(int64_t num_nodes,
       registry_(options.registry != nullptr ? options.registry
                                             : obs::MetricsRegistry::Global()) {
   ZCHECK_GT(options_.min_delta_entries, 0);
+  ZCHECK_GE(options_.read_admit_boost, 1.0)
+      << "read_admit_boost scales the admission floor symmetrically";
   ZCHECK_GE(num_nodes, 0);
   const std::pair<const char*, const obs::Counter*> views[] = {
       {"maintenance.hot_cache.hits", &hits_},
@@ -224,6 +226,8 @@ HotNodeRefreshPolicy::HotNodeRefreshPolicy(
   ZCHECK(cache_ != nullptr);
   hit_ratio_ = obs::MetricsRegistry::Global()->GetGauge(
       "maintenance.hot_cache.hit_ratio");
+  read_boosted_segments_ = obs::MetricsRegistry::Global()->GetGauge(
+      "maintenance.hot_cache.read_boosted_segments");
   graph_->AttachHotNodeCache(cache_);
 }
 
@@ -235,7 +239,46 @@ StatusOr<MaintenanceReport> HotNodeRefreshPolicy::RunOnce() {
   obs::TraceSpan span("hot_node_refresh");
   MaintenanceReport report;
   auto snap = graph_->MakeSnapshot();
-  const auto hot = graph_->DeltaNodes(cache_->options().min_delta_entries);
+  // Read-rate-aware admission: difference the cumulative per-segment read
+  // counters against the previous pass, then scale the delta-entry floor by
+  // each segment's read heat relative to the fleet average. A segment whose
+  // overlay is being hammered by readers admits nodes earlier (they pay the
+  // two-level merge on every draw); a segment nobody reads must accumulate
+  // proportionally more deltas before it earns a materialized entry.
+  const HotNodeCacheOptions& opt = cache_->options();
+  const auto pressures = graph_->SegmentPressures();
+  if (last_reads_.size() < pressures.size()) {
+    last_reads_.resize(pressures.size(), 0);
+  }
+  std::vector<int64_t> read_delta(pressures.size(), 0);
+  double rate_sum = 0.0;
+  for (size_t i = 0; i < pressures.size(); ++i) {
+    read_delta[i] = std::max<int64_t>(0, pressures[i].reads - last_reads_[i]);
+    last_reads_[i] = pressures[i].reads;
+    rate_sum += static_cast<double>(read_delta[i]);
+  }
+  const double avg_rate =
+      pressures.empty() ? 0.0 : rate_sum / static_cast<double>(pressures.size());
+  std::vector<int64_t> floors(pressures.size(), opt.min_delta_entries);
+  int64_t boosted_segments = 0;
+  for (size_t i = 0; i < floors.size(); ++i) {
+    if (opt.read_admit_boost <= 1.0) break;
+    const double norm =
+        (static_cast<double>(read_delta[i]) + 1.0) / (avg_rate + 1.0);
+    const double scale =
+        std::clamp(norm, 1.0 / opt.read_admit_boost, opt.read_admit_boost);
+    floors[i] = std::max<int64_t>(
+        static_cast<int64_t>(static_cast<double>(opt.min_delta_entries) / scale),
+        1);
+    if (scale > 1.0) ++boosted_segments;
+  }
+  const auto hot = graph_->DeltaNodes([&](int64_t segment) -> int64_t {
+    if (segment < 0 || segment >= static_cast<int64_t>(floors.size())) {
+      return opt.min_delta_entries;
+    }
+    return floors[static_cast<size_t>(segment)];
+  });
+  read_boosted_segments_->Set(static_cast<double>(boosted_segments));
   int installed = 0;
   for (NodeId node : hot) {
     // The merge below resolves everything visible at the snapshot's epoch;

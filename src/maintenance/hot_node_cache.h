@@ -90,6 +90,14 @@ struct HotNodeCacheOptions {
   /// A node qualifies for materialization once its overlay holds at least
   /// this many delta half-edges (below it, the overlay merge is cheap).
   int64_t min_delta_entries = 16;
+  /// Read-rate-aware admission: the refresh policy scales the per-segment
+  /// admission floor by observed overlay-read traffic (SegStat reads since
+  /// its last pass). A segment read above the fleet average admits nodes at
+  /// as little as min_delta_entries / read_admit_boost; a cold one demands
+  /// up to min_delta_entries * read_admit_boost. Delta count alone decides
+  /// what is *expensive to merge*; reads decide what is *worth paying the
+  /// materialization for*. 1.0 disables the scaling.
+  double read_admit_boost = 4.0;
   /// Cap on materialized nodes; installs beyond it are rejected (counted).
   size_t max_entries = 1 << 16;
   /// Under decay, an entry may serve snapshots whose as_of differs from the
@@ -219,6 +227,13 @@ class HotNodeRefreshPolicy final : public MaintenancePolicy {
   HotNodeOverlayCache* cache_;
   /// Global-registry gauge refreshed each pass from the cache's counters.
   obs::Gauge* hit_ratio_ = nullptr;
+  /// Segments whose admission floor dropped below the fleet default this
+  /// pass (read-hammered segments); observable knob for tests/dashboards.
+  obs::Gauge* read_boosted_segments_ = nullptr;
+  /// Cumulative SegStat read counters at the last pass; the difference is
+  /// the interval's overlay-read traffic per segment (same differencing the
+  /// compaction policy uses for its fold budgets).
+  std::vector<int64_t> last_reads_;
 };
 
 }  // namespace maintenance

@@ -48,40 +48,57 @@ void NeighborCache::AttachDynamicGraph(
   dynamic_.store(dynamic, std::memory_order_release);
 }
 
-std::vector<NodeId> NeighborCache::ComputeTopK(NodeId node) const {
-  // Highest-weight neighbors (interaction frequency) up to k.
-  std::vector<std::pair<float, NodeId>> scored;
-  const streaming::DynamicHeteroGraph* dynamic =
-      dynamic_.load(std::memory_order_acquire);
-  if (dynamic != nullptr) {
-    // Merged base + delta view: freshly ingested clicks compete for the
-    // top-k on accumulated weight like any offline edge. A fill can race a
-    // node's birth (an update hook fires before this snapshot's watermark
-    // covers the birth epoch): store an empty entry — the hook that makes
-    // the node visible also invalidates it, triggering a re-fill.
-    auto snap = dynamic->MakeSnapshot();
-    if (node < 0 || node >= snap.num_nodes()) return {};
-    std::vector<graph::NeighborEntry> merged;
-    snap.Neighbors(node, &merged);
-    scored.reserve(merged.size());
-    for (const auto& e : merged) scored.emplace_back(e.weight, e.neighbor);
-  } else {
-    // Static path: ids past the offline CSR cannot have neighbors.
-    if (node < 0 || node >= graph_->num_nodes()) return {};
-    auto ids = graph_->neighbor_ids(node);
-    auto weights = graph_->neighbor_weights(node);
-    scored.reserve(ids.size());
-    for (size_t i = 0; i < ids.size(); ++i) {
-      scored.emplace_back(weights[i], ids[i]);
-    }
-  }
-  const size_t keep = std::min<size_t>(options_.k, scored.size());
-  std::partial_sort(scored.begin(), scored.begin() + keep, scored.end(),
+namespace {
+
+std::vector<NodeId> KeepTopK(std::vector<std::pair<float, NodeId>>* scored,
+                             size_t k) {
+  const size_t keep = std::min(k, scored->size());
+  std::partial_sort(scored->begin(), scored->begin() + keep, scored->end(),
                     std::greater<>());
   std::vector<NodeId> out;
   out.reserve(keep);
-  for (size_t i = 0; i < keep; ++i) out.push_back(scored[i].second);
+  for (size_t i = 0; i < keep; ++i) out.push_back((*scored)[i].second);
   return out;
+}
+
+/// Merged base + delta top-k off an already-pinned snapshot: freshly
+/// ingested clicks compete for the top-k on accumulated weight like any
+/// offline edge. A fill can race a node's birth (an update hook fires
+/// before this snapshot's watermark covers the birth epoch): store an
+/// empty entry — the hook that makes the node visible also invalidates it,
+/// triggering a re-fill.
+std::vector<NodeId> TopKFromSnapshot(
+    const streaming::DynamicHeteroGraph::Snapshot& snap, NodeId node,
+    size_t k) {
+  if (node < 0 || node >= snap.num_nodes()) return {};
+  std::vector<graph::NeighborEntry> merged;
+  snap.Neighbors(node, &merged);
+  std::vector<std::pair<float, NodeId>> scored;
+  scored.reserve(merged.size());
+  for (const auto& e : merged) scored.emplace_back(e.weight, e.neighbor);
+  return KeepTopK(&scored, k);
+}
+
+}  // namespace
+
+std::vector<NodeId> NeighborCache::ComputeTopK(NodeId node) const {
+  // Highest-weight neighbors (interaction frequency) up to k.
+  const streaming::DynamicHeteroGraph* dynamic =
+      dynamic_.load(std::memory_order_acquire);
+  if (dynamic != nullptr) {
+    const auto snap = dynamic->MakeSnapshot();
+    return TopKFromSnapshot(snap, node, static_cast<size_t>(options_.k));
+  }
+  // Static path: ids past the offline CSR cannot have neighbors.
+  if (node < 0 || node >= graph_->num_nodes()) return {};
+  auto ids = graph_->neighbor_ids(node);
+  auto weights = graph_->neighbor_weights(node);
+  std::vector<std::pair<float, NodeId>> scored;
+  scored.reserve(ids.size());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    scored.emplace_back(weights[i], ids[i]);
+  }
+  return KeepTopK(&scored, static_cast<size_t>(options_.k));
 }
 
 bool NeighborCache::Get(NodeId node, std::vector<NodeId>* out) {
@@ -155,7 +172,24 @@ void NeighborCache::Warm(NodeId node) {
 }
 
 void NeighborCache::WarmAll(const std::vector<NodeId>& nodes) {
-  for (NodeId n : nodes) Warm(n);
+  const streaming::DynamicHeteroGraph* dynamic =
+      dynamic_.load(std::memory_order_acquire);
+  if (dynamic == nullptr) {
+    for (NodeId n : nodes) Warm(n);
+    return;
+  }
+  // One epoch pin for the whole warm list: per-node MakeSnapshot() is an
+  // atomic fence plus watermark walk, which dominates bulk pre-warming of
+  // large candidate sets.
+  const auto snap = dynamic->MakeSnapshot();
+  for (NodeId n : nodes) {
+    auto topk = TopKFromSnapshot(snap, n, static_cast<size_t>(options_.k));
+    {
+      std::unique_lock<std::shared_mutex> lock(mu_);
+      cache_[n] = std::move(topk);
+    }
+    completed_fills_.Add(1);
+  }
 }
 
 void NeighborCache::Invalidate(NodeId node) {

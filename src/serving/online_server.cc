@@ -166,20 +166,30 @@ void OnlineServer::EmbedRequest(const ServingRequest& req,
   // garbage.
   std::vector<const float*> nbr_emb;
   std::vector<NodeId> tmp;
+  // Read-your-writes path: a cached entry may predate the session's write,
+  // so fetch through the engine — its freshness-aware router only uses
+  // replicas whose watermark covers min_epoch. Both egos go out as ONE
+  // batched SampleMany (one routing decision and one snapshot pin per
+  // shard-group) instead of two sequential round-trips.
+  std::vector<StatusOr<engine::SampleResponse>> sresps;
+  if (min_epoch > 0 && engine_ != nullptr) {
+    engine::SampleRequest sreqs[2];
+    const NodeId egos[2] = {req.user, req.query};
+    for (int e = 0; e < 2; ++e) {
+      sreqs[e].node = egos[e];
+      sreqs[e].k = options_.cache.k;
+      sreqs[e].rng_seed = options_.seed ^ static_cast<uint64_t>(egos[e]);
+      sreqs[e].min_epoch = min_epoch;
+    }
+    sresps = engine_->SampleMany(sreqs);
+  }
+  int ego_index = -1;
   for (NodeId ego : {req.user, req.query}) {
+    ++ego_index;
     bool hit = true;
-    if (min_epoch > 0 && engine_ != nullptr) {
-      // Read-your-writes path: a cached entry may predate the session's
-      // write, so fetch through the engine — its freshness-aware router
-      // only uses replicas whose watermark covers min_epoch.
-      engine::SampleRequest sreq;
-      sreq.node = ego;
-      sreq.k = options_.cache.k;
-      sreq.rng_seed = options_.seed ^ static_cast<uint64_t>(ego);
-      sreq.min_epoch = min_epoch;
-      StatusOr<engine::SampleResponse> sresp = engine_->Sample(sreq);
-      if (sresp.ok()) {
-        tmp = std::move(sresp.value().neighbors);
+    if (!sresps.empty()) {
+      if (sresps[ego_index].ok()) {
+        tmp = std::move(sresps[ego_index].value().neighbors);
       } else {
         hit = cache_->Get(ego, &tmp);  // degrade to the cached view
       }

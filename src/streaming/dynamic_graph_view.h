@@ -84,6 +84,11 @@ class DynamicGraphView final : public graph::GraphView {
   graph::NodeId SampleNeighbor(graph::NodeId id, Rng* rng) const override {
     return snapshot_.SampleNeighbor(id, rng);
   }
+  void SampleManyNeighbors(std::span<const graph::NodeId> nodes, int k,
+                           Rng* rng,
+                           std::vector<graph::NodeId>* out) const override {
+    snapshot_.SampleManyNeighbors(nodes, k, rng, out);
+  }
   std::vector<graph::NodeId> SampleDistinctNeighbors(graph::NodeId id, int k,
                                                      Rng* rng) const override {
     return snapshot_.SampleDistinctNeighbors(id, k, rng);

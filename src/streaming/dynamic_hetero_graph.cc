@@ -1094,6 +1094,98 @@ NodeId DynamicHeteroGraph::Snapshot::SampleOverlayLocked(NodeId node,
   return -1;
 }
 
+void DynamicHeteroGraph::Snapshot::SampleOverlayBatchLocked(
+    NodeId node, const NodeOverlay& ov, size_t prefix, size_t kk, Rng* rng,
+    NodeId* dst) const {
+  const graph::SegmentedCsr& base = *base_;
+  const int64_t base_degree = InBase(node) ? base.degree(node) : 0;
+  // Resolve the base row once: segment locate, alias table, id span. Every
+  // draw below consumes the Rng exactly like one SampleOverlayLocked call,
+  // so batched and single draws stay bit-identical under a fixed seed.
+  const graph::AliasTable* base_alias = nullptr;
+  std::span<const NodeId> base_ids;
+  if (base_degree > 0) {
+    const auto& seg = base.segment(base.segment_of(node));
+    const int64_t r = node - seg.first_node();
+    base_alias = &seg.row_alias(r);
+    base_ids = seg.row_neighbor_ids(r);
+  }
+  if (!decay_active_) {
+    const double delta_w = ov.weight_prefix[prefix - 1];
+    const double base_w = ov.base_total_weight;
+    const double total = base_w + delta_w;
+    if (total <= 0.0) {
+      // Degenerate all-zero weights: uniform over base + delta positions.
+      const uint64_t n = static_cast<uint64_t>(base_degree) + prefix;
+      if (n == 0) return;  // rows stay -1
+      for (size_t j = 0; j < kk; ++j) {
+        const uint64_t idx = rng->Uniform(n);
+        dst[j] = idx < static_cast<uint64_t>(base_degree)
+                     ? base_ids[idx]
+                     : ov.entries[idx - base_degree].e.neighbor;
+      }
+      return;
+    }
+    const auto pb = ov.weight_prefix.begin();
+    for (size_t j = 0; j < kk; ++j) {
+      const double r = rng->UniformDouble() * total;
+      if (r < base_w) {
+        dst[j] = base_ids[base_alias->SampleUnchecked(rng)];
+        continue;
+      }
+      const double target = r - base_w;
+      auto pos = std::upper_bound(pb, pb + prefix, target);
+      if (pos == pb + prefix) --pos;  // fp guard
+      dst[j] = ov.entries[pos - pb].e.neighbor;
+    }
+    return;
+  }
+  // Windowed path: resolve the live entries once into a cumulative-weight
+  // list; each draw then binary-searches where the single draw re-scans.
+  // Outcomes match the scan exactly: first live entry whose cumulative
+  // weight exceeds the target, last live entry as the fp guard.
+  std::vector<std::pair<double, NodeId>> live;  // (cumulative weight, nbr)
+  double delta_w = 0.0;
+  ForEachVisibleDelta(ov.entries.data(), prefix,
+                      [&](const DeltaEntry& d, float w) {
+                        delta_w += w;
+                        live.emplace_back(delta_w, d.e.neighbor);
+                      });
+  if (live.empty()) {
+    if (base_degree == 0) return;  // nothing drawable: rows stay -1
+    for (size_t j = 0; j < kk; ++j) {
+      dst[j] = base_ids[base_alias->SampleUnchecked(rng)];
+    }
+    return;
+  }
+  const double base_w = ov.base_total_weight;
+  const double total = base_w + delta_w;
+  if (total <= 0.0) {
+    const uint64_t n = static_cast<uint64_t>(base_degree) + live.size();
+    for (size_t j = 0; j < kk; ++j) {
+      const uint64_t idx = rng->Uniform(n);
+      dst[j] = idx < static_cast<uint64_t>(base_degree)
+                   ? base_ids[idx]
+                   : live[idx - base_degree].second;
+    }
+    return;
+  }
+  for (size_t j = 0; j < kk; ++j) {
+    const double r = rng->UniformDouble() * total;
+    if (r < base_w) {
+      dst[j] = base_ids[base_alias->SampleUnchecked(rng)];
+      continue;
+    }
+    const double target = r - base_w;
+    auto pos = std::upper_bound(
+        live.begin(), live.end(), target,
+        [](double t, const std::pair<double, NodeId>& p) {
+          return t < p.first;
+        });
+    dst[j] = pos == live.end() ? live.back().second : pos->second;
+  }
+}
+
 NodeId DynamicHeteroGraph::Snapshot::SampleNeighbor(NodeId node,
                                                     Rng* rng) const {
   ZCHECK(node >= 0 && node < num_nodes_);
@@ -1124,6 +1216,79 @@ NodeId DynamicHeteroGraph::Snapshot::SampleNeighbor(NodeId node,
     return InBase(node) ? base_->SampleNeighbor(node, rng) : -1;
   }
   return SampleOverlayLocked(node, ov, prefix, rng);
+}
+
+void DynamicHeteroGraph::Snapshot::SampleManyNeighbors(
+    std::span<const NodeId> nodes, int k, Rng* rng,
+    std::vector<NodeId>* out) const {
+  const size_t kk = static_cast<size_t>(std::max(k, 0));
+  out->assign(nodes.size() * kk, NodeId{-1});
+  if (k <= 0) return;
+  // Pass 1 (no RNG): resolve every node's epoch slot and mark which lock
+  // shards the batch touches, prefetching the slots ahead of their use.
+  // Visibility is epoch-gated (VisiblePrefix caps at the pinned epoch), so
+  // reading the slots before taking the shard locks observes the same draws
+  // the per-node locking order would.
+  std::vector<uint64_t> node_epochs(nodes.size());
+  bool shard_needed[kNumLockShards] = {};
+  for (size_t r = 0; r < nodes.size(); ++r) {
+    const NodeId node = nodes[r];
+    ZCHECK(node >= 0 && node < num_nodes_);
+    if (r + 1 < nodes.size()) {
+      __builtin_prefetch(&owner_->node_epoch_slot(nodes[r + 1]), /*rw=*/0,
+                         /*locality=*/1);
+    }
+    node_epochs[r] =
+        owner_->node_epoch_slot(node).load(std::memory_order_acquire);
+    if (node_epochs[r] != 0) shard_needed[ShardFor(node)] = true;
+  }
+  // One shared acquisition per touched shard for the whole batch (ascending
+  // index, so concurrent batches cannot deadlock) instead of one lock
+  // round-trip per delta node. Writers (ApplyBatch / fold invalidation)
+  // take unique locks on single shards and simply wait the batch out.
+  std::array<std::shared_lock<std::shared_mutex>, kNumLockShards> locks;
+  for (int s = 0; s < kNumLockShards; ++s) {
+    if (shard_needed[s]) {
+      locks[s] = std::shared_lock<std::shared_mutex>(
+          owner_->lock_shards_[s].mu);
+    }
+  }
+  // Pass 2: draw in node order (the Rng consumption order the single-draw
+  // path defines).
+  std::vector<NodeId> row;      // scratch for base-row batched draws
+  std::vector<uint32_t> pos(kk);
+  for (size_t r = 0; r < nodes.size(); ++r) {
+    const NodeId node = nodes[r];
+    NodeId* dst = out->data() + r * kk;
+    auto draw_from_base = [&] {
+      if (!InBase(node)) return;
+      base_->SampleManyNeighbors({&node, 1}, k, rng, &row);
+      std::copy(row.begin(), row.end(), dst);
+    };
+    const uint64_t node_epoch = node_epochs[r];
+    if (node_epoch == 0) {
+      draw_from_base();
+      continue;
+    }
+    if (const auto* entry = HotEntry(node, node_epoch)) {
+      if (entry->ids.empty()) continue;
+      entry->alias.SampleBatch(rng, {pos.data(), kk});
+      for (size_t j = 0; j < kk; ++j) dst[j] = entry->ids[pos[j]];
+      continue;
+    }
+    owner_->NoteSegmentRead(node);
+    const LockShard& sh = owner_->lock_shards_[ShardFor(node)];
+    auto it = sh.overlays.find(node);
+    const size_t prefix =
+        it == sh.overlays.end() ? 0 : VisiblePrefix(it->second, epoch_);
+    if (prefix == 0) {
+      draw_from_base();
+      continue;
+    }
+    // One visible-prefix resolution and one base-row locate for all k draws
+    // of this node.
+    SampleOverlayBatchLocked(node, it->second, prefix, kk, rng, dst);
+  }
 }
 
 std::vector<NodeId> DynamicHeteroGraph::Snapshot::SampleDistinctNeighbors(
@@ -1187,6 +1352,21 @@ std::vector<NodeId> DynamicHeteroGraph::DeltaNodes(int64_t min_entries) const {
     std::shared_lock<std::shared_mutex> lock(sh.mu);
     for (const auto& [node, ov] : sh.overlays) {
       if (static_cast<int64_t>(ov.entries.size()) >= min_entries) {
+        out.push_back(node);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<NodeId> DynamicHeteroGraph::DeltaNodes(
+    const std::function<int64_t(int64_t)>& min_entries_for_segment) const {
+  std::vector<NodeId> out;
+  for (const auto& sh : lock_shards_) {
+    std::shared_lock<std::shared_mutex> lock(sh.mu);
+    for (const auto& [node, ov] : sh.overlays) {
+      if (static_cast<int64_t>(ov.entries.size()) >=
+          min_entries_for_segment(segment_of(node))) {
         out.push_back(node);
       }
     }

@@ -401,6 +401,13 @@ class DynamicHeteroGraph {
   /// the hot set the refresh policy materializes.
   std::vector<graph::NodeId> DeltaNodes(int64_t min_entries) const;
 
+  /// As above with a per-segment admission floor: a node qualifies when its
+  /// overlay holds at least min_entries_for_segment(segment index) entries.
+  /// Lets the hot-node refresh policy admit nodes of read-hammered segments
+  /// (SegStat reads) at a lower delta threshold than the fleet default.
+  std::vector<graph::NodeId> DeltaNodes(
+      const std::function<int64_t(int64_t)>& min_entries_for_segment) const;
+
   /// Physically removes delta entries past their TTL under the installed
   /// DecaySpec at `now_seconds` (no-op without TTLs). Decay-aware readers
   /// already excluded them, so live snapshots observe no change; raw
@@ -500,6 +507,16 @@ class DynamicHeteroGraph {
     /// with no edges at this epoch.
     graph::NodeId SampleNeighbor(graph::NodeId node, Rng* rng) const;
 
+    /// Batched weighted draws: k draws per node, row-major into `out` (-1
+    /// rows for isolated nodes). Bit-identical to k SampleNeighbor calls
+    /// per node in order, but the snapshot stays pinned for the whole
+    /// batch, each node costs one epoch-slot load + at most one lock-shard
+    /// acquisition + one visible-prefix resolution for all its k draws,
+    /// the next node's epoch slot is prefetched one node ahead, and hot /
+    /// base rows draw through AliasTable::SampleBatch.
+    void SampleManyNeighbors(std::span<const graph::NodeId> nodes, int k,
+                             Rng* rng, std::vector<graph::NodeId>* out) const;
+
     /// Up to k distinct weighted draws with bounded retries (4k attempts),
     /// acquiring the node's lock shard once for the whole batch — use this
     /// on the serving path instead of k calls to SampleNeighbor.
@@ -547,6 +564,15 @@ class DynamicHeteroGraph {
     graph::NodeId SampleOverlayLocked(graph::NodeId node,
                                       const NodeOverlay& ov, size_t prefix,
                                       Rng* rng) const;
+
+    /// kk overlay draws into dst, bit-identical to kk SampleOverlayLocked
+    /// calls in order, with the per-draw invariants hoisted: one segment
+    /// locate + alias-row resolution, one weight-mass computation, and (on
+    /// the windowed path) one visible-prefix scan serve every draw of the
+    /// node. Same locking contract as SampleOverlayLocked.
+    void SampleOverlayBatchLocked(graph::NodeId node, const NodeOverlay& ov,
+                                  size_t prefix, size_t kk, Rng* rng,
+                                  graph::NodeId* dst) const;
 
     const DynamicHeteroGraph* owner_;
     std::shared_ptr<const graph::SegmentedCsr> base_;

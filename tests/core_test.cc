@@ -125,6 +125,33 @@ TEST(RoiSamplerTest, GraphViewPathMatchesCsrOverload) {
   }
 }
 
+TEST(RoiSamplerTest, SampleBatchMatchesPerEgoSample) {
+  // The frontier-at-once batch (all egos hop h before hop h+1, shared
+  // scratch + relevance memo) must produce exactly the per-ego trees for
+  // the deterministic focal-top-k kind, including repeated egos.
+  HeteroGraph g = MakeStarGraph(6, 6);
+  RoiSamplerOptions opt;
+  opt.k = 4;
+  opt.num_hops = 2;
+  RoiSampler sampler(opt);
+  auto fc = sampler.FocalVector(g, {0, 1});
+  const std::vector<graph::NodeId> egos = {0, 1, 0, 3};
+  Rng batched(5);
+  std::vector<RoiSubgraph> rois =
+      sampler.SampleBatch(g, {egos.data(), egos.size()}, fc, &batched);
+  ASSERT_EQ(rois.size(), egos.size());
+  for (size_t e = 0; e < egos.size(); ++e) {
+    Rng single(5);
+    RoiSubgraph want = sampler.Sample(g, egos[e], fc, &single);
+    ASSERT_EQ(rois[e].size(), want.size()) << "ego " << egos[e];
+    for (int i = 0; i < want.size(); ++i) {
+      EXPECT_EQ(rois[e].nodes[i].id, want.nodes[i].id);
+      EXPECT_EQ(rois[e].nodes[i].depth, want.nodes[i].depth);
+      EXPECT_EQ(rois[e].nodes[i].parent, want.nodes[i].parent);
+    }
+  }
+}
+
 TEST(RoiSamplerTest, RelevanceScoresDecreaseInSelectionOrder) {
   HeteroGraph g = MakeStarGraph(8, 8);
   RoiSamplerOptions opt;

@@ -134,6 +134,41 @@ TEST(DistributedGraphEngineTest, RoutesAndServesConcurrently) {
   EXPECT_EQ(stats.requests_per_replica.size(), 8u);
 }
 
+TEST(DistributedGraphEngineTest, SampleManyMatchesSingleRequests) {
+  // Batched dispatch groups requests per shard (one snapshot pin + one
+  // worker hop per group) but must return exactly what per-request calls
+  // return under the same per-request seeds, and a bad node must fail only
+  // its own slot.
+  const auto& ds = Dataset();
+  engine::EngineOptions opt;
+  opt.num_shards = 4;
+  opt.replication_factor = 2;
+  engine::DistributedGraphEngine eng(&ds.graph, opt);
+  std::vector<engine::SampleRequest> reqs;
+  for (graph::NodeId v = 0; v < 60; ++v) {
+    engine::SampleRequest req;
+    req.node = v;
+    req.k = 3;
+    req.rng_seed = 1000 + static_cast<uint64_t>(v);
+    reqs.push_back(req);
+  }
+  engine::SampleRequest bad;
+  bad.node = ds.graph.num_nodes() + 5;
+  bad.k = 3;
+  reqs.push_back(bad);
+  auto batched = eng.SampleMany({reqs.data(), reqs.size()});
+  ASSERT_EQ(batched.size(), reqs.size());
+  EXPECT_FALSE(batched.back().ok());
+  for (size_t i = 0; i + 1 < reqs.size(); ++i) {
+    ASSERT_TRUE(batched[i].ok()) << batched[i].status().ToString();
+    auto single = eng.SampleAsync(reqs[i]).get();
+    ASSERT_TRUE(single.ok());
+    EXPECT_EQ(batched[i].value().neighbors, single.value().neighbors)
+        << "node " << reqs[i].node;
+  }
+  EXPECT_GT(eng.Stats().total_requests, 60);
+}
+
 TEST(DistributedGraphEngineTest, ReplicationSpreadsLoad) {
   const auto& ds = Dataset();
   engine::EngineOptions opt;

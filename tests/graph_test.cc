@@ -72,6 +72,40 @@ TEST(AliasTableTest, EmptyTableProperties) {
   EXPECT_EQ(table.size(), 0u);
 }
 
+TEST(AliasTableTest, SampleBatchMatchesRepeatedSampleBitIdentical) {
+  // The batched (SIMD) resolve must consume the RNG exactly like repeated
+  // single draws and land on the same buckets — batch sizes straddle the
+  // internal chunk width to cover full-chunk, partial-tail, and sub-chunk
+  // paths.
+  AliasTable table(std::vector<double>{1.0, 2.0, 0.0, 3.5, 0.25, 7.0, 1.0});
+  for (const size_t batch : {1u, 5u, 63u, 64u, 65u, 200u}) {
+    Rng single(915 + batch), batched(915 + batch);
+    std::vector<uint32_t> want(batch);
+    for (size_t i = 0; i < batch; ++i) {
+      want[i] = static_cast<uint32_t>(table.Sample(&single));
+    }
+    std::vector<uint32_t> got(batch);
+    table.SampleBatch(&batched, {got.data(), got.size()});
+    EXPECT_EQ(got, want) << "batch " << batch;
+    // Both paths drained the same number of words.
+    EXPECT_EQ(single.NextUint64(), batched.NextUint64());
+  }
+}
+
+TEST(AliasTableTest, SampleBatchEmpiricalMatchesWeights) {
+  const std::vector<double> weights = {1.0, 2.0, 3.0, 4.0};
+  AliasTable table(weights);
+  Rng rng(131);
+  const int n = 200000;
+  std::vector<uint32_t> out(n);
+  table.SampleBatch(&rng, {out.data(), out.size()});
+  std::vector<int> counts(weights.size(), 0);
+  for (uint32_t v : out) ++counts[v];
+  for (size_t i = 0; i < weights.size(); ++i) {
+    EXPECT_NEAR(counts[i] / double(n), weights[i] / 10.0, 0.01);
+  }
+}
+
 // --- MinHash ------------------------------------------------------------------
 
 class MinHashAccuracyTest : public ::testing::TestWithParam<double> {};
@@ -538,6 +572,71 @@ TEST(SegmentedCsrViewTest, GraphViewParityWithCsrGraphView) {
       EXPECT_EQ(sv.SampleNeighbor(v, &ra), cv.SampleNeighbor(v, &rb));
     }
   }
+}
+
+// --- Batched sampling (SampleManyNeighbors) ----------------------------------
+
+TEST(SampleManyNeighborsTest, MatchesSingleDrawLoopOnBothStaticViews) {
+  HeteroGraph g = MakeWideGraph();
+  SegmentedCsr seg(g, 4);
+  CsrGraphView cv(g);
+  SegmentedCsrView sv(seg);
+  std::vector<NodeId> nodes;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) nodes.push_back(v);
+  const int k = 7;
+  for (const GraphView* view : {static_cast<const GraphView*>(&cv),
+                                static_cast<const GraphView*>(&sv)}) {
+    // Contract: identical seed => the batch is bit-identical to the loop.
+    Rng batched(41), looped(41);
+    std::vector<NodeId> got;
+    view->SampleManyNeighbors({nodes.data(), nodes.size()}, k, &batched, &got);
+    ASSERT_EQ(got.size(), nodes.size() * k);
+    for (size_t i = 0; i < nodes.size(); ++i) {
+      for (int j = 0; j < k; ++j) {
+        EXPECT_EQ(got[i * k + j], view->SampleNeighbor(nodes[i], &looped))
+            << "node " << nodes[i] << " draw " << j;
+      }
+    }
+    EXPECT_EQ(batched.NextUint64(), looped.NextUint64());
+  }
+}
+
+TEST(SampleManyNeighborsTest, IsolatedNodesYieldMinusOneRows) {
+  HeteroGraphBuilder b(1);
+  b.AddNode(NodeType::kUser, {0.0f}, {});  // isolated
+  b.AddNode(NodeType::kItem, {0.0f}, {});
+  b.AddNode(NodeType::kItem, {0.0f}, {});
+  EXPECT_TRUE(b.AddEdge(1, 2, RelationKind::kClick).ok());
+  HeteroGraph g = b.Build();
+  CsrGraphView view(g);
+  // Isolated nodes consume no RNG on either path, so rows after them still
+  // line up with the loop.
+  std::vector<NodeId> nodes = {0, 1, 0, 2};
+  Rng batched(5), looped(5);
+  std::vector<NodeId> got;
+  view.SampleManyNeighbors({nodes.data(), nodes.size()}, 3, &batched, &got);
+  ASSERT_EQ(got.size(), 12u);
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    for (int j = 0; j < 3; ++j) {
+      EXPECT_EQ(got[i * 3 + j], view.SampleNeighbor(nodes[i], &looped));
+    }
+  }
+  for (int j = 0; j < 3; ++j) {
+    EXPECT_EQ(got[j], -1);      // row for node 0
+    EXPECT_EQ(got[6 + j], -1);  // second row for node 0
+  }
+}
+
+TEST(SampleManyNeighborsTest, KZeroAndEmptyBatchAreEmpty) {
+  HeteroGraph g = MakeTriangleGraph();
+  CsrGraphView view(g);
+  Rng rng(1);
+  std::vector<NodeId> out = {99};
+  view.SampleManyNeighbors({}, 4, &rng, &out);
+  EXPECT_TRUE(out.empty());
+  std::vector<NodeId> nodes = {0, 1};
+  view.SampleManyNeighbors({nodes.data(), nodes.size()}, 0, &rng, &out);
+  EXPECT_TRUE(out.empty());
 }
 
 }  // namespace

@@ -1153,6 +1153,66 @@ TEST(IncrementalCompactionPolicyTest, ReadHotSegmentsFoldSooner) {
   EXPECT_EQ(pressures[3].delta_entries, 4);
 }
 
+TEST(HotNodeCacheTest, ReadHammeredSegmentsAdmitAtLowerDeltaThreshold) {
+  // Admission is read-rate aware, not delta-count alone: nodes 8 (segment
+  // 2) and 12 (segment 3) carry identical delta mass below the fleet
+  // default floor, but only the segment whose overlay readers hammer it
+  // earns materialization at the reduced floor.
+  HeteroGraph g = MakeTinyGraph(14);
+  GraphDeltaLog log(1);
+  auto dyn_owner = MakeSegmented(&g);
+  DynamicHeteroGraph& dyn = *dyn_owner;
+  HotNodeCacheOptions copt;
+  copt.min_delta_entries = 4;   // fleet default
+  copt.read_admit_boost = 4.0;  // read-hot floor can drop to 1
+  HotNodeOverlayCache cache(g.num_nodes(), copt);
+  HotNodeRefreshPolicy policy(&dyn, &cache);
+
+  // Two delta half-edges on node 8 and two on node 12 — both below 4.
+  ASSERT_TRUE(dyn.ApplyBatch(MakeBatch(&log, 0,
+                                       {{8, 9, RelationKind::kSession, 1.f, 0},
+                                        {8, 10, RelationKind::kSession, 1.f,
+                                         0}}))
+                  .ok());
+  ASSERT_TRUE(dyn.ApplyBatch(MakeBatch(&log, 0,
+                                       {{12, 13, RelationKind::kSession, 1.f,
+                                         0},
+                                        {12, 14, RelationKind::kSession, 1.f,
+                                         0}}))
+                  .ok());
+  // First pass baselines the read counters; no floor is boosted and no
+  // node crosses the default threshold.
+  auto r = policy.RunOnce();
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r.value().acted);
+  EXPECT_EQ(cache.size(), 0u);
+
+  // Hammer overlay reads on segment 2 only.
+  {
+    auto snap = dyn.MakeSnapshot();
+    Rng rng(3);
+    for (int i = 0; i < 512; ++i) {
+      snap.SampleNeighbor(8 + (i % 3), &rng);
+    }
+  }
+  r = policy.RunOnce();
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().acted) << "read-hot segment should admit below floor";
+  EXPECT_GE(obs::MetricsRegistry::Global()
+                ->GetGauge("maintenance.hot_cache.read_boosted_segments")
+                ->Value(),
+            1.0);
+  auto snap = dyn.MakeSnapshot();
+  const DecaySpec no_decay;
+  EXPECT_TRUE(cache.IsFresh(8, dyn.node_epoch(8), snap.segment_generation(8),
+                            /*decay_active=*/false, /*as_of_seconds=*/0,
+                            no_decay));
+  EXPECT_FALSE(cache.IsFresh(12, dyn.node_epoch(12),
+                             snap.segment_generation(12),
+                             /*decay_active=*/false, /*as_of_seconds=*/0,
+                             no_decay));
+}
+
 TEST(IncrementalCompactionPolicyTest, GlobalThresholdStillForcesFullFold) {
   HeteroGraph g = MakeTinyGraph(14);
   GraphDeltaLog log(1);

@@ -358,6 +358,146 @@ TEST(DynamicGraphTest, SnapshotStableUnderConcurrentIngest) {
   EXPECT_GT(dyn.num_delta_entries(), 0);
 }
 
+TEST(DynamicGraphTest, SampleManyNeighborsMatchesLoopAcrossBaseAndDelta) {
+  // Items 2..9; base query->item edges on 2,3,4. Deltas touch 1, 0, 6.
+  // The batch mixes untouched base rows, delta rows, repeats, and an
+  // isolated node — under one seed it must be bit-identical to the loop.
+  HeteroGraph g = MakeTinyGraph(8, {1.0f, 3.0f, 0.5f});
+  GraphDeltaLog log(1);
+  DynamicHeteroGraph dyn(&g);
+  ASSERT_TRUE(dyn.ApplyBatch(MakeBatch(&log, 0,
+                                       {{1, 6, RelationKind::kClick, 4.0f, 0},
+                                        {1, 4, RelationKind::kClick, 2.0f, 0},
+                                        {0, 5, RelationKind::kClick, 1.5f, 0}}))
+                  .ok());
+  auto snap = dyn.MakeSnapshot();
+  const std::vector<NodeId> nodes = {1, 3, 0, 1, 2, 9};
+  const int k = 5;
+  Rng batched(907), looped(907);
+  std::vector<NodeId> got;
+  snap.SampleManyNeighbors({nodes.data(), nodes.size()}, k, &batched, &got);
+  ASSERT_EQ(got.size(), nodes.size() * k);
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    for (int j = 0; j < k; ++j) {
+      EXPECT_EQ(got[i * k + j], snap.SampleNeighbor(nodes[i], &looped))
+          << "node " << nodes[i] << " draw " << j;
+    }
+  }
+  EXPECT_EQ(batched.NextUint64(), looped.NextUint64());
+  for (int j = 0; j < k; ++j) EXPECT_EQ(got[5 * k + j], -1);  // item 9
+}
+
+TEST(DynamicGraphTest, SampleManyNeighborsEmpiricalMatchesExactWeights) {
+  // Same exact distribution as SamplingMatchesExactWeights, drawn through
+  // the batched overlay path: user 0: 1/11, item 2: 1/11, item 3: 5/11,
+  // item 4: 4/11.
+  HeteroGraph g = MakeTinyGraph(4, {1.0f, 3.0f});
+  GraphDeltaLog log(1);
+  DynamicHeteroGraph dyn(&g);
+  ASSERT_TRUE(
+      dyn.ApplyBatch(MakeBatch(&log, 0,
+                               {{1, 4, RelationKind::kClick, 4.0f, 0},
+                                {1, 3, RelationKind::kClick, 2.0f, 0}}))
+          .ok());
+  auto snap = dyn.MakeSnapshot();
+  Rng rng(171);
+  const int draws = 60000;
+  const NodeId node = 1;
+  std::vector<NodeId> out;
+  snap.SampleManyNeighbors({&node, 1}, draws, &rng, &out);
+  std::map<NodeId, int> counts;
+  for (NodeId nb : out) ++counts[nb];
+  EXPECT_NEAR(counts[0] / static_cast<double>(draws), 1.0 / 11, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(draws), 1.0 / 11, 0.01);
+  EXPECT_NEAR(counts[3] / static_cast<double>(draws), 5.0 / 11, 0.015);
+  EXPECT_NEAR(counts[4] / static_cast<double>(draws), 4.0 / 11, 0.015);
+}
+
+TEST(DynamicGraphTest, SampleManyNeighborsMatchesLoopAcrossMidBatchFold) {
+  // An incremental fold between draws changes what a pre-fold snapshot can
+  // see (folded rows keep their pinned base but lose overlay visibility —
+  // the documented contract), so the invariant is not stability: it is
+  // that batched and single draws degrade IDENTICALLY. On one snapshot,
+  // batch-vs-loop must stay bit-identical both before and after a fold
+  // lands between the two passes.
+  DynamicHeteroGraphOptions opts;
+  opts.segment_span = 8;
+  HeteroGraph g = MakeTinyGraph(40, {1.0f, 2.0f, 3.0f, 0.5f});
+  GraphDeltaLog log(1);
+  DynamicHeteroGraph dyn(&g, opts);
+  for (int i = 0; i < 12; ++i) {
+    ASSERT_TRUE(
+        dyn.ApplyBatch(MakeBatch(&log, 0,
+                                 {{1, 2 + static_cast<NodeId>(i),
+                                   RelationKind::kClick, 1.0f + i, 0}}))
+            .ok());
+  }
+  auto snap = dyn.MakeSnapshot();
+  std::vector<NodeId> nodes;
+  for (NodeId v = 0; v < dyn.num_nodes_allocated(); ++v) nodes.push_back(v);
+  auto expect_batch_matches_loop = [&](uint64_t seed) {
+    Rng batched(seed), looped(seed);
+    std::vector<NodeId> got;
+    snap.SampleManyNeighbors({nodes.data(), nodes.size()}, 4, &batched, &got);
+    ASSERT_EQ(got.size(), nodes.size() * 4);
+    for (size_t i = 0; i < nodes.size(); ++i) {
+      for (int j = 0; j < 4; ++j) {
+        ASSERT_EQ(got[i * 4 + j], snap.SampleNeighbor(nodes[i], &looped))
+            << "node " << nodes[i] << " draw " << j << " seed " << seed;
+      }
+    }
+  };
+  expect_batch_matches_loop(77);
+  ASSERT_TRUE(dyn.CompactSegments({0, 1}).ok());
+  ASSERT_TRUE(
+      dyn.ApplyBatch(
+             MakeBatch(&log, 0, {{1, 30, RelationKind::kClick, 50.0f, 0}}))
+          .ok());
+  expect_batch_matches_loop(78);
+  // A fresh snapshot sees the folded edges plus the post-fold delta.
+  auto snap2 = dyn.MakeSnapshot();
+  EXPECT_GT(snap2.Degree(1), snap.Degree(1));
+}
+
+TEST(DynamicGraphTest, ConcurrentBatchedSamplingDuringFoldIsRaceFree) {
+  // Sanitizer target (ctest -L concurrent): batched snapshot reads race
+  // incremental folds and fresh deltas. Pinned snapshots must keep serving
+  // their epoch without tearing while successors publish underneath.
+  DynamicHeteroGraphOptions opts;
+  opts.segment_span = 16;
+  HeteroGraph g = MakeTinyGraph(62, {2.0f, 1.0f, 4.0f});
+  GraphDeltaLog log(1);
+  DynamicHeteroGraph dyn(&g, opts);
+  std::vector<NodeId> nodes;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) nodes.push_back(v);
+  std::atomic<bool> stop{false};
+  std::thread folder([&] {
+    Rng rng(3);
+    for (int round = 0; round < 40; ++round) {
+      const NodeId item = 2 + static_cast<NodeId>(rng.Uniform(62));
+      Status st = dyn.ApplyBatch(
+          MakeBatch(&log, 0, {{1, item, RelationKind::kClick, 1.0f, 0}}));
+      EXPECT_TRUE(st.ok());
+      if (round % 4 == 3) {
+        auto folded = dyn.CompactSegments(
+            {round % dyn.num_segments_allocated()});
+        EXPECT_TRUE(folded.ok());
+      }
+    }
+    stop.store(true);
+  });
+  Rng rng(9);
+  std::vector<NodeId> out;
+  while (!stop.load()) {
+    auto snap = dyn.MakeSnapshot();
+    snap.SampleManyNeighbors({nodes.data(), nodes.size()}, 3, &rng, &out);
+    ASSERT_EQ(out.size(), nodes.size() * 3);
+    // Node 1 always has at least its base user edge.
+    EXPECT_NE(out[1 * 3], -1);
+  }
+  folder.join();
+}
+
 TEST(DynamicGraphTest, WatermarkExcludesIssuedButUnappliedEpochs) {
   // Regression for the cross-shard ordering bug: shard 0's batch draws a
   // lower epoch than shard 1's but applies later. Snapshots used to pin to
